@@ -1,0 +1,261 @@
+//! Ergonomic construction of System F_J terms.
+//!
+//! Examples, the fusion library, and the NoFib-analogue generators all
+//! build object-language programs programmatically; [`Dsl`] packages a
+//! [`NameSupply`] with the common idioms (prelude constructors, integer
+//! lists, `Maybe`, loops) so call sites read close to the paper's notation.
+
+use crate::data_env::DataEnv;
+use crate::expr::{Alt, AltCon, Binder, Expr, JoinDef};
+use crate::name::{Ident, Name, NameSupply};
+use crate::ty::Type;
+
+/// A term-building context: a fresh-name supply plus the datatype
+/// environment terms are built against.
+///
+/// ```
+/// use fj_ast::Dsl;
+/// let mut dsl = Dsl::new();
+/// let list = dsl.int_list(&[1, 2, 3]); // Cons 1 (Cons 2 (Cons 3 Nil))
+/// assert!(list.is_answer());
+/// ```
+#[derive(Debug)]
+pub struct Dsl {
+    /// The fresh-name supply.
+    pub supply: NameSupply,
+    /// The datatype environment (prelude by default).
+    pub data_env: DataEnv,
+}
+
+impl Default for Dsl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dsl {
+    /// A context over the prelude datatypes.
+    pub fn new() -> Self {
+        Dsl { supply: NameSupply::new(), data_env: DataEnv::prelude() }
+    }
+
+    /// Fresh name.
+    pub fn name(&mut self, base: &str) -> Name {
+        self.supply.fresh(base)
+    }
+
+    /// Fresh binder of the given type.
+    pub fn binder(&mut self, base: &str, ty: Type) -> Binder {
+        Binder::new(self.supply.fresh(base), ty)
+    }
+
+    /// `List τ`.
+    pub fn list_ty(&self, elem: Type) -> Type {
+        Type::Con(Ident::new("List"), vec![elem])
+    }
+
+    /// `Maybe τ`.
+    pub fn maybe_ty(&self, elem: Type) -> Type {
+        Type::Con(Ident::new("Maybe"), vec![elem])
+    }
+
+    /// `Pair σ τ`.
+    pub fn pair_ty(&self, a: Type, b: Type) -> Type {
+        Type::Con(Ident::new("Pair"), vec![a, b])
+    }
+
+    /// `Nil @τ`.
+    pub fn nil(&self, elem: Type) -> Expr {
+        Expr::Con(Ident::new("Nil"), vec![elem], vec![])
+    }
+
+    /// `Cons @τ x xs`.
+    pub fn cons(&self, elem: Type, head: Expr, tail: Expr) -> Expr {
+        Expr::Con(Ident::new("Cons"), vec![elem], vec![head, tail])
+    }
+
+    /// `Nothing @τ`.
+    pub fn nothing(&self, elem: Type) -> Expr {
+        Expr::Con(Ident::new("Nothing"), vec![elem], vec![])
+    }
+
+    /// `Just @τ x`.
+    pub fn just(&self, elem: Type, x: Expr) -> Expr {
+        Expr::Con(Ident::new("Just"), vec![elem], vec![x])
+    }
+
+    /// `MkPair @σ @τ a b`.
+    pub fn pair(&self, ta: Type, tb: Type, a: Expr, b: Expr) -> Expr {
+        Expr::Con(Ident::new("MkPair"), vec![ta, tb], vec![a, b])
+    }
+
+    /// A literal list of integers.
+    pub fn int_list(&mut self, xs: &[i64]) -> Expr {
+        xs.iter().rev().fold(self.nil(Type::Int), |acc, &x| {
+            self.cons(Type::Int, Expr::Lit(x), acc)
+        })
+    }
+
+    /// `case scrut of { Nothing -> none; Just x -> some(x) }`.
+    pub fn case_maybe(
+        &mut self,
+        elem: Type,
+        scrut: Expr,
+        none: Expr,
+        some: impl FnOnce(&mut Dsl, &Name) -> Expr,
+    ) -> Expr {
+        let x = self.binder("x", elem);
+        let x_name = x.name.clone();
+        let some_rhs = some(self, &x_name);
+        Expr::case(
+            scrut,
+            vec![
+                Alt::simple(AltCon::Con(Ident::new("Nothing")), none),
+                Alt {
+                    con: AltCon::Con(Ident::new("Just")),
+                    binders: vec![x],
+                    rhs: some_rhs,
+                },
+            ],
+        )
+    }
+
+    /// `case scrut of { Nil -> nil_rhs; Cons h t -> cons_rhs(h, t) }`.
+    pub fn case_list(
+        &mut self,
+        elem: Type,
+        scrut: Expr,
+        nil_rhs: Expr,
+        cons_rhs: impl FnOnce(&mut Dsl, &Name, &Name) -> Expr,
+    ) -> Expr {
+        let h = self.binder("h", elem.clone());
+        let t = self.binder("t", self.list_ty(elem));
+        let (hn, tn) = (h.name.clone(), t.name.clone());
+        let rhs = cons_rhs(self, &hn, &tn);
+        Expr::case(
+            scrut,
+            vec![
+                Alt::simple(AltCon::Con(Ident::new("Nil")), nil_rhs),
+                Alt { con: AltCon::Con(Ident::new("Cons")), binders: vec![h, t], rhs },
+            ],
+        )
+    }
+
+    /// A first-order recursive loop:
+    /// `let rec f (x₁:σ₁)…(xₙ:σₙ) : ρ = body(f, x⃗) in k(f)`.
+    ///
+    /// This is the shape contification targets (paper Sec. 4–5).
+    pub fn letrec_loop(
+        &mut self,
+        fname: &str,
+        params: Vec<(&str, Type)>,
+        result: Type,
+        body: impl FnOnce(&mut Dsl, &Name, &[Name]) -> Expr,
+        k: impl FnOnce(&mut Dsl, &Name) -> Expr,
+    ) -> Expr {
+        let f = self.name(fname);
+        let binders: Vec<Binder> = params
+            .into_iter()
+            .map(|(n, t)| self.binder(n, t))
+            .collect();
+        let param_names: Vec<Name> = binders.iter().map(|b| b.name.clone()).collect();
+        let fun_ty = Type::funs(binders.iter().map(|b| b.ty.clone()), result);
+        let body_e = body(self, &f, &param_names);
+        let rhs = Expr::lams(binders, body_e);
+        let cont = k(self, &f);
+        Expr::letrec(vec![(Binder::new(f, fun_ty), rhs)], cont)
+    }
+
+    /// A recursive join-point loop:
+    /// `join rec j (x⃗:σ⃗) = body in k(j)`.
+    pub fn joinrec_loop(
+        &mut self,
+        jname: &str,
+        params: Vec<(&str, Type)>,
+        body: impl FnOnce(&mut Dsl, &Name, &[Name]) -> Expr,
+        k: impl FnOnce(&mut Dsl, &Name) -> Expr,
+    ) -> Expr {
+        let j = self.name(jname);
+        let binders: Vec<Binder> = params
+            .into_iter()
+            .map(|(n, t)| self.binder(n, t))
+            .collect();
+        let names: Vec<Name> = binders.iter().map(|b| b.name.clone()).collect();
+        let body_e = body(self, &j, &names);
+        let cont = k(self, &j);
+        Expr::joinrec(
+            vec![JoinDef { name: j, ty_params: vec![], params: binders, body: body_e }],
+            cont,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::PrimOp;
+
+    #[test]
+    fn int_list_shape() {
+        let mut d = Dsl::new();
+        let l = d.int_list(&[1, 2]);
+        match &l {
+            Expr::Con(c, tys, args) => {
+                assert_eq!(c.as_str(), "Cons");
+                assert_eq!(tys, &vec![Type::Int]);
+                assert_eq!(args[0], Expr::Lit(1));
+            }
+            other => panic!("expected Cons, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_maybe_builds_both_alts() {
+        let mut d = Dsl::new();
+        let scrut = d.nothing(Type::Int);
+        let e = d.case_maybe(Type::Int, scrut, Expr::Lit(0), |_, x| Expr::var(x));
+        match e {
+            Expr::Case(_, alts) => {
+                assert_eq!(alts.len(), 2);
+                assert_eq!(alts[1].binders.len(), 1);
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn letrec_loop_builds_function() {
+        let mut d = Dsl::new();
+        let e = d.letrec_loop(
+            "go",
+            vec![("n", Type::Int)],
+            Type::Int,
+            |_, f, ps| {
+                Expr::app(
+                    Expr::var(f),
+                    Expr::prim2(PrimOp::Sub, Expr::var(&ps[0]), Expr::Lit(1)),
+                )
+            },
+            |_, f| Expr::app(Expr::var(f), Expr::Lit(10)),
+        );
+        match e {
+            Expr::Let(crate::expr::LetBind::Rec(binds), _) => {
+                assert_eq!(binds.len(), 1);
+                assert_eq!(binds[0].0.ty, Type::fun(Type::Int, Type::Int));
+            }
+            other => panic!("expected letrec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn joinrec_loop_builds_join() {
+        let mut d = Dsl::new();
+        let e = d.joinrec_loop(
+            "go",
+            vec![("n", Type::Int)],
+            |_, j, ps| Expr::jump(j, vec![], vec![Expr::var(&ps[0])], Type::Int),
+            |_, j| Expr::jump(j, vec![], vec![Expr::Lit(0)], Type::Int),
+        );
+        assert!(e.has_join_or_jump());
+    }
+}

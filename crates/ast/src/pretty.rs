@@ -1,0 +1,265 @@
+//! Pretty printer for System F_J terms, in the style of GHC Core dumps.
+//!
+//! One of the paper's arguments for direct style (Sec. 8) is that "Haskell
+//! programmers often pore over GHC's Core dumps" — so this printer aims for
+//! the same legibility: indentation-structured `case`/`let`/`join`, infix
+//! primops, and explicit `@ty` type applications.
+
+use crate::expr::{AltCon, Expr, LetBind};
+use std::fmt;
+
+/// Render an expression as a multi-line Core-dump-style string.
+pub fn pretty(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e, 0, Prec::Top).expect("String writer never fails");
+    out
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&pretty(self))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Top,
+    App,
+    Atom,
+}
+
+fn indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn parens_if(
+    out: &mut String,
+    cond: bool,
+    f: impl FnOnce(&mut String) -> fmt::Result,
+) -> fmt::Result {
+    if cond {
+        out.push('(');
+        f(out)?;
+        out.push(')');
+        Ok(())
+    } else {
+        f(out)
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn write_expr(out: &mut String, e: &Expr, depth: usize, prec: Prec) -> fmt::Result {
+    use fmt::Write;
+    match e {
+        Expr::Var(x) => write!(out, "{x}"),
+        Expr::Lit(n) => write!(out, "{n}"),
+        Expr::Prim(op, args) if args.len() == 2 => parens_if(out, prec > Prec::Top, |out| {
+            write_expr(out, &args[0], depth, Prec::App)?;
+            write!(out, " {op} ")?;
+            write_expr(out, &args[1], depth, Prec::App)
+        }),
+        Expr::Prim(op, args) => {
+            write!(out, "prim[{op}](")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, depth, Prec::Top)?;
+            }
+            out.push(')');
+            Ok(())
+        }
+        Expr::Lam(..) | Expr::TyLam(..) => parens_if(out, prec > Prec::Top, |out| {
+            out.push('\\');
+            let mut cur = e;
+            loop {
+                match cur {
+                    Expr::Lam(b, body) => {
+                        write!(out, "{b} ")?;
+                        cur = body;
+                    }
+                    Expr::TyLam(a, body) => {
+                        write!(out, "@{a} ")?;
+                        cur = body;
+                    }
+                    _ => break,
+                }
+            }
+            out.push_str("-> ");
+            write_expr(out, cur, depth, Prec::Top)
+        }),
+        Expr::App(..) | Expr::TyApp(..) => parens_if(out, prec > Prec::App, |out| {
+            let (head, spine) = e.collect_app_spine();
+            write_expr(out, head, depth, Prec::Atom)?;
+            for arg in spine {
+                out.push(' ');
+                match arg {
+                    crate::expr::SpineArg::Term(t) => write_expr(out, t, depth, Prec::Atom)?,
+                    crate::expr::SpineArg::Ty(t) => write!(out, "@({t})")?,
+                }
+            }
+            Ok(())
+        }),
+        Expr::Con(c, tys, args) => {
+            let atomic = tys.is_empty() && args.is_empty();
+            parens_if(out, !atomic && prec > Prec::App, |out| {
+                write!(out, "{c}")?;
+                for t in tys {
+                    write!(out, " @({t})")?;
+                }
+                for a in args {
+                    out.push(' ');
+                    write_expr(out, a, depth, Prec::Atom)?;
+                }
+                Ok(())
+            })
+        }
+        Expr::Case(s, alts) => parens_if(out, prec > Prec::Top, |out| {
+            out.push_str("case ");
+            write_expr(out, s, depth, Prec::App)?;
+            out.push_str(" of");
+            for alt in alts {
+                out.push('\n');
+                indent(out, depth + 1);
+                match &alt.con {
+                    AltCon::Con(c) => write!(out, "{c}")?,
+                    AltCon::Lit(n) => write!(out, "{n}")?,
+                    AltCon::Default => out.push('_'),
+                }
+                for b in &alt.binders {
+                    write!(out, " {}", b.name)?;
+                }
+                out.push_str(" -> ");
+                write_expr(out, &alt.rhs, depth + 2, Prec::Top)?;
+            }
+            Ok(())
+        }),
+        Expr::Let(bind, body) => parens_if(out, prec > Prec::Top, |out| {
+            match bind {
+                LetBind::NonRec(b, rhs) => {
+                    write!(out, "let {} : {} = ", b.name, b.ty)?;
+                    write_expr(out, rhs, depth + 1, Prec::Top)?;
+                }
+                LetBind::Rec(binds) => {
+                    out.push_str("let rec");
+                    for (b, rhs) in binds {
+                        out.push('\n');
+                        indent(out, depth + 1);
+                        write!(out, "{} : {} = ", b.name, b.ty)?;
+                        write_expr(out, rhs, depth + 2, Prec::Top)?;
+                    }
+                }
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push_str("in ");
+            write_expr(out, body, depth, Prec::Top)
+        }),
+        Expr::Join(jb, body) => parens_if(out, prec > Prec::Top, |out| {
+            let kw = if jb.is_rec() { "join rec" } else { "join" };
+            out.push_str(kw);
+            for d in jb.defs() {
+                if jb.is_rec() || jb.defs().len() > 1 {
+                    out.push('\n');
+                    indent(out, depth + 1);
+                } else {
+                    out.push(' ');
+                }
+                write!(out, "{}", d.name)?;
+                for a in &d.ty_params {
+                    write!(out, " @{a}")?;
+                }
+                for p in &d.params {
+                    write!(out, " {p}")?;
+                }
+                out.push_str(" = ");
+                write_expr(out, &d.body, depth + 2, Prec::Top)?;
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push_str("in ");
+            write_expr(out, body, depth, Prec::Top)
+        }),
+        Expr::Jump(j, tys, args, res) => parens_if(out, prec > Prec::App, |out| {
+            write!(out, "jump {j}")?;
+            for t in tys {
+                write!(out, " @({t})")?;
+            }
+            for a in args {
+                out.push(' ');
+                write_expr(out, a, depth, Prec::Atom)?;
+            }
+            write!(out, " :: {res}")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Alt, Binder, JoinDef, PrimOp};
+    use crate::name::{Ident, NameSupply};
+    use crate::ty::Type;
+
+    #[test]
+    fn prints_lambda_and_app() {
+        let mut s = NameSupply::new();
+        let x = s.fresh("x");
+        let e = Expr::lam(
+            Binder::new(x.clone(), Type::Int),
+            Expr::prim2(PrimOp::Add, Expr::var(&x), Expr::Lit(1)),
+        );
+        let p = pretty(&e);
+        assert!(p.contains("\\"), "{p}");
+        assert!(p.contains("+ 1"), "{p}");
+    }
+
+    #[test]
+    fn prints_join_and_jump() {
+        let mut s = NameSupply::new();
+        let j = s.fresh("j");
+        let x = s.fresh("x");
+        let e = Expr::join1(
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![Binder::new(x.clone(), Type::Int)],
+                body: Expr::var(&x),
+            },
+            Expr::jump(&j, vec![], vec![Expr::Lit(7)], Type::Int),
+        );
+        let p = pretty(&e);
+        assert!(p.contains("join"), "{p}");
+        assert!(p.contains("jump"), "{p}");
+        assert!(p.contains(":: Int"), "{p}");
+    }
+
+    #[test]
+    fn prints_case_with_alts() {
+        let e = Expr::case(
+            Expr::bool(true),
+            vec![
+                Alt::simple(crate::expr::AltCon::Con(Ident::new("True")), Expr::Lit(1)),
+                Alt::simple(crate::expr::AltCon::Default, Expr::Lit(0)),
+            ],
+        );
+        let p = pretty(&e);
+        assert!(p.contains("case True of"), "{p}");
+        assert!(p.contains("_ -> 0"), "{p}");
+    }
+
+    #[test]
+    fn nested_application_parenthesized() {
+        let mut s = NameSupply::new();
+        let f = s.fresh("f");
+        let g = s.fresh("g");
+        let e = Expr::app(
+            Expr::var(&f),
+            Expr::app(Expr::var(&g), Expr::Lit(1)),
+        );
+        let p = pretty(&e);
+        assert!(p.contains('('), "inner application needs parens: {p}");
+    }
+}

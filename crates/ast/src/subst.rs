@@ -1,0 +1,400 @@
+//! Capture-avoiding substitution.
+//!
+//! The optimizer maintains the *globally unique binders* invariant: every
+//! binder in a term has a distinct unique. [`Subst`] preserves that
+//! invariant the simple, robust way — it freshens **every** binder it
+//! passes, extending the substitution with the renamings. Capture is then
+//! impossible by construction, and inlining the same right-hand side twice
+//! yields disjoint binder sets.
+
+use crate::expr::{Alt, Binder, Expr, JoinBind, JoinDef, LetBind};
+use crate::name::{Name, NameSupply};
+use crate::ty::Type;
+use std::collections::HashMap;
+
+/// A simultaneous substitution of terms for term variables, types for type
+/// variables, and labels for labels, applied with full binder freshening.
+#[derive(Debug)]
+pub struct Subst<'s> {
+    supply: &'s mut NameSupply,
+    term: HashMap<Name, Expr>,
+    ty: HashMap<Name, Type>,
+    label: HashMap<Name, Name>,
+}
+
+impl<'s> Subst<'s> {
+    /// An identity substitution (still freshens binders when applied).
+    pub fn new(supply: &'s mut NameSupply) -> Self {
+        Subst { supply, term: HashMap::new(), ty: HashMap::new(), label: HashMap::new() }
+    }
+
+    /// Map term variable `x` to expression `e`.
+    pub fn bind_term(mut self, x: Name, e: Expr) -> Self {
+        self.term.insert(x, e);
+        self
+    }
+
+    /// Map type variable `a` to type `t`.
+    pub fn bind_ty(mut self, a: Name, t: Type) -> Self {
+        self.ty.insert(a, t);
+        self
+    }
+
+    /// Map label `j` to label `k`.
+    pub fn bind_label(mut self, j: Name, k: Name) -> Self {
+        self.label.insert(j, k);
+        self
+    }
+
+    /// Apply the substitution, freshening every binder along the way.
+    pub fn apply(mut self, e: &Expr) -> Expr {
+        let term = std::mem::take(&mut self.term);
+        let ty = std::mem::take(&mut self.ty);
+        let label = std::mem::take(&mut self.label);
+        go(self.supply, &term, &ty, &label, e)
+    }
+}
+
+fn apply_ty(ty_map: &HashMap<Name, Type>, t: &Type) -> Type {
+    t.subst(ty_map)
+}
+
+fn fresh_binder(
+    supply: &mut NameSupply,
+    term: &mut HashMap<Name, Expr>,
+    ty_map: &HashMap<Name, Type>,
+    b: &Binder,
+) -> Binder {
+    let new = supply.fresh_like(&b.name);
+    term.insert(b.name.clone(), Expr::Var(new.clone()));
+    Binder::new(new, apply_ty(ty_map, &b.ty))
+}
+
+#[allow(clippy::too_many_lines)]
+fn go(
+    supply: &mut NameSupply,
+    term: &HashMap<Name, Expr>,
+    ty_map: &HashMap<Name, Type>,
+    label: &HashMap<Name, Name>,
+    e: &Expr,
+) -> Expr {
+    match e {
+        Expr::Var(x) => term.get(x).cloned().unwrap_or_else(|| e.clone()),
+        Expr::Lit(_) => e.clone(),
+        Expr::Prim(op, args) => Expr::Prim(
+            *op,
+            args.iter().map(|a| go(supply, term, ty_map, label, a)).collect(),
+        ),
+        Expr::Lam(b, body) => {
+            let mut term2 = term.clone();
+            let b2 = fresh_binder(supply, &mut term2, ty_map, b);
+            Expr::lam(b2, go(supply, &term2, ty_map, label, body))
+        }
+        Expr::TyLam(a, body) => {
+            let a2 = supply.fresh_like(a);
+            let mut ty2 = ty_map.clone();
+            ty2.insert(a.clone(), Type::Var(a2.clone()));
+            Expr::ty_lam(a2, go(supply, term, &ty2, label, body))
+        }
+        Expr::App(f, x) => Expr::app(
+            go(supply, term, ty_map, label, f),
+            go(supply, term, ty_map, label, x),
+        ),
+        Expr::TyApp(f, t) => {
+            Expr::ty_app(go(supply, term, ty_map, label, f), apply_ty(ty_map, t))
+        }
+        Expr::Con(c, tys, args) => Expr::Con(
+            c.clone(),
+            tys.iter().map(|t| apply_ty(ty_map, t)).collect(),
+            args.iter().map(|a| go(supply, term, ty_map, label, a)).collect(),
+        ),
+        Expr::Case(s, alts) => {
+            let s2 = go(supply, term, ty_map, label, s);
+            let alts2 = alts
+                .iter()
+                .map(|alt| {
+                    let mut term2 = term.clone();
+                    let binders2: Vec<Binder> = alt
+                        .binders
+                        .iter()
+                        .map(|b| fresh_binder(supply, &mut term2, ty_map, b))
+                        .collect();
+                    Alt {
+                        con: alt.con.clone(),
+                        binders: binders2,
+                        rhs: go(supply, &term2, ty_map, label, &alt.rhs),
+                    }
+                })
+                .collect();
+            Expr::case(s2, alts2)
+        }
+        Expr::Let(bind, body) => match bind {
+            LetBind::NonRec(b, rhs) => {
+                let rhs2 = go(supply, term, ty_map, label, rhs);
+                let mut term2 = term.clone();
+                let b2 = fresh_binder(supply, &mut term2, ty_map, b);
+                Expr::let1(b2, rhs2, go(supply, &term2, ty_map, label, body))
+            }
+            LetBind::Rec(binds) => {
+                let mut term2 = term.clone();
+                let binders2: Vec<Binder> = binds
+                    .iter()
+                    .map(|(b, _)| fresh_binder(supply, &mut term2, ty_map, b))
+                    .collect();
+                let binds2: Vec<(Binder, Expr)> = binders2
+                    .into_iter()
+                    .zip(binds.iter())
+                    .map(|(b2, (_, rhs))| (b2, go(supply, &term2, ty_map, label, rhs)))
+                    .collect();
+                Expr::letrec(binds2, go(supply, &term2, ty_map, label, body))
+            }
+        },
+        Expr::Join(jb, body) => {
+            let is_rec = jb.is_rec();
+            let mut label2 = label.clone();
+            let new_labels: Vec<Name> = jb
+                .defs()
+                .iter()
+                .map(|d| {
+                    let n = supply.fresh_like(&d.name);
+                    label2.insert(d.name.clone(), n.clone());
+                    n
+                })
+                .collect();
+            // Non-recursive joins do not scope over their own RHS.
+            let rhs_labels = if is_rec { &label2 } else { label };
+            let defs2: Vec<JoinDef> = jb
+                .defs()
+                .iter()
+                .zip(new_labels)
+                .map(|(d, new_name)| {
+                    let mut ty2 = ty_map.clone();
+                    let ty_params2: Vec<Name> = d
+                        .ty_params
+                        .iter()
+                        .map(|a| {
+                            let a2 = supply.fresh_like(a);
+                            ty2.insert(a.clone(), Type::Var(a2.clone()));
+                            a2
+                        })
+                        .collect();
+                    let mut term2 = term.clone();
+                    let params2: Vec<Binder> = d
+                        .params
+                        .iter()
+                        .map(|b| fresh_binder(supply, &mut term2, &ty2, b))
+                        .collect();
+                    JoinDef {
+                        name: new_name,
+                        ty_params: ty_params2,
+                        params: params2,
+                        body: go(supply, &term2, &ty2, rhs_labels, &d.body),
+                    }
+                })
+                .collect();
+            let body2 = go(supply, term, ty_map, &label2, body);
+            let jb2 = if is_rec {
+                JoinBind::Rec(defs2)
+            } else {
+                JoinBind::NonRec(Box::new(defs2.into_iter().next().expect("nonrec has one def")))
+            };
+            Expr::Join(jb2, Box::new(body2))
+        }
+        Expr::Jump(j, tys, args, res) => Expr::Jump(
+            label.get(j).cloned().unwrap_or_else(|| j.clone()),
+            tys.iter().map(|t| apply_ty(ty_map, t)).collect(),
+            args.iter().map(|a| go(supply, term, ty_map, label, a)).collect(),
+            apply_ty(ty_map, res),
+        ),
+    }
+}
+
+/// Clone `e` with every binder renamed to a fresh name — used before
+/// duplicating a subterm (e.g. inlining) to maintain unique binders.
+pub fn freshen(e: &Expr, supply: &mut NameSupply) -> Expr {
+    Subst::new(supply).apply(e)
+}
+
+/// Substitute `image` for term variable `x` in `e`.
+pub fn subst_term(e: &Expr, x: &Name, image: &Expr, supply: &mut NameSupply) -> Expr {
+    Subst::new(supply).bind_term(x.clone(), image.clone()).apply(e)
+}
+
+/// Substitute several terms for term variables simultaneously.
+pub fn subst_terms(
+    e: &Expr,
+    pairs: impl IntoIterator<Item = (Name, Expr)>,
+    supply: &mut NameSupply,
+) -> Expr {
+    let mut s = Subst::new(supply);
+    for (x, img) in pairs {
+        s = s.bind_term(x, img);
+    }
+    s.apply(e)
+}
+
+/// Substitute a type for a type variable in an expression.
+pub fn subst_ty_in_expr(e: &Expr, a: &Name, t: &Type, supply: &mut NameSupply) -> Expr {
+    Subst::new(supply).bind_ty(a.clone(), t.clone()).apply(e)
+}
+
+/// Substitute several types for type variables simultaneously.
+pub fn subst_tys_in_expr(
+    e: &Expr,
+    pairs: impl IntoIterator<Item = (Name, Type)>,
+    supply: &mut NameSupply,
+) -> Expr {
+    let mut s = Subst::new(supply);
+    for (a, t) in pairs {
+        s = s.bind_ty(a, t);
+    }
+    s.apply(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::PrimOp;
+    use crate::fv::{free_labels, free_vars};
+    use std::collections::HashSet;
+
+    fn supply() -> NameSupply {
+        NameSupply::new()
+    }
+
+    #[test]
+    fn subst_replaces_free_occurrence() {
+        let mut s = supply();
+        let x = s.fresh("x");
+        let e = Expr::prim2(PrimOp::Add, Expr::var(&x), Expr::Lit(1));
+        let r = subst_term(&e, &x, &Expr::Lit(41), &mut s);
+        assert_eq!(r, Expr::prim2(PrimOp::Add, Expr::Lit(41), Expr::Lit(1)));
+    }
+
+    #[test]
+    fn subst_avoids_capture() {
+        // (λy. x){y/x} must NOT capture: result is λy'. y with y' ≠ y.
+        let mut s = supply();
+        let x = s.fresh("x");
+        let y = s.fresh("y");
+        let e = Expr::lam(Binder::new(y.clone(), Type::Int), Expr::var(&x));
+        let r = subst_term(&e, &x, &Expr::var(&y), &mut s);
+        match r {
+            Expr::Lam(b, body) => {
+                assert_ne!(b.name, y, "binder must be freshened");
+                assert_eq!(*body, Expr::var(&y), "free y must remain free");
+            }
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn freshen_renames_all_binders_but_preserves_free() {
+        let mut s = supply();
+        let x = s.fresh("x");
+        let free = s.fresh("g");
+        let e = Expr::lam(
+            Binder::new(x.clone(), Type::Int),
+            Expr::app(Expr::var(&free), Expr::var(&x)),
+        );
+        let r = freshen(&e, &mut s);
+        assert_ne!(e, r);
+        assert_eq!(free_vars(&r), HashSet::from([free]));
+    }
+
+    #[test]
+    fn ty_subst_in_lambda_annotation() {
+        let mut s = supply();
+        let a = s.fresh("a");
+        let x = s.fresh("x");
+        let e = Expr::lam(Binder::new(x.clone(), Type::Var(a.clone())), Expr::var(&x));
+        let r = subst_ty_in_expr(&e, &a, &Type::Int, &mut s);
+        match r {
+            Expr::Lam(b, _) => assert_eq!(b.ty, Type::Int),
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_label_renamed_consistently() {
+        let mut s = supply();
+        let j = s.fresh("j");
+        let x = s.fresh("x");
+        let e = Expr::join1(
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![Binder::new(x.clone(), Type::Int)],
+                body: Expr::var(&x),
+            },
+            Expr::jump(&j, vec![], vec![Expr::Lit(2)], Type::Int),
+        );
+        let r = freshen(&e, &mut s);
+        assert!(free_labels(&r).is_empty(), "label stays bound after freshen");
+        match &r {
+            Expr::Join(jb, body) => {
+                let new_j = &jb.defs()[0].name;
+                assert_ne!(new_j, &j);
+                match &**body {
+                    Expr::Jump(target, _, _, _) => assert_eq!(target, new_j),
+                    other => panic!("expected jump, got {other:?}"),
+                }
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rec_join_self_reference_renamed() {
+        let mut s = supply();
+        let j = s.fresh("go");
+        let e = Expr::joinrec(
+            vec![JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![],
+                body: Expr::jump(&j, vec![], vec![], Type::Int),
+            }],
+            Expr::jump(&j, vec![], vec![], Type::Int),
+        );
+        let r = freshen(&e, &mut s);
+        assert!(free_labels(&r).is_empty());
+    }
+
+    #[test]
+    fn simultaneous_term_subst() {
+        let mut s = supply();
+        let x = s.fresh("x");
+        let y = s.fresh("y");
+        // Swap x and y simultaneously: x + y becomes y + x.
+        let e = Expr::prim2(PrimOp::Add, Expr::var(&x), Expr::var(&y));
+        let r = subst_terms(
+            &e,
+            [(x.clone(), Expr::var(&y)), (y.clone(), Expr::var(&x))],
+            &mut s,
+        );
+        assert_eq!(r, Expr::prim2(PrimOp::Add, Expr::var(&y), Expr::var(&x)));
+    }
+
+    #[test]
+    fn tylam_binder_freshened() {
+        let mut s = supply();
+        let a = s.fresh("a");
+        let x = s.fresh("x");
+        let e = Expr::ty_lam(
+            a.clone(),
+            Expr::lam(Binder::new(x, Type::Var(a.clone())), Expr::Lit(0)),
+        );
+        // Substituting Int for `a` must not touch the bound occurrence.
+        let r = subst_ty_in_expr(&e, &a, &Type::Int, &mut s);
+        match r {
+            Expr::TyLam(a2, body) => match *body {
+                Expr::Lam(b, _) => {
+                    assert_eq!(b.ty, Type::Var(a2));
+                }
+                other => panic!("expected lambda, got {other:?}"),
+            },
+            other => panic!("expected tylam, got {other:?}"),
+        }
+    }
+}

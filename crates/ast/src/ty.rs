@@ -1,0 +1,315 @@
+//! Types of System F_J (Fig. 1 of the paper).
+//!
+//! The grammar is System F types plus saturated datatype applications and a
+//! primitive integer type (GHC Core's `Int#`; the paper elides literals for
+//! brevity but real Core has them and the benchmarks need arithmetic).
+//!
+//! Join points receive types of the shape `∀a⃗. σ⃗ → ∀r.r` (rule JBIND); the
+//! return type `∀r.r` — *bottom* — is built by [`Type::bot`].
+
+use crate::name::{Ident, Name};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A System F_J type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// A type variable `a`.
+    Var(Name),
+    /// A saturated datatype application `T φ₁ … φₙ` (e.g. `Maybe Int`).
+    ///
+    /// The paper's grammar separates the datatype head `T` from type
+    /// application `τ φ`; since heads are always datatypes in this fragment
+    /// we normalize applications into one saturated node.
+    Con(Ident, Vec<Type>),
+    /// A function type `σ → τ`.
+    Fun(Box<Type>, Box<Type>),
+    /// A polymorphic type `∀a. τ`.
+    Forall(Name, Box<Type>),
+    /// The primitive (unboxed) integer type.
+    Int,
+}
+
+impl Type {
+    /// The nullary datatype `T`.
+    pub fn con0(name: impl Into<Ident>) -> Type {
+        Type::Con(name.into(), Vec::new())
+    }
+
+    /// The function type `a -> b`.
+    pub fn fun(a: Type, b: Type) -> Type {
+        Type::Fun(Box::new(a), Box::new(b))
+    }
+
+    /// A curried function type `a₁ -> … -> aₙ -> r`.
+    pub fn funs(args: impl IntoIterator<Item = Type>, res: Type) -> Type {
+        let args: Vec<Type> = args.into_iter().collect();
+        args.into_iter().rev().fold(res, |acc, a| Type::fun(a, acc))
+    }
+
+    /// `∀a. τ`.
+    pub fn forall(a: Name, body: Type) -> Type {
+        Type::Forall(a, Box::new(body))
+    }
+
+    /// The bottom type `∀r. r` — the "return type" of join points and jumps.
+    pub fn bot() -> Type {
+        let r = Name::with_id("r", 0);
+        Type::forall(r.clone(), Type::Var(r))
+    }
+
+    /// Is this type `∀r. r` (up to the bound variable's identity)?
+    pub fn is_bot(&self) -> bool {
+        matches!(self, Type::Forall(a, body) if matches!(&**body, Type::Var(b) if a == b))
+    }
+
+    /// The convenience boolean datatype `Bool`.
+    pub fn bool() -> Type {
+        Type::con0("Bool")
+    }
+
+    /// Split a curried function type into argument types and result.
+    pub fn split_funs(&self) -> (Vec<&Type>, &Type) {
+        let mut args = Vec::new();
+        let mut t = self;
+        while let Type::Fun(a, b) = t {
+            args.push(&**a);
+            t = b;
+        }
+        (args, t)
+    }
+
+    /// Capture-avoiding substitution of types for type variables.
+    ///
+    /// All binders in the *image* types are assumed not to capture — callers
+    /// that substitute open types under binders must freshen first (the
+    /// optimizer maintains globally unique binders, so this holds there).
+    pub fn subst(&self, map: &HashMap<Name, Type>) -> Type {
+        if map.is_empty() {
+            return self.clone();
+        }
+        match self {
+            Type::Var(a) => map.get(a).cloned().unwrap_or_else(|| self.clone()),
+            Type::Con(t, args) => {
+                Type::Con(t.clone(), args.iter().map(|a| a.subst(map)).collect())
+            }
+            Type::Fun(a, b) => Type::fun(a.subst(map), b.subst(map)),
+            Type::Forall(a, body) => {
+                if map.contains_key(a) {
+                    let mut inner = map.clone();
+                    inner.remove(a);
+                    Type::forall(a.clone(), body.subst(&inner))
+                } else {
+                    Type::forall(a.clone(), body.subst(map))
+                }
+            }
+            Type::Int => Type::Int,
+        }
+    }
+
+    /// Substitute a single type variable.
+    pub fn subst1(&self, var: &Name, ty: &Type) -> Type {
+        let mut m = HashMap::new();
+        m.insert(var.clone(), ty.clone());
+        self.subst(&m)
+    }
+
+    /// Free type variables, accumulated into `out`.
+    pub fn free_vars_into(&self, bound: &mut Vec<Name>, out: &mut Vec<Name>) {
+        match self {
+            Type::Var(a) => {
+                if !bound.contains(a) && !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+            Type::Con(_, args) => {
+                for a in args {
+                    a.free_vars_into(bound, out);
+                }
+            }
+            Type::Fun(a, b) => {
+                a.free_vars_into(bound, out);
+                b.free_vars_into(bound, out);
+            }
+            Type::Forall(a, body) => {
+                bound.push(a.clone());
+                body.free_vars_into(bound, out);
+                bound.pop();
+            }
+            Type::Int => {}
+        }
+    }
+
+    /// Free type variables of this type.
+    pub fn free_vars(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        self.free_vars_into(&mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Structural equality up to renaming of ∀-bound variables.
+    pub fn alpha_eq(&self, other: &Type) -> bool {
+        fn go(a: &Type, b: &Type, env: &mut Vec<(Name, Name)>) -> bool {
+            match (a, b) {
+                (Type::Var(x), Type::Var(y)) => {
+                    for (l, r) in env.iter().rev() {
+                        if l == x || r == y {
+                            return l == x && r == y;
+                        }
+                    }
+                    x == y
+                }
+                (Type::Con(t1, a1), Type::Con(t2, a2)) => {
+                    t1 == t2
+                        && a1.len() == a2.len()
+                        && a1.iter().zip(a2).all(|(x, y)| go(x, y, env))
+                }
+                (Type::Fun(a1, r1), Type::Fun(a2, r2)) => go(a1, a2, env) && go(r1, r2, env),
+                (Type::Forall(x, b1), Type::Forall(y, b2)) => {
+                    env.push((x.clone(), y.clone()));
+                    let ok = go(b1, b2, env);
+                    env.pop();
+                    ok
+                }
+                (Type::Int, Type::Int) => true,
+                _ => false,
+            }
+        }
+        go(self, other, &mut Vec::new())
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ty(self, f, Prec::Top)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Top,
+    FunLeft,
+    Arg,
+}
+
+fn fmt_ty(t: &Type, f: &mut fmt::Formatter<'_>, p: Prec) -> fmt::Result {
+    match t {
+        Type::Var(a) => write!(f, "{a}"),
+        Type::Int => write!(f, "Int"),
+        Type::Con(c, args) if args.is_empty() => write!(f, "{c}"),
+        Type::Con(c, args) => {
+            let parens = p >= Prec::Arg;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "{c}")?;
+            for a in args {
+                write!(f, " ")?;
+                fmt_ty(a, f, Prec::Arg)?;
+            }
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Type::Fun(a, b) => {
+            let parens = p >= Prec::FunLeft;
+            if parens {
+                write!(f, "(")?;
+            }
+            fmt_ty(a, f, Prec::FunLeft)?;
+            write!(f, " -> ")?;
+            fmt_ty(b, f, Prec::Top)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Type::Forall(a, body) => {
+            let parens = p >= Prec::FunLeft;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "forall {a}. ")?;
+            fmt_ty(body, f, Prec::Top)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::NameSupply;
+
+    #[test]
+    fn bot_is_bot() {
+        assert!(Type::bot().is_bot());
+        assert!(!Type::Int.is_bot());
+        assert!(!Type::forall(Name::with_id("a", 1), Type::Int).is_bot());
+    }
+
+    #[test]
+    fn funs_currying() {
+        let t = Type::funs([Type::Int, Type::bool()], Type::Int);
+        let (args, res) = t.split_funs();
+        assert_eq!(args.len(), 2);
+        assert_eq!(*args[0], Type::Int);
+        assert_eq!(*args[1], Type::bool());
+        assert_eq!(*res, Type::Int);
+    }
+
+    #[test]
+    fn subst_respects_shadowing() {
+        let mut s = NameSupply::new();
+        let a = s.fresh("a");
+        // (∀a. a -> a){Int/a}  leaves the bound a alone
+        let t = Type::forall(a.clone(), Type::fun(Type::Var(a.clone()), Type::Var(a.clone())));
+        let u = t.subst1(&a, &Type::Int);
+        assert!(t.alpha_eq(&u));
+    }
+
+    #[test]
+    fn subst_replaces_free() {
+        let mut s = NameSupply::new();
+        let a = s.fresh("a");
+        let t = Type::fun(Type::Var(a.clone()), Type::Int);
+        let u = t.subst1(&a, &Type::bool());
+        assert_eq!(u, Type::fun(Type::bool(), Type::Int));
+    }
+
+    #[test]
+    fn alpha_eq_forall() {
+        let mut s = NameSupply::new();
+        let a = s.fresh("a");
+        let b = s.fresh("b");
+        let ta = Type::forall(a.clone(), Type::Var(a.clone()));
+        let tb = Type::forall(b.clone(), Type::Var(b.clone()));
+        assert!(ta.alpha_eq(&tb));
+        let tc = Type::forall(a.clone(), Type::Var(b));
+        assert!(!ta.alpha_eq(&tc));
+    }
+
+    #[test]
+    fn free_vars_of_forall() {
+        let mut s = NameSupply::new();
+        let a = s.fresh("a");
+        let b = s.fresh("b");
+        let t = Type::forall(a.clone(), Type::fun(Type::Var(a), Type::Var(b.clone())));
+        assert_eq!(t.free_vars(), vec![b]);
+    }
+
+    #[test]
+    fn display_shapes() {
+        let t = Type::fun(
+            Type::Con(Ident::new("Maybe"), vec![Type::Int]),
+            Type::bool(),
+        );
+        assert_eq!(t.to_string(), "Maybe Int -> Bool");
+        let u = Type::fun(Type::fun(Type::Int, Type::Int), Type::Int);
+        assert_eq!(u.to_string(), "(Int -> Int) -> Int");
+    }
+}

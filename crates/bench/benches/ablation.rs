@@ -1,0 +1,41 @@
+//! Experiment A-ablate: what each pass contributes. Optimization
+//! wall-time per configuration over the whole suite, plus the allocation
+//! ablation table printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_core::OptConfig;
+
+fn bench_ablation(c: &mut Criterion) {
+    let rows = fj_nofib::run_ablation();
+    println!("{}", fj_nofib::format_ablation(&rows));
+
+    let mut group = c.benchmark_group("ablation-optimize-time");
+    group.sample_size(10);
+    let configs: Vec<(&str, OptConfig)> = vec![
+        ("join-points", OptConfig::join_points()),
+        ("baseline", OptConfig::baseline()),
+        ("without-contify", OptConfig::join_points_without(fj_core::Pass::Contify)),
+        ("without-float-in", OptConfig::join_points_without(fj_core::Pass::FloatIn)),
+    ];
+    for (label, cfg) in configs {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for p in fj_nofib::programs().iter().take(4) {
+                    let mut lowered = fj_surface::compile(p.source).unwrap();
+                    let out = fj_core::optimize(
+                        &lowered.expr,
+                        &lowered.data_env,
+                        &mut lowered.supply,
+                        std::hint::black_box(&cfg),
+                    )
+                    .unwrap();
+                    std::hint::black_box(out);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

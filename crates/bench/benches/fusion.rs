@@ -1,0 +1,37 @@
+//! Experiment F-fusion (paper Sec. 5): the stream pipeline across
+//! {skip-less, skip-ful} × {baseline, join points} × n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fj_bench::execute;
+use fj_core::{optimize, OptConfig};
+use fj_fusion::StepVariant;
+
+fn bench_fusion(c: &mut Criterion) {
+    // Print the allocation series once (the figure-shaped artifact).
+    let pts = fj_nofib::fusion_exp::run_fusion_experiment(&[100, 1_000]);
+    println!("{}", fj_nofib::fusion_exp::format_fusion(&pts));
+
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(10);
+    for n in [100_i64, 1_000] {
+        for variant in [StepVariant::Skipless, StepVariant::Skip] {
+            for (label, cfg) in [
+                ("baseline", OptConfig::baseline()),
+                ("join-points", OptConfig::join_points()),
+            ] {
+                let mut d = fj_ast::Dsl::new();
+                let e = fj_nofib::fusion_exp::pipeline(&mut d, variant, n);
+                let opt = optimize(&e, &d.data_env, &mut d.supply, &cfg).unwrap();
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{variant:?}/{label}"), n),
+                    &opt,
+                    |b, opt| b.iter(|| execute(std::hint::black_box(opt))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

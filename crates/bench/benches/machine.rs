@@ -1,0 +1,71 @@
+//! Abstract-machine throughput: the same loop under the three evaluation
+//! modes, and join-point vs letrec dispatch cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_ast::{Dsl, Expr, PrimOp, Type};
+use fj_eval::{run, EvalMode};
+
+fn sum_loop_letrec(d: &mut Dsl, n: i64) -> Expr {
+    d.letrec_loop(
+        "go",
+        vec![("n", Type::Int), ("acc", Type::Int)],
+        Type::Int,
+        |_, go, ps| {
+            Expr::ite(
+                Expr::prim2(PrimOp::Le, Expr::var(&ps[0]), Expr::Lit(0)),
+                Expr::var(&ps[1]),
+                Expr::apps(
+                    Expr::var(go),
+                    [
+                        Expr::prim2(PrimOp::Sub, Expr::var(&ps[0]), Expr::Lit(1)),
+                        Expr::prim2(PrimOp::Add, Expr::var(&ps[1]), Expr::var(&ps[0])),
+                    ],
+                ),
+            )
+        },
+        |_, go| Expr::apps(Expr::var(go), [Expr::Lit(n), Expr::Lit(0)]),
+    )
+}
+
+fn sum_loop_join(d: &mut Dsl, n: i64) -> Expr {
+    d.joinrec_loop(
+        "go",
+        vec![("n", Type::Int), ("acc", Type::Int)],
+        |_, go, ps| {
+            Expr::ite(
+                Expr::prim2(PrimOp::Le, Expr::var(&ps[0]), Expr::Lit(0)),
+                Expr::var(&ps[1]),
+                Expr::jump(
+                    go,
+                    vec![],
+                    vec![
+                        Expr::prim2(PrimOp::Sub, Expr::var(&ps[0]), Expr::Lit(1)),
+                        Expr::prim2(PrimOp::Add, Expr::var(&ps[1]), Expr::var(&ps[0])),
+                    ],
+                    Type::Int,
+                ),
+            )
+        },
+        |_, go| Expr::jump(go, vec![], vec![Expr::Lit(n), Expr::Lit(0)], Type::Int),
+    )
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(10);
+    let mut d = Dsl::new();
+    let letrec = sum_loop_letrec(&mut d, 1_000);
+    let join = sum_loop_join(&mut d, 1_000);
+    for mode in [EvalMode::CallByName, EvalMode::CallByNeed, EvalMode::CallByValue] {
+        group.bench_function(format!("letrec-sum/{mode:?}"), |b| {
+            b.iter(|| run(std::hint::black_box(&letrec), mode, 10_000_000).unwrap())
+        });
+        group.bench_function(format!("join-sum/{mode:?}"), |b| {
+            b.iter(|| run(std::hint::black_box(&join), mode, 10_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 1 (paper Sec. 7): per-program machine time for the optimized
+//! output of both pipelines, plus the allocation table printed once.
+//!
+//! The *allocation* numbers are the paper's metric (deterministic; see
+//! `cargo run -p fj-nofib -- table1`); the wall-clock samples here show
+//! the same programs' interpreter cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj_bench::{execute, prepare};
+use fj_core::OptConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the paper-style allocation table once, so `cargo bench`
+    // regenerates the actual Table 1 artifact alongside the timings.
+    let rows = fj_nofib::run_table1();
+    println!("{}", fj_nofib::format_table1(&rows));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for p in fj_nofib::programs() {
+        let (base, _) = prepare(p.source, &OptConfig::baseline());
+        let (joined, _) = prepare(p.source, &OptConfig::join_points());
+        group.bench_function(format!("{}/baseline", p.name), |b| {
+            b.iter(|| execute(std::hint::black_box(&base)))
+        });
+        group.bench_function(format!("{}/join-points", p.name), |b| {
+            b.iter(|| execute(std::hint::black_box(&joined)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! # fj-bench — shared helpers for the Criterion benchmark harness
+//!
+//! The benches in `benches/` regenerate the paper's evaluation artifacts:
+//!
+//! * `table1` — Table 1 (allocations per NoFib-analogue program,
+//!   baseline vs join points), plus wall-clock time of running each
+//!   optimized program on the abstract machine;
+//! * `fusion` — the Sec. 5 stream-fusion series;
+//! * `ablation` — the join-points pipeline with individual passes
+//!   removed (experiment A-ablate in DESIGN.md);
+//! * `machine` — raw abstract-machine throughput across evaluation modes.
+
+#![warn(missing_docs)]
+
+use fj_ast::Expr;
+use fj_core::OptConfig;
+use fj_eval::{run, EvalMode, Outcome};
+
+/// Compile a surface program under a pipeline and return the optimized
+/// term (panics on error — bench inputs are fixed and known-good).
+pub fn prepare(source: &str, cfg: &OptConfig) -> (Expr, fj_ast::DataEnv) {
+    let mut lowered = fj_surface::compile(source).expect("bench program compiles");
+    let out = fj_core::optimize(&lowered.expr, &lowered.data_env, &mut lowered.supply, cfg)
+        .expect("bench program optimizes");
+    (out, lowered.data_env)
+}
+
+/// Run an optimized term by value with a large budget.
+pub fn execute(e: &Expr) -> Outcome {
+    run(e, EvalMode::CallByValue, 100_000_000).expect("bench program runs")
+}

@@ -1,0 +1,486 @@
+//! The equational theory of System F_J (Fig. 4 of the paper), as explicit
+//! single-step rewrites.
+//!
+//! The Simplifier ([`crate::simplify`]) applies these rules wholesale via
+//! its continuation-threading traversal; this module exposes them one at a
+//! time, in the paper's vocabulary, so the metatheory tests can check each
+//! axiom's observational soundness (Prop. 3) directly against the abstract
+//! machine, and so readers can match code to figure line by line.
+//!
+//! Each function returns `Some(rewritten)` when its left-hand side matches
+//! and the side conditions hold, `None` otherwise.
+
+use fj_ast::{
+    free_labels, free_vars, subst_terms, subst_tys_in_expr, Alt, Binder, Expr, JoinBind,
+    LetBind, Name, NameSupply, Type,
+};
+
+/// One evaluation-context frame `F` (Fig. 1): the shapes an `E` is built
+/// from, minus `join` frames (handled by [`jfloat`] itself).
+#[derive(Clone, Debug)]
+pub enum EFrame {
+    /// `□ e` — applied function.
+    AppArg(Expr),
+    /// `□ τ` — instantiated polymorphism.
+    TyArg(Type),
+    /// `case □ of alts` — case scrutinee.
+    Case(Vec<Alt>),
+}
+
+impl EFrame {
+    /// Plug an expression into the frame's hole.
+    pub fn plug(&self, e: Expr) -> Expr {
+        match self {
+            EFrame::AppArg(a) => Expr::app(e, a.clone()),
+            EFrame::TyArg(t) => Expr::ty_app(e, t.clone()),
+            EFrame::Case(alts) => Expr::case(e, alts.clone()),
+        }
+    }
+}
+
+/// `(λx:σ.e) v = let x:σ = v in e` (β).
+pub fn beta(e: &Expr) -> Option<Expr> {
+    match e {
+        Expr::App(f, arg) => match &**f {
+            Expr::Lam(b, body) => Some(Expr::let1(b.clone(), (**arg).clone(), (**body).clone())),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// `(Λa.e) φ = e{φ/a}` (β_τ).
+pub fn beta_ty(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
+    match e {
+        Expr::TyApp(f, phi) => match &**f {
+            Expr::TyLam(a, body) => Some(subst_tys_in_expr(
+                body,
+                [(a.clone(), phi.clone())],
+                supply,
+            )),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// `case K φ⃗ v⃗ of … K x⃗ → e … = let x⃗ = v⃗ in e` (case).
+///
+/// Falls back to the default alternative when no constructor alternative
+/// matches.
+pub fn case_con(e: &Expr) -> Option<Expr> {
+    let Expr::Case(scrut, alts) = e else { return None };
+    let (con, args): (&fj_ast::Ident, &[Expr]) = match &**scrut {
+        Expr::Con(c, _, args) => (c, args),
+        _ => return None,
+    };
+    let alt = alts
+        .iter()
+        .find(|a| matches!(&a.con, fj_ast::AltCon::Con(c2) if c2 == con))
+        .or_else(|| alts.iter().find(|a| a.con == fj_ast::AltCon::Default))?;
+    let mut rhs = alt.rhs.clone();
+    for (b, v) in alt.binders.iter().zip(args).rev() {
+        rhs = Expr::let1(b.clone(), v.clone(), rhs);
+    }
+    Some(rhs)
+}
+
+/// `let x = v in C[x] = let x = v in C[v]` (inline), applied exhaustively
+/// to all occurrences. Only values and atoms are substitutable (the
+/// paper's "notion of what is substitutable" for call-by-name).
+pub fn inline(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
+    let Expr::Let(LetBind::NonRec(b, rhs), body) = e else { return None };
+    if !(rhs.is_answer() || rhs.is_atom()) {
+        return None;
+    }
+    let body2 = subst_terms(body, [(b.name.clone(), (**rhs).clone())], supply);
+    Some(Expr::Let(
+        LetBind::NonRec(b.clone(), rhs.clone()),
+        Box::new(body2),
+    ))
+}
+
+/// `let vb in e = e` when nothing bound occurs free in `e` (drop).
+pub fn drop_dead(e: &Expr) -> Option<Expr> {
+    let Expr::Let(bind, body) = e else { return None };
+    let fv = free_vars(body);
+    if bind.binders().iter().any(|b| fv.contains(&b.name)) {
+        return None;
+    }
+    Some((**body).clone())
+}
+
+/// `join jb in e = e` when no bound label occurs free in `e` (jdrop).
+pub fn jdrop(e: &Expr) -> Option<Expr> {
+    let Expr::Join(jb, body) = e else { return None };
+    let fl = free_labels(body);
+    if jb.labels().iter().any(|l| fl.contains(*l)) {
+        return None;
+    }
+    Some((**body).clone())
+}
+
+/// Inline a non-recursive join point at a *tail* jump:
+/// `join j a⃗ x⃗ = u in L[…, jump j φ⃗ v⃗ τ, …]`
+/// `= join j a⃗ x⃗ = u in L[…, let x⃗ = v⃗ in u{φ⃗/a⃗}, …]` (jinline).
+///
+/// This function rewrites **every** tail jump to `j` in the body; jumps in
+/// non-tail positions (where the `jinline` axiom does not apply) are left
+/// alone, so the rewrite is always sound.
+pub fn jinline(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
+    let Expr::Join(JoinBind::NonRec(def), body) = e else { return None };
+    let mut changed = false;
+    let new_body = rewrite_tail_jumps(body, &def.name, supply, &mut changed, &|sup, tys, args| {
+        let mut u = def.body.clone();
+        u = subst_tys_in_expr(
+            &u,
+            def.ty_params.iter().cloned().zip(tys.iter().cloned()),
+            sup,
+        );
+        let pairs: Vec<(Binder, Expr)> = def
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().cloned())
+            .collect();
+        for (b, v) in pairs.into_iter().rev() {
+            u = Expr::let1(b, v, u);
+        }
+        u
+    });
+    if changed {
+        Some(Expr::Join(JoinBind::NonRec(def.clone()), Box::new(new_body)))
+    } else {
+        None
+    }
+}
+
+type JumpRewrite<'a> = &'a dyn Fn(&mut NameSupply, &[Type], &[Expr]) -> Expr;
+
+/// Walk the *tail contexts* of `e` (Fig. 1's `L`), rewriting tail jumps to
+/// `target`.
+fn rewrite_tail_jumps(
+    e: &Expr,
+    target: &Name,
+    supply: &mut NameSupply,
+    changed: &mut bool,
+    mk: JumpRewrite<'_>,
+) -> Expr {
+    match e {
+        Expr::Jump(j, tys, args, _) if j == target => {
+            *changed = true;
+            // Freshen the inlined copy to preserve unique binders.
+            fj_ast::freshen(&mk(supply, tys, args), supply)
+        }
+        Expr::Case(s, alts) => Expr::case(
+            (**s).clone(),
+            alts.iter()
+                .map(|a| Alt {
+                    con: a.con.clone(),
+                    binders: a.binders.clone(),
+                    rhs: rewrite_tail_jumps(&a.rhs, target, supply, changed, mk),
+                })
+                .collect(),
+        ),
+        Expr::Let(bind, body) => Expr::Let(
+            bind.clone(),
+            Box::new(rewrite_tail_jumps(body, target, supply, changed, mk)),
+        ),
+        Expr::Join(jb, body) => {
+            // Join RHSs and the body are both tail contexts (Fig. 1).
+            // Shadowing cannot occur: binders are globally unique.
+            let mut jb2 = jb.clone();
+            for d in jb2.defs_mut() {
+                d.body = rewrite_tail_jumps(&d.body, target, supply, changed, mk);
+            }
+            Expr::Join(
+                jb2,
+                Box::new(rewrite_tail_jumps(body, target, supply, changed, mk)),
+            )
+        }
+        other => other.clone(),
+    }
+}
+
+/// `E[let vb in e] = let vb in E[e]` (float), one frame at a time.
+pub fn float(frame: &EFrame, e: &Expr) -> Option<Expr> {
+    let Expr::Let(bind, body) = e else { return None };
+    Some(Expr::Let(bind.clone(), Box::new(frame.plug((**body).clone()))))
+}
+
+/// `E[case e of K x⃗ → u⃗] = case e of K x⃗ → E[u⃗]` (casefloat).
+pub fn casefloat(frame: &EFrame, e: &Expr) -> Option<Expr> {
+    let Expr::Case(s, alts) = e else { return None };
+    Some(Expr::case(
+        (**s).clone(),
+        alts.iter()
+            .map(|a| Alt {
+                con: a.con.clone(),
+                binders: a.binders.clone(),
+                rhs: frame.plug(a.rhs.clone()),
+            })
+            .collect(),
+    ))
+}
+
+/// `E[join jb in e] = join E[jb] in E[e]` (jfloat) — the novel axiom.
+///
+/// `E[jb]` pushes the context into every right-hand side:
+/// `E[j a⃗ x⃗ = u] ≜ j a⃗ x⃗ = E[u]`.
+pub fn jfloat(frame: &EFrame, e: &Expr) -> Option<Expr> {
+    let Expr::Join(jb, body) = e else { return None };
+    let mut jb2 = jb.clone();
+    for d in jb2.defs_mut() {
+        d.body = frame.plug(d.body.clone());
+    }
+    Some(Expr::Join(jb2, Box::new(frame.plug((**body).clone()))))
+}
+
+/// `E[jump j φ⃗ e⃗ τ] : τ' = jump j φ⃗ e⃗ τ'` (abort): a jump discards its
+/// context; only the result-type annotation needs retargeting.
+pub fn abort(frame: &EFrame, e: &Expr, new_ty: Type) -> Option<Expr> {
+    let _ = frame;
+    let Expr::Jump(j, tys, args, _) = e else { return None };
+    Some(Expr::Jump(j.clone(), tys.clone(), args.clone(), new_ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_ast::{alpha_eq, Dsl, JoinDef, PrimOp};
+    use fj_eval::{run_int, EvalMode};
+
+    const FUEL: u64 = 100_000;
+
+    /// Observational soundness on closed Int programs: both sides of a
+    /// rewrite evaluate to the same integer (Prop. 3, test-sized).
+    fn assert_obs_eq(before: &Expr, after: &Expr) {
+        for mode in [EvalMode::CallByName, EvalMode::CallByNeed, EvalMode::CallByValue] {
+            let a = run_int(before, mode, FUEL).unwrap();
+            let b = run_int(after, mode, FUEL).unwrap();
+            assert_eq!(a, b, "{mode:?}:\nbefore:\n{before}\nafter:\n{after}");
+        }
+    }
+
+    #[test]
+    fn beta_makes_let() {
+        let mut d = Dsl::new();
+        let x = d.binder("x", Type::Int);
+        let e = Expr::app(
+            Expr::lam(x.clone(), Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1))),
+            Expr::Lit(41),
+        );
+        let r = beta(&e).expect("β applies");
+        assert!(matches!(r, Expr::Let(..)));
+        assert_obs_eq(&e, &r);
+    }
+
+    #[test]
+    fn beta_ty_substitutes() {
+        let mut d = Dsl::new();
+        let a = d.name("a");
+        let x = Binder::new(d.name("x"), Type::Var(a.clone()));
+        let e = Expr::ty_app(
+            Expr::ty_lam(a, Expr::lam(x.clone(), Expr::var(&x.name))),
+            Type::Int,
+        );
+        let r = beta_ty(&e, &mut d.supply).expect("β_τ applies");
+        match &r {
+            Expr::Lam(b, _) => assert_eq!(b.ty, Type::Int),
+            other => panic!("expected lambda, got {other}"),
+        }
+    }
+
+    #[test]
+    fn case_con_selects_alt() {
+        let mut d = Dsl::new();
+        let scrut = d.just(Type::Int, Expr::Lit(5));
+        let e = d.case_maybe(Type::Int, scrut, Expr::Lit(0), |_, x| {
+            Expr::prim2(PrimOp::Add, Expr::var(x), Expr::Lit(1))
+        });
+        let r = case_con(&e).expect("case applies");
+        assert_obs_eq(&e, &r);
+        assert_eq!(run_int(&r, EvalMode::CallByName, FUEL).unwrap(), 6);
+    }
+
+    #[test]
+    fn case_con_falls_to_default() {
+        let d = Dsl::new();
+        let e = Expr::case(
+            d.nothing(Type::Int),
+            vec![
+                fj_ast::Alt::simple(fj_ast::AltCon::Con("Just".into()), Expr::Lit(1)),
+                fj_ast::Alt::simple(fj_ast::AltCon::Default, Expr::Lit(7)),
+            ],
+        );
+        let r = case_con(&e).expect("default applies");
+        assert_eq!(run_int(&r, EvalMode::CallByName, FUEL).unwrap(), 7);
+    }
+
+    #[test]
+    fn inline_substitutes_values() {
+        let mut d = Dsl::new();
+        let x = d.binder("x", Type::Int);
+        let e = Expr::let1(
+            x.clone(),
+            Expr::Lit(5),
+            Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::var(&x.name)),
+        );
+        let r = inline(&e, &mut d.supply).expect("inline applies");
+        assert_obs_eq(&e, &r);
+        // After inlining, the binding is dead and droppable.
+        let dropped = drop_dead(&r).expect("drop applies");
+        assert_eq!(run_int(&dropped, EvalMode::CallByName, FUEL).unwrap(), 10);
+    }
+
+    #[test]
+    fn drop_requires_dead() {
+        let mut d = Dsl::new();
+        let x = d.binder("x", Type::Int);
+        let live = Expr::let1(x.clone(), Expr::Lit(5), Expr::var(&x.name));
+        assert!(drop_dead(&live).is_none());
+    }
+
+    #[test]
+    fn jdrop_requires_dead_label() {
+        let mut d = Dsl::new();
+        let j = d.name("j");
+        let dead = Expr::join1(
+            JoinDef { name: j.clone(), ty_params: vec![], params: vec![], body: Expr::Lit(1) },
+            Expr::Lit(42),
+        );
+        assert_eq!(jdrop(&dead), Some(Expr::Lit(42)));
+        let live = Expr::join1(
+            JoinDef { name: j.clone(), ty_params: vec![], params: vec![], body: Expr::Lit(1) },
+            Expr::jump(&j, vec![], vec![], Type::Int),
+        );
+        assert!(jdrop(&live).is_none());
+    }
+
+    #[test]
+    fn jinline_rewrites_tail_jumps_only() {
+        let mut d = Dsl::new();
+        let j = d.name("j");
+        let x = d.binder("x", Type::Int);
+        // join j x = x + 1 in if True then jump j 1 else jump j 2
+        let e = Expr::join1(
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![x.clone()],
+                body: Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1)),
+            },
+            Expr::ite(
+                Expr::bool(true),
+                Expr::jump(&j, vec![], vec![Expr::Lit(1)], Type::Int),
+                Expr::jump(&j, vec![], vec![Expr::Lit(2)], Type::Int),
+            ),
+        );
+        let r = jinline(&e, &mut d.supply).expect("jinline applies");
+        assert_obs_eq(&e, &r);
+        // All jumps gone: the join is now dead.
+        let dropped = jdrop(&r).expect("dead after exhaustive jinline");
+        assert_eq!(run_int(&dropped, EvalMode::CallByName, FUEL).unwrap(), 2);
+    }
+
+    #[test]
+    fn jinline_leaves_non_tail_jump() {
+        let mut d = Dsl::new();
+        let j = d.name("j");
+        let x = d.binder("x", Type::Int);
+        // join j x = x in (jump j 2 (Int -> Int)) 3 — the paper's example
+        // where naive inlining would be ill-typed.
+        let e = Expr::join1(
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![x.clone()],
+                body: Expr::var(&x.name),
+            },
+            Expr::app(
+                Expr::jump(&j, vec![], vec![Expr::Lit(2)], Type::fun(Type::Int, Type::Int)),
+                Expr::Lit(3),
+            ),
+        );
+        assert!(jinline(&e, &mut d.supply).is_none(), "non-tail jump must not inline");
+    }
+
+    #[test]
+    fn float_and_casefloat_sound() {
+        let mut d = Dsl::new();
+        let x = d.binder("x", Type::Int);
+        // E = case □ of {1 -> 10; _ -> 20},  e = let x = 1 in x
+        let frame = EFrame::Case(vec![
+            fj_ast::Alt::simple(fj_ast::AltCon::Lit(1), Expr::Lit(10)),
+            fj_ast::Alt::simple(fj_ast::AltCon::Default, Expr::Lit(20)),
+        ]);
+        let let_e = Expr::let1(x.clone(), Expr::Lit(1), Expr::var(&x.name));
+        let before = frame.plug(let_e.clone());
+        let after = float(&frame, &let_e).expect("float applies");
+        assert_obs_eq(&before, &after);
+
+        let case_e = Expr::ite(Expr::bool(true), Expr::Lit(1), Expr::Lit(2));
+        let before2 = frame.plug(case_e.clone());
+        let after2 = casefloat(&frame, &case_e).expect("casefloat applies");
+        assert_obs_eq(&before2, &after2);
+    }
+
+    #[test]
+    fn jfloat_moves_context_into_join() {
+        let mut d = Dsl::new();
+        let j = d.name("j");
+        let x = d.binder("x", Type::Int);
+        // join j x = x * 2 in if True then jump j 3 else 5, wrapped in
+        // E = □ + nothing…  use E = case □ of {6 -> 60; _ -> 0}.
+        let join_e = Expr::join1(
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![x.clone()],
+                body: Expr::prim2(PrimOp::Mul, Expr::var(&x.name), Expr::Lit(2)),
+            },
+            Expr::ite(
+                Expr::bool(true),
+                Expr::jump(&j, vec![], vec![Expr::Lit(3)], Type::Int),
+                Expr::Lit(5),
+            ),
+        );
+        let frame = EFrame::Case(vec![
+            fj_ast::Alt::simple(fj_ast::AltCon::Lit(6), Expr::Lit(60)),
+            fj_ast::Alt::simple(fj_ast::AltCon::Default, Expr::Lit(0)),
+        ]);
+        let before = frame.plug(join_e.clone());
+        let after = jfloat(&frame, &join_e).expect("jfloat applies");
+        assert_obs_eq(&before, &after);
+        // After jfloat the case went into the RHS and body; the jump branch
+        // still jumps, so applying `abort` inside the body branch keeps it
+        // well-formed (exercised via the machine above).
+        match &after {
+            Expr::Join(jb, _) => {
+                assert!(matches!(&jb.defs()[0].body, Expr::Case(..)));
+            }
+            other => panic!("expected join, got {other}"),
+        }
+        assert_eq!(run_int(&before, EvalMode::CallByName, FUEL).unwrap(), 60);
+    }
+
+    #[test]
+    fn abort_retargets_annotation() {
+        let mut d = Dsl::new();
+        let j = d.name("j");
+        let e = Expr::jump(&j, vec![], vec![Expr::Lit(1)], Type::fun(Type::Int, Type::Int));
+        let frame = EFrame::AppArg(Expr::Lit(3));
+        let r = abort(&frame, &e, Type::Int).expect("abort applies");
+        match r {
+            Expr::Jump(_, _, _, t) => assert_eq!(t, Type::Int),
+            other => panic!("expected jump, got {other}"),
+        }
+    }
+
+    #[test]
+    fn alpha_eq_smoke_for_rewrites() {
+        // Sanity: rewrites that should be identity-like compose with α-eq.
+        let e = Expr::Lit(1);
+        assert!(alpha_eq(&e, &e));
+    }
+}

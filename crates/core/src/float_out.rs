@@ -1,0 +1,203 @@
+//! The Float Out pass: move `let` bindings outward (let-floating).
+//!
+//! A simplified rendition of GHC's full-laziness transform [Peyton Jones,
+//! Partain & Santos 1996]: a `let` binding whose right-hand side does not
+//! mention the enclosing lambda's binder is hoisted above the lambda, so
+//! it is allocated once instead of once per call.
+//!
+//! Per the paper's Sec. 7 notes, **`join` bindings are left alone**:
+//! "Moving a join binding outwards … risks destroying the join point, so
+//! we modified Float Out to leave join bindings alone in most cases."
+//! This pass therefore only ever moves `let`s, and never moves one out of
+//! a join body (which could turn a tail call shape into a captured one).
+
+use fj_ast::{free_vars, Alt, Binder, Expr, LetBind};
+
+/// Apply Float Out over a whole term.
+pub fn float_out(e: &Expr) -> Expr {
+    match e {
+        Expr::Var(_) | Expr::Lit(_) => e.clone(),
+        Expr::Prim(op, args) => Expr::Prim(*op, args.iter().map(float_out).collect()),
+        Expr::Con(c, tys, args) => {
+            Expr::Con(c.clone(), tys.clone(), args.iter().map(float_out).collect())
+        }
+        Expr::Lam(b, body) => {
+            let body2 = float_out(body);
+            let (floated, rest) = split_floatable(body2, b);
+            let mut result = Expr::lam(b.clone(), rest);
+            for (fb, rhs) in floated.into_iter().rev() {
+                result = Expr::let1(fb, rhs, result);
+            }
+            result
+        }
+        Expr::TyLam(a, body) => Expr::ty_lam(a.clone(), float_out(body)),
+        Expr::App(f, a) => Expr::app(float_out(f), float_out(a)),
+        Expr::TyApp(f, t) => Expr::ty_app(float_out(f), t.clone()),
+        Expr::Case(s, alts) => Expr::case(
+            float_out(s),
+            alts.iter()
+                .map(|a| Alt {
+                    con: a.con.clone(),
+                    binders: a.binders.clone(),
+                    rhs: float_out(&a.rhs),
+                })
+                .collect(),
+        ),
+        Expr::Let(bind, body) => {
+            let bind2 = match bind {
+                LetBind::NonRec(b, rhs) => {
+                    LetBind::NonRec(b.clone(), Box::new(float_out(rhs)))
+                }
+                LetBind::Rec(binds) => LetBind::Rec(
+                    binds.iter().map(|(b, rhs)| (b.clone(), float_out(rhs))).collect(),
+                ),
+            };
+            Expr::Let(bind2, Box::new(float_out(body)))
+        }
+        Expr::Join(jb, body) => {
+            // Join bindings are never moved; recurse inside only.
+            let mut jb2 = jb.clone();
+            for d in jb2.defs_mut() {
+                d.body = float_out(&d.body);
+            }
+            Expr::Join(jb2, Box::new(float_out(body)))
+        }
+        Expr::Jump(j, tys, args, res) => Expr::Jump(
+            j.clone(),
+            tys.clone(),
+            args.iter().map(float_out).collect(),
+            res.clone(),
+        ),
+    }
+}
+
+/// Peel leading non-recursive `let`s off a lambda body when their RHS
+/// doesn't use the lambda binder; return (hoisted bindings, rest).
+fn split_floatable(body: Expr, lam_binder: &Binder) -> (Vec<(Binder, Expr)>, Expr) {
+    let mut floated = Vec::new();
+    let mut cur = body;
+    loop {
+        match cur {
+            Expr::Let(LetBind::NonRec(b, rhs), inner)
+                if !free_vars(&rhs).contains(&lam_binder.name) =>
+            {
+                floated.push((b, *rhs));
+                cur = *inner;
+            }
+            other => return (floated, other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_ast::{Dsl, PrimOp, Type};
+    use fj_eval::{run, run_int, EvalMode};
+
+    #[test]
+    fn hoists_invariant_binding_out_of_lambda() {
+        let mut d = Dsl::new();
+        let x = d.binder("x", Type::Int);
+        let k = d.binder("k", Type::Int);
+        // \x. let k = 1 + 2 in x + k   ⇒   let k = 1 + 2 in \x. x + k
+        let e = Expr::lam(
+            x.clone(),
+            Expr::let1(
+                k.clone(),
+                Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2)),
+                Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::var(&k.name)),
+            ),
+        );
+        let r = float_out(&e);
+        assert!(matches!(r, Expr::Let(..)), "binding must hoist:\n{r}");
+        let apply = Expr::app(r, Expr::Lit(10));
+        assert_eq!(run_int(&apply, EvalMode::CallByName, 10_000).unwrap(), 13);
+    }
+
+    #[test]
+    fn keeps_dependent_binding_inside() {
+        let mut d = Dsl::new();
+        let x = d.binder("x", Type::Int);
+        let k = d.binder("k", Type::Int);
+        let e = Expr::lam(
+            x.clone(),
+            Expr::let1(
+                k.clone(),
+                Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(2)),
+                Expr::var(&k.name),
+            ),
+        );
+        let r = float_out(&e);
+        assert!(matches!(r, Expr::Lam(..)), "dependent binding must stay:\n{r}");
+    }
+
+    #[test]
+    fn join_bindings_never_move() {
+        let mut d = Dsl::new();
+        let env = d.data_env.clone();
+        let e = d.joinrec_loop(
+            "go",
+            vec![("n", Type::Int)],
+            |_, go, ps| {
+                Expr::ite(
+                    Expr::prim2(PrimOp::Le, Expr::var(&ps[0]), Expr::Lit(0)),
+                    Expr::Lit(0),
+                    Expr::jump(
+                        go,
+                        vec![],
+                        vec![Expr::prim2(PrimOp::Sub, Expr::var(&ps[0]), Expr::Lit(1))],
+                        Type::Int,
+                    ),
+                )
+            },
+            |_, go| Expr::jump(go, vec![], vec![Expr::Lit(5)], Type::Int),
+        );
+        let r = float_out(&e);
+        assert!(matches!(r, Expr::Join(..)));
+        assert!(fj_check::lint(&r, &env).is_ok());
+        assert_eq!(
+            run(&r, EvalMode::CallByValue, 10_000).unwrap().metrics.total_allocs(),
+            0
+        );
+    }
+
+    #[test]
+    fn hoist_reduces_per_call_allocation() {
+        let mut d = Dsl::new();
+        let f = d.binder("f", Type::fun(Type::Int, Type::Int));
+        let x = d.binder("x", Type::Int);
+        let k = d.binder("k", Type::fun(Type::Int, Type::Int));
+        let y = d.binder("y", Type::Int);
+        // let f = \x. let k = \y. y + 1 in k x in f 1 + f 2
+        let e = Expr::let1(
+            f.clone(),
+            Expr::lam(
+                x.clone(),
+                Expr::let1(
+                    k.clone(),
+                    Expr::lam(
+                        y.clone(),
+                        Expr::prim2(PrimOp::Add, Expr::var(&y.name), Expr::Lit(1)),
+                    ),
+                    Expr::app(Expr::var(&k.name), Expr::var(&x.name)),
+                ),
+            ),
+            Expr::prim2(
+                PrimOp::Add,
+                Expr::app(Expr::var(&f.name), Expr::Lit(1)),
+                Expr::app(Expr::var(&f.name), Expr::Lit(2)),
+            ),
+        );
+        let r = float_out(&e);
+        let before = run(&e, EvalMode::CallByValue, 100_000).unwrap();
+        let after = run(&r, EvalMode::CallByValue, 100_000).unwrap();
+        assert_eq!(before.value, after.value);
+        assert!(
+            after.metrics.total_allocs() < before.metrics.total_allocs(),
+            "hoisting should save the per-call closure: {} vs {}",
+            after.metrics,
+            before.metrics
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The optimization pipeline: pass ordering, presets, and Lint-between-
+//! passes (paper Sec. 7).
+//!
+//! Two presets reproduce the paper's experimental conditions:
+//!
+//! * [`OptConfig::join_points`] — the paper's compiler: Float In exposes
+//!   tail calls, contification turns them into `join`s, and the
+//!   simplifier *preserves and exploits* them (`jfloat`/`abort`).
+//! * [`OptConfig::baseline`] — GHC before the paper: the optimizer never
+//!   creates or exploits join points (shared contexts become `let`-bound
+//!   functions), and contification runs only **once, at the very end** —
+//!   modelling the back end that "already recognises join points … and
+//!   compiles them efficiently" but cannot stop earlier passes from
+//!   destroying the opportunities.
+
+use crate::contify::contify;
+use crate::cse::cse;
+use crate::float_in::float_in;
+use crate::float_out::float_out;
+use crate::simplify::{simplify_once, SimplOpts};
+use crate::OptError;
+use fj_ast::{DataEnv, Expr, NameSupply};
+use fj_check::lint;
+
+/// One pipeline pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pass {
+    /// One simplifier round (β, case-of-case, inlining, jfloat, abort, …).
+    Simplify,
+    /// Contification: infer join points from tail-called `let`s.
+    Contify,
+    /// Float `let` bindings inward.
+    FloatIn,
+    /// Float `let` bindings outward past lambdas.
+    FloatOut,
+    /// Common-subexpression elimination (Sec. 8's direct-style example).
+    Cse,
+}
+
+impl Pass {
+    fn name(self) -> &'static str {
+        match self {
+            Pass::Simplify => "simplify",
+            Pass::Contify => "contify",
+            Pass::FloatIn => "float-in",
+            Pass::FloatOut => "float-out",
+            Pass::Cse => "cse",
+        }
+    }
+}
+
+/// A pipeline: the pass list plus simplifier options.
+#[derive(Clone, Debug)]
+pub struct OptConfig {
+    /// Passes, in order.
+    pub passes: Vec<Pass>,
+    /// Simplifier tuning (including the join-points switch).
+    pub simpl: SimplOpts,
+    /// Lint after every pass, failing fast with the pass name.
+    pub lint_between: bool,
+}
+
+impl OptConfig {
+    /// The paper's full pipeline with join points preserved and exploited.
+    pub fn join_points() -> Self {
+        let round = [Pass::FloatIn, Pass::Contify, Pass::Simplify];
+        let mut passes = Vec::new();
+        for _ in 0..3 {
+            passes.extend_from_slice(&round);
+        }
+        passes.push(Pass::FloatOut);
+        passes.extend_from_slice(&round);
+        OptConfig {
+            passes,
+            simpl: SimplOpts::default(),
+            lint_between: cfg!(debug_assertions),
+        }
+    }
+
+    /// GHC-before-the-paper: join-unaware optimization, with join points
+    /// recognized only at "code generation" (the trailing contify).
+    pub fn baseline() -> Self {
+        let mut passes = vec![
+            Pass::FloatIn,
+            Pass::Simplify,
+            Pass::FloatIn,
+            Pass::Simplify,
+            Pass::FloatOut,
+            Pass::FloatIn,
+            Pass::Simplify,
+        ];
+        passes.push(Pass::Contify); // back-end join detection only
+        OptConfig {
+            passes,
+            simpl: SimplOpts::baseline(),
+            lint_between: cfg!(debug_assertions),
+        }
+    }
+
+    /// No optimization at all (still contifies once, as every back end
+    /// including the baseline does).
+    pub fn none() -> Self {
+        OptConfig {
+            passes: vec![Pass::Contify],
+            simpl: SimplOpts::baseline(),
+            lint_between: cfg!(debug_assertions),
+        }
+    }
+
+    /// The join-points pipeline with a CSE round before the final
+    /// simplification (the Sec. 8 direct-style bonus pass).
+    pub fn join_points_with_cse() -> Self {
+        let mut cfg = Self::join_points();
+        let at = cfg.passes.len().saturating_sub(3);
+        cfg.passes.insert(at, Pass::Cse);
+        cfg
+    }
+
+    /// Ablation helper: the join-points pipeline minus one ingredient.
+    pub fn join_points_without(pass: Pass) -> Self {
+        let mut cfg = Self::join_points();
+        cfg.passes.retain(|p| *p != pass);
+        cfg
+    }
+
+    /// Toggle lint-between-passes.
+    pub fn with_lint(mut self, on: bool) -> Self {
+        self.lint_between = on;
+        self
+    }
+}
+
+/// What the pipeline did, for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct OptStats {
+    /// Names of the passes that ran, in order.
+    pub passes_run: Vec<&'static str>,
+    /// Term size before optimization.
+    pub size_before: usize,
+    /// Term size after optimization.
+    pub size_after: usize,
+}
+
+/// Run a pipeline over a closed, well-typed term.
+///
+/// # Errors
+///
+/// Returns [`OptError`] on a pass failure, or
+/// [`OptError::LintAfterPass`] when `lint_between` is on and a pass broke
+/// the typing discipline (the paper's "forensic" use of Core Lint).
+pub fn optimize(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    cfg: &OptConfig,
+) -> Result<Expr, OptError> {
+    optimize_with_stats(e, data_env, supply, cfg).map(|(e, _)| e)
+}
+
+/// As [`optimize`], also returning [`OptStats`].
+///
+/// # Errors
+///
+/// As [`optimize`].
+pub fn optimize_with_stats(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    cfg: &OptConfig,
+) -> Result<(Expr, OptStats), OptError> {
+    let mut stats = OptStats {
+        size_before: e.size(),
+        ..OptStats::default()
+    };
+    let mut cur = e.clone();
+    for pass in &cfg.passes {
+        cur = match pass {
+            Pass::Simplify => simplify_once(&cur, data_env, supply, &cfg.simpl)?,
+            Pass::Contify => contify(&cur, data_env)?,
+            Pass::FloatIn => float_in(&cur),
+            Pass::FloatOut => float_out(&cur),
+            Pass::Cse => cse(&cur, supply).expr,
+        };
+        stats.passes_run.push(pass.name());
+        if cfg.lint_between {
+            if let Err(err) = lint(&cur, data_env) {
+                return Err(OptError::LintAfterPass {
+                    pass: pass.name(),
+                    error: Box::new(err),
+                    dump: cur.to_string(),
+                });
+            }
+        }
+    }
+    stats.size_after = cur.size();
+    Ok((cur, stats))
+}

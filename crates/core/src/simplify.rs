@@ -1,0 +1,804 @@
+//! The Simplifier — GHC's workhorse pass, for System F_J.
+//!
+//! Like GHC's simplifier (paper Sec. 7), this is "a tail-recursive
+//! traversal that builds up a representation of the evaluation context as
+//! it goes": [`Cont`] is the reified context `E`. The paper's axioms map
+//! onto the traversal as follows:
+//!
+//! * `β`, `β_τ`, `case` — a lambda/type-lambda/constructor meeting the
+//!   matching continuation reduces on the spot;
+//! * `inline`/`drop` — occurrence-directed inlining of `let` bindings;
+//! * `float`/`casefloat` — the pending continuation is pushed into `let`
+//!   bodies and duplicated into `case` branches (with a fresh **join
+//!   point** shared between branches when the context is too big to copy —
+//!   footnote 5: "the Simplifier regularly creates join points to share
+//!   evaluation contexts");
+//! * **`jfloat`** — "when traversing a join-point binding, copy the
+//!   evaluation context into the right-hand side";
+//! * **`abort`** — "when traversing a jump, throw away the evaluation
+//!   context";
+//! * `jinline`/`jdrop` — once-used or tiny join points are inlined at
+//!   their jumps and dead ones dropped.
+//!
+//! ## Semantics note
+//!
+//! Dead-code elimination (`drop`) follows the paper's lazy semantics: a
+//! dead binding is removed even if its right-hand side would diverge.
+//! Under the machine's call-by-value mode this can turn a diverging
+//! program into a terminating one (never the reverse); all benchmarks
+//! and tests in this repository are total, so the modes agree.
+//!
+//! ## Baseline mode
+//!
+//! With [`SimplOpts::join_points`] off the simplifier models GHC *before*
+//! the paper: shared contexts become ordinary `let`-bound functions (which
+//! the back end must heap-allocate), and a pending context is **not**
+//! pushed into `join` bindings — reproducing exactly the "destroyed join
+//! point" de-optimization of Sec. 2.
+
+use crate::occur::{analyze, OccCount, OccMap};
+use crate::OptError;
+use fj_ast::{
+    alpha_fingerprint, free_labels, Alt, AltCon, Binder, DataEnv, Expr, JoinBind, JoinDef,
+    LetBind, Name, NameSupply, PrimResult, Type,
+};
+use fj_check::{type_of, Gamma};
+use std::collections::HashMap;
+
+/// Tuning knobs for the simplifier.
+#[derive(Clone, Debug)]
+pub struct SimplOpts {
+    /// Exploit join points (`jfloat`/`abort`, join-point context sharing).
+    /// Off = the paper's baseline compiler.
+    pub join_points: bool,
+    /// Inline multi-use value bindings up to this size.
+    pub inline_size: usize,
+    /// Duplicate a continuation into case branches up to this size;
+    /// bigger contexts are shared through a fresh join point (or a
+    /// `let`-bound function in baseline mode).
+    pub dup_size: usize,
+    /// Maximum simplifier rounds before settling.
+    pub max_rounds: usize,
+}
+
+impl Default for SimplOpts {
+    fn default() -> Self {
+        SimplOpts { join_points: true, inline_size: 24, dup_size: 18, max_rounds: 6 }
+    }
+}
+
+impl SimplOpts {
+    /// The paper's baseline: joins treated like lets, contexts shared via
+    /// `let`-bound functions.
+    pub fn baseline() -> Self {
+        SimplOpts { join_points: false, ..SimplOpts::default() }
+    }
+}
+
+/// One simplifier round.
+///
+/// # Errors
+///
+/// Returns [`OptError`] if the input is ill-typed in a way the traversal
+/// trips over (run the linter first for a precise report).
+pub fn simplify_once(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    opts: &SimplOpts,
+) -> Result<Expr, OptError> {
+    let occ = analyze(e);
+    let mut s = Simplifier {
+        data_env,
+        supply,
+        opts,
+        occ,
+        types: HashMap::new(),
+        subst: HashMap::new(),
+        join_inline: HashMap::new(),
+        changed: false,
+    };
+    s.simpl(e, Cont::Stop)
+}
+
+/// Run simplifier rounds until the term stops changing (α-fingerprint) or
+/// `opts.max_rounds` is hit.
+///
+/// # Errors
+///
+/// As [`simplify_once`].
+pub fn simplify(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    opts: &SimplOpts,
+) -> Result<Expr, OptError> {
+    let mut cur = e.clone();
+    let mut fp = alpha_fingerprint(&cur);
+    for _ in 0..opts.max_rounds {
+        let next = simplify_once(&cur, data_env, supply, opts)?;
+        let nfp = alpha_fingerprint(&next);
+        cur = next;
+        if nfp == fp {
+            break;
+        }
+        fp = nfp;
+    }
+    Ok(cur)
+}
+
+/// The reified evaluation context `E`, innermost frame first.
+#[derive(Clone, Debug)]
+enum Cont {
+    /// `□` — nothing pending.
+    Stop,
+    /// `□ arg` (argument already simplified).
+    ApplyTo(Expr, Box<Cont>),
+    /// `□ τ`.
+    ApplyToTy(Type, Box<Cont>),
+    /// `case □ of alts` (alternatives not yet simplified).
+    Select(Vec<Alt>, Box<Cont>),
+}
+
+impl Cont {
+    fn is_stop(&self) -> bool {
+        matches!(self, Cont::Stop)
+    }
+
+    /// Syntactic weight, for duplication decisions.
+    fn size(&self) -> usize {
+        match self {
+            Cont::Stop => 0,
+            Cont::ApplyTo(e, r) => e.size() + r.size(),
+            Cont::ApplyToTy(_, r) => 1 + r.size(),
+            Cont::Select(alts, r) => {
+                alts.iter().map(|a| a.rhs.size() + 1).sum::<usize>() + r.size()
+            }
+        }
+    }
+}
+
+/// Shared-context bindings produced by `mk_dupable`, to wrap around the
+/// expression whose branches now invoke them.
+enum Wrapper {
+    Join(JoinDef),
+    Let(Binder, Expr),
+}
+
+fn wrap_all(wrappers: Vec<Wrapper>, e: Expr) -> Expr {
+    wrappers.into_iter().rev().fold(e, |acc, w| match w {
+        Wrapper::Join(def) => Expr::join1(def, acc),
+        Wrapper::Let(b, rhs) => Expr::let1(b, rhs, acc),
+    })
+}
+
+struct Simplifier<'a> {
+    data_env: &'a DataEnv,
+    supply: &'a mut NameSupply,
+    opts: &'a SimplOpts,
+    occ: OccMap,
+    /// Types of every binder seen on the way down (binders are globally
+    /// unique, so the map only grows).
+    types: HashMap<Name, Type>,
+    /// Pending value inlinings: binder ↦ simplified RHS.
+    subst: HashMap<Name, Expr>,
+    /// Pending join-point inlinings: label ↦ simplified definition.
+    join_inline: HashMap<Name, JoinDef>,
+    changed: bool,
+}
+
+impl Simplifier<'_> {
+    fn record(&mut self, b: &Binder) {
+        self.types.insert(b.name.clone(), b.ty.clone());
+    }
+
+    /// Record the types of all binders inside a freshly copied term, so
+    /// later `type_of` queries can see them.
+    fn record_all(&mut self, e: &Expr) {
+        let mut stack = vec![e];
+        while let Some(cur) = stack.pop() {
+            match cur {
+                Expr::Lam(b, body) => {
+                    self.types.insert(b.name.clone(), b.ty.clone());
+                    stack.push(body);
+                }
+                Expr::Case(s, alts) => {
+                    stack.push(s);
+                    for a in alts {
+                        for b in &a.binders {
+                            self.types.insert(b.name.clone(), b.ty.clone());
+                        }
+                        stack.push(&a.rhs);
+                    }
+                }
+                Expr::Let(bind, body) => {
+                    for b in bind.binders() {
+                        self.types.insert(b.name.clone(), b.ty.clone());
+                    }
+                    for (_, rhs) in bind.pairs() {
+                        stack.push(rhs);
+                    }
+                    stack.push(body);
+                }
+                Expr::Join(jb, body) => {
+                    for d in jb.defs() {
+                        for p in &d.params {
+                            self.types.insert(p.name.clone(), p.ty.clone());
+                        }
+                        stack.push(&d.body);
+                    }
+                    stack.push(body);
+                }
+                Expr::App(f, a) => {
+                    stack.push(f);
+                    stack.push(a);
+                }
+                Expr::TyApp(f, _) | Expr::TyLam(_, f) => stack.push(f),
+                Expr::Prim(_, args) | Expr::Con(_, _, args) => stack.extend(args.iter()),
+                Expr::Jump(_, _, args, _) => stack.extend(args.iter()),
+                Expr::Var(_) | Expr::Lit(_) => {}
+            }
+        }
+    }
+
+    fn gamma(&self) -> Gamma {
+        let mut g = Gamma::new();
+        for (n, t) in &self.types {
+            g.bind_var(n.clone(), t.clone());
+        }
+        g
+    }
+
+    fn ty_of(&self, e: &Expr) -> Result<Type, OptError> {
+        type_of(e, self.data_env, &self.gamma()).map_err(OptError::Type)
+    }
+
+    /// The type of `cont[hole]` given the hole's type.
+    fn cont_result_ty(&mut self, cont: &Cont, input: &Type) -> Result<Type, OptError> {
+        match cont {
+            Cont::Stop => Ok(input.clone()),
+            Cont::ApplyTo(_, r) => match input {
+                Type::Fun(_, b) => self.cont_result_ty(r, b),
+                other => Err(OptError::Internal(format!(
+                    "applied context to non-function type {other}"
+                ))),
+            },
+            Cont::ApplyToTy(t, r) => match input {
+                Type::Forall(a, body) => {
+                    let inst = body.subst1(a, t);
+                    self.cont_result_ty(r, &inst)
+                }
+                other => Err(OptError::Internal(format!(
+                    "type-applied context to non-forall type {other}"
+                ))),
+            },
+            Cont::Select(alts, r) => {
+                let alt = alts.first().ok_or_else(|| {
+                    OptError::Internal("empty case in continuation".into())
+                })?;
+                for b in &alt.binders {
+                    self.types.insert(b.name.clone(), b.ty.clone());
+                }
+                self.record_all(&alt.rhs);
+                let t = self.ty_of(&alt.rhs)?;
+                self.cont_result_ty(r, &t)
+            }
+        }
+    }
+
+    /// Make a continuation cheap to duplicate into several branches.
+    ///
+    /// This follows the paper's Sec. 2 recipe: each *large* case
+    /// alternative inside the pending context is bound as a join point
+    /// (`let j1 () = BIG1; j2 x = BIG2 …`, except they really are joins
+    /// here) so the case itself stays small enough to copy — which is
+    /// what lets a known-constructor branch cancel against it. Large
+    /// arguments are shared through `let`s. In baseline mode the shared
+    /// alternatives become ordinary `let`-bound functions, reproducing
+    /// the heap-allocating behaviour of GHC before the paper.
+    ///
+    /// `hole_ty` is the type of the expression that will be plugged in.
+    fn mk_dupable(
+        &mut self,
+        cont: Cont,
+        hole_ty: &Type,
+    ) -> Result<(Cont, Vec<Wrapper>), OptError> {
+        if cont.size() <= self.opts.dup_size {
+            return Ok((cont, Vec::new()));
+        }
+        match cont {
+            Cont::Stop => Ok((cont, Vec::new())),
+            Cont::ApplyTo(arg, rest) => {
+                let rest_hole = self.cont_result_ty(&Cont::ApplyTo(arg.clone(), Box::new(Cont::Stop)), hole_ty)?;
+                let (dup_rest, mut ws) = self.mk_dupable(*rest, &rest_hole)?;
+                let arg2 = if arg.size() > self.opts.dup_size {
+                    let arg_ty = self.ty_of(&arg)?;
+                    let a = Binder::new(self.supply.fresh("sa"), arg_ty);
+                    self.record(&a);
+                    self.changed = true;
+                    ws.push(Wrapper::Let(a.clone(), arg));
+                    Expr::var(&a.name)
+                } else {
+                    arg
+                };
+                Ok((Cont::ApplyTo(arg2, Box::new(dup_rest)), ws))
+            }
+            Cont::ApplyToTy(t, rest) => {
+                let rest_hole =
+                    self.cont_result_ty(&Cont::ApplyToTy(t.clone(), Box::new(Cont::Stop)), hole_ty)?;
+                let (dup_rest, ws) = self.mk_dupable(*rest, &rest_hole)?;
+                Ok((Cont::ApplyToTy(t, Box::new(dup_rest)), ws))
+            }
+            Cont::Select(alts, rest) => {
+                let alt_ty = {
+                    let alt = alts
+                        .first()
+                        .ok_or_else(|| OptError::Internal("empty case".into()))?;
+                    for b in &alt.binders {
+                        self.types.insert(b.name.clone(), b.ty.clone());
+                    }
+                    self.record_all(&alt.rhs);
+                    self.ty_of(&alt.rhs)?
+                };
+                let (dup_rest, mut ws) = self.mk_dupable(*rest, &alt_ty)?;
+                let res_final = self.cont_result_ty(&dup_rest, &alt_ty)?;
+                let mut alts2 = Vec::with_capacity(alts.len());
+                for alt in alts {
+                    if alt.rhs.size() <= self.opts.dup_size {
+                        alts2.push(alt);
+                        continue;
+                    }
+                    self.changed = true;
+                    // Bind the big alternative as a join point over its
+                    // field binders; the alternative becomes a jump.
+                    let fresh_params: Vec<Binder> = alt
+                        .binders
+                        .iter()
+                        .map(|b| {
+                            let nb =
+                                Binder::new(self.supply.fresh_like(&b.name), b.ty.clone());
+                            self.record(&nb);
+                            nb
+                        })
+                        .collect();
+                    let renamed = fj_ast::subst_terms(
+                        &alt.rhs,
+                        alt.binders
+                            .iter()
+                            .zip(&fresh_params)
+                            .map(|(b, nb)| (b.name.clone(), Expr::var(&nb.name))),
+                        self.supply,
+                    );
+                    self.record_all(&renamed);
+                    let shared_body = self.simpl(&renamed, dup_rest.clone())?;
+                    let arg_vars: Vec<Expr> =
+                        alt.binders.iter().map(|b| Expr::var(&b.name)).collect();
+                    if self.opts.join_points {
+                        let j = self.supply.fresh("j");
+                        ws.push(Wrapper::Join(JoinDef {
+                            name: j.clone(),
+                            ty_params: vec![],
+                            params: fresh_params,
+                            body: shared_body,
+                        }));
+                        alts2.push(Alt {
+                            con: alt.con.clone(),
+                            binders: alt.binders.clone(),
+                            rhs: Expr::jump(&j, vec![], arg_vars, res_final.clone()),
+                        });
+                    } else {
+                        // Baseline: an ordinary function (heap-allocated
+                        // closure); zero-field alternatives share a thunk.
+                        let f_name = self.supply.fresh("sc");
+                        let (f_ty, rhs_fun, call) = if fresh_params.is_empty() {
+                            (res_final.clone(), shared_body, Expr::var(&f_name))
+                        } else {
+                            let f_ty = Type::funs(
+                                fresh_params.iter().map(|b| b.ty.clone()),
+                                res_final.clone(),
+                            );
+                            let fun = Expr::lams(fresh_params, shared_body);
+                            let call =
+                                Expr::apps(Expr::var(&f_name), arg_vars);
+                            (f_ty, fun, call)
+                        };
+                        let fb = Binder::new(f_name, f_ty);
+                        self.record(&fb);
+                        ws.push(Wrapper::Let(fb, rhs_fun));
+                        alts2.push(Alt {
+                            con: alt.con.clone(),
+                            binders: alt.binders.clone(),
+                            rhs: call,
+                        });
+                    }
+                }
+                Ok((Cont::Select(alts2, Box::new(dup_rest)), ws))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn simpl(&mut self, e: &Expr, cont: Cont) -> Result<Expr, OptError> {
+        match e {
+            Expr::Var(x) => {
+                if let Some(img) = self.subst.get(x).cloned() {
+                    self.changed = true;
+                    let copy = fj_ast::freshen(&img, self.supply);
+                    self.record_all(&copy);
+                    return self.simpl(&copy, cont);
+                }
+                self.apply_cont(Expr::var(x), cont)
+            }
+            Expr::Lit(_) => self.apply_cont(e.clone(), cont),
+            Expr::Prim(op, args) => {
+                let args2: Vec<Expr> = args
+                    .iter()
+                    .map(|a| self.simpl(a, Cont::Stop))
+                    .collect::<Result<_, _>>()?;
+                if let [Expr::Lit(a), Expr::Lit(b)] = args2.as_slice() {
+                    if let Some(folded) = op.eval(*a, *b) {
+                        self.changed = true;
+                        let v = match folded {
+                            PrimResult::Int(n) => Expr::Lit(n),
+                            PrimResult::Bool(b) => Expr::bool(b),
+                        };
+                        return self.apply_cont(v, cont);
+                    }
+                }
+                self.apply_cont(Expr::Prim(*op, args2), cont)
+            }
+            Expr::Lam(b, body) => match cont {
+                Cont::ApplyTo(arg, rest) => {
+                    // β: (λx.e) v  ⇒  let x = v in e, then the let logic
+                    // decides whether to substitute or keep the binding.
+                    self.changed = true;
+                    self.record(b);
+                    self.simpl_let_body(b.clone(), arg, body, *rest)
+                }
+                _ => {
+                    self.record(b);
+                    let body2 = self.simpl(body, Cont::Stop)?;
+                    self.apply_cont(Expr::lam(b.clone(), body2), cont)
+                }
+            },
+            Expr::TyLam(a, body) => match cont {
+                Cont::ApplyToTy(t, rest) => {
+                    self.changed = true;
+                    let inst = fj_ast::subst_ty_in_expr(body, a, &t, self.supply);
+                    self.record_all(&inst);
+                    self.simpl(&inst, *rest)
+                }
+                _ => {
+                    let body2 = self.simpl(body, Cont::Stop)?;
+                    self.apply_cont(Expr::ty_lam(a.clone(), body2), cont)
+                }
+            },
+            Expr::App(f, a) => {
+                let a2 = self.simpl(a, Cont::Stop)?;
+                self.simpl(f, Cont::ApplyTo(a2, Box::new(cont)))
+            }
+            Expr::TyApp(f, t) => self.simpl(f, Cont::ApplyToTy(t.clone(), Box::new(cont))),
+            Expr::Con(c, tys, args) => {
+                let args2: Vec<Expr> = args
+                    .iter()
+                    .map(|a| self.simpl(a, Cont::Stop))
+                    .collect::<Result<_, _>>()?;
+                self.apply_cont(Expr::Con(c.clone(), tys.clone(), args2), cont)
+            }
+            Expr::Case(s, alts) => {
+                self.simpl(s, Cont::Select(alts.clone(), Box::new(cont)))
+            }
+            Expr::Let(bind, body) => self.simpl_let(bind, body, cont),
+            Expr::Join(jb, body) => self.simpl_join(jb, body, cont),
+            Expr::Jump(j, tys, args, res) => {
+                let args2: Vec<Expr> = args
+                    .iter()
+                    .map(|a| self.simpl(a, Cont::Stop))
+                    .collect::<Result<_, _>>()?;
+                // `abort`: the context dies here; retarget the annotation.
+                let res2 = if cont.is_stop() {
+                    res.clone()
+                } else {
+                    self.changed = true;
+                    self.cont_result_ty(&cont, res)?
+                };
+                if let Some(def) = self.join_inline.get(j).cloned() {
+                    // `jinline` at a (contextually) tail jump: the inlined
+                    // body already absorbed the surrounding context via
+                    // jfloat, so the aborted continuation is not lost.
+                    self.changed = true;
+                    let mut inlined = def.body.clone();
+                    for (b, arg) in def.params.iter().zip(args2.iter()).rev() {
+                        inlined = Expr::let1(b.clone(), arg.clone(), inlined);
+                    }
+                    let mut s = fj_ast::Subst::new(self.supply);
+                    for (a, t) in def.ty_params.iter().zip(tys.iter()) {
+                        s = s.bind_ty(a.clone(), t.clone());
+                    }
+                    let inlined = s.apply(&inlined);
+                    self.record_all(&inlined);
+                    return self.simpl(&inlined, Cont::Stop);
+                }
+                Ok(Expr::Jump(j.clone(), tys.clone(), args2, res2))
+            }
+        }
+    }
+
+    /// A head that cannot interact further meets the continuation.
+    #[allow(clippy::too_many_lines)]
+    fn apply_cont(&mut self, head: Expr, cont: Cont) -> Result<Expr, OptError> {
+        match cont {
+            Cont::Stop => Ok(head),
+            Cont::ApplyTo(a, rest) => self.apply_cont(Expr::app(head, a), *rest),
+            Cont::ApplyToTy(t, rest) => self.apply_cont(Expr::ty_app(head, t), *rest),
+            Cont::Select(alts, rest) => match &head {
+                // The `case` axiom: a constructor or literal scrutinee
+                // selects its alternative immediately.
+                Expr::Con(c, _, args) => {
+                    let alt = alts
+                        .iter()
+                        .find(|a| matches!(&a.con, AltCon::Con(c2) if c2 == c))
+                        .or_else(|| alts.iter().find(|a| a.con == AltCon::Default))
+                        .ok_or_else(|| {
+                            OptError::Internal(format!("no alternative for {c}"))
+                        })?;
+                    self.changed = true;
+                    let mut rhs = alt.rhs.clone();
+                    for (b, v) in alt.binders.iter().zip(args.iter()).rev() {
+                        rhs = Expr::let1(b.clone(), v.clone(), rhs);
+                    }
+                    self.simpl(&rhs, *rest)
+                }
+                Expr::Lit(n) => {
+                    let alt = alts
+                        .iter()
+                        .find(|a| matches!(&a.con, AltCon::Lit(m) if m == n))
+                        .or_else(|| alts.iter().find(|a| a.con == AltCon::Default))
+                        .ok_or_else(|| {
+                            OptError::Internal(format!("no alternative for literal {n}"))
+                        })?;
+                    self.changed = true;
+                    let rhs = alt.rhs.clone();
+                    self.simpl(&rhs, *rest)
+                }
+                _ => {
+                    // Neutral scrutinee: rebuild the case, pushing the rest
+                    // of the context into the branches (casefloat /
+                    // case-of-case), sharing it when it is too big.
+                    let hole_ty = {
+                        let alt = alts.first().ok_or_else(|| {
+                            OptError::Internal("empty case".into())
+                        })?;
+                        for b in &alt.binders {
+                            self.types.insert(b.name.clone(), b.ty.clone());
+                        }
+                        self.record_all(&alt.rhs);
+                        self.ty_of(&alt.rhs)?
+                    };
+                    let n_branches = alts.len();
+                    let (dup, wrappers) = if n_branches > 1 {
+                        self.mk_dupable(*rest, &hole_ty)?
+                    } else {
+                        (*rest, Vec::new())
+                    };
+                    let mut alts2 = Vec::with_capacity(alts.len());
+                    for alt in alts {
+                        for b in &alt.binders {
+                            self.record(b);
+                        }
+                        let rhs2 = self.simpl(&alt.rhs, dup.clone())?;
+                        alts2.push(Alt {
+                            con: alt.con.clone(),
+                            binders: alt.binders.clone(),
+                            rhs: rhs2,
+                        });
+                    }
+                    Ok(wrap_all(wrappers, Expr::case(head, alts2)))
+                }
+            },
+        }
+    }
+
+    fn simpl_let(
+        &mut self,
+        bind: &LetBind,
+        body: &Expr,
+        cont: Cont,
+    ) -> Result<Expr, OptError> {
+        match bind {
+            LetBind::NonRec(b, rhs) => {
+                self.record(b);
+                let rhs2 = self.simpl(rhs, Cont::Stop)?;
+                self.simpl_let_body(b.clone(), rhs2, body, cont)
+            }
+            LetBind::Rec(binds) => {
+                for (b, _) in binds {
+                    self.record(b);
+                }
+                // Dead-group elimination.
+                let group_dead = binds
+                    .iter()
+                    .all(|(b, _)| self.occ.info(&b.name).count == OccCount::Dead);
+                if group_dead {
+                    self.changed = true;
+                    return self.simpl(body, cont);
+                }
+                let binds2: Vec<(Binder, Expr)> = binds
+                    .iter()
+                    .map(|(b, rhs)| Ok((b.clone(), self.simpl(rhs, Cont::Stop)?)))
+                    .collect::<Result<_, OptError>>()?;
+                // `float`: the pending context moves into the body.
+                let body2 = self.simpl(body, cont)?;
+                Ok(Expr::letrec(binds2, body2))
+            }
+        }
+    }
+
+    /// Decide the fate of a non-recursive binding whose RHS is simplified.
+    fn simpl_let_body(
+        &mut self,
+        b: Binder,
+        rhs: Expr,
+        body: &Expr,
+        cont: Cont,
+    ) -> Result<Expr, OptError> {
+        let trivial = rhs.is_atom()
+            || matches!(&rhs, Expr::Con(_, _, args) if args.is_empty());
+        if trivial {
+            self.changed = true;
+            self.subst.insert(b.name.clone(), rhs);
+            return self.simpl(body, cont);
+        }
+        let info = self.occ.info(&b.name);
+        match info.count {
+            OccCount::Dead => {
+                self.changed = true;
+                self.simpl(body, cont)
+            }
+            OccCount::Once if !info.under_lambda => {
+                self.subst.insert(b.name.clone(), rhs);
+                self.changed = true;
+                self.simpl(body, cont)
+            }
+            // A once-used *function value* moves freely even into a work
+            // context: evaluating a lambda costs nothing and the code is
+            // not duplicated. (Constructor answers stay put — rebuilding
+            // a cell per loop iteration would be new work.)
+            OccCount::Once if matches!(rhs, Expr::Lam(..) | Expr::TyLam(..)) => {
+                self.subst.insert(b.name.clone(), rhs);
+                self.changed = true;
+                self.simpl(body, cont)
+            }
+            _ => {
+                // Multi-use (or once under a lambda): inline only
+                // *function* values small enough that code growth is
+                // acceptable — copying a lambda duplicates neither work
+                // nor allocation. Constructor cells stay shared: inlining
+                // `let x = Just e` into several sites would rebuild the
+                // cell at each one.
+                if matches!(&rhs, Expr::Lam(..) | Expr::TyLam(..))
+                    && rhs.size() <= self.opts.inline_size
+                {
+                    self.changed = true;
+                    self.subst.insert(b.name.clone(), rhs);
+                    return self.simpl(body, cont);
+                }
+                // Keep the binding; `float` the context into the body.
+                let body2 = self.simpl(body, cont)?;
+                Ok(Expr::let1(b, rhs, body2))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn simpl_join(
+        &mut self,
+        jb: &JoinBind,
+        body: &Expr,
+        cont: Cont,
+    ) -> Result<Expr, OptError> {
+        for d in jb.defs() {
+            for p in &d.params {
+                self.record(p);
+            }
+        }
+        // jdrop on entry: no jump in the body targets the group.
+        let body_labels = free_labels(body);
+        let any_live = jb.labels().iter().any(|l| body_labels.contains(*l));
+        if !any_live {
+            self.changed = true;
+            return self.simpl(body, cont);
+        }
+
+        if !self.opts.join_points {
+            // Baseline: do NOT push the context into the join (no jfloat).
+            // The context wraps the whole join expression, exactly the
+            // motivating de-optimization of Sec. 2.
+            let defs2: Vec<JoinDef> = jb
+                .defs()
+                .iter()
+                .map(|d| {
+                    Ok(JoinDef {
+                        name: d.name.clone(),
+                        ty_params: d.ty_params.clone(),
+                        params: d.params.clone(),
+                        body: self.simpl(&d.body, Cont::Stop)?,
+                    })
+                })
+                .collect::<Result<_, OptError>>()?;
+            let body2 = self.simpl(body, Cont::Stop)?;
+            let jb2 = if jb.is_rec() {
+                JoinBind::Rec(defs2)
+            } else {
+                JoinBind::NonRec(Box::new(
+                    defs2.into_iter().next().expect("nonrec join has one def"),
+                ))
+            };
+            return self.apply_cont(Expr::Join(jb2, Box::new(body2)), cont);
+        }
+
+        // jfloat: duplicate the pending context into each RHS and the body.
+        self.record_all(body);
+        let hole_ty = self.ty_of(body)?;
+        let (dup, wrappers) = self.mk_dupable(cont, &hole_ty)?;
+        if !dup.is_stop() {
+            self.changed = true;
+        }
+
+        let defs2: Vec<JoinDef> = jb
+            .defs()
+            .iter()
+            .map(|d| {
+                Ok(JoinDef {
+                    name: d.name.clone(),
+                    ty_params: d.ty_params.clone(),
+                    params: d.params.clone(),
+                    body: self.simpl(&d.body, dup.clone())?,
+                })
+            })
+            .collect::<Result<_, OptError>>()?;
+
+        // jinline: a non-recursive join used exactly once (or tiny) is
+        // inlined at its jumps while the body is simplified.
+        if let JoinBind::NonRec(orig) = jb {
+            let occ = self.occ.info(&orig.name);
+            let def2 = defs2.into_iter().next().expect("nonrec join has one def");
+            let small = def2.body.size() <= self.opts.inline_size;
+            if occ.count == OccCount::Once || small {
+                self.join_inline.insert(orig.name.clone(), def2.clone());
+                let body2 = self.simpl(body, dup)?;
+                let result = if free_labels(&body2).contains(&orig.name) {
+                    Expr::join1(def2, body2)
+                } else {
+                    self.changed = true;
+                    body2
+                };
+                return Ok(wrap_all(wrappers, result));
+            }
+            let body2 = self.simpl(body, dup)?;
+            let result = if free_labels(&body2).contains(&def2.name) {
+                Expr::join1(def2, body2)
+            } else {
+                self.changed = true;
+                body2
+            };
+            return Ok(wrap_all(wrappers, result));
+        }
+
+        let body2 = self.simpl(body, dup)?;
+        // Drop dead defs from the recursive group.
+        let mut live = free_labels(&body2);
+        for d in &defs2 {
+            live.extend(free_labels(&d.body));
+        }
+        let kept: Vec<JoinDef> =
+            defs2.into_iter().filter(|d| live.contains(&d.name)).collect();
+        let result = if kept.is_empty() {
+            self.changed = true;
+            body2
+        } else {
+            Expr::Join(JoinBind::Rec(kept), Box::new(body2))
+        };
+        Ok(wrap_all(wrappers, result))
+    }
+}

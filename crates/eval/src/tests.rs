@@ -1,0 +1,476 @@
+//! Machine tests: semantics per Fig. 3, all three evaluation modes, and
+//! the allocation-accounting invariants the benchmarks depend on.
+
+use crate::{run, run_int, EvalMode, MachineError, Value};
+use fj_ast::{Binder, Dsl, Expr, Ident, JoinDef, PrimOp, Type};
+
+const FUEL: u64 = 1_000_000;
+
+fn all_modes() -> [EvalMode; 3] {
+    [EvalMode::CallByName, EvalMode::CallByNeed, EvalMode::CallByValue]
+}
+
+/// `let rec go n acc = if n <= 0 then acc else go (n-1) (acc+n) in go n 0`.
+fn sum_loop_letrec(d: &mut Dsl, n: i64) -> Expr {
+    d.letrec_loop(
+        "go",
+        vec![("n", Type::Int), ("acc", Type::Int)],
+        Type::Int,
+        |_, go, ps| {
+            Expr::ite(
+                Expr::prim2(PrimOp::Le, Expr::var(&ps[0]), Expr::Lit(0)),
+                Expr::var(&ps[1]),
+                Expr::apps(
+                    Expr::var(go),
+                    [
+                        Expr::prim2(PrimOp::Sub, Expr::var(&ps[0]), Expr::Lit(1)),
+                        Expr::prim2(PrimOp::Add, Expr::var(&ps[1]), Expr::var(&ps[0])),
+                    ],
+                ),
+            )
+        },
+        |_, go| Expr::apps(Expr::var(go), [Expr::Lit(n), Expr::Lit(0)]),
+    )
+}
+
+/// The same loop as a recursive join point.
+fn sum_loop_join(d: &mut Dsl, n: i64) -> Expr {
+    d.joinrec_loop(
+        "go",
+        vec![("n", Type::Int), ("acc", Type::Int)],
+        |_, go, ps| {
+            Expr::ite(
+                Expr::prim2(PrimOp::Le, Expr::var(&ps[0]), Expr::Lit(0)),
+                Expr::var(&ps[1]),
+                Expr::jump(
+                    go,
+                    vec![],
+                    vec![
+                        Expr::prim2(PrimOp::Sub, Expr::var(&ps[0]), Expr::Lit(1)),
+                        Expr::prim2(PrimOp::Add, Expr::var(&ps[1]), Expr::var(&ps[0])),
+                    ],
+                    Type::Int,
+                ),
+            )
+        },
+        |_, go| Expr::jump(go, vec![], vec![Expr::Lit(n), Expr::Lit(0)], Type::Int),
+    )
+}
+
+#[test]
+fn arithmetic_all_modes() {
+    let e = Expr::prim2(
+        PrimOp::Add,
+        Expr::prim2(PrimOp::Mul, Expr::Lit(6), Expr::Lit(7)),
+        Expr::prim2(PrimOp::Sub, Expr::Lit(0), Expr::Lit(2)),
+    );
+    for mode in all_modes() {
+        assert_eq!(run_int(&e, mode, FUEL).unwrap(), 40, "{mode:?}");
+    }
+}
+
+#[test]
+fn comparison_returns_bool_datatype() {
+    let e = Expr::prim2(PrimOp::Lt, Expr::Lit(1), Expr::Lit(2));
+    for mode in all_modes() {
+        let v = run(&e, mode, FUEL).unwrap().value;
+        assert_eq!(v, Value::Con(Ident::new("True"), vec![]), "{mode:?}");
+    }
+}
+
+#[test]
+fn beta_and_let() {
+    let mut d = Dsl::new();
+    let x = d.binder("x", Type::Int);
+    let y = d.binder("y", Type::Int);
+    // let y = 10 in (\x. x + y) 32
+    let e = Expr::let1(
+        y.clone(),
+        Expr::Lit(10),
+        Expr::app(
+            Expr::lam(
+                x.clone(),
+                Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::var(&y.name)),
+            ),
+            Expr::Lit(32),
+        ),
+    );
+    for mode in all_modes() {
+        assert_eq!(run_int(&e, mode, FUEL).unwrap(), 42, "{mode:?}");
+    }
+}
+
+#[test]
+fn case_on_maybe() {
+    let mut d = Dsl::new();
+    let scrut = d.just(Type::Int, Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2)));
+    let e = d.case_maybe(Type::Int, scrut, Expr::Lit(0), |_, x| {
+        Expr::prim2(PrimOp::Mul, Expr::var(x), Expr::Lit(10))
+    });
+    for mode in all_modes() {
+        assert_eq!(run_int(&e, mode, FUEL).unwrap(), 30, "{mode:?}");
+    }
+}
+
+#[test]
+fn case_literal_and_default() {
+    let e = Expr::case(
+        Expr::prim2(PrimOp::Add, Expr::Lit(2), Expr::Lit(3)),
+        vec![
+            fj_ast::Alt::simple(fj_ast::AltCon::Lit(4), Expr::Lit(100)),
+            fj_ast::Alt::simple(fj_ast::AltCon::Lit(5), Expr::Lit(200)),
+            fj_ast::Alt::simple(fj_ast::AltCon::Default, Expr::Lit(0)),
+        ],
+    );
+    for mode in all_modes() {
+        assert_eq!(run_int(&e, mode, FUEL).unwrap(), 200, "{mode:?}");
+    }
+}
+
+#[test]
+fn letrec_factorial() {
+    let mut d = Dsl::new();
+    let e = d.letrec_loop(
+        "fact",
+        vec![("n", Type::Int)],
+        Type::Int,
+        |_, fact, ps| {
+            Expr::ite(
+                Expr::prim2(PrimOp::Le, Expr::var(&ps[0]), Expr::Lit(1)),
+                Expr::Lit(1),
+                Expr::prim2(
+                    PrimOp::Mul,
+                    Expr::var(&ps[0]),
+                    Expr::app(
+                        Expr::var(fact),
+                        Expr::prim2(PrimOp::Sub, Expr::var(&ps[0]), Expr::Lit(1)),
+                    ),
+                ),
+            )
+        },
+        |_, fact| Expr::app(Expr::var(fact), Expr::Lit(10)),
+    );
+    for mode in all_modes() {
+        assert_eq!(run_int(&e, mode, FUEL).unwrap(), 3_628_800, "{mode:?}");
+    }
+}
+
+#[test]
+fn join_loop_matches_letrec_loop() {
+    for mode in all_modes() {
+        let mut d = Dsl::new();
+        let via_let = sum_loop_letrec(&mut d, 100);
+        let via_join = sum_loop_join(&mut d, 100);
+        let a = run_int(&via_let, mode, FUEL).unwrap();
+        let b = run_int(&via_join, mode, FUEL).unwrap();
+        assert_eq!(a, 5050, "{mode:?}");
+        assert_eq!(b, 5050, "{mode:?}");
+    }
+}
+
+/// The paper's headline asymmetry: the join-point loop allocates *nothing*
+/// under call-by-value, while the letrec loop allocates its closure.
+#[test]
+fn join_loop_allocates_nothing_cbv() {
+    let mut d = Dsl::new();
+    let via_join = sum_loop_join(&mut d, 1000);
+    let out = run(&via_join, EvalMode::CallByValue, FUEL).unwrap();
+    assert_eq!(out.metrics.total_allocs(), 0, "{}", out.metrics);
+    assert!(out.metrics.jumps >= 1000);
+
+    let via_let = sum_loop_letrec(&mut d, 1000);
+    let out_let = run(&via_let, EvalMode::CallByValue, FUEL).unwrap();
+    assert!(out_let.metrics.let_allocs >= 1, "{}", out_let.metrics);
+}
+
+/// Fig. 3's worked example: a jump discards its evaluation context.
+/// `join j x = x in (jump j 2 τ) 3` evaluates to 2 — the application
+/// frame `□ 3` is thrown away.
+#[test]
+fn jump_discards_context() {
+    let mut d = Dsl::new();
+    let j = d.name("j");
+    let x = d.binder("x", Type::Int);
+    let e = Expr::join1(
+        JoinDef {
+            name: j.clone(),
+            ty_params: vec![],
+            params: vec![x.clone()],
+            body: Expr::var(&x.name),
+        },
+        Expr::app(
+            Expr::jump(
+                &j,
+                vec![],
+                vec![Expr::Lit(2)],
+                Type::fun(Type::Int, Type::Int),
+            ),
+            Expr::Lit(3),
+        ),
+    );
+    for mode in all_modes() {
+        assert_eq!(run_int(&e, mode, FUEL).unwrap(), 2, "{mode:?}");
+    }
+}
+
+/// A jump from deep inside nested cases still lands at its join point.
+#[test]
+fn jump_through_nested_cases() {
+    let mut d = Dsl::new();
+    let j = d.name("j");
+    let x = d.binder("x", Type::Int);
+    let body = Expr::ite(
+        Expr::prim2(PrimOp::Lt, Expr::Lit(1), Expr::Lit(2)),
+        Expr::ite(
+            Expr::prim2(PrimOp::Lt, Expr::Lit(3), Expr::Lit(4)),
+            Expr::jump(&j, vec![], vec![Expr::Lit(99)], Type::Int),
+            Expr::Lit(0),
+        ),
+        Expr::Lit(0),
+    );
+    let e = Expr::join1(
+        JoinDef {
+            name: j.clone(),
+            ty_params: vec![],
+            params: vec![x.clone()],
+            body: Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1)),
+        },
+        body,
+    );
+    for mode in all_modes() {
+        assert_eq!(run_int(&e, mode, FUEL).unwrap(), 100, "{mode:?}");
+    }
+}
+
+/// A polymorphic join point instantiated at two types.
+#[test]
+fn polymorphic_join_dispatch() {
+    let mut d = Dsl::new();
+    let j = d.name("j");
+    let a = d.name("a");
+    let x = Binder::new(d.name("x"), Type::Var(a.clone()));
+    // join j @a (x:a) = 7 in case True of
+    //   True  -> jump j @Int 5 Int
+    //   False -> jump j @Bool True Int
+    let e = Expr::join1(
+        JoinDef {
+            name: j.clone(),
+            ty_params: vec![a],
+            params: vec![x],
+            body: Expr::Lit(7),
+        },
+        Expr::ite(
+            Expr::bool(true),
+            Expr::jump(&j, vec![Type::Int], vec![Expr::Lit(5)], Type::Int),
+            Expr::jump(&j, vec![Type::bool()], vec![Expr::bool(true)], Type::Int),
+        ),
+    );
+    for mode in all_modes() {
+        assert_eq!(run_int(&e, mode, FUEL).unwrap(), 7, "{mode:?}");
+    }
+}
+
+#[test]
+fn call_by_name_is_lazy() {
+    let mut d = Dsl::new();
+    // let boom = <diverge> in 5  — fine lazily, OutOfFuel strictly.
+    let boom = d.binder("boom", Type::Int);
+    let diverge = d.letrec_loop(
+        "spin",
+        vec![("n", Type::Int)],
+        Type::Int,
+        |_, spin, ps| Expr::app(Expr::var(spin), Expr::var(&ps[0])),
+        |_, spin| Expr::app(Expr::var(spin), Expr::Lit(0)),
+    );
+    let e = Expr::let1(boom, diverge, Expr::Lit(5));
+    assert_eq!(run_int(&e, EvalMode::CallByName, 10_000).unwrap(), 5);
+    assert_eq!(run_int(&e, EvalMode::CallByNeed, 10_000).unwrap(), 5);
+    assert_eq!(
+        run_int(&e, EvalMode::CallByValue, 10_000),
+        Err(MachineError::OutOfFuel)
+    );
+}
+
+#[test]
+fn call_by_need_shares_work() {
+    let mut d = Dsl::new();
+    // let x = <expensive> in x + x: by-need evaluates once, by-name twice.
+    let x = d.binder("x", Type::Int);
+    let expensive = {
+        let mut d2 = Dsl::new();
+        sum_loop_letrec(&mut d2, 50)
+    };
+    let e = Expr::let1(
+        x.clone(),
+        expensive,
+        Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::var(&x.name)),
+    );
+    let name = run(&e, EvalMode::CallByName, FUEL).unwrap();
+    let need = run(&e, EvalMode::CallByNeed, FUEL).unwrap();
+    assert_eq!(name.value, Value::Int(2550));
+    assert_eq!(need.value, Value::Int(2550));
+    assert!(
+        need.metrics.steps < name.metrics.steps,
+        "need {} vs name {}",
+        need.metrics.steps,
+        name.metrics.steps
+    );
+}
+
+#[test]
+fn constructor_allocations_counted_once_per_cell() {
+    let mut d = Dsl::new();
+    // case Just (1+2) of { Nothing -> 0; Just x -> x }
+    let scrut = d.just(Type::Int, Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2)));
+    let e = d.case_maybe(Type::Int, scrut, Expr::Lit(0), |_, x| Expr::var(x));
+    for mode in all_modes() {
+        let out = run(&e, mode, FUEL).unwrap();
+        assert_eq!(out.metrics.con_allocs, 1, "{mode:?}: {}", out.metrics);
+    }
+}
+
+#[test]
+fn nullary_constructors_are_free() {
+    let e = Expr::ite(Expr::bool(true), Expr::Lit(1), Expr::Lit(0));
+    for mode in all_modes() {
+        let out = run(&e, mode, FUEL).unwrap();
+        assert_eq!(out.metrics.con_allocs, 0, "{mode:?}");
+        assert_eq!(out.metrics.total_allocs(), 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn deep_force_builds_list_value() {
+    let mut d = Dsl::new();
+    let e = d.int_list(&[1, 2]);
+    for mode in all_modes() {
+        let v = run(&e, mode, FUEL).unwrap().value;
+        let expect = Value::Con(
+            Ident::new("Cons"),
+            vec![
+                Value::Int(1),
+                Value::Con(
+                    Ident::new("Cons"),
+                    vec![Value::Int(2), Value::Con(Ident::new("Nil"), vec![])],
+                ),
+            ],
+        );
+        assert_eq!(v, expect, "{mode:?}");
+    }
+}
+
+#[test]
+fn errors_are_reported() {
+    let mut d = Dsl::new();
+    let x = d.name("nope");
+    assert_eq!(
+        run_int(&Expr::var(&x), EvalMode::CallByName, FUEL),
+        Err(MachineError::UnboundVar(x.clone()))
+    );
+    let j = d.name("j");
+    assert_eq!(
+        run_int(
+            &Expr::jump(&j, vec![], vec![], Type::Int),
+            EvalMode::CallByName,
+            FUEL
+        ),
+        Err(MachineError::NoJoinFrame(j))
+    );
+    assert_eq!(
+        run_int(
+            &Expr::prim2(PrimOp::Div, Expr::Lit(1), Expr::Lit(0)),
+            EvalMode::CallByValue,
+            FUEL
+        ),
+        Err(MachineError::DivideByZero)
+    );
+}
+
+/// Entering the same lambda twice must not confuse bindings (binder
+/// freshening at β).
+#[test]
+fn reentrant_lambda_bindings() {
+    let mut d = Dsl::new();
+    let f = d.binder("f", Type::fun(Type::Int, Type::Int));
+    let x = d.binder("x", Type::Int);
+    // let f = \x. x * 2 in f 3 + f 4
+    let e = Expr::let1(
+        f.clone(),
+        Expr::lam(
+            x.clone(),
+            Expr::prim2(PrimOp::Mul, Expr::var(&x.name), Expr::Lit(2)),
+        ),
+        Expr::prim2(
+            PrimOp::Add,
+            Expr::app(Expr::var(&f.name), Expr::Lit(3)),
+            Expr::app(Expr::var(&f.name), Expr::Lit(4)),
+        ),
+    );
+    for mode in all_modes() {
+        assert_eq!(run_int(&e, mode, FUEL).unwrap(), 14, "{mode:?}");
+    }
+}
+
+/// Answers reaching a join frame drop it (`ans` rule): a join point whose
+/// body never jumps is simply skipped.
+#[test]
+fn unused_join_is_skipped() {
+    let mut d = Dsl::new();
+    let j = d.name("j");
+    let e = Expr::join1(
+        JoinDef { name: j, ty_params: vec![], params: vec![], body: Expr::Lit(0) },
+        Expr::Lit(42),
+    );
+    for mode in all_modes() {
+        let out = run(&e, mode, FUEL).unwrap();
+        assert_eq!(out.value, Value::Int(42), "{mode:?}");
+        assert_eq!(out.metrics.jumps, 0);
+        assert_eq!(out.metrics.total_allocs(), 0);
+    }
+}
+
+/// Two join points in a recursive group, mutually jumping: even/odd.
+#[test]
+fn mutual_recursive_joins() {
+    let mut d = Dsl::new();
+    let even = d.name("even");
+    let odd = d.name("odd");
+    let n1 = d.binder("n", Type::Int);
+    let n2 = d.binder("n", Type::Int);
+    let mk_jump = |target: &fj_ast::Name, n: &fj_ast::Name| {
+        Expr::jump(
+            target,
+            vec![],
+            vec![Expr::prim2(PrimOp::Sub, Expr::var(n), Expr::Lit(1))],
+            Type::bool(),
+        )
+    };
+    let even_def = JoinDef {
+        name: even.clone(),
+        ty_params: vec![],
+        params: vec![n1.clone()],
+        body: Expr::ite(
+            Expr::prim2(PrimOp::Eq, Expr::var(&n1.name), Expr::Lit(0)),
+            Expr::bool(true),
+            mk_jump(&odd, &n1.name),
+        ),
+    };
+    let odd_def = JoinDef {
+        name: odd.clone(),
+        ty_params: vec![],
+        params: vec![n2.clone()],
+        body: Expr::ite(
+            Expr::prim2(PrimOp::Eq, Expr::var(&n2.name), Expr::Lit(0)),
+            Expr::bool(false),
+            mk_jump(&even, &n2.name),
+        ),
+    };
+    let e = Expr::joinrec(
+        vec![even_def, odd_def],
+        Expr::jump(&even, vec![], vec![Expr::Lit(9)], Type::bool()),
+    );
+    for mode in all_modes() {
+        let v = run(&e, mode, FUEL).unwrap().value;
+        assert_eq!(v, Value::Con(Ident::new("False"), vec![]), "{mode:?}");
+    }
+}

@@ -1,0 +1,847 @@
+//! # fj-fusion — stream fusion over System F_J (paper Sec. 5)
+//!
+//! The paper's second headline result: with recursive join points,
+//! Svenningsson's **skip-less** streams (`Step s a = Done | Yield a s`)
+//! fuse just as well as Coutts et al.'s **skip-ful** streams
+//! (`SStep s a = SDone | SYield a s | SSkip s`) — without paying Skip's
+//! extra constructor, extra case alternatives, and awkward `zip`.
+//!
+//! This crate builds stream pipelines **in the object language**: each
+//! combinator is a meta-level Rust function that constructs the composed
+//! stepper expression a Haskell compiler would arrive at after inlining
+//! the stream library (the `Stream` existential is gone by then, which is
+//! why no existential types are needed here — mirroring the paper's own
+//! simplification of omitting existentials). The result is handed to the
+//! `fj-core` optimizer:
+//!
+//! * **skip-less + join points**: `filter`'s recursive inner stepper
+//!   contifies, `jfloat` pushes every consumer `case` to the loop's
+//!   return points, and the pipeline collapses into one allocation-free
+//!   loop;
+//! * **skip-less + baseline**: the recursive stepper blocks case-of-case,
+//!   so per-element closures and `Step` cells survive;
+//! * **skip-ful + baseline**: fuses (that was Skip's whole point), but
+//!   with more tests per element and a clunkier `zip`.
+//!
+//! ## Example
+//!
+//! ```
+//! use fj_ast::{Dsl, Expr, PrimOp, Type};
+//! use fj_fusion::{enum_from_to, filter_s, int_lambda, map_s, sum_s, StepVariant};
+//! use fj_eval::{run_int, EvalMode};
+//!
+//! let mut d = Dsl::new();
+//! // sum (map (*2) (filter even [1..10]))
+//! let s = enum_from_to(&mut d, StepVariant::Skipless, Expr::Lit(1), Expr::Lit(10));
+//! let even = int_lambda(&mut d, |_, x| {
+//!     Expr::prim2(PrimOp::Eq,
+//!         Expr::prim2(PrimOp::Rem, Expr::var(x), Expr::Lit(2)),
+//!         Expr::Lit(0))
+//! });
+//! let s = filter_s(&mut d, even, s);
+//! let double = int_lambda(&mut d, |_, x| {
+//!     Expr::prim2(PrimOp::Mul, Expr::var(x), Expr::Lit(2))
+//! });
+//! let s = map_s(&mut d, double, Type::Int, s);
+//! let program = sum_s(&mut d, s);
+//! assert_eq!(run_int(&program, EvalMode::CallByName, 100_000)?, 60);
+//! # Ok::<(), fj_eval::MachineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use fj_ast::{Alt, AltCon, Binder, Dsl, Expr, Ident, Name, PrimOp, Type};
+
+/// Which `Step` datatype a pipeline is built over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StepVariant {
+    /// `Step s a = Done | Yield a s` — Svenningsson's unfold/destroy.
+    Skipless,
+    /// `SStep s a = SDone | SYield a s | SSkip s` — Coutts et al.
+    Skip,
+}
+
+impl StepVariant {
+    fn ty_con(self) -> &'static str {
+        match self {
+            StepVariant::Skipless => "Step",
+            StepVariant::Skip => "SStep",
+        }
+    }
+
+    fn done(self) -> &'static str {
+        match self {
+            StepVariant::Skipless => "Done",
+            StepVariant::Skip => "SDone",
+        }
+    }
+
+    fn yield_(self) -> &'static str {
+        match self {
+            StepVariant::Skipless => "Yield",
+            StepVariant::Skip => "SYield",
+        }
+    }
+}
+
+/// A stream in post-inlining form: a state type, an element type, an
+/// initial state, and a stepper expression of type
+/// `state -> Step state elem`.
+#[derive(Clone, Debug)]
+pub struct Stream {
+    /// Which `Step` datatype the stepper returns.
+    pub variant: StepVariant,
+    /// The stepper's state type.
+    pub state_ty: Type,
+    /// The element type.
+    pub elem_ty: Type,
+    /// The initial state.
+    pub init: Expr,
+    /// The stepper: `λ(s : state). Step state elem`.
+    pub step_fn: Expr,
+}
+
+impl Stream {
+    /// The `Step state elem` (or `SStep …`) result type of the stepper.
+    pub fn step_ty(&self) -> Type {
+        Type::Con(
+            Ident::new(self.variant.ty_con()),
+            vec![self.state_ty.clone(), self.elem_ty.clone()],
+        )
+    }
+}
+
+fn con(name: &str, tys: Vec<Type>, args: Vec<Expr>) -> Expr {
+    Expr::Con(Ident::new(name), tys, args)
+}
+
+/// Build `λ(x:Int). body(x)` — convenience for predicates and mappers.
+pub fn int_lambda(d: &mut Dsl, body: impl FnOnce(&mut Dsl, &Name) -> Expr) -> Expr {
+    let x = d.binder("x", Type::Int);
+    let n = x.name.clone();
+    let b = body(d, &n);
+    Expr::lam(x, b)
+}
+
+/// Build `λ(a:Int) (b:Int). body(a, b)`.
+pub fn int_lambda2(
+    d: &mut Dsl,
+    body: impl FnOnce(&mut Dsl, &Name, &Name) -> Expr,
+) -> Expr {
+    let a = d.binder("a", Type::Int);
+    let b = d.binder("b", Type::Int);
+    let (an, bn) = (a.name.clone(), b.name.clone());
+    let e = body(d, &an, &bn);
+    Expr::lams([a, b], e)
+}
+
+/// `enumFromTo lo hi`: yields `lo, lo+1, …, hi`.
+pub fn enum_from_to(d: &mut Dsl, variant: StepVariant, lo: Expr, hi: Expr) -> Stream {
+    let s = d.binder("s", Type::Int);
+    let state = Type::Int;
+    let step_res = vec![state.clone(), Type::Int];
+    let body = Expr::ite(
+        Expr::prim2(PrimOp::Gt, Expr::var(&s.name), hi),
+        con(variant.done(), step_res.clone(), vec![]),
+        con(
+            variant.yield_(),
+            step_res,
+            vec![
+                Expr::var(&s.name),
+                Expr::prim2(PrimOp::Add, Expr::var(&s.name), Expr::Lit(1)),
+            ],
+        ),
+    );
+    Stream {
+        variant,
+        state_ty: state,
+        elem_ty: Type::Int,
+        init: lo,
+        step_fn: Expr::lam(s, body),
+    }
+}
+
+/// Case over a `Step`-typed scrutinee, building the two (or three)
+/// alternatives. `skip` is only consulted for [`StepVariant::Skip`].
+fn case_step(
+    d: &mut Dsl,
+    variant: StepVariant,
+    scrut: Expr,
+    state_ty: &Type,
+    elem_ty: &Type,
+    done: Expr,
+    yield_: impl FnOnce(&mut Dsl, &Name, &Name) -> Expr,
+    skip: impl FnOnce(&mut Dsl, &Name) -> Expr,
+) -> Expr {
+    let x = d.binder("x", elem_ty.clone());
+    let st = d.binder("st", state_ty.clone());
+    let (xn, stn) = (x.name.clone(), st.name.clone());
+    let yield_rhs = yield_(d, &xn, &stn);
+    let mut alts = vec![
+        Alt::simple(AltCon::Con(Ident::new(variant.done())), done),
+        Alt {
+            con: AltCon::Con(Ident::new(variant.yield_())),
+            binders: vec![x, st],
+            rhs: yield_rhs,
+        },
+    ];
+    if variant == StepVariant::Skip {
+        let st2 = d.binder("st", state_ty.clone());
+        let st2n = st2.name.clone();
+        let skip_rhs = skip(d, &st2n);
+        alts.push(Alt {
+            con: AltCon::Con(Ident::new("SSkip")),
+            binders: vec![st2],
+            rhs: skip_rhs,
+        });
+    }
+    Expr::case(scrut, alts)
+}
+
+/// `map f s` — apply `f : elem -> out` to every element.
+pub fn map_s(d: &mut Dsl, f: Expr, out_elem_ty: Type, s: Stream) -> Stream {
+    let variant = s.variant;
+    let st_in = d.binder("s", s.state_ty.clone());
+    let out_tys = vec![s.state_ty.clone(), out_elem_ty.clone()];
+    let scrut = Expr::app(s.step_fn.clone(), Expr::var(&st_in.name));
+    let state_ty = s.state_ty.clone();
+    let elem_ty = s.elem_ty.clone();
+    let out_tys2 = out_tys.clone();
+    let body = case_step(
+        d,
+        variant,
+        scrut,
+        &state_ty,
+        &elem_ty,
+        con(variant.done(), out_tys.clone(), vec![]),
+        |_, x, st| {
+            con(
+                variant.yield_(),
+                out_tys.clone(),
+                vec![Expr::app(f, Expr::var(x)), Expr::var(st)],
+            )
+        },
+        |_, st| con("SSkip", out_tys2, vec![Expr::var(st)]),
+    );
+    Stream {
+        variant,
+        state_ty: s.state_ty,
+        elem_ty: out_elem_ty,
+        init: s.init,
+        step_fn: Expr::lam(st_in, body),
+    }
+}
+
+/// `filter p s` — keep elements satisfying `p : elem -> Bool`.
+///
+/// **This is the combinator Sec. 5 revolves around.** Skip-less filtering
+/// needs a *recursive* stepper (loop until a match); skip-ful filtering
+/// emits `SSkip` instead.
+pub fn filter_s(d: &mut Dsl, p: Expr, s: Stream) -> Stream {
+    let variant = s.variant;
+    let step_tys = vec![s.state_ty.clone(), s.elem_ty.clone()];
+    match variant {
+        StepVariant::Skip => {
+            let st_in = d.binder("s", s.state_ty.clone());
+            let scrut = Expr::app(s.step_fn.clone(), Expr::var(&st_in.name));
+            let state_ty = s.state_ty.clone();
+            let elem_ty = s.elem_ty.clone();
+            let tys = step_tys.clone();
+            let body = case_step(
+                d,
+                variant,
+                scrut,
+                &state_ty,
+                &elem_ty,
+                con("SDone", tys.clone(), vec![]),
+                |_, x, st| {
+                    Expr::ite(
+                        Expr::app(p, Expr::var(x)),
+                        con("SYield", tys.clone(), vec![Expr::var(x), Expr::var(st)]),
+                        con("SSkip", tys.clone(), vec![Expr::var(st)]),
+                    )
+                },
+                |_, st| con("SSkip", step_tys.clone(), vec![Expr::var(st)]),
+            );
+            Stream {
+                variant,
+                state_ty: s.state_ty,
+                elem_ty: s.elem_ty,
+                init: s.init,
+                step_fn: Expr::lam(st_in, body),
+            }
+        }
+        StepVariant::Skipless => {
+            // step' = \s. letrec loop = \s2. case step s2 of
+            //                Done -> Done
+            //                Yield x s' -> if p x then Yield x s' else loop s'
+            //             in loop s
+            let st_in = d.binder("s", s.state_ty.clone());
+            let loop_ty = Type::fun(s.state_ty.clone(), s.step_ty());
+            let loop_n = d.name("floop");
+            let s2 = d.binder("s2", s.state_ty.clone());
+            let scrut = Expr::app(s.step_fn.clone(), Expr::var(&s2.name));
+            let state_ty = s.state_ty.clone();
+            let elem_ty = s.elem_ty.clone();
+            let tys = step_tys.clone();
+            let loop_n2 = loop_n.clone();
+            let loop_body = case_step(
+                d,
+                variant,
+                scrut,
+                &state_ty,
+                &elem_ty,
+                con("Done", tys.clone(), vec![]),
+                |_, x, st| {
+                    Expr::ite(
+                        Expr::app(p, Expr::var(x)),
+                        con("Yield", tys.clone(), vec![Expr::var(x), Expr::var(st)]),
+                        Expr::app(Expr::var(&loop_n2), Expr::var(st)),
+                    )
+                },
+                |_, _| unreachable!("skipless has no skip alternative"),
+            );
+            let body = Expr::letrec(
+                vec![(Binder::new(loop_n.clone(), loop_ty), Expr::lam(s2, loop_body))],
+                Expr::app(Expr::var(&loop_n), Expr::var(&st_in.name)),
+            );
+            Stream {
+                variant,
+                state_ty: s.state_ty,
+                elem_ty: s.elem_ty,
+                init: s.init,
+                step_fn: Expr::lam(st_in, body),
+            }
+        }
+    }
+}
+
+/// `take n s` — at most the first `n` elements. State becomes
+/// `Pair Int state`.
+pub fn take_s(d: &mut Dsl, n: Expr, s: Stream) -> Stream {
+    let variant = s.variant;
+    let new_state = d.pair_ty(Type::Int, s.state_ty.clone());
+    let out_tys = vec![new_state.clone(), s.elem_ty.clone()];
+    let ps = d.binder("ps", new_state.clone());
+    let k = d.binder("k", Type::Int);
+    let inner = d.binder("st", s.state_ty.clone());
+    let scrut = Expr::app(s.step_fn.clone(), Expr::var(&inner.name));
+    let state_ty = s.state_ty.clone();
+    let elem_ty = s.elem_ty.clone();
+    let kn = k.name.clone();
+    let pair_tys = vec![Type::Int, s.state_ty.clone()];
+    let pair_tys2 = pair_tys.clone();
+    let out_tys2 = out_tys.clone();
+    let kn2 = kn.clone();
+    let step_case = case_step(
+        d,
+        variant,
+        scrut,
+        &state_ty,
+        &elem_ty,
+        con(variant.done(), out_tys.clone(), vec![]),
+        |_, x, st| {
+            let new_pair = con(
+                "MkPair",
+                pair_tys.clone(),
+                vec![
+                    Expr::prim2(PrimOp::Sub, Expr::var(&kn), Expr::Lit(1)),
+                    Expr::var(st),
+                ],
+            );
+            con(variant.yield_(), out_tys.clone(), vec![Expr::var(x), new_pair])
+        },
+        |_, st| {
+            let new_pair = con(
+                "MkPair",
+                pair_tys2,
+                vec![Expr::var(&kn2), Expr::var(st)],
+            );
+            con("SSkip", out_tys2, vec![new_pair])
+        },
+    );
+    let body = Expr::case(
+        Expr::var(&ps.name),
+        vec![Alt {
+            con: AltCon::Con(Ident::new("MkPair")),
+            binders: vec![k.clone(), inner],
+            rhs: Expr::ite(
+                Expr::prim2(PrimOp::Le, Expr::var(&k.name), Expr::Lit(0)),
+                con(
+                    variant.done(),
+                    vec![new_state.clone(), s.elem_ty.clone()],
+                    vec![],
+                ),
+                step_case,
+            ),
+        }],
+    );
+    let init_state = con(
+        "MkPair",
+        vec![Type::Int, s.state_ty.clone()],
+        vec![n, s.init],
+    );
+    Stream {
+        variant,
+        state_ty: new_state,
+        elem_ty: s.elem_ty,
+        init: init_state,
+        step_fn: Expr::lam(ps, body),
+    }
+}
+
+/// `append s1 s2` — `s1` then `s2`. State is `Either st1 st2`.
+///
+/// Note the variant asymmetry the paper highlights: with `SSkip`, the
+/// transition from the first stream to the second is just a skip; the
+/// skip-less version must take a step of `s2` on the spot.
+pub fn append_s(d: &mut Dsl, s1: Stream, s2: Stream) -> Stream {
+    assert_eq!(s1.variant, s2.variant, "cannot mix Step variants");
+    assert_eq!(s1.elem_ty, s2.elem_ty, "element types must match");
+    let variant = s1.variant;
+    let state = Type::Con(
+        Ident::new("Either"),
+        vec![s1.state_ty.clone(), s2.state_ty.clone()],
+    );
+    let out_tys = vec![state.clone(), s1.elem_ty.clone()];
+    let either_tys = vec![s1.state_ty.clone(), s2.state_ty.clone()];
+
+    let st = d.binder("st", state.clone());
+    let a = d.binder("a", s1.state_ty.clone());
+    let b = d.binder("b", s2.state_ty.clone());
+
+    let right_tys = either_tys.clone();
+    let left_tys = either_tys.clone();
+
+    // Right branch: step s2, wrapping new states in Right.
+    let step2_case = {
+        let scrut = Expr::app(s2.step_fn.clone(), Expr::var(&b.name));
+        let tys = out_tys.clone();
+        let tys2 = out_tys.clone();
+        let rt = right_tys.clone();
+        let rt2 = right_tys.clone();
+        let s2_state = s2.state_ty.clone();
+        let s2_elem = s2.elem_ty.clone();
+        case_step(
+            d,
+            variant,
+            scrut,
+            &s2_state,
+            &s2_elem,
+            con(variant.done(), tys.clone(), vec![]),
+            |_, x, stn| {
+                con(
+                    variant.yield_(),
+                    tys,
+                    vec![
+                        Expr::var(x),
+                        con("Right", rt, vec![Expr::var(stn)]),
+                    ],
+                )
+            },
+            |_, stn| {
+                con(
+                    "SSkip",
+                    tys2,
+                    vec![con("Right", rt2, vec![Expr::var(stn)])],
+                )
+            },
+        )
+    };
+
+    let left_done = match variant {
+        // Skip: skip into the second stream's initial state.
+        StepVariant::Skip => con(
+            "SSkip",
+            out_tys.clone(),
+            vec![con("Right", either_tys.clone(), vec![s2.init.clone()])],
+        ),
+        // Skip-less: must take a step of s2 immediately.
+        StepVariant::Skipless => {
+            let scrut = Expr::app(s2.step_fn.clone(), s2.init.clone());
+            let tys = out_tys.clone();
+            let rt = either_tys.clone();
+            let s2_state = s2.state_ty.clone();
+            let s2_elem = s2.elem_ty.clone();
+            case_step(
+                d,
+                variant,
+                scrut,
+                &s2_state,
+                &s2_elem,
+                con(variant.done(), tys.clone(), vec![]),
+                |_, x, stn| {
+                    con(
+                        variant.yield_(),
+                        tys,
+                        vec![Expr::var(x), con("Right", rt, vec![Expr::var(stn)])],
+                    )
+                },
+                |_, _| unreachable!("skipless has no skip alternative"),
+            )
+        }
+    };
+
+    let step1_case = {
+        let scrut = Expr::app(s1.step_fn.clone(), Expr::var(&a.name));
+        let tys = out_tys.clone();
+        let tys2 = out_tys.clone();
+        let lt = left_tys.clone();
+        let lt2 = left_tys.clone();
+        let s1_state = s1.state_ty.clone();
+        let s1_elem = s1.elem_ty.clone();
+        case_step(
+            d,
+            variant,
+            scrut,
+            &s1_state,
+            &s1_elem,
+            left_done,
+            |_, x, stn| {
+                con(
+                    variant.yield_(),
+                    tys,
+                    vec![Expr::var(x), con("Left", lt, vec![Expr::var(stn)])],
+                )
+            },
+            |_, stn| {
+                con(
+                    "SSkip",
+                    tys2,
+                    vec![con("Left", lt2, vec![Expr::var(stn)])],
+                )
+            },
+        )
+    };
+
+    let body = Expr::case(
+        Expr::var(&st.name),
+        vec![
+            Alt {
+                con: AltCon::Con(Ident::new("Left")),
+                binders: vec![a],
+                rhs: step1_case,
+            },
+            Alt {
+                con: AltCon::Con(Ident::new("Right")),
+                binders: vec![b],
+                rhs: step2_case,
+            },
+        ],
+    );
+    let init = con("Left", either_tys, vec![s1.init]);
+    Stream {
+        variant,
+        state_ty: state,
+        elem_ty: s1.elem_ty,
+        init,
+        step_fn: Expr::lam(st, body),
+    }
+}
+
+/// `zipWith f s1 s2` (skip-less only — see the paper's point about `zip`
+/// under `Skip`; the skip-ful encoding needs a buffered element and is
+/// provided as [`zip_with_skip`]).
+pub fn zip_with_s(d: &mut Dsl, f: Expr, out_ty: Type, s1: Stream, s2: Stream) -> Stream {
+    assert_eq!(s1.variant, StepVariant::Skipless);
+    assert_eq!(s2.variant, StepVariant::Skipless);
+    let variant = StepVariant::Skipless;
+    let state = d.pair_ty(s1.state_ty.clone(), s2.state_ty.clone());
+    let out_tys = vec![state.clone(), out_ty.clone()];
+    let ps = d.binder("ps", state.clone());
+    let a = d.binder("a", s1.state_ty.clone());
+    let b = d.binder("b", s2.state_ty.clone());
+    let pair_tys = vec![s1.state_ty.clone(), s2.state_ty.clone()];
+    let bn = b.name.clone();
+    let inner = {
+        let scrut1 = Expr::app(s1.step_fn.clone(), Expr::var(&a.name));
+        let s2_step = s2.step_fn.clone();
+        let out_tys2 = out_tys.clone();
+        let pair_tys2 = pair_tys.clone();
+        let s2_state = s2.state_ty.clone();
+        let s2_elem = s2.elem_ty.clone();
+        let s1_state = s1.state_ty.clone();
+        let s1_elem = s1.elem_ty.clone();
+        case_step(
+            d,
+            variant,
+            scrut1,
+            &s1_state,
+            &s1_elem,
+            con(variant.done(), out_tys.clone(), vec![]),
+            |d2, x, a2| {
+                let scrut2 = Expr::app(s2_step, Expr::var(&bn));
+                let x = x.clone();
+                let a2 = a2.clone();
+                case_step(
+                    d2,
+                    variant,
+                    scrut2,
+                    &s2_state,
+                    &s2_elem,
+                    con(variant.done(), out_tys2.clone(), vec![]),
+                    move |_, y, b2| {
+                        con(
+                            variant.yield_(),
+                            out_tys2.clone(),
+                            vec![
+                                Expr::apps(f, [Expr::var(&x), Expr::var(y)]),
+                                con(
+                                    "MkPair",
+                                    pair_tys2.clone(),
+                                    vec![Expr::var(&a2), Expr::var(b2)],
+                                ),
+                            ],
+                        )
+                    },
+                    |_, _| unreachable!("skipless"),
+                )
+            },
+            |_, _| unreachable!("skipless"),
+        )
+    };
+    let body = Expr::case(
+        Expr::var(&ps.name),
+        vec![Alt {
+            con: AltCon::Con(Ident::new("MkPair")),
+            binders: vec![a.clone(), b.clone()],
+            rhs: inner,
+        }],
+    );
+    let init = con("MkPair", pair_tys, vec![s1.init, s2.init]);
+    Stream {
+        variant,
+        state_ty: state,
+        elem_ty: out_ty,
+        init,
+        step_fn: Expr::lam(ps, body),
+    }
+}
+
+/// `zipWith f s1 s2` for skip-ful streams: the state must carry a
+/// buffered left element (`Pair (Pair st1 st2) (Maybe elem1)`) —
+/// demonstrating the paper's point that `Skip` makes `zip` "more
+/// complicated and less efficient".
+pub fn zip_with_skip(d: &mut Dsl, f: Expr, out_ty: Type, s1: Stream, s2: Stream) -> Stream {
+    assert_eq!(s1.variant, StepVariant::Skip);
+    assert_eq!(s2.variant, StepVariant::Skip);
+    let variant = StepVariant::Skip;
+    let pair_states = d.pair_ty(s1.state_ty.clone(), s2.state_ty.clone());
+    let maybe_e1 = d.maybe_ty(s1.elem_ty.clone());
+    let state = d.pair_ty(pair_states.clone(), maybe_e1.clone());
+    let out_tys = vec![state.clone(), out_ty.clone()];
+    let st_tys = vec![s1.state_ty.clone(), s2.state_ty.clone()];
+    let outer_tys = vec![pair_states.clone(), maybe_e1.clone()];
+
+    let ps = d.binder("ps", state.clone());
+    let inner_pair = d.binder("ab", pair_states.clone());
+    let buf = d.binder("buf", maybe_e1.clone());
+    let a = d.binder("a", s1.state_ty.clone());
+    let b = d.binder("b", s2.state_ty.clone());
+
+    let mk_state = {
+        let outer_tys = outer_tys.clone();
+        let st_tys = st_tys.clone();
+        move |ae: Expr, be: Expr, bufe: Expr| {
+            con(
+                "MkPair",
+                outer_tys.clone(),
+                vec![con("MkPair", st_tys.clone(), vec![ae, be]), bufe],
+            )
+        }
+    };
+
+    // No buffered element: pull from s1, buffer its yield.
+    let an = a.name.clone();
+    let bn = b.name.clone();
+    let e1 = s1.elem_ty.clone();
+    let pull_left = {
+        let scrut = Expr::app(s1.step_fn.clone(), Expr::var(&an));
+        let out1 = out_tys.clone();
+        let out1b = out_tys.clone();
+        let mk1 = mk_state.clone();
+        let mk1b = mk_state.clone();
+        let bn1 = bn.clone();
+        let bn2 = bn.clone();
+        let e1a = e1.clone();
+        let e1b = e1.clone();
+        let s1_state = s1.state_ty.clone();
+        let s1_elem = s1.elem_ty.clone();
+        case_step(
+            d,
+            variant,
+            scrut,
+            &s1_state,
+            &s1_elem,
+            con("SDone", out_tys.clone(), vec![]),
+            |d2, x, a2| {
+                let just = d2.just(e1a, Expr::var(x));
+                con(
+                    "SSkip",
+                    out1,
+                    vec![mk1(Expr::var(a2), Expr::var(&bn1), just)],
+                )
+            },
+            |d2, a2| {
+                let nothing = d2.nothing(e1b);
+                con(
+                    "SSkip",
+                    out1b,
+                    vec![mk1b(Expr::var(a2), Expr::var(&bn2), nothing)],
+                )
+            },
+        )
+    };
+
+    // Buffered element x: pull from s2, emit f x y.
+    let x_buf = d.binder("x", s1.elem_ty.clone());
+    let xn = x_buf.name.clone();
+    let an2 = a.name.clone();
+    let pull_right = {
+        let scrut = Expr::app(s2.step_fn.clone(), Expr::var(&b.name));
+        let out2 = out_tys.clone();
+        let out2b = out_tys.clone();
+        let mk2 = mk_state.clone();
+        let mk2b = mk_state.clone();
+        let e1a = e1.clone();
+        let e1b = e1.clone();
+        let an3 = an2.clone();
+        let xn2 = xn.clone();
+        let s2_state = s2.state_ty.clone();
+        let s2_elem = s2.elem_ty.clone();
+        case_step(
+            d,
+            variant,
+            scrut,
+            &s2_state,
+            &s2_elem,
+            con("SDone", out_tys.clone(), vec![]),
+            |d2, y, b2| {
+                let nothing = d2.nothing(e1a);
+                con(
+                    "SYield",
+                    out2,
+                    vec![
+                        Expr::apps(f, [Expr::var(&xn), Expr::var(y)]),
+                        mk2(Expr::var(&an2), Expr::var(b2), nothing),
+                    ],
+                )
+            },
+            |d2, b2| {
+                let just = d2.just(e1b, Expr::var(&xn2));
+                con(
+                    "SSkip",
+                    out2b,
+                    vec![mk2b(Expr::var(&an3), Expr::var(b2), just)],
+                )
+            },
+        )
+    };
+
+    let buf_case = Expr::case(
+        Expr::var(&buf.name),
+        vec![
+            Alt::simple(AltCon::Con(Ident::new("Nothing")), pull_left),
+            Alt {
+                con: AltCon::Con(Ident::new("Just")),
+                binders: vec![x_buf],
+                rhs: pull_right,
+            },
+        ],
+    );
+    let body = Expr::case(
+        Expr::var(&ps.name),
+        vec![Alt {
+            con: AltCon::Con(Ident::new("MkPair")),
+            binders: vec![inner_pair.clone(), buf],
+            rhs: Expr::case(
+                Expr::var(&inner_pair.name),
+                vec![Alt {
+                    con: AltCon::Con(Ident::new("MkPair")),
+                    binders: vec![a.clone(), b.clone()],
+                    rhs: buf_case,
+                }],
+            ),
+        }],
+    );
+    let init = {
+        let nothing = d.nothing(s1.elem_ty.clone());
+        con(
+            "MkPair",
+            outer_tys,
+            vec![con("MkPair", st_tys, vec![s1.init, s2.init]), nothing],
+        )
+    };
+    Stream {
+        variant,
+        state_ty: state,
+        elem_ty: out_ty,
+        init,
+        step_fn: Expr::lam(ps, body),
+    }
+}
+
+/// `foldl f z s` — consume the stream with `f : acc -> elem -> acc`.
+/// Produces the classic consumer loop the paper's `any` example ends in.
+pub fn fold_s(d: &mut Dsl, f: Expr, z: Expr, acc_ty: Type, s: Stream) -> Expr {
+    let variant = s.variant;
+    let loop_n = d.name("go");
+    let loop_ty = Type::funs([s.state_ty.clone(), acc_ty.clone()], acc_ty.clone());
+    let st = d.binder("st", s.state_ty.clone());
+    let acc = d.binder("acc", acc_ty.clone());
+    let scrut = Expr::app(s.step_fn.clone(), Expr::var(&st.name));
+    let state_ty = s.state_ty.clone();
+    let elem_ty = s.elem_ty.clone();
+    let loop_v = loop_n.clone();
+    let accn = acc.name.clone();
+    let loop_v2 = loop_n.clone();
+    let accn2 = acc.name.clone();
+    let accn3 = acc.name.clone();
+    let body = case_step(
+        d,
+        variant,
+        scrut,
+        &state_ty,
+        &elem_ty,
+        Expr::var(&accn3),
+        |_, x, stn| {
+            Expr::apps(
+                Expr::var(&loop_v),
+                [
+                    Expr::var(stn),
+                    Expr::apps(f, [Expr::var(&accn), Expr::var(x)]),
+                ],
+            )
+        },
+        |_, stn| Expr::apps(Expr::var(&loop_v2), [Expr::var(stn), Expr::var(&accn2)]),
+    );
+    Expr::letrec(
+        vec![(
+            Binder::new(loop_n.clone(), loop_ty),
+            Expr::lams([st, acc], body),
+        )],
+        Expr::apps(Expr::var(&loop_n), [s.init, z]),
+    )
+}
+
+/// `sum s` for integer streams.
+pub fn sum_s(d: &mut Dsl, s: Stream) -> Expr {
+    let add = int_lambda2(d, |_, a, b| {
+        Expr::prim2(PrimOp::Add, Expr::var(a), Expr::var(b))
+    });
+    fold_s(d, add, Expr::Lit(0), Type::Int, s)
+}
+
+/// `length s`.
+pub fn length_s(d: &mut Dsl, s: Stream) -> Expr {
+    let x = d.binder("n", Type::Int);
+    let ignored = d.binder("e", s.elem_ty.clone());
+    let inc = Expr::lams(
+        [x.clone(), ignored],
+        Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1)),
+    );
+    fold_s(d, inc, Expr::Lit(0), Type::Int, s)
+}
+
+#[cfg(test)]
+mod tests;

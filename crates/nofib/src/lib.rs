@@ -1,0 +1,270 @@
+//! # fj-nofib — the NoFib-analogue benchmark suite and Table-1 harness
+//!
+//! Reproduces the evaluation of "Compiling without continuations"
+//! (Table 1, plus the Sec. 5 fusion study and a pass ablation). Each
+//! benchmark is a surface-language program named after its Table-1 row;
+//! the harness compiles it twice —
+//!
+//! * **baseline**: GHC-before-the-paper ([`OptConfig::baseline`]): the
+//!   optimizer neither creates nor exploits join points, and join points
+//!   are recognized only at "code generation" (one trailing contify);
+//! * **join points**: the paper's compiler ([`OptConfig::join_points`]).
+//!
+//! — then runs both on the abstract machine (call-by-value, as the paper
+//! notes everything applies to a strict language too) and compares heap
+//! allocations, the paper's own metric.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! let rows = fj_nofib::run_table1();
+//! println!("{}", fj_nofib::format_table1(&rows));
+//! ```
+
+#![warn(missing_docs)]
+
+mod more_real;
+mod more_shootout;
+mod more_spectral;
+mod real;
+mod shootout;
+mod spectral;
+
+pub mod fusion_exp;
+
+use fj_core::{optimize, OptConfig};
+use fj_eval::{run, EvalMode, Metrics, Value};
+use fj_surface::compile;
+
+/// Which NoFib suite a program belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// The `spectral` suite (algorithmic kernels).
+    Spectral,
+    /// The `real` suite (application-shaped programs).
+    Real,
+    /// The `shootout` suite (hand-tuned inner loops).
+    Shootout,
+}
+
+impl Suite {
+    /// Display name, as in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Spectral => "spectral",
+            Suite::Real => "real",
+            Suite::Shootout => "shootout",
+        }
+    }
+}
+
+/// One benchmark program.
+#[derive(Clone, Copy, Debug)]
+pub struct Program {
+    /// Row name (matches Table 1).
+    pub name: &'static str,
+    /// Its suite.
+    pub suite: Suite,
+    /// Surface-language source.
+    pub source: &'static str,
+    /// Expected `main` value, when it is meaningful to pin (sanity).
+    pub expected: Option<i64>,
+}
+
+/// All benchmark programs, spectral then real then shootout.
+pub fn programs() -> Vec<Program> {
+    let mut v = spectral::programs();
+    v.extend(more_spectral::programs());
+    v.extend(real::programs());
+    v.extend(more_real::programs());
+    v.extend(shootout::programs());
+    v.extend(more_shootout::programs());
+    v
+}
+
+/// Step budget for benchmark runs.
+pub const FUEL: u64 = 50_000_000;
+
+/// Per-program measurement: allocations under both compilers.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row name.
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// The program's result (both configurations agree; checked).
+    pub value: i64,
+    /// Machine metrics under the baseline pipeline.
+    pub baseline: Metrics,
+    /// Machine metrics under the join-points pipeline.
+    pub joined: Metrics,
+}
+
+impl Row {
+    /// Allocation delta in percent, negative = join points improved.
+    pub fn delta_pct(&self) -> f64 {
+        self.joined.alloc_delta_pct(&self.baseline)
+    }
+}
+
+/// Compile a program under a pipeline, run it by value, and return the
+/// integer result with metrics.
+///
+/// # Panics
+///
+/// Panics on compile, lint, optimize, or machine errors — benchmarks are
+/// expected to be well-formed; a failure is a harness bug worth a loud
+/// stop.
+pub fn measure(source: &str, cfg: &OptConfig) -> (i64, Metrics) {
+    let mut lowered = compile(source).unwrap_or_else(|e| panic!("compile: {e}"));
+    fj_check::lint(&lowered.expr, &lowered.data_env)
+        .unwrap_or_else(|e| panic!("lint: {e}\n{}", lowered.expr));
+    let out = optimize(&lowered.expr, &lowered.data_env, &mut lowered.supply, cfg)
+        .unwrap_or_else(|e| panic!("optimize: {e}"));
+    let o = run(&out, EvalMode::CallByValue, FUEL)
+        .unwrap_or_else(|e| panic!("eval: {e}\n{out}"));
+    match o.value {
+        Value::Int(n) => (n, o.metrics),
+        other => panic!("benchmark main must return Int, got {other}"),
+    }
+}
+
+/// Run one benchmark under both pipelines.
+///
+/// # Panics
+///
+/// As [`measure`]; also panics if the two configurations disagree on the
+/// program's value, or if `expected` is pinned and missed.
+pub fn run_program(p: &Program) -> Row {
+    let (v_base, m_base) = measure(p.source, &OptConfig::baseline());
+    let (v_join, m_join) = measure(p.source, &OptConfig::join_points());
+    assert_eq!(
+        v_base, v_join,
+        "{}: baseline and join-points disagree ({v_base} vs {v_join})",
+        p.name
+    );
+    if let Some(exp) = p.expected {
+        assert_eq!(v_join, exp, "{}: expected {exp}, got {v_join}", p.name);
+    }
+    Row { name: p.name, suite: p.suite, value: v_join, baseline: m_base, joined: m_join }
+}
+
+/// Run the whole Table-1 experiment.
+pub fn run_table1() -> Vec<Row> {
+    programs().iter().map(run_program).collect()
+}
+
+/// Minimum, maximum, and geometric mean of the deltas in a suite — the
+/// paper's summary lines.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteSummary {
+    /// Best (most negative) delta.
+    pub min: f64,
+    /// Worst delta.
+    pub max: f64,
+    /// Geometric mean of (1 + delta) − 1, in percent; `None` when any
+    /// program hit −100% (the paper prints "n/a" for shootout for this
+    /// reason).
+    pub geo_mean: Option<f64>,
+}
+
+/// Summarize one suite's rows.
+pub fn summarize(rows: &[Row], suite: Suite) -> SuiteSummary {
+    let deltas: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.suite == suite)
+        .map(Row::delta_pct)
+        .collect();
+    let min = deltas.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let geo_mean = if deltas.iter().any(|d| *d <= -100.0) {
+        None
+    } else {
+        let log_sum: f64 = deltas.iter().map(|d| (1.0 + d / 100.0).ln()).sum();
+        Some(((log_sum / deltas.len() as f64).exp() - 1.0) * 100.0)
+    };
+    SuiteSummary { min, max, geo_mean }
+}
+
+/// Render the rows in the paper's Table-1 layout.
+pub fn format_table1(rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for suite in [Suite::Spectral, Suite::Real, Suite::Shootout] {
+        writeln!(out, "{}", suite.name()).unwrap();
+        writeln!(out, "{:<16} {:>10} {:>10} {:>8}", "Program", "base", "joins", "Allocs")
+            .unwrap();
+        for r in rows.iter().filter(|r| r.suite == suite) {
+            writeln!(
+                out,
+                "{:<16} {:>10} {:>10} {:>+7.1}%",
+                r.name,
+                r.baseline.total_allocs(),
+                r.joined.total_allocs(),
+                r.delta_pct()
+            )
+            .unwrap();
+        }
+        let s = summarize(rows, suite);
+        writeln!(out, "{:<16} {:>21} {:>+7.1}%", "Min", "", s.min).unwrap();
+        writeln!(out, "{:<16} {:>21} {:>+7.1}%", "Max", "", s.max).unwrap();
+        match s.geo_mean {
+            Some(g) => writeln!(out, "{:<16} {:>21} {:>+7.1}%", "Geo. Mean", "", g).unwrap(),
+            None => writeln!(out, "{:<16} {:>21} {:>8}", "Geo. Mean", "", "n/a").unwrap(),
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// One row of the ablation study (experiment A-ablate): the join-points
+/// pipeline with one ingredient removed, over the whole suite.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Which configuration.
+    pub label: &'static str,
+    /// Total allocations across all benchmarks.
+    pub total_allocs: u64,
+    /// Total machine steps across all benchmarks.
+    pub total_steps: u64,
+}
+
+/// Run the ablation: full pipeline vs pipeline-minus-one-pass vs baseline.
+pub fn run_ablation() -> Vec<AblationRow> {
+    let configs: Vec<(&'static str, OptConfig)> = vec![
+        ("join-points (full)", OptConfig::join_points()),
+        ("without contify", OptConfig::join_points_without(fj_core::Pass::Contify)),
+        ("without float-in", OptConfig::join_points_without(fj_core::Pass::FloatIn)),
+        ("without simplify", OptConfig::join_points_without(fj_core::Pass::Simplify)),
+        ("baseline", OptConfig::baseline()),
+        ("no optimization", OptConfig::none()),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, cfg)| {
+            let mut total_allocs = 0u64;
+            let mut total_steps = 0u64;
+            for p in programs() {
+                let (_, m) = measure(p.source, &cfg);
+                total_allocs += m.total_allocs();
+                total_steps += m.steps;
+            }
+            AblationRow { label, total_allocs, total_steps }
+        })
+        .collect()
+}
+
+/// Render the ablation rows.
+pub fn format_ablation(rows: &[AblationRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "{:<22} {:>12} {:>12}", "Configuration", "allocs", "steps").unwrap();
+    for r in rows {
+        writeln!(out, "{:<22} {:>12} {:>12}", r.label, r.total_allocs, r.total_steps)
+            .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests;

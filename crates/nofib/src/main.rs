@@ -1,0 +1,45 @@
+//! Command-line driver for the paper's evaluation:
+//!
+//! ```text
+//! cargo run -p fj-nofib --release -- table1    # Table 1 (allocations)
+//! cargo run -p fj-nofib --release -- fusion    # Sec. 5 fusion series
+//! cargo run -p fj-nofib --release -- ablate    # pass ablation
+//! cargo run -p fj-nofib --release -- all       # everything
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map_or("all", String::as_str);
+    match what {
+        "table1" => table1(),
+        "fusion" => fusion(),
+        "ablate" => ablate(),
+        "all" => {
+            table1();
+            fusion();
+            ablate();
+        }
+        other => {
+            eprintln!("unknown command `{other}`; expected table1|fusion|ablate|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1() {
+    println!("== Table 1: allocations, baseline vs join points ==\n");
+    let rows = fj_nofib::run_table1();
+    println!("{}", fj_nofib::format_table1(&rows));
+}
+
+fn fusion() {
+    println!("== Sec. 5: stream-fusion series ==\n");
+    let points = fj_nofib::fusion_exp::run_fusion_experiment(&[100, 1_000, 10_000]);
+    println!("{}", fj_nofib::fusion_exp::format_fusion(&points));
+}
+
+fn ablate() {
+    println!("== Ablation: join-points pipeline minus one pass ==\n");
+    let rows = fj_nofib::run_ablation();
+    println!("{}", fj_nofib::format_ablation(&rows));
+}

@@ -1,0 +1,186 @@
+//! Additional `real`-suite programs — analogues for part of the paper's
+//! "(18 others)".
+
+use crate::{Program, Suite};
+
+/// `compress` — run-length encoding then a decode-length check. The
+/// scan loop returns `Pair run rest` (join-relevant); the encoded output
+/// list is allocated either way (ballast).
+pub const COMPRESS: &str = "
+def input : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > n then Nil @Int
+        else Cons @Int ((i / 5) % 3) (go (i + 1))
+    in go 1;
+
+-- measure one run: (length, rest)
+def run : Int -> List Int -> Pair Int (List Int) =
+  \\(sym : Int) (xs : List Int) ->
+    letrec go : Int -> List Int -> Pair Int (List Int) =
+      \\(len : Int) (rest : List Int) ->
+        case rest of {
+          Nil -> MkPair @Int @(List Int) len rest;
+          Cons c more ->
+            if c == sym then go (len + 1) more
+            else MkPair @Int @(List Int) len rest
+        }
+    in go 0 xs;
+
+def encode : List Int -> List (Pair Int Int) =
+  \\(xs0 : List Int) ->
+    letrec go : List Int -> List (Pair Int Int) =
+      \\(xs : List Int) ->
+        case xs of {
+          Nil -> Nil @(Pair Int Int);
+          Cons c _ ->
+            case run c xs of {
+              MkPair len rest ->
+                Cons @(Pair Int Int) (MkPair @Int @Int c len) (go rest)
+            }
+        }
+    in go xs0;
+
+def decodedLength : List (Pair Int Int) -> Int =
+  \\(es : List (Pair Int Int)) ->
+    letrec go : List (Pair Int Int) -> Int -> Int =
+      \\(xs : List (Pair Int Int)) (acc : Int) ->
+        case xs of {
+          Nil -> acc;
+          Cons p rest -> case p of { MkPair _ len -> go rest (acc + len) }
+        }
+    in go es 0;
+
+def main : Int =
+  let encoded : List (Pair Int Int) = encode (input 120) in
+  decodedLength encoded;
+";
+
+/// `grep` — first-occurrence search for several needles over a haystack
+/// list, with a recursive prefix matcher returning `Maybe Int` (index).
+pub const GREP: &str = "
+def haystack : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > n then Nil @Int
+        else Cons @Int ((i * 11 + 5) % 6) (go (i + 1))
+    in go 1;
+
+def prefix : List Int -> List Int -> Bool =
+  \\(pat : List Int) (xs : List Int) ->
+    letrec go : List Int -> List Int -> Bool =
+      \\(p : List Int) (ys : List Int) ->
+        case p of {
+          Nil -> True;
+          Cons a pr ->
+            case ys of {
+              Nil -> False;
+              Cons y yr -> if y == a then go pr yr else False
+            }
+        }
+    in go pat xs;
+
+def findAt : List Int -> List Int -> Maybe Int =
+  \\(pat : List Int) (xs0 : List Int) ->
+    letrec go : List Int -> Int -> Maybe Int =
+      \\(xs : List Int) (i : Int) ->
+        case xs of {
+          Nil -> Nothing @Int;
+          Cons _ rest ->
+            if prefix pat xs then Just @Int i else go rest (i + 1)
+        }
+    in go xs0 0;
+
+def pat2 : Int -> Int -> List Int =
+  \\(a : Int) (b : Int) -> Cons @Int a (Cons @Int b (Nil @Int));
+
+def main : Int =
+  let hay : List Int = haystack 140 in
+  let hit1 : Int = case findAt (pat2 0 4) hay of { Nothing -> 0 - 1; Just i -> i } in
+  let hit2 : Int = case findAt (pat2 3 2) hay of { Nothing -> 0 - 1; Just i -> i } in
+  let hit3 : Int = case findAt (pat2 5 5) hay of { Nothing -> 0 - 1; Just i -> i } in
+  hit1 + 1000 * hit2 + 1000000 * hit3;
+";
+
+/// `infer` — toy type inference over an expression tree: the checker
+/// returns `Maybe Int` (a type code) and threads failure through nested
+/// cases.
+pub const INFER: &str = "
+data E = ELit Int | EBool Bool | EAdd E E | EIf E E E;
+
+def mkE : Int -> E =
+  \\(d : Int) ->
+    letrec go : Int -> Int -> E =
+      \\(depth : Int) (seed : Int) ->
+        if depth <= 0 then
+          (if seed % 2 == 0 then ELit (seed % 9) else EBool (seed % 3 == 0))
+        else if seed % 3 == 0 then
+          EAdd (go (depth - 1) (seed * 5 + 1)) (go (depth - 1) (seed * 7 + 2))
+        else
+          EIf (go (depth - 1) (seed * 3 + 1))
+              (go (depth - 1) (seed * 5 + 2))
+              (go (depth - 1) (seed * 7 + 3))
+    in go d 1;
+
+-- type codes: 1 = Int, 2 = Bool
+def infer : E -> Maybe Int =
+  \\(e0 : E) ->
+    letrec go : E -> Maybe Int =
+      \\(e : E) ->
+        case e of {
+          ELit _ -> Just @Int 1;
+          EBool _ -> Just @Int 2;
+          EAdd a b ->
+            case go a of {
+              Nothing -> Nothing @Int;
+              Just ta ->
+                if ta == 1 then
+                  case go b of {
+                    Nothing -> Nothing @Int;
+                    Just tb -> if tb == 1 then Just @Int 1 else Nothing @Int
+                  }
+                else Nothing @Int
+            };
+          EIf c t f ->
+            case go c of {
+              Nothing -> Nothing @Int;
+              Just tc ->
+                if tc == 2 then
+                  case go t of {
+                    Nothing -> Nothing @Int;
+                    Just tt ->
+                      case go f of {
+                        Nothing -> Nothing @Int;
+                        Just tf -> if tt == tf then Just @Int tt else Nothing @Int
+                      }
+                  }
+                else Nothing @Int
+            }
+        }
+    in go e0;
+
+def score : Int -> Int =
+  \\(seedBase : Int) ->
+    letrec go : Int -> Int -> Int =
+      \\(i : Int) (acc : Int) ->
+        if i > 12 then acc
+        else
+          case infer (mkE (2 + i % 3)) of {
+            Nothing -> go (i + 1) acc;
+            Just t -> go (i + 1) (acc + t)
+          }
+    in go seedBase 0;
+
+def main : Int = score 1;
+";
+
+/// Additional real programs.
+pub fn programs() -> Vec<Program> {
+    vec![
+        Program { name: "compress", suite: Suite::Real, source: COMPRESS, expected: Some(120) },
+        Program { name: "grep", suite: Suite::Real, source: GREP, expected: None },
+        Program { name: "infer", suite: Suite::Real, source: INFER, expected: None },
+    ]
+}

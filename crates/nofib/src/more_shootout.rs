@@ -1,0 +1,110 @@
+//! Additional `shootout` programs — the remaining named benchmarks the
+//! paper's "(5 others)" covers.
+
+use crate::{Program, Suite};
+
+/// `binary-trees` — the classic allocate-and-fold benchmark: tree
+/// construction dominates, so join points are near-neutral (the paper's
+/// quieter shootout rows).
+pub const BINARYTREES: &str = "
+data Tree = Nd Tree Tree | Lf;
+
+def build : Int -> Tree =
+  \\(d : Int) ->
+    letrec go : Int -> Tree =
+      \\(k : Int) ->
+        if k <= 0 then Lf else Nd (go (k - 1)) (go (k - 1))
+    in go d;
+
+def check : Tree -> Int =
+  \\(t0 : Tree) ->
+    letrec go : Tree -> Int =
+      \\(t : Tree) ->
+        case t of {
+          Lf -> 1;
+          Nd l r -> 1 + go l + go r
+        }
+    in go t0;
+
+def main : Int =
+  letrec sweep : Int -> Int -> Int =
+    \\(d : Int) (acc : Int) ->
+      if d > 7 then acc
+      else sweep (d + 1) (acc + check (build d))
+  in sweep 1 0;
+";
+
+/// `fannkuch-redux` — permutation flipping: `flipCount` repeatedly
+/// reverses a prefix of a list until its head is 1, returning the flip
+/// count. The reversal allocates (ballast); the counting loop and the
+/// prefix-reversal inner loops are join-point material.
+pub const FANNKUCH: &str = "
+def revPrefix : Int -> List Int -> List Int =
+  \\(k : Int) (xs : List Int) ->
+    letrec grab : Int -> List Int -> List Int -> Pair (List Int) (List Int) =
+      \\(n : Int) (acc : List Int) (rest : List Int) ->
+        if n <= 0 then MkPair @(List Int) @(List Int) acc rest
+        else
+          case rest of {
+            Nil -> MkPair @(List Int) @(List Int) acc rest;
+            Cons h t -> grab (n - 1) (Cons @Int h acc) t
+          }
+    in
+    letrec append : List Int -> List Int -> List Int =
+      \\(a : List Int) (b : List Int) ->
+        case a of {
+          Nil -> b;
+          Cons h t -> Cons @Int h (append t b)
+        }
+    in
+    case grab k (Nil @Int) xs of {
+      MkPair revd rest -> append revd rest
+    };
+
+def flips : List Int -> Int =
+  \\(p0 : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(p : List Int) (n : Int) ->
+        if n > 40 then n
+        else
+          case p of {
+            Nil -> n;
+            Cons h _ ->
+              if h == 1 then n
+              else go (revPrefix h p) (n + 1)
+          }
+    in go p0 0;
+
+def perm : Int -> List Int =
+  \\(seed : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > 6 then Nil @Int
+        else Cons @Int (1 + (i * seed + seed) % 6) (go (i + 1))
+    in go 1;
+
+def main : Int =
+  letrec sweep : Int -> Int -> Int =
+    \\(s : Int) (acc : Int) ->
+      if s > 20 then acc
+      else sweep (s + 1) (acc + flips (perm s))
+  in sweep 1 0;
+";
+
+/// Additional shootout programs.
+pub fn programs() -> Vec<Program> {
+    vec![
+        Program {
+            name: "binary-trees",
+            suite: Suite::Shootout,
+            source: BINARYTREES,
+            expected: None,
+        },
+        Program {
+            name: "fannkuch-redux",
+            suite: Suite::Shootout,
+            source: FANNKUCH,
+            expected: None,
+        },
+    ]
+}

@@ -1,0 +1,253 @@
+//! Additional `spectral` programs — analogues for a slice of the
+//! "(45 others)" the paper's Table 1 summarizes without naming rows.
+//! Each is algorithmically distinct; together they broaden the mix of
+//! join-point-relevant and join-point-neutral shapes.
+
+use crate::{Program, Suite};
+
+/// `queens` — N-queens counting by backtracking over placement lists.
+/// The safety check is a tail-recursive `Bool` loop (contifiable); the
+/// backtracking itself is non-tail (join-neutral), and the placement
+/// lists are real allocation ballast.
+pub const QUEENS: &str = "
+def safe : Int -> Int -> List Int -> Bool =
+  \\(col : Int) (row : Int) (placed : List Int) ->
+    letrec go : Int -> List Int -> Bool =
+      \\(d : Int) (ps : List Int) ->
+        case ps of {
+          Nil -> True;
+          Cons r rest ->
+            if r == row then False
+            else if r - row == d then False
+            else if row - r == d then False
+            else go (d + 1) rest
+        }
+    in go 1 placed;
+
+def countQueens : Int -> Int =
+  \\(n : Int) ->
+    letrec place : Int -> List Int -> Int =
+      \\(col : Int) (placed : List Int) ->
+        if col > n then 1
+        else
+          letrec tryRow : Int -> Int -> Int =
+            \\(row : Int) (acc : Int) ->
+              if row > n then acc
+              else if safe col row placed
+              then tryRow (row + 1) (acc + place (col + 1) (Cons @Int row placed))
+              else tryRow (row + 1) acc
+          in tryRow 1 0
+    in place 1 (Nil @Int);
+
+def main : Int = countQueens 6;
+";
+
+/// `clausify` — propositional formulas to negation normal form and a
+/// clause-ish count: pure tree rewriting, join points neutral.
+pub const CLAUSIFY: &str = "
+data Form = FVar Int | FNot Form | FAnd Form Form | FOr Form Form;
+
+def mkForm : Int -> Form =
+  \\(depth : Int) ->
+    letrec go : Int -> Int -> Form =
+      \\(d : Int) (seed : Int) ->
+        if d <= 0 then FVar (seed % 7)
+        else if seed % 3 == 0 then FNot (go (d - 1) (seed * 5 + 1))
+        else if seed % 3 == 1 then FAnd (go (d - 1) (seed * 2 + 1)) (go (d - 1) (seed * 3 + 2))
+        else FOr (go (d - 1) (seed * 2 + 1)) (go (d - 1) (seed * 3 + 2))
+    in go depth 1;
+
+-- push negations inward
+def nnf : Form -> Form =
+  \\(f0 : Form) ->
+    letrec pos : Form -> Form =
+      \\(f : Form) ->
+        case f of {
+          FVar v -> FVar v;
+          FNot g -> neg g;
+          FAnd a b -> FAnd (pos a) (pos b);
+          FOr a b -> FOr (pos a) (pos b)
+        }
+    and neg : Form -> Form =
+      \\(f : Form) ->
+        case f of {
+          FVar v -> FNot (FVar v);
+          FNot g -> pos g;
+          FAnd a b -> FOr (neg a) (neg b);
+          FOr a b -> FAnd (neg a) (neg b)
+        }
+    in pos f0;
+
+def weight : Form -> Int =
+  \\(f0 : Form) ->
+    letrec go : Form -> Int =
+      \\(f : Form) ->
+        case f of {
+          FVar v -> 1;
+          FNot g -> 1 + go g;
+          FAnd a b -> go a + go b;
+          FOr a b -> 1 + go a + go b
+        }
+    in go f0;
+
+def main : Int = weight (nnf (FNot (mkForm 8)));
+";
+
+/// `knights` — counting bounded knight's-tour paths on a small board:
+/// branching recursion with an inner membership test loop.
+pub const KNIGHTS: &str = "
+def onBoard : Int -> Bool =
+  \\(sq : Int) ->
+    letrec within : Int -> Bool =
+      \\(s : Int) -> if s < 0 then False else (if s > 24 then False else True)
+    in within sq;
+
+def member : Int -> List Int -> Bool =
+  \\(x : Int) (xs : List Int) ->
+    letrec go : List Int -> Bool =
+      \\(ys : List Int) ->
+        case ys of {
+          Nil -> False;
+          Cons y t -> if y == x then True else go t
+        }
+    in go xs;
+
+def tours : Int -> Int =
+  \\(depth : Int) ->
+    letrec go : Int -> Int -> List Int -> Int =
+      \\(d : Int) (sq : Int) (seen : List Int) ->
+        if d <= 0 then 1
+        else
+          let seen2 : List Int = Cons @Int sq seen in
+          letrec tryMove : Int -> Int -> Int =
+            \\(m : Int) (acc : Int) ->
+              if m > 4 then acc
+              else
+                let dest : Int = (sq + m * 7 + 3) % 25 in
+                if onBoard dest
+                then
+                  (if member dest seen2
+                   then tryMove (m + 1) acc
+                   else tryMove (m + 1) (acc + go (d - 1) dest seen2))
+                else tryMove (m + 1) acc
+          in tryMove 1 0
+    in go depth 0 (Nil @Int);
+
+def main : Int = tours 5;
+";
+
+/// `mandel` — escape-time iteration: the inner orbit loop returns
+/// `Maybe Int` (escaped at step k, or bounded), consumed per pixel — the
+/// find/any shape again, over a pixel grid.
+pub const MANDEL: &str = "
+-- scaled integer orbit: z <- (z*z + c) / 100, escape when |z| > 400
+def escapeAt : Int -> Maybe Int =
+  \\(c : Int) ->
+    letrec go : Int -> Int -> Maybe Int =
+      \\(z : Int) (k : Int) ->
+        if k > 30 then Nothing @Int
+        else if z > 400 then Just @Int k
+        else if z < 0 - 400 then Just @Int k
+        else go ((z * z) / 100 + c) (k + 1)
+    in go 0 0;
+
+def pixels : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > n then Nil @Int
+        else Cons @Int (i * 13 % 900 - 450) (go (i + 1))
+    in go 1;
+
+def render : List Int -> Int =
+  \\(ps : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(xs : List Int) (acc : Int) ->
+        case xs of {
+          Nil -> acc;
+          Cons c rest ->
+            case escapeAt c of {
+              Nothing -> go rest acc;
+              Just k -> go rest (acc + k)
+            }
+        }
+    in go ps 0;
+
+def main : Int = render (pixels 120);
+";
+
+/// `boyer` — term rewriting to a fixed point: a rule matcher that
+/// returns `Maybe Term` (recursive — it walks the term), driven from a
+/// rewrite loop. The matcher is the join-point-relevant part; the terms
+/// themselves are ballast.
+pub const BOYER: &str = "
+data Term = TVar Int | TF Term | TG Term Term;
+
+def mkTerm : Int -> Term =
+  \\(d : Int) ->
+    letrec go : Int -> Int -> Term =
+      \\(depth : Int) (seed : Int) ->
+        if depth <= 0 then TVar (seed % 5)
+        else if seed % 2 == 0 then TF (go (depth - 1) (seed * 3 + 1))
+        else TG (go (depth - 1) (seed * 5 + 2)) (go (depth - 1) (seed * 7 + 3))
+    in go d 1;
+
+-- one rewrite step somewhere in the term, if a redex exists:
+--   TF (TF t)    =>  TF t
+--   TG t (TVar v) => TF t
+def step : Term -> Maybe Term =
+  \\(t0 : Term) ->
+    letrec go : Term -> Maybe Term =
+      \\(t : Term) ->
+        case t of {
+          TVar v -> Nothing @Term;
+          TF u ->
+            case u of {
+              TF w -> Just @Term (TF w);
+              _ ->
+                case go u of {
+                  Nothing -> Nothing @Term;
+                  Just u2 -> Just @Term (TF u2)
+                }
+            };
+          TG a b ->
+            case b of {
+              TVar v -> Just @Term (TF a);
+              _ ->
+                case go a of {
+                  Just a2 -> Just @Term (TG a2 b);
+                  Nothing ->
+                    case go b of {
+                      Nothing -> Nothing @Term;
+                      Just b2 -> Just @Term (TG a b2)
+                    }
+                }
+            }
+        }
+    in go t0;
+
+def normalize : Term -> Int =
+  \\(t0 : Term) ->
+    letrec loop : Term -> Int -> Int =
+      \\(t : Term) (n : Int) ->
+        if n > 40 then n
+        else
+          case step t of {
+            Nothing -> n;
+            Just t2 -> loop t2 (n + 1)
+          }
+    in loop t0 0;
+
+def main : Int = normalize (mkTerm 6) + normalize (mkTerm 7);
+";
+
+/// Additional spectral programs.
+pub fn programs() -> Vec<Program> {
+    vec![
+        Program { name: "boyer", suite: Suite::Spectral, source: BOYER, expected: None },
+        Program { name: "clausify", suite: Suite::Spectral, source: CLAUSIFY, expected: None },
+        Program { name: "knights", suite: Suite::Spectral, source: KNIGHTS, expected: None },
+        Program { name: "mandel", suite: Suite::Spectral, source: MANDEL, expected: None },
+        Program { name: "queens", suite: Suite::Spectral, source: QUEENS, expected: Some(4) },
+    ]
+}

@@ -1,0 +1,273 @@
+//! The `real` suite: NoFib-analogue programs named after the rows of the
+//! paper's Table 1 (`real` column).
+
+use crate::{Program, Suite};
+
+/// `anna` — abstract interpretation over a tiny lattice: deeply nested
+/// `case` analysis with shared result construction; join points are
+/// mostly neutral here, as in the paper (+0.5%).
+pub const ANNA: &str = "
+data Abs = Bot | Zero | Pos | Top;
+
+def join2 : Abs -> Abs -> Abs =
+  \\(a : Abs) (b : Abs) ->
+    case a of {
+      Bot -> b;
+      Zero -> case b of { Bot -> Zero; Zero -> Zero; Pos -> Top; Top -> Top };
+      Pos -> case b of { Bot -> Pos; Zero -> Top; Pos -> Pos; Top -> Top };
+      Top -> Top
+    };
+
+def absAdd : Abs -> Abs -> Abs =
+  \\(a : Abs) (b : Abs) ->
+    case a of {
+      Bot -> Bot;
+      Zero -> b;
+      Pos -> case b of { Bot -> Bot; Zero -> Pos; Pos -> Pos; Top -> Top };
+      Top -> case b of { Bot -> Bot; _ -> Top }
+    };
+
+def rank : Abs -> Int =
+  \\(a : Abs) -> case a of { Bot -> 0; Zero -> 1; Pos -> 2; Top -> 3 };
+
+def ofInt : Int -> Abs =
+  \\(n : Int) -> if n == 0 then Zero else (if n > 0 then Pos else Top);
+
+def analyze : Int -> Int =
+  \\(n : Int) ->
+    letrec go : Int -> Abs -> Int -> Int =
+      \\(i : Int) (acc : Abs) (score : Int) ->
+        if i > n then score
+        else
+          let v : Abs = absAdd acc (ofInt ((i * 7) % 5 - 2)) in
+          go (i + 1) (join2 v acc) (score + rank v)
+    in go 1 Bot 0;
+
+def main : Int = analyze 150;
+";
+
+/// `cacheprof` — bucketed event counting: the bucket lookup is a small
+/// tail-recursive search (−0.5% in the paper).
+pub const CACHEPROF: &str = "
+def bucketOf : Int -> Int =
+  \\(addr : Int) ->
+    letrec go : Int -> Int =
+      \\(b : Int) ->
+        if addr < (b + 1) * 64 then b else go (b + 1)
+    in go 0;
+
+def simulate : Int -> Int =
+  \\(accesses : Int) ->
+    letrec go : Int -> Int -> Int -> Int =
+      \\(i : Int) (addr : Int) (hits : Int) ->
+        if i > accesses then hits
+        else
+          let a2 : Int = (addr * 131 + 7) % 1024 in
+          let b : Int = bucketOf a2 in
+          if b % 4 == 0 then go (i + 1) a2 (hits + 1)
+          else go (i + 1) a2 hits
+    in go 1 1 0;
+
+def main : Int = simulate 120;
+";
+
+/// `fem` — finite-element-style assembly: index arithmetic over list
+/// structures, mostly allocation for the mesh itself (paper: +3.6%).
+pub const FEM: &str = "
+def mesh : Int -> List (Pair Int Int) =
+  \\(n : Int) ->
+    letrec go : Int -> List (Pair Int Int) =
+      \\(i : Int) ->
+        if i > n then Nil @(Pair Int Int)
+        else Cons @(Pair Int Int)
+               (MkPair @Int @Int (i % 13) ((i * i) % 13))
+               (go (i + 1))
+    in go 1;
+
+def stiffness : Pair Int Int -> Int =
+  \\(el : Pair Int Int) ->
+    case el of { MkPair a b -> a * a + 2 * a * b + b };
+
+def assemble : List (Pair Int Int) -> Int =
+  \\(els : List (Pair Int Int)) ->
+    letrec go : List (Pair Int Int) -> Int -> Int =
+      \\(es : List (Pair Int Int)) (acc : Int) ->
+        case es of {
+          Nil -> acc;
+          Cons e rest -> go rest (acc + stiffness e)
+        }
+    in go els 0;
+
+def main : Int = assemble (mesh 100);
+";
+
+/// `gamteb` — Monte-Carlo photon transport: an LCG random walk whose
+/// step outcome is a `Maybe` (absorbed or scattered) consumed by the
+/// walk loop (−1.4% in the paper).
+pub const GAMTEB: &str = "
+def next : Int -> Int =
+  \\(s : Int) -> (s * 1103515245 + 12345) % 2147483647;
+
+def seeds : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > n then Nil @Int else Cons @Int (next (i * 7 + 1)) (go (i + 1))
+    in go 1;
+
+-- walk a photon: Just k if absorbed at step k (< cap), Nothing otherwise
+def absorbAt : Int -> Int -> Maybe Int =
+  \\(seed : Int) (cap : Int) ->
+    letrec go : Int -> Int -> Maybe Int =
+      \\(s : Int) (k : Int) ->
+        if k > cap then Nothing @Int
+        else if s % 100 < 8 then Just @Int k
+        else go (next s) (k + 1)
+    in go seed 0;
+
+def transport : List Int -> Int =
+  \\(ss : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(xs : List Int) (acc : Int) ->
+        case xs of {
+          Nil -> acc;
+          Cons s rest ->
+            case absorbAt s 40 of {
+              Nothing -> go rest (acc + 40);
+              Just k -> go rest (acc + k)
+            }
+        }
+    in go ss 0;
+
+def main : Int = transport (seeds 25);
+";
+
+/// `hpg` — random test-data generation: an LCG drives choices among
+/// constructors; chooser loops are tail-recursive (−2.1% in the paper).
+pub const HPG: &str = "
+data Val = VInt Int | VBool Bool | VList (List Int);
+
+def next : Int -> Int =
+  \\(s : Int) -> (s * 48271) % 2147483647;
+
+def genList : Int -> Int -> List Int =
+  \\(s : Int) (len : Int) ->
+    letrec go : Int -> Int -> List Int =
+      \\(st : Int) (k : Int) ->
+        if k <= 0 then Nil @Int
+        else Cons @Int (st % 10) (go (next st) (k - 1))
+    in go s len;
+
+def genVal : Int -> Val =
+  \\(s : Int) ->
+    let c : Int = s % 3 in
+    if c == 0 then VInt (s % 1000)
+    else if c == 1 then VBool (s % 2 == 0)
+    else VList (genList s (s % 5));
+
+def size : Val -> Int =
+  \\(v : Val) ->
+    case v of {
+      VInt n -> 1;
+      VBool b -> 1;
+      VList xs ->
+        letrec go : List Int -> Int -> Int =
+          \\(ys : List Int) (acc : Int) ->
+            case ys of { Nil -> acc; Cons _ t -> go t (acc + 1) }
+        in go xs 0
+    };
+
+def main : Int =
+  letrec go : Int -> Int -> Int -> Int =
+    \\(i : Int) (s : Int) (acc : Int) ->
+      if i > 60 then acc
+      else go (i + 1) (next s) (acc + size (genVal s))
+  in go 1 7 0;
+";
+
+/// `parser` — tokenizing an integer-encoded input: a classifier with an
+/// inner scan loop returning `Pair token rest` (+1.2% in the paper).
+pub const PARSER: &str = "
+def input : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > n then Nil @Int
+        else Cons @Int ((i * 31 + 17) % 4) (go (i + 1))
+    in go 1;
+
+-- scan a run of equal classes; returns (run length, rest)
+def scanRun : Int -> List Int -> Pair Int (List Int) =
+  \\(cls : Int) (xs : List Int) ->
+    letrec go : Int -> List Int -> Pair Int (List Int) =
+      \\(len : Int) (rest : List Int) ->
+        case rest of {
+          Nil -> MkPair @Int @(List Int) len rest;
+          Cons c more ->
+            if c == cls then go (len + 1) more
+            else MkPair @Int @(List Int) len rest
+        }
+    in go 0 xs;
+
+def countTokens : List Int -> Int =
+  \\(xs0 : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(xs : List Int) (n : Int) ->
+        case xs of {
+          Nil -> n;
+          Cons c _ ->
+            case scanRun c xs of {
+              MkPair len rest -> go rest (n + 1)
+            }
+        }
+    in go xs0 0;
+
+def main : Int = countTokens (input 150);
+";
+
+/// `rsa` — modular exponentiation by repeated squaring, used to encrypt
+/// a block list (−4.7% in the paper: the per-block modpow loop contifies
+/// and its `Pair` state vanishes).
+pub const RSA: &str = "
+def modpow : Int -> Int -> Int -> Int =
+  \\(base : Int) (e : Int) (m : Int) ->
+    letrec go : Int -> Int -> Int -> Int =
+      \\(b : Int) (k : Int) (acc : Int) ->
+        if k <= 0 then acc
+        else if k % 2 == 1 then go ((b * b) % m) (k / 2) ((acc * b) % m)
+        else go ((b * b) % m) (k / 2) acc
+    in go (base % m) e 1;
+
+def blocks : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > n then Nil @Int
+        else Cons @Int (10 + (i * 97) % 1000) (go (i + 1))
+    in go 1;
+
+def encryptSum : List Int -> Int =
+  \\(ms : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(xs : List Int) (acc : Int) ->
+        case xs of {
+          Nil -> acc;
+          Cons m rest -> go rest ((acc + modpow m 17 3233) % 1000003)
+        }
+    in go ms 0;
+
+def main : Int = encryptSum (blocks 40);
+";
+
+/// All `real` programs, in Table 1 row order.
+pub fn programs() -> Vec<Program> {
+    vec![
+        Program { name: "anna", suite: Suite::Real, source: ANNA, expected: None },
+        Program { name: "cacheprof", suite: Suite::Real, source: CACHEPROF, expected: None },
+        Program { name: "fem", suite: Suite::Real, source: FEM, expected: None },
+        Program { name: "gamteb", suite: Suite::Real, source: GAMTEB, expected: None },
+        Program { name: "hpg", suite: Suite::Real, source: HPG, expected: None },
+        Program { name: "parser", suite: Suite::Real, source: PARSER, expected: None },
+        Program { name: "rsa", suite: Suite::Real, source: RSA, expected: None },
+    ]
+}

@@ -1,0 +1,136 @@
+//! The `shootout` suite: the paper's most dramatic rows. `n-body` lost
+//! **all** of its allocations (−100.0%) and `k-nucleotide` 85.9%; both
+//! are hand-tuned inner loops in stream style, which is exactly the shape
+//! where preserving join points lets every intermediate constructor
+//! cancel.
+
+use crate::{Program, Suite};
+
+/// `n-body` — an energy summation in skip-less stream style: the stepper
+/// has a recursive "seek" loop (negligible bodies are skipped), and the
+/// consumer scrutinizes its `Step` result. With join points the whole
+/// pipeline fuses to straight-line arithmetic: **zero allocations**.
+pub const NBODY: &str = "
+def force : Int -> Int =
+  \\(i : Int) -> (i * i * 3 + i * 7) % 1000;
+
+-- skip-less stepper over bodies s..n, skipping negligible contributions
+def stepE : Int -> Int -> Step Int Int =
+  \\(n : Int) (s : Int) ->
+    letrec seek : Int -> Step Int Int =
+      \\(i : Int) ->
+        if i > n then Done @Int @Int
+        else if force i % 3 == 0 then seek (i + 1)
+        else Yield @Int @Int (force i) (i + 1)
+    in seek s;
+
+def energy : Int -> Int =
+  \\(n : Int) ->
+    letrec go : Int -> Int -> Int =
+      \\(s : Int) (acc : Int) ->
+        case stepE n s of {
+          Done -> acc;
+          Yield e s2 -> go s2 (acc + e)
+        }
+    in go 1 0;
+
+def main : Int = energy 200;
+";
+
+/// `k-nucleotide` — count occurrences of 2-mers in a synthetic sequence.
+/// The sequence list is real data (allocated in both configurations);
+/// the per-position matcher is a `Maybe`-returning inner loop whose
+/// result is immediately scrutinized — that part fuses away entirely,
+/// leaving only the sequence allocation (a large but partial win).
+pub const KNUCLEOTIDE: &str = "
+def sequence : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > n then Nil @Int
+        else Cons @Int ((i * 7 + i / 3) % 4) (go (i + 1))
+    in go 1;
+
+-- does the pattern match at the head of xs? (recursive prefix matcher)
+def matchHere : List Int -> List Int -> Maybe (List Int) =
+  \\(pat : List Int) (xs : List Int) ->
+    letrec go : List Int -> List Int -> Maybe (List Int) =
+      \\(p : List Int) (ys : List Int) ->
+        case p of {
+          Nil -> Just @(List Int) ys;
+          Cons a pr ->
+            case ys of {
+              Nil -> Nothing @(List Int);
+              Cons y yr ->
+                if y == a then go pr yr else Nothing @(List Int)
+            }
+        }
+    in go pat xs;
+
+def countMatches : List Int -> List Int -> Int =
+  \\(pat : List Int) (xs0 : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(xs : List Int) (acc : Int) ->
+        case xs of {
+          Nil -> acc;
+          Cons _ rest ->
+            case matchHere pat xs of {
+              Nothing -> go rest acc;
+              Just _ -> go rest (acc + 1)
+            }
+        }
+    in go xs0 0;
+
+def pat2 : Int -> Int -> List Int =
+  \\(a : Int) (b : Int) -> Cons @Int a (Cons @Int b (Nil @Int));
+
+def main : Int =
+  let seq : List Int = sequence 150 in
+  countMatches (pat2 0 1) seq
+    + countMatches (pat2 1 2) seq * 10
+    + countMatches (pat2 2 3) seq * 100;
+";
+
+/// `spectral-norm` — pure nested arithmetic loops; both configurations
+/// contify the loops, so the delta is small (−0.8% in the paper).
+pub const SPECTRALNORM: &str = "
+def a : Int -> Int -> Int =
+  \\(i : Int) (j : Int) -> 1 + ((i + j) * (i + j + 1)) / 2 + i;
+
+def multiplyRow : Int -> Int -> Int =
+  \\(n : Int) (i : Int) ->
+    letrec go : Int -> Int -> Int =
+      \\(j : Int) (acc : Int) ->
+        if j > n then acc
+        else go (j + 1) (acc + 1000 / a i j)
+    in go 0 0;
+
+def norm : Int -> Int =
+  \\(n : Int) ->
+    letrec go : Int -> Int -> Int =
+      \\(i : Int) (acc : Int) ->
+        if i > n then acc
+        else go (i + 1) (acc + multiplyRow n i)
+    in go 0 0;
+
+def main : Int = norm 25;
+";
+
+/// All `shootout` programs, in Table 1 row order.
+pub fn programs() -> Vec<Program> {
+    vec![
+        Program {
+            name: "k-nucleotide",
+            suite: Suite::Shootout,
+            source: KNUCLEOTIDE,
+            expected: None,
+        },
+        Program { name: "n-body", suite: Suite::Shootout, source: NBODY, expected: None },
+        Program {
+            name: "spectral-norm",
+            suite: Suite::Shootout,
+            source: SPECTRALNORM,
+            expected: None,
+        },
+    ]
+}

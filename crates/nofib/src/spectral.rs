@@ -1,0 +1,382 @@
+//! The `spectral` suite: NoFib-analogue programs named after the rows of
+//! the paper's Table 1.
+//!
+//! Each program is a self-contained surface-language source engineered to
+//! exhibit the optimization profile the paper reports for its namesake:
+//! local loops returning `Maybe`/`Pair` results that a consumer
+//! scrutinizes (join points win), or code where join points are simply
+//! neutral. We reproduce the *shape* of the column, not GHC's absolute
+//! percentages.
+
+use crate::{Program, Suite};
+
+/// `fibheaps` — priority-queue workload: repeated insert/delete-min on a
+/// sorted-list heap, with a local merge loop.
+pub const FIBHEAPS: &str = "
+-- insert into a sorted list (the degenerate heap)
+def insert : Int -> List Int -> List Int =
+  \\(x : Int) (h : List Int) ->
+    letrec go : List Int -> List Int =
+      \\(ys : List Int) ->
+        case ys of {
+          Nil -> Cons @Int x (Nil @Int);
+          Cons y t ->
+            if x <= y then Cons @Int x ys
+            else Cons @Int y (go t)
+        }
+    in go h;
+
+def deleteMin : List Int -> Pair Int (List Int) =
+  \\(h : List Int) ->
+    case h of {
+      Nil -> MkPair @Int @(List Int) (0 - 1) (Nil @Int);
+      Cons m t -> MkPair @Int @(List Int) m t
+    };
+
+-- drain the heap, summing the minima
+def drain : List Int -> Int =
+  \\(h0 : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(h : List Int) (acc : Int) ->
+        case h of {
+          Nil -> acc;
+          Cons _ _ ->
+            case deleteMin h of {
+              MkPair m rest -> go rest (acc + m)
+            }
+        }
+    in go h0 0;
+
+def build : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int -> List Int =
+      \\(i : Int) (h : List Int) ->
+        if i <= 0 then h
+        else go (i - 1) (insert ((i * 37) % 101) h)
+    in go n (Nil @Int);
+
+def main : Int = drain (build 60);
+";
+
+/// `ida` — iterative-deepening search over an implicit graph: a bounded
+/// DFS returning `Maybe Int`, retried with increasing depth.
+pub const IDA: &str = "
+-- implicit graph: from node v, neighbours are (v*2)%97 and (v*3+1)%97
+def dfs : Int -> Int -> Int -> Maybe Int =
+  \\(goal : Int) (depth : Int) (v : Int) ->
+    letrec go : Int -> Int -> Maybe Int =
+      \\(d : Int) (u : Int) ->
+        if u == goal then Just @Int d
+        else if d <= 0 then Nothing @Int
+        else
+          case go (d - 1) ((u * 2) % 97) of {
+            Just k -> Just @Int k;
+            Nothing -> go (d - 1) ((u * 3 + 1) % 97)
+          }
+    in go depth v;
+
+def ida : Int -> Int -> Int =
+  \\(start : Int) (goal : Int) ->
+    letrec try : Int -> Int =
+      \\(depth : Int) ->
+        if depth > 9 then 0 - 1
+        else
+          case dfs goal depth start of {
+            Just _ -> depth;
+            Nothing -> try (depth + 1)
+          }
+    in try 1;
+
+def main : Int = ida 1 54 + ida 2 33 + ida 3 76;
+";
+
+/// `nucleic2` — data-construction-heavy: builds and folds structures with
+/// little scrutinee/constructor cancellation, so join points are neutral.
+pub const NUCLEIC2: &str = "
+data Atom = MkAtom Int Int Int;
+
+def dot : Atom -> Atom -> Int =
+  \\(p : Atom) (q : Atom) ->
+    case p of {
+      MkAtom px py pz ->
+        case q of {
+          MkAtom qx qy qz -> px * qx + py * qy + pz * qz
+        }
+    };
+
+def rotate : Atom -> Atom =
+  \\(p : Atom) ->
+    case p of {
+      MkAtom x y z -> MkAtom (y % 91) (z % 91) (x % 91)
+    };
+
+def chain : Int -> List Atom =
+  \\(n : Int) ->
+    letrec go : Int -> List Atom =
+      \\(i : Int) ->
+        if i > n then Nil @Atom
+        else Cons @Atom (MkAtom i (i * i % 91) (i * 3 % 91)) (go (i + 1))
+    in go 1;
+
+def energy : List Atom -> Int =
+  \\(atoms : List Atom) ->
+    letrec go : List Atom -> Int -> Int =
+      \\(ps : List Atom) (acc : Int) ->
+        case ps of {
+          Nil -> acc;
+          Cons p rest -> go rest (acc + dot p (rotate p))
+        }
+    in go atoms 0;
+
+def main : Int = energy (chain 80);
+";
+
+/// `para` — paragraph filling: break a list of word lengths into lines of
+/// bounded width; the line-filling loop returns a `Pair`.
+pub const PARA: &str = "
+def words : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > n then Nil @Int
+        else Cons @Int (3 + (i * 7) % 9) (go (i + 1))
+    in go 1;
+
+-- fill one line: returns (line width used, rest of words)
+def fillLine : Int -> List Int -> Pair Int (List Int) =
+  \\(width : Int) (ws : List Int) ->
+    letrec go : Int -> List Int -> Pair Int (List Int) =
+      \\(used : Int) (rest : List Int) ->
+        case rest of {
+          Nil -> MkPair @Int @(List Int) used rest;
+          Cons w more ->
+            if used + w + 1 > width
+            then MkPair @Int @(List Int) used rest
+            else go (used + w + 1) more
+        }
+    in go 0 ws;
+
+def countLines : Int -> List Int -> Int =
+  \\(width : Int) (ws0 : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(ws : List Int) (n : Int) ->
+        case ws of {
+          Nil -> n;
+          Cons _ _ ->
+            case fillLine width ws of {
+              MkPair _ rest -> go rest (n + 1)
+            }
+        }
+    in go ws0 0;
+
+def main : Int = countLines 30 (words 120);
+";
+
+/// `primetest` — trial-division primality with an inner divisor loop
+/// returning `Bool`, consumed by a counting loop.
+pub const PRIMETEST: &str = "
+def candidates : Int -> List Int =
+  \\(limit : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > limit then Nil @Int else Cons @Int i (go (i + 1))
+    in go 2;
+
+def isPrime : Int -> Bool =
+  \\(n : Int) ->
+    if n < 2 then False
+    else
+      letrec go : Int -> Bool =
+        \\(d : Int) ->
+          if d * d > n then True
+          else if n % d == 0 then False
+          else go (d + 1)
+      in go 2;
+
+def countPrimes : List Int -> Int =
+  \\(ns : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(xs : List Int) (acc : Int) ->
+        case xs of {
+          Nil -> acc;
+          Cons n rest ->
+            if isPrime n then go rest (acc + 1) else go rest acc
+        }
+    in go ns 0;
+
+def main : Int = countPrimes (candidates 200);
+";
+
+/// `simple` — plain arithmetic recurrences; loops contify but there was
+/// nothing to allocate anyway, so the win is modest.
+pub const SIMPLE: &str = "
+def step : Int -> Int =
+  \\(x : Int) -> (x * 1103515245 + 12345) % 2147483647;
+
+def seeds : Int -> List Int =
+  \\(n : Int) ->
+    letrec go : Int -> List Int =
+      \\(i : Int) ->
+        if i > n then Nil @Int else Cons @Int (i * 3 + 1) (go (i + 1))
+    in go 1;
+
+def iterate : Int -> Int -> Int =
+  \\(n : Int) (x0 : Int) ->
+    letrec go : Int -> Int -> Int =
+      \\(i : Int) (x : Int) ->
+        if i <= 0 then x else go (i - 1) (step x)
+    in go n x0;
+
+def sumAll : List Int -> Int =
+  \\(xs0 : List Int) ->
+    letrec go : List Int -> Int -> Int =
+      \\(xs : List Int) (acc : Int) ->
+        case xs of {
+          Nil -> acc;
+          Cons x rest -> go rest ((acc + iterate 20 x) % 100000)
+        }
+    in go xs0 0;
+
+def main : Int = sumAll (seeds 30);
+";
+
+/// `solid` — the suite's best case: geometric queries where every
+/// candidate test is a local `Maybe`-returning search consumed by a case
+/// (`find`/`any` composition, Sec. 5 of the paper).
+pub const SOLID: &str = "
+data Seg = MkSeg Int Int;
+
+def segs : Int -> List Seg =
+  \\(n : Int) ->
+    letrec go : Int -> List Seg =
+      \\(i : Int) ->
+        if i > n then Nil @Seg
+        else Cons @Seg (MkSeg ((i * 13) % 50) ((i * 13) % 50 + (i % 7) + 1))
+                       (go (i + 1))
+    in go 1;
+
+-- first segment containing x, if any
+def findHit : Int -> List Seg -> Maybe Seg =
+  \\(x : Int) (ss : List Seg) ->
+    letrec go : List Seg -> Maybe Seg =
+      \\(rest : List Seg) ->
+        case rest of {
+          Nil -> Nothing @Seg;
+          Cons s more ->
+            case s of {
+              MkSeg lo hi ->
+                if lo <= x then (if x <= hi then Just @Seg s else go more)
+                else go more
+            }
+        }
+    in go ss;
+
+def hits : List Seg -> Int -> Int =
+  \\(ss : List Seg) (probes : Int) ->
+    letrec go : Int -> Int -> Int =
+      \\(i : Int) (acc : Int) ->
+        if i > probes then acc
+        else
+          case findHit ((i * 17) % 60) ss of {
+            Nothing -> go (i + 1) acc;
+            Just s -> case s of { MkSeg lo hi -> go (i + 1) (acc + hi - lo) }
+          }
+    in go 1 0;
+
+def main : Int = hits (segs 40) 120;
+";
+
+/// `sphere` — ray-casting: per-ray intersection search returning
+/// `Maybe Int`, consumed immediately (shade or background).
+pub const SPHERE: &str = "
+data Sphere = MkSphere Int Int;
+
+def scene : Int -> List Sphere =
+  \\(n : Int) ->
+    letrec go : Int -> List Sphere =
+      \\(i : Int) ->
+        if i > n then Nil @Sphere
+        else Cons @Sphere (MkSphere ((i * 23) % 40) (2 + i % 5)) (go (i + 1))
+    in go 1;
+
+def firstHit : Int -> List Sphere -> Maybe Int =
+  \\(ray : Int) (ss : List Sphere) ->
+    letrec go : List Sphere -> Maybe Int =
+      \\(rest : List Sphere) ->
+        case rest of {
+          Nil -> Nothing @Int;
+          Cons s more ->
+            case s of {
+              MkSphere c r ->
+                if c - r <= ray then
+                  (if ray <= c + r then Just @Int (c + r - ray) else go more)
+                else go more
+            }
+        }
+    in go ss;
+
+def render : List Sphere -> Int -> Int =
+  \\(ss : List Sphere) (rays : Int) ->
+    letrec go : Int -> Int -> Int =
+      \\(i : Int) (acc : Int) ->
+        if i > rays then acc
+        else
+          case firstHit ((i * 11) % 45) ss of {
+            Nothing -> go (i + 1) acc;
+            Just shade -> go (i + 1) (acc + shade)
+          }
+    in go 1 0;
+
+def main : Int = render (scene 30) 100;
+";
+
+/// `transform` — tree rewriting: repeated constructor build/match with
+/// shared big branches; join points are near-neutral here.
+pub const TRANSFORM: &str = "
+data Tree = Leaf Int | Node Tree Tree;
+
+def build : Int -> Tree =
+  \\(d : Int) ->
+    letrec go : Int -> Int -> Tree =
+      \\(depth : Int) (seed : Int) ->
+        if depth <= 0 then Leaf (seed % 17)
+        else Node (go (depth - 1) (seed * 2 + 1)) (go (depth - 1) (seed * 3 + 2))
+    in go d 1;
+
+def rewrite : Tree -> Tree =
+  \\(t : Tree) ->
+    letrec go : Tree -> Tree =
+      \\(u : Tree) ->
+        case u of {
+          Leaf n -> if n % 2 == 0 then Leaf (n + 1) else Leaf n;
+          Node l r -> Node (go r) (go l)
+        }
+    in go t;
+
+def sumT : Tree -> Int =
+  \\(t : Tree) ->
+    letrec go : Tree -> Int =
+      \\(u : Tree) ->
+        case u of {
+          Leaf n -> n;
+          Node l r -> go l + go r
+        }
+    in go t;
+
+def main : Int = sumT (rewrite (rewrite (build 7)));
+";
+
+/// All spectral programs, in Table 1 row order.
+pub fn programs() -> Vec<Program> {
+    vec![
+        Program { name: "fibheaps", suite: Suite::Spectral, source: FIBHEAPS, expected: None },
+        Program { name: "ida", suite: Suite::Spectral, source: IDA, expected: None },
+        Program { name: "nucleic2", suite: Suite::Spectral, source: NUCLEIC2, expected: None },
+        Program { name: "para", suite: Suite::Spectral, source: PARA, expected: None },
+        Program { name: "primetest", suite: Suite::Spectral, source: PRIMETEST, expected: Some(46) },
+        Program { name: "simple", suite: Suite::Spectral, source: SIMPLE, expected: None },
+        Program { name: "solid", suite: Suite::Spectral, source: SOLID, expected: None },
+        Program { name: "sphere", suite: Suite::Spectral, source: SPHERE, expected: None },
+        Program { name: "transform", suite: Suite::Spectral, source: TRANSFORM, expected: None },
+    ]
+}

@@ -1,0 +1,132 @@
+//! Harness tests: every benchmark compiles, lints, runs identically under
+//! both pipelines, and the headline Table-1 shapes hold.
+
+use crate::{measure, programs, run_program, summarize, Suite};
+use fj_core::OptConfig;
+
+/// Every program runs and both pipelines agree — the fundamental
+/// soundness check for the whole suite.
+#[test]
+fn all_programs_agree_across_pipelines() {
+    for p in programs() {
+        let row = run_program(&p);
+        // Join points never allocate more in our suite.
+        assert!(
+            row.joined.total_allocs() <= row.baseline.total_allocs(),
+            "{}: joined {} > baseline {}",
+            p.name,
+            row.joined.total_allocs(),
+            row.baseline.total_allocs()
+        );
+    }
+}
+
+/// The paper's most dramatic row: n-body loses all allocations.
+#[test]
+fn nbody_hits_minus_100_percent() {
+    let p = programs().into_iter().find(|p| p.name == "n-body").unwrap();
+    let row = run_program(&p);
+    assert_eq!(
+        row.joined.total_allocs(),
+        0,
+        "n-body must be allocation-free with join points: {}",
+        row.joined
+    );
+    assert!(
+        row.baseline.total_allocs() > 0,
+        "baseline must allocate: {}",
+        row.baseline
+    );
+    assert_eq!(row.delta_pct(), -100.0);
+}
+
+/// k-nucleotide keeps its sequence allocation but loses the per-position
+/// matcher traffic: a large-but-partial win.
+#[test]
+fn knucleotide_large_partial_win() {
+    let p = programs().into_iter().find(|p| p.name == "k-nucleotide").unwrap();
+    let row = run_program(&p);
+    let delta = row.delta_pct();
+    assert!(
+        delta <= -30.0,
+        "expected a large reduction, got {delta:+.1}% ({} -> {})",
+        row.baseline.total_allocs(),
+        row.joined.total_allocs()
+    );
+    assert!(row.joined.total_allocs() > 0, "the sequence itself still allocates");
+}
+
+/// Suite shapes: shootout is dramatic, spectral/real are modest, and no
+/// suite regresses on aggregate.
+#[test]
+fn suite_shapes_match_paper() {
+    let rows: Vec<_> = programs().iter().map(run_program).collect();
+    let shoot = summarize(&rows, Suite::Shootout);
+    assert_eq!(shoot.min, -100.0, "shootout Min must be -100%");
+    assert!(shoot.geo_mean.is_none(), "shootout geo-mean is n/a at -100%");
+
+    let spec = summarize(&rows, Suite::Spectral);
+    assert!(spec.min < 0.0, "spectral should show improvements: {spec:?}");
+    assert!(spec.max <= 0.0 + 1e-9, "no spectral regressions in our suite: {spec:?}");
+
+    let real = summarize(&rows, Suite::Real);
+    assert!(real.min < 0.0, "real should show improvements: {real:?}");
+}
+
+/// `solid` and `sphere` (find/any-shaped) improve more than `nucleic2`
+/// and `transform` (construction-shaped) — the within-suite shape.
+#[test]
+fn find_shaped_programs_win_more() {
+    let rows: Vec<_> = programs().iter().map(run_program).collect();
+    let delta = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .delta_pct()
+    };
+    assert!(delta("solid") < delta("nucleic2"));
+    assert!(delta("sphere") < delta("transform"));
+}
+
+/// A pinned result value stays stable across optimizer changes.
+#[test]
+fn primetest_value_pinned() {
+    let p = programs().into_iter().find(|p| p.name == "primetest").unwrap();
+    let row = run_program(&p);
+    assert_eq!(row.value, 46); // π(200)
+}
+
+/// `measure` with no optimization still computes the right answers
+/// (sanity for the harness itself).
+#[test]
+fn unoptimized_measure_agrees() {
+    for p in programs().into_iter().take(4) {
+        let (v_none, _) = measure(p.source, &OptConfig::none());
+        let (v_join, _) = measure(p.source, &OptConfig::join_points());
+        assert_eq!(v_none, v_join, "{}", p.name);
+    }
+}
+
+/// The fusion experiment's headline series.
+#[test]
+fn fusion_series_shapes() {
+    use crate::fusion_exp::{run_fusion_experiment, FusionPoint};
+    use fj_fusion::StepVariant;
+    let pts = run_fusion_experiment(&[50, 200]);
+    let find = |v: StepVariant, pl: &str, n: i64| -> &FusionPoint {
+        pts.iter()
+            .find(|p| p.variant == v && p.pipeline == pl && p.n == n)
+            .expect("point present")
+    };
+    // Skip-less + join points: allocation-free at every n.
+    for n in [50, 200] {
+        assert_eq!(
+            find(StepVariant::Skipless, "join-points", n).metrics.total_allocs(),
+            0
+        );
+    }
+    // Skip-less + baseline: grows with n.
+    let b1 = find(StepVariant::Skipless, "baseline", 50).metrics.total_allocs();
+    let b2 = find(StepVariant::Skipless, "baseline", 200).metrics.total_allocs();
+    assert!(b2 > b1 * 2, "baseline must scale with n: {b1} vs {b2}");
+}

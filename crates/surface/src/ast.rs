@@ -1,0 +1,138 @@
+//! Surface-language abstract syntax (before name resolution).
+
+use crate::token::Pos;
+
+/// A surface type expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum STy {
+    /// Lower-case name: a type variable.
+    Var(String),
+    /// Upper-case name applied to arguments: `List Int`, `Bool`, `Int`.
+    Con(String, Vec<STy>),
+    /// `a -> b`.
+    Fun(Box<STy>, Box<STy>),
+    /// `forall a. t`.
+    Forall(String, Box<STy>),
+}
+
+/// A pattern in a `case` alternative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SPat {
+    /// `C x y` — constructor with variable fields.
+    Con(String, Vec<String>),
+    /// Integer literal.
+    Lit(i64),
+    /// `_`.
+    Wild,
+}
+
+/// One `case` alternative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SAlt {
+    /// The pattern.
+    pub pat: SPat,
+    /// Its right-hand side.
+    pub rhs: SExpr,
+    /// Source position of the pattern.
+    pub pos: Pos,
+}
+
+/// A binder in a lambda: value (`(x : t)`) or type (`@a`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SBinder {
+    /// `(x : t)`.
+    Val(String, STy),
+    /// `@a`.
+    Ty(String),
+}
+
+/// A surface expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SExpr {
+    /// Variable reference.
+    Var(String, Pos),
+    /// Constructor reference (possibly applied via `App`/`TyApp`).
+    Con(String, Pos),
+    /// Integer literal.
+    Lit(i64),
+    /// Application `f x`.
+    App(Box<SExpr>, Box<SExpr>),
+    /// Type application `f @t`.
+    TyApp(Box<SExpr>, STy),
+    /// `\(x : t) @a … -> e`.
+    Lam(Vec<SBinder>, Box<SExpr>),
+    /// `let x : t = e in e`.
+    Let(String, STy, Box<SExpr>, Box<SExpr>, Pos),
+    /// `letrec f : t = e and … in e`.
+    LetRec(Vec<(String, STy, SExpr)>, Box<SExpr>, Pos),
+    /// `case e of { alts }`.
+    Case(Box<SExpr>, Vec<SAlt>, Pos),
+    /// `if c then t else f` (sugar for a `Bool` case).
+    If(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    /// Binary operator.
+    BinOp(BinOp, Box<SExpr>, Box<SExpr>),
+    /// Unary negation (desugars to `0 - e`).
+    Neg(Box<SExpr>),
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A top-level `data` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SData {
+    /// Type constructor name.
+    pub name: String,
+    /// Type parameters (lower-case).
+    pub params: Vec<String>,
+    /// Constructors with field types.
+    pub ctors: Vec<(String, Vec<STy>)>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A top-level `def` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SDef {
+    /// Name.
+    pub name: String,
+    /// Declared type.
+    pub ty: STy,
+    /// Body.
+    pub body: SExpr,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A whole program: datatypes, definitions, and which def is `main`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SProgram {
+    /// `data` declarations, in order.
+    pub datas: Vec<SData>,
+    /// `def` declarations, in order (later defs may use earlier ones).
+    pub defs: Vec<SDef>,
+}

@@ -1,0 +1,211 @@
+//! Hand-written lexer for the surface language.
+//!
+//! Comments run from `--` to end of line. Whitespace is insignificant
+//! (the grammar is fully delimited, so no layout rule is needed).
+
+use crate::token::{Pos, Spanned, Tok};
+use crate::SurfaceError;
+
+/// Tokenize a source string.
+///
+/// # Errors
+///
+/// Returns [`SurfaceError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, SurfaceError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments: -- to end of line.
+        if c == '-' && i + 1 < bytes.len() && bytes[i + 1] as char == '-' {
+            while i < bytes.len() && bytes[i] as char != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = pos!();
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let begin = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' || ch == '\'' {
+                    i += 1;
+                    col += 1;
+                } else {
+                    break;
+                }
+            }
+            let word = &src[begin..i];
+            let tok = match word {
+                "_" => Tok::Underscore,
+                "data" => Tok::Data,
+                "def" => Tok::Def,
+                "let" => Tok::Let,
+                "letrec" => Tok::LetRec,
+                "and" => Tok::And,
+                "in" => Tok::In,
+                "case" => Tok::Case,
+                "of" => Tok::Of,
+                "if" => Tok::If,
+                "then" => Tok::Then,
+                "else" => Tok::Else,
+                "forall" => Tok::Forall,
+                w if w.starts_with(|ch: char| ch.is_ascii_uppercase()) => {
+                    Tok::ConId(w.to_string())
+                }
+                w => Tok::Ident(w.to_string()),
+            };
+            out.push(Spanned { tok, pos: start });
+            continue;
+        }
+        // Integers (negative literals are parsed as unary minus upstream).
+        if c.is_ascii_digit() {
+            let begin = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+                col += 1;
+            }
+            let text = &src[begin..i];
+            let n: i64 = text.parse().map_err(|_| SurfaceError::Lex {
+                pos: start,
+                msg: format!("integer literal out of range: {text}"),
+            })?;
+            out.push(Spanned { tok: Tok::Int(n), pos: start });
+            continue;
+        }
+        // Multi-character operators first.
+        let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+        let (tok, len) = match two {
+            "->" => (Tok::Arrow, 2),
+            "==" => (Tok::EqEq, 2),
+            "/=" => (Tok::NotEq, 2),
+            "<=" => (Tok::Le, 2),
+            ">=" => (Tok::Ge, 2),
+            _ => match c {
+                '\\' => (Tok::Backslash, 1),
+                '=' => (Tok::Equals, 1),
+                ':' => (Tok::Colon, 1),
+                ';' => (Tok::Semi, 1),
+                '|' => (Tok::Bar, 1),
+                '(' => (Tok::LParen, 1),
+                ')' => (Tok::RParen, 1),
+                '{' => (Tok::LBrace, 1),
+                '}' => (Tok::RBrace, 1),
+                '@' => (Tok::At, 1),
+                '.' => (Tok::Dot, 1),
+                '+' => (Tok::Plus, 1),
+                '-' => (Tok::Minus, 1),
+                '*' => (Tok::Star, 1),
+                '/' => (Tok::Slash, 1),
+                '%' => (Tok::Percent, 1),
+                '<' => (Tok::Lt, 1),
+                '>' => (Tok::Gt, 1),
+                other => {
+                    return Err(SurfaceError::Lex {
+                        pos: start,
+                        msg: format!("unexpected character {other:?}"),
+                    })
+                }
+            },
+        };
+        out.push(Spanned { tok, pos: start });
+        i += len;
+        col += len as u32;
+    }
+    out.push(Spanned { tok: Tok::Eof, pos: pos!() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("let go = Just"),
+            vec![
+                Tok::Let,
+                Tok::Ident("go".into()),
+                Tok::Equals,
+                Tok::ConId("Just".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a <= b -> c /= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Arrow,
+                Tok::Ident("c".into()),
+                Tok::NotEq,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("1 -- comment -> ignored\n2"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        assert_eq!(toks("1 - 2"), vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]);
+    }
+
+    #[test]
+    fn bad_char_reports_position() {
+        let err = lex("a $ b").unwrap_err();
+        match err {
+            SurfaceError::Lex { pos, .. } => assert_eq!(pos, Pos { line: 1, col: 3 }),
+            other => panic!("expected lex error, got {other}"),
+        }
+    }
+
+    use crate::token::Pos;
+}

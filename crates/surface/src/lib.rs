@@ -1,0 +1,101 @@
+//! # fj-surface — a small, explicitly typed surface language
+//!
+//! A mini-Haskell frontend for System F_J, used by the examples and the
+//! NoFib-analogue benchmark suite so programs can be written as text
+//! rather than AST constructions. The language has algebraic `data`
+//! declarations, top-level `def`s, `let`/`letrec`, `case` with
+//! constructor/literal/default patterns, `if`, lambdas with annotated
+//! binders, explicit type abstraction (`\@a`) and application (`e @ty`),
+//! and integer arithmetic/comparison operators.
+//!
+//! ```text
+//! data Shape = Circle Int | Square Int Int;
+//!
+//! def area : Shape -> Int =
+//!   \(s : Shape) -> case s of {
+//!     Circle r   -> 3 * r * r;
+//!     Square w h -> w * h
+//!   };
+//!
+//! def main : Int = area (Square 3 4);
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use fj_surface::compile;
+//! use fj_eval::{run_int, EvalMode};
+//!
+//! let lowered = compile("def main : Int = 6 * 7;")?;
+//! assert_eq!(run_int(&lowered.expr, EvalMode::CallByName, 1_000)?, 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod lexer;
+mod lower;
+mod parser;
+mod token;
+
+pub use lexer::lex;
+pub use lower::{lower_expr, lower_program, Lowered};
+pub use parser::{parse_expr, parse_program};
+pub use token::{Pos, Spanned, Tok};
+
+use std::fmt;
+
+/// Errors from any stage of the frontend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SurfaceError {
+    /// Lexical error.
+    Lex {
+        /// Where.
+        pos: Pos,
+        /// What.
+        msg: String,
+    },
+    /// Parse error.
+    Parse {
+        /// Where.
+        pos: Pos,
+        /// What.
+        msg: String,
+    },
+    /// Name-resolution / lowering error.
+    Lower {
+        /// Where.
+        pos: Pos,
+        /// What.
+        msg: String,
+    },
+}
+
+impl fmt::Display for SurfaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurfaceError::Lex { pos, msg } => write!(f, "lexical error at {pos}: {msg}"),
+            SurfaceError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            SurfaceError::Lower { pos, msg } => write!(f, "error at {pos}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SurfaceError {}
+
+/// Compile a whole program: lex, parse, lower. The result carries the
+/// extended datatype environment, the program as one F_J expression, and
+/// the name supply to continue with.
+///
+/// # Errors
+///
+/// Returns the first [`SurfaceError`] encountered.
+pub fn compile(src: &str) -> Result<Lowered, SurfaceError> {
+    let toks = lex(src)?;
+    let prog = parse_program(&toks)?;
+    lower_program(&prog)
+}
+
+#[cfg(test)]
+mod tests;

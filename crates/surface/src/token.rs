@@ -1,0 +1,158 @@
+//! Tokens and source positions for the surface language.
+
+use std::fmt;
+
+/// A line/column position (1-based) in the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Lower-case identifier (variable).
+    Ident(String),
+    /// Upper-case identifier (data/type constructor).
+    ConId(String),
+    /// Integer literal.
+    Int(i64),
+    /// `data`
+    Data,
+    /// `def`
+    Def,
+    /// `let`
+    Let,
+    /// `letrec`
+    LetRec,
+    /// `and`
+    And,
+    /// `in`
+    In,
+    /// `case`
+    Case,
+    /// `of`
+    Of,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `forall`
+    Forall,
+    /// `\`
+    Backslash,
+    /// `->`
+    Arrow,
+    /// `=`
+    Equals,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `|`
+    Bar,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `@`
+    At,
+    /// `_`
+    Underscore,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `/=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) | Tok::ConId(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Data => write!(f, "data"),
+            Tok::Def => write!(f, "def"),
+            Tok::Let => write!(f, "let"),
+            Tok::LetRec => write!(f, "letrec"),
+            Tok::And => write!(f, "and"),
+            Tok::In => write!(f, "in"),
+            Tok::Case => write!(f, "case"),
+            Tok::Of => write!(f, "of"),
+            Tok::If => write!(f, "if"),
+            Tok::Then => write!(f, "then"),
+            Tok::Else => write!(f, "else"),
+            Tok::Forall => write!(f, "forall"),
+            Tok::Backslash => write!(f, "\\"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Equals => write!(f, "="),
+            Tok::Colon => write!(f, ":"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Bar => write!(f, "|"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::At => write!(f, "@"),
+            Tok::Underscore => write!(f, "_"),
+            Tok::Dot => write!(f, "."),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "/="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}

@@ -1,0 +1,166 @@
+//! `fj` — the command-line driver: compile, optimize, dump, and run
+//! surface-language programs.
+//!
+//! ```text
+//! fj run program.fj                 # compile + optimize + run
+//! fj run --baseline program.fj      # the join-blind pipeline
+//! fj run -O0 program.fj             # no optimization
+//! fj dump program.fj                # print optimized Core (F_J)
+//! fj dump --before program.fj       # print lowered Core, pre-optimizer
+//! fj check program.fj               # lint only
+//! fj erase program.fj               # print the join-free System F term
+//!
+//! options: --baseline | -O0, --mode name|need|value, --fuel N, --metrics
+//! ```
+
+use std::process::ExitCode;
+
+use system_fj::check::lint;
+use system_fj::core::{erase, optimize_with_stats, OptConfig};
+use system_fj::eval::{run, EvalMode};
+use system_fj::surface::compile;
+
+struct Options {
+    command: String,
+    file: String,
+    config: OptConfig,
+    config_name: &'static str,
+    mode: EvalMode,
+    fuel: u64,
+    metrics: bool,
+    before: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fj <run|dump|check|erase> [--baseline | -O0] \
+         [--mode name|need|value] [--fuel N] [--metrics] [--before] <file.fj>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { return Err(usage()) };
+    if !matches!(command.as_str(), "run" | "dump" | "check" | "erase") {
+        return Err(usage());
+    }
+    let mut config = OptConfig::join_points();
+    let mut config_name = "join-points";
+    let mut mode = EvalMode::CallByValue;
+    let mut fuel = 100_000_000u64;
+    let mut metrics = false;
+    let mut before = false;
+    let mut file = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => {
+                config = OptConfig::baseline();
+                config_name = "baseline";
+            }
+            "-O0" => {
+                config = OptConfig::none();
+                config_name = "unoptimized";
+            }
+            "--metrics" => metrics = true,
+            "--before" => before = true,
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("name") => EvalMode::CallByName,
+                    Some("need") => EvalMode::CallByNeed,
+                    Some("value") => EvalMode::CallByValue,
+                    _ => return Err(usage()),
+                };
+            }
+            "--fuel" => {
+                fuel = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(usage)?;
+            }
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => return Err(usage()),
+        }
+    }
+    let Some(file) = file else { return Err(usage()) };
+    Ok(Options { command, file, config, config_name, mode, fuel, metrics, before })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fj: cannot read {}: {e}", opts.file);
+            return ExitCode::from(1);
+        }
+    };
+    let mut lowered = match compile(&src) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("fj: {}: {e}", opts.file);
+            return ExitCode::from(1);
+        }
+    };
+    if let Err(e) = lint(&lowered.expr, &lowered.data_env) {
+        eprintln!("fj: {}: lint: {e}", opts.file);
+        return ExitCode::from(1);
+    }
+    if opts.command == "check" {
+        println!("{}: OK", opts.file);
+        return ExitCode::SUCCESS;
+    }
+    if opts.command == "dump" && opts.before {
+        println!("{}", lowered.expr);
+        return ExitCode::SUCCESS;
+    }
+
+    let (optimized, stats) = match optimize_with_stats(
+        &lowered.expr,
+        &lowered.data_env,
+        &mut lowered.supply,
+        &opts.config,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fj: optimizer: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    match opts.command.as_str() {
+        "dump" => {
+            println!("-- pipeline: {} ({} passes)", opts.config_name, stats.passes_run.len());
+            println!("-- size: {} -> {}", stats.size_before, stats.size_after);
+            println!("{optimized}");
+            ExitCode::SUCCESS
+        }
+        "erase" => match erase(&optimized, &lowered.data_env, &mut lowered.supply) {
+            Ok(erased) => {
+                println!("{erased}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fj: erase: {e}");
+                ExitCode::from(1)
+            }
+        },
+        "run" => match run(&optimized, opts.mode, opts.fuel) {
+            Ok(out) => {
+                println!("{}", out.value);
+                if opts.metrics {
+                    eprintln!("[{} | {:?}] {}", opts.config_name, opts.mode, out.metrics);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fj: runtime: {e}");
+                ExitCode::from(1)
+            }
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests for the `fj` command-line driver, run against the
+//! sample programs in `programs/`.
+
+use std::process::Command;
+
+fn fj(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fj"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn fj");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn run_sum_program() {
+    let (stdout, _, ok) = fj(&["run", "programs/sum.fj"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "500500");
+}
+
+#[test]
+fn metrics_show_zero_allocations_for_sum() {
+    let (stdout, stderr, ok) = fj(&["run", "--metrics", "programs/sum.fj"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "500500");
+    assert!(stderr.contains("allocs=0"), "stderr: {stderr}");
+}
+
+#[test]
+fn baseline_flag_changes_pipeline() {
+    let (_, stderr, ok) = fj(&["run", "--metrics", "--baseline", "programs/sum.fj"]);
+    assert!(ok);
+    assert!(stderr.contains("[baseline"), "stderr: {stderr}");
+}
+
+#[test]
+fn modes_agree() {
+    for mode in ["name", "need", "value"] {
+        let (stdout, _, ok) = fj(&["run", "--mode", mode, "programs/any.fj"]);
+        assert!(ok, "mode {mode}");
+        assert_eq!(stdout.trim(), "4", "mode {mode}");
+    }
+}
+
+#[test]
+fn dump_shows_join_points() {
+    let (stdout, _, ok) = fj(&["dump", "programs/sum.fj"]);
+    assert!(ok);
+    assert!(stdout.contains("join rec"), "{stdout}");
+    assert!(stdout.contains("jump"), "{stdout}");
+}
+
+#[test]
+fn dump_before_shows_letrec() {
+    let (stdout, _, ok) = fj(&["dump", "--before", "programs/sum.fj"]);
+    assert!(ok);
+    assert!(stdout.contains("let rec"), "{stdout}");
+    assert!(!stdout.contains("jump"), "{stdout}");
+}
+
+#[test]
+fn erase_output_is_join_free() {
+    let (stdout, _, ok) = fj(&["erase", "programs/sum.fj"]);
+    assert!(ok);
+    assert!(!stdout.contains("jump"), "{stdout}");
+    assert!(!stdout.contains("join"), "{stdout}");
+}
+
+#[test]
+fn check_reports_ok() {
+    let (stdout, _, ok) = fj(&["check", "programs/shapes.fj"]);
+    assert!(ok);
+    assert!(stdout.contains("OK"));
+}
+
+#[test]
+fn shapes_program_runs() {
+    let (stdout, _, ok) = fj(&["run", "programs/shapes.fj"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "117");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (_, stderr, ok) = fj(&["run", "programs/nope.fj"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, stderr, ok) = fj(&["frobnicate", "programs/sum.fj"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn fuel_limit_is_respected() {
+    let (_, stderr, ok) = fj(&["run", "--fuel", "10", "programs/sum.fj"]);
+    assert!(!ok);
+    assert!(stderr.contains("step budget"), "{stderr}");
+}

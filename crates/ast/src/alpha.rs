@@ -133,11 +133,8 @@ fn go(a: &Expr, b: &Expr, env: &mut Env) -> bool {
                     }
                     env.push(&x1.name, &x2.name);
                 }
-                let ok = g1
-                    .iter()
-                    .zip(g2)
-                    .all(|((_, r1), (_, r2))| go(r1, r2, env))
-                    && go(e1, e2, env);
+                let ok =
+                    g1.iter().zip(g2).all(|((_, r1), (_, r2))| go(r1, r2, env)) && go(e1, e2, env);
                 env.pop_n(g1.len());
                 ok
             }
@@ -156,9 +153,7 @@ fn go(a: &Expr, b: &Expr, env: &mut Env) -> bool {
             }
             let mut ok = true;
             for (da, db) in d1.iter().zip(d2) {
-                if da.ty_params.len() != db.ty_params.len()
-                    || da.params.len() != db.params.len()
-                {
+                if da.ty_params.len() != db.ty_params.len() || da.params.len() != db.params.len() {
                     ok = false;
                     break;
                 }
@@ -245,12 +240,7 @@ fn bind_name(n: &Name, map: &mut HashMap<Name, u64>, next: &mut u64) -> Option<u
     prev
 }
 
-fn fp_ty(
-    t: &Type,
-    map: &mut HashMap<Name, u64>,
-    next: &mut u64,
-    h: &mut impl std::hash::Hasher,
-) {
+fn fp_ty(t: &Type, map: &mut HashMap<Name, u64>, next: &mut u64, h: &mut impl std::hash::Hasher) {
     use std::hash::Hash;
     match t {
         Type::Var(a) => {

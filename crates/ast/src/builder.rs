@@ -36,7 +36,10 @@ impl Default for Dsl {
 impl Dsl {
     /// A context over the prelude datatypes.
     pub fn new() -> Self {
-        Dsl { supply: NameSupply::new(), data_env: DataEnv::prelude() }
+        Dsl {
+            supply: NameSupply::new(),
+            data_env: DataEnv::prelude(),
+        }
     }
 
     /// Fresh name.
@@ -136,7 +139,11 @@ impl Dsl {
             scrut,
             vec![
                 Alt::simple(AltCon::Con(Ident::new("Nil")), nil_rhs),
-                Alt { con: AltCon::Con(Ident::new("Cons")), binders: vec![h, t], rhs },
+                Alt {
+                    con: AltCon::Con(Ident::new("Cons")),
+                    binders: vec![h, t],
+                    rhs,
+                },
             ],
         )
     }
@@ -154,10 +161,7 @@ impl Dsl {
         k: impl FnOnce(&mut Dsl, &Name) -> Expr,
     ) -> Expr {
         let f = self.name(fname);
-        let binders: Vec<Binder> = params
-            .into_iter()
-            .map(|(n, t)| self.binder(n, t))
-            .collect();
+        let binders: Vec<Binder> = params.into_iter().map(|(n, t)| self.binder(n, t)).collect();
         let param_names: Vec<Name> = binders.iter().map(|b| b.name.clone()).collect();
         let fun_ty = Type::funs(binders.iter().map(|b| b.ty.clone()), result);
         let body_e = body(self, &f, &param_names);
@@ -176,15 +180,17 @@ impl Dsl {
         k: impl FnOnce(&mut Dsl, &Name) -> Expr,
     ) -> Expr {
         let j = self.name(jname);
-        let binders: Vec<Binder> = params
-            .into_iter()
-            .map(|(n, t)| self.binder(n, t))
-            .collect();
+        let binders: Vec<Binder> = params.into_iter().map(|(n, t)| self.binder(n, t)).collect();
         let names: Vec<Name> = binders.iter().map(|b| b.name.clone()).collect();
         let body_e = body(self, &j, &names);
         let cont = k(self, &j);
         Expr::joinrec(
-            vec![JoinDef { name: j, ty_params: vec![], params: binders, body: body_e }],
+            vec![JoinDef {
+                name: j,
+                ty_params: vec![],
+                params: binders,
+                body: body_e,
+            }],
             cont,
         )
     }

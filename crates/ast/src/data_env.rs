@@ -158,7 +158,10 @@ impl DataEnv {
         env.declare_unchecked(
             "Either",
             vec![av.clone(), bv.clone()],
-            vec![("Left", vec![Type::Var(av)]), ("Right", vec![Type::Var(bv)])],
+            vec![
+                ("Left", vec![Type::Var(av)]),
+                ("Right", vec![Type::Var(bv)]),
+            ],
         );
 
         let sv = Name::with_id("s", 3);
@@ -183,12 +186,7 @@ impl DataEnv {
         env
     }
 
-    fn declare_unchecked(
-        &mut self,
-        name: &str,
-        ty_vars: Vec<Name>,
-        ctors: Vec<(&str, Vec<Type>)>,
-    ) {
+    fn declare_unchecked(&mut self, name: &str, ty_vars: Vec<Name>, ctors: Vec<(&str, Vec<Type>)>) {
         let ctor_decls: Vec<(Ident, Vec<Type>)> = ctors
             .into_iter()
             .map(|(c, fs)| (Ident::new(c), fs))
@@ -232,7 +230,11 @@ impl DataEnv {
         }
         self.types.insert(
             name.clone(),
-            DataType { name, ty_vars, ctors: ctor_decls },
+            DataType {
+                name,
+                ty_vars,
+                ctors: ctor_decls,
+            },
         );
         Ok(())
     }
@@ -321,7 +323,9 @@ mod tests {
     #[test]
     fn prelude_has_expected_types() {
         let env = DataEnv::prelude();
-        for t in ["Unit", "Bool", "Maybe", "List", "Pair", "Either", "Step", "SStep"] {
+        for t in [
+            "Unit", "Bool", "Maybe", "List", "Pair", "Either", "Step", "SStep",
+        ] {
             assert!(env.datatype(&Ident::new(t)).is_ok(), "missing {t}");
         }
     }
@@ -337,7 +341,9 @@ mod tests {
     #[test]
     fn instantiate_cons_recursion() {
         let env = DataEnv::prelude();
-        let (fields, _) = env.instantiate(&Ident::new("Cons"), &[Type::bool()]).unwrap();
+        let (fields, _) = env
+            .instantiate(&Ident::new("Cons"), &[Type::bool()])
+            .unwrap();
         assert_eq!(fields.len(), 2);
         assert_eq!(fields[0], Type::bool());
         assert_eq!(fields[1], Type::Con(Ident::new("List"), vec![Type::bool()]));

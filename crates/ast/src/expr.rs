@@ -181,7 +181,11 @@ pub struct Alt {
 impl Alt {
     /// An alternative with no field binders.
     pub fn simple(con: AltCon, rhs: Expr) -> Self {
-        Alt { con, binders: Vec::new(), rhs }
+        Alt {
+            con,
+            binders: Vec::new(),
+            rhs,
+        }
     }
 }
 

@@ -158,8 +158,7 @@ fn labels_into(e: &Expr, bound: &mut HashSet<Name>, out: &mut HashSet<Name>) {
             let is_rec = jb.is_rec();
             let labels: Vec<Name> = jb.labels().into_iter().cloned().collect();
             if is_rec {
-                let added: Vec<bool> =
-                    labels.iter().map(|l| bound.insert(l.clone())).collect();
+                let added: Vec<bool> = labels.iter().map(|l| bound.insert(l.clone())).collect();
                 for d in jb.defs() {
                     labels_into(&d.body, bound, out);
                 }
@@ -173,8 +172,7 @@ fn labels_into(e: &Expr, bound: &mut HashSet<Name>, out: &mut HashSet<Name>) {
                 for d in jb.defs() {
                     labels_into(&d.body, bound, out);
                 }
-                let added: Vec<bool> =
-                    labels.iter().map(|l| bound.insert(l.clone())).collect();
+                let added: Vec<bool> = labels.iter().map(|l| bound.insert(l.clone())).collect();
                 labels_into(body, bound, out);
                 for (l, was_added) in labels.iter().zip(added) {
                     if was_added {

@@ -58,7 +58,5 @@ pub use expr::{
 pub use fv::{free_labels, free_ty_vars, free_vars, occurs_free};
 pub use name::{Ident, Name, NameSupply, FIRST_PROGRAM_ID};
 pub use pretty::pretty;
-pub use subst::{
-    freshen, subst_term, subst_terms, subst_ty_in_expr, subst_tys_in_expr, Subst,
-};
+pub use subst::{freshen, subst_term, subst_terms, subst_ty_in_expr, subst_tys_in_expr, Subst};
 pub use ty::Type;

@@ -31,7 +31,10 @@ impl Name {
     /// Create a name with an explicit unique. Prefer [`NameSupply::fresh`];
     /// this constructor exists for deterministic prelude/builtin names.
     pub fn with_id(text: &str, id: u64) -> Self {
-        Name { text: Arc::from(text), id }
+        Name {
+            text: Arc::from(text),
+            id,
+        }
     }
 
     /// The human-readable base string.
@@ -97,7 +100,9 @@ pub const FIRST_PROGRAM_ID: u64 = 10_000;
 impl NameSupply {
     /// A supply whose names never collide with prelude/builtin names.
     pub fn new() -> Self {
-        NameSupply { next: FIRST_PROGRAM_ID }
+        NameSupply {
+            next: FIRST_PROGRAM_ID,
+        }
     }
 
     /// A supply starting at an explicit id (used internally by the prelude).
@@ -109,7 +114,10 @@ impl NameSupply {
     pub fn fresh(&mut self, text: &str) -> Name {
         let id = self.next;
         self.next += 1;
-        Name { text: Arc::from(text), id }
+        Name {
+            text: Arc::from(text),
+            id,
+        }
     }
 
     /// Produce a fresh name reusing another name's base text.

@@ -255,10 +255,7 @@ mod tests {
         let mut s = NameSupply::new();
         let f = s.fresh("f");
         let g = s.fresh("g");
-        let e = Expr::app(
-            Expr::var(&f),
-            Expr::app(Expr::var(&g), Expr::Lit(1)),
-        );
+        let e = Expr::app(Expr::var(&f), Expr::app(Expr::var(&g), Expr::Lit(1)));
         let p = pretty(&e);
         assert!(p.contains('('), "inner application needs parens: {p}");
     }

@@ -25,7 +25,12 @@ pub struct Subst<'s> {
 impl<'s> Subst<'s> {
     /// An identity substitution (still freshens binders when applied).
     pub fn new(supply: &'s mut NameSupply) -> Self {
-        Subst { supply, term: HashMap::new(), ty: HashMap::new(), label: HashMap::new() }
+        Subst {
+            supply,
+            term: HashMap::new(),
+            ty: HashMap::new(),
+            label: HashMap::new(),
+        }
     }
 
     /// Map term variable `x` to expression `e`.
@@ -83,7 +88,9 @@ fn go(
         Expr::Lit(_) => e.clone(),
         Expr::Prim(op, args) => Expr::Prim(
             *op,
-            args.iter().map(|a| go(supply, term, ty_map, label, a)).collect(),
+            args.iter()
+                .map(|a| go(supply, term, ty_map, label, a))
+                .collect(),
         ),
         Expr::Lam(b, body) => {
             let mut term2 = term.clone();
@@ -100,13 +107,13 @@ fn go(
             go(supply, term, ty_map, label, f),
             go(supply, term, ty_map, label, x),
         ),
-        Expr::TyApp(f, t) => {
-            Expr::ty_app(go(supply, term, ty_map, label, f), apply_ty(ty_map, t))
-        }
+        Expr::TyApp(f, t) => Expr::ty_app(go(supply, term, ty_map, label, f), apply_ty(ty_map, t)),
         Expr::Con(c, tys, args) => Expr::Con(
             c.clone(),
             tys.iter().map(|t| apply_ty(ty_map, t)).collect(),
-            args.iter().map(|a| go(supply, term, ty_map, label, a)).collect(),
+            args.iter()
+                .map(|a| go(supply, term, ty_map, label, a))
+                .collect(),
         ),
         Expr::Case(s, alts) => {
             let s2 = go(supply, term, ty_map, label, s);
@@ -196,14 +203,18 @@ fn go(
             let jb2 = if is_rec {
                 JoinBind::Rec(defs2)
             } else {
-                JoinBind::NonRec(Box::new(defs2.into_iter().next().expect("nonrec has one def")))
+                JoinBind::NonRec(Box::new(
+                    defs2.into_iter().next().expect("nonrec has one def"),
+                ))
             };
             Expr::Join(jb2, Box::new(body2))
         }
         Expr::Jump(j, tys, args, res) => Expr::Jump(
             label.get(j).cloned().unwrap_or_else(|| j.clone()),
             tys.iter().map(|t| apply_ty(ty_map, t)).collect(),
-            args.iter().map(|a| go(supply, term, ty_map, label, a)).collect(),
+            args.iter()
+                .map(|a| go(supply, term, ty_map, label, a))
+                .collect(),
             apply_ty(ty_map, res),
         ),
     }
@@ -217,7 +228,9 @@ pub fn freshen(e: &Expr, supply: &mut NameSupply) -> Expr {
 
 /// Substitute `image` for term variable `x` in `e`.
 pub fn subst_term(e: &Expr, x: &Name, image: &Expr, supply: &mut NameSupply) -> Expr {
-    Subst::new(supply).bind_term(x.clone(), image.clone()).apply(e)
+    Subst::new(supply)
+        .bind_term(x.clone(), image.clone())
+        .apply(e)
 }
 
 /// Substitute several terms for term variables simultaneously.
@@ -330,7 +343,10 @@ mod tests {
             Expr::jump(&j, vec![], vec![Expr::Lit(2)], Type::Int),
         );
         let r = freshen(&e, &mut s);
-        assert!(free_labels(&r).is_empty(), "label stays bound after freshen");
+        assert!(
+            free_labels(&r).is_empty(),
+            "label stays bound after freshen"
+        );
         match &r {
             Expr::Join(jb, body) => {
                 let new_j = &jb.defs()[0].name;

@@ -90,9 +90,7 @@ impl Type {
         }
         match self {
             Type::Var(a) => map.get(a).cloned().unwrap_or_else(|| self.clone()),
-            Type::Con(t, args) => {
-                Type::Con(t.clone(), args.iter().map(|a| a.subst(map)).collect())
-            }
+            Type::Con(t, args) => Type::Con(t.clone(), args.iter().map(|a| a.subst(map)).collect()),
             Type::Fun(a, b) => Type::fun(a.subst(map), b.subst(map)),
             Type::Forall(a, body) => {
                 if map.contains_key(a) {
@@ -267,7 +265,10 @@ mod tests {
         let mut s = NameSupply::new();
         let a = s.fresh("a");
         // (∀a. a -> a){Int/a}  leaves the bound a alone
-        let t = Type::forall(a.clone(), Type::fun(Type::Var(a.clone()), Type::Var(a.clone())));
+        let t = Type::forall(
+            a.clone(),
+            Type::fun(Type::Var(a.clone()), Type::Var(a.clone())),
+        );
         let u = t.subst1(&a, &Type::Int);
         assert!(t.alpha_eq(&u));
     }

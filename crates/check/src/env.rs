@@ -119,7 +119,10 @@ mod tests {
         assert!(d.is_empty());
         d.bind(
             j.clone(),
-            JoinSig { ty_params: vec![], param_tys: vec![Type::Int] },
+            JoinSig {
+                ty_params: vec![],
+                param_tys: vec![Type::Int],
+            },
         );
         assert!(d.get(&j).is_some());
         assert!(Delta::empty().get(&j).is_none());

@@ -42,9 +42,7 @@ pub use lint::{lint, lint_open, type_of, LintError, LintErrorKind};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fj_ast::{
-        Alt, AltCon, Binder, DataEnv, Dsl, Expr, Ident, JoinDef, PrimOp, Type,
-    };
+    use fj_ast::{Alt, AltCon, Binder, DataEnv, Dsl, Expr, Ident, JoinDef, PrimOp, Type};
 
     fn ok(e: &Expr, env: &DataEnv) -> Type {
         match lint(e, env) {
@@ -142,7 +140,10 @@ mod tests {
             Expr::Lit(1),
             vec![Alt::simple(AltCon::Lit(1), Expr::Lit(10))],
         );
-        assert_eq!(bad(&no_default, &d.data_env).kind, LintErrorKind::NonExhaustiveCase);
+        assert_eq!(
+            bad(&no_default, &d.data_env).kind,
+            LintErrorKind::NonExhaustiveCase
+        );
         let with_default = Expr::case(
             Expr::Lit(1),
             vec![
@@ -237,7 +238,12 @@ mod tests {
         let j = d.name("j");
         // join j = True in jump-free body of type Int
         let e = Expr::join1(
-            JoinDef { name: j.clone(), ty_params: vec![], params: vec![], body: Expr::bool(true) },
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![],
+                body: Expr::bool(true),
+            },
             Expr::Lit(4),
         );
         let err = bad(&e, &d.data_env);
@@ -400,7 +406,12 @@ mod tests {
         let j = d.name("j");
         let v = d.binder("v", Type::Int);
         let e = Expr::join1(
-            JoinDef { name: j.clone(), ty_params: vec![], params: vec![], body: Expr::Lit(0) },
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![],
+                body: Expr::Lit(0),
+            },
             Expr::let1(
                 v.clone(),
                 Expr::jump(&j, vec![], vec![], Type::Int),
@@ -418,7 +429,12 @@ mod tests {
         let j = d.name("j");
         let v = d.binder("v", Type::Int);
         let e = Expr::join1(
-            JoinDef { name: j.clone(), ty_params: vec![], params: vec![], body: Expr::Lit(0) },
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![],
+                body: Expr::Lit(0),
+            },
             Expr::let1(v, Expr::Lit(5), Expr::jump(&j, vec![], vec![], Type::Int)),
         );
         assert_eq!(ok(&e, &d.data_env), Type::Int);

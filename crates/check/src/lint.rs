@@ -89,10 +89,20 @@ impl fmt::Display for LintErrorKind {
             LintErrorKind::UnboundVar(x) => write!(f, "unbound variable {x}"),
             LintErrorKind::UnboundTyVar(a) => write!(f, "unbound type variable {a}"),
             LintErrorKind::UnboundLabel(j) => {
-                write!(f, "label {j} not in scope (jump outside its join's tail context?)")
+                write!(
+                    f,
+                    "label {j} not in scope (jump outside its join's tail context?)"
+                )
             }
-            LintErrorKind::Mismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            LintErrorKind::Mismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             LintErrorKind::NotAFunction(t) => write!(f, "applied non-function of type {t}"),
             LintErrorKind::NotPolymorphic(t) => {
@@ -100,22 +110,36 @@ impl fmt::Display for LintErrorKind {
             }
             LintErrorKind::NotADatatype(t) => write!(f, "case scrutinee has type {t}"),
             LintErrorKind::WrongDatatype { con, scrutinee } => {
-                write!(f, "constructor {con} does not belong to datatype {scrutinee}")
+                write!(
+                    f,
+                    "constructor {con} does not belong to datatype {scrutinee}"
+                )
             }
-            LintErrorKind::Arity { what, expected, got } => {
+            LintErrorKind::Arity {
+                what,
+                expected,
+                got,
+            } => {
                 write!(f, "{what} expects {expected} arguments, got {got}")
             }
             LintErrorKind::NonExhaustiveCase => write!(f, "non-exhaustive case alternatives"),
             LintErrorKind::EmptyCase => write!(f, "case with no alternatives"),
             LintErrorKind::DuplicateAlt => write!(f, "duplicate case alternative"),
             LintErrorKind::FieldCount { con, expected, got } => {
-                write!(f, "constructor {con} has {expected} fields, pattern binds {got}")
+                write!(
+                    f,
+                    "constructor {con} has {expected} fields, pattern binds {got}"
+                )
             }
             LintErrorKind::Data(e) => write!(f, "{e}"),
             LintErrorKind::PrimArity(op, got) => {
                 write!(f, "primop {op} expects 2 arguments, got {got}")
             }
-            LintErrorKind::JoinResultMismatch { label, body_ty, rhs_ty } => write!(
+            LintErrorKind::JoinResultMismatch {
+                label,
+                body_ty,
+                rhs_ty,
+            } => write!(
                 f,
                 "join point {label} returns {rhs_ty} but the join body returns {body_ty}"
             ),
@@ -146,12 +170,18 @@ impl std::error::Error for LintError {}
 
 impl From<fj_ast::DataEnvError> for LintError {
     fn from(e: fj_ast::DataEnvError) -> Self {
-        LintError { kind: LintErrorKind::Data(e), path: Vec::new() }
+        LintError {
+            kind: LintErrorKind::Data(e),
+            path: Vec::new(),
+        }
     }
 }
 
 fn err(kind: LintErrorKind) -> LintError {
-    LintError { kind, path: Vec::new() }
+    LintError {
+        kind,
+        path: Vec::new(),
+    }
 }
 
 fn at(label: &'static str, r: Result<Type, LintError>) -> Result<Type, LintError> {
@@ -176,7 +206,10 @@ pub fn lint(e: &Expr, data_env: &DataEnv) -> Result<Type, LintError> {
 ///
 /// Returns the first [`LintError`] encountered.
 pub fn lint_open(e: &Expr, data_env: &DataEnv, gamma: &Gamma) -> Result<Type, LintError> {
-    let checker = Checker { data_env, strict: true };
+    let checker = Checker {
+        data_env,
+        strict: true,
+    };
     checker.infer(e, gamma, &Delta::empty())
 }
 
@@ -191,7 +224,10 @@ pub fn lint_open(e: &Expr, data_env: &DataEnv, gamma: &Gamma) -> Result<Type, Li
 /// Returns a [`LintError`] if the fragment is structurally ill-typed
 /// (e.g. applying a non-function).
 pub fn type_of(e: &Expr, data_env: &DataEnv, gamma: &Gamma) -> Result<Type, LintError> {
-    let checker = Checker { data_env, strict: false };
+    let checker = Checker {
+        data_env,
+        strict: false,
+    };
     checker.infer(e, gamma, &Delta::empty())
 }
 
@@ -346,8 +382,7 @@ impl Checker<'_> {
                     LetBind::NonRec(b, rhs) => {
                         self.wf_type(&b.ty, gamma)?;
                         // Δ reset in the RHS of a value binding.
-                        let rhs_ty =
-                            at("let rhs", self.infer(rhs, gamma, &Delta::empty()))?;
+                        let rhs_ty = at("let rhs", self.infer(rhs, gamma, &Delta::empty()))?;
                         if !rhs_ty.alpha_eq(&b.ty) {
                             return Err(err(LintErrorKind::Mismatch {
                                 expected: b.ty.clone(),
@@ -366,8 +401,7 @@ impl Checker<'_> {
                             g.bind_var(b.name.clone(), b.ty.clone());
                         }
                         for (b, rhs) in binds {
-                            let rhs_ty =
-                                at("letrec rhs", self.infer(rhs, &g, &Delta::empty()))?;
+                            let rhs_ty = at("letrec rhs", self.infer(rhs, &g, &Delta::empty()))?;
                             if !rhs_ty.alpha_eq(&b.ty) {
                                 return Err(err(LintErrorKind::Mismatch {
                                     expected: b.ty.clone(),

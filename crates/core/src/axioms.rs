@@ -11,8 +11,8 @@
 //! and the side conditions hold, `None` otherwise.
 
 use fj_ast::{
-    free_labels, free_vars, subst_terms, subst_tys_in_expr, Alt, Binder, Expr, JoinBind,
-    LetBind, Name, NameSupply, Type,
+    free_labels, free_vars, subst_terms, subst_tys_in_expr, Alt, Binder, Expr, JoinBind, LetBind,
+    Name, NameSupply, Type,
 };
 
 /// One evaluation-context frame `F` (Fig. 1): the shapes an `E` is built
@@ -53,11 +53,9 @@ pub fn beta(e: &Expr) -> Option<Expr> {
 pub fn beta_ty(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
     match e {
         Expr::TyApp(f, phi) => match &**f {
-            Expr::TyLam(a, body) => Some(subst_tys_in_expr(
-                body,
-                [(a.clone(), phi.clone())],
-                supply,
-            )),
+            Expr::TyLam(a, body) => {
+                Some(subst_tys_in_expr(body, [(a.clone(), phi.clone())], supply))
+            }
             _ => None,
         },
         _ => None,
@@ -69,7 +67,9 @@ pub fn beta_ty(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
 /// Falls back to the default alternative when no constructor alternative
 /// matches.
 pub fn case_con(e: &Expr) -> Option<Expr> {
-    let Expr::Case(scrut, alts) = e else { return None };
+    let Expr::Case(scrut, alts) = e else {
+        return None;
+    };
     let (con, args): (&fj_ast::Ident, &[Expr]) = match &**scrut {
         Expr::Con(c, _, args) => (c, args),
         _ => return None,
@@ -89,7 +89,9 @@ pub fn case_con(e: &Expr) -> Option<Expr> {
 /// to all occurrences. Only values and atoms are substitutable (the
 /// paper's "notion of what is substitutable" for call-by-name).
 pub fn inline(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
-    let Expr::Let(LetBind::NonRec(b, rhs), body) = e else { return None };
+    let Expr::Let(LetBind::NonRec(b, rhs), body) = e else {
+        return None;
+    };
     if !(rhs.is_answer() || rhs.is_atom()) {
         return None;
     }
@@ -102,7 +104,9 @@ pub fn inline(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
 
 /// `let vb in e = e` when nothing bound occurs free in `e` (drop).
 pub fn drop_dead(e: &Expr) -> Option<Expr> {
-    let Expr::Let(bind, body) = e else { return None };
+    let Expr::Let(bind, body) = e else {
+        return None;
+    };
     let fv = free_vars(body);
     if bind.binders().iter().any(|b| fv.contains(&b.name)) {
         return None;
@@ -128,7 +132,9 @@ pub fn jdrop(e: &Expr) -> Option<Expr> {
 /// non-tail positions (where the `jinline` axiom does not apply) are left
 /// alone, so the rewrite is always sound.
 pub fn jinline(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
-    let Expr::Join(JoinBind::NonRec(def), body) = e else { return None };
+    let Expr::Join(JoinBind::NonRec(def), body) = e else {
+        return None;
+    };
     let mut changed = false;
     let new_body = rewrite_tail_jumps(body, &def.name, supply, &mut changed, &|sup, tys, args| {
         let mut u = def.body.clone();
@@ -149,7 +155,10 @@ pub fn jinline(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
         u
     });
     if changed {
-        Some(Expr::Join(JoinBind::NonRec(def.clone()), Box::new(new_body)))
+        Some(Expr::Join(
+            JoinBind::NonRec(def.clone()),
+            Box::new(new_body),
+        ))
     } else {
         None
     }
@@ -204,8 +213,13 @@ fn rewrite_tail_jumps(
 
 /// `E[let vb in e] = let vb in E[e]` (float), one frame at a time.
 pub fn float(frame: &EFrame, e: &Expr) -> Option<Expr> {
-    let Expr::Let(bind, body) = e else { return None };
-    Some(Expr::Let(bind.clone(), Box::new(frame.plug((**body).clone()))))
+    let Expr::Let(bind, body) = e else {
+        return None;
+    };
+    Some(Expr::Let(
+        bind.clone(),
+        Box::new(frame.plug((**body).clone())),
+    ))
 }
 
 /// `E[case e of K x⃗ → u⃗] = case e of K x⃗ → E[u⃗]` (casefloat).
@@ -240,7 +254,9 @@ pub fn jfloat(frame: &EFrame, e: &Expr) -> Option<Expr> {
 /// context; only the result-type annotation needs retargeting.
 pub fn abort(frame: &EFrame, e: &Expr, new_ty: Type) -> Option<Expr> {
     let _ = frame;
-    let Expr::Jump(j, tys, args, _) = e else { return None };
+    let Expr::Jump(j, tys, args, _) = e else {
+        return None;
+    };
     Some(Expr::Jump(j.clone(), tys.clone(), args.clone(), new_ty))
 }
 
@@ -255,7 +271,11 @@ mod tests {
     /// Observational soundness on closed Int programs: both sides of a
     /// rewrite evaluate to the same integer (Prop. 3, test-sized).
     fn assert_obs_eq(before: &Expr, after: &Expr) {
-        for mode in [EvalMode::CallByName, EvalMode::CallByNeed, EvalMode::CallByValue] {
+        for mode in [
+            EvalMode::CallByName,
+            EvalMode::CallByNeed,
+            EvalMode::CallByValue,
+        ] {
             let a = run_int(before, mode, FUEL).unwrap();
             let b = run_int(after, mode, FUEL).unwrap();
             assert_eq!(a, b, "{mode:?}:\nbefore:\n{before}\nafter:\n{after}");
@@ -267,7 +287,10 @@ mod tests {
         let mut d = Dsl::new();
         let x = d.binder("x", Type::Int);
         let e = Expr::app(
-            Expr::lam(x.clone(), Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1))),
+            Expr::lam(
+                x.clone(),
+                Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1)),
+            ),
             Expr::Lit(41),
         );
         let r = beta(&e).expect("β applies");
@@ -346,12 +369,22 @@ mod tests {
         let mut d = Dsl::new();
         let j = d.name("j");
         let dead = Expr::join1(
-            JoinDef { name: j.clone(), ty_params: vec![], params: vec![], body: Expr::Lit(1) },
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![],
+                body: Expr::Lit(1),
+            },
             Expr::Lit(42),
         );
         assert_eq!(jdrop(&dead), Some(Expr::Lit(42)));
         let live = Expr::join1(
-            JoinDef { name: j.clone(), ty_params: vec![], params: vec![], body: Expr::Lit(1) },
+            JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![],
+                body: Expr::Lit(1),
+            },
             Expr::jump(&j, vec![], vec![], Type::Int),
         );
         assert!(jdrop(&live).is_none());
@@ -398,11 +431,19 @@ mod tests {
                 body: Expr::var(&x.name),
             },
             Expr::app(
-                Expr::jump(&j, vec![], vec![Expr::Lit(2)], Type::fun(Type::Int, Type::Int)),
+                Expr::jump(
+                    &j,
+                    vec![],
+                    vec![Expr::Lit(2)],
+                    Type::fun(Type::Int, Type::Int),
+                ),
                 Expr::Lit(3),
             ),
         );
-        assert!(jinline(&e, &mut d.supply).is_none(), "non-tail jump must not inline");
+        assert!(
+            jinline(&e, &mut d.supply).is_none(),
+            "non-tail jump must not inline"
+        );
     }
 
     #[test]
@@ -468,7 +509,12 @@ mod tests {
     fn abort_retargets_annotation() {
         let mut d = Dsl::new();
         let j = d.name("j");
-        let e = Expr::jump(&j, vec![], vec![Expr::Lit(1)], Type::fun(Type::Int, Type::Int));
+        let e = Expr::jump(
+            &j,
+            vec![],
+            vec![Expr::Lit(1)],
+            Type::fun(Type::Int, Type::Int),
+        );
         let frame = EFrame::AppArg(Expr::Lit(3));
         let r = abort(&frame, &e, Type::Int).expect("abort applies");
         match r {

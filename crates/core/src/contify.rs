@@ -22,8 +22,7 @@
 
 use crate::OptError;
 use fj_ast::{
-    free_vars, Alt, Binder, DataEnv, Expr, JoinBind, JoinDef, LetBind, Name, SpineArg,
-    Type,
+    free_vars, Alt, Binder, DataEnv, Expr, JoinBind, JoinDef, LetBind, Name, SpineArg, Type,
 };
 use fj_check::{type_of, Gamma};
 use std::collections::HashMap;
@@ -36,7 +35,11 @@ use std::collections::HashMap;
 /// Returns [`OptError::Type`] if type reconstruction fails (ill-typed
 /// input).
 pub fn contify(e: &Expr, data_env: &DataEnv) -> Result<Expr, OptError> {
-    let mut c = Contifier { data_env, types: HashMap::new(), converted: 0 };
+    let mut c = Contifier {
+        data_env,
+        types: HashMap::new(),
+        converted: 0,
+    };
     c.go(e)
 }
 
@@ -46,7 +49,11 @@ pub fn contify(e: &Expr, data_env: &DataEnv) -> Result<Expr, OptError> {
 ///
 /// As [`contify`].
 pub fn contify_counting(e: &Expr, data_env: &DataEnv) -> Result<(Expr, usize), OptError> {
-    let mut c = Contifier { data_env, types: HashMap::new(), converted: 0 };
+    let mut c = Contifier {
+        data_env,
+        types: HashMap::new(),
+        converted: 0,
+    };
     let out = c.go(e)?;
     Ok((out, c.converted))
 }
@@ -70,7 +77,11 @@ fn decompose_fun(rhs: &Expr) -> FunShape {
         params.push(b.clone());
         cur = body;
     }
-    FunShape { ty_params, params, body: cur.clone() }
+    FunShape {
+        ty_params,
+        params,
+        body: cur.clone(),
+    }
 }
 
 struct Contifier<'a> {
@@ -154,9 +165,7 @@ impl Contifier<'_> {
                 }
                 // Children first: inner contifications can expose outer ones.
                 let bind2 = match bind {
-                    LetBind::NonRec(b, rhs) => {
-                        LetBind::NonRec(b.clone(), Box::new(self.go(rhs)?))
-                    }
+                    LetBind::NonRec(b, rhs) => LetBind::NonRec(b.clone(), Box::new(self.go(rhs)?)),
                     LetBind::Rec(binds) => LetBind::Rec(
                         binds
                             .iter()
@@ -195,11 +204,7 @@ impl Contifier<'_> {
                     return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
                 };
                 let targets = Targets {
-                    arities: vec![(
-                        b.name.clone(),
-                        shape.ty_params.len(),
-                        shape.params.len(),
-                    )],
+                    arities: vec![(b.name.clone(), shape.ty_params.len(), shape.params.len())],
                     res_ty: res_ty.clone(),
                 };
                 let Some(new_body) = tailify(body, &targets) else {
@@ -231,11 +236,8 @@ impl Contifier<'_> {
                     .iter()
                     .map(|(n, s)| (n.clone(), s.ty_params.len(), s.params.len()))
                     .collect();
-                let rhs_bodies: Vec<Expr> =
-                    shapes.iter().map(|(_, s)| s.body.clone()).collect();
-                let Some(res_ty) =
-                    self.contifiable_result_ty(&arities, &rhs_bodies, body)?
-                else {
+                let rhs_bodies: Vec<Expr> = shapes.iter().map(|(_, s)| s.body.clone()).collect();
+                let Some(res_ty) = self.contifiable_result_ty(&arities, &rhs_bodies, body)? else {
                     return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
                 };
                 let targets = Targets { arities, res_ty };

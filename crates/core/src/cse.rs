@@ -26,8 +26,7 @@
 //! another small direct-style dividend.
 
 use fj_ast::{
-    alpha_fingerprint, free_vars, Alt, Binder, Expr, JoinDef, LetBind, Name, NameSupply,
-    Type,
+    alpha_fingerprint, free_vars, Alt, Binder, Expr, JoinDef, LetBind, Name, NameSupply, Type,
 };
 use std::collections::HashMap;
 
@@ -43,9 +42,15 @@ pub struct CseOutcome {
 
 /// Run common-subexpression elimination.
 pub fn cse(e: &Expr, supply: &mut NameSupply) -> CseOutcome {
-    let mut c = Cse { supply, replaced: 0 };
+    let mut c = Cse {
+        supply,
+        replaced: 0,
+    };
     let expr = c.go(e, &Memo::default());
-    CseOutcome { expr, replaced: c.replaced }
+    CseOutcome {
+        expr,
+        replaced: c.replaced,
+    }
 }
 
 /// Memoized expressions available in the current scope:
@@ -94,11 +99,7 @@ impl Cse<'_> {
                     let shared = self.go(&args[0], memo);
                     let b = Binder::new(self.supply.fresh("cse"), Type::Int);
                     let v = Expr::var(&b.name);
-                    return Expr::let1(
-                        b,
-                        shared,
-                        Expr::Prim(*op, vec![v.clone(), v]),
-                    );
+                    return Expr::let1(b, shared, Expr::Prim(*op, vec![v.clone(), v]));
                 }
                 Expr::Prim(*op, args.iter().map(|a| self.go(a, memo)).collect())
             }
@@ -225,7 +226,10 @@ mod tests {
                     Expr::app(Expr::var(&g.name), Expr::Lit(5)),
                 ),
             ),
-            Expr::lam(x.clone(), Expr::prim2(PrimOp::Mul, Expr::var(&x.name), Expr::Lit(2))),
+            Expr::lam(
+                x.clone(),
+                Expr::prim2(PrimOp::Mul, Expr::var(&x.name), Expr::Lit(2)),
+            ),
         );
         let out = cse(&e, &mut d.supply);
         assert_eq!(out.replaced, 1, "{}", out.expr);

@@ -16,9 +16,7 @@
 
 use crate::simplify::{simplify_once, SimplOpts};
 use crate::OptError;
-use fj_ast::{
-    Alt, Binder, DataEnv, Expr, Ident, JoinDef, LetBind, Name, NameSupply, Type,
-};
+use fj_ast::{Alt, Binder, DataEnv, Expr, Ident, JoinDef, LetBind, Name, NameSupply, Type};
 use fj_check::{type_of, Gamma};
 use std::collections::{HashMap, HashSet};
 
@@ -29,11 +27,7 @@ use std::collections::{HashMap, HashSet};
 /// Returns [`OptError`] if normalization or type reconstruction fails, or
 /// [`OptError::Internal`] if a jump survives in a non-tail position
 /// (which the type system should make impossible).
-pub fn erase(
-    e: &Expr,
-    data_env: &DataEnv,
-    supply: &mut NameSupply,
-) -> Result<Expr, OptError> {
+pub fn erase(e: &Expr, data_env: &DataEnv, supply: &mut NameSupply) -> Result<Expr, OptError> {
     // One simplifier round reaches commuting-normal form: every jump ends
     // up in tail position relative to its join binding.
     let opts = SimplOpts::default();
@@ -71,27 +65,18 @@ pub fn is_commuting_normal(e: &Expr) -> bool {
 
     fn tail(e: &Expr) -> bool {
         match e {
-            Expr::Jump(_, _, args, _) => {
-                args.iter().all(|a| island(a, &mut Set::new()))
-            }
-            Expr::Case(s, alts) => {
-                island(s, &mut Set::new()) && alts.iter().all(|a| tail(&a.rhs))
-            }
+            Expr::Jump(_, _, args, _) => args.iter().all(|a| island(a, &mut Set::new())),
+            Expr::Case(s, alts) => island(s, &mut Set::new()) && alts.iter().all(|a| tail(&a.rhs)),
             Expr::Let(bind, body) => {
-                bind.pairs().iter().all(|(_, r)| island(r, &mut Set::new()))
-                    && tail(body)
+                bind.pairs().iter().all(|(_, r)| island(r, &mut Set::new())) && tail(body)
             }
-            Expr::Join(jb, body) => {
-                jb.defs().iter().all(|d| tail(&d.body)) && tail(body)
-            }
+            Expr::Join(jb, body) => jb.defs().iter().all(|d| tail(&d.body)) && tail(body),
             Expr::Lam(_, b) | Expr::TyLam(_, b) => island(b, &mut Set::new()),
             Expr::Var(_) | Expr::Lit(_) => true,
             Expr::Prim(_, args) | Expr::Con(_, _, args) => {
                 args.iter().all(|a| island(a, &mut Set::new()))
             }
-            Expr::App(f, a) => {
-                island(f, &mut Set::new()) && island(a, &mut Set::new())
-            }
+            Expr::App(f, a) => island(f, &mut Set::new()) && island(a, &mut Set::new()),
             Expr::TyApp(f, _) => island(f, &mut Set::new()),
         }
     }
@@ -101,24 +86,17 @@ pub fn is_commuting_normal(e: &Expr) -> bool {
     fn island(e: &Expr, bound: &mut Set<Name>) -> bool {
         match e {
             Expr::Var(_) | Expr::Lit(_) => true,
-            Expr::Jump(j, _, args, _) => {
-                bound.contains(j) && args.iter().all(|a| island(a, bound))
-            }
-            Expr::Prim(_, args) | Expr::Con(_, _, args) => {
-                args.iter().all(|a| island(a, bound))
-            }
+            Expr::Jump(j, _, args, _) => bound.contains(j) && args.iter().all(|a| island(a, bound)),
+            Expr::Prim(_, args) | Expr::Con(_, _, args) => args.iter().all(|a| island(a, bound)),
             Expr::Lam(_, b) | Expr::TyLam(_, b) => island(b, bound),
             Expr::App(f, a) => island(f, bound) && island(a, bound),
             Expr::TyApp(f, _) => island(f, bound),
-            Expr::Case(s, alts) => {
-                island(s, bound) && alts.iter().all(|a| island(&a.rhs, bound))
-            }
+            Expr::Case(s, alts) => island(s, bound) && alts.iter().all(|a| island(&a.rhs, bound)),
             Expr::Let(bind, body) => {
                 bind.pairs().iter().all(|(_, r)| island(r, bound)) && island(body, bound)
             }
             Expr::Join(jb, body) => {
-                let labels: Vec<Name> =
-                    jb.labels().into_iter().cloned().collect();
+                let labels: Vec<Name> = jb.labels().into_iter().cloned().collect();
                 let defs_ok = if jb.is_rec() {
                     for l in &labels {
                         bound.insert(l.clone());
@@ -218,9 +196,7 @@ impl Eraser<'_> {
                     self.record(b);
                 }
                 let bind2 = match bind {
-                    LetBind::NonRec(b, rhs) => {
-                        LetBind::NonRec(b.clone(), Box::new(self.go(rhs)?))
-                    }
+                    LetBind::NonRec(b, rhs) => LetBind::NonRec(b.clone(), Box::new(self.go(rhs)?)),
                     LetBind::Rec(binds) => LetBind::Rec(
                         binds
                             .iter()
@@ -259,8 +235,7 @@ impl Eraser<'_> {
                 if jb.is_rec() {
                     Ok(Expr::letrec(let_binds, body2))
                 } else {
-                    let (b, rhs) =
-                        let_binds.into_iter().next().expect("nonrec has one def");
+                    let (b, rhs) = let_binds.into_iter().next().expect("nonrec has one def");
                     Ok(Expr::let1(b, rhs, body2))
                 }
             }

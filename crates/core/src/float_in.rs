@@ -24,54 +24,68 @@ use fj_ast::{free_vars, Alt, Binder, Expr, LetBind};
 
 /// Apply Float In over a whole term.
 pub fn float_in(e: &Expr) -> Expr {
+    float_in_counting(e).0
+}
+
+/// As [`float_in`], also reporting how many `let` bindings actually moved
+/// inward (each sinking step counts once, so a binding that travels past
+/// two constructs counts twice — it is a rewrite-firing count, matching
+/// the other counters of [`crate::RewriteStats`]).
+pub fn float_in_counting(e: &Expr) -> (Expr, u64) {
+    let mut moved = 0u64;
+    let out = go(e, &mut moved);
+    (out, moved)
+}
+
+fn go(e: &Expr, moved: &mut u64) -> Expr {
     match e {
         Expr::Var(_) | Expr::Lit(_) => e.clone(),
-        Expr::Prim(op, args) => {
-            Expr::Prim(*op, args.iter().map(float_in).collect())
-        }
-        Expr::Con(c, tys, args) => {
-            Expr::Con(c.clone(), tys.clone(), args.iter().map(float_in).collect())
-        }
-        Expr::Lam(b, body) => Expr::lam(b.clone(), float_in(body)),
-        Expr::TyLam(a, body) => Expr::ty_lam(a.clone(), float_in(body)),
-        Expr::App(f, a) => Expr::app(float_in(f), float_in(a)),
-        Expr::TyApp(f, t) => Expr::ty_app(float_in(f), t.clone()),
+        Expr::Prim(op, args) => Expr::Prim(*op, args.iter().map(|a| go(a, moved)).collect()),
+        Expr::Con(c, tys, args) => Expr::Con(
+            c.clone(),
+            tys.clone(),
+            args.iter().map(|a| go(a, moved)).collect(),
+        ),
+        Expr::Lam(b, body) => Expr::lam(b.clone(), go(body, moved)),
+        Expr::TyLam(a, body) => Expr::ty_lam(a.clone(), go(body, moved)),
+        Expr::App(f, a) => Expr::app(go(f, moved), go(a, moved)),
+        Expr::TyApp(f, t) => Expr::ty_app(go(f, moved), t.clone()),
         Expr::Case(s, alts) => Expr::case(
-            float_in(s),
+            go(s, moved),
             alts.iter()
                 .map(|a| Alt {
                     con: a.con.clone(),
                     binders: a.binders.clone(),
-                    rhs: float_in(&a.rhs),
+                    rhs: go(&a.rhs, moved),
                 })
                 .collect(),
         ),
         Expr::Join(jb, body) => {
             let mut jb2 = jb.clone();
             for d in jb2.defs_mut() {
-                d.body = float_in(&d.body);
+                d.body = go(&d.body, moved);
             }
-            Expr::Join(jb2, Box::new(float_in(body)))
+            Expr::Join(jb2, Box::new(go(body, moved)))
         }
         Expr::Jump(j, tys, args, res) => Expr::Jump(
             j.clone(),
             tys.clone(),
-            args.iter().map(float_in).collect(),
+            args.iter().map(|a| go(a, moved)).collect(),
             res.clone(),
         ),
         Expr::Let(bind, body) => match bind {
             LetBind::NonRec(b, rhs) => {
-                let rhs2 = float_in(rhs);
-                let body2 = float_in(body);
-                sink(b.clone(), rhs2, body2)
+                let rhs2 = go(rhs, moved);
+                let body2 = go(body, moved);
+                sink(b.clone(), rhs2, body2, moved)
             }
             LetBind::Rec(binds) => {
                 let binds2: Vec<(Binder, Expr)> = binds
                     .iter()
-                    .map(|(b, rhs)| (b.clone(), float_in(rhs)))
+                    .map(|(b, rhs)| (b.clone(), go(rhs, moved)))
                     .collect();
-                let body2 = float_in(body);
-                sink_rec(binds2, body2)
+                let body2 = go(body, moved);
+                sink_rec(binds2, body2, moved)
             }
         },
     }
@@ -83,7 +97,7 @@ fn uses(e: &Expr, names: &[&Binder]) -> bool {
 }
 
 /// Push `let b = rhs` as deep into `body` as safely possible.
-fn sink(b: Binder, rhs: Expr, body: Expr) -> Expr {
+fn sink(b: Binder, rhs: Expr, body: Expr, moved: &mut u64) -> Expr {
     let names = [&b];
     match body {
         // case e of alts: sink into the scrutinee, or into the single
@@ -97,10 +111,12 @@ fn sink(b: Binder, rhs: Expr, body: Expr) -> Expr {
                 .map(|(i, _)| i)
                 .collect();
             if in_scrut && using.is_empty() {
-                return Expr::case(sink(b, rhs, *s), alts);
+                *moved += 1;
+                return Expr::case(sink(b, rhs, *s, moved), alts);
             }
             if !in_scrut && using.len() == 1 {
                 let target = using[0];
+                *moved += 1;
                 let alts2: Vec<Alt> = alts
                     .into_iter()
                     .enumerate()
@@ -109,7 +125,7 @@ fn sink(b: Binder, rhs: Expr, body: Expr) -> Expr {
                             Alt {
                                 con: a.con.clone(),
                                 binders: a.binders.clone(),
-                                rhs: sink(b.clone(), rhs.clone(), a.rhs),
+                                rhs: sink(b.clone(), rhs.clone(), a.rhs, moved),
                             }
                         } else {
                             a
@@ -126,7 +142,8 @@ fn sink(b: Binder, rhs: Expr, body: Expr) -> Expr {
             if rhs_uses {
                 Expr::let1(b, rhs, Expr::Let(bind2, body2))
             } else {
-                Expr::Let(bind2, Box::new(sink(b, rhs, *body2)))
+                *moved += 1;
+                Expr::Let(bind2, Box::new(sink(b, rhs, *body2, moved)))
             }
         }
         // join j … = d in body: sink past the join into its body when the
@@ -136,7 +153,8 @@ fn sink(b: Binder, rhs: Expr, body: Expr) -> Expr {
         Expr::Join(jb, body2) => {
             let defs_use = jb.defs().iter().any(|d| uses(&d.body, &names));
             if !defs_use && uses(&body2, &names) {
-                return Expr::Join(jb, Box::new(sink(b, rhs, *body2)));
+                *moved += 1;
+                return Expr::Join(jb, Box::new(sink(b, rhs, *body2, moved)));
             }
             Expr::let1(b, rhs, Expr::Join(jb, body2))
         }
@@ -145,7 +163,8 @@ fn sink(b: Binder, rhs: Expr, body: Expr) -> Expr {
         // separate a function from its arguments (un-saturation).
         Expr::App(f, a) => {
             if uses(&f, &names) && !uses(&a, &names) && !matches!(&*f, Expr::Var(_)) {
-                Expr::app(sink(b, rhs, *f), *a)
+                *moved += 1;
+                Expr::app(sink(b, rhs, *f, moved), *a)
             } else {
                 Expr::let1(b, rhs, Expr::App(f, a))
             }
@@ -155,7 +174,7 @@ fn sink(b: Binder, rhs: Expr, body: Expr) -> Expr {
 }
 
 /// Push a recursive group inward (same rules, moving the group intact).
-fn sink_rec(binds: Vec<(Binder, Expr)>, body: Expr) -> Expr {
+fn sink_rec(binds: Vec<(Binder, Expr)>, body: Expr, moved: &mut u64) -> Expr {
     let binders: Vec<&Binder> = binds.iter().map(|(b, _)| b).collect();
     match body {
         Expr::Case(s, alts) => {
@@ -167,10 +186,12 @@ fn sink_rec(binds: Vec<(Binder, Expr)>, body: Expr) -> Expr {
                 .map(|(i, _)| i)
                 .collect();
             if in_scrut && using.is_empty() {
-                return Expr::case(sink_rec(binds, *s), alts);
+                *moved += 1;
+                return Expr::case(sink_rec(binds, *s, moved), alts);
             }
             if !in_scrut && using.len() == 1 {
                 let target = using[0];
+                *moved += 1;
                 let alts2: Vec<Alt> = alts
                     .into_iter()
                     .enumerate()
@@ -179,7 +200,7 @@ fn sink_rec(binds: Vec<(Binder, Expr)>, body: Expr) -> Expr {
                             Alt {
                                 con: a.con.clone(),
                                 binders: a.binders.clone(),
-                                rhs: sink_rec(binds.clone(), a.rhs),
+                                rhs: sink_rec(binds.clone(), a.rhs, moved),
                             }
                         } else {
                             a
@@ -195,14 +216,16 @@ fn sink_rec(binds: Vec<(Binder, Expr)>, body: Expr) -> Expr {
             if rhs_uses {
                 Expr::letrec(binds, Expr::Let(bind2, body2))
             } else {
-                Expr::Let(bind2, Box::new(sink_rec(binds, *body2)))
+                *moved += 1;
+                Expr::Let(bind2, Box::new(sink_rec(binds, *body2, moved)))
             }
         }
         Expr::Join(jb, body2) => {
             // As in `sink`: never move bindings into join definitions.
             let defs_use = jb.defs().iter().any(|d| uses(&d.body, &binders));
             if !defs_use && uses(&body2, &binders) {
-                return Expr::Join(jb, Box::new(sink_rec(binds, *body2)));
+                *moved += 1;
+                return Expr::Join(jb, Box::new(sink_rec(binds, *body2, moved)));
             }
             Expr::letrec(binds, Expr::Join(jb, body2))
         }
@@ -262,7 +285,10 @@ mod tests {
             Expr::lam(y, Expr::var(&x.name)),
         );
         let r = float_in(&e);
-        assert!(matches!(r, Expr::Let(..)), "must stay outside lambdas:\n{r}");
+        assert!(
+            matches!(r, Expr::Let(..)),
+            "must stay outside lambdas:\n{r}"
+        );
     }
 
     /// The Moby staging example (Sec. 4): float a function definition
@@ -319,9 +345,10 @@ mod tests {
         // if True then <loop> else 7 — with the letrec pre-hoisted outside.
         match loop_e {
             Expr::Let(bind, body) => {
-                let LetBind::Rec(binds) = bind else { panic!("rec expected") };
-                let outer =
-                    Expr::ite(Expr::bool(true), *body, Expr::Lit(7));
+                let LetBind::Rec(binds) = bind else {
+                    panic!("rec expected")
+                };
+                let outer = Expr::ite(Expr::bool(true), *body, Expr::Lit(7));
                 let e = Expr::letrec(binds, outer);
                 let r = float_in(&e);
                 match &r {

@@ -15,57 +15,73 @@ use fj_ast::{free_vars, Alt, Binder, Expr, LetBind};
 
 /// Apply Float Out over a whole term.
 pub fn float_out(e: &Expr) -> Expr {
+    float_out_counting(e).0
+}
+
+/// As [`float_out`], also counting the `let` bindings hoisted past a
+/// lambda (for pass-level reporting).
+pub fn float_out_counting(e: &Expr) -> (Expr, u64) {
+    let mut hoisted = 0u64;
+    let out = go(e, &mut hoisted);
+    (out, hoisted)
+}
+
+fn go(e: &Expr, hoisted: &mut u64) -> Expr {
     match e {
         Expr::Var(_) | Expr::Lit(_) => e.clone(),
-        Expr::Prim(op, args) => Expr::Prim(*op, args.iter().map(float_out).collect()),
-        Expr::Con(c, tys, args) => {
-            Expr::Con(c.clone(), tys.clone(), args.iter().map(float_out).collect())
-        }
+        Expr::Prim(op, args) => Expr::Prim(*op, args.iter().map(|a| go(a, hoisted)).collect()),
+        Expr::Con(c, tys, args) => Expr::Con(
+            c.clone(),
+            tys.clone(),
+            args.iter().map(|a| go(a, hoisted)).collect(),
+        ),
         Expr::Lam(b, body) => {
-            let body2 = float_out(body);
+            let body2 = go(body, hoisted);
             let (floated, rest) = split_floatable(body2, b);
+            *hoisted += floated.len() as u64;
             let mut result = Expr::lam(b.clone(), rest);
             for (fb, rhs) in floated.into_iter().rev() {
                 result = Expr::let1(fb, rhs, result);
             }
             result
         }
-        Expr::TyLam(a, body) => Expr::ty_lam(a.clone(), float_out(body)),
-        Expr::App(f, a) => Expr::app(float_out(f), float_out(a)),
-        Expr::TyApp(f, t) => Expr::ty_app(float_out(f), t.clone()),
+        Expr::TyLam(a, body) => Expr::ty_lam(a.clone(), go(body, hoisted)),
+        Expr::App(f, a) => Expr::app(go(f, hoisted), go(a, hoisted)),
+        Expr::TyApp(f, t) => Expr::ty_app(go(f, hoisted), t.clone()),
         Expr::Case(s, alts) => Expr::case(
-            float_out(s),
+            go(s, hoisted),
             alts.iter()
                 .map(|a| Alt {
                     con: a.con.clone(),
                     binders: a.binders.clone(),
-                    rhs: float_out(&a.rhs),
+                    rhs: go(&a.rhs, hoisted),
                 })
                 .collect(),
         ),
         Expr::Let(bind, body) => {
             let bind2 = match bind {
-                LetBind::NonRec(b, rhs) => {
-                    LetBind::NonRec(b.clone(), Box::new(float_out(rhs)))
-                }
+                LetBind::NonRec(b, rhs) => LetBind::NonRec(b.clone(), Box::new(go(rhs, hoisted))),
                 LetBind::Rec(binds) => LetBind::Rec(
-                    binds.iter().map(|(b, rhs)| (b.clone(), float_out(rhs))).collect(),
+                    binds
+                        .iter()
+                        .map(|(b, rhs)| (b.clone(), go(rhs, hoisted)))
+                        .collect(),
                 ),
             };
-            Expr::Let(bind2, Box::new(float_out(body)))
+            Expr::Let(bind2, Box::new(go(body, hoisted)))
         }
         Expr::Join(jb, body) => {
             // Join bindings are never moved; recurse inside only.
             let mut jb2 = jb.clone();
             for d in jb2.defs_mut() {
-                d.body = float_out(&d.body);
+                d.body = go(&d.body, hoisted);
             }
-            Expr::Join(jb2, Box::new(float_out(body)))
+            Expr::Join(jb2, Box::new(go(body, hoisted)))
         }
         Expr::Jump(j, tys, args, res) => Expr::Jump(
             j.clone(),
             tys.clone(),
-            args.iter().map(float_out).collect(),
+            args.iter().map(|a| go(a, hoisted)).collect(),
             res.clone(),
         ),
     }
@@ -129,7 +145,10 @@ mod tests {
             ),
         );
         let r = float_out(&e);
-        assert!(matches!(r, Expr::Lam(..)), "dependent binding must stay:\n{r}");
+        assert!(
+            matches!(r, Expr::Lam(..)),
+            "dependent binding must stay:\n{r}"
+        );
     }
 
     #[test]
@@ -157,7 +176,10 @@ mod tests {
         assert!(matches!(r, Expr::Join(..)));
         assert!(fj_check::lint(&r, &env).is_ok());
         assert_eq!(
-            run(&r, EvalMode::CallByValue, 10_000).unwrap().metrics.total_allocs(),
+            run(&r, EvalMode::CallByValue, 10_000)
+                .unwrap()
+                .metrics
+                .total_allocs(),
             0
         );
     }

@@ -64,6 +64,7 @@ mod float_in;
 mod float_out;
 pub mod occur;
 pub mod simplify;
+pub mod stats;
 
 mod pipeline;
 
@@ -73,10 +74,13 @@ mod tests;
 pub use contify::{contify, contify_counting};
 pub use cse::{cse, CseOutcome};
 pub use erase::{erase, is_commuting_normal};
-pub use float_in::float_in;
-pub use float_out::float_out;
-pub use pipeline::{optimize, optimize_with_stats, OptConfig, OptStats, Pass};
-pub use simplify::{simplify, simplify_once, SimplOpts};
+pub use float_in::{float_in, float_in_counting};
+pub use float_out::{float_out, float_out_counting};
+pub use pipeline::{
+    apply_pass, optimize, optimize_with_report, optimize_with_stats, OptConfig, OptStats, Pass,
+};
+pub use simplify::{simplify, simplify_once, simplify_once_stats, simplify_stats, SimplOpts};
+pub use stats::{Census, PassStats, PipelineReport, RewriteStats};
 
 use fj_check::LintError;
 use std::fmt;
@@ -106,7 +110,10 @@ impl fmt::Display for OptError {
         match self {
             OptError::Type(e) => write!(f, "ill-typed input: {e}"),
             OptError::LintAfterPass { pass, error, dump } => {
-                write!(f, "pass `{pass}` broke typing: {error}\n--- dump ---\n{dump}")
+                write!(
+                    f,
+                    "pass `{pass}` broke typing: {error}\n--- dump ---\n{dump}"
+                )
             }
             OptError::Internal(msg) => write!(f, "internal optimizer error: {msg}"),
         }

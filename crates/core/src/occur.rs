@@ -56,10 +56,22 @@ impl OccMap {
     /// Info for a name (see the type-level note about unanalyzed names).
     pub fn info(&self, n: &Name) -> OccInfo {
         match self.map.get(n) {
-            None => OccInfo { count: OccCount::Many, under_lambda: true },
-            Some((0, _)) => OccInfo { count: OccCount::Dead, under_lambda: false },
-            Some((1, l)) => OccInfo { count: OccCount::Once, under_lambda: *l },
-            Some((_, l)) => OccInfo { count: OccCount::Many, under_lambda: *l },
+            None => OccInfo {
+                count: OccCount::Many,
+                under_lambda: true,
+            },
+            Some((0, _)) => OccInfo {
+                count: OccCount::Dead,
+                under_lambda: false,
+            },
+            Some((1, l)) => OccInfo {
+                count: OccCount::Once,
+                under_lambda: *l,
+            },
+            Some((_, l)) => OccInfo {
+                count: OccCount::Many,
+                under_lambda: *l,
+            },
         }
     }
 

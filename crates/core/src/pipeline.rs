@@ -13,14 +13,16 @@
 //!   compiles them efficiently" but cannot stop earlier passes from
 //!   destroying the opportunities.
 
-use crate::contify::contify;
+use crate::contify::contify_counting;
 use crate::cse::cse;
-use crate::float_in::float_in;
-use crate::float_out::float_out;
-use crate::simplify::{simplify_once, SimplOpts};
+use crate::float_in::float_in_counting;
+use crate::float_out::float_out_counting;
+use crate::simplify::{simplify_once_stats, SimplOpts};
+use crate::stats::{Census, PassStats, PipelineReport, RewriteStats};
 use crate::OptError;
 use fj_ast::{DataEnv, Expr, NameSupply};
 use fj_check::lint;
+use std::time::Instant;
 
 /// One pipeline pass.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,7 +40,9 @@ pub enum Pass {
 }
 
 impl Pass {
-    fn name(self) -> &'static str {
+    /// Stable pass name, as it appears in [`PassStats::pass`] and Lint
+    /// failures.
+    pub fn name(self) -> &'static str {
         match self {
             Pass::Simplify => "simplify",
             Pass::Contify => "contify",
@@ -154,7 +158,7 @@ pub fn optimize(
     supply: &mut NameSupply,
     cfg: &OptConfig,
 ) -> Result<Expr, OptError> {
-    optimize_with_stats(e, data_env, supply, cfg).map(|(e, _)| e)
+    optimize_with_report(e, data_env, supply, cfg).map(|(e, _)| e)
 }
 
 /// As [`optimize`], also returning [`OptStats`].
@@ -168,20 +172,89 @@ pub fn optimize_with_stats(
     supply: &mut NameSupply,
     cfg: &OptConfig,
 ) -> Result<(Expr, OptStats), OptError> {
-    let mut stats = OptStats {
-        size_before: e.size(),
-        ..OptStats::default()
+    let (out, report) = optimize_with_report(e, data_env, supply, cfg)?;
+    let stats = OptStats {
+        passes_run: report.passes.iter().map(|p| p.pass).collect(),
+        size_before: report.census_before.size,
+        size_after: report.census_after.size,
+    };
+    Ok((out, stats))
+}
+
+/// Run one pass over a term, returning the output and the rewrite
+/// counters for that pass.
+///
+/// This is the unit of both [`optimize_with_report`] and the testkit's
+/// per-pass differential oracle: the same `(Expr, RewriteStats)` step,
+/// whether it is driven by a pipeline or checked one pass at a time.
+///
+/// # Errors
+///
+/// Returns [`OptError`] when the pass itself fails (e.g. contification on
+/// an ill-typed term).
+pub fn apply_pass(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    pass: Pass,
+    simpl: &SimplOpts,
+) -> Result<(Expr, RewriteStats), OptError> {
+    let mut rw = RewriteStats::default();
+    let out = match pass {
+        Pass::Simplify => simplify_once_stats(e, data_env, supply, simpl, &mut rw)?,
+        Pass::Contify => {
+            let (out, n) = contify_counting(e, data_env)?;
+            rw.contified = n as u64;
+            out
+        }
+        Pass::FloatIn => {
+            let (out, n) = float_in_counting(e);
+            rw.floated_in = n;
+            out
+        }
+        Pass::FloatOut => {
+            let (out, n) = float_out_counting(e);
+            rw.floated_out = n;
+            out
+        }
+        Pass::Cse => {
+            let outcome = cse(e, supply);
+            rw.cse_hits = outcome.replaced as u64;
+            outcome.expr
+        }
+    };
+    Ok((out, rw))
+}
+
+/// As [`optimize`], also returning the full per-pass [`PipelineReport`]:
+/// rewrite-firing counters, a term census after every pass, and wall
+/// times. This is the observability entry point behind `fj report`.
+///
+/// # Errors
+///
+/// As [`optimize`].
+pub fn optimize_with_report(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    cfg: &OptConfig,
+) -> Result<(Expr, PipelineReport), OptError> {
+    let started = Instant::now();
+    let mut report = PipelineReport {
+        census_before: Census::of(e),
+        ..PipelineReport::default()
     };
     let mut cur = e.clone();
     for pass in &cfg.passes {
-        cur = match pass {
-            Pass::Simplify => simplify_once(&cur, data_env, supply, &cfg.simpl)?,
-            Pass::Contify => contify(&cur, data_env)?,
-            Pass::FloatIn => float_in(&cur),
-            Pass::FloatOut => float_out(&cur),
-            Pass::Cse => cse(&cur, supply).expr,
-        };
-        stats.passes_run.push(pass.name());
+        let pass_started = Instant::now();
+        let (next, rewrites) = apply_pass(&cur, data_env, supply, *pass, &cfg.simpl)?;
+        cur = next;
+        report.passes.push(PassStats {
+            pass: pass.name(),
+            rewrites,
+            census_after: Census::of(&cur),
+            wall: pass_started.elapsed(),
+        });
         if cfg.lint_between {
             if let Err(err) = lint(&cur, data_env) {
                 return Err(OptError::LintAfterPass {
@@ -192,6 +265,7 @@ pub fn optimize_with_stats(
             }
         }
     }
-    stats.size_after = cur.size();
-    Ok((cur, stats))
+    report.census_after = Census::of(&cur);
+    report.wall = started.elapsed();
+    Ok((cur, report))
 }

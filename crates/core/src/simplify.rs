@@ -37,10 +37,11 @@
 //! point" de-optimization of Sec. 2.
 
 use crate::occur::{analyze, OccCount, OccMap};
+use crate::stats::RewriteStats;
 use crate::OptError;
 use fj_ast::{
-    alpha_fingerprint, free_labels, Alt, AltCon, Binder, DataEnv, Expr, JoinBind, JoinDef,
-    LetBind, Name, NameSupply, PrimResult, Type,
+    alpha_fingerprint, free_labels, Alt, AltCon, Binder, DataEnv, Expr, JoinBind, JoinDef, LetBind,
+    Name, NameSupply, PrimResult, Type,
 };
 use fj_check::{type_of, Gamma};
 use std::collections::HashMap;
@@ -63,7 +64,12 @@ pub struct SimplOpts {
 
 impl Default for SimplOpts {
     fn default() -> Self {
-        SimplOpts { join_points: true, inline_size: 24, dup_size: 18, max_rounds: 6 }
+        SimplOpts {
+            join_points: true,
+            inline_size: 24,
+            dup_size: 18,
+            max_rounds: 6,
+        }
     }
 }
 
@@ -71,7 +77,10 @@ impl SimplOpts {
     /// The paper's baseline: joins treated like lets, contexts shared via
     /// `let`-bound functions.
     pub fn baseline() -> Self {
-        SimplOpts { join_points: false, ..SimplOpts::default() }
+        SimplOpts {
+            join_points: false,
+            ..SimplOpts::default()
+        }
     }
 }
 
@@ -87,6 +96,23 @@ pub fn simplify_once(
     supply: &mut NameSupply,
     opts: &SimplOpts,
 ) -> Result<Expr, OptError> {
+    let mut scratch = RewriteStats::default();
+    simplify_once_stats(e, data_env, supply, opts, &mut scratch)
+}
+
+/// As [`simplify_once`], also accumulating rewrite-firing counters into
+/// `stats` (the per-pass observability of [`crate::PipelineReport`]).
+///
+/// # Errors
+///
+/// As [`simplify_once`].
+pub fn simplify_once_stats(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    opts: &SimplOpts,
+    stats: &mut RewriteStats,
+) -> Result<Expr, OptError> {
     let occ = analyze(e);
     let mut s = Simplifier {
         data_env,
@@ -97,6 +123,7 @@ pub fn simplify_once(
         subst: HashMap::new(),
         join_inline: HashMap::new(),
         changed: false,
+        stats,
     };
     s.simpl(e, Cont::Stop)
 }
@@ -113,10 +140,27 @@ pub fn simplify(
     supply: &mut NameSupply,
     opts: &SimplOpts,
 ) -> Result<Expr, OptError> {
+    let mut scratch = RewriteStats::default();
+    simplify_stats(e, data_env, supply, opts, &mut scratch)
+}
+
+/// As [`simplify`], also accumulating rewrite-firing counters across all
+/// rounds into `stats`.
+///
+/// # Errors
+///
+/// As [`simplify_once`].
+pub fn simplify_stats(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    opts: &SimplOpts,
+    stats: &mut RewriteStats,
+) -> Result<Expr, OptError> {
     let mut cur = e.clone();
     let mut fp = alpha_fingerprint(&cur);
     for _ in 0..opts.max_rounds {
-        let next = simplify_once(&cur, data_env, supply, opts)?;
+        let next = simplify_once_stats(&cur, data_env, supply, opts, stats)?;
         let nfp = alpha_fingerprint(&next);
         cur = next;
         if nfp == fp {
@@ -185,6 +229,8 @@ struct Simplifier<'a> {
     /// Pending join-point inlinings: label ↦ simplified definition.
     join_inline: HashMap<Name, JoinDef>,
     changed: bool,
+    /// Rewrite-firing counters for this round (pipeline observability).
+    stats: &'a mut RewriteStats,
 }
 
 impl Simplifier<'_> {
@@ -273,9 +319,9 @@ impl Simplifier<'_> {
                 ))),
             },
             Cont::Select(alts, r) => {
-                let alt = alts.first().ok_or_else(|| {
-                    OptError::Internal("empty case in continuation".into())
-                })?;
+                let alt = alts
+                    .first()
+                    .ok_or_else(|| OptError::Internal("empty case in continuation".into()))?;
                 for b in &alt.binders {
                     self.types.insert(b.name.clone(), b.ty.clone());
                 }
@@ -298,24 +344,22 @@ impl Simplifier<'_> {
     /// the heap-allocating behaviour of GHC before the paper.
     ///
     /// `hole_ty` is the type of the expression that will be plugged in.
-    fn mk_dupable(
-        &mut self,
-        cont: Cont,
-        hole_ty: &Type,
-    ) -> Result<(Cont, Vec<Wrapper>), OptError> {
+    fn mk_dupable(&mut self, cont: Cont, hole_ty: &Type) -> Result<(Cont, Vec<Wrapper>), OptError> {
         if cont.size() <= self.opts.dup_size {
             return Ok((cont, Vec::new()));
         }
         match cont {
             Cont::Stop => Ok((cont, Vec::new())),
             Cont::ApplyTo(arg, rest) => {
-                let rest_hole = self.cont_result_ty(&Cont::ApplyTo(arg.clone(), Box::new(Cont::Stop)), hole_ty)?;
+                let rest_hole = self
+                    .cont_result_ty(&Cont::ApplyTo(arg.clone(), Box::new(Cont::Stop)), hole_ty)?;
                 let (dup_rest, mut ws) = self.mk_dupable(*rest, &rest_hole)?;
                 let arg2 = if arg.size() > self.opts.dup_size {
                     let arg_ty = self.ty_of(&arg)?;
                     let a = Binder::new(self.supply.fresh("sa"), arg_ty);
                     self.record(&a);
                     self.changed = true;
+                    self.stats.shared_contexts += 1;
                     ws.push(Wrapper::Let(a.clone(), arg));
                     Expr::var(&a.name)
                 } else {
@@ -324,8 +368,8 @@ impl Simplifier<'_> {
                 Ok((Cont::ApplyTo(arg2, Box::new(dup_rest)), ws))
             }
             Cont::ApplyToTy(t, rest) => {
-                let rest_hole =
-                    self.cont_result_ty(&Cont::ApplyToTy(t.clone(), Box::new(Cont::Stop)), hole_ty)?;
+                let rest_hole = self
+                    .cont_result_ty(&Cont::ApplyToTy(t.clone(), Box::new(Cont::Stop)), hole_ty)?;
                 let (dup_rest, ws) = self.mk_dupable(*rest, &rest_hole)?;
                 Ok((Cont::ApplyToTy(t, Box::new(dup_rest)), ws))
             }
@@ -355,8 +399,7 @@ impl Simplifier<'_> {
                         .binders
                         .iter()
                         .map(|b| {
-                            let nb =
-                                Binder::new(self.supply.fresh_like(&b.name), b.ty.clone());
+                            let nb = Binder::new(self.supply.fresh_like(&b.name), b.ty.clone());
                             self.record(&nb);
                             nb
                         })
@@ -373,6 +416,7 @@ impl Simplifier<'_> {
                     let shared_body = self.simpl(&renamed, dup_rest.clone())?;
                     let arg_vars: Vec<Expr> =
                         alt.binders.iter().map(|b| Expr::var(&b.name)).collect();
+                    self.stats.shared_contexts += 1;
                     if self.opts.join_points {
                         let j = self.supply.fresh("j");
                         ws.push(Wrapper::Join(JoinDef {
@@ -398,8 +442,7 @@ impl Simplifier<'_> {
                                 res_final.clone(),
                             );
                             let fun = Expr::lams(fresh_params, shared_body);
-                            let call =
-                                Expr::apps(Expr::var(&f_name), arg_vars);
+                            let call = Expr::apps(Expr::var(&f_name), arg_vars);
                             (f_ty, fun, call)
                         };
                         let fb = Binder::new(f_name, f_ty);
@@ -423,6 +466,7 @@ impl Simplifier<'_> {
             Expr::Var(x) => {
                 if let Some(img) = self.subst.get(x).cloned() {
                     self.changed = true;
+                    self.stats.inline += 1;
                     let copy = fj_ast::freshen(&img, self.supply);
                     self.record_all(&copy);
                     return self.simpl(&copy, cont);
@@ -438,6 +482,7 @@ impl Simplifier<'_> {
                 if let [Expr::Lit(a), Expr::Lit(b)] = args2.as_slice() {
                     if let Some(folded) = op.eval(*a, *b) {
                         self.changed = true;
+                        self.stats.const_fold += 1;
                         let v = match folded {
                             PrimResult::Int(n) => Expr::Lit(n),
                             PrimResult::Bool(b) => Expr::bool(b),
@@ -452,6 +497,7 @@ impl Simplifier<'_> {
                     // β: (λx.e) v  ⇒  let x = v in e, then the let logic
                     // decides whether to substitute or keep the binding.
                     self.changed = true;
+                    self.stats.beta += 1;
                     self.record(b);
                     self.simpl_let_body(b.clone(), arg, body, *rest)
                 }
@@ -464,6 +510,7 @@ impl Simplifier<'_> {
             Expr::TyLam(a, body) => match cont {
                 Cont::ApplyToTy(t, rest) => {
                     self.changed = true;
+                    self.stats.beta += 1;
                     let inst = fj_ast::subst_ty_in_expr(body, a, &t, self.supply);
                     self.record_all(&inst);
                     self.simpl(&inst, *rest)
@@ -485,9 +532,7 @@ impl Simplifier<'_> {
                     .collect::<Result<_, _>>()?;
                 self.apply_cont(Expr::Con(c.clone(), tys.clone(), args2), cont)
             }
-            Expr::Case(s, alts) => {
-                self.simpl(s, Cont::Select(alts.clone(), Box::new(cont)))
-            }
+            Expr::Case(s, alts) => self.simpl(s, Cont::Select(alts.clone(), Box::new(cont))),
             Expr::Let(bind, body) => self.simpl_let(bind, body, cont),
             Expr::Join(jb, body) => self.simpl_join(jb, body, cont),
             Expr::Jump(j, tys, args, res) => {
@@ -500,6 +545,7 @@ impl Simplifier<'_> {
                     res.clone()
                 } else {
                     self.changed = true;
+                    self.stats.abort += 1;
                     self.cont_result_ty(&cont, res)?
                 };
                 if let Some(def) = self.join_inline.get(j).cloned() {
@@ -507,6 +553,7 @@ impl Simplifier<'_> {
                     // body already absorbed the surrounding context via
                     // jfloat, so the aborted continuation is not lost.
                     self.changed = true;
+                    self.stats.join_inline += 1;
                     let mut inlined = def.body.clone();
                     for (b, arg) in def.params.iter().zip(args2.iter()).rev() {
                         inlined = Expr::let1(b.clone(), arg.clone(), inlined);
@@ -539,10 +586,9 @@ impl Simplifier<'_> {
                         .iter()
                         .find(|a| matches!(&a.con, AltCon::Con(c2) if c2 == c))
                         .or_else(|| alts.iter().find(|a| a.con == AltCon::Default))
-                        .ok_or_else(|| {
-                            OptError::Internal(format!("no alternative for {c}"))
-                        })?;
+                        .ok_or_else(|| OptError::Internal(format!("no alternative for {c}")))?;
                     self.changed = true;
+                    self.stats.known_case += 1;
                     let mut rhs = alt.rhs.clone();
                     for (b, v) in alt.binders.iter().zip(args.iter()).rev() {
                         rhs = Expr::let1(b.clone(), v.clone(), rhs);
@@ -558,6 +604,7 @@ impl Simplifier<'_> {
                             OptError::Internal(format!("no alternative for literal {n}"))
                         })?;
                     self.changed = true;
+                    self.stats.known_case += 1;
                     let rhs = alt.rhs.clone();
                     self.simpl(&rhs, *rest)
                 }
@@ -566,9 +613,9 @@ impl Simplifier<'_> {
                     // of the context into the branches (casefloat /
                     // case-of-case), sharing it when it is too big.
                     let hole_ty = {
-                        let alt = alts.first().ok_or_else(|| {
-                            OptError::Internal("empty case".into())
-                        })?;
+                        let alt = alts
+                            .first()
+                            .ok_or_else(|| OptError::Internal("empty case".into()))?;
                         for b in &alt.binders {
                             self.types.insert(b.name.clone(), b.ty.clone());
                         }
@@ -581,6 +628,11 @@ impl Simplifier<'_> {
                     } else {
                         (*rest, Vec::new())
                     };
+                    if !dup.is_stop() {
+                        // casefloat: the pending context is copied into
+                        // every branch of the residual case.
+                        self.stats.case_of_case += 1;
+                    }
                     let mut alts2 = Vec::with_capacity(alts.len());
                     for alt in alts {
                         for b in &alt.binders {
@@ -599,12 +651,7 @@ impl Simplifier<'_> {
         }
     }
 
-    fn simpl_let(
-        &mut self,
-        bind: &LetBind,
-        body: &Expr,
-        cont: Cont,
-    ) -> Result<Expr, OptError> {
+    fn simpl_let(&mut self, bind: &LetBind, body: &Expr, cont: Cont) -> Result<Expr, OptError> {
         match bind {
             LetBind::NonRec(b, rhs) => {
                 self.record(b);
@@ -621,6 +668,7 @@ impl Simplifier<'_> {
                     .all(|(b, _)| self.occ.info(&b.name).count == OccCount::Dead);
                 if group_dead {
                     self.changed = true;
+                    self.stats.dead_drop += 1;
                     return self.simpl(body, cont);
                 }
                 let binds2: Vec<(Binder, Expr)> = binds
@@ -642,8 +690,7 @@ impl Simplifier<'_> {
         body: &Expr,
         cont: Cont,
     ) -> Result<Expr, OptError> {
-        let trivial = rhs.is_atom()
-            || matches!(&rhs, Expr::Con(_, _, args) if args.is_empty());
+        let trivial = rhs.is_atom() || matches!(&rhs, Expr::Con(_, _, args) if args.is_empty());
         if trivial {
             self.changed = true;
             self.subst.insert(b.name.clone(), rhs);
@@ -653,6 +700,7 @@ impl Simplifier<'_> {
         match info.count {
             OccCount::Dead => {
                 self.changed = true;
+                self.stats.dead_drop += 1;
                 self.simpl(body, cont)
             }
             OccCount::Once if !info.under_lambda => {
@@ -691,12 +739,7 @@ impl Simplifier<'_> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn simpl_join(
-        &mut self,
-        jb: &JoinBind,
-        body: &Expr,
-        cont: Cont,
-    ) -> Result<Expr, OptError> {
+    fn simpl_join(&mut self, jb: &JoinBind, body: &Expr, cont: Cont) -> Result<Expr, OptError> {
         for d in jb.defs() {
             for p in &d.params {
                 self.record(p);
@@ -707,6 +750,7 @@ impl Simplifier<'_> {
         let any_live = jb.labels().iter().any(|l| body_labels.contains(*l));
         if !any_live {
             self.changed = true;
+            self.stats.dead_drop += 1;
             return self.simpl(body, cont);
         }
 
@@ -743,6 +787,7 @@ impl Simplifier<'_> {
         let (dup, wrappers) = self.mk_dupable(cont, &hole_ty)?;
         if !dup.is_stop() {
             self.changed = true;
+            self.stats.jfloat += 1;
         }
 
         let defs2: Vec<JoinDef> = jb
@@ -771,6 +816,7 @@ impl Simplifier<'_> {
                     Expr::join1(def2, body2)
                 } else {
                     self.changed = true;
+                    self.stats.dead_drop += 1;
                     body2
                 };
                 return Ok(wrap_all(wrappers, result));
@@ -780,6 +826,7 @@ impl Simplifier<'_> {
                 Expr::join1(def2, body2)
             } else {
                 self.changed = true;
+                self.stats.dead_drop += 1;
                 body2
             };
             return Ok(wrap_all(wrappers, result));
@@ -791,10 +838,13 @@ impl Simplifier<'_> {
         for d in &defs2 {
             live.extend(free_labels(&d.body));
         }
-        let kept: Vec<JoinDef> =
-            defs2.into_iter().filter(|d| live.contains(&d.name)).collect();
+        let kept: Vec<JoinDef> = defs2
+            .into_iter()
+            .filter(|d| live.contains(&d.name))
+            .collect();
         let result = if kept.is_empty() {
             self.changed = true;
+            self.stats.dead_drop += 1;
             body2
         } else {
             Expr::Join(JoinBind::Rec(kept), Box::new(body2))

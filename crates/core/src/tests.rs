@@ -2,12 +2,9 @@
 //! through the pipeline and validated against the abstract machine and
 //! Core Lint.
 
-use crate::{
-    contify, contify_counting, erase, optimize, simplify, OptConfig, SimplOpts,
-};
+use crate::{contify, contify_counting, erase, optimize, simplify, OptConfig, SimplOpts};
 use fj_ast::{
-    alpha_eq, Alt, AltCon, Binder, DataEnv, Dsl, Expr, Ident, JoinDef, NameSupply, PrimOp,
-    Type,
+    alpha_eq, Alt, AltCon, Binder, DataEnv, Dsl, Expr, Ident, JoinDef, NameSupply, PrimOp, Type,
 };
 use fj_check::lint;
 use fj_eval::{run, run_int, EvalMode, Value};
@@ -15,7 +12,11 @@ use fj_eval::{run, run_int, EvalMode, Value};
 const FUEL: u64 = 2_000_000;
 
 fn modes() -> [EvalMode; 3] {
-    [EvalMode::CallByName, EvalMode::CallByNeed, EvalMode::CallByValue]
+    [
+        EvalMode::CallByName,
+        EvalMode::CallByNeed,
+        EvalMode::CallByValue,
+    ]
 }
 
 /// Optimize with lint-between-passes forced on and check observational
@@ -27,8 +28,7 @@ fn optimize_checked(e: &Expr, dsl: &mut Dsl, cfg: &OptConfig) -> Expr {
         .unwrap_or_else(|err| panic!("optimize failed: {err}"));
     for mode in modes() {
         let a = run(e, mode, FUEL).unwrap_or_else(|er| panic!("{mode:?} before: {er}\n{e}"));
-        let b = run(&out, mode, FUEL)
-            .unwrap_or_else(|er| panic!("{mode:?} after: {er}\n{out}"));
+        let b = run(&out, mode, FUEL).unwrap_or_else(|er| panic!("{mode:?} after: {er}\n{out}"));
         assert_eq!(a.value, b.value, "{mode:?}\nbefore:\n{e}\nafter:\n{out}");
     }
     out
@@ -110,8 +110,7 @@ fn big_branches_become_shared_join_point() {
     // (the Just/Nothing cells are gone entirely).
     let mut cons = 0usize;
     out.walk(&mut |e| {
-        if matches!(e, Expr::Con(c, _, _) if c.as_str() == "Just" || c.as_str() == "Nothing")
-        {
+        if matches!(e, Expr::Con(c, _, _) if c.as_str() == "Just" || c.as_str() == "Nothing") {
             cons += 1;
         }
     });
@@ -233,8 +232,7 @@ fn find_any_contifies_and_fuses() {
     // No Maybe constructors remain: the case fused into the loop.
     let mut maybes = 0usize;
     out.walk(&mut |e| {
-        if matches!(e, Expr::Con(c, _, _) if c.as_str() == "Just" || c.as_str() == "Nothing")
-        {
+        if matches!(e, Expr::Con(c, _, _) if c.as_str() == "Just" || c.as_str() == "Nothing") {
             maybes += 1;
         }
     });
@@ -250,7 +248,10 @@ fn non_tail_call_not_contified() {
     // let f = \x. x + 1 in f (f 1)   — inner call is an argument.
     let e = Expr::let1(
         f.clone(),
-        Expr::lam(x.clone(), Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1))),
+        Expr::lam(
+            x.clone(),
+            Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1)),
+        ),
         Expr::app(
             Expr::var(&f.name),
             Expr::app(Expr::var(&f.name), Expr::Lit(1)),
@@ -272,7 +273,11 @@ fn return_type_mismatch_not_contified() {
     let e = Expr::let1(
         f.clone(),
         Expr::lam(x.clone(), Expr::var(&x.name)),
-        Expr::prim2(PrimOp::Gt, Expr::app(Expr::var(&f.name), Expr::Lit(1)), Expr::Lit(0)),
+        Expr::prim2(
+            PrimOp::Gt,
+            Expr::app(Expr::var(&f.name), Expr::Lit(1)),
+            Expr::Lit(0),
+        ),
     );
     let (_, n) = contify_counting(&e, &d.data_env).unwrap();
     assert_eq!(n, 0);
@@ -418,7 +423,12 @@ fn erasure_is_sound() {
             // Zero-parameter join (gets a Unit dummy).
             let j = d.name("j");
             Expr::join1(
-                JoinDef { name: j.clone(), ty_params: vec![], params: vec![], body: Expr::Lit(9) },
+                JoinDef {
+                    name: j.clone(),
+                    ty_params: vec![],
+                    params: vec![],
+                    body: Expr::Lit(9),
+                },
                 Expr::ite(
                     Expr::bool(false),
                     Expr::Lit(1),
@@ -455,8 +465,7 @@ fn erasure_is_sound() {
         lint(&p, &d.data_env).unwrap_or_else(|e| panic!("input: {e}\n{p}"));
         let erased = erase(&p, &d.data_env, &mut d.supply).unwrap();
         assert!(!erased.has_join_or_jump(), "must be join-free:\n{erased}");
-        lint(&erased, &d.data_env)
-            .unwrap_or_else(|e| panic!("erased ill-typed: {e}\n{erased}"));
+        lint(&erased, &d.data_env).unwrap_or_else(|e| panic!("erased ill-typed: {e}\n{erased}"));
         for mode in modes() {
             let a = run(&p, mode, FUEL).unwrap().value;
             let b = run(&erased, mode, FUEL).unwrap().value;
@@ -500,7 +509,10 @@ fn contify_simple_tail_function() {
     // let f = \x. x + 1 in case b of True -> f 1; False -> f 2
     let e = Expr::let1(
         f.clone(),
-        Expr::lam(x.clone(), Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1))),
+        Expr::lam(
+            x.clone(),
+            Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1)),
+        ),
         Expr::ite(
             Expr::bool(true),
             Expr::app(Expr::var(&f.name), Expr::Lit(1)),
@@ -555,7 +567,12 @@ fn commuting_normal_form_detection() {
             body: Expr::prim2(PrimOp::Add, Expr::var(&y.name), Expr::Lit(1)),
         },
         Expr::app(
-            Expr::jump(&j2, vec![], vec![Expr::Lit(1)], Type::fun(Type::Int, Type::Int)),
+            Expr::jump(
+                &j2,
+                vec![],
+                vec![Expr::Lit(1)],
+                Type::fun(Type::Int, Type::Int),
+            ),
             Expr::Lit(2),
         ),
     );
@@ -563,8 +580,7 @@ fn commuting_normal_form_detection() {
 
     // One simplifier round reaches commuting-normal form (Lemma 4's
     // constructive content).
-    let norm =
-        simplify_once(&non_tail, &d.data_env, &mut d.supply, &SimplOpts::default()).unwrap();
+    let norm = simplify_once(&non_tail, &d.data_env, &mut d.supply, &SimplOpts::default()).unwrap();
     assert!(is_commuting_normal(&norm), "not normal:\n{norm}");
     assert_eq!(run_int(&norm, EvalMode::CallByName, FUEL).unwrap(), 2);
 }

@@ -29,8 +29,7 @@
 
 use crate::metrics::Metrics;
 use fj_ast::{
-    Alt, AltCon, Expr, Ident, JoinBind, LetBind, Name, NameSupply, PrimOp, PrimResult,
-    Subst, Type,
+    Alt, AltCon, Expr, Ident, JoinBind, LetBind, Name, NameSupply, PrimOp, PrimResult, Subst, Type,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -138,7 +137,9 @@ pub fn run(e: &Expr, mode: EvalMode, fuel: u64) -> Result<Outcome, MachineError>
 pub fn run_int(e: &Expr, mode: EvalMode, fuel: u64) -> Result<i64, MachineError> {
     match run(e, mode, fuel)?.value {
         Value::Int(n) => Ok(n),
-        other => Err(MachineError::Stuck(format!("expected Int result, got {other}"))),
+        other => Err(MachineError::Stuck(format!(
+            "expected Int result, got {other}"
+        ))),
     }
 }
 
@@ -167,9 +168,20 @@ enum Frame {
     /// Left operand known; evaluating the right.
     PrimR(PrimOp, i64),
     /// CBV: evaluating constructor fields left to right.
-    ConArgs { con: Ident, tys: Vec<Type>, done: Vec<Expr>, pending: Vec<Expr> },
+    ConArgs {
+        con: Ident,
+        tys: Vec<Type>,
+        done: Vec<Expr>,
+        pending: Vec<Expr>,
+    },
     /// CBV: evaluating jump arguments before transferring control.
-    JumpArgs { label: Name, tys: Vec<Type>, done: Vec<Expr>, pending: Vec<Expr>, res: Type },
+    JumpArgs {
+        label: Name,
+        tys: Vec<Type>,
+        done: Vec<Expr>,
+        pending: Vec<Expr>,
+        res: Type,
+    },
     /// CBV: strict `let` — binder name and body, waiting on the RHS.
     LetStrict(fj_ast::Binder, Expr),
 }
@@ -407,10 +419,20 @@ impl Machine {
                     "primop operand not an integer: {other}"
                 ))),
             },
-            Frame::ConArgs { con, tys, mut done, mut pending } => {
+            Frame::ConArgs {
+                con,
+                tys,
+                mut done,
+                mut pending,
+            } => {
                 done.push(answer);
                 if let Some(next) = pending.pop() {
-                    self.stack.push(Frame::ConArgs { con, tys, done, pending });
+                    self.stack.push(Frame::ConArgs {
+                        con,
+                        tys,
+                        done,
+                        pending,
+                    });
                     self.focus_reused = false;
                     Ok(next)
                 } else {
@@ -423,13 +445,25 @@ impl Machine {
                     Ok(Expr::Con(con, tys, done))
                 }
             }
-            Frame::JumpArgs { label, tys, mut done, mut pending, res } => {
+            Frame::JumpArgs {
+                label,
+                tys,
+                mut done,
+                mut pending,
+                res,
+            } => {
                 done.push(answer);
                 while let Some(next) = pending.pop() {
                     if next.is_atom() {
                         done.push(next);
                     } else {
-                        self.stack.push(Frame::JumpArgs { label, tys, done, pending, res });
+                        self.stack.push(Frame::JumpArgs {
+                            label,
+                            tys,
+                            done,
+                            pending,
+                            res,
+                        });
                         self.focus_reused = false;
                         return Ok(next);
                     }
@@ -545,9 +579,7 @@ impl Machine {
     fn bind_let(&mut self, bind: LetBind, body: Expr) -> Result<Expr, MachineError> {
         match bind {
             LetBind::NonRec(b, rhs) => {
-                if self.mode == EvalMode::CallByValue
-                    && !(self.is_answer(&rhs) || rhs.is_atom())
-                {
+                if self.mode == EvalMode::CallByValue && !(self.is_answer(&rhs) || rhs.is_atom()) {
                     self.stack.push(Frame::LetStrict(b, body));
                     Ok(*rhs)
                 } else {
@@ -568,8 +600,7 @@ impl Machine {
                     }
                     s.apply(e)
                 };
-                let rhss: Vec<Expr> =
-                    binds.iter().map(|(_, rhs)| rename(self, rhs)).collect();
+                let rhss: Vec<Expr> = binds.iter().map(|(_, rhs)| rename(self, rhs)).collect();
                 let body2 = rename(self, &body);
                 for (f, rhs) in fresh.into_iter().zip(rhss) {
                     self.store_binding(f, rhs, Charge::Let, false);
@@ -654,13 +685,8 @@ impl Machine {
                             .collect();
                         let ty_pairs: Vec<(Name, Type)> =
                             def.ty_params.iter().cloned().zip(tys).collect();
-                        let body = self.bind_params(
-                            pairs,
-                            &def.body,
-                            ty_pairs,
-                            Charge::Arg,
-                            evaluated,
-                        );
+                        let body =
+                            self.bind_params(pairs, &def.body, ty_pairs, Charge::Arg, evaluated);
                         self.focus_reused = false;
                         return Ok(body);
                     }

@@ -88,14 +88,25 @@ mod tests {
 
     #[test]
     fn totals_sum_components() {
-        let m = Metrics { let_allocs: 2, arg_allocs: 3, con_allocs: 5, ..Metrics::default() };
+        let m = Metrics {
+            let_allocs: 2,
+            arg_allocs: 3,
+            con_allocs: 5,
+            ..Metrics::default()
+        };
         assert_eq!(m.total_allocs(), 10);
     }
 
     #[test]
     fn delta_pct() {
-        let base = Metrics { let_allocs: 100, ..Metrics::default() };
-        let new = Metrics { let_allocs: 92, ..Metrics::default() };
+        let base = Metrics {
+            let_allocs: 100,
+            ..Metrics::default()
+        };
+        let new = Metrics {
+            let_allocs: 92,
+            ..Metrics::default()
+        };
         let d = new.alloc_delta_pct(&base);
         assert!((d + 8.0).abs() < 1e-9, "{d}");
         let zero = Metrics::default();

@@ -7,7 +7,11 @@ use fj_ast::{Binder, Dsl, Expr, Ident, JoinDef, PrimOp, Type};
 const FUEL: u64 = 1_000_000;
 
 fn all_modes() -> [EvalMode; 3] {
-    [EvalMode::CallByName, EvalMode::CallByNeed, EvalMode::CallByValue]
+    [
+        EvalMode::CallByName,
+        EvalMode::CallByNeed,
+        EvalMode::CallByValue,
+    ]
 }
 
 /// `let rec go n acc = if n <= 0 then acc else go (n-1) (acc+n) in go n 0`.
@@ -103,7 +107,10 @@ fn beta_and_let() {
 #[test]
 fn case_on_maybe() {
     let mut d = Dsl::new();
-    let scrut = d.just(Type::Int, Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2)));
+    let scrut = d.just(
+        Type::Int,
+        Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2)),
+    );
     let e = d.case_maybe(Type::Int, scrut, Expr::Lit(0), |_, x| {
         Expr::prim2(PrimOp::Mul, Expr::var(x), Expr::Lit(10))
     });
@@ -321,7 +328,10 @@ fn call_by_need_shares_work() {
 fn constructor_allocations_counted_once_per_cell() {
     let mut d = Dsl::new();
     // case Just (1+2) of { Nothing -> 0; Just x -> x }
-    let scrut = d.just(Type::Int, Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2)));
+    let scrut = d.just(
+        Type::Int,
+        Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2)),
+    );
     let e = d.case_maybe(Type::Int, scrut, Expr::Lit(0), |_, x| Expr::var(x));
     for mode in all_modes() {
         let out = run(&e, mode, FUEL).unwrap();
@@ -418,7 +428,12 @@ fn unused_join_is_skipped() {
     let mut d = Dsl::new();
     let j = d.name("j");
     let e = Expr::join1(
-        JoinDef { name: j, ty_params: vec![], params: vec![], body: Expr::Lit(0) },
+        JoinDef {
+            name: j,
+            ty_params: vec![],
+            params: vec![],
+            body: Expr::Lit(0),
+        },
         Expr::Lit(42),
     );
     for mode in all_modes() {
@@ -472,5 +487,231 @@ fn mutual_recursive_joins() {
     for mode in all_modes() {
         let v = run(&e, mode, FUEL).unwrap().value;
         assert_eq!(v, Value::Con(Ident::new("False"), vec![]), "{mode:?}");
+    }
+}
+
+/// Exact allocation accounting, mode by mode: a `let`-bound closure
+/// costs exactly one allocation; the same abstraction as a join point
+/// costs exactly zero (Fig. 3 stack-allocates join points).
+#[test]
+fn let_closure_costs_one_join_costs_zero_exactly() {
+    // let f = \x. x+1 in f (1+2)
+    let mut d = Dsl::new();
+    let f = d.binder("f", Type::fun(Type::Int, Type::Int));
+    let x = d.binder("x", Type::Int);
+    let let_fn = Expr::let1(
+        f.clone(),
+        Expr::lam(
+            x.clone(),
+            Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1)),
+        ),
+        Expr::app(
+            Expr::var(&f.name),
+            Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2)),
+        ),
+    );
+    // join j x = x+1 in jump j (1+2)
+    let mut d2 = Dsl::new();
+    let joined = d2.joinrec_loop(
+        "j",
+        vec![("x", Type::Int)],
+        |_, _, ps| Expr::prim2(PrimOp::Add, Expr::var(&ps[0]), Expr::Lit(1)),
+        |_, j| {
+            Expr::jump(
+                j,
+                vec![],
+                vec![Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2))],
+                Type::Int,
+            )
+        },
+    );
+    for mode in all_modes() {
+        // A non-cheap argument costs 1 thunk under name/need and nothing
+        // under value (it arrives already evaluated).
+        let arg_cost = if mode == EvalMode::CallByValue { 0 } else { 1 };
+
+        let o = run(&let_fn, mode, FUEL).unwrap();
+        assert_eq!(o.value, Value::Int(4), "{mode:?}");
+        assert_eq!(
+            o.metrics.let_allocs, 1,
+            "{mode:?}: the closure costs exactly 1"
+        );
+        assert_eq!(o.metrics.arg_allocs, arg_cost, "{mode:?}");
+        assert_eq!(o.metrics.con_allocs, 0, "{mode:?}");
+        assert_eq!(o.metrics.jumps, 0, "{mode:?}");
+
+        let o = run(&joined, mode, FUEL).unwrap();
+        assert_eq!(o.value, Value::Int(4), "{mode:?}");
+        assert_eq!(
+            o.metrics.let_allocs, 0,
+            "{mode:?}: a join binding costs exactly 0"
+        );
+        assert_eq!(
+            o.metrics.arg_allocs, arg_cost,
+            "{mode:?}: jump args charge like fn args"
+        );
+        assert_eq!(o.metrics.jumps, 1, "{mode:?}");
+    }
+}
+
+/// The loop pair: the `letrec` closure is the single allocation
+/// difference from its contified twin, in every mode.
+#[test]
+fn loop_closure_is_the_exact_allocation_difference() {
+    for mode in all_modes() {
+        let mut d = Dsl::new();
+        let via_letrec = run(&sum_loop_letrec(&mut d, 4), mode, FUEL).unwrap();
+        let mut d2 = Dsl::new();
+        let via_join = run(&sum_loop_join(&mut d2, 4), mode, FUEL).unwrap();
+        assert_eq!(via_letrec.value, Value::Int(10), "{mode:?}");
+        assert_eq!(via_join.value, Value::Int(10), "{mode:?}");
+        assert_eq!(
+            via_letrec.metrics.let_allocs, 1,
+            "{mode:?}: one loop closure"
+        );
+        assert_eq!(
+            via_join.metrics.let_allocs, 0,
+            "{mode:?}: join loop is free"
+        );
+        assert_eq!(
+            via_letrec.metrics.arg_allocs, via_join.metrics.arg_allocs,
+            "{mode:?}: argument traffic is identical"
+        );
+        assert_eq!(
+            via_join.metrics.jumps, 5,
+            "{mode:?}: initial + 4 iterations"
+        );
+        assert_eq!(via_letrec.metrics.jumps, 0, "{mode:?}");
+    }
+}
+
+/// Constructor cells cost exactly one allocation each, charged at build
+/// time; nullary constructors are free; unforced cells are never charged.
+#[test]
+fn constructor_cell_counts_are_exact() {
+    for mode in all_modes() {
+        // case Just (1+2) of { Nothing -> 0; Just x -> x }: one cell.
+        let mut d = Dsl::new();
+        let scrut = d.just(
+            Type::Int,
+            Expr::prim2(PrimOp::Add, Expr::Lit(1), Expr::Lit(2)),
+        );
+        let e = d.case_maybe(Type::Int, scrut, Expr::Lit(0), |_, x| Expr::var(x));
+        let o = run(&e, mode, FUEL).unwrap();
+        assert_eq!(o.value, Value::Int(3), "{mode:?}");
+        assert_eq!(o.metrics.con_allocs, 1, "{mode:?}: exactly the Just cell");
+        assert_eq!(o.metrics.let_allocs, 0, "{mode:?}");
+        assert_eq!(o.metrics.arg_allocs, 0, "{mode:?}");
+
+        // case Nothing of …: nullary scrutinee allocates nothing at all.
+        let mut d = Dsl::new();
+        let scrut = d.nothing(Type::Int);
+        let e = d.case_maybe(Type::Int, scrut, Expr::Lit(0), |_, x| Expr::var(x));
+        let o = run(&e, mode, FUEL).unwrap();
+        assert_eq!(o.value, Value::Int(0), "{mode:?}");
+        assert_eq!(
+            o.metrics.total_allocs(),
+            0,
+            "{mode:?}: Nothing is a shared static"
+        );
+
+        // A separately *built* tail (let-bound) is its own cell: forcing
+        // both cells of `let t = [2] in 1:t` charges exactly two.
+        let mut d = Dsl::new();
+        let nil = d.nil(Type::Int);
+        let inner = d.cons(Type::Int, Expr::Lit(2), nil);
+        let tb = d.binder("t", d.list_ty(Type::Int));
+        let xs = d.cons(Type::Int, Expr::Lit(1), Expr::var(&tb.name));
+        let body = d.case_list(Type::Int, xs, Expr::Lit(0), |d2, h, t2| {
+            let sub = d2.case_list(Type::Int, Expr::var(t2), Expr::Lit(0), |_, h2, _| {
+                Expr::var(h2)
+            });
+            Expr::prim2(PrimOp::Add, Expr::var(h), sub)
+        });
+        let e = Expr::let1(tb, inner, body);
+        let o = run(&e, mode, FUEL).unwrap();
+        assert_eq!(o.value, Value::Int(3), "{mode:?}");
+        assert_eq!(
+            o.metrics.con_allocs, 2,
+            "{mode:?}: both built cells, Nil free"
+        );
+        assert_eq!(
+            o.metrics.let_allocs, 0,
+            "{mode:?}: the cell charge subsumes the let"
+        );
+
+        // A fully-literal nested constructor is one build: the inner cell
+        // rides along as a field of the outer (static data, as in GHC).
+        let mut d = Dsl::new();
+        let nil = d.nil(Type::Int);
+        let tail = d.cons(Type::Int, Expr::Lit(2), nil);
+        let xs = d.cons(Type::Int, Expr::Lit(1), tail);
+        let e = d.case_list(Type::Int, xs, Expr::Lit(0), |d2, h, t| {
+            let sub = d2.case_list(Type::Int, Expr::var(t), Expr::Lit(0), |_, h2, _| {
+                Expr::var(h2)
+            });
+            Expr::prim2(PrimOp::Add, Expr::var(h), sub)
+        });
+        let o = run(&e, mode, FUEL).unwrap();
+        assert_eq!(o.value, Value::Int(3), "{mode:?}");
+        assert_eq!(
+            o.metrics.con_allocs, 1,
+            "{mode:?}: literal spine builds once"
+        );
+
+        // An unforced tail is never charged: inspect only the head.
+        let mut d = Dsl::new();
+        let nil = d.nil(Type::Int);
+        let tail = d.cons(Type::Int, Expr::Lit(2), nil);
+        let xs = d.cons(Type::Int, Expr::Lit(1), tail);
+        let e = d.case_list(Type::Int, xs, Expr::Lit(0), |_, h, _| Expr::var(h));
+        let o = run(&e, mode, FUEL).unwrap();
+        assert_eq!(o.value, Value::Int(1), "{mode:?}");
+        assert_eq!(
+            o.metrics.con_allocs, 1,
+            "{mode:?}: the unforced tail cell is free"
+        );
+    }
+}
+
+/// Argument thunks: cheap arguments (atoms, nullary constructors) are
+/// substituted inline and cost nothing; each non-cheap argument costs
+/// exactly one under name/need and nothing under value.
+#[test]
+fn argument_thunk_counts_are_exact() {
+    for mode in all_modes() {
+        let mk = |arg: Expr| {
+            let mut d = Dsl::new();
+            let x = d.binder("x", Type::Int);
+            Expr::app(
+                Expr::lam(
+                    x.clone(),
+                    Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::var(&x.name)),
+                ),
+                arg,
+            )
+        };
+        // Cheap literal argument: free everywhere.
+        let o = run(&mk(Expr::Lit(5)), mode, FUEL).unwrap();
+        assert_eq!(o.value, Value::Int(10), "{mode:?}");
+        assert_eq!(
+            o.metrics.arg_allocs, 0,
+            "{mode:?}: literals substitute inline"
+        );
+
+        // Computed argument: one thunk under name/need, free under value.
+        // Used twice in the body, still charged once (at creation).
+        let o = run(
+            &mk(Expr::prim2(PrimOp::Add, Expr::Lit(2), Expr::Lit(3))),
+            mode,
+            FUEL,
+        )
+        .unwrap();
+        assert_eq!(o.value, Value::Int(10), "{mode:?}");
+        let expect = if mode == EvalMode::CallByValue { 0 } else { 1 };
+        assert_eq!(
+            o.metrics.arg_allocs, expect,
+            "{mode:?}: charged once at creation"
+        );
     }
 }

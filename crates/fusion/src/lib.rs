@@ -124,10 +124,7 @@ pub fn int_lambda(d: &mut Dsl, body: impl FnOnce(&mut Dsl, &Name) -> Expr) -> Ex
 }
 
 /// Build `λ(a:Int) (b:Int). body(a, b)`.
-pub fn int_lambda2(
-    d: &mut Dsl,
-    body: impl FnOnce(&mut Dsl, &Name, &Name) -> Expr,
-) -> Expr {
+pub fn int_lambda2(d: &mut Dsl, body: impl FnOnce(&mut Dsl, &Name, &Name) -> Expr) -> Expr {
     let a = d.binder("a", Type::Int);
     let b = d.binder("b", Type::Int);
     let (an, bn) = (a.name.clone(), b.name.clone());
@@ -163,6 +160,7 @@ pub fn enum_from_to(d: &mut Dsl, variant: StepVariant, lo: Expr, hi: Expr) -> St
 
 /// Case over a `Step`-typed scrutinee, building the two (or three)
 /// alternatives. `skip` is only consulted for [`StepVariant::Skip`].
+#[allow(clippy::too_many_arguments)]
 fn case_step(
     d: &mut Dsl,
     variant: StepVariant,
@@ -302,7 +300,10 @@ pub fn filter_s(d: &mut Dsl, p: Expr, s: Stream) -> Stream {
                 |_, _| unreachable!("skipless has no skip alternative"),
             );
             let body = Expr::letrec(
-                vec![(Binder::new(loop_n.clone(), loop_ty), Expr::lam(s2, loop_body))],
+                vec![(
+                    Binder::new(loop_n.clone(), loop_ty),
+                    Expr::lam(s2, loop_body),
+                )],
                 Expr::app(Expr::var(&loop_n), Expr::var(&st_in.name)),
             );
             Stream {
@@ -349,14 +350,14 @@ pub fn take_s(d: &mut Dsl, n: Expr, s: Stream) -> Stream {
                     Expr::var(st),
                 ],
             );
-            con(variant.yield_(), out_tys.clone(), vec![Expr::var(x), new_pair])
+            con(
+                variant.yield_(),
+                out_tys.clone(),
+                vec![Expr::var(x), new_pair],
+            )
         },
         |_, st| {
-            let new_pair = con(
-                "MkPair",
-                pair_tys2,
-                vec![Expr::var(&kn2), Expr::var(st)],
-            );
+            let new_pair = con("MkPair", pair_tys2, vec![Expr::var(&kn2), Expr::var(st)]);
             con("SSkip", out_tys2, vec![new_pair])
         },
     );
@@ -433,19 +434,10 @@ pub fn append_s(d: &mut Dsl, s1: Stream, s2: Stream) -> Stream {
                 con(
                     variant.yield_(),
                     tys,
-                    vec![
-                        Expr::var(x),
-                        con("Right", rt, vec![Expr::var(stn)]),
-                    ],
+                    vec![Expr::var(x), con("Right", rt, vec![Expr::var(stn)])],
                 )
             },
-            |_, stn| {
-                con(
-                    "SSkip",
-                    tys2,
-                    vec![con("Right", rt2, vec![Expr::var(stn)])],
-                )
-            },
+            |_, stn| con("SSkip", tys2, vec![con("Right", rt2, vec![Expr::var(stn)])]),
         )
     };
 
@@ -504,13 +496,7 @@ pub fn append_s(d: &mut Dsl, s1: Stream, s2: Stream) -> Stream {
                     vec![Expr::var(x), con("Left", lt, vec![Expr::var(stn)])],
                 )
             },
-            |_, stn| {
-                con(
-                    "SSkip",
-                    tys2,
-                    vec![con("Left", lt2, vec![Expr::var(stn)])],
-                )
-            },
+            |_, stn| con("SSkip", tys2, vec![con("Left", lt2, vec![Expr::var(stn)])]),
         )
     };
 

@@ -3,8 +3,8 @@
 //! under the join-points pipeline, but not under the baseline.
 
 use crate::{
-    append_s, enum_from_to, filter_s, fold_s, int_lambda, int_lambda2, length_s, map_s,
-    sum_s, take_s, zip_with_s, zip_with_skip, StepVariant, Stream,
+    append_s, enum_from_to, filter_s, fold_s, int_lambda, int_lambda2, length_s, map_s, sum_s,
+    take_s, zip_with_s, zip_with_skip, StepVariant, Stream,
 };
 use fj_ast::{Dsl, Expr, PrimOp, Type};
 use fj_check::lint;
@@ -209,8 +209,8 @@ fn optimized_metrics(v: StepVariant, cfg: &OptConfig, n: i64) -> (i64, Metrics, 
     lint(&e, &d.data_env).unwrap_or_else(|err| panic!("lint input: {err}"));
     let out = optimize(&e, &d.data_env, &mut d.supply, &cfg.clone().with_lint(true))
         .unwrap_or_else(|err| panic!("optimize: {err}"));
-    let o = run(&out, EvalMode::CallByValue, FUEL)
-        .unwrap_or_else(|err| panic!("eval: {err}\n{out}"));
+    let o =
+        run(&out, EvalMode::CallByValue, FUEL).unwrap_or_else(|err| panic!("eval: {err}\n{out}"));
     match o.value {
         fj_eval::Value::Int(k) => (k, o.metrics, out),
         other => panic!("expected Int, got {other}"),
@@ -238,8 +238,7 @@ fn skipless_with_joins_fuses_completely() {
 fn skipless_baseline_fails_to_fuse() {
     let (val_small, m_small, _) =
         optimized_metrics(StepVariant::Skipless, &OptConfig::baseline(), 10);
-    let (val_big, m_big, _) =
-        optimized_metrics(StepVariant::Skipless, &OptConfig::baseline(), 100);
+    let (val_big, m_big, _) = optimized_metrics(StepVariant::Skipless, &OptConfig::baseline(), 100);
     assert_eq!(val_small, pipeline_reference(10));
     assert_eq!(val_big, pipeline_reference(100));
     assert!(
@@ -262,8 +261,7 @@ fn skipless_joins_matches_skipful_with_less_code() {
     let n = 100;
     let (val_nl, m_nl, out_nl) =
         optimized_metrics(StepVariant::Skipless, &OptConfig::join_points(), n);
-    let (val_sk, m_sk, out_sk) =
-        optimized_metrics(StepVariant::Skip, &OptConfig::join_points(), n);
+    let (val_sk, m_sk, out_sk) = optimized_metrics(StepVariant::Skip, &OptConfig::join_points(), n);
     assert_eq!(val_nl, val_sk);
     assert_eq!(m_nl.total_allocs(), 0);
     assert_eq!(m_sk.total_allocs(), 0);
@@ -303,8 +301,11 @@ fn optimized_pipelines_preserve_semantics() {
             let e = pipeline(&mut d, v, 30);
             let out = optimize(&e, &d.data_env, &mut d.supply, &cfg.with_lint(true))
                 .unwrap_or_else(|err| panic!("optimize: {err}"));
-            for mode in [EvalMode::CallByName, EvalMode::CallByNeed, EvalMode::CallByValue]
-            {
+            for mode in [
+                EvalMode::CallByName,
+                EvalMode::CallByNeed,
+                EvalMode::CallByValue,
+            ] {
                 assert_eq!(
                     run_int(&out, mode, FUEL).unwrap(),
                     pipeline_reference(30),

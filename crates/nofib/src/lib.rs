@@ -32,7 +32,7 @@ mod spectral;
 
 pub mod fusion_exp;
 
-use fj_core::{optimize, OptConfig};
+use fj_core::{optimize, optimize_with_report, OptConfig, PipelineReport};
 use fj_eval::{run, EvalMode, Metrics, Value};
 use fj_surface::compile;
 
@@ -121,10 +121,29 @@ pub fn measure(source: &str, cfg: &OptConfig) -> (i64, Metrics) {
         .unwrap_or_else(|e| panic!("lint: {e}\n{}", lowered.expr));
     let out = optimize(&lowered.expr, &lowered.data_env, &mut lowered.supply, cfg)
         .unwrap_or_else(|e| panic!("optimize: {e}"));
-    let o = run(&out, EvalMode::CallByValue, FUEL)
-        .unwrap_or_else(|e| panic!("eval: {e}\n{out}"));
+    let o = run(&out, EvalMode::CallByValue, FUEL).unwrap_or_else(|e| panic!("eval: {e}\n{out}"));
     match o.value {
         Value::Int(n) => (n, o.metrics),
+        other => panic!("benchmark main must return Int, got {other}"),
+    }
+}
+
+/// As [`measure`], also returning the optimizer's per-pass
+/// [`PipelineReport`] (rewrite counters, censuses, wall times).
+///
+/// # Panics
+///
+/// As [`measure`].
+pub fn measure_with_report(source: &str, cfg: &OptConfig) -> (i64, Metrics, PipelineReport) {
+    let mut lowered = compile(source).unwrap_or_else(|e| panic!("compile: {e}"));
+    fj_check::lint(&lowered.expr, &lowered.data_env)
+        .unwrap_or_else(|e| panic!("lint: {e}\n{}", lowered.expr));
+    let (out, report) =
+        optimize_with_report(&lowered.expr, &lowered.data_env, &mut lowered.supply, cfg)
+            .unwrap_or_else(|e| panic!("optimize: {e}"));
+    let o = run(&out, EvalMode::CallByValue, FUEL).unwrap_or_else(|e| panic!("eval: {e}\n{out}"));
+    match o.value {
+        Value::Int(n) => (n, o.metrics, report),
         other => panic!("benchmark main must return Int, got {other}"),
     }
 }
@@ -146,7 +165,148 @@ pub fn run_program(p: &Program) -> Row {
     if let Some(exp) = p.expected {
         assert_eq!(v_join, exp, "{}: expected {exp}, got {v_join}", p.name);
     }
-    Row { name: p.name, suite: p.suite, value: v_join, baseline: m_base, joined: m_join }
+    Row {
+        name: p.name,
+        suite: p.suite,
+        value: v_join,
+        baseline: m_base,
+        joined: m_join,
+    }
+}
+
+/// A [`Row`] plus the optimizer activity behind it, for `fj report`.
+#[derive(Clone, Debug)]
+pub struct ReportRow {
+    /// The allocation comparison.
+    pub row: Row,
+    /// What the baseline pipeline did.
+    pub baseline_report: PipelineReport,
+    /// What the join-points pipeline did.
+    pub joined_report: PipelineReport,
+}
+
+/// Run one benchmark under both pipelines, keeping the pipeline reports.
+///
+/// # Panics
+///
+/// As [`run_program`].
+pub fn run_program_with_reports(p: &Program) -> ReportRow {
+    let (v_base, m_base, base_rep) = measure_with_report(p.source, &OptConfig::baseline());
+    let (v_join, m_join, join_rep) = measure_with_report(p.source, &OptConfig::join_points());
+    assert_eq!(
+        v_base, v_join,
+        "{}: baseline and join-points disagree ({v_base} vs {v_join})",
+        p.name
+    );
+    if let Some(exp) = p.expected {
+        assert_eq!(v_join, exp, "{}: expected {exp}, got {v_join}", p.name);
+    }
+    ReportRow {
+        row: Row {
+            name: p.name,
+            suite: p.suite,
+            value: v_join,
+            baseline: m_base,
+            joined: m_join,
+        },
+        baseline_report: base_rep,
+        joined_report: join_rep,
+    }
+}
+
+/// Run the whole suite with pipeline reports (the `fj report` payload).
+pub fn run_report() -> Vec<ReportRow> {
+    programs().iter().map(run_program_with_reports).collect()
+}
+
+/// Render [`ReportRow`]s as the Table-1-style markdown report: machine
+/// metrics under both pipelines, then the optimizer activity (rewrite
+/// counters) that explains the deltas.
+pub fn format_report(rows: &[ReportRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "# fj report — baseline vs join points\n").unwrap();
+    writeln!(
+        out,
+        "Allocation counts from the abstract machine (call-by-value, the \
+         paper's Table-1 metric); `Δ allocs` negative means the join-points \
+         pipeline allocates less.\n"
+    )
+    .unwrap();
+    writeln!(out, "## Machine metrics\n").unwrap();
+    writeln!(
+        out,
+        "| program | suite | steps b/j | let b/j | arg b/j | con b/j | jumps b/j | stack b/j | Δ allocs |"
+    )
+    .unwrap();
+    writeln!(out, "|---|---|---|---|---|---|---|---|---|").unwrap();
+    for r in rows {
+        let (b, j) = (&r.row.baseline, &r.row.joined);
+        writeln!(
+            out,
+            "| {} | {} | {}/{} | {}/{} | {}/{} | {}/{} | {}/{} | {}/{} | {:+.1}% |",
+            r.row.name,
+            r.row.suite.name(),
+            b.steps,
+            j.steps,
+            b.let_allocs,
+            j.let_allocs,
+            b.arg_allocs,
+            j.arg_allocs,
+            b.con_allocs,
+            j.con_allocs,
+            b.jumps,
+            j.jumps,
+            b.max_stack,
+            j.max_stack,
+            r.row.delta_pct()
+        )
+        .unwrap();
+    }
+    writeln!(out, "\n## Optimizer activity (join-points pipeline)\n").unwrap();
+    writeln!(
+        out,
+        "| program | contified | simplify rewrites | float-in | float-out | shared ctx | total | wall |"
+    )
+    .unwrap();
+    writeln!(out, "|---|---|---|---|---|---|---|---|").unwrap();
+    for r in rows {
+        let t = r.joined_report.totals();
+        writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {:.1?} |",
+            r.row.name,
+            t.contified,
+            r.joined_report.rewrites_for("simplify"),
+            t.floated_in,
+            t.floated_out,
+            t.shared_contexts,
+            t.total(),
+            r.joined_report.wall
+        )
+        .unwrap();
+    }
+    writeln!(out, "\n## Per-pass detail\n").unwrap();
+    for r in rows {
+        writeln!(out, "### {}\n", r.row.name).unwrap();
+        writeln!(out, "| pass | rewrites | size | lets | joins | jumps |").unwrap();
+        writeln!(out, "|---|---|---|---|---|---|").unwrap();
+        for p in &r.joined_report.passes {
+            writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                p.pass,
+                p.rewrites,
+                p.census_after.size,
+                p.census_after.lets,
+                p.census_after.joins,
+                p.census_after.jumps
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
 }
 
 /// Run the whole Table-1 experiment.
@@ -192,8 +352,12 @@ pub fn format_table1(rows: &[Row]) -> String {
     let mut out = String::new();
     for suite in [Suite::Spectral, Suite::Real, Suite::Shootout] {
         writeln!(out, "{}", suite.name()).unwrap();
-        writeln!(out, "{:<16} {:>10} {:>10} {:>8}", "Program", "base", "joins", "Allocs")
-            .unwrap();
+        writeln!(
+            out,
+            "{:<16} {:>10} {:>10} {:>8}",
+            "Program", "base", "joins", "Allocs"
+        )
+        .unwrap();
         for r in rows.iter().filter(|r| r.suite == suite) {
             writeln!(
                 out,
@@ -233,9 +397,18 @@ pub struct AblationRow {
 pub fn run_ablation() -> Vec<AblationRow> {
     let configs: Vec<(&'static str, OptConfig)> = vec![
         ("join-points (full)", OptConfig::join_points()),
-        ("without contify", OptConfig::join_points_without(fj_core::Pass::Contify)),
-        ("without float-in", OptConfig::join_points_without(fj_core::Pass::FloatIn)),
-        ("without simplify", OptConfig::join_points_without(fj_core::Pass::Simplify)),
+        (
+            "without contify",
+            OptConfig::join_points_without(fj_core::Pass::Contify),
+        ),
+        (
+            "without float-in",
+            OptConfig::join_points_without(fj_core::Pass::FloatIn),
+        ),
+        (
+            "without simplify",
+            OptConfig::join_points_without(fj_core::Pass::Simplify),
+        ),
         ("baseline", OptConfig::baseline()),
         ("no optimization", OptConfig::none()),
     ];
@@ -249,7 +422,11 @@ pub fn run_ablation() -> Vec<AblationRow> {
                 total_allocs += m.total_allocs();
                 total_steps += m.steps;
             }
-            AblationRow { label, total_allocs, total_steps }
+            AblationRow {
+                label,
+                total_allocs,
+                total_steps,
+            }
         })
         .collect()
 }
@@ -258,10 +435,19 @@ pub fn run_ablation() -> Vec<AblationRow> {
 pub fn format_ablation(rows: &[AblationRow]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    writeln!(out, "{:<22} {:>12} {:>12}", "Configuration", "allocs", "steps").unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>12} {:>12}",
+        "Configuration", "allocs", "steps"
+    )
+    .unwrap();
     for r in rows {
-        writeln!(out, "{:<22} {:>12} {:>12}", r.label, r.total_allocs, r.total_steps)
-            .unwrap();
+        writeln!(
+            out,
+            "{:<22} {:>12} {:>12}",
+            r.label, r.total_allocs, r.total_steps
+        )
+        .unwrap();
     }
     out
 }

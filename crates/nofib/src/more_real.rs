@@ -179,8 +179,23 @@ def main : Int = score 1;
 /// Additional real programs.
 pub fn programs() -> Vec<Program> {
     vec![
-        Program { name: "compress", suite: Suite::Real, source: COMPRESS, expected: Some(120) },
-        Program { name: "grep", suite: Suite::Real, source: GREP, expected: None },
-        Program { name: "infer", suite: Suite::Real, source: INFER, expected: None },
+        Program {
+            name: "compress",
+            suite: Suite::Real,
+            source: COMPRESS,
+            expected: Some(120),
+        },
+        Program {
+            name: "grep",
+            suite: Suite::Real,
+            source: GREP,
+            expected: None,
+        },
+        Program {
+            name: "infer",
+            suite: Suite::Real,
+            source: INFER,
+            expected: None,
+        },
     ]
 }

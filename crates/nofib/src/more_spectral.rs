@@ -244,10 +244,35 @@ def main : Int = normalize (mkTerm 6) + normalize (mkTerm 7);
 /// Additional spectral programs.
 pub fn programs() -> Vec<Program> {
     vec![
-        Program { name: "boyer", suite: Suite::Spectral, source: BOYER, expected: None },
-        Program { name: "clausify", suite: Suite::Spectral, source: CLAUSIFY, expected: None },
-        Program { name: "knights", suite: Suite::Spectral, source: KNIGHTS, expected: None },
-        Program { name: "mandel", suite: Suite::Spectral, source: MANDEL, expected: None },
-        Program { name: "queens", suite: Suite::Spectral, source: QUEENS, expected: Some(4) },
+        Program {
+            name: "boyer",
+            suite: Suite::Spectral,
+            source: BOYER,
+            expected: None,
+        },
+        Program {
+            name: "clausify",
+            suite: Suite::Spectral,
+            source: CLAUSIFY,
+            expected: None,
+        },
+        Program {
+            name: "knights",
+            suite: Suite::Spectral,
+            source: KNIGHTS,
+            expected: None,
+        },
+        Program {
+            name: "mandel",
+            suite: Suite::Spectral,
+            source: MANDEL,
+            expected: None,
+        },
+        Program {
+            name: "queens",
+            suite: Suite::Spectral,
+            source: QUEENS,
+            expected: Some(4),
+        },
     ]
 }

@@ -262,12 +262,47 @@ def main : Int = encryptSum (blocks 40);
 /// All `real` programs, in Table 1 row order.
 pub fn programs() -> Vec<Program> {
     vec![
-        Program { name: "anna", suite: Suite::Real, source: ANNA, expected: None },
-        Program { name: "cacheprof", suite: Suite::Real, source: CACHEPROF, expected: None },
-        Program { name: "fem", suite: Suite::Real, source: FEM, expected: None },
-        Program { name: "gamteb", suite: Suite::Real, source: GAMTEB, expected: None },
-        Program { name: "hpg", suite: Suite::Real, source: HPG, expected: None },
-        Program { name: "parser", suite: Suite::Real, source: PARSER, expected: None },
-        Program { name: "rsa", suite: Suite::Real, source: RSA, expected: None },
+        Program {
+            name: "anna",
+            suite: Suite::Real,
+            source: ANNA,
+            expected: None,
+        },
+        Program {
+            name: "cacheprof",
+            suite: Suite::Real,
+            source: CACHEPROF,
+            expected: None,
+        },
+        Program {
+            name: "fem",
+            suite: Suite::Real,
+            source: FEM,
+            expected: None,
+        },
+        Program {
+            name: "gamteb",
+            suite: Suite::Real,
+            source: GAMTEB,
+            expected: None,
+        },
+        Program {
+            name: "hpg",
+            suite: Suite::Real,
+            source: HPG,
+            expected: None,
+        },
+        Program {
+            name: "parser",
+            suite: Suite::Real,
+            source: PARSER,
+            expected: None,
+        },
+        Program {
+            name: "rsa",
+            suite: Suite::Real,
+            source: RSA,
+            expected: None,
+        },
     ]
 }

@@ -125,7 +125,12 @@ pub fn programs() -> Vec<Program> {
             source: KNUCLEOTIDE,
             expected: None,
         },
-        Program { name: "n-body", suite: Suite::Shootout, source: NBODY, expected: None },
+        Program {
+            name: "n-body",
+            suite: Suite::Shootout,
+            source: NBODY,
+            expected: None,
+        },
         Program {
             name: "spectral-norm",
             suite: Suite::Shootout,

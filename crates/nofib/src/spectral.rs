@@ -369,14 +369,59 @@ def main : Int = sumT (rewrite (rewrite (build 7)));
 /// All spectral programs, in Table 1 row order.
 pub fn programs() -> Vec<Program> {
     vec![
-        Program { name: "fibheaps", suite: Suite::Spectral, source: FIBHEAPS, expected: None },
-        Program { name: "ida", suite: Suite::Spectral, source: IDA, expected: None },
-        Program { name: "nucleic2", suite: Suite::Spectral, source: NUCLEIC2, expected: None },
-        Program { name: "para", suite: Suite::Spectral, source: PARA, expected: None },
-        Program { name: "primetest", suite: Suite::Spectral, source: PRIMETEST, expected: Some(46) },
-        Program { name: "simple", suite: Suite::Spectral, source: SIMPLE, expected: None },
-        Program { name: "solid", suite: Suite::Spectral, source: SOLID, expected: None },
-        Program { name: "sphere", suite: Suite::Spectral, source: SPHERE, expected: None },
-        Program { name: "transform", suite: Suite::Spectral, source: TRANSFORM, expected: None },
+        Program {
+            name: "fibheaps",
+            suite: Suite::Spectral,
+            source: FIBHEAPS,
+            expected: None,
+        },
+        Program {
+            name: "ida",
+            suite: Suite::Spectral,
+            source: IDA,
+            expected: None,
+        },
+        Program {
+            name: "nucleic2",
+            suite: Suite::Spectral,
+            source: NUCLEIC2,
+            expected: None,
+        },
+        Program {
+            name: "para",
+            suite: Suite::Spectral,
+            source: PARA,
+            expected: None,
+        },
+        Program {
+            name: "primetest",
+            suite: Suite::Spectral,
+            source: PRIMETEST,
+            expected: Some(46),
+        },
+        Program {
+            name: "simple",
+            suite: Suite::Spectral,
+            source: SIMPLE,
+            expected: None,
+        },
+        Program {
+            name: "solid",
+            suite: Suite::Spectral,
+            source: SOLID,
+            expected: None,
+        },
+        Program {
+            name: "sphere",
+            suite: Suite::Spectral,
+            source: SPHERE,
+            expected: None,
+        },
+        Program {
+            name: "transform",
+            suite: Suite::Spectral,
+            source: TRANSFORM,
+            expected: None,
+        },
     ]
 }

@@ -1,7 +1,9 @@
 //! Harness tests: every benchmark compiles, lints, runs identically under
 //! both pipelines, and the headline Table-1 shapes hold.
 
-use crate::{measure, programs, run_program, summarize, Suite};
+use crate::{
+    format_report, measure, programs, run_program, run_program_with_reports, summarize, Suite,
+};
 use fj_core::OptConfig;
 
 /// Every program runs and both pipelines agree — the fundamental
@@ -44,7 +46,10 @@ fn nbody_hits_minus_100_percent() {
 /// matcher traffic: a large-but-partial win.
 #[test]
 fn knucleotide_large_partial_win() {
-    let p = programs().into_iter().find(|p| p.name == "k-nucleotide").unwrap();
+    let p = programs()
+        .into_iter()
+        .find(|p| p.name == "k-nucleotide")
+        .unwrap();
     let row = run_program(&p);
     let delta = row.delta_pct();
     assert!(
@@ -53,7 +58,10 @@ fn knucleotide_large_partial_win() {
         row.baseline.total_allocs(),
         row.joined.total_allocs()
     );
-    assert!(row.joined.total_allocs() > 0, "the sequence itself still allocates");
+    assert!(
+        row.joined.total_allocs() > 0,
+        "the sequence itself still allocates"
+    );
 }
 
 /// Suite shapes: shootout is dramatic, spectral/real are modest, and no
@@ -63,11 +71,20 @@ fn suite_shapes_match_paper() {
     let rows: Vec<_> = programs().iter().map(run_program).collect();
     let shoot = summarize(&rows, Suite::Shootout);
     assert_eq!(shoot.min, -100.0, "shootout Min must be -100%");
-    assert!(shoot.geo_mean.is_none(), "shootout geo-mean is n/a at -100%");
+    assert!(
+        shoot.geo_mean.is_none(),
+        "shootout geo-mean is n/a at -100%"
+    );
 
     let spec = summarize(&rows, Suite::Spectral);
-    assert!(spec.min < 0.0, "spectral should show improvements: {spec:?}");
-    assert!(spec.max <= 0.0 + 1e-9, "no spectral regressions in our suite: {spec:?}");
+    assert!(
+        spec.min < 0.0,
+        "spectral should show improvements: {spec:?}"
+    );
+    assert!(
+        spec.max <= 0.0 + 1e-9,
+        "no spectral regressions in our suite: {spec:?}"
+    );
 
     let real = summarize(&rows, Suite::Real);
     assert!(real.min < 0.0, "real should show improvements: {real:?}");
@@ -91,7 +108,10 @@ fn find_shaped_programs_win_more() {
 /// A pinned result value stays stable across optimizer changes.
 #[test]
 fn primetest_value_pinned() {
-    let p = programs().into_iter().find(|p| p.name == "primetest").unwrap();
+    let p = programs()
+        .into_iter()
+        .find(|p| p.name == "primetest")
+        .unwrap();
     let row = run_program(&p);
     assert_eq!(row.value, 46); // π(200)
 }
@@ -104,6 +124,47 @@ fn unoptimized_measure_agrees() {
         let (v_none, _) = measure(p.source, &OptConfig::none());
         let (v_join, _) = measure(p.source, &OptConfig::join_points());
         assert_eq!(v_none, v_join, "{}", p.name);
+    }
+}
+
+/// The observability acceptance check: on contification-sensitive
+/// benchmarks the join-points pipeline allocates *strictly* less than
+/// the baseline, and the pipeline report shows nonzero simplify and
+/// contify rewrite counters explaining why.
+#[test]
+fn report_shows_strict_wins_with_nonzero_counters() {
+    for name in ["queens", "knights", "n-body", "sphere", "grep"] {
+        let p = programs().into_iter().find(|p| p.name == name).unwrap();
+        let rr = run_program_with_reports(&p);
+        assert!(
+            rr.row.joined.total_allocs() < rr.row.baseline.total_allocs(),
+            "{name}: joined {} must beat baseline {}",
+            rr.row.joined.total_allocs(),
+            rr.row.baseline.total_allocs()
+        );
+        let totals = rr.joined_report.totals();
+        assert!(totals.contified > 0, "{name}: contify must fire: {totals}");
+        assert!(
+            rr.joined_report.rewrites_for("simplify") > 0,
+            "{name}: simplify must fire: {totals}"
+        );
+    }
+}
+
+/// The markdown report renders all three sections with real rows.
+#[test]
+fn format_report_renders_markdown_tables() {
+    let p = programs().into_iter().find(|p| p.name == "queens").unwrap();
+    let s = format_report(&[run_program_with_reports(&p)]);
+    for needle in [
+        "## Machine metrics",
+        "## Optimizer activity (join-points pipeline)",
+        "## Per-pass detail",
+        "| queens |",
+        "### queens",
+        "| contify |",
+    ] {
+        assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
     }
 }
 
@@ -121,12 +182,18 @@ fn fusion_series_shapes() {
     // Skip-less + join points: allocation-free at every n.
     for n in [50, 200] {
         assert_eq!(
-            find(StepVariant::Skipless, "join-points", n).metrics.total_allocs(),
+            find(StepVariant::Skipless, "join-points", n)
+                .metrics
+                .total_allocs(),
             0
         );
     }
     // Skip-less + baseline: grows with n.
-    let b1 = find(StepVariant::Skipless, "baseline", 50).metrics.total_allocs();
-    let b2 = find(StepVariant::Skipless, "baseline", 200).metrics.total_allocs();
+    let b1 = find(StepVariant::Skipless, "baseline", 50)
+        .metrics
+        .total_allocs();
+    let b2 = find(StepVariant::Skipless, "baseline", 200)
+        .metrics
+        .total_allocs();
     assert!(b2 > b1 * 2, "baseline must scale with n: {b1} vs {b2}");
 }

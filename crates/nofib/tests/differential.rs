@@ -1,0 +1,48 @@
+//! The per-pass differential oracle over the whole nofib suite: every
+//! benchmark is run through **both** pipelines one pass at a time, and
+//! after each pass the program must still lint and still compute the
+//! same value on the abstract machine (fj-testkit's oracle). This is the
+//! forensic companion to the whole-pipeline agreement test in the crate:
+//! when a pass regression appears, this test names the pass.
+
+use fj_core::OptConfig;
+use fj_eval::EvalMode;
+use fj_nofib::{programs, FUEL};
+use fj_surface::compile;
+use fj_testkit::differential;
+
+#[test]
+fn every_pass_preserves_every_benchmark() {
+    for p in programs() {
+        let lowered = compile(p.source).unwrap_or_else(|e| panic!("{}: compile: {e}", p.name));
+        for (label, cfg) in [
+            ("baseline", OptConfig::baseline()),
+            ("join-points", OptConfig::join_points()),
+        ] {
+            let mut supply = lowered.supply.clone();
+            let report = differential(
+                &lowered.expr,
+                &lowered.data_env,
+                &mut supply,
+                &cfg,
+                EvalMode::CallByValue,
+                FUEL,
+            )
+            .unwrap_or_else(|err| panic!("{} [{label}]: {err}", p.name));
+            assert_eq!(
+                report.passes.len(),
+                cfg.passes.len(),
+                "{} [{label}]",
+                p.name
+            );
+            // The oracle's end-to-end delta is the suite's headline claim:
+            // optimization never adds allocations on any benchmark.
+            assert!(
+                report.alloc_delta() <= 0,
+                "{} [{label}]: optimization added allocations ({:+})",
+                p.name,
+                report.alloc_delta()
+            );
+        }
+    }
+}

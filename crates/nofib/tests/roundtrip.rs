@@ -1,0 +1,45 @@
+//! The surface printer round trip over the whole benchmark suite: every
+//! nofib source must survive parse → print → re-parse with an identical
+//! AST (modulo positions) and lower to α-equivalent Core. The suite is
+//! the largest corpus of real surface programs in the repo, so this is
+//! the printer's strongest golden test.
+
+use fj_ast::alpha_eq;
+use fj_nofib::programs;
+use fj_surface::{lex, lower_program, parse_program, print_program, strip_program_positions};
+
+#[test]
+fn every_benchmark_round_trips_through_the_printer() {
+    for p in programs() {
+        let p1 = parse_program(&lex(p.source).unwrap())
+            .unwrap_or_else(|e| panic!("{}: parse: {e}", p.name));
+        let printed = print_program(&p1);
+        let p2 = parse_program(&lex(&printed).unwrap_or_else(|e| panic!("{}: relex: {e}", p.name)))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{}: reparse failed: {e}\n--- printed ---\n{printed}",
+                    p.name
+                )
+            });
+        assert_eq!(
+            strip_program_positions(&p1),
+            strip_program_positions(&p2),
+            "{}: round trip changed the AST",
+            p.name
+        );
+        assert_eq!(
+            print_program(&p2),
+            printed,
+            "{}: printer not idempotent",
+            p.name
+        );
+
+        let l1 = lower_program(&p1).unwrap_or_else(|e| panic!("{}: lower: {e}", p.name));
+        let l2 = lower_program(&p2).unwrap_or_else(|e| panic!("{}: lower printed: {e}", p.name));
+        assert!(
+            alpha_eq(&l1.expr, &l2.expr),
+            "{}: lowered Core differs",
+            p.name
+        );
+    }
+}

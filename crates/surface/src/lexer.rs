@@ -73,9 +73,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SurfaceError> {
                 "then" => Tok::Then,
                 "else" => Tok::Else,
                 "forall" => Tok::Forall,
-                w if w.starts_with(|ch: char| ch.is_ascii_uppercase()) => {
-                    Tok::ConId(w.to_string())
-                }
+                w if w.starts_with(|ch: char| ch.is_ascii_uppercase()) => Tok::ConId(w.to_string()),
                 w => Tok::Ident(w.to_string()),
             };
             out.push(Spanned { tok, pos: start });
@@ -93,11 +91,18 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SurfaceError> {
                 pos: start,
                 msg: format!("integer literal out of range: {text}"),
             })?;
-            out.push(Spanned { tok: Tok::Int(n), pos: start });
+            out.push(Spanned {
+                tok: Tok::Int(n),
+                pos: start,
+            });
             continue;
         }
         // Multi-character operators first.
-        let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+        let two = if i + 1 < bytes.len() {
+            &src[i..i + 2]
+        } else {
+            ""
+        };
         let (tok, len) = match two {
             "->" => (Tok::Arrow, 2),
             "==" => (Tok::EqEq, 2),
@@ -135,7 +140,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SurfaceError> {
         i += len;
         col += len as u32;
     }
-    out.push(Spanned { tok: Tok::Eof, pos: pos!() });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
     Ok(out)
 }
 
@@ -195,7 +203,10 @@ mod tests {
 
     #[test]
     fn minus_vs_comment() {
-        assert_eq!(toks("1 - 2"), vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]);
+        assert_eq!(
+            toks("1 - 2"),
+            vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]
+        );
     }
 
     #[test]

@@ -37,11 +37,13 @@ pub mod ast;
 mod lexer;
 mod lower;
 mod parser;
+pub mod print;
 mod token;
 
 pub use lexer::lex;
 pub use lower::{lower_expr, lower_program, Lowered};
 pub use parser::{parse_expr, parse_program};
+pub use print::{print_expr, print_program, print_ty, strip_program_positions};
 pub use token::{Pos, Spanned, Tok};
 
 use std::fmt;

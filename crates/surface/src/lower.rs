@@ -9,9 +9,7 @@
 use crate::ast::{BinOp, SAlt, SBinder, SData, SExpr, SPat, SProgram, STy};
 use crate::token::Pos;
 use crate::SurfaceError;
-use fj_ast::{
-    Alt, AltCon, Binder, DataEnv, Expr, Ident, Name, NameSupply, PrimOp, Type,
-};
+use fj_ast::{Alt, AltCon, Binder, DataEnv, Expr, Ident, Name, NameSupply, PrimOp, Type};
 use fj_check::{type_of, Gamma};
 use std::collections::HashMap;
 
@@ -73,7 +71,11 @@ pub fn lower_program(p: &SProgram) -> Result<Lowered, SurfaceError> {
         .into_iter()
         .rev()
         .fold(Expr::var(&main), |acc, (b, rhs)| Expr::let1(b, rhs, acc));
-    Ok(Lowered { data_env: lw.data_env, expr, supply: lw.supply })
+    Ok(Lowered {
+        data_env: lw.data_env,
+        expr,
+        supply: lw.supply,
+    })
 }
 
 /// Lower a standalone expression against the prelude (handy in tests and
@@ -90,7 +92,11 @@ pub fn lower_expr(e: &SExpr) -> Result<Lowered, SurfaceError> {
         pending: HashMap::new(),
     };
     let expr = lw.lower_expr(e, &Scope::default())?;
-    Ok(Lowered { data_env: lw.data_env, expr, supply: lw.supply })
+    Ok(Lowered {
+        data_env: lw.data_env,
+        expr,
+        supply: lw.supply,
+    })
 }
 
 #[derive(Clone, Debug, Default)]
@@ -130,17 +136,22 @@ impl Lowerer {
         }
         self.data_env
             .declare(Ident::new(&d.name), ty_vars, ctors)
-            .map_err(|e| SurfaceError::Lower { pos: d.pos, msg: e.to_string() })
+            .map_err(|e| SurfaceError::Lower {
+                pos: d.pos,
+                msg: e.to_string(),
+            })
     }
 
     fn lower_ty(&mut self, t: &STy, scope: &Scope, pos: Pos) -> Result<Type, SurfaceError> {
         match t {
-            STy::Var(v) => scope.tyvars.get(v).map(|n| Type::Var(n.clone())).ok_or_else(
-                || SurfaceError::Lower {
+            STy::Var(v) => scope
+                .tyvars
+                .get(v)
+                .map(|n| Type::Var(n.clone()))
+                .ok_or_else(|| SurfaceError::Lower {
                     pos,
                     msg: format!("type variable `{v}` is not in scope"),
-                },
-            ),
+                }),
             STy::Con(name, args) => {
                 if name == "Int" {
                     if args.is_empty() {
@@ -153,13 +164,15 @@ impl Lowerer {
                 }
                 let arity = match self.pending.get(name) {
                     Some(a) => *a,
-                    None => {
-                        self.data_env
-                            .datatype(&Ident::new(name))
-                            .map_err(|e| SurfaceError::Lower { pos, msg: e.to_string() })?
-                            .ty_vars
-                            .len()
-                    }
+                    None => self
+                        .data_env
+                        .datatype(&Ident::new(name))
+                        .map_err(|e| SurfaceError::Lower {
+                            pos,
+                            msg: e.to_string(),
+                        })?
+                        .ty_vars
+                        .len(),
                 };
                 if arity != args.len() {
                     return Err(SurfaceError::Lower {
@@ -193,14 +206,16 @@ impl Lowerer {
     fn lower_expr(&mut self, e: &SExpr, scope: &Scope) -> Result<Expr, SurfaceError> {
         match e {
             SExpr::Lit(n) => Ok(Expr::Lit(*n)),
-            SExpr::Var(x, pos) => scope
-                .vars
-                .get(x)
-                .map(Expr::var)
-                .ok_or_else(|| SurfaceError::Lower {
-                    pos: *pos,
-                    msg: format!("variable `{x}` is not in scope"),
-                }),
+            SExpr::Var(x, pos) => {
+                scope
+                    .vars
+                    .get(x)
+                    .map(Expr::var)
+                    .ok_or_else(|| SurfaceError::Lower {
+                        pos: *pos,
+                        msg: format!("variable `{x}` is not in scope"),
+                    })
+            }
             SExpr::Con(c, pos) => self.lower_con(c, &[], &[], scope, *pos),
             SExpr::App(..) | SExpr::TyApp(..) => self.lower_app(e, scope),
             SExpr::Lam(binders, body) => {
@@ -305,11 +320,7 @@ impl Lowerer {
         }
         // Ordinary application: rebuild left-to-right in source order.
         // (We must preserve interleaving of @ty and value arguments.)
-        fn rebuild(
-            lw: &mut Lowerer,
-            e: &SExpr,
-            scope: &Scope,
-        ) -> Result<Expr, SurfaceError> {
+        fn rebuild(lw: &mut Lowerer, e: &SExpr, scope: &Scope) -> Result<Expr, SurfaceError> {
             match e {
                 SExpr::App(f, a) => {
                     let f2 = rebuild(lw, f, scope)?;
@@ -339,12 +350,18 @@ impl Lowerer {
         let owner = self
             .data_env
             .owner_of(&ident)
-            .map_err(|e| SurfaceError::Lower { pos, msg: e.to_string() })?
+            .map_err(|e| SurfaceError::Lower {
+                pos,
+                msg: e.to_string(),
+            })?
             .clone();
         let con = self
             .data_env
             .constructor(&ident)
-            .map_err(|e| SurfaceError::Lower { pos, msg: e.to_string() })?;
+            .map_err(|e| SurfaceError::Lower {
+                pos,
+                msg: e.to_string(),
+            })?;
         let n_fields = con.fields.len();
         if owner.ty_vars.len() != tys.len() {
             return Err(SurfaceError::Lower {
@@ -391,12 +408,11 @@ impl Lowerer {
         for (n, t) in &self.types {
             gamma.bind_var(n.clone(), t.clone());
         }
-        let scrut_ty = type_of(&scrut2, &self.data_env, &gamma).map_err(|e| {
-            SurfaceError::Lower {
+        let scrut_ty =
+            type_of(&scrut2, &self.data_env, &gamma).map_err(|e| SurfaceError::Lower {
                 pos,
                 msg: format!("cannot type case scrutinee: {e}"),
-            }
-        })?;
+            })?;
         let mut out = Vec::new();
         for alt in alts {
             match &alt.pat {
@@ -418,12 +434,12 @@ impl Lowerer {
                             ),
                         });
                     };
-                    let (field_tys, _) = self
-                        .data_env
-                        .instantiate(&ident, ty_args)
-                        .map_err(|e| SurfaceError::Lower {
-                            pos: alt.pos,
-                            msg: e.to_string(),
+                    let (field_tys, _) =
+                        self.data_env.instantiate(&ident, ty_args).map_err(|e| {
+                            SurfaceError::Lower {
+                                pos: alt.pos,
+                                msg: e.to_string(),
+                            }
                         })?;
                     if field_tys.len() != fields.len() {
                         return Err(SurfaceError::Lower {
@@ -447,7 +463,11 @@ impl Lowerer {
                         })
                         .collect();
                     let rhs = self.lower_expr(&alt.rhs, &s2)?;
-                    out.push(Alt { con: AltCon::Con(ident), binders, rhs });
+                    out.push(Alt {
+                        con: AltCon::Con(ident),
+                        binders,
+                        rhs,
+                    });
                 }
             }
         }

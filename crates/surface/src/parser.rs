@@ -25,9 +25,7 @@
 //! alt      ::= ConId ident* '->' expr | int '->' expr | '_' '->' expr
 //! ```
 
-use crate::ast::{
-    BinOp, SAlt, SBinder, SData, SDef, SExpr, SPat, SProgram, STy,
-};
+use crate::ast::{BinOp, SAlt, SBinder, SData, SDef, SExpr, SPat, SProgram, STy};
 use crate::token::{Pos, Spanned, Tok};
 use crate::SurfaceError;
 
@@ -37,7 +35,10 @@ use crate::SurfaceError;
 ///
 /// Returns [`SurfaceError::Parse`] with a position on malformed input.
 pub fn parse_program(tokens: &[Spanned]) -> Result<SProgram, SurfaceError> {
-    let mut p = Parser { toks: tokens, at: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        at: 0,
+    };
     let mut datas = Vec::new();
     let mut defs = Vec::new();
     loop {
@@ -45,9 +46,7 @@ pub fn parse_program(tokens: &[Spanned]) -> Result<SProgram, SurfaceError> {
             Tok::Eof => break,
             Tok::Data => datas.push(p.data_decl()?),
             Tok::Def => defs.push(p.def_decl()?),
-            other => {
-                return Err(p.err(format!("expected `data` or `def`, found `{other}`")))
-            }
+            other => return Err(p.err(format!("expected `data` or `def`, found `{other}`"))),
         }
     }
     Ok(SProgram { datas, defs })
@@ -59,7 +58,10 @@ pub fn parse_program(tokens: &[Spanned]) -> Result<SProgram, SurfaceError> {
 ///
 /// As [`parse_program`].
 pub fn parse_expr(tokens: &[Spanned]) -> Result<SExpr, SurfaceError> {
-    let mut p = Parser { toks: tokens, at: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        at: 0,
+    };
     let e = p.expr()?;
     p.expect(&Tok::Eof)?;
     Ok(e)
@@ -88,7 +90,10 @@ impl Parser<'_> {
     }
 
     fn err(&self, msg: String) -> SurfaceError {
-        SurfaceError::Parse { pos: self.pos(), msg }
+        SurfaceError::Parse {
+            pos: self.pos(),
+            msg,
+        }
     }
 
     fn expect(&mut self, t: &Tok) -> Result<(), SurfaceError> {
@@ -137,17 +142,19 @@ impl Parser<'_> {
             ctors.push(self.ctor_decl()?);
         }
         self.expect(&Tok::Semi)?;
-        Ok(SData { name, params, ctors, pos })
+        Ok(SData {
+            name,
+            params,
+            ctors,
+            pos,
+        })
     }
 
     fn ctor_decl(&mut self) -> Result<(String, Vec<STy>), SurfaceError> {
         let name = self.conid()?;
         let mut fields = Vec::new();
-        loop {
-            match self.peek() {
-                Tok::ConId(_) | Tok::Ident(_) | Tok::LParen => fields.push(self.atype()?),
-                _ => break,
-            }
+        while let Tok::ConId(_) | Tok::Ident(_) | Tok::LParen = self.peek() {
+            fields.push(self.atype()?);
         }
         Ok((name, fields))
     }
@@ -161,7 +168,12 @@ impl Parser<'_> {
         self.expect(&Tok::Equals)?;
         let body = self.expr()?;
         self.expect(&Tok::Semi)?;
-        Ok(SDef { name, ty, body, pos })
+        Ok(SDef {
+            name,
+            ty,
+            body,
+            pos,
+        })
     }
 
     // ---- types --------------------------------------------------------
@@ -193,11 +205,8 @@ impl Parser<'_> {
     fn btype(&mut self) -> Result<STy, SurfaceError> {
         let head = self.atype()?;
         let mut args = Vec::new();
-        loop {
-            match self.peek() {
-                Tok::ConId(_) | Tok::Ident(_) | Tok::LParen => args.push(self.atype()?),
-                _ => break,
-            }
+        while let Tok::ConId(_) | Tok::Ident(_) | Tok::LParen = self.peek() {
+            args.push(self.atype()?);
         }
         if args.is_empty() {
             return Ok(head);
@@ -525,7 +534,10 @@ mod tests {
         match e {
             SExpr::Case(_, alts, _) => {
                 assert_eq!(alts.len(), 3);
-                assert_eq!(alts[1].pat, SPat::Con("Cons".into(), vec!["h".into(), "t".into()]));
+                assert_eq!(
+                    alts[1].pat,
+                    SPat::Con("Cons".into(), vec!["h".into(), "t".into()])
+                );
                 assert_eq!(alts[2].pat, SPat::Wild);
             }
             other => panic!("expected case, got {other:?}"),
@@ -534,10 +546,8 @@ mod tests {
 
     #[test]
     fn letrec_groups() {
-        let e = pe(
-            "letrec ev : Int -> Bool = \\(n : Int) -> od (n - 1) \
-             and od : Int -> Bool = \\(n : Int) -> ev (n - 1) in ev 4",
-        );
+        let e = pe("letrec ev : Int -> Bool = \\(n : Int) -> od (n - 1) \
+             and od : Int -> Bool = \\(n : Int) -> ev (n - 1) in ev 4");
         match e {
             SExpr::LetRec(binds, _, _) => assert_eq!(binds.len(), 2),
             other => panic!("expected letrec, got {other:?}"),

@@ -1,0 +1,379 @@
+//! Pretty-printer for the surface AST: the inverse of the parser.
+//!
+//! The Core pretty-printer (`fj-ast`) prints the *internal* language —
+//! unique names, `join`/`jump` forms — which the surface grammar cannot
+//! express, so it is useless for parser round-trip testing. This module
+//! prints the **surface** AST back into surface syntax, inserting
+//! parentheses exactly where the grammar's precedence demands them, so
+//! that for any parsed program `p`, `parse(print(p))` succeeds and
+//! equals `p` up to source positions (see [`strip_program_positions`]).
+//!
+//! One asymmetry is inherent to the grammar: a negative literal in
+//! expression position prints as `-n`, which re-parses as negation of
+//! `n` ([`SExpr::Neg`]). The parser itself never produces negative
+//! expression literals, so round-tripping parser output is unaffected.
+
+use crate::ast::{BinOp, SAlt, SBinder, SData, SDef, SExpr, SPat, SProgram, STy};
+use crate::token::Pos;
+use std::fmt::Write;
+
+// Expression precedence levels, loosest to tightest, mirroring the
+// grammar: expr < opexpr (comparisons) < arith < term < fexpr < aexpr.
+const EXPR: u8 = 0;
+const CMP: u8 = 1;
+const ADD: u8 = 2;
+const MUL: u8 = 3;
+const APP: u8 = 4;
+const ATOM: u8 = 5;
+
+// Type precedence: forall/arrow < constructor application < atom.
+const TY_FUN: u8 = 0;
+const TY_APP: u8 = 1;
+const TY_ATOM: u8 = 2;
+
+/// Render a whole program in parseable surface syntax.
+pub fn print_program(p: &SProgram) -> String {
+    let mut out = String::new();
+    for d in &p.datas {
+        out.push_str(&print_data(d));
+        out.push('\n');
+    }
+    for d in &p.defs {
+        out.push_str(&print_def(d));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one `data` declaration (with trailing `;`).
+pub fn print_data(d: &SData) -> String {
+    let mut out = String::new();
+    write!(out, "data {}", d.name).unwrap();
+    for pv in &d.params {
+        write!(out, " {pv}").unwrap();
+    }
+    out.push_str(" =");
+    for (i, (cname, fields)) in d.ctors.iter().enumerate() {
+        out.push_str(if i == 0 { " " } else { " | " });
+        out.push_str(cname);
+        for f in fields {
+            out.push(' ');
+            out.push_str(&ty_prec(f, TY_ATOM));
+        }
+    }
+    out.push(';');
+    out
+}
+
+/// Render one `def` declaration (with trailing `;`).
+pub fn print_def(d: &SDef) -> String {
+    format!(
+        "def {} : {} =\n  {};",
+        d.name,
+        print_ty(&d.ty),
+        print_expr(&d.body)
+    )
+}
+
+/// Render a type.
+pub fn print_ty(t: &STy) -> String {
+    ty_prec(t, TY_FUN)
+}
+
+fn ty_prec(t: &STy, required: u8) -> String {
+    let (s, prec) = match t {
+        STy::Var(v) => (v.clone(), TY_ATOM),
+        STy::Con(c, args) if args.is_empty() => (c.clone(), TY_ATOM),
+        STy::Con(c, args) => {
+            let mut s = c.clone();
+            for a in args {
+                s.push(' ');
+                s.push_str(&ty_prec(a, TY_ATOM));
+            }
+            (s, TY_APP)
+        }
+        STy::Fun(a, b) => (
+            format!("{} -> {}", ty_prec(a, TY_APP), ty_prec(b, TY_FUN)),
+            TY_FUN,
+        ),
+        STy::Forall(v, body) => (format!("forall {v}. {}", ty_prec(body, TY_FUN)), TY_FUN),
+    };
+    if prec < required {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+/// Render an expression.
+pub fn print_expr(e: &SExpr) -> String {
+    expr_prec(e, EXPR)
+}
+
+fn expr_prec(e: &SExpr, required: u8) -> String {
+    let (s, prec) = match e {
+        SExpr::Var(x, _) => (x.clone(), ATOM),
+        SExpr::Con(c, _) => (c.clone(), ATOM),
+        SExpr::Lit(n) => (n.to_string(), if *n < 0 { APP } else { ATOM }),
+        SExpr::Neg(inner) => (format!("-{}", expr_prec(inner, ATOM)), APP),
+        SExpr::App(f, a) => (format!("{} {}", expr_prec(f, APP), expr_prec(a, ATOM)), APP),
+        SExpr::TyApp(f, t) => (
+            format!("{} @{}", expr_prec(f, APP), ty_prec(t, TY_ATOM)),
+            APP,
+        ),
+        SExpr::BinOp(op, a, b) => {
+            let (sym, prec) = binop(*op);
+            // + - and * / % associate to the left, so the right operand
+            // needs the next level up; comparisons are non-associative,
+            // so *both* operands do.
+            let lhs_req = if prec == CMP { prec + 1 } else { prec };
+            let s = format!("{} {sym} {}", expr_prec(a, lhs_req), expr_prec(b, prec + 1));
+            (s, prec)
+        }
+        SExpr::Lam(binders, body) => {
+            let mut s = String::from("\\");
+            for b in binders {
+                match b {
+                    SBinder::Val(x, t) => write!(s, "({x} : {})", print_ty(t)).unwrap(),
+                    SBinder::Ty(a) => write!(s, "@{a}").unwrap(),
+                }
+                s.push(' ');
+            }
+            s.push_str("-> ");
+            s.push_str(&expr_prec(body, EXPR));
+            (s, EXPR)
+        }
+        SExpr::Let(x, t, rhs, body, _) => (
+            format!(
+                "let {x} : {} = {} in {}",
+                print_ty(t),
+                expr_prec(rhs, EXPR),
+                expr_prec(body, EXPR)
+            ),
+            EXPR,
+        ),
+        SExpr::LetRec(binds, body, _) => {
+            let mut s = String::from("letrec ");
+            for (i, (x, t, rhs)) in binds.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" and ");
+                }
+                write!(s, "{x} : {} = {}", print_ty(t), expr_prec(rhs, EXPR)).unwrap();
+            }
+            write!(s, " in {}", expr_prec(body, EXPR)).unwrap();
+            (s, EXPR)
+        }
+        SExpr::Case(scrut, alts, _) => {
+            let mut s = format!("case {} of {{ ", expr_prec(scrut, EXPR));
+            for (i, alt) in alts.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("; ");
+                }
+                s.push_str(&print_alt(alt));
+            }
+            s.push_str(" }");
+            // Despite the closing brace, `case` is not in the grammar's
+            // atom first-set, so it parenthesizes like the other keyword
+            // forms whenever it appears as an operand or argument.
+            (s, EXPR)
+        }
+        SExpr::If(c, t, f) => (
+            format!(
+                "if {} then {} else {}",
+                expr_prec(c, EXPR),
+                expr_prec(t, EXPR),
+                expr_prec(f, EXPR)
+            ),
+            EXPR,
+        ),
+    };
+    if prec < required {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn print_alt(alt: &SAlt) -> String {
+    let pat = match &alt.pat {
+        SPat::Con(c, fields) => {
+            let mut s = c.clone();
+            for f in fields {
+                s.push(' ');
+                s.push_str(f);
+            }
+            s
+        }
+        SPat::Lit(n) => n.to_string(),
+        SPat::Wild => "_".to_string(),
+    };
+    format!("{pat} -> {}", expr_prec(&alt.rhs, EXPR))
+}
+
+fn binop(op: BinOp) -> (&'static str, u8) {
+    match op {
+        BinOp::Add => ("+", ADD),
+        BinOp::Sub => ("-", ADD),
+        BinOp::Mul => ("*", MUL),
+        BinOp::Div => ("/", MUL),
+        BinOp::Rem => ("%", MUL),
+        BinOp::Eq => ("==", CMP),
+        BinOp::Ne => ("/=", CMP),
+        BinOp::Lt => ("<", CMP),
+        BinOp::Le => ("<=", CMP),
+        BinOp::Gt => (">", CMP),
+        BinOp::Ge => (">=", CMP),
+    }
+}
+
+const NO_POS: Pos = Pos { line: 0, col: 0 };
+
+/// Erase all source positions (for comparing ASTs across a print/parse
+/// round trip, where positions necessarily move).
+pub fn strip_program_positions(p: &SProgram) -> SProgram {
+    SProgram {
+        datas: p
+            .datas
+            .iter()
+            .map(|d| SData {
+                pos: NO_POS,
+                ..d.clone()
+            })
+            .collect(),
+        defs: p
+            .defs
+            .iter()
+            .map(|d| SDef {
+                name: d.name.clone(),
+                ty: d.ty.clone(),
+                body: strip_expr_positions(&d.body),
+                pos: NO_POS,
+            })
+            .collect(),
+    }
+}
+
+/// Erase all source positions in an expression.
+pub fn strip_expr_positions(e: &SExpr) -> SExpr {
+    match e {
+        SExpr::Var(x, _) => SExpr::Var(x.clone(), NO_POS),
+        SExpr::Con(c, _) => SExpr::Con(c.clone(), NO_POS),
+        SExpr::Lit(n) => SExpr::Lit(*n),
+        SExpr::App(f, a) => SExpr::App(
+            Box::new(strip_expr_positions(f)),
+            Box::new(strip_expr_positions(a)),
+        ),
+        SExpr::TyApp(f, t) => SExpr::TyApp(Box::new(strip_expr_positions(f)), t.clone()),
+        SExpr::Lam(bs, body) => SExpr::Lam(bs.clone(), Box::new(strip_expr_positions(body))),
+        SExpr::Let(x, t, rhs, body, _) => SExpr::Let(
+            x.clone(),
+            t.clone(),
+            Box::new(strip_expr_positions(rhs)),
+            Box::new(strip_expr_positions(body)),
+            NO_POS,
+        ),
+        SExpr::LetRec(binds, body, _) => SExpr::LetRec(
+            binds
+                .iter()
+                .map(|(x, t, rhs)| (x.clone(), t.clone(), strip_expr_positions(rhs)))
+                .collect(),
+            Box::new(strip_expr_positions(body)),
+            NO_POS,
+        ),
+        SExpr::Case(scrut, alts, _) => SExpr::Case(
+            Box::new(strip_expr_positions(scrut)),
+            alts.iter()
+                .map(|a| SAlt {
+                    pat: a.pat.clone(),
+                    rhs: strip_expr_positions(&a.rhs),
+                    pos: NO_POS,
+                })
+                .collect(),
+            NO_POS,
+        ),
+        SExpr::If(c, t, f) => SExpr::If(
+            Box::new(strip_expr_positions(c)),
+            Box::new(strip_expr_positions(t)),
+            Box::new(strip_expr_positions(f)),
+        ),
+        SExpr::BinOp(op, a, b) => SExpr::BinOp(
+            *op,
+            Box::new(strip_expr_positions(a)),
+            Box::new(strip_expr_positions(b)),
+        ),
+        SExpr::Neg(inner) => SExpr::Neg(Box::new(strip_expr_positions(inner))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_expr;
+
+    fn round(src: &str) {
+        let p1 = parse_expr(&lex(src).unwrap()).unwrap();
+        let printed = print_expr(&p1);
+        let p2 = parse_expr(&lex(&printed).unwrap())
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(
+            strip_expr_positions(&p1),
+            strip_expr_positions(&p2),
+            "round trip changed the AST:\n  src:     {src}\n  printed: {printed}"
+        );
+    }
+
+    #[test]
+    fn operators_round_trip_with_precedence() {
+        round("1 + 2 * 3 < 10");
+        round("(1 + 2) * 3");
+        round("1 - 2 - 3"); // left associativity must be preserved
+        round("1 - (2 - 3)");
+        round("2 * (3 + 4) % 5");
+        round("f 1 + g 2");
+        round("f (g 2)");
+        round("f (-5)");
+        round("-f 5");
+    }
+
+    #[test]
+    fn binding_forms_round_trip() {
+        round("let x : Int = 1 + 2 in x * x");
+        round("letrec f : Int -> Int = \\(n : Int) -> f n in f 3");
+        round(
+            "letrec ev : Int -> Bool = \\(n : Int) -> od (n - 1) \
+             and od : Int -> Bool = \\(n : Int) -> ev (n - 1) in ev 4",
+        );
+        round("\\@a (x : a) -> x");
+        round("(\\(x : Int) -> x + 1) 41");
+        round("if 1 < 2 then 3 else 4");
+        round("1 + (if 1 < 2 then 3 else 4)");
+        round("case xs of { Nil -> 0; Cons h t -> h; _ -> 9 }");
+        round("case f x of { -1 -> 0; 0 -> 1; _ -> 2 }");
+        round("1 + (case x of { Nothing -> 0; Just y -> y })");
+        round("(1 < 2) == (3 < 4)");
+    }
+
+    #[test]
+    fn type_applications_round_trip() {
+        round("just @Int 5");
+        round("id @(List Int) xs");
+        round("\\@a (x : List a) -> cons @a x");
+    }
+
+    #[test]
+    fn types_print_with_minimal_parens() {
+        let cases = [
+            ("Int -> Int -> Int", "Int -> Int -> Int"),
+            ("(Int -> Int) -> Int", "(Int -> Int) -> Int"),
+            ("List (Maybe Int) -> Int", "List (Maybe Int) -> Int"),
+            ("forall a. a -> List a", "forall a. a -> List a"),
+            ("(forall a. a) -> Int", "(forall a. a) -> Int"),
+        ];
+        for (src, expect) in cases {
+            let with_def = format!("def f : {src} = 0;");
+            let p = crate::parser::parse_program(&lex(&with_def).unwrap()).unwrap();
+            assert_eq!(print_ty(&p.defs[0].ty), expect);
+        }
+    }
+}

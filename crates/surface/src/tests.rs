@@ -116,7 +116,9 @@ fn literal_cases() {
 fn boolean_value_program() {
     let src = "def main : Bool = 3 < 4;";
     let lowered = compile_lint(src);
-    let v = run(&lowered.expr, EvalMode::CallByNeed, FUEL).unwrap().value;
+    let v = run(&lowered.expr, EvalMode::CallByNeed, FUEL)
+        .unwrap()
+        .value;
     assert_eq!(v, Value::Con(Ident::new("True"), vec![]));
 }
 
@@ -176,7 +178,9 @@ fn mutual_recursion_via_letrec() {
           in even 10;
     ";
     let lowered = compile_lint(src);
-    let v = run(&lowered.expr, EvalMode::CallByName, FUEL).unwrap().value;
+    let v = run(&lowered.expr, EvalMode::CallByName, FUEL)
+        .unwrap()
+        .value;
     assert_eq!(v, Value::Con(Ident::new("True"), vec![]));
 }
 
@@ -193,11 +197,15 @@ fn surface_program_optimizes() {
     ";
     let mut lowered = compile_lint(src);
     let cfg = fj_core::OptConfig::join_points().with_lint(true);
-    let out = fj_core::optimize(&lowered.expr, &lowered.data_env, &mut lowered.supply, &cfg)
-        .unwrap();
+    let out =
+        fj_core::optimize(&lowered.expr, &lowered.data_env, &mut lowered.supply, &cfg).unwrap();
     assert_eq!(run_int(&out, EvalMode::CallByValue, FUEL).unwrap(), 5050);
     let m = run(&out, EvalMode::CallByValue, FUEL).unwrap().metrics;
-    assert_eq!(m.total_allocs(), 0, "contified loop must be allocation-free: {m}");
+    assert_eq!(
+        m.total_allocs(),
+        0,
+        "contified loop must be allocation-free: {m}"
+    );
 }
 
 /// Shadowing: inner binders hide outer ones.

@@ -1,0 +1,118 @@
+//! Snapshot tests pinning the exact text and position of frontend
+//! diagnostics. These are golden strings on purpose: error messages are
+//! part of the user interface, and an accidental change should fail a
+//! test, not slip through.
+
+use fj_surface::{compile, lex, parse_expr, parse_program, SurfaceError};
+
+fn expr_err(src: &str) -> String {
+    parse_expr(&lex(src).expect("lexes"))
+        .expect_err("should not parse")
+        .to_string()
+}
+
+fn program_err(src: &str) -> String {
+    parse_program(&lex(src).expect("lexes"))
+        .expect_err("should not parse")
+        .to_string()
+}
+
+#[test]
+fn expression_errors_are_pinned() {
+    let cases = [
+        (
+            "let = 5",
+            "parse error at 1:5: expected identifier, found `=`",
+        ),
+        (
+            "1 +",
+            "parse error at 1:4: expected an expression, found `<eof>`",
+        ),
+        ("(1 + 2", "parse error at 1:7: expected `)`, found `<eof>`"),
+        (
+            "\\ -> 1",
+            "parse error at 1:3: lambda needs at least one binder",
+        ),
+        (
+            "case x of { 1 2 -> 3 }",
+            "parse error at 1:15: expected `->`, found `2`",
+        ),
+        (
+            "case x of { if -> 1 }",
+            "parse error at 1:13: expected a pattern, found `if`",
+        ),
+        (
+            "case x of { - y -> 1 }",
+            "parse error at 1:15: expected integer after `-` in pattern, found `y`",
+        ),
+        (
+            "if 1 then 2",
+            "parse error at 1:12: expected `else`, found `<eof>`",
+        ),
+        (
+            "let x : a b -> Int = 1 in x",
+            "parse error at 1:13: only type constructors can be applied",
+        ),
+        (
+            "letrec f : Int = 1 and in f",
+            "parse error at 1:24: expected identifier, found `in`",
+        ),
+    ];
+    for (src, expect) in cases {
+        assert_eq!(expr_err(src), expect, "for input {src:?}");
+    }
+}
+
+#[test]
+fn program_errors_are_pinned() {
+    let cases = [
+        (
+            "42;",
+            "parse error at 1:1: expected `data` or `def`, found `42`",
+        ),
+        (
+            "def main : Int = 1",
+            "parse error at 1:19: expected `;`, found `<eof>`",
+        ),
+        (
+            "data maybe = Nothing;",
+            "parse error at 1:6: expected constructor name, found `maybe`",
+        ),
+        (
+            "data Color = ;",
+            "parse error at 1:14: expected constructor name, found `;`",
+        ),
+        (
+            "def f : = 1;",
+            "parse error at 1:9: expected a type, found `=`",
+        ),
+    ];
+    for (src, expect) in cases {
+        assert_eq!(program_err(src), expect, "for input {src:?}");
+    }
+}
+
+#[test]
+fn lex_errors_are_pinned() {
+    let err = lex("def main : Int = 1 ? 2;").expect_err("should not lex");
+    assert!(
+        matches!(err, SurfaceError::Lex { .. }),
+        "expected a lex error, got {err:?}"
+    );
+    assert_eq!(
+        err.to_string(),
+        "lexical error at 1:20: unexpected character '?'"
+    );
+}
+
+#[test]
+fn lowering_errors_are_pinned() {
+    // An unbound variable is caught during lowering, with its position.
+    let err = compile("def main : Int = missing;").expect_err("should not lower");
+    assert!(matches!(err, SurfaceError::Lower { .. }), "got {err:?}");
+    let msg = err.to_string();
+    assert!(
+        msg.starts_with("error at 1:18:") && msg.contains("missing"),
+        "unexpected lowering message: {msg}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Golden round-trip tests: parse → print → re-parse must reproduce the
+//! AST (modulo source positions), the printer must be idempotent (its
+//! output is a fixpoint), and both sides must lower to α-equivalent Core.
+
+use fj_ast::alpha_eq;
+use fj_surface::{lex, lower_program, parse_program, print_program, strip_program_positions};
+use std::fs;
+use std::path::PathBuf;
+
+fn roundtrip(name: &str, src: &str) {
+    let p1 = parse_program(&lex(src).unwrap_or_else(|e| panic!("{name}: lex: {e}")))
+        .unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+
+    let printed = print_program(&p1);
+    let p2 = parse_program(&lex(&printed).unwrap_or_else(|e| panic!("{name}: relex: {e}")))
+        .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n--- printed ---\n{printed}"));
+
+    // Same tree, different positions.
+    assert_eq!(
+        strip_program_positions(&p1),
+        strip_program_positions(&p2),
+        "{name}: round trip changed the AST\n--- printed ---\n{printed}"
+    );
+
+    // Printing is a fixpoint: print (parse (print p)) == print p.
+    assert_eq!(
+        print_program(&p2),
+        printed,
+        "{name}: printer is not idempotent"
+    );
+
+    // Both sides lower to α-equivalent Core.
+    let l1 = lower_program(&p1).unwrap_or_else(|e| panic!("{name}: lower original: {e}"));
+    let l2 = lower_program(&p2).unwrap_or_else(|e| panic!("{name}: lower printed: {e}"));
+    assert!(
+        alpha_eq(&l1.expr, &l2.expr),
+        "{name}: lowered Core differs after round trip\n--- printed ---\n{printed}"
+    );
+}
+
+fn programs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../programs")
+}
+
+/// Every checked-in example program survives the round trip.
+#[test]
+fn example_programs_round_trip() {
+    let dir = programs_dir();
+    let mut seen = 0;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "fj"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = fs::read_to_string(&path).unwrap();
+        roundtrip(&path.display().to_string(), &src);
+        seen += 1;
+    }
+    assert!(
+        seen >= 3,
+        "expected at least any.fj, shapes.fj, sum.fj; saw {seen}"
+    );
+}
+
+/// The surface program embedded in `examples/quickstart.rs` (the one
+/// piece of surface syntax in `examples/` — the other examples build
+/// Core directly) also survives the round trip.
+#[test]
+fn quickstart_example_round_trips() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/quickstart.rs");
+    let rs =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let start = rs
+        .find("const SRC: &str = \"")
+        .expect("quickstart.rs should embed SRC")
+        + "const SRC: &str = \"".len();
+    let end = rs[start..].find("\n\";").expect("SRC should be terminated") + start;
+    let src = rs[start..end].replace("\\\\", "\\");
+    roundtrip("examples/quickstart.rs", &src);
+}
+
+/// Hand-picked programs exercising every surface construct the example
+/// files do not cover: multi-group letrec, `forall`, literal and default
+/// patterns, negation, division and remainder, nested data.
+#[test]
+fn construct_zoo_round_trips() {
+    let src = r#"
+        data Duo a b = MkDuo a b;
+        data Rose a = Rose a (List (Rose a));
+
+        def id : forall a. a -> a = \@a (x : a) -> x;
+
+        def swap : forall a. forall b. Duo a b -> Duo b a =
+          \@a @b (p : Duo a b) ->
+            case p of { MkDuo x y -> MkDuo @b @a y x };
+
+        def classify : Int -> Int =
+          \(n : Int) -> case n of { -1 -> 0 - 1; 0 -> 0; 1 -> 1; _ -> n / 2 + n % 3 };
+
+        def parity : Int -> Bool =
+          \(n : Int) ->
+            letrec ev : Int -> Bool = \(k : Int) -> if k == 0 then True else od (k - 1)
+            and od : Int -> Bool = \(k : Int) -> if k == 0 then False else ev (k - 1)
+            in ev (if n < 0 then -n else n);
+
+        def main : Int =
+          let p : Duo Int Int = MkDuo @Int @Int 3 4 in
+          case swap @Int @Int p of { MkDuo a b -> a * 10 + b + classify (-7) };
+    "#;
+    roundtrip("construct-zoo", src);
+}

@@ -1,0 +1,286 @@
+//! The well-typed program generator.
+//!
+//! Programs are described by a small grammar [`G`] in which **every**
+//! subtree is itself a closed, total, `Int`-typed program: variable
+//! references index the enclosing binder environment *modulo its length*
+//! and degrade to literals when no binder is in scope. That closure
+//! property is what makes shrinking trivial — replacing any node by any
+//! of its subtrees (or a literal) yields another valid test case, so the
+//! shrinker never needs to repair scoping.
+//!
+//! The grammar deliberately exercises the paper's machinery: `let`
+//! bindings (inlining, floating), branching on a known `Maybe`
+//! (case-of-known-constructor, case-of-case once contexts pile up), and
+//! terminating accumulator loops (`letrec`, the contification target).
+
+use crate::rng::SplitMix64;
+use fj_ast::{Alt, AltCon, Binder, Dsl, Expr, Name, PrimOp, Type};
+
+/// A generator-level expression: always of type `Int`, always total.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum G {
+    /// An integer literal (kept small so products stay in range).
+    Lit(i8),
+    /// Reference to an in-scope variable (index is taken modulo the
+    /// environment size; falls back to a literal when empty).
+    Var(u8),
+    /// `a + b`.
+    Add(Box<G>, Box<G>),
+    /// `a - b`.
+    Sub(Box<G>, Box<G>),
+    /// `a * b`.
+    Mul(Box<G>, Box<G>),
+    /// `if a < b then t else f`.
+    IfLt(Box<G>, Box<G>, Box<G>, Box<G>),
+    /// `let x = rhs in body` with `x` in scope for `body`.
+    Let(Box<G>, Box<G>),
+    /// `case (Just payload | Nothing) of { Nothing -> none; Just x -> some }`
+    /// with the payload variable in scope for `some`.
+    CaseMaybe {
+        /// Whether the scrutinee is `Just payload` (else `Nothing`).
+        just: bool,
+        /// The `Just` payload (built even when unused, for uniform shape).
+        payload: Box<G>,
+        /// The `Nothing` branch.
+        none: Box<G>,
+        /// The `Just x` branch (sees `x`).
+        some: Box<G>,
+    },
+    /// A terminating accumulator loop:
+    /// `letrec go i acc = if i <= 0 then acc else go (i-1) step in go n init`
+    /// where `step` sees `i` and `acc`.
+    Loop {
+        /// Iteration count (bounded so fuel never runs out).
+        iters: u8,
+        /// Initial accumulator.
+        init: Box<G>,
+        /// Step expression (sees the loop variables).
+        step: Box<G>,
+    },
+}
+
+impl G {
+    /// Number of grammar nodes — the shrinker's progress measure.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Direct `G`-typed children, in a fixed order.
+    pub fn children(&self) -> Vec<&G> {
+        match self {
+            G::Lit(_) | G::Var(_) => vec![],
+            G::Add(a, b) | G::Sub(a, b) | G::Mul(a, b) | G::Let(a, b) => vec![a, b],
+            G::IfLt(a, b, t, f) => vec![a, b, t, f],
+            G::CaseMaybe {
+                payload,
+                none,
+                some,
+                ..
+            } => vec![payload, none, some],
+            G::Loop { init, step, .. } => vec![init, step],
+        }
+    }
+
+    /// Rebuild this node with replacement children (same arity and order
+    /// as [`G::children`]).
+    pub fn with_children(&self, mut kids: Vec<G>) -> G {
+        debug_assert_eq!(kids.len(), self.children().len());
+        let mut next = || Box::new(kids.remove(0));
+        match self {
+            G::Lit(n) => G::Lit(*n),
+            G::Var(i) => G::Var(*i),
+            G::Add(..) => G::Add(next(), next()),
+            G::Sub(..) => G::Sub(next(), next()),
+            G::Mul(..) => G::Mul(next(), next()),
+            G::Let(..) => G::Let(next(), next()),
+            G::IfLt(..) => G::IfLt(next(), next(), next(), next()),
+            G::CaseMaybe { just, .. } => G::CaseMaybe {
+                just: *just,
+                payload: next(),
+                none: next(),
+                some: next(),
+            },
+            G::Loop { iters, .. } => G::Loop {
+                iters: *iters,
+                init: next(),
+                step: next(),
+            },
+        }
+    }
+}
+
+/// Maximum recursion depth of [`gen`] (matches the proptest setup this
+/// generator replaced).
+pub const DEFAULT_DEPTH: u32 = 4;
+
+/// Generate a random program description. `depth` bounds nesting; at
+/// depth 0 only leaves are produced.
+pub fn gen(rng: &mut SplitMix64, depth: u32) -> G {
+    if depth == 0 {
+        return gen_leaf(rng);
+    }
+    // Leaves stay likely at every depth so expected size remains small.
+    match rng.below(10) {
+        0..=2 => gen_leaf(rng),
+        3 => G::Add(sub(rng, depth), sub(rng, depth)),
+        4 => G::Sub(sub(rng, depth), sub(rng, depth)),
+        5 => G::Mul(sub(rng, depth), sub(rng, depth)),
+        6 => G::IfLt(
+            sub(rng, depth),
+            sub(rng, depth),
+            sub(rng, depth),
+            sub(rng, depth),
+        ),
+        7 => G::Let(sub(rng, depth), sub(rng, depth)),
+        8 => G::CaseMaybe {
+            just: rng.bool(),
+            payload: sub(rng, depth),
+            none: sub(rng, depth),
+            some: sub(rng, depth),
+        },
+        _ => G::Loop {
+            iters: (rng.below(12)) as u8,
+            init: sub(rng, depth),
+            step: sub(rng, depth),
+        },
+    }
+}
+
+fn sub(rng: &mut SplitMix64, depth: u32) -> Box<G> {
+    Box::new(gen(rng, depth - 1))
+}
+
+fn gen_leaf(rng: &mut SplitMix64) -> G {
+    if rng.bool() {
+        G::Lit(rng.i8())
+    } else {
+        G::Var(rng.u8())
+    }
+}
+
+/// Interpret a generated description into a (closed, Int-typed) F_J term.
+pub fn build(g: &G, d: &mut Dsl, env: &mut Vec<Name>) -> Expr {
+    match g {
+        G::Lit(n) => Expr::Lit(i64::from(*n)),
+        G::Var(i) => {
+            if env.is_empty() {
+                Expr::Lit(i64::from(*i))
+            } else {
+                let ix = (*i as usize) % env.len();
+                Expr::var(&env[ix])
+            }
+        }
+        G::Add(a, b) => Expr::prim2(PrimOp::Add, build(a, d, env), build(b, d, env)),
+        G::Sub(a, b) => Expr::prim2(PrimOp::Sub, build(a, d, env), build(b, d, env)),
+        G::Mul(a, b) => Expr::prim2(PrimOp::Mul, build(a, d, env), build(b, d, env)),
+        G::IfLt(a, b, t, f) => Expr::ite(
+            Expr::prim2(PrimOp::Lt, build(a, d, env), build(b, d, env)),
+            build(t, d, env),
+            build(f, d, env),
+        ),
+        G::Let(rhs, body) => {
+            let rhs_e = build(rhs, d, env);
+            let b = d.binder("x", Type::Int);
+            env.push(b.name.clone());
+            let body_e = build(body, d, env);
+            env.pop();
+            Expr::let1(b, rhs_e, body_e)
+        }
+        G::CaseMaybe {
+            just,
+            payload,
+            none,
+            some,
+        } => {
+            let scrut = if *just {
+                let p = build(payload, d, env);
+                d.just(Type::Int, p)
+            } else {
+                d.nothing(Type::Int)
+            };
+            let none_e = build(none, d, env);
+            let x = d.binder("m", Type::Int);
+            env.push(x.name.clone());
+            let some_e = build(some, d, env);
+            env.pop();
+            Expr::case(
+                scrut,
+                vec![
+                    Alt::simple(AltCon::Con("Nothing".into()), none_e),
+                    Alt {
+                        con: AltCon::Con("Just".into()),
+                        binders: vec![x],
+                        rhs: some_e,
+                    },
+                ],
+            )
+        }
+        G::Loop { iters, init, step } => {
+            let init_e = build(init, d, env);
+            let go = d.name("go");
+            let i = d.binder("i", Type::Int);
+            let acc = d.binder("acc", Type::Int);
+            env.push(i.name.clone());
+            env.push(acc.name.clone());
+            let step_e = build(step, d, env);
+            env.pop();
+            env.pop();
+            let body = Expr::ite(
+                Expr::prim2(PrimOp::Le, Expr::var(&i.name), Expr::Lit(0)),
+                Expr::var(&acc.name),
+                Expr::apps(
+                    Expr::var(&go),
+                    [
+                        Expr::prim2(PrimOp::Sub, Expr::var(&i.name), Expr::Lit(1)),
+                        step_e,
+                    ],
+                ),
+            );
+            let go_ty = Type::funs([Type::Int, Type::Int], Type::Int);
+            Expr::letrec(
+                vec![(Binder::new(go.clone(), go_ty), Expr::lams([i, acc], body))],
+                Expr::apps(Expr::var(&go), [Expr::Lit(i64::from(*iters)), init_e]),
+            )
+        }
+    }
+}
+
+/// Build a closed term (and the [`Dsl`] that owns its name supply and
+/// data environment) from a description.
+pub fn build_closed(g: &G) -> (Dsl, Expr) {
+    let mut d = Dsl::new();
+    let e = build(g, &mut d, &mut Vec::new());
+    (d, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen(&mut SplitMix64::new(7), DEFAULT_DEPTH);
+        let b = gen(&mut SplitMix64::new(7), DEFAULT_DEPTH);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_children_round_trips() {
+        let g = gen(&mut SplitMix64::new(99), DEFAULT_DEPTH);
+        let kids: Vec<G> = g.children().into_iter().cloned().collect();
+        assert_eq!(g.with_children(kids), g);
+    }
+
+    #[test]
+    fn generated_programs_are_well_typed() {
+        let mut rng = SplitMix64::new(2024);
+        for _ in 0..50 {
+            let g = gen(&mut rng, DEFAULT_DEPTH);
+            let (d, e) = build_closed(&g);
+            assert!(
+                fj_check::lint(&e, &d.data_env).is_ok(),
+                "generator produced an ill-typed term:\n{e}"
+            );
+        }
+    }
+}

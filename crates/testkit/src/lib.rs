@@ -1,0 +1,48 @@
+//! # fj-testkit — offline property testing for System F_J
+//!
+//! A zero-dependency replacement for the `proptest`-based suite: the
+//! container this repository builds in has **no network access**, so the
+//! test infrastructure must live in-tree. Three pieces:
+//!
+//! * [`rng::SplitMix64`] — a deterministic 64-bit PRNG (no external
+//!   crate, reproducible from a seed);
+//! * [`gen`] — a generator of closed, total, well-typed `Int` programs
+//!   over a grammar in which *every subtree is itself a valid program*,
+//!   which makes the integrated greedy [`shrink`](shrink::shrink)er
+//!   trivial and sound;
+//! * [`oracle::differential`] — the per-pass differential oracle: run an
+//!   [`OptConfig`](fj_core::OptConfig) pipeline one pass at a time,
+//!   evaluating before/after **every** pass on the paper's abstract
+//!   machine, asserting value preservation and lint-cleanliness, and
+//!   reporting per-pass rewrite counters and allocation deltas.
+//!
+//! The driver is [`runner::check`]: generate ≥ 100 programs, check a
+//! property on each, shrink the first failure to a minimal replayable
+//! description.
+//!
+//! ## Example
+//!
+//! ```
+//! use fj_testkit::{gen::build_closed, runner};
+//!
+//! runner::check("generated programs lint", |g| {
+//!     let (d, e) = build_closed(g);
+//!     fj_check::lint(&e, &d.data_env)
+//!         .map(|_| ())
+//!         .map_err(|err| format!("ill-typed generator output: {err}\n{e}"))
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod runner;
+pub mod shrink;
+
+pub use gen::{build_closed, gen, G};
+pub use oracle::{differential, DiffReport, OracleError, PassDiff};
+pub use rng::SplitMix64;
+pub use runner::{check, check_with, Config};
+pub use shrink::shrink;

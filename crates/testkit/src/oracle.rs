@@ -1,0 +1,290 @@
+//! The per-pass differential oracle.
+//!
+//! [`differential`] runs a whole [`OptConfig`] pipeline one pass at a
+//! time, and after **every** pass checks the three invariants the
+//! repository's metatheory claims (Prop. 3 / Sec. 7's Lint discipline):
+//!
+//! 1. the pass's output still lints (typing, join-point discipline);
+//! 2. the observable value is unchanged (evaluated on the paper's
+//!    abstract machine);
+//! 3. the allocation metrics are recorded before/after, so callers can
+//!    assert or report per-pass allocation deltas.
+//!
+//! On a violation it reports *which pass* broke *which invariant*, with
+//! pretty-printed before/after terms — the forensic payload that a
+//! whole-pipeline check cannot give.
+
+use fj_ast::{DataEnv, Expr, NameSupply};
+use fj_check::lint;
+use fj_core::{apply_pass, OptConfig, RewriteStats};
+use fj_eval::{run, EvalMode, Metrics, Value};
+use std::fmt;
+
+/// What one pass did to the program, observationally.
+#[derive(Clone, Debug)]
+pub struct PassDiff {
+    /// Pass name.
+    pub pass: &'static str,
+    /// Rewrites fired by the pass.
+    pub rewrites: RewriteStats,
+    /// Machine metrics of the pass's input.
+    pub before: Metrics,
+    /// Machine metrics of the pass's output.
+    pub after: Metrics,
+}
+
+impl PassDiff {
+    /// Change in total allocations across this pass (negative = saved).
+    pub fn alloc_delta(&self) -> i64 {
+        self.after.total_allocs() as i64 - self.before.total_allocs() as i64
+    }
+}
+
+/// A full pipeline run that preserved the observable value at every step.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// The shared observable value.
+    pub value: Value,
+    /// Per-pass observations, in execution order.
+    pub passes: Vec<PassDiff>,
+    /// The fully optimized term.
+    pub optimized: Expr,
+}
+
+impl DiffReport {
+    /// Metrics of the unoptimized program.
+    pub fn initial_metrics(&self) -> Metrics {
+        self.passes.first().map(|p| p.before).unwrap_or_default()
+    }
+
+    /// Metrics of the fully optimized program.
+    pub fn final_metrics(&self) -> Metrics {
+        self.passes.last().map(|p| p.after).unwrap_or_default()
+    }
+
+    /// End-to-end change in total allocations (negative = saved).
+    pub fn alloc_delta(&self) -> i64 {
+        self.final_metrics().total_allocs() as i64 - self.initial_metrics().total_allocs() as i64
+    }
+
+    /// Sum of every pass's rewrite counters.
+    pub fn total_rewrites(&self) -> RewriteStats {
+        let mut t = RewriteStats::default();
+        for p in &self.passes {
+            t.merge(&p.rewrites);
+        }
+        t
+    }
+}
+
+/// Which invariant a pass broke, and where.
+#[derive(Debug)]
+pub enum OracleError {
+    /// The pass itself failed.
+    Pass {
+        /// Offending pass.
+        pass: &'static str,
+        /// The optimizer's error.
+        error: fj_core::OptError,
+    },
+    /// The pass produced ill-typed output.
+    Lint {
+        /// Offending pass.
+        pass: &'static str,
+        /// What Lint found.
+        error: fj_check::LintError,
+        /// Pretty-printed output of the pass.
+        dump: String,
+    },
+    /// Evaluation failed (on the input, or after the named pass).
+    Eval {
+        /// `"input"` or a pass name.
+        stage: &'static str,
+        /// The machine's error.
+        error: fj_eval::MachineError,
+        /// Pretty-printed term that failed to evaluate.
+        dump: String,
+    },
+    /// The observable value changed across a pass.
+    ValueChanged {
+        /// Offending pass.
+        pass: &'static str,
+        /// Value before the pass.
+        expected: Value,
+        /// Value after the pass.
+        got: Value,
+        /// Pretty-printed input of the pass.
+        before: String,
+        /// Pretty-printed output of the pass.
+        after: String,
+    },
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Pass { pass, error } => {
+                write!(f, "pass `{pass}` failed: {error}")
+            }
+            OracleError::Lint { pass, error, dump } => {
+                write!(
+                    f,
+                    "pass `{pass}` broke typing: {error}\n--- output ---\n{dump}"
+                )
+            }
+            OracleError::Eval { stage, error, dump } => {
+                write!(
+                    f,
+                    "evaluation failed after {stage}: {error}\n--- term ---\n{dump}"
+                )
+            }
+            OracleError::ValueChanged {
+                pass,
+                expected,
+                got,
+                before,
+                after,
+            } => write!(
+                f,
+                "pass `{pass}` changed the observable value: {expected} -> {got}\n\
+                 --- before ---\n{before}\n--- after ---\n{after}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Run `cfg`'s pipeline over `e` one pass at a time, evaluating before
+/// and after every pass and checking value preservation and
+/// lint-cleanliness at each step.
+///
+/// # Errors
+///
+/// Returns the first [`OracleError`] — identifying the offending pass —
+/// or `Ok` with the per-pass [`DiffReport`].
+pub fn differential(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    cfg: &OptConfig,
+    mode: EvalMode,
+    fuel: u64,
+) -> Result<DiffReport, OracleError> {
+    let reference = run(e, mode, fuel).map_err(|error| OracleError::Eval {
+        stage: "input",
+        error,
+        dump: e.to_string(),
+    })?;
+    let mut cur = e.clone();
+    let mut cur_metrics = reference.metrics;
+    let mut passes = Vec::with_capacity(cfg.passes.len());
+    for pass in &cfg.passes {
+        let name = pass.name();
+        let (next, rewrites) = apply_pass(&cur, data_env, supply, *pass, &cfg.simpl)
+            .map_err(|error| OracleError::Pass { pass: name, error })?;
+        if let Err(error) = lint(&next, data_env) {
+            return Err(OracleError::Lint {
+                pass: name,
+                error,
+                dump: next.to_string(),
+            });
+        }
+        let out = run(&next, mode, fuel).map_err(|error| OracleError::Eval {
+            stage: name,
+            error,
+            dump: next.to_string(),
+        })?;
+        if out.value != reference.value {
+            return Err(OracleError::ValueChanged {
+                pass: name,
+                expected: reference.value,
+                got: out.value,
+                before: cur.to_string(),
+                after: next.to_string(),
+            });
+        }
+        passes.push(PassDiff {
+            pass: name,
+            rewrites,
+            before: cur_metrics,
+            after: out.metrics,
+        });
+        cur = next;
+        cur_metrics = out.metrics;
+    }
+    Ok(DiffReport {
+        value: reference.value,
+        passes,
+        optimized: cur,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_ast::{Dsl, Expr, PrimOp, Type};
+
+    /// A contifiable program: `let go = \n. … tail-recursive … in go 10`.
+    fn loopy() -> (Dsl, Expr) {
+        let mut d = Dsl::new();
+        let e = d.letrec_loop(
+            "go",
+            vec![("n", Type::Int)],
+            Type::Int,
+            |_, go, ps| {
+                Expr::ite(
+                    Expr::prim2(PrimOp::Le, Expr::var(&ps[0]), Expr::Lit(0)),
+                    Expr::Lit(0),
+                    Expr::apps(
+                        Expr::var(go),
+                        [Expr::prim2(PrimOp::Sub, Expr::var(&ps[0]), Expr::Lit(1))],
+                    ),
+                )
+            },
+            |_, go| Expr::apps(Expr::var(go), [Expr::Lit(10)]),
+        );
+        (d, e)
+    }
+
+    #[test]
+    fn differential_accepts_sound_pipeline_and_reports_savings() {
+        let (mut d, e) = loopy();
+        let report = differential(
+            &e,
+            &d.data_env,
+            &mut d.supply,
+            &OptConfig::join_points(),
+            EvalMode::CallByValue,
+            1_000_000,
+        )
+        .expect("join_points pipeline must be sound");
+        assert_eq!(report.passes.len(), OptConfig::join_points().passes.len());
+        assert!(report.total_rewrites().contified > 0, "loop should contify");
+        assert!(
+            report.alloc_delta() <= 0,
+            "optimization must not add allocations: {report:?}"
+        );
+    }
+
+    #[test]
+    fn differential_runs_under_all_modes() {
+        let (d, e) = loopy();
+        for mode in [
+            EvalMode::CallByName,
+            EvalMode::CallByNeed,
+            EvalMode::CallByValue,
+        ] {
+            let mut supply = d.supply.clone();
+            differential(
+                &e,
+                &d.data_env,
+                &mut supply,
+                &OptConfig::baseline(),
+                mode,
+                1_000_000,
+            )
+            .expect("baseline pipeline must be sound");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The property-test driver: generate, check, shrink, report.
+//!
+//! [`check`] runs a property over `cases` freshly generated programs.
+//! On the first failure it shrinks the description (see
+//! [`crate::shrink`]) and panics with the minimal failing program — both
+//! the grammar-level description (replayable by pasting into a unit
+//! test) and the pretty-printed F_J term.
+
+use crate::gen::{build_closed, gen, DEFAULT_DEPTH, G};
+use crate::rng::SplitMix64;
+use crate::shrink::{shrink, DEFAULT_SHRINK_BUDGET};
+
+/// Generation/driver settings.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated programs per property.
+    pub cases: u32,
+    /// Root seed; every case derives its own generator from it.
+    pub seed: u64,
+    /// Maximum nesting depth of generated programs.
+    pub max_depth: u32,
+    /// Property-evaluation budget for shrinking a failure.
+    pub shrink_budget: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 128,
+            seed: 0xF00D_5EED_CAFE_0001,
+            max_depth: DEFAULT_DEPTH,
+            shrink_budget: DEFAULT_SHRINK_BUDGET,
+        }
+    }
+}
+
+/// Run `prop` over [`Config::default`]`.cases` generated programs.
+/// `prop` returns `Ok(())` to pass or `Err(message)` to fail; failures
+/// are shrunk and reported via `panic!` so `cargo test` surfaces them.
+pub fn check<F>(name: &str, prop: F)
+where
+    F: FnMut(&G) -> Result<(), String>,
+{
+    check_with(Config::default(), name, prop);
+}
+
+/// As [`check`] with explicit settings.
+pub fn check_with<F>(cfg: Config, name: &str, mut prop: F)
+where
+    F: FnMut(&G) -> Result<(), String>,
+{
+    let mut root = SplitMix64::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let mut rng = root.split();
+        let g = gen(&mut rng, cfg.max_depth);
+        if let Err(first_msg) = prop(&g) {
+            let mut fails = |cand: &G| prop(cand).err();
+            let (min, msg) = shrink(&g, &mut fails, cfg.shrink_budget);
+            let (_, term) = build_closed(&min);
+            panic!(
+                "property `{name}` failed at case {case}/{cases} (seed {seed:#x})\n\
+                 original failure: {first_msg}\n\
+                 minimal failure:  {msg}\n\
+                 minimal description (replayable):\n  {min:?}\n\
+                 minimal program:\n{term}",
+                cases = cfg.cases,
+                seed = cfg.seed,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0u32;
+        check_with(
+            Config {
+                cases: 16,
+                ..Config::default()
+            },
+            "trivially-true",
+            |_| {
+                n += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(n, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always-false` failed")]
+    fn failing_property_panics_with_minimal_case() {
+        check_with(
+            Config {
+                cases: 4,
+                ..Config::default()
+            },
+            "always-false",
+            |_| Err("nope".into()),
+        );
+    }
+}

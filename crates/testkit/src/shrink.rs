@@ -1,0 +1,150 @@
+//! Greedy counterexample shrinking.
+//!
+//! Because every [`G`] subtree is itself a closed program (see
+//! [`crate::gen`]), a shrink step never has to repair scoping: candidates
+//! are (a) the node collapsed to a literal, (b) any direct child hoisted
+//! into the node's place, (c) loop iteration counts reduced, and (d) the
+//! same moves applied to one child in place. We greedily take the first
+//! candidate that still fails the property and repeat until no candidate
+//! fails or the evaluation budget runs out.
+
+use crate::gen::G;
+
+/// Upper bound on property evaluations during one shrink run.
+pub const DEFAULT_SHRINK_BUDGET: u32 = 2_000;
+
+/// Shrink `g` while `fails` keeps returning `Some(message)`. Returns the
+/// smallest failing description found and its failure message.
+pub fn shrink<F>(g: &G, fails: &mut F, mut budget: u32) -> (G, String)
+where
+    F: FnMut(&G) -> Option<String>,
+{
+    let mut cur = g.clone();
+    let mut msg = fails(&cur).unwrap_or_else(|| "property passed on the original case".into());
+    loop {
+        let mut advanced = false;
+        for cand in candidates(&cur) {
+            if budget == 0 {
+                return (cur, msg);
+            }
+            if measure(&cand) >= measure(&cur) {
+                continue;
+            }
+            budget -= 1;
+            if let Some(m) = fails(&cand) {
+                cur = cand;
+                msg = m;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return (cur, msg);
+        }
+    }
+}
+
+/// Well-founded progress measure: node count first, then the magnitude
+/// of the scalars (loop counts, literals, variable indices), so
+/// structure-preserving simplifications also count as progress.
+fn measure(g: &G) -> (usize, u64) {
+    let mut scalars = match g {
+        G::Lit(n) => n.unsigned_abs() as u64,
+        G::Var(i) => u64::from(*i),
+        G::Loop { iters, .. } => u64::from(*iters),
+        _ => 0,
+    };
+    for c in g.children() {
+        scalars += measure(c).1;
+    }
+    (g.size(), scalars)
+}
+
+/// Strictly-smaller variants of `g`, most aggressive first.
+fn candidates(g: &G) -> Vec<G> {
+    let mut out = Vec::new();
+    // Collapse the whole node to the simplest leaf.
+    if !matches!(g, G::Lit(0)) {
+        out.push(G::Lit(0));
+    }
+    // Hoist each child into the node's place.
+    for c in g.children() {
+        out.push((*c).clone());
+    }
+    // Structure-preserving simplifications.
+    if let G::Loop { iters, init, step } = g {
+        if *iters > 0 {
+            out.push(G::Loop {
+                iters: iters / 2,
+                init: init.clone(),
+                step: step.clone(),
+            });
+        }
+    }
+    if let G::Lit(n) = g {
+        if *n != 0 {
+            out.push(G::Lit(n / 2));
+        }
+    }
+    if let G::Var(i) = g {
+        if *i != 0 {
+            out.push(G::Var(i / 2));
+        }
+    }
+    // Recurse: shrink one child in place.
+    let kids: Vec<G> = g.children().into_iter().cloned().collect();
+    for (i, kid) in kids.iter().enumerate() {
+        for cand in candidates(kid) {
+            let mut new_kids = kids.clone();
+            new_kids[i] = cand;
+            out.push(g.with_children(new_kids));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_minimal_loop() {
+        // Property: "no Loop with iters >= 4 anywhere". Start from a big
+        // nested failing case; the shrinker should find a bare loop.
+        fn has_big_loop(g: &G) -> bool {
+            matches!(g, G::Loop { iters, .. } if *iters >= 4)
+                || g.children().iter().any(|c| has_big_loop(c))
+        }
+        let start = G::Add(
+            Box::new(G::Let(
+                Box::new(G::Lit(3)),
+                Box::new(G::Loop {
+                    iters: 9,
+                    init: Box::new(G::Mul(Box::new(G::Lit(2)), Box::new(G::Var(1)))),
+                    step: Box::new(G::Lit(5)),
+                }),
+            )),
+            Box::new(G::Lit(7)),
+        );
+        let mut fails = |g: &G| has_big_loop(g).then(|| "big loop".to_string());
+        let (min, _) = shrink(&start, &mut fails, DEFAULT_SHRINK_BUDGET);
+        // Minimal failing case: a loop with iters in 4..8 (halving stops
+        // once the property would pass) and literal-0 leaves.
+        match &min {
+            G::Loop { iters, init, step } => {
+                assert!(*iters >= 4 && *iters < 8, "iters not minimized: {iters}");
+                assert_eq!(**init, G::Lit(0));
+                assert_eq!(**step, G::Lit(0));
+            }
+            other => panic!("expected a bare loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn passing_case_is_returned_unchanged() {
+        let g = G::Lit(5);
+        let (min, msg) = shrink(&g, &mut |_| None, 10);
+        assert_eq!(min, g);
+        assert!(msg.contains("passed"));
+    }
+}

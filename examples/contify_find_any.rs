@@ -50,7 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- after contification ({n} binding(s) became joins) ---\n{contified}\n");
 
     // Step 2: the full pipeline (contify + jfloat + simplify).
-    let out = optimize(&program, &d.data_env, &mut d.supply, &OptConfig::join_points())?;
+    let out = optimize(
+        &program,
+        &d.data_env,
+        &mut d.supply,
+        &OptConfig::join_points(),
+    )?;
     println!("--- after the full join-points pipeline ---\n{out}\n");
 
     let o = run(&out, EvalMode::CallByValue, 10_000_000)?;

@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     lint(&erased, &d.data_env)?;
     println!("--- erased to System F ---\n{erased}\n");
 
-    for mode in [EvalMode::CallByName, EvalMode::CallByNeed, EvalMode::CallByValue] {
+    for mode in [
+        EvalMode::CallByName,
+        EvalMode::CallByNeed,
+        EvalMode::CallByValue,
+    ] {
         let a = run_int(&program, mode, 100_000)?;
         let b = run_int(&erased, mode, 100_000)?;
         assert_eq!(a, b);

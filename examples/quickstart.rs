@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut p = compile(SRC)?;
         let opt = optimize(&p.expr, &p.data_env, &mut p.supply, &cfg)?;
         let out = run(&opt, EvalMode::CallByValue, 10_000_000)?;
-        println!(
-            "--- {label} ---\nresult = {}\n{}\n",
-            out.value, out.metrics
-        );
+        println!("--- {label} ---\nresult = {}\n{}\n", out.value, out.metrics);
     }
 
     println!("The join-points pipeline contifies `go`, and the consumer's");

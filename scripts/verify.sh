@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything here runs fully offline: the
+# default workspace has zero external dependencies (criterion benches
+# live in their own workspace under crates/bench and are not touched).
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip the release build (debug test run only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo fmt --all --check
+
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+
+run cargo test --workspace --offline -q
+
+if [[ "$QUICK" -eq 0 ]]; then
+  run cargo build --workspace --release --offline
+  # The headline acceptance check: the report must render, and the
+  # join-points pipeline must win on the contification-sensitive rows
+  # (asserted in detail by the fj-nofib test suite; this is the smoke
+  # pass over the real binary).
+  run ./target/release/fj report >/dev/null
+fi
+
+echo "verify: all checks passed"

@@ -9,6 +9,8 @@
 //! fj dump --before program.fj       # print lowered Core, pre-optimizer
 //! fj check program.fj               # lint only
 //! fj erase program.fj               # print the join-free System F term
+//! fj report                         # nofib: baseline vs join points,
+//!                                   # Table-1-style markdown + pass stats
 //!
 //! options: --baseline | -O0, --mode name|need|value, --fuel N, --metrics
 //! ```
@@ -34,15 +36,21 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: fj <run|dump|check|erase> [--baseline | -O0] \
-         [--mode name|need|value] [--fuel N] [--metrics] [--before] <file.fj>"
+         [--mode name|need|value] [--fuel N] [--metrics] [--before] <file.fj>\n\
+         \x20      fj report   (nofib suite: baseline vs join points, markdown)"
     );
     ExitCode::from(2)
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
     let mut args = std::env::args().skip(1);
-    let Some(command) = args.next() else { return Err(usage()) };
-    if !matches!(command.as_str(), "run" | "dump" | "check" | "erase") {
+    let Some(command) = args.next() else {
+        return Err(usage());
+    };
+    if !matches!(
+        command.as_str(),
+        "run" | "dump" | "check" | "erase" | "report"
+    ) {
         return Err(usage());
     }
     let mut config = OptConfig::join_points();
@@ -73,17 +81,38 @@ fn parse_args() -> Result<Options, ExitCode> {
                 };
             }
             "--fuel" => {
-                fuel = args
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .ok_or_else(usage)?;
+                fuel = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
             }
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => return Err(usage()),
         }
     }
-    let Some(file) = file else { return Err(usage()) };
-    Ok(Options { command, file, config, config_name, mode, fuel, metrics, before })
+    // `report` takes no file: it runs the built-in nofib suite.
+    if command == "report" {
+        return Ok(Options {
+            command,
+            file: String::new(),
+            config,
+            config_name,
+            mode,
+            fuel,
+            metrics,
+            before,
+        });
+    }
+    let Some(file) = file else {
+        return Err(usage());
+    };
+    Ok(Options {
+        command,
+        file,
+        config,
+        config_name,
+        mode,
+        fuel,
+        metrics,
+        before,
+    })
 }
 
 fn main() -> ExitCode {
@@ -91,6 +120,11 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
+    if opts.command == "report" {
+        let rows = system_fj::nofib::run_report();
+        print!("{}", system_fj::nofib::format_report(&rows));
+        return ExitCode::SUCCESS;
+    }
     let src = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
@@ -133,7 +167,11 @@ fn main() -> ExitCode {
 
     match opts.command.as_str() {
         "dump" => {
-            println!("-- pipeline: {} ({} passes)", opts.config_name, stats.passes_run.len());
+            println!(
+                "-- pipeline: {} ({} passes)",
+                opts.config_name,
+                stats.passes_run.len()
+            );
             println!("-- size: {} -> {}", stats.size_before, stats.size_after);
             println!("{optimized}");
             ExitCode::SUCCESS

@@ -105,3 +105,14 @@ fn fuel_limit_is_respected() {
     assert!(!ok);
     assert!(stderr.contains("step budget"), "{stderr}");
 }
+
+#[test]
+fn report_renders_markdown_comparison() {
+    let (stdout, stderr, ok) = fj(&["report"]);
+    assert!(ok, "fj report failed: {stderr}");
+    assert!(stdout.contains("## Machine metrics"), "{stdout}");
+    assert!(stdout.contains("## Optimizer activity"), "{stdout}");
+    assert!(stdout.contains("| n-body |"), "{stdout}");
+    // The headline shootout row: join points erase all allocations.
+    assert!(stdout.contains("-100.0%"), "{stdout}");
+}

@@ -93,7 +93,11 @@ const PROGRAMS: &[(&str, &str, i64)] = &[
 ];
 
 fn modes() -> [EvalMode; 3] {
-    [EvalMode::CallByName, EvalMode::CallByNeed, EvalMode::CallByValue]
+    [
+        EvalMode::CallByName,
+        EvalMode::CallByNeed,
+        EvalMode::CallByValue,
+    ]
 }
 
 #[test]
@@ -110,8 +114,8 @@ fn optimizers_preserve_every_program() {
             let opt = optimize(&p.expr, &p.data_env, &mut p.supply, &cfg.with_lint(true))
                 .unwrap_or_else(|e| panic!("{name}: optimize: {e}"));
             for mode in modes() {
-                let o = run(&opt, mode, FUEL)
-                    .unwrap_or_else(|e| panic!("{name} {mode:?}: {e}\n{opt}"));
+                let o =
+                    run(&opt, mode, FUEL).unwrap_or_else(|e| panic!("{name} {mode:?}: {e}\n{opt}"));
                 assert_eq!(o.value, Value::Int(*expected), "{name} {mode:?}");
             }
         }
@@ -142,8 +146,13 @@ fn erasure_round_trips_every_program() {
     for (name, src, expected) in PROGRAMS {
         let mut p = compile(src).unwrap();
         // Optimize WITH join points, then erase them all away again.
-        let opt =
-            optimize(&p.expr, &p.data_env, &mut p.supply, &OptConfig::join_points()).unwrap();
+        let opt = optimize(
+            &p.expr,
+            &p.data_env,
+            &mut p.supply,
+            &OptConfig::join_points(),
+        )
+        .unwrap();
         let erased = erase(&opt, &p.data_env, &mut p.supply)
             .unwrap_or_else(|e| panic!("{name}: erase: {e}"));
         assert!(!erased.has_join_or_jump(), "{name}: joins must be gone");
@@ -151,7 +160,11 @@ fn erasure_round_trips_every_program() {
         for mode in modes() {
             let o = run(&erased, mode, FUEL)
                 .unwrap_or_else(|e| panic!("{name} {mode:?}: {e}\n{erased}"));
-            assert_eq!(o.value, Value::Int(*expected), "{name} {mode:?} after erasure");
+            assert_eq!(
+                o.value,
+                Value::Int(*expected),
+                "{name} {mode:?} after erasure"
+            );
         }
     }
 }
@@ -186,8 +199,13 @@ fn facade_quickstart_path() {
            in go 100 0;",
     )
     .unwrap();
-    let opt =
-        optimize(&p.expr, &p.data_env, &mut p.supply, &OptConfig::join_points()).unwrap();
+    let opt = optimize(
+        &p.expr,
+        &p.data_env,
+        &mut p.supply,
+        &OptConfig::join_points(),
+    )
+    .unwrap();
     let out = run(&opt, EvalMode::CallByValue, 1_000_000).unwrap();
     assert_eq!(out.value, Value::Int(5050));
     assert_eq!(out.metrics.total_allocs(), 0);

@@ -1,240 +1,176 @@
-//! Property-based tests: random well-typed programs are generated from a
-//! small grammar, then we check the repository's core metatheory claims
-//! on every one of them —
+//! Property-based tests: random well-typed programs are generated from
+//! fj-testkit's deterministic grammar, then we check the repository's
+//! core metatheory claims on every one of them —
 //!
 //! * generated programs lint (the generator only builds well-typed terms);
 //! * the three machine modes agree on total programs;
 //! * both optimizer pipelines preserve the observable value and typing
 //!   (Prop. 3, observational soundness of the equational theory);
+//! * **every individual pass** of both pipelines preserves the value and
+//!   lints (the per-pass differential oracle — new with fj-testkit);
 //! * erasure produces a join-free, well-typed, equivalent term (Thm. 5);
 //! * freshening is α-invariant.
+//!
+//! The suite used to be built on `proptest`; fj-testkit replaces it with
+//! an in-tree SplitMix64 generator and shrinker so the whole test run
+//! works with no network access. Failures are shrunk to a minimal
+//! replayable grammar description.
 
-use proptest::prelude::*;
-use system_fj::ast::{alpha_eq, freshen, Dsl, Expr, Name, PrimOp, Type};
+use fj_testkit::{build_closed, differential, runner, Config};
+use system_fj::ast::{alpha_eq, alpha_fingerprint, freshen};
 use system_fj::check::lint;
-use system_fj::core::{erase, optimize, OptConfig};
+use system_fj::core::{erase, optimize, simplify, OptConfig, SimplOpts};
 use system_fj::eval::{run_int, EvalMode};
 
 const FUEL: u64 = 5_000_000;
 
-/// A generator-level expression: always of type `Int`, always total.
-#[derive(Debug, Clone)]
-enum G {
-    Lit(i8),
-    /// Reference to an in-scope variable (index is taken modulo the
-    /// environment size; falls back to a literal when empty).
-    Var(u8),
-    Add(Box<G>, Box<G>),
-    Sub(Box<G>, Box<G>),
-    Mul(Box<G>, Box<G>),
-    /// `if a < b then t else f`.
-    IfLt(Box<G>, Box<G>, Box<G>, Box<G>),
-    /// `let x = rhs in body` with `x` in scope for `body`.
-    Let(Box<G>, Box<G>),
-    /// `case (Just payload | Nothing) of { Nothing -> none; Just x -> some }`
-    /// with the payload variable in scope for `some`.
-    CaseMaybe { just: bool, payload: Box<G>, none: Box<G>, some: Box<G> },
-    /// A terminating accumulator loop:
-    /// `letrec go i acc = if i <= 0 then acc else go (i-1) step in go n init`
-    /// where `step` sees `i` and `acc`.
-    Loop { iters: u8, init: Box<G>, step: Box<G> },
-}
-
-fn arb_g() -> impl Strategy<Value = G> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(G::Lit),
-        any::<u8>().prop_map(G::Var),
-    ];
-    leaf.prop_recursive(4, 48, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| G::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| G::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| G::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
-                |(a, b, t, f)| G::IfLt(Box::new(a), Box::new(b), Box::new(t), Box::new(f))
-            ),
-            (inner.clone(), inner.clone())
-                .prop_map(|(r, b)| G::Let(Box::new(r), Box::new(b))),
-            (any::<bool>(), inner.clone(), inner.clone(), inner.clone()).prop_map(
-                |(just, p, n, s)| G::CaseMaybe {
-                    just,
-                    payload: Box::new(p),
-                    none: Box::new(n),
-                    some: Box::new(s),
-                }
-            ),
-            (0u8..12, inner.clone(), inner.clone()).prop_map(|(iters, init, step)| {
-                G::Loop { iters, init: Box::new(init), step: Box::new(step) }
-            }),
-        ]
-    })
-}
-
-/// Interpret a generated description into a (closed, Int-typed) F_J term.
-fn build(g: &G, d: &mut Dsl, env: &mut Vec<Name>) -> Expr {
-    match g {
-        G::Lit(n) => Expr::Lit(i64::from(*n)),
-        G::Var(i) => {
-            if env.is_empty() {
-                Expr::Lit(i64::from(*i))
-            } else {
-                let ix = (*i as usize) % env.len();
-                Expr::var(&env[ix])
-            }
-        }
-        G::Add(a, b) => Expr::prim2(PrimOp::Add, build(a, d, env), build(b, d, env)),
-        G::Sub(a, b) => Expr::prim2(PrimOp::Sub, build(a, d, env), build(b, d, env)),
-        G::Mul(a, b) => Expr::prim2(PrimOp::Mul, build(a, d, env), build(b, d, env)),
-        G::IfLt(a, b, t, f) => Expr::ite(
-            Expr::prim2(PrimOp::Lt, build(a, d, env), build(b, d, env)),
-            build(t, d, env),
-            build(f, d, env),
-        ),
-        G::Let(rhs, body) => {
-            let rhs_e = build(rhs, d, env);
-            let b = d.binder("x", Type::Int);
-            env.push(b.name.clone());
-            let body_e = build(body, d, env);
-            env.pop();
-            Expr::let1(b, rhs_e, body_e)
-        }
-        G::CaseMaybe { just, payload, none, some } => {
-            let scrut = if *just {
-                let p = build(payload, d, env);
-                d.just(Type::Int, p)
-            } else {
-                d.nothing(Type::Int)
-            };
-            let none_e = build(none, d, env);
-            let x = d.binder("m", Type::Int);
-            env.push(x.name.clone());
-            let some_e = build(some, d, env);
-            env.pop();
-            Expr::case(
-                scrut,
-                vec![
-                    system_fj::ast::Alt::simple(
-                        system_fj::ast::AltCon::Con("Nothing".into()),
-                        none_e,
-                    ),
-                    system_fj::ast::Alt {
-                        con: system_fj::ast::AltCon::Con("Just".into()),
-                        binders: vec![x],
-                        rhs: some_e,
-                    },
-                ],
-            )
-        }
-        G::Loop { iters, init, step } => {
-            let init_e = build(init, d, env);
-            let go = d.name("go");
-            let i = d.binder("i", Type::Int);
-            let acc = d.binder("acc", Type::Int);
-            env.push(i.name.clone());
-            env.push(acc.name.clone());
-            let step_e = build(step, d, env);
-            env.pop();
-            env.pop();
-            let body = Expr::ite(
-                Expr::prim2(PrimOp::Le, Expr::var(&i.name), Expr::Lit(0)),
-                Expr::var(&acc.name),
-                Expr::apps(
-                    Expr::var(&go),
-                    [
-                        Expr::prim2(PrimOp::Sub, Expr::var(&i.name), Expr::Lit(1)),
-                        step_e,
-                    ],
-                ),
-            );
-            let go_ty = Type::funs([Type::Int, Type::Int], Type::Int);
-            Expr::letrec(
-                vec![(
-                    system_fj::ast::Binder::new(go.clone(), go_ty),
-                    Expr::lams([i, acc], body),
-                )],
-                Expr::apps(Expr::var(&go), [Expr::Lit(i64::from(*iters)), init_e]),
-            )
-        }
+/// ≥ 100 generated programs per property (the repo's acceptance floor).
+fn cfg() -> Config {
+    Config {
+        cases: 128,
+        ..Config::default()
     }
 }
 
-fn build_closed(g: &G) -> (Dsl, Expr) {
-    let mut d = Dsl::new();
-    let e = build(g, &mut d, &mut Vec::new());
-    (d, e)
+/// The generator only produces well-typed programs.
+#[test]
+fn generated_programs_lint() {
+    runner::check_with(cfg(), "generated programs lint", |g| {
+        let (d, e) = build_closed(g);
+        lint(&e, &d.data_env)
+            .map(|_| ())
+            .map_err(|err| format!("ill-typed generator output: {err}\n{e}"))
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+/// All three evaluation orders agree on total Int programs.
+#[test]
+fn machine_modes_agree() {
+    runner::check_with(cfg(), "machine modes agree", |g| {
+        let (_d, e) = build_closed(g);
+        let n = run_int(&e, EvalMode::CallByName, FUEL).map_err(|e| e.to_string())?;
+        let need = run_int(&e, EvalMode::CallByNeed, FUEL).map_err(|e| e.to_string())?;
+        let v = run_int(&e, EvalMode::CallByValue, FUEL).map_err(|e| e.to_string())?;
+        if n != need || n != v {
+            return Err(format!(
+                "modes disagree: name={n} need={need} value={v}\n{e}"
+            ));
+        }
+        Ok(())
+    });
+}
 
-    /// The generator only produces well-typed programs.
-    #[test]
-    fn generated_programs_lint(g in arb_g()) {
-        let (d, e) = build_closed(&g);
-        prop_assert!(lint(&e, &d.data_env).is_ok(), "ill-typed generator output:\n{e}");
-    }
-
-    /// All three evaluation orders agree on total Int programs.
-    #[test]
-    fn machine_modes_agree(g in arb_g()) {
-        let (_d, e) = build_closed(&g);
-        let n = run_int(&e, EvalMode::CallByName, FUEL).unwrap();
-        let need = run_int(&e, EvalMode::CallByNeed, FUEL).unwrap();
-        let v = run_int(&e, EvalMode::CallByValue, FUEL).unwrap();
-        prop_assert_eq!(n, need);
-        prop_assert_eq!(n, v);
-    }
-
-    /// Both optimizer pipelines preserve the observable value and typing.
-    #[test]
-    fn optimizer_is_observationally_sound(g in arb_g()) {
-        let (mut d, e) = build_closed(&g);
-        let reference = run_int(&e, EvalMode::CallByName, FUEL).unwrap();
+/// Both optimizer pipelines preserve the observable value and typing.
+#[test]
+fn optimizer_is_observationally_sound() {
+    runner::check_with(cfg(), "optimizer is observationally sound", |g| {
+        let (mut d, e) = build_closed(g);
+        let reference = run_int(&e, EvalMode::CallByName, FUEL).map_err(|e| e.to_string())?;
         for cfg in [OptConfig::baseline(), OptConfig::join_points()] {
             let out = optimize(&e, &d.data_env, &mut d.supply, &cfg.with_lint(true))
-                .map_err(|err| TestCaseError::fail(format!("optimize: {err}\n{e}")))?;
-            let got = run_int(&out, EvalMode::CallByName, FUEL).unwrap();
-            prop_assert_eq!(reference, got, "\ninput:\n{}\noutput:\n{}", e, out);
+                .map_err(|err| format!("optimize: {err}\n{e}"))?;
+            let got = run_int(&out, EvalMode::CallByName, FUEL).map_err(|e| e.to_string())?;
+            if got != reference {
+                return Err(format!(
+                    "value changed {reference} -> {got}\ninput:\n{e}\noutput:\n{out}"
+                ));
+            }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Erasure: join-free, well-typed, equivalent (Theorem 5).
-    #[test]
-    fn erasure_is_sound(g in arb_g()) {
-        let (mut d, e) = build_closed(&g);
-        let reference = run_int(&e, EvalMode::CallByName, FUEL).unwrap();
+/// The per-pass differential oracle: every single pass of both pipelines
+/// is value-preserving and lint-clean, and the full join-points pipeline
+/// never increases allocations on generated programs.
+#[test]
+fn every_pass_is_sound_differentially() {
+    runner::check_with(cfg(), "every pass is sound differentially", |g| {
+        let (d, e) = build_closed(g);
+        for cfg in [OptConfig::baseline(), OptConfig::join_points()] {
+            let mut supply = d.supply.clone();
+            let report = differential(
+                &e,
+                &d.data_env,
+                &mut supply,
+                &cfg,
+                EvalMode::CallByValue,
+                FUEL,
+            )
+            .map_err(|err| err.to_string())?;
+            if report.alloc_delta() > 0 {
+                return Err(format!(
+                    "pipeline added allocations ({:+}): {} -> {}\n{e}",
+                    report.alloc_delta(),
+                    report.initial_metrics(),
+                    report.final_metrics()
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Erasure: join-free, well-typed, equivalent (Theorem 5).
+#[test]
+fn erasure_is_sound() {
+    runner::check_with(cfg(), "erasure is sound", |g| {
+        let (mut d, e) = build_closed(g);
+        let reference = run_int(&e, EvalMode::CallByName, FUEL).map_err(|e| e.to_string())?;
         let joined = optimize(&e, &d.data_env, &mut d.supply, &OptConfig::join_points())
-            .map_err(|err| TestCaseError::fail(format!("optimize: {err}")))?;
+            .map_err(|err| format!("optimize: {err}"))?;
         let erased = erase(&joined, &d.data_env, &mut d.supply)
-            .map_err(|err| TestCaseError::fail(format!("erase: {err}\n{joined}")))?;
-        prop_assert!(!erased.has_join_or_jump());
-        prop_assert!(lint(&erased, &d.data_env).is_ok(), "erased ill-typed:\n{erased}");
-        let got = run_int(&erased, EvalMode::CallByName, FUEL).unwrap();
-        prop_assert_eq!(reference, got);
-    }
+            .map_err(|err| format!("erase: {err}\n{joined}"))?;
+        if erased.has_join_or_jump() {
+            return Err(format!("erased term still has joins:\n{erased}"));
+        }
+        lint(&erased, &d.data_env)
+            .map(|_| ())
+            .map_err(|err| format!("erased ill-typed: {err}\n{erased}"))?;
+        let got = run_int(&erased, EvalMode::CallByName, FUEL).map_err(|e| e.to_string())?;
+        if got != reference {
+            return Err(format!(
+                "erasure changed value {reference} -> {got}\n{erased}"
+            ));
+        }
+        Ok(())
+    });
+}
 
-    /// Freshening preserves α-equivalence and the fingerprint.
-    #[test]
-    fn freshening_is_alpha_invariant(g in arb_g()) {
-        let (mut d, e) = build_closed(&g);
+/// Freshening preserves α-equivalence and the fingerprint.
+#[test]
+fn freshening_is_alpha_invariant() {
+    runner::check_with(cfg(), "freshening is alpha-invariant", |g| {
+        let (mut d, e) = build_closed(g);
         let f = freshen(&e, &mut d.supply);
-        prop_assert!(alpha_eq(&e, &f));
-        prop_assert_eq!(
-            system_fj::ast::alpha_fingerprint(&e),
-            system_fj::ast::alpha_fingerprint(&f)
-        );
-    }
+        if !alpha_eq(&e, &f) {
+            return Err(format!("not alpha-equal:\n{e}\n---\n{f}"));
+        }
+        if alpha_fingerprint(&e) != alpha_fingerprint(&f) {
+            return Err("alpha fingerprints differ".into());
+        }
+        Ok(())
+    });
+}
 
-    /// The simplifier alone (one full fixpoint run) is value-preserving.
-    #[test]
-    fn simplifier_alone_is_sound(g in arb_g()) {
-        let (mut d, e) = build_closed(&g);
-        let reference = run_int(&e, EvalMode::CallByValue, FUEL).unwrap();
-        let opts = system_fj::core::SimplOpts::default();
-        let out = system_fj::core::simplify(&e, &d.data_env, &mut d.supply, &opts)
-            .map_err(|err| TestCaseError::fail(format!("simplify: {err}\n{e}")))?;
-        prop_assert!(lint(&out, &d.data_env).is_ok(), "output ill-typed:\n{out}");
-        let got = run_int(&out, EvalMode::CallByValue, FUEL).unwrap();
-        prop_assert_eq!(reference, got, "\ninput:\n{}\noutput:\n{}", e, out);
-    }
+/// The simplifier alone (one full fixpoint run) is value-preserving.
+#[test]
+fn simplifier_alone_is_sound() {
+    runner::check_with(cfg(), "simplifier alone is sound", |g| {
+        let (mut d, e) = build_closed(g);
+        let reference = run_int(&e, EvalMode::CallByValue, FUEL).map_err(|e| e.to_string())?;
+        let opts = SimplOpts::default();
+        let out = simplify(&e, &d.data_env, &mut d.supply, &opts)
+            .map_err(|err| format!("simplify: {err}\n{e}"))?;
+        lint(&out, &d.data_env)
+            .map(|_| ())
+            .map_err(|err| format!("output ill-typed: {err}\n{out}"))?;
+        let got = run_int(&out, EvalMode::CallByValue, FUEL).map_err(|e| e.to_string())?;
+        if got != reference {
+            return Err(format!(
+                "value changed {reference} -> {got}\ninput:\n{e}\noutput:\n{out}"
+            ));
+        }
+        Ok(())
+    });
 }

@@ -6,8 +6,33 @@
 //! are equal — the text exists only for printing. Transformations that need
 //! fresh binders draw them from a [`NameSupply`].
 
+use std::cell::RefCell;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread string interner shared by [`Name`] base texts and
+    /// [`Ident`] spellings. Repeated spellings ("x", "True", "go", …)
+    /// share one allocation instead of copying the bytes at every
+    /// construction site, and shared pointers give [`Ident`] equality a
+    /// pointer fast path.
+    static INTERN: RefCell<HashSet<Arc<str>>> = RefCell::new(HashSet::new());
+}
+
+fn intern(text: &str) -> Arc<str> {
+    INTERN.with(|table| {
+        let mut table = table.borrow_mut();
+        match table.get(text) {
+            Some(shared) => Arc::clone(shared),
+            None => {
+                let shared: Arc<str> = Arc::from(text);
+                table.insert(Arc::clone(&shared));
+                shared
+            }
+        }
+    })
+}
 
 /// A term variable, type variable, or join-point label.
 ///
@@ -32,7 +57,7 @@ impl Name {
     /// this constructor exists for deterministic prelude/builtin names.
     pub fn with_id(text: &str, id: u64) -> Self {
         Name {
-            text: Arc::from(text),
+            text: intern(text),
             id,
         }
     }
@@ -115,14 +140,23 @@ impl NameSupply {
         let id = self.next;
         self.next += 1;
         Name {
-            text: Arc::from(text),
+            text: intern(text),
             id,
         }
     }
 
     /// Produce a fresh name reusing another name's base text.
+    ///
+    /// The base text is aliased, not copied — this runs on the machine's
+    /// hot path (every heap binding renames its binder), so it must not
+    /// allocate for the string.
     pub fn fresh_like(&mut self, like: &Name) -> Name {
-        self.fresh(like.text())
+        let id = self.next;
+        self.next += 1;
+        Name {
+            text: Arc::clone(&like.text),
+            id,
+        }
     }
 
     /// The next id this supply would hand out (for diagnostics).
@@ -142,18 +176,44 @@ impl Default for NameSupply {
 ///
 /// Unlike [`Name`]s these are never α-renamed; they are keys into the
 /// [`DataEnv`](crate::DataEnv).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct Ident(Arc<str>);
 
 impl Ident {
-    /// Create an identifier from its spelling.
+    /// Create an identifier from its spelling. Spellings are interned, so
+    /// repeated construction is allocation-free and equality between
+    /// interned identifiers is a pointer comparison.
     pub fn new(text: &str) -> Self {
-        Ident(Arc::from(text))
+        Ident(intern(text))
     }
 
     /// The spelling.
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+impl Eq for Ident {}
+
+impl std::hash::Hash for Ident {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl PartialOrd for Ident {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ident {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
     }
 }
 
@@ -208,6 +268,17 @@ mod tests {
         let y = s.fresh_like(&x);
         assert_eq!(y.text(), "loop");
         assert_ne!(x, y);
+    }
+
+    #[test]
+    fn interning_shares_storage() {
+        let a = Ident::new("Just");
+        let b = Ident::new("Just");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        let mut s = NameSupply::new();
+        let x = s.fresh("loop");
+        let y = s.fresh_like(&x);
+        assert!(Arc::ptr_eq(&x.text, &y.text));
     }
 
     #[test]

@@ -33,6 +33,7 @@ use fj_ast::{
 };
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// Evaluation order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -75,6 +76,13 @@ impl fmt::Display for MachineError {
 }
 
 impl std::error::Error for MachineError {}
+
+/// Recover ownership of a shared expression: free when the `Rc` is
+/// unique (the common case for program text), one structural clone when
+/// it still aliases a heap binding.
+fn take(e: Rc<Expr>) -> Expr {
+    Rc::try_unwrap(e).unwrap_or_else(|rc| (*rc).clone())
+}
 
 /// A fully forced, observable result value.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -143,10 +151,14 @@ pub fn run_int(e: &Expr, mode: EvalMode, fuel: u64) -> Result<i64, MachineError>
     }
 }
 
+/// A heap binding. Payloads are shared (`Rc`) so `look` hands out an
+/// alias instead of deep-cloning the stored term; a structural clone
+/// happens only if the alias later needs to be taken apart while the
+/// heap still holds it.
 #[derive(Debug)]
 enum HeapObj {
-    Thunk(Expr),
-    Value(Expr),
+    Thunk(Rc<Expr>),
+    Value(Rc<Expr>),
 }
 
 #[derive(Debug)]
@@ -154,13 +166,14 @@ enum Frame {
     /// `□ e` — pending argument.
     AppArg(Expr),
     /// CBV: the function answer, while its argument is evaluated in focus.
-    AppFun(Expr),
+    AppFun(Rc<Expr>),
     /// `□ τ`.
     TyArg(Type),
     /// `case □ of alts`.
     Case(Vec<Alt>),
-    /// `join jb in □`.
-    Join(JoinBind),
+    /// `join jb in □`. Shared so `jump` can borrow the matched definition
+    /// without cloning the whole group on every loop iteration.
+    Join(Rc<JoinBind>),
     /// Call-by-need update.
     Update(Name),
     /// Evaluating the left primop operand; right pending.
@@ -262,10 +275,10 @@ impl Machine {
                 }
                 _ => {}
             }
-            self.heap.insert(fresh, HeapObj::Value(e));
+            self.heap.insert(fresh, HeapObj::Value(Rc::new(e)));
         } else {
             self.charge(src);
-            self.heap.insert(fresh, HeapObj::Thunk(e));
+            self.heap.insert(fresh, HeapObj::Thunk(Rc::new(e)));
         }
     }
 
@@ -320,8 +333,14 @@ impl Machine {
     /// # Errors
     ///
     /// See [`run`].
-    #[allow(clippy::too_many_lines)]
     pub fn eval(&mut self, start: Expr) -> Result<Expr, MachineError> {
+        let answer = self.eval_shared(Rc::new(start))?;
+        Ok(take(answer))
+    }
+
+    /// The evaluation loop proper, over a shared focus. Answers looked up
+    /// from the heap stay aliased until something needs to take them apart.
+    fn eval_shared(&mut self, start: Rc<Expr>) -> Result<Rc<Expr>, MachineError> {
         let base_stack = self.stack.len();
         let mut focus = start;
         loop {
@@ -330,7 +349,7 @@ impl Machine {
                 // Charge constructor allocation the first time this cell is
                 // built from program text.
                 if !self.focus_reused {
-                    if let Expr::Con(_, _, args) = &focus {
+                    if let Expr::Con(_, _, args) = &*focus {
                         if !args.is_empty() {
                             self.metrics.con_allocs += 1;
                         }
@@ -352,42 +371,61 @@ impl Machine {
 
     /// An answer meets the top frame.
     #[allow(clippy::too_many_lines)]
-    fn consume(&mut self, answer: Expr, frame: Frame) -> Result<Expr, MachineError> {
+    fn consume(&mut self, answer: Rc<Expr>, frame: Frame) -> Result<Rc<Expr>, MachineError> {
         match frame {
-            Frame::AppArg(arg) => match answer {
+            Frame::AppArg(arg) => match &*answer {
                 Expr::Lam(b, body) => {
                     if self.mode == EvalMode::CallByValue
                         && !(arg.is_atom() || self.is_answer(&arg))
                     {
                         // Evaluate the argument first.
-                        self.stack.push(Frame::AppFun(Expr::Lam(b, body)));
+                        self.stack.push(Frame::AppFun(Rc::clone(&answer)));
                         self.focus_reused = false;
-                        Ok(arg)
+                        Ok(Rc::new(arg))
                     } else {
-                        Ok(self.bind_params([(b.name, arg)], &body, [], Charge::Arg, false))
+                        let name = b.name.clone();
+                        Ok(Rc::new(self.bind_params(
+                            [(name, arg)],
+                            body,
+                            [],
+                            Charge::Arg,
+                            false,
+                        )))
                     }
                 }
                 other => Err(MachineError::Stuck(format!(
                     "applied non-function answer: {other}"
                 ))),
             },
-            Frame::AppFun(fun) => match fun {
+            Frame::AppFun(fun) => match &*fun {
                 Expr::Lam(b, body) => {
-                    Ok(self.bind_params([(b.name, answer)], &body, [], Charge::Arg, true))
+                    let name = b.name.clone();
+                    let arg = take(answer);
+                    Ok(Rc::new(self.bind_params(
+                        [(name, arg)],
+                        body,
+                        [],
+                        Charge::Arg,
+                        true,
+                    )))
                 }
                 other => Err(MachineError::Stuck(format!(
                     "AppFun frame holds non-lambda: {other}"
                 ))),
             },
-            Frame::TyArg(t) => match answer {
-                Expr::TyLam(a, body) => {
-                    Ok(self.bind_params([], &body, [(a, t)], Charge::Free, false))
-                }
+            Frame::TyArg(t) => match &*answer {
+                Expr::TyLam(a, body) => Ok(Rc::new(self.bind_params(
+                    [],
+                    body,
+                    [(a.clone(), t)],
+                    Charge::Free,
+                    false,
+                ))),
                 other => Err(MachineError::Stuck(format!(
                     "type-applied non-type-lambda: {other}"
                 ))),
             },
-            Frame::Case(alts) => self.select_alt(answer, alts),
+            Frame::Case(alts) => self.select_alt(&answer, alts),
             Frame::Join(_) => {
                 // `ans` rule: the join binding is dead once an answer
                 // reaches it.
@@ -395,24 +433,24 @@ impl Machine {
                 Ok(answer)
             }
             Frame::Update(x) => {
-                self.heap.insert(x, HeapObj::Value(answer.clone()));
+                self.heap.insert(x, HeapObj::Value(Rc::clone(&answer)));
                 self.focus_reused = true;
                 Ok(answer)
             }
-            Frame::PrimL(op, rhs) => match answer {
+            Frame::PrimL(op, rhs) => match &*answer {
                 Expr::Lit(a) => {
-                    self.stack.push(Frame::PrimR(op, a));
+                    self.stack.push(Frame::PrimR(op, *a));
                     self.focus_reused = false;
-                    Ok(rhs)
+                    Ok(Rc::new(rhs))
                 }
                 other => Err(MachineError::Stuck(format!(
                     "primop operand not an integer: {other}"
                 ))),
             },
-            Frame::PrimR(op, a) => match answer {
-                Expr::Lit(b) => match op.eval(a, b) {
-                    Some(PrimResult::Int(n)) => Ok(Expr::Lit(n)),
-                    Some(PrimResult::Bool(v)) => Ok(Expr::bool(v)),
+            Frame::PrimR(op, a) => match &*answer {
+                Expr::Lit(b) => match op.eval(a, *b) {
+                    Some(PrimResult::Int(n)) => Ok(Rc::new(Expr::Lit(n))),
+                    Some(PrimResult::Bool(v)) => Ok(Rc::new(Expr::bool(v))),
                     None => Err(MachineError::DivideByZero),
                 },
                 other => Err(MachineError::Stuck(format!(
@@ -425,7 +463,7 @@ impl Machine {
                 mut done,
                 mut pending,
             } => {
-                done.push(answer);
+                done.push(take(answer));
                 if let Some(next) = pending.pop() {
                     self.stack.push(Frame::ConArgs {
                         con,
@@ -434,7 +472,7 @@ impl Machine {
                         pending,
                     });
                     self.focus_reused = false;
-                    Ok(next)
+                    Ok(Rc::new(next))
                 } else {
                     // Freshly completed cell: charge it here (the focus
                     // answer path would see focus_reused=true).
@@ -442,7 +480,7 @@ impl Machine {
                         self.metrics.con_allocs += 1;
                     }
                     self.focus_reused = true;
-                    Ok(Expr::Con(con, tys, done))
+                    Ok(Rc::new(Expr::Con(con, tys, done)))
                 }
             }
             Frame::JumpArgs {
@@ -452,7 +490,7 @@ impl Machine {
                 mut pending,
                 res,
             } => {
-                done.push(answer);
+                done.push(take(answer));
                 while let Some(next) = pending.pop() {
                     if next.is_atom() {
                         done.push(next);
@@ -465,13 +503,20 @@ impl Machine {
                             res,
                         });
                         self.focus_reused = false;
-                        return Ok(next);
+                        return Ok(Rc::new(next));
                     }
                 }
                 self.perform_jump(&label, tys, done, true)
             }
             Frame::LetStrict(b, body) => {
-                Ok(self.bind_params([(b.name, answer)], &body, [], Charge::Let, true))
+                let arg = take(answer);
+                Ok(Rc::new(self.bind_params(
+                    [(b.name, arg)],
+                    &body,
+                    [],
+                    Charge::Let,
+                    true,
+                )))
             }
         }
     }
@@ -479,16 +524,19 @@ impl Machine {
     /// A non-answer in focus: apply the matching `push`/`bind`/`look`/
     /// `jump` rule.
     #[allow(clippy::too_many_lines)]
-    fn dispatch(&mut self, focus: Expr) -> Result<Expr, MachineError> {
-        match focus {
+    fn dispatch(&mut self, focus: Rc<Expr>) -> Result<Rc<Expr>, MachineError> {
+        // Regain ownership to deconstruct: free for program text (unique),
+        // one structural clone when the focus aliases a heap thunk — the
+        // cost the pre-sharing machine paid eagerly at every `look`.
+        match take(focus) {
             Expr::Var(x) => match self.heap.get(&x) {
                 Some(HeapObj::Value(v)) => {
-                    let v = v.clone();
+                    let v = Rc::clone(v);
                     self.focus_reused = true;
                     Ok(v)
                 }
                 Some(HeapObj::Thunk(e)) => {
-                    let e = e.clone();
+                    let e = Rc::clone(e);
                     if self.mode == EvalMode::CallByNeed {
                         self.stack.push(Frame::Update(x));
                     }
@@ -498,11 +546,11 @@ impl Machine {
             },
             Expr::App(f, a) => {
                 self.stack.push(Frame::AppArg(*a));
-                Ok(*f)
+                Ok(Rc::new(*f))
             }
             Expr::TyApp(f, t) => {
                 self.stack.push(Frame::TyArg(t));
-                Ok(*f)
+                Ok(Rc::new(*f))
             }
             Expr::Prim(op, mut args) => {
                 if args.len() != 2 {
@@ -514,16 +562,16 @@ impl Machine {
                 let b = args.pop().expect("two operands");
                 let a = args.pop().expect("two operands");
                 self.stack.push(Frame::PrimL(op, b));
-                Ok(a)
+                Ok(Rc::new(a))
             }
             Expr::Case(s, alts) => {
                 self.stack.push(Frame::Case(alts));
-                Ok(*s)
+                Ok(Rc::new(*s))
             }
-            Expr::Let(bind, body) => self.bind_let(bind, *body),
+            Expr::Let(bind, body) => self.bind_let(bind, *body).map(Rc::new),
             Expr::Join(jb, body) => {
-                self.stack.push(Frame::Join(jb));
-                Ok(*body)
+                self.stack.push(Frame::Join(Rc::new(jb)));
+                Ok(Rc::new(*body))
             }
             Expr::Jump(j, tys, args, res) => {
                 if self.mode == EvalMode::CallByValue
@@ -546,7 +594,7 @@ impl Machine {
                                 res,
                             });
                             self.focus_reused = false;
-                            return Ok(next);
+                            return Ok(Rc::new(next));
                         }
                     }
                     self.perform_jump(&j, tys, done, true)
@@ -567,9 +615,9 @@ impl Machine {
                             done: Vec::new(),
                             pending,
                         });
-                        Ok(first)
+                        Ok(Rc::new(first))
                     }
-                    None => Ok(Expr::Con(c, tys, Vec::new())),
+                    None => Ok(Rc::new(Expr::Con(c, tys, Vec::new()))),
                 }
             }
             other => Err(MachineError::Stuck(format!("no rule for focus: {other}"))),
@@ -610,21 +658,25 @@ impl Machine {
         }
     }
 
-    fn select_alt(&mut self, answer: Expr, alts: Vec<Alt>) -> Result<Expr, MachineError> {
-        match &answer {
+    fn select_alt(&mut self, answer: &Expr, mut alts: Vec<Alt>) -> Result<Rc<Expr>, MachineError> {
+        match answer {
             Expr::Con(c, _, args) => {
-                let alt = alts
+                let idx = alts
                     .iter()
-                    .find(|a| matches!(&a.con, AltCon::Con(c2) if c2 == c))
-                    .or_else(|| alts.iter().find(|a| a.con == AltCon::Default));
-                let Some(alt) = alt else {
+                    .position(|a| matches!(&a.con, AltCon::Con(c2) if c2 == c))
+                    .or_else(|| alts.iter().position(|a| a.con == AltCon::Default));
+                let Some(idx) = idx else {
                     return Err(MachineError::Stuck(format!(
                         "no case alternative for constructor {c}"
                     )));
                 };
+                // Move the selected alternative out; the discarded ones are
+                // dropped with the frame, and the taken branch is never
+                // cloned.
+                let alt = alts.swap_remove(idx);
                 if alt.con == AltCon::Default {
                     self.focus_reused = false;
-                    return Ok(alt.rhs.clone());
+                    return Ok(Rc::new(alt.rhs));
                 }
                 if alt.binders.len() != args.len() {
                     return Err(MachineError::Stuck(format!(
@@ -640,20 +692,20 @@ impl Machine {
                     .collect();
                 let rhs = self.bind_params(pairs, &alt.rhs, [], Charge::Free, true);
                 self.focus_reused = false;
-                Ok(rhs)
+                Ok(Rc::new(rhs))
             }
             Expr::Lit(n) => {
-                let alt = alts
+                let idx = alts
                     .iter()
-                    .find(|a| matches!(&a.con, AltCon::Lit(m) if m == n))
-                    .or_else(|| alts.iter().find(|a| a.con == AltCon::Default));
-                let Some(alt) = alt else {
+                    .position(|a| matches!(&a.con, AltCon::Lit(m) if m == n))
+                    .or_else(|| alts.iter().position(|a| a.con == AltCon::Default));
+                let Some(idx) = idx else {
                     return Err(MachineError::Stuck(format!(
                         "no case alternative for literal {n}"
                     )));
                 };
                 self.focus_reused = false;
-                Ok(alt.rhs.clone())
+                Ok(Rc::new(alts.swap_remove(idx).rhs))
             }
             other => Err(MachineError::Stuck(format!(
                 "case scrutinee is not data: {other}"
@@ -669,14 +721,22 @@ impl Machine {
         tys: Vec<Type>,
         args: Vec<Expr>,
         evaluated: bool,
-    ) -> Result<Expr, MachineError> {
+    ) -> Result<Rc<Expr>, MachineError> {
         self.metrics.jumps += 1;
         loop {
             match self.stack.last() {
                 None => return Err(MachineError::NoJoinFrame(label.clone())),
                 Some(Frame::Join(jb)) => {
-                    if let Some(def) = jb.defs().iter().find(|d| &d.name == label) {
-                        let def = def.clone();
+                    if jb.defs().iter().any(|d| &d.name == label) {
+                        // Alias the group (cheap) so the matched definition
+                        // can be borrowed across `bind_params` without
+                        // cloning its body on every recursive jump.
+                        let jb = Rc::clone(jb);
+                        let def = jb
+                            .defs()
+                            .iter()
+                            .find(|d| &d.name == label)
+                            .expect("label found above");
                         let pairs: Vec<(Name, Expr)> = def
                             .params
                             .iter()
@@ -688,7 +748,7 @@ impl Machine {
                         let body =
                             self.bind_params(pairs, &def.body, ty_pairs, Charge::Arg, evaluated);
                         self.focus_reused = false;
-                        return Ok(body);
+                        return Ok(Rc::new(body));
                     }
                     // A join frame for some other group: discard it too.
                     self.stack.pop();

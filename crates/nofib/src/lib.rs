@@ -85,6 +85,88 @@ pub fn programs() -> Vec<Program> {
 /// Step budget for benchmark runs.
 pub const FUEL: u64 = 50_000_000;
 
+/// Instruction budget for VM-backend runs (instructions are a finer
+/// unit than machine transitions, so the budget is larger).
+pub const VM_FUEL: u64 = 500_000_000;
+
+/// Which execution backend runs a compiled benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The Fig. 3 substitution machine in `fj-eval` (the reference).
+    Machine,
+    /// The flat jump-threaded bytecode VM in `fj-vm`.
+    Vm,
+}
+
+impl Backend {
+    /// Display name (matches the CLI's `--backend` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Machine => "machine",
+            Backend::Vm => "vm",
+        }
+    }
+
+    /// Parse a `--backend` value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "machine" => Some(Backend::Machine),
+            "vm" => Some(Backend::Vm),
+            _ => None,
+        }
+    }
+
+    /// Run a lowered term by value with the backend's default budget.
+    ///
+    /// # Errors
+    ///
+    /// The backend's own error, stringified (the two backends have
+    /// distinct error types; callers only report them).
+    pub fn run(self, e: &fj_ast::Expr) -> Result<fj_eval::Outcome, String> {
+        match self {
+            Backend::Machine => run(e, EvalMode::CallByValue, FUEL).map_err(|e| e.to_string()),
+            Backend::Vm => fj_vm::run(e, EvalMode::CallByValue, VM_FUEL).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Compile, lint, and optimize a benchmark source under a pipeline,
+/// returning the lowered term ready for either backend.
+///
+/// # Panics
+///
+/// As [`measure`] — benchmarks are expected to be well-formed.
+pub fn lower(source: &str, cfg: &OptConfig) -> fj_ast::Expr {
+    let mut lowered = compile(source).unwrap_or_else(|e| panic!("compile: {e}"));
+    fj_check::lint(&lowered.expr, &lowered.data_env)
+        .unwrap_or_else(|e| panic!("lint: {e}\n{}", lowered.expr));
+    optimize(&lowered.expr, &lowered.data_env, &mut lowered.supply, cfg)
+        .unwrap_or_else(|e| panic!("optimize: {e}"))
+}
+
+/// As [`measure`], on a chosen backend, also timing the run itself
+/// (compilation and optimization excluded).
+///
+/// # Panics
+///
+/// As [`measure`].
+pub fn measure_backend(
+    source: &str,
+    cfg: &OptConfig,
+    backend: Backend,
+) -> (i64, Metrics, std::time::Duration) {
+    let out = lower(source, cfg);
+    let start = std::time::Instant::now();
+    let o = backend
+        .run(&out)
+        .unwrap_or_else(|e| panic!("{} eval: {e}\n{out}", backend.name()));
+    let wall = start.elapsed();
+    match o.value {
+        Value::Int(n) => (n, o.metrics, wall),
+        other => panic!("benchmark main must return Int, got {other}"),
+    }
+}
+
 /// Per-program measurement: allocations under both compilers.
 #[derive(Clone, Debug)]
 pub struct Row {
@@ -183,6 +265,23 @@ pub struct ReportRow {
     pub baseline_report: PipelineReport,
     /// What the join-points pipeline did.
     pub joined_report: PipelineReport,
+    /// Wall time of the Fig. 3 machine on the join-points output.
+    pub machine_wall: std::time::Duration,
+    /// Wall time of the bytecode VM on the same term.
+    pub vm_wall: std::time::Duration,
+}
+
+impl ReportRow {
+    /// Machine-over-VM wall-time ratio (how many times faster the
+    /// bytecode backend ran this program).
+    pub fn speedup(&self) -> f64 {
+        let vm = self.vm_wall.as_secs_f64();
+        if vm == 0.0 {
+            f64::INFINITY
+        } else {
+            self.machine_wall.as_secs_f64() / vm
+        }
+    }
 }
 
 /// Run one benchmark under both pipelines, keeping the pipeline reports.
@@ -201,6 +300,30 @@ pub fn run_program_with_reports(p: &Program) -> ReportRow {
     if let Some(exp) = p.expected {
         assert_eq!(v_join, exp, "{}: expected {exp}, got {v_join}", p.name);
     }
+    let (_, _, machine_wall) =
+        measure_backend(p.source, &OptConfig::join_points(), Backend::Machine);
+    let (v_vm, m_vm, vm_wall) = measure_backend(p.source, &OptConfig::join_points(), Backend::Vm);
+    assert_eq!(
+        v_vm, v_join,
+        "{}: vm backend disagrees on the value",
+        p.name
+    );
+    assert_eq!(
+        (
+            m_vm.let_allocs,
+            m_vm.arg_allocs,
+            m_vm.con_allocs,
+            m_vm.jumps
+        ),
+        (
+            m_join.let_allocs,
+            m_join.arg_allocs,
+            m_join.con_allocs,
+            m_join.jumps
+        ),
+        "{}: vm backend disagrees on allocation metrics",
+        p.name
+    );
     ReportRow {
         row: Row {
             name: p.name,
@@ -211,6 +334,8 @@ pub fn run_program_with_reports(p: &Program) -> ReportRow {
         },
         baseline_report: base_rep,
         joined_report: join_rep,
+        machine_wall,
+        vm_wall,
     }
 }
 
@@ -263,6 +388,27 @@ pub fn format_report(rows: &[ReportRow]) -> String {
         )
         .unwrap();
     }
+    writeln!(out, "\n## Backend wall time (join-points pipeline)\n").unwrap();
+    writeln!(
+        out,
+        "Same term, same counters — only the execution strategy differs: \
+         the Fig. 3 substitution machine vs the flat jump-threaded \
+         bytecode VM (`--backend vm`).\n"
+    )
+    .unwrap();
+    writeln!(out, "| program | machine | vm | speedup |").unwrap();
+    writeln!(out, "|---|---|---|---|").unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "| {} | {:.2?} | {:.2?} | {:.1}× |",
+            r.row.name,
+            r.machine_wall,
+            r.vm_wall,
+            r.speedup()
+        )
+        .unwrap();
+    }
     writeln!(out, "\n## Optimizer activity (join-points pipeline)\n").unwrap();
     writeln!(
         out,
@@ -312,6 +458,103 @@ pub fn format_report(rows: &[ReportRow]) -> String {
 /// Run the whole Table-1 experiment.
 pub fn run_table1() -> Vec<Row> {
     programs().iter().map(run_program).collect()
+}
+
+/// One benchmark timed on both backends (join-points pipeline).
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Program name.
+    pub name: &'static str,
+    /// Suite name.
+    pub suite: &'static str,
+    /// Machine wall time.
+    pub machine: std::time::Duration,
+    /// VM wall time.
+    pub vm: std::time::Duration,
+    /// Total heap-allocation units (identical on both backends; checked).
+    pub total_allocs: u64,
+    /// Jumps taken (identical on both backends; checked).
+    pub jumps: u64,
+}
+
+/// Time every nofib program on both backends, verifying value and
+/// metric agreement along the way.
+///
+/// # Panics
+///
+/// As [`measure_backend`]; also panics if the backends disagree.
+pub fn run_bench() -> Vec<BenchRow> {
+    let cfg = OptConfig::join_points();
+    programs()
+        .iter()
+        .map(|p| {
+            let (v_m, m_m, machine) = measure_backend(p.source, &cfg, Backend::Machine);
+            let (v_v, m_v, vm) = measure_backend(p.source, &cfg, Backend::Vm);
+            assert_eq!(v_m, v_v, "{}: backends disagree on the value", p.name);
+            assert_eq!(
+                (m_m.let_allocs, m_m.arg_allocs, m_m.con_allocs, m_m.jumps),
+                (m_v.let_allocs, m_v.arg_allocs, m_v.con_allocs, m_v.jumps),
+                "{}: backends disagree on allocation metrics",
+                p.name
+            );
+            BenchRow {
+                name: p.name,
+                suite: p.suite.name(),
+                machine,
+                vm,
+                total_allocs: m_v.total_allocs(),
+                jumps: m_v.jumps,
+            }
+        })
+        .collect()
+}
+
+/// Render bench rows as the `BENCH_vm.json` snapshot (hand-written
+/// JSON; the workspace takes no serialization dependency).
+pub fn format_bench_json(rows: &[BenchRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let machine_total: u128 = rows.iter().map(|r| r.machine.as_nanos()).sum();
+    let vm_total: u128 = rows.iter().map(|r| r.vm.as_nanos()).sum();
+    let speedup = |m: u128, v: u128| {
+        if v == 0 {
+            f64::INFINITY
+        } else {
+            m as f64 / v as f64
+        }
+    };
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"generated_by\": \"fj bench\",").unwrap();
+    writeln!(out, "  \"pipeline\": \"join_points\",").unwrap();
+    writeln!(out, "  \"mode\": \"call_by_value\",").unwrap();
+    writeln!(out, "  \"unit\": \"nanoseconds\",").unwrap();
+    writeln!(out, "  \"programs\": [").unwrap();
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"suite\": \"{}\", \"machine_ns\": {}, \
+             \"vm_ns\": {}, \"speedup\": {:.2}, \"total_allocs\": {}, \"jumps\": {}}}{comma}",
+            r.name,
+            r.suite,
+            r.machine.as_nanos(),
+            r.vm.as_nanos(),
+            speedup(r.machine.as_nanos(), r.vm.as_nanos()),
+            r.total_allocs,
+            r.jumps
+        )
+        .unwrap();
+    }
+    writeln!(out, "  ],").unwrap();
+    writeln!(
+        out,
+        "  \"total\": {{\"machine_ns\": {machine_total}, \"vm_ns\": {vm_total}, \
+         \"speedup\": {:.2}}}",
+        speedup(machine_total, vm_total)
+    )
+    .unwrap();
+    writeln!(out, "}}").unwrap();
+    out
 }
 
 /// Minimum, maximum, and geometric mean of the deltas in a suite — the

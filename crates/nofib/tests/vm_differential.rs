@@ -1,0 +1,45 @@
+//! ISSUE acceptance: the bytecode VM agrees with the Fig. 3 machine —
+//! same value, same allocation metrics — on EVERY nofib program, under
+//! both the baseline and the join-points pipeline.
+
+use fj_core::OptConfig;
+use fj_eval::EvalMode;
+use fj_nofib::{lower, programs, FUEL, VM_FUEL};
+
+#[test]
+fn vm_matches_machine_on_every_nofib_program() {
+    let configs = [
+        ("baseline", OptConfig::baseline()),
+        ("join_points", OptConfig::join_points()),
+    ];
+    for p in programs() {
+        for (label, cfg) in &configs {
+            let term = lower(p.source, cfg);
+            let m = fj_eval::run(&term, EvalMode::CallByValue, FUEL)
+                .unwrap_or_else(|e| panic!("{} [{label}]: machine: {e}", p.name));
+            let v = fj_vm::run(&term, EvalMode::CallByValue, VM_FUEL)
+                .unwrap_or_else(|e| panic!("{} [{label}]: vm: {e}", p.name));
+            assert_eq!(
+                m.value, v.value,
+                "{} [{label}]: backends disagree on the value",
+                p.name
+            );
+            assert_eq!(
+                (
+                    m.metrics.let_allocs,
+                    m.metrics.arg_allocs,
+                    m.metrics.con_allocs,
+                    m.metrics.jumps
+                ),
+                (
+                    v.metrics.let_allocs,
+                    v.metrics.arg_allocs,
+                    v.metrics.con_allocs,
+                    v.metrics.jumps
+                ),
+                "{} [{label}]: backends disagree on allocation metrics",
+                p.name
+            );
+        }
+    }
+}

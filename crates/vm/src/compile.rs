@@ -1,0 +1,1013 @@
+//! Lowering: well-typed F_J terms to flat bytecode.
+//!
+//! The compiler resolves every variable to a frame-relative slot and
+//! every join label to a code address plus a static environment depth.
+//! The latter is what the Lint discipline buys us: a `jump` may occur
+//! only in Δ-preserving contexts (tail positions, case branches,
+//! scrutinees, function heads, `let`/`join` bodies), and none of those
+//! contexts leaves extra operand-stack entries behind — so every jump
+//! site sits at exactly the operand depth of its target join point, and
+//! [`Op::Jump`] needs no runtime stack scan at all. The compiler tracks
+//! both depths statically and `debug_assert`s the invariant at every
+//! jump it emits.
+//!
+//! The metrics-charging policy of the Fig. 3 machine (which values cost
+//! a `let`/`arg`/`con` unit, and — the paper's point — that joins and
+//! jumps cost *nothing*) is decided here at compile time and baked into
+//! the instruction flags; see the per-construct comments.
+
+use crate::ops::{CaseTable, ChargeKind, Op, Program, RecBinding};
+use fj_ast::{Alt, AltCon, Binder, Expr, Ident, JoinBind, LetBind, Name};
+use fj_eval::EvalMode;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Interned tag of the `True` constructor (fixed, so [`Op::Prim`] can
+/// build booleans without a lookup).
+pub const TAG_TRUE: u32 = 0;
+/// Interned tag of the `False` constructor.
+pub const TAG_FALSE: u32 = 1;
+
+/// Why a term could not be lowered (all impossible on Lint-clean input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A free term variable with no binding in scope.
+    UnboundVar(Name),
+    /// A jump to a label bound in no enclosing join.
+    UnboundLabel(Name),
+    /// A shape the backend does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnboundVar(x) => write!(f, "unbound variable {x}"),
+            CompileError::UnboundLabel(j) => write!(f, "unbound join label {j}"),
+            CompileError::Unsupported(msg) => write!(f, "unsupported term: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// What a name resolves to. Cheap right-hand sides (atoms, nullary
+/// constructors) are aliased at compile time — the machine substitutes
+/// them inline for free, and so do we.
+#[derive(Clone, Debug)]
+enum Binding {
+    Slot(u16),
+    Lit(i64),
+    Con0(u32),
+}
+
+/// A join label's static data: code entry, slot depth at its definition
+/// point, arity, and (for assertions) the operand depth shared by the
+/// join body and every legal jump site.
+#[derive(Clone, Debug)]
+struct JoinInfo {
+    label: u32,
+    env_keep: u16,
+    arity: u16,
+    operand_depth: u16,
+}
+
+/// Where an expression's value goes.
+#[derive(Clone, Copy, Debug)]
+enum Cont {
+    /// Leave it on the operand stack; code continues.
+    Fall,
+    /// Return it to the calling frame (tail position).
+    Ret,
+    /// Branch to a merge point, first restoring the slot depth the merge
+    /// was declared at (paths from different case arms bind different
+    /// numbers of slots).
+    Goto {
+        label: u32,
+        env_depth: u16,
+        operand_depth: u16,
+    },
+}
+
+/// Whether control can proceed past an expression, or it always jumps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Flow {
+    /// The value is delivered to the continuation.
+    Leaves,
+    /// Every path ends in a `jump`; code after this point is dead and is
+    /// not emitted.
+    Diverges,
+}
+
+/// A code object queued for emission.
+struct PendingBody {
+    label: u32,
+    scope: Vec<(Name, Binding)>,
+    env_depth: u16,
+    kind: BodyKind,
+}
+
+enum BodyKind {
+    /// Evaluate the expression and return it.
+    Eval(Expr),
+    /// Rebuild a pre-charged recursive constructor cell (the machine
+    /// charges `letrec x = K …` once at its bind step; each rebuild is
+    /// free, so the recipe's root build carries no charge).
+    ConRecipe(Expr),
+}
+
+const UNBOUND: u32 = u32::MAX;
+
+/// A nested code object's compile-time scope (see
+/// [`Compiler::capture_scope`]).
+type CaptureScope = (Vec<u16>, Vec<(Name, Binding)>);
+
+struct Compiler {
+    mode: EvalMode,
+    ops: Vec<Op>,
+    labels: Vec<u32>,
+    tags: HashMap<Ident, u32>,
+    idents: Vec<Ident>,
+    pending: VecDeque<PendingBody>,
+    uses_thunks: bool,
+    // Per-code-object state:
+    scope: Vec<(Name, Binding)>,
+    joins: Vec<(Name, JoinInfo)>,
+    env_depth: u16,
+    depth: u16,
+}
+
+/// Compile a closed, Lint-clean term for one evaluation mode. Laziness
+/// and the allocation-charging policy differ per mode, so the mode is
+/// baked into the program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unbound variables or labels — both
+/// impossible for terms accepted by `fj_check::lint`.
+pub fn compile(e: &Expr, mode: EvalMode) -> Result<Program, CompileError> {
+    let mut c = Compiler {
+        mode,
+        ops: vec![Op::Halt],
+        labels: Vec::new(),
+        tags: HashMap::new(),
+        idents: Vec::new(),
+        pending: VecDeque::new(),
+        uses_thunks: false,
+        scope: Vec::new(),
+        joins: Vec::new(),
+        env_depth: 0,
+        depth: 0,
+    };
+    assert_eq!(c.intern(&Ident::new("True")), TAG_TRUE);
+    assert_eq!(c.intern(&Ident::new("False")), TAG_FALSE);
+    let entry = c.ops.len() as u32;
+    c.compile_eval(e, Cont::Ret)?;
+    while let Some(p) = c.pending.pop_front() {
+        c.bind_label(p.label);
+        c.scope = p.scope;
+        c.joins.clear();
+        c.env_depth = p.env_depth;
+        c.depth = 0;
+        match p.kind {
+            BodyKind::Eval(body) => {
+                c.compile_eval(&body, Cont::Ret)?;
+            }
+            BodyKind::ConRecipe(con) => {
+                let Expr::Con(ident, _, fields) = &con else {
+                    unreachable!("ConRecipe bodies are constructors");
+                };
+                c.compile_con(ident, fields, false)?;
+                c.ops.push(Op::Ret);
+            }
+        }
+    }
+    c.finalize();
+    Ok(Program {
+        ops: c.ops,
+        idents: c.idents,
+        entry,
+        mode,
+        uses_thunks: c.uses_thunks,
+    })
+}
+
+/// The machine's `is_cheap`: freely duplicable, substituted inline,
+/// never charged.
+fn is_cheap(e: &Expr) -> bool {
+    e.is_atom() || matches!(e, Expr::Con(_, _, args) if args.is_empty())
+}
+
+/// The machine's mode-dependent `is_answer`.
+fn is_answer_m(mode: EvalMode, e: &Expr) -> bool {
+    match e {
+        Expr::Lam(..) | Expr::TyLam(..) | Expr::Lit(_) => true,
+        Expr::Con(_, _, args) => {
+            mode != EvalMode::CallByValue
+                || args.iter().all(|a| is_answer_m(mode, a) || a.is_atom())
+        }
+        _ => false,
+    }
+}
+
+/// Free *term* variables of `e`, in first-use order. Join labels are a
+/// separate namespace (only `jump` refers to them) and never count.
+fn free_term_vars(e: &Expr) -> Vec<Name> {
+    fn go(e: &Expr, bound: &mut Vec<Name>, seen: &mut HashSet<Name>, acc: &mut Vec<Name>) {
+        match e {
+            Expr::Var(x) => {
+                if !bound.contains(x) && seen.insert(x.clone()) {
+                    acc.push(x.clone());
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Prim(_, args) | Expr::Jump(_, _, args, _) => {
+                for a in args {
+                    go(a, bound, seen, acc);
+                }
+            }
+            Expr::Lam(b, body) => {
+                bound.push(b.name.clone());
+                go(body, bound, seen, acc);
+                bound.pop();
+            }
+            Expr::App(f, a) => {
+                go(f, bound, seen, acc);
+                go(a, bound, seen, acc);
+            }
+            Expr::TyLam(_, body) => go(body, bound, seen, acc),
+            Expr::TyApp(f, _) => go(f, bound, seen, acc),
+            Expr::Con(_, _, fields) => {
+                for f in fields {
+                    go(f, bound, seen, acc);
+                }
+            }
+            Expr::Case(s, alts) => {
+                go(s, bound, seen, acc);
+                for alt in alts {
+                    let mark = bound.len();
+                    bound.extend(alt.binders.iter().map(|b| b.name.clone()));
+                    go(&alt.rhs, bound, seen, acc);
+                    bound.truncate(mark);
+                }
+            }
+            Expr::Let(LetBind::NonRec(b, rhs), body) => {
+                go(rhs, bound, seen, acc);
+                bound.push(b.name.clone());
+                go(body, bound, seen, acc);
+                bound.pop();
+            }
+            Expr::Let(LetBind::Rec(binds), body) => {
+                let mark = bound.len();
+                bound.extend(binds.iter().map(|(b, _)| b.name.clone()));
+                for (_, rhs) in binds {
+                    go(rhs, bound, seen, acc);
+                }
+                go(body, bound, seen, acc);
+                bound.truncate(mark);
+            }
+            Expr::Join(jb, body) => {
+                for def in jb.defs() {
+                    let mark = bound.len();
+                    bound.extend(def.params.iter().map(|b| b.name.clone()));
+                    go(&def.body, bound, seen, acc);
+                    bound.truncate(mark);
+                }
+                go(body, bound, seen, acc);
+            }
+        }
+    }
+    let mut acc = Vec::new();
+    go(e, &mut Vec::new(), &mut HashSet::new(), &mut acc);
+    acc
+}
+
+impl Compiler {
+    fn intern(&mut self, c: &Ident) -> u32 {
+        if let Some(&t) = self.tags.get(c) {
+            return t;
+        }
+        let t = self.idents.len() as u32;
+        self.idents.push(c.clone());
+        self.tags.insert(c.clone(), t);
+        t
+    }
+
+    fn new_label(&mut self) -> u32 {
+        self.labels.push(UNBOUND);
+        (self.labels.len() - 1) as u32
+    }
+
+    fn bind_label(&mut self, l: u32) {
+        debug_assert_eq!(self.labels[l as usize], UNBOUND, "label bound twice");
+        self.labels[l as usize] = self.ops.len() as u32;
+    }
+
+    fn resolve(&self, x: &Name) -> Result<Binding, CompileError> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == x)
+            .map(|(_, b)| b.clone())
+            .ok_or_else(|| CompileError::UnboundVar(x.clone()))
+    }
+
+    /// Push a variable's value. `force` distinguishes evaluation
+    /// positions (the machine focuses the variable, entering thunks)
+    /// from alias positions (arguments, fields: the machine substitutes
+    /// the name and shares the heap cell untouched).
+    fn load_var(&mut self, x: &Name, force: bool) -> Result<(), CompileError> {
+        match self.resolve(x)? {
+            Binding::Slot(i) => self
+                .ops
+                .push(if force { Op::LoadForce(i) } else { Op::Load(i) }),
+            Binding::Lit(n) => self.ops.push(Op::PushInt(n)),
+            Binding::Con0(tag) => self.ops.push(Op::MkCon {
+                tag,
+                arity: 0,
+                charge: false,
+            }),
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Finish a `Leaves` path: hand the stacked value to the
+    /// continuation.
+    fn leave(&mut self, cont: Cont) {
+        match cont {
+            Cont::Fall => {}
+            Cont::Ret => self.ops.push(Op::Ret),
+            Cont::Goto {
+                label,
+                env_depth,
+                operand_depth,
+            } => {
+                debug_assert_eq!(self.depth, operand_depth + 1, "merge depth mismatch");
+                if self.env_depth > env_depth {
+                    self.ops.push(Op::PopEnv(self.env_depth - env_depth));
+                }
+                self.ops.push(Op::Goto(label));
+            }
+        }
+    }
+
+    /// Compile `e` so its weak-head value reaches `cont`. Returns whether
+    /// any path actually does (or every path jumps away).
+    #[allow(clippy::too_many_lines)]
+    fn compile_eval(&mut self, e: &Expr, cont: Cont) -> Result<Flow, CompileError> {
+        match e {
+            Expr::Lit(n) => {
+                self.ops.push(Op::PushInt(*n));
+                self.depth += 1;
+                self.leave(cont);
+                Ok(Flow::Leaves)
+            }
+            Expr::Var(x) => {
+                self.load_var(x, true)?;
+                self.leave(cont);
+                Ok(Flow::Leaves)
+            }
+            Expr::Lam(..) | Expr::TyLam(..) => {
+                self.emit_closure(e)?;
+                self.leave(cont);
+                Ok(Flow::Leaves)
+            }
+            Expr::Con(c, _, fields) => {
+                // An evaluated-position constructor always charges its
+                // root cell: the machine counts it either at focus time
+                // or at its ConArgs completion step.
+                self.compile_con(&c.clone(), fields, true)?;
+                self.leave(cont);
+                Ok(Flow::Leaves)
+            }
+            Expr::Prim(op, args) => {
+                if args.len() != 2 {
+                    return Err(CompileError::Unsupported(format!(
+                        "primop {op} with {} operands",
+                        args.len()
+                    )));
+                }
+                // Operands are Δ-resetting, so neither can diverge.
+                if self.compile_eval(&args[0], Cont::Fall)? == Flow::Diverges {
+                    return Ok(Flow::Diverges);
+                }
+                if self.compile_eval(&args[1], Cont::Fall)? == Flow::Diverges {
+                    return Ok(Flow::Diverges);
+                }
+                self.ops.push(Op::Prim(*op));
+                self.depth -= 1;
+                self.leave(cont);
+                Ok(Flow::Leaves)
+            }
+            Expr::App(f, a) => {
+                // The machine evaluates the function head first, then
+                // the argument (strict modes) — same order here.
+                if self.compile_eval(f, Cont::Fall)? == Flow::Diverges {
+                    return Ok(Flow::Diverges);
+                }
+                let charge_arg = !is_cheap(a);
+                self.compile_arg(a)?;
+                self.depth -= 2;
+                if matches!(cont, Cont::Ret) {
+                    self.ops.push(Op::TailCall { charge_arg });
+                    self.depth += 1;
+                } else {
+                    self.ops.push(Op::Call { charge_arg });
+                    self.depth += 1;
+                    self.leave(cont);
+                }
+                Ok(Flow::Leaves)
+            }
+            Expr::TyApp(f, _) => {
+                if self.compile_eval(f, Cont::Fall)? == Flow::Diverges {
+                    return Ok(Flow::Diverges);
+                }
+                if matches!(cont, Cont::Ret) {
+                    self.ops.push(Op::TailCallTy);
+                } else {
+                    self.ops.push(Op::CallTy);
+                    self.leave(cont);
+                }
+                Ok(Flow::Leaves)
+            }
+            Expr::Case(s, alts) => self.compile_case(s, alts, cont),
+            Expr::Let(bind, body) => self.compile_let(bind, body, cont),
+            Expr::Join(jb, body) => self.compile_join(jb, body, cont),
+            Expr::Jump(j, _, args, _) => {
+                self.compile_jump(j, args)?;
+                Ok(Flow::Diverges)
+            }
+        }
+    }
+
+    /// Compile one argument (function application or jump). The charging
+    /// decision — cheap arguments are free, anything else charges an
+    /// `arg` unit iff its value is a closure — lives in the call site's
+    /// flag; this only builds the value (or thunk, in lazy modes).
+    fn compile_arg(&mut self, a: &Expr) -> Result<(), CompileError> {
+        match a {
+            Expr::Var(x) => return self.load_var(x, false),
+            Expr::Lit(n) => {
+                self.ops.push(Op::PushInt(*n));
+            }
+            Expr::Con(c, _, fields) if fields.is_empty() => {
+                let tag = self.intern(c);
+                self.ops.push(Op::MkCon {
+                    tag,
+                    arity: 0,
+                    charge: false,
+                });
+            }
+            Expr::Lam(..) | Expr::TyLam(..) => {
+                self.emit_closure(a)?;
+                return Ok(());
+            }
+            _ if self.mode == EvalMode::CallByValue => {
+                if is_answer_m(self.mode, a) {
+                    // Answer-shaped constructor: bound as-is, charging
+                    // its cell at the bind (`store_binding` on an
+                    // unevaluated cell).
+                    let Expr::Con(c, _, fields) = a else {
+                        unreachable!("non-atom CBV answers are constructors");
+                    };
+                    self.compile_con(&c.clone(), fields, true)?;
+                } else {
+                    let flow = self.compile_eval(a, Cont::Fall)?;
+                    debug_assert_eq!(flow, Flow::Leaves, "arguments are Δ-resetting");
+                }
+                return Ok(());
+            }
+            Expr::Con(c, _, fields) => {
+                // Lazy modes: constructors are answers; the cell binds
+                // unevaluated and charges one `con` unit.
+                self.compile_con(&c.clone(), fields, true)?;
+                return Ok(());
+            }
+            _ => {
+                // Lazy modes: a thunk, charged one `arg` unit now.
+                self.emit_thunk(a, ChargeKind::Arg, false)?;
+                return Ok(());
+            }
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Build a constructor value. `root_charge` is false only for nested
+    /// nodes of answer-shaped cells and for `letrec` recipes — the
+    /// machine never focuses those nodes, so they never count.
+    fn compile_con(
+        &mut self,
+        c: &Ident,
+        fields: &[Expr],
+        root_charge: bool,
+    ) -> Result<(), CompileError> {
+        let tag = self.intern(c);
+        let arity = fields.len();
+        if self.mode == EvalMode::CallByValue
+            && !fields
+                .iter()
+                .all(|f| f.is_atom() || is_answer_m(self.mode, f))
+        {
+            // Strict, non-answer cell: every field is evaluated to WHNF
+            // left to right (the ConArgs frames), then the completed
+            // cell charges once.
+            for f in fields {
+                let flow = self.compile_eval(f, Cont::Fall)?;
+                debug_assert_eq!(flow, Flow::Leaves, "fields are Δ-resetting");
+            }
+            debug_assert!(root_charge, "non-answer cells always charge at completion");
+        } else {
+            // Answer-shaped (always, in lazy modes): the cell is built
+            // as-is. Nested constructors are never focused by the
+            // machine, so they build uncharged.
+            for f in fields {
+                self.compile_quoted_field(f)?;
+            }
+        }
+        self.ops.push(Op::MkCon {
+            tag,
+            arity: arity as u16,
+            charge: root_charge && arity > 0,
+        });
+        self.depth = self.depth - arity as u16 + 1;
+        Ok(())
+    }
+
+    /// One field of an answer-shaped (or lazy) constructor cell.
+    fn compile_quoted_field(&mut self, f: &Expr) -> Result<(), CompileError> {
+        match f {
+            Expr::Var(x) => self.load_var(x, false),
+            Expr::Lit(n) => {
+                self.ops.push(Op::PushInt(*n));
+                self.depth += 1;
+                Ok(())
+            }
+            Expr::Lam(..) | Expr::TyLam(..) => self.emit_closure(f),
+            Expr::Con(c, _, fs) => self.compile_con(&c.clone(), fs, false),
+            _ => {
+                debug_assert_ne!(
+                    self.mode,
+                    EvalMode::CallByValue,
+                    "CBV answer cells have answer fields"
+                );
+                // Lazy field: a free thunk. The machine builds one per
+                // case projection; `per_projection` makes call-by-need
+                // clone a fresh pending cell each time, so forcing
+                // counts match exactly.
+                self.emit_thunk(f, ChargeKind::Free, true)
+            }
+        }
+    }
+
+    /// Emit a closure build for a `λ`/`Λ` literal, queueing its body.
+    fn emit_closure(&mut self, e: &Expr) -> Result<(), CompileError> {
+        let (caps, mut body_scope) = self.capture_scope(e)?;
+        let n_caps = caps.len() as u16;
+        let label = self.new_label();
+        let body = match e {
+            Expr::Lam(b, body) => {
+                body_scope.push((b.name.clone(), Binding::Slot(n_caps)));
+                self.pending.push_back(PendingBody {
+                    label,
+                    scope: body_scope,
+                    env_depth: n_caps + 1,
+                    kind: BodyKind::Eval((**body).clone()),
+                });
+                return self.finish_closure(label, caps);
+            }
+            Expr::TyLam(_, body) => (**body).clone(),
+            _ => unreachable!("emit_closure on non-lambda"),
+        };
+        self.pending.push_back(PendingBody {
+            label,
+            scope: body_scope,
+            env_depth: n_caps,
+            kind: BodyKind::Eval(body),
+        });
+        self.finish_closure(label, caps)
+    }
+
+    fn finish_closure(&mut self, label: u32, caps: Vec<u16>) -> Result<(), CompileError> {
+        self.ops.push(Op::MkClosure {
+            label,
+            captures: caps.into_boxed_slice(),
+        });
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Emit a thunk build over `e`, queueing its code.
+    fn emit_thunk(
+        &mut self,
+        e: &Expr,
+        charge: ChargeKind,
+        per_projection: bool,
+    ) -> Result<(), CompileError> {
+        let (caps, body_scope) = self.capture_scope(e)?;
+        let label = self.new_label();
+        self.pending.push_back(PendingBody {
+            label,
+            env_depth: caps.len() as u16,
+            scope: body_scope,
+            kind: BodyKind::Eval(e.clone()),
+        });
+        self.ops.push(Op::MkThunk {
+            label,
+            captures: caps.into_boxed_slice(),
+            charge,
+            per_projection,
+        });
+        self.depth += 1;
+        self.uses_thunks = true;
+        Ok(())
+    }
+
+    /// Compute the capture list for a nested code object: free variables
+    /// resolving to slots are captured in order; compile-time aliases
+    /// (literals, nullary constructors) carry over without capture.
+    fn capture_scope(&mut self, e: &Expr) -> Result<CaptureScope, CompileError> {
+        let mut caps: Vec<u16> = Vec::new();
+        let mut scope: Vec<(Name, Binding)> = Vec::new();
+        for v in free_term_vars(e) {
+            match self.resolve(&v)? {
+                Binding::Slot(i) => {
+                    scope.push((v, Binding::Slot(caps.len() as u16)));
+                    caps.push(i);
+                }
+                b => scope.push((v, b)),
+            }
+        }
+        Ok((caps, scope))
+    }
+
+    /// Turn a `Fall` continuation into a merge label; pass others through.
+    fn merge_cont(&mut self, cont: Cont) -> (Cont, Option<u32>) {
+        match cont {
+            Cont::Fall => {
+                let label = self.new_label();
+                (
+                    Cont::Goto {
+                        label,
+                        env_depth: self.env_depth,
+                        operand_depth: self.depth,
+                    },
+                    Some(label),
+                )
+            }
+            other => (other, None),
+        }
+    }
+
+    fn compile_case(&mut self, s: &Expr, alts: &[Alt], cont: Cont) -> Result<Flow, CompileError> {
+        if self.compile_eval(s, Cont::Fall)? == Flow::Diverges {
+            return Ok(Flow::Diverges);
+        }
+        self.depth -= 1; // Case pops the scrutinee.
+        let entry_env = self.env_depth;
+        let entry_depth = self.depth;
+        let (inner, merge) = self.merge_cont(cont);
+        let mut con_arms: Vec<(u32, u32, u16)> = Vec::new();
+        let mut lit_arms: Vec<(i64, u32)> = Vec::new();
+        let mut default = None;
+        let mut arms: Vec<(u32, &Alt)> = Vec::new();
+        for alt in alts {
+            let label = self.new_label();
+            match &alt.con {
+                AltCon::Con(c) => {
+                    let tag = self.intern(c);
+                    con_arms.push((tag, label, alt.binders.len() as u16));
+                }
+                AltCon::Lit(n) => lit_arms.push((*n, label)),
+                AltCon::Default => {
+                    if default.is_none() {
+                        default = Some(label);
+                    }
+                }
+            }
+            arms.push((label, alt));
+        }
+        self.ops.push(Op::Case(Box::new(CaseTable {
+            con_arms: con_arms.into_boxed_slice(),
+            lit_arms: lit_arms.into_boxed_slice(),
+            default,
+        })));
+        let scope_mark = self.scope.len();
+        let mut any_leaves = false;
+        for (label, alt) in arms {
+            self.bind_label(label);
+            self.env_depth = entry_env;
+            self.depth = entry_depth;
+            // Field binders become fresh slots (pushed by the Case op;
+            // free, as in the machine — the cell already paid).
+            for (i, b) in alt.binders.iter().enumerate() {
+                self.scope
+                    .push((b.name.clone(), Binding::Slot(entry_env + i as u16)));
+            }
+            self.env_depth += alt.binders.len() as u16;
+            if self.compile_eval(&alt.rhs, inner)? == Flow::Leaves {
+                any_leaves = true;
+            }
+            self.scope.truncate(scope_mark);
+        }
+        if let Some(label) = merge {
+            if any_leaves {
+                self.bind_label(label);
+                self.env_depth = entry_env;
+                self.depth = entry_depth + 1;
+            }
+        }
+        Ok(if any_leaves {
+            Flow::Leaves
+        } else {
+            Flow::Diverges
+        })
+    }
+
+    fn compile_let(
+        &mut self,
+        bind: &LetBind,
+        body: &Expr,
+        cont: Cont,
+    ) -> Result<Flow, CompileError> {
+        match bind {
+            LetBind::NonRec(b, rhs) => {
+                if is_cheap(rhs) {
+                    // The machine substitutes cheap right-hand sides
+                    // inline for free; we alias at compile time.
+                    let alias = match &**rhs {
+                        Expr::Var(x) => self.resolve(x)?,
+                        Expr::Lit(n) => Binding::Lit(*n),
+                        Expr::Con(c, _, _) => {
+                            let tag = self.intern(c);
+                            Binding::Con0(tag)
+                        }
+                        _ => unreachable!("cheap is atom or nullary con"),
+                    };
+                    self.scope.push((b.name.clone(), alias));
+                    let flow = self.compile_eval(body, cont)?;
+                    self.scope.pop();
+                    return Ok(flow);
+                }
+                self.compile_let_rhs(rhs)?;
+                self.ops.push(Op::Bind { charge_let: true });
+                self.depth -= 1;
+                self.scope
+                    .push((b.name.clone(), Binding::Slot(self.env_depth)));
+                self.env_depth += 1;
+                let flow = self.compile_eval(body, cont)?;
+                self.scope.pop();
+                Ok(flow)
+            }
+            LetBind::Rec(binds) => self.compile_letrec(binds, body, cont),
+        }
+    }
+
+    /// A non-cheap, non-recursive `let` right-hand side, on the stack.
+    fn compile_let_rhs(&mut self, rhs: &Expr) -> Result<(), CompileError> {
+        match rhs {
+            Expr::Lam(..) | Expr::TyLam(..) => self.emit_closure(rhs),
+            Expr::Con(c, _, fields) if is_answer_m(self.mode, rhs) => {
+                // Answer cell bound unevaluated: one `con` unit.
+                self.compile_con(&c.clone(), fields, true)
+            }
+            _ if self.mode == EvalMode::CallByValue => {
+                // Strict `let`: evaluate, then bind (LetStrict frame).
+                let flow = self.compile_eval(rhs, Cont::Fall)?;
+                debug_assert_eq!(flow, Flow::Leaves, "let RHS is Δ-resetting");
+                Ok(())
+            }
+            _ => self.emit_thunk(rhs, ChargeKind::Let, false),
+        }
+    }
+
+    fn compile_letrec(
+        &mut self,
+        binds: &[(Binder, Expr)],
+        body: &Expr,
+        cont: Cont,
+    ) -> Result<Flow, CompileError> {
+        // Bind every name to its future slot first: right-hand sides see
+        // the whole group (and capture siblings through backpatching).
+        let scope_mark = self.scope.len();
+        let base = self.env_depth;
+        for (i, (b, _)) in binds.iter().enumerate() {
+            self.scope
+                .push((b.name.clone(), Binding::Slot(base + i as u16)));
+        }
+        self.env_depth += binds.len() as u16;
+        let mut specs: Vec<RecBinding> = Vec::with_capacity(binds.len());
+        for (_, rhs) in binds {
+            let spec = match rhs {
+                Expr::Lit(n) => RecBinding::Int(*n),
+                Expr::Lam(..) | Expr::TyLam(..) => {
+                    let (caps, mut body_scope) = self.capture_scope(rhs)?;
+                    let n_caps = caps.len() as u16;
+                    let label = self.new_label();
+                    let (env_depth, body_expr) = match rhs {
+                        Expr::Lam(b2, body2) => {
+                            body_scope.push((b2.name.clone(), Binding::Slot(n_caps)));
+                            (n_caps + 1, (**body2).clone())
+                        }
+                        Expr::TyLam(_, body2) => (n_caps, (**body2).clone()),
+                        _ => unreachable!(),
+                    };
+                    self.pending.push_back(PendingBody {
+                        label,
+                        scope: body_scope,
+                        env_depth,
+                        kind: BodyKind::Eval(body_expr),
+                    });
+                    RecBinding::Closure {
+                        label,
+                        captures: caps.into_boxed_slice(),
+                    }
+                }
+                Expr::Con(_, _, fields) if is_answer_m(self.mode, rhs) => {
+                    // Pre-built cell: charged `con` at the bind (unless
+                    // nullary, which is free), rebuilt uncharged on
+                    // demand — cyclic cells stay cyclic through the
+                    // thunk indirection, like the machine's heap names.
+                    let (caps, body_scope) = self.capture_scope(rhs)?;
+                    let label = self.new_label();
+                    self.pending.push_back(PendingBody {
+                        label,
+                        env_depth: caps.len() as u16,
+                        scope: body_scope,
+                        kind: BodyKind::ConRecipe(rhs.clone()),
+                    });
+                    self.uses_thunks = true;
+                    RecBinding::Thunk {
+                        label,
+                        captures: caps.into_boxed_slice(),
+                        charge: if fields.is_empty() {
+                            ChargeKind::Free
+                        } else {
+                            ChargeKind::Con
+                        },
+                    }
+                }
+                _ => {
+                    // Anything else — including atoms, which the machine
+                    // does *not* inline in recursive groups — becomes a
+                    // thunk charged one `let` unit.
+                    let (caps, body_scope) = self.capture_scope(rhs)?;
+                    let label = self.new_label();
+                    self.pending.push_back(PendingBody {
+                        label,
+                        env_depth: caps.len() as u16,
+                        scope: body_scope,
+                        kind: BodyKind::Eval(rhs.clone()),
+                    });
+                    self.uses_thunks = true;
+                    RecBinding::Thunk {
+                        label,
+                        captures: caps.into_boxed_slice(),
+                        charge: ChargeKind::Let,
+                    }
+                }
+            };
+            specs.push(spec);
+        }
+        self.ops.push(Op::LetRec(specs.into_boxed_slice()));
+        let flow = self.compile_eval(body, cont)?;
+        self.scope.truncate(scope_mark);
+        Ok(flow)
+    }
+
+    fn compile_join(
+        &mut self,
+        jb: &JoinBind,
+        body: &Expr,
+        cont: Cont,
+    ) -> Result<Flow, CompileError> {
+        let entry_env = self.env_depth;
+        let entry_depth = self.depth;
+        let (inner, merge) = self.merge_cont(cont);
+        let joins_mark = self.joins.len();
+        let mut infos: Vec<JoinInfo> = Vec::with_capacity(jb.defs().len());
+        for def in jb.defs() {
+            let label = self.new_label();
+            let info = JoinInfo {
+                label,
+                env_keep: entry_env,
+                arity: def.params.len() as u16,
+                operand_depth: entry_depth,
+            };
+            infos.push(info.clone());
+            self.joins.push((def.name.clone(), info));
+        }
+        let mut any_leaves = self.compile_eval(body, inner)? == Flow::Leaves;
+        // Recursive join bodies may jump to the whole group; a
+        // non-recursive body must not see its own label.
+        if !jb.is_rec() {
+            self.joins.truncate(joins_mark);
+        }
+        let scope_mark = self.scope.len();
+        for (def, info) in jb.defs().iter().zip(&infos) {
+            self.bind_label(info.label);
+            self.env_depth = entry_env;
+            self.depth = entry_depth;
+            for (k, p) in def.params.iter().enumerate() {
+                self.scope
+                    .push((p.name.clone(), Binding::Slot(entry_env + k as u16)));
+            }
+            self.env_depth += def.params.len() as u16;
+            if self.compile_eval(&def.body, inner)? == Flow::Leaves {
+                any_leaves = true;
+            }
+            self.scope.truncate(scope_mark);
+        }
+        self.joins.truncate(joins_mark);
+        if let Some(label) = merge {
+            if any_leaves {
+                self.bind_label(label);
+                self.env_depth = entry_env;
+                self.depth = entry_depth + 1;
+            }
+        }
+        Ok(if any_leaves {
+            Flow::Leaves
+        } else {
+            Flow::Diverges
+        })
+    }
+
+    fn compile_jump(&mut self, j: &Name, args: &[Expr]) -> Result<(), CompileError> {
+        let info = self
+            .joins
+            .iter()
+            .rev()
+            .find(|(n, _)| n == j)
+            .map(|(_, i)| i.clone())
+            .ok_or_else(|| CompileError::UnboundLabel(j.clone()))?;
+        if args.len() > 64 {
+            return Err(CompileError::Unsupported(format!(
+                "jump arity {} exceeds 64",
+                args.len()
+            )));
+        }
+        let mut mask = 0u64;
+        for (i, a) in args.iter().enumerate() {
+            self.compile_arg(a)?;
+            if !is_cheap(a) {
+                mask |= 1 << i;
+            }
+        }
+        debug_assert_eq!(
+            self.depth - args.len() as u16,
+            info.operand_depth,
+            "jump site and join point must share an operand depth"
+        );
+        debug_assert_eq!(info.arity as usize, args.len(), "jumps are saturated");
+        self.ops.push(Op::Jump {
+            target: info.label,
+            env_keep: info.env_keep,
+            arity: info.arity,
+            charge_mask: mask,
+        });
+        self.depth = info.operand_depth;
+        Ok(())
+    }
+
+    /// Rewrite every label id into an absolute instruction index.
+    fn finalize(&mut self) {
+        let labels = &self.labels;
+        let fix = |l: &mut u32| {
+            let t = labels[*l as usize];
+            debug_assert_ne!(t, UNBOUND, "referenced label never bound");
+            *l = t;
+        };
+        for op in &mut self.ops {
+            match op {
+                Op::MkClosure { label, .. } | Op::MkThunk { label, .. } | Op::Goto(label) => {
+                    fix(label);
+                }
+                Op::Jump { target, .. } => fix(target),
+                Op::Case(table) => {
+                    for (_, t, _) in table.con_arms.iter_mut() {
+                        fix(t);
+                    }
+                    for (_, t) in table.lit_arms.iter_mut() {
+                        fix(t);
+                    }
+                    if let Some(d) = &mut table.default {
+                        fix(d);
+                    }
+                }
+                Op::LetRec(specs) => {
+                    for spec in specs.iter_mut() {
+                        match spec {
+                            RecBinding::Closure { label, .. } | RecBinding::Thunk { label, .. } => {
+                                fix(label)
+                            }
+                            RecBinding::Int(_) => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

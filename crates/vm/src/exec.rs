@@ -1,0 +1,455 @@
+//! The bytecode interpreter.
+//!
+//! A run holds three growable arrays — operand stack, slot stack
+//! (environments of all live frames, concatenated), and call-frame
+//! stack — and a program counter. No names exist at runtime: variables
+//! are frame-relative slot loads, and a `jump` is a slot-stack
+//! truncation plus a branch (see [`Op::Jump`]), which is the paper's
+//! cost model executed literally.
+//!
+//! Metrics are charged exactly as the Fig. 3 machine charges them; the
+//! policy was decided at compile time and sits in the instruction flags,
+//! so the interpreter only tests "is this value a closure" where the
+//! machine's `store_binding` would.
+
+use crate::ops::{ChargeKind, Op, Program, RecBinding};
+use crate::value::{ClosureCell, ThunkCell, ThunkState, VmError, VmValue};
+use fj_eval::{EvalMode, Metrics, Outcome, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Instruction index of the always-present `Halt` (the compiler reserves
+/// slot 0 for it; sentinel frames return here).
+const HALT_IP: u32 = 0;
+
+struct FrameV {
+    ret_ip: u32,
+    env_base: usize,
+    update: Option<Rc<ThunkCell>>,
+}
+
+/// Interpreter state for one program.
+pub struct Vm<'p> {
+    prog: &'p Program,
+    fuel: u64,
+    metrics: Metrics,
+    stack: Vec<VmValue>,
+    env: Vec<VmValue>,
+    frames: Vec<FrameV>,
+    base: usize,
+    empty_fields: Rc<Vec<VmValue>>,
+}
+
+/// Run a compiled program to a deeply forced value.
+///
+/// `fuel` bounds the number of instructions executed (a finer unit than
+/// the machine's transition count — pass a proportionally larger budget).
+///
+/// # Errors
+///
+/// [`VmError::OutOfFuel`] past the budget, [`VmError::DivideByZero`] on
+/// arithmetic faults, [`VmError::Stuck`] on runtime type errors.
+pub fn run_program(prog: &Program, fuel: u64) -> Result<Outcome, VmError> {
+    let mut vm = Vm {
+        prog,
+        fuel,
+        metrics: Metrics::default(),
+        stack: Vec::with_capacity(64),
+        env: Vec::with_capacity(256),
+        frames: Vec::with_capacity(64),
+        base: 0,
+        empty_fields: Rc::new(Vec::new()),
+    };
+    let answer = vm.run_code(prog.entry, Vec::new(), None)?;
+    // Deep forcing is excluded from the counters, as in the machine.
+    let metrics = vm.metrics;
+    let value = vm.deep(&answer, 64)?;
+    Ok(Outcome { value, metrics })
+}
+
+impl Vm<'_> {
+    /// Execute one code object to completion: push a sentinel frame that
+    /// returns to `Halt`, seed its environment, and loop.
+    fn run_code(
+        &mut self,
+        entry: u32,
+        frame_env: Vec<VmValue>,
+        update: Option<Rc<ThunkCell>>,
+    ) -> Result<VmValue, VmError> {
+        let env_base = self.env.len();
+        self.frames.push(FrameV {
+            ret_ip: HALT_IP,
+            env_base,
+            update,
+        });
+        self.env.extend(frame_env);
+        self.base = env_base;
+        self.exec_loop(entry)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_loop(&mut self, mut ip: u32) -> Result<VmValue, VmError> {
+        let prog = self.prog;
+        let ops = &prog.ops;
+        let lazy_fields = prog.uses_thunks && prog.mode == EvalMode::CallByNeed;
+        loop {
+            if self.fuel == 0 {
+                return Err(VmError::OutOfFuel);
+            }
+            self.fuel -= 1;
+            self.metrics.steps += 1;
+            let op = &ops[ip as usize];
+            ip += 1;
+            match op {
+                Op::PushInt(n) => self.stack.push(VmValue::Int(*n)),
+                Op::Load(i) => self.stack.push(self.env[self.base + *i as usize].clone()),
+                Op::LoadForce(i) => {
+                    let v = self.env[self.base + *i as usize].clone();
+                    if let VmValue::Thunk(cell) = v {
+                        let forced = cell.state.borrow().clone();
+                        match forced {
+                            ThunkState::Forced(w) => self.stack.push(w),
+                            ThunkState::Pending => {
+                                // Enter the thunk: a plain call whose
+                                // frame optionally updates on return.
+                                let update =
+                                    (prog.mode == EvalMode::CallByNeed).then(|| cell.clone());
+                                let env_base = self.env.len();
+                                self.frames.push(FrameV {
+                                    ret_ip: ip,
+                                    env_base,
+                                    update,
+                                });
+                                if self.frames.len() > self.metrics.max_stack {
+                                    self.metrics.max_stack = self.frames.len();
+                                }
+                                self.env.extend(cell.env.borrow().iter().cloned());
+                                self.base = env_base;
+                                ip = cell.label;
+                            }
+                        }
+                    } else {
+                        self.stack.push(v);
+                    }
+                }
+                Op::MkCon { tag, arity, charge } => {
+                    let v = if *arity == 0 {
+                        VmValue::Con(*tag, self.empty_fields.clone())
+                    } else {
+                        let split = self.stack.len() - *arity as usize;
+                        VmValue::Con(*tag, Rc::new(self.stack.split_off(split)))
+                    };
+                    if *charge {
+                        self.metrics.con_allocs += 1;
+                    }
+                    self.stack.push(v);
+                }
+                Op::MkClosure { label, captures } => {
+                    let cap: Vec<VmValue> = captures
+                        .iter()
+                        .map(|&i| self.env[self.base + i as usize].clone())
+                        .collect();
+                    self.stack.push(VmValue::Closure(Rc::new(ClosureCell {
+                        label: *label,
+                        env: RefCell::new(cap),
+                    })));
+                }
+                Op::MkThunk {
+                    label,
+                    captures,
+                    charge,
+                    per_projection,
+                } => {
+                    let cap: Vec<VmValue> = captures
+                        .iter()
+                        .map(|&i| self.env[self.base + i as usize].clone())
+                        .collect();
+                    self.charge(*charge);
+                    self.stack.push(VmValue::Thunk(Rc::new(ThunkCell {
+                        label: *label,
+                        env: RefCell::new(cap),
+                        state: RefCell::new(ThunkState::Pending),
+                        per_projection: *per_projection,
+                    })));
+                }
+                Op::LetRec(specs) => {
+                    // Phase 1: allocate every cell with an empty capture
+                    // environment and bind it as a slot.
+                    for spec in specs.iter() {
+                        match spec {
+                            RecBinding::Closure { label, .. } => {
+                                self.metrics.let_allocs += 1;
+                                self.env.push(VmValue::Closure(Rc::new(ClosureCell {
+                                    label: *label,
+                                    env: RefCell::new(Vec::new()),
+                                })));
+                            }
+                            RecBinding::Thunk { label, charge, .. } => {
+                                self.charge(*charge);
+                                self.env.push(VmValue::Thunk(Rc::new(ThunkCell {
+                                    label: *label,
+                                    env: RefCell::new(Vec::new()),
+                                    state: RefCell::new(ThunkState::Pending),
+                                    per_projection: false,
+                                })));
+                            }
+                            RecBinding::Int(n) => {
+                                self.env.push(VmValue::Int(*n));
+                            }
+                        }
+                    }
+                    // Phase 2: fill the captures — siblings now exist.
+                    let group_base = self.env.len() - specs.len();
+                    for (k, spec) in specs.iter().enumerate() {
+                        let captures = match spec {
+                            RecBinding::Closure { captures, .. }
+                            | RecBinding::Thunk { captures, .. } => captures,
+                            RecBinding::Int(_) => continue,
+                        };
+                        let vals: Vec<VmValue> = captures
+                            .iter()
+                            .map(|&i| self.env[self.base + i as usize].clone())
+                            .collect();
+                        match &self.env[group_base + k] {
+                            VmValue::Closure(c) => *c.env.borrow_mut() = vals,
+                            VmValue::Thunk(t) => *t.env.borrow_mut() = vals,
+                            _ => unreachable!("phase 1 pushed a cell here"),
+                        }
+                    }
+                }
+                Op::Bind { charge_let } => {
+                    let v = self.stack.pop().expect("bind underflow");
+                    if *charge_let && v.is_closure() {
+                        self.metrics.let_allocs += 1;
+                    }
+                    self.env.push(v);
+                }
+                Op::PopEnv(n) => {
+                    let keep = self.env.len() - *n as usize;
+                    self.env.truncate(keep);
+                }
+                Op::Call { charge_arg } | Op::TailCall { charge_arg } => {
+                    let tail = matches!(op, Op::TailCall { .. });
+                    let arg = self.stack.pop().expect("call underflow");
+                    let fun = self.stack.pop().expect("call underflow");
+                    if *charge_arg && arg.is_closure() {
+                        self.metrics.arg_allocs += 1;
+                    }
+                    let VmValue::Closure(cell) = fun else {
+                        return Err(VmError::Stuck("application of a non-function".into()));
+                    };
+                    if tail {
+                        self.env.truncate(self.base);
+                    } else {
+                        let env_base = self.env.len();
+                        self.frames.push(FrameV {
+                            ret_ip: ip,
+                            env_base,
+                            update: None,
+                        });
+                        if self.frames.len() > self.metrics.max_stack {
+                            self.metrics.max_stack = self.frames.len();
+                        }
+                        self.base = env_base;
+                    }
+                    self.env.extend(cell.env.borrow().iter().cloned());
+                    self.env.push(arg);
+                    ip = cell.label;
+                }
+                Op::CallTy | Op::TailCallTy => {
+                    let tail = matches!(op, Op::TailCallTy);
+                    let fun = self.stack.pop().expect("tyapp underflow");
+                    let VmValue::Closure(cell) = fun else {
+                        return Err(VmError::Stuck("type application of a non-function".into()));
+                    };
+                    if tail {
+                        self.env.truncate(self.base);
+                    } else {
+                        let env_base = self.env.len();
+                        self.frames.push(FrameV {
+                            ret_ip: ip,
+                            env_base,
+                            update: None,
+                        });
+                        if self.frames.len() > self.metrics.max_stack {
+                            self.metrics.max_stack = self.frames.len();
+                        }
+                        self.base = env_base;
+                    }
+                    self.env.extend(cell.env.borrow().iter().cloned());
+                    ip = cell.label;
+                }
+                Op::Ret => {
+                    let v = self.stack.pop().expect("ret underflow");
+                    let f = self.frames.pop().expect("ret without frame");
+                    self.env.truncate(f.env_base);
+                    if let Some(cell) = f.update {
+                        *cell.state.borrow_mut() = ThunkState::Forced(v.clone());
+                    }
+                    self.stack.push(v);
+                    ip = f.ret_ip;
+                    self.base = self.frames.last().map_or(0, |fr| fr.env_base);
+                }
+                Op::Goto(target) => ip = *target,
+                Op::Jump {
+                    target,
+                    env_keep,
+                    arity,
+                    charge_mask,
+                } => {
+                    // The paper's rule, literally: no heap cell, no
+                    // substitution — truncate the slot stack to the join
+                    // point's static depth, move the arguments in, branch.
+                    self.metrics.jumps += 1;
+                    let arity = *arity as usize;
+                    let split = self.stack.len() - arity;
+                    if *charge_mask != 0 {
+                        for i in 0..arity {
+                            if charge_mask & (1 << i) != 0 && self.stack[split + i].is_closure() {
+                                self.metrics.arg_allocs += 1;
+                            }
+                        }
+                    }
+                    self.env.truncate(self.base + *env_keep as usize);
+                    self.env.extend(self.stack.drain(split..));
+                    ip = *target;
+                }
+                Op::Case(table) => {
+                    let scrut = self.stack.pop().expect("case underflow");
+                    match scrut {
+                        VmValue::Con(tag, fields) => {
+                            let arm = table.con_arms.iter().find(|(t, _, _)| *t == tag).copied();
+                            if let Some((_, target, binder_count)) = arm {
+                                if binder_count as usize != fields.len() {
+                                    return Err(VmError::Stuck(format!(
+                                        "constructor arity mismatch in case: {} has {} fields, pattern binds {}",
+                                        prog.idents[tag as usize],
+                                        fields.len(),
+                                        binder_count
+                                    )));
+                                }
+                                for f in fields.iter() {
+                                    // Call-by-need projects a *fresh*
+                                    // pending thunk per scrutinize, as
+                                    // the machine does; the clone is
+                                    // shared from then on.
+                                    let v = match f {
+                                        VmValue::Thunk(cell)
+                                            if lazy_fields && cell.per_projection =>
+                                        {
+                                            VmValue::Thunk(Rc::new(ThunkCell {
+                                                label: cell.label,
+                                                env: RefCell::new(cell.env.borrow().clone()),
+                                                state: RefCell::new(ThunkState::Pending),
+                                                per_projection: false,
+                                            }))
+                                        }
+                                        other => other.clone(),
+                                    };
+                                    self.env.push(v);
+                                }
+                                ip = target;
+                            } else if let Some(d) = table.default {
+                                ip = d;
+                            } else {
+                                return Err(VmError::Stuck(format!(
+                                    "no case alternative matches {}",
+                                    prog.idents[tag as usize]
+                                )));
+                            }
+                        }
+                        VmValue::Int(n) => {
+                            if let Some((_, target)) = table.lit_arms.iter().find(|(v, _)| *v == n)
+                            {
+                                ip = *target;
+                            } else if let Some(d) = table.default {
+                                ip = d;
+                            } else {
+                                return Err(VmError::Stuck(format!(
+                                    "no case alternative matches literal {n}"
+                                )));
+                            }
+                        }
+                        _ => {
+                            return Err(VmError::Stuck("case scrutinee is not data".into()));
+                        }
+                    }
+                }
+                Op::Prim(p) => {
+                    let b = self.stack.pop().expect("prim underflow");
+                    let a = self.stack.pop().expect("prim underflow");
+                    let (VmValue::Int(a), VmValue::Int(b)) = (a, b) else {
+                        return Err(VmError::Stuck("primop operand not an integer".into()));
+                    };
+                    match p.eval(a, b) {
+                        Some(fj_ast::PrimResult::Int(n)) => self.stack.push(VmValue::Int(n)),
+                        Some(fj_ast::PrimResult::Bool(v)) => {
+                            let tag = if v {
+                                crate::compile::TAG_TRUE
+                            } else {
+                                crate::compile::TAG_FALSE
+                            };
+                            self.stack
+                                .push(VmValue::Con(tag, self.empty_fields.clone()));
+                        }
+                        None => return Err(VmError::DivideByZero),
+                    }
+                }
+                Op::Halt => {
+                    return Ok(self.stack.pop().expect("halt without an answer"));
+                }
+            }
+        }
+    }
+
+    fn charge(&mut self, kind: ChargeKind) {
+        match kind {
+            ChargeKind::Let => self.metrics.let_allocs += 1,
+            ChargeKind::Arg => self.metrics.arg_allocs += 1,
+            ChargeKind::Con => self.metrics.con_allocs += 1,
+            ChargeKind::Free => {}
+        }
+    }
+
+    /// Force a thunk cell to weak-head normal form (a nested run;
+    /// call-by-need memoizes via the sentinel frame's update slot).
+    fn force_cell(&mut self, cell: &Rc<ThunkCell>) -> Result<VmValue, VmError> {
+        let state = cell.state.borrow().clone();
+        match state {
+            ThunkState::Forced(v) => Ok(v),
+            ThunkState::Pending => {
+                let captured = cell.env.borrow().clone();
+                let update = (self.prog.mode == EvalMode::CallByNeed).then(|| cell.clone());
+                self.run_code(cell.label, captured, update)
+            }
+        }
+    }
+
+    /// Mirror of the machine's `deep_force`: force to depth-bounded
+    /// normal form for observation. Field forcing happens at the parent
+    /// depth; each structural level consumes one unit.
+    fn deep(&mut self, v: &VmValue, depth: usize) -> Result<Value, VmError> {
+        if depth == 0 {
+            return Err(VmError::Stuck("deep_force depth exhausted".into()));
+        }
+        match v {
+            VmValue::Int(n) => Ok(Value::Int(*n)),
+            VmValue::Closure(_) => Ok(Value::Closure),
+            VmValue::Con(tag, fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for f in fields.iter() {
+                    let w = match f {
+                        VmValue::Thunk(cell) => self.force_cell(cell)?,
+                        other => other.clone(),
+                    };
+                    out.push(self.deep(&w, depth - 1)?);
+                }
+                Ok(Value::Con(self.prog.idents[*tag as usize].clone(), out))
+            }
+            VmValue::Thunk(cell) => {
+                let w = self.force_cell(cell)?;
+                self.deep(&w, depth - 1)
+            }
+        }
+    }
+}

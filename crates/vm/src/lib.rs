@@ -1,0 +1,58 @@
+//! A flat, jump-threaded bytecode backend for System F_J.
+//!
+//! The Fig. 3 machine in `fj-eval` demonstrates the paper's cost model
+//! by *simulation*: it walks the term tree, substitutes names, and
+//! matches join frames at runtime. This crate makes the model literal.
+//! A [`compile`] pass resolves every variable to a frame-relative slot
+//! and every join point to a code label plus a static stack mark, and
+//! [`run_program`] executes the result on an interpreter where
+//! `jump` is exactly what Section 4 of the paper promises: truncate the
+//! stack, branch — no closure, no heap cell, no name.
+//!
+//! The backend preserves the machine's [`Metrics`](fj_eval::Metrics)
+//! contract bit-for-bit (`let`/`arg`/`con` allocation units and the
+//! jump count; `steps` and `max_stack` are backend-specific), so
+//! Table-1 style comparisons hold across backends and the differential
+//! oracle can demand equality.
+//!
+//! ```
+//! use fj_ast::{Binder, Expr, NameSupply, Type};
+//! let mut supply = NameSupply::new();
+//! let x = supply.fresh("x");
+//! let e = Expr::app(
+//!     Expr::lam(Binder::new(x.clone(), Type::con0("Int")), Expr::Var(x)),
+//!     Expr::Lit(21),
+//! );
+//! let out = fj_vm::run(&e, fj_eval::EvalMode::CallByValue, 1_000).unwrap();
+//! assert_eq!(out.value, fj_eval::Value::Int(21));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod exec;
+pub mod ops;
+pub mod value;
+
+pub use compile::{compile, CompileError};
+pub use exec::run_program;
+pub use ops::{Op, Program};
+pub use value::VmError;
+
+use fj_ast::Expr;
+use fj_eval::{EvalMode, Outcome};
+
+/// Compile and run a closed term: the one-call counterpart of
+/// [`fj_eval::run`], returning the same [`Outcome`] shape.
+///
+/// `fuel` bounds executed *instructions*, a finer unit than machine
+/// transitions; budget roughly 10× the machine's step budget.
+///
+/// # Errors
+///
+/// [`VmError::Compile`] on unlowered terms (unbound names — impossible
+/// for Lint-clean input), otherwise the interpreter's runtime errors.
+pub fn run(e: &Expr, mode: EvalMode, fuel: u64) -> Result<Outcome, VmError> {
+    let prog = compile(e, mode).map_err(VmError::Compile)?;
+    run_program(&prog, fuel)
+}

@@ -1,0 +1,201 @@
+//! The flat bytecode format.
+//!
+//! A compiled [`Program`] is a single `Vec<Op>` shared by every function,
+//! thunk, and join body; code objects are distinguished only by entry
+//! label. Environments are *slot-indexed*: the compiler resolves every
+//! variable to a frame-relative offset, so the interpreter never touches
+//! a name or a hash map. Join points compile to plain code labels plus a
+//! static environment depth; `jump` is [`Op::Jump`] — truncate the slot
+//! stack in place and branch. No operand-stack fix-up is needed: the Lint
+//! discipline (jumps only in Δ-preserving contexts) guarantees that every
+//! jump site sits at exactly the operand depth of the join point it
+//! targets, which is what lets the paper's "adjust the stack and jump"
+//! compile to two machine-level moves.
+
+use fj_ast::{Ident, PrimOp};
+use fj_eval::EvalMode;
+
+/// How a heap cell created by [`Op::MkThunk`] / [`Op::LetRec`] is charged
+/// against the [`Metrics`](fj_eval::Metrics) counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChargeKind {
+    /// One `let_allocs` unit.
+    Let,
+    /// One `arg_allocs` unit.
+    Arg,
+    /// One `con_allocs` unit (pre-built constructor cells).
+    Con,
+    /// No charge (e.g. lazy constructor fields, paid for by the cell).
+    Free,
+}
+
+/// One binding of a recursive `let` group.
+///
+/// The interpreter allocates every cell of the group first (with empty
+/// capture environments), pushes them all as slots, and only then fills
+/// the environments — so siblings can capture each other (including
+/// cyclically) without names.
+#[derive(Clone, Debug)]
+pub enum RecBinding {
+    /// A `λ`/`Λ` right-hand side: a closure, charged one `let` unit.
+    Closure {
+        /// Entry label of the body.
+        label: u32,
+        /// Frame-relative slots to capture (resolved after the whole
+        /// group is pushed, so they may point at siblings).
+        captures: Box<[u16]>,
+    },
+    /// Any other right-hand side: a thunk re-running `label` on demand.
+    Thunk {
+        /// Entry label of the recipe code.
+        label: u32,
+        /// Captured slots, as for `Closure`.
+        captures: Box<[u16]>,
+        /// How to charge the cell at bind time: `Let` for general
+        /// thunks, `Con` for pre-built constructor cells (the machine
+        /// charges those at their `bind` step, before any use).
+        charge: ChargeKind,
+    },
+    /// A literal right-hand side: a plain value, charged nothing.
+    Int(i64),
+}
+
+/// Branch table of a `case` expression.
+///
+/// The scrutinee is popped; constructor arms match by interned tag,
+/// literal arms by value, with an optional default. A matching
+/// constructor arm with binders pushes every field as a fresh slot
+/// (field bindings are free: the constructor cell paid at build time).
+#[derive(Clone, Debug)]
+pub struct CaseTable {
+    /// `(tag, target, binder_count)` constructor arms. A non-zero binder
+    /// count must equal the cell's field count (else the machine — and
+    /// the VM — is stuck on an arity mismatch).
+    pub con_arms: Box<[(u32, u32, u16)]>,
+    /// `(literal, target)` arms.
+    pub lit_arms: Box<[(i64, u32)]>,
+    /// Fallback target, if the case has a default alternative.
+    pub default: Option<u32>,
+}
+
+/// One bytecode instruction.
+///
+/// Every `u32` code reference is a *label id* during compilation and is
+/// rewritten to an absolute instruction index by
+/// [`finalize`](crate::compile), so the interpreter does plain `ip = x`.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Push an integer.
+    PushInt(i64),
+    /// Push `env[base + slot]` verbatim (aliases share thunk cells).
+    Load(u16),
+    /// Push `env[base + slot]`, forcing a thunk to WHNF first.
+    LoadForce(u16),
+    /// Pop `arity` fields, push a constructor value. `charge` adds one
+    /// `con_allocs` unit (false for nullary cells and for nested nodes
+    /// of an answer-shaped literal, which the machine never focuses).
+    MkCon {
+        /// Interned constructor tag.
+        tag: u32,
+        /// Field count.
+        arity: u16,
+        /// Whether this build charges `con_allocs`.
+        charge: bool,
+    },
+    /// Push a closure capturing the listed slots. Never charges by
+    /// itself: context decides (a closure *bound* as a let/arg charges
+    /// via [`Op::Bind`]/[`Op::Call`]).
+    MkClosure {
+        /// Entry label of the body.
+        label: u32,
+        /// Frame-relative slots to capture.
+        captures: Box<[u16]>,
+    },
+    /// Push a thunk over `label`, charging `charge` at creation.
+    MkThunk {
+        /// Entry label of the suspended code.
+        label: u32,
+        /// Frame-relative slots to capture.
+        captures: Box<[u16]>,
+        /// Metrics charge at creation time.
+        charge: ChargeKind,
+        /// Lazy constructor fields: `case` projection under call-by-need
+        /// clones a fresh pending cell per projection, mirroring the
+        /// machine's per-projection field thunks.
+        per_projection: bool,
+    },
+    /// Allocate a recursive `let` group (two-phase, see [`RecBinding`]).
+    LetRec(Box<[RecBinding]>),
+    /// Pop the top value into a fresh slot. With `charge_let`, a closure
+    /// value charges one `let_allocs` unit (the machine's `store_binding`
+    /// policy; constructor and literal values are free once built).
+    Bind {
+        /// Charge `let_allocs` if the bound value is a closure.
+        charge_let: bool,
+    },
+    /// Drop `n` slots (scope exit on paths that merge with shallower
+    /// ones; `Ret`/`Jump` truncate wholesale instead).
+    PopEnv(u16),
+    /// Pop `(fun, arg)`, enter the closure. With `charge_arg`, a closure
+    /// *argument* charges one `arg_allocs` unit (non-cheap arguments
+    /// that evaluate to functions allocate; data and literals do not).
+    Call {
+        /// Charge `arg_allocs` if the argument value is a closure.
+        charge_arg: bool,
+    },
+    /// `Call` reusing the current frame (tail position).
+    TailCall {
+        /// As for [`Op::Call`].
+        charge_arg: bool,
+    },
+    /// Pop a type-lambda closure and enter it (types are erased, so no
+    /// argument and no charge — the machine binds type args for free).
+    CallTy,
+    /// `CallTy` in tail position.
+    TailCallTy,
+    /// Return the top value to the calling frame (updating a call-by-need
+    /// thunk if the frame demands it).
+    Ret,
+    /// Unconditional branch.
+    Goto(u32),
+    /// The `jump` rule, made literal: pop `arity` arguments, truncate the
+    /// slot stack to the join point's static depth, push the arguments
+    /// as the join parameters, branch. No heap traffic, no name lookup,
+    /// no operand-stack scan. Bit `i` of `charge_mask` marks a non-cheap
+    /// argument, which charges `arg_allocs` if it is a closure (same
+    /// policy as [`Op::Call`]).
+    Jump {
+        /// Join body entry.
+        target: u32,
+        /// Slot count at the join's definition point (frame-relative).
+        env_keep: u16,
+        /// Parameter count.
+        arity: u16,
+        /// Per-argument charge-if-closure bits.
+        charge_mask: u64,
+    },
+    /// Pop the scrutinee and branch through the table.
+    Case(Box<CaseTable>),
+    /// Pop two integers, apply `op`, push the result (booleans become
+    /// nullary `True`/`False` cells, which are free).
+    Prim(PrimOp),
+    /// Stop; the top of the operand stack is the program's answer.
+    Halt,
+}
+
+/// A compiled program: flat code plus the tag-interning table.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The instruction stream (all code objects, concatenated).
+    pub ops: Vec<Op>,
+    /// Interned constructor names, indexed by tag.
+    pub idents: Vec<Ident>,
+    /// Entry instruction of the root code object.
+    pub entry: u32,
+    /// The evaluation mode the program was compiled for (laziness and
+    /// the charging policy are baked into the code).
+    pub mode: EvalMode,
+    /// Whether any instruction can create a thunk; when false the
+    /// interpreter's variable loads skip the force check entirely.
+    pub uses_thunks: bool,
+}

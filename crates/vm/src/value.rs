@@ -1,0 +1,89 @@
+//! Runtime values of the bytecode interpreter.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value. Everything is one machine word plus a payload; heap
+/// values are `Rc`-shared, so copying a value never copies a structure.
+#[derive(Clone, Debug)]
+pub enum VmValue {
+    /// An integer.
+    Int(i64),
+    /// A constructor cell: interned tag plus shared fields.
+    Con(u32, Rc<Vec<VmValue>>),
+    /// A function (or type-function) closure.
+    Closure(Rc<ClosureCell>),
+    /// A suspended computation (lazy modes and `letrec` aliases).
+    Thunk(Rc<ThunkCell>),
+}
+
+/// A closure: code entry plus captured slots. The environment sits in a
+/// `RefCell` so recursive groups can be backpatched after every sibling
+/// cell exists.
+#[derive(Debug)]
+pub struct ClosureCell {
+    /// Entry label (absolute instruction index after finalization).
+    pub label: u32,
+    /// Captured values, copied into the frame on entry.
+    pub env: RefCell<Vec<VmValue>>,
+}
+
+/// A thunk: code entry, captured slots, and a force-state.
+#[derive(Debug)]
+pub struct ThunkCell {
+    /// Entry label of the suspended code.
+    pub label: u32,
+    /// Captured values (backpatchable, as for closures).
+    pub env: RefCell<Vec<VmValue>>,
+    /// Pending or (call-by-need only) forced.
+    pub state: RefCell<ThunkState>,
+    /// Lazy constructor fields are cloned fresh per `case` projection
+    /// under call-by-need (the machine allocates a new field thunk each
+    /// time it scrutinizes the cell).
+    pub per_projection: bool,
+}
+
+/// Force-state of a [`ThunkCell`].
+#[derive(Clone, Debug)]
+pub enum ThunkState {
+    /// Not yet demanded (call-by-name and call-by-value re-enter the
+    /// code on every demand, exactly like the machine's update-free
+    /// thunks).
+    Pending,
+    /// Demanded and memoized (call-by-need).
+    Forced(VmValue),
+}
+
+impl VmValue {
+    /// Is this value a function? (The charge-if-closure tests.)
+    pub fn is_closure(&self) -> bool {
+        matches!(self, VmValue::Closure(_))
+    }
+}
+
+/// Why a VM run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// The term could not be lowered to bytecode.
+    Compile(crate::compile::CompileError),
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// A configuration no instruction covers (runtime type error).
+    Stuck(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Compile(e) => write!(f, "compile error: {e}"),
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::DivideByZero => write!(f, "division by zero"),
+            VmError::Stuck(msg) => write!(f, "vm stuck: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Wall-clock comparison of the two execution backends — the Fig. 3
+# substitution machine vs the bytecode VM — over the nofib suite
+# (join-points pipeline, call-by-value). `fj bench` asserts both
+# backends agree on every program's value and allocation counters
+# before timing them, so a passing run is also a correctness check.
+#
+# Usage: scripts/bench.sh [output.json]     (default: BENCH_vm.json)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_vm.json}"
+
+cargo build --workspace --release --offline
+./target/release/fj bench > "$OUT"
+
+echo "wrote $OUT"
+grep '"total"' "$OUT"

@@ -32,6 +32,10 @@ if [[ "$QUICK" -eq 0 ]]; then
   # (asserted in detail by the fj-nofib test suite; this is the smoke
   # pass over the real binary).
   run ./target/release/fj report >/dev/null
+  # VM backend smoke: `fj bench` runs every nofib program on both the
+  # substitution machine and the bytecode VM and asserts they agree on
+  # the value and the allocation counters before timing them.
+  run ./target/release/fj bench >/dev/null
 fi
 
 echo "verify: all checks passed"

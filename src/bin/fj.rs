@@ -5,14 +5,18 @@
 //! fj run program.fj                 # compile + optimize + run
 //! fj run --baseline program.fj      # the join-blind pipeline
 //! fj run -O0 program.fj             # no optimization
+//! fj run --backend vm program.fj    # run on the bytecode VM
 //! fj dump program.fj                # print optimized Core (F_J)
 //! fj dump --before program.fj       # print lowered Core, pre-optimizer
 //! fj check program.fj               # lint only
 //! fj erase program.fj               # print the join-free System F term
 //! fj report                         # nofib: baseline vs join points,
 //!                                   # Table-1-style markdown + pass stats
+//! fj bench                          # nofib timed on both backends,
+//!                                   # JSON on stdout (BENCH_vm.json)
 //!
-//! options: --baseline | -O0, --mode name|need|value, --fuel N, --metrics
+//! options: --baseline | -O0, --backend machine|vm, --mode name|need|value,
+//!          --fuel N, --metrics
 //! ```
 
 use std::process::ExitCode;
@@ -20,6 +24,7 @@ use std::process::ExitCode;
 use system_fj::check::lint;
 use system_fj::core::{erase, optimize_with_stats, OptConfig};
 use system_fj::eval::{run, EvalMode};
+use system_fj::nofib::Backend;
 use system_fj::surface::compile;
 
 struct Options {
@@ -28,6 +33,7 @@ struct Options {
     config: OptConfig,
     config_name: &'static str,
     mode: EvalMode,
+    backend: Backend,
     fuel: u64,
     metrics: bool,
     before: bool,
@@ -35,9 +41,10 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fj <run|dump|check|erase> [--baseline | -O0] \
+        "usage: fj <run|dump|check|erase> [--baseline | -O0] [--backend machine|vm] \
          [--mode name|need|value] [--fuel N] [--metrics] [--before] <file.fj>\n\
-         \x20      fj report   (nofib suite: baseline vs join points, markdown)"
+         \x20      fj report   (nofib suite: baseline vs join points, markdown)\n\
+         \x20      fj bench    (nofib suite timed on both backends, JSON)"
     );
     ExitCode::from(2)
 }
@@ -49,13 +56,14 @@ fn parse_args() -> Result<Options, ExitCode> {
     };
     if !matches!(
         command.as_str(),
-        "run" | "dump" | "check" | "erase" | "report"
+        "run" | "dump" | "check" | "erase" | "report" | "bench"
     ) {
         return Err(usage());
     }
     let mut config = OptConfig::join_points();
     let mut config_name = "join-points";
     let mut mode = EvalMode::CallByValue;
+    let mut backend = Backend::Machine;
     let mut fuel = 100_000_000u64;
     let mut metrics = false;
     let mut before = false;
@@ -80,6 +88,12 @@ fn parse_args() -> Result<Options, ExitCode> {
                     _ => return Err(usage()),
                 };
             }
+            "--backend" => {
+                backend = match args.next().as_deref().and_then(Backend::parse) {
+                    Some(b) => b,
+                    None => return Err(usage()),
+                };
+            }
             "--fuel" => {
                 fuel = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
             }
@@ -87,14 +101,15 @@ fn parse_args() -> Result<Options, ExitCode> {
             _ => return Err(usage()),
         }
     }
-    // `report` takes no file: it runs the built-in nofib suite.
-    if command == "report" {
+    // `report` and `bench` take no file: they run the built-in suite.
+    if command == "report" || command == "bench" {
         return Ok(Options {
             command,
             file: String::new(),
             config,
             config_name,
             mode,
+            backend,
             fuel,
             metrics,
             before,
@@ -109,6 +124,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         config,
         config_name,
         mode,
+        backend,
         fuel,
         metrics,
         before,
@@ -123,6 +139,11 @@ fn main() -> ExitCode {
     if opts.command == "report" {
         let rows = system_fj::nofib::run_report();
         print!("{}", system_fj::nofib::format_report(&rows));
+        return ExitCode::SUCCESS;
+    }
+    if opts.command == "bench" {
+        let rows = system_fj::nofib::run_bench();
+        print!("{}", system_fj::nofib::format_bench_json(&rows));
         return ExitCode::SUCCESS;
     }
     let src = match std::fs::read_to_string(&opts.file) {
@@ -186,19 +207,35 @@ fn main() -> ExitCode {
                 ExitCode::from(1)
             }
         },
-        "run" => match run(&optimized, opts.mode, opts.fuel) {
-            Ok(out) => {
-                println!("{}", out.value);
-                if opts.metrics {
-                    eprintln!("[{} | {:?}] {}", opts.config_name, opts.mode, out.metrics);
+        "run" => {
+            let outcome = match opts.backend {
+                Backend::Machine => {
+                    run(&optimized, opts.mode, opts.fuel).map_err(|e| e.to_string())
                 }
-                ExitCode::SUCCESS
+                Backend::Vm => {
+                    system_fj::vm::run(&optimized, opts.mode, opts.fuel).map_err(|e| e.to_string())
+                }
+            };
+            match outcome {
+                Ok(out) => {
+                    println!("{}", out.value);
+                    if opts.metrics {
+                        eprintln!(
+                            "[{} | {:?} | {}] {}",
+                            opts.config_name,
+                            opts.mode,
+                            opts.backend.name(),
+                            out.metrics
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("fj: runtime: {e}");
+                    ExitCode::from(1)
+                }
             }
-            Err(e) => {
-                eprintln!("fj: runtime: {e}");
-                ExitCode::from(1)
-            }
-        },
+        }
         _ => usage(),
     }
 }

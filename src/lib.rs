@@ -17,7 +17,9 @@
 //!   contification (Fig. 5), floating, erasure (Thm. 5);
 //! * [`surface`] — a mini-Haskell frontend;
 //! * [`fusion`] — skip-less vs skip-ful stream fusion (Sec. 5);
-//! * [`nofib`] — the Table-1 benchmark suite and harness.
+//! * [`nofib`] — the Table-1 benchmark suite and harness;
+//! * [`vm`] — the flat jump-threaded bytecode backend (`--backend vm`),
+//!   where a jump is literally a branch plus a stack truncation.
 //!
 //! ## Quickstart
 //!
@@ -56,3 +58,5 @@ pub use fj_fusion as fusion;
 pub use fj_nofib as nofib;
 /// The surface language (re-export of `fj-surface`).
 pub use fj_surface as surface;
+/// The bytecode execution backend (re-export of `fj-vm`).
+pub use fj_vm as vm;

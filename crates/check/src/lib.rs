@@ -462,4 +462,33 @@ mod tests {
         g.bind_var(x.clone(), Type::Int);
         assert_eq!(type_of(&e, &d.data_env, &g).unwrap(), Type::Int);
     }
+
+    /// The error path breadcrumbs name the binders on the way to the
+    /// fault, so a rollback reason (or a user diagnostic) points at the
+    /// actual culprit binding, not just "somewhere in the term".
+    #[test]
+    fn error_path_names_the_culprit_binder() {
+        let mut d = Dsl::new();
+        let outer = d.binder("outer", Type::Int);
+        let culprit = d.binder("culprit", Type::Int);
+        let ghost = d.name("ghost");
+        // let outer = 1 in let culprit = ghost in culprit
+        //                                 ^^^^^ unbound
+        let e = Expr::let1(
+            outer.clone(),
+            Expr::Lit(1),
+            Expr::let1(culprit.clone(), Expr::var(&ghost), Expr::var(&culprit.name)),
+        );
+        let err = bad(&e, &d.data_env);
+        assert!(matches!(err.kind, LintErrorKind::UnboundVar(_)), "{err:?}");
+        let outer_step = format!("let {} body", outer.name);
+        let culprit_step = format!("let {} rhs", culprit.name);
+        assert_eq!(err.path, vec![outer_step, culprit_step], "{err}");
+        // And the rendered diagnostic carries the trail.
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("let {} rhs", culprit.name)),
+            "diagnostic lost the breadcrumb: {msg}"
+        );
+    }
 }

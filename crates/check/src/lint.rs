@@ -152,8 +152,11 @@ impl fmt::Display for LintErrorKind {
 pub struct LintError {
     /// What went wrong.
     pub kind: LintErrorKind,
-    /// Path from the root to the error site (outermost first).
-    pub path: Vec<&'static str>,
+    /// Path from the root to the error site (outermost first). Binding
+    /// steps name the binder they pass through (`let s_12 rhs`,
+    /// `lambda x_3 body`, `case alt Cons`, …) so a rollback reason in
+    /// `fj report` points at the actual culprit.
+    pub path: Vec<String>,
 }
 
 impl fmt::Display for LintError {
@@ -184,9 +187,9 @@ fn err(kind: LintErrorKind) -> LintError {
     }
 }
 
-fn at(label: &'static str, r: Result<Type, LintError>) -> Result<Type, LintError> {
+fn at(label: impl Into<String>, r: Result<Type, LintError>) -> Result<Type, LintError> {
     r.map_err(|mut e| {
-        e.path.insert(0, label);
+        e.path.insert(0, label.into());
         e
     })
 }
@@ -309,13 +312,19 @@ impl Checker<'_> {
                 g.bind_var(b.name.clone(), b.ty.clone());
                 // Δ reset: a lambda may be called anywhere, so its body
                 // cannot jump to enclosing join points.
-                let body_ty = at("lambda body", self.infer(body, &g, &Delta::empty()))?;
+                let body_ty = at(
+                    format!("lambda {} body", b.name),
+                    self.infer(body, &g, &Delta::empty()),
+                )?;
                 Ok(Type::fun(b.ty.clone(), body_ty))
             }
             Expr::TyLam(a, body) => {
                 let mut g = gamma.clone();
                 g.bind_tyvar(a.clone());
-                let body_ty = at("type-lambda body", self.infer(body, &g, &Delta::empty()))?;
+                let body_ty = at(
+                    format!("type-lambda {a} body"),
+                    self.infer(body, &g, &Delta::empty()),
+                )?;
                 Ok(Type::forall(a.clone(), body_ty))
             }
             Expr::App(f, x) => {
@@ -382,7 +391,10 @@ impl Checker<'_> {
                     LetBind::NonRec(b, rhs) => {
                         self.wf_type(&b.ty, gamma)?;
                         // Δ reset in the RHS of a value binding.
-                        let rhs_ty = at("let rhs", self.infer(rhs, gamma, &Delta::empty()))?;
+                        let rhs_ty = at(
+                            format!("let {} rhs", b.name),
+                            self.infer(rhs, gamma, &Delta::empty()),
+                        )?;
                         if !rhs_ty.alpha_eq(&b.ty) {
                             return Err(err(LintErrorKind::Mismatch {
                                 expected: b.ty.clone(),
@@ -392,7 +404,7 @@ impl Checker<'_> {
                         }
                         let mut g = gamma.clone();
                         g.bind_var(b.name.clone(), b.ty.clone());
-                        at("let body", self.infer(body, &g, delta))
+                        at(format!("let {} body", b.name), self.infer(body, &g, delta))
                     }
                     LetBind::Rec(binds) => {
                         let mut g = gamma.clone();
@@ -401,7 +413,10 @@ impl Checker<'_> {
                             g.bind_var(b.name.clone(), b.ty.clone());
                         }
                         for (b, rhs) in binds {
-                            let rhs_ty = at("letrec rhs", self.infer(rhs, &g, &Delta::empty()))?;
+                            let rhs_ty = at(
+                                format!("letrec {} rhs", b.name),
+                                self.infer(rhs, &g, &Delta::empty()),
+                            )?;
                             if !rhs_ty.alpha_eq(&b.ty) {
                                 return Err(err(LintErrorKind::Mismatch {
                                     expected: b.ty.clone(),
@@ -501,7 +516,10 @@ impl Checker<'_> {
                 self.wf_type(&p.ty, &g)?;
                 g.bind_var(p.name.clone(), p.ty.clone());
             }
-            let rhs_ty = at("join rhs", self.infer(&d.body, &g, delta_rhs))?;
+            let rhs_ty = at(
+                format!("join {} rhs", d.name),
+                self.infer(&d.body, &g, delta_rhs),
+            )?;
             if !rhs_ty.alpha_eq(&body_ty) {
                 return Err(err(LintErrorKind::JoinResultMismatch {
                     label: d.name.clone(),
@@ -598,7 +616,12 @@ impl Checker<'_> {
                 }
             }
             // Δ propagates into branches: they are tail contexts.
-            let rhs_ty = at("case alternative", self.infer(&alt.rhs, &g, delta))?;
+            let alt_label = match &alt.con {
+                AltCon::Con(c) => format!("case alt {c}"),
+                AltCon::Lit(n) => format!("case alt {n}"),
+                AltCon::Default => "case alt _".to_string(),
+            };
+            let rhs_ty = at(alt_label, self.infer(&alt.rhs, &g, delta))?;
             match &result_ty {
                 None => result_ty = Some(rhs_ty),
                 Some(t) => {

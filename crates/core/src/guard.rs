@@ -1,0 +1,348 @@
+//! Pass guards: panic isolation, wall-clock deadlines, and the fault-
+//! injection tap behind [`optimize_resilient`](crate::optimize_resilient).
+//!
+//! The paper uses Core Lint "forensically" (Sec. 4.4): a pass that breaks
+//! the jump-in-tail-position discipline is caught by the checker after the
+//! fact. This module extends that discipline from *detection* to
+//! *containment*: a pass runs inside [`run_pass_guarded`], which catches
+//! panics, enforces an optional per-pass deadline, and feeds the pass
+//! output through an optional [`PassTap`] (the seam the testkit's
+//! `Saboteur` uses to inject faults). The driver in `pipeline.rs` decides
+//! what to do with a failure — abort (strict mode) or roll back to the
+//! pre-pass term and keep going (resilient mode).
+//!
+//! Deadlines are implemented by running the pass on a fresh thread and
+//! abandoning it on timeout (terms are `Send`: names intern per thread via
+//! `Arc<str>`). The abandoned thread keeps running, so long-running
+//! cooperative code (like the Saboteur's spin mode) should poll
+//! [`PassCtx::cancelled`] and bail out once the driver has given up on it.
+
+use crate::pipeline::Pass;
+use crate::simplify::SimplOpts;
+use crate::stats::RewriteStats;
+use crate::{apply_pass, OptError};
+use fj_ast::{DataEnv, Expr, NameSupply};
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Once};
+use std::time::Duration;
+
+/// Cooperative cancellation flag shared between the pipeline driver and a
+/// pass running on a guard thread. Set when the driver abandons the pass
+/// (deadline exceeded); long-running tap code should poll it and return.
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// Has the driver given up on this pass?
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn set(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// What a [`PassTap`] sees: which pass just ran, where it sits in the
+/// pipeline, and the cancellation flag for cooperative bail-out.
+pub struct PassCtx {
+    /// Pass name (as in [`Pass::name`]).
+    pub pass: &'static str,
+    /// Zero-based position of the pass in the pipeline.
+    pub index: usize,
+    cancel: CancelFlag,
+}
+
+impl PassCtx {
+    /// Has the driver abandoned this pass (deadline exceeded)? Long-running
+    /// tap code should poll this and return promptly once it is set.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_set()
+    }
+}
+
+/// The raw result a pass hands to a tap: the output term and rewrite
+/// counters, or the pass's error.
+pub type PassResult = Result<(Expr, RewriteStats), OptError>;
+
+/// The function type a [`PassTap`] wraps.
+type TapFn = dyn Fn(&PassCtx, PassResult) -> PassResult + Send + Sync;
+
+/// A test seam interposed on every pass output, used by the testkit's
+/// `Saboteur` to corrupt terms, panic, or spin. Production pipelines leave
+/// [`OptConfig::tap`](crate::OptConfig) unset.
+#[derive(Clone)]
+pub struct PassTap(Arc<TapFn>);
+
+impl PassTap {
+    /// Wrap a function as a tap.
+    pub fn new(f: impl Fn(&PassCtx, PassResult) -> PassResult + Send + Sync + 'static) -> Self {
+        PassTap(Arc::new(f))
+    }
+
+    fn call(&self, ctx: &PassCtx, r: PassResult) -> PassResult {
+        (self.0)(ctx, r)
+    }
+}
+
+impl fmt::Debug for PassTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PassTap(..)")
+    }
+}
+
+/// Why the resilient driver discarded a pass's output (or refused to run
+/// the pass at all). Carried in
+/// [`PassOutcome::RolledBack`](crate::PassOutcome).
+#[derive(Clone, Debug)]
+pub enum RollbackReason {
+    /// The pass itself returned an error.
+    PassError(Box<OptError>),
+    /// Lint rejected the pass output (always
+    /// [`OptError::LintAfterPass`]).
+    LintViolation(Box<OptError>),
+    /// The pass (or an injected fault) panicked; the payload message.
+    Panic(String),
+    /// The pass blew its wall-clock deadline and was abandoned.
+    DeadlineExceeded {
+        /// The configured per-pass deadline.
+        limit: Duration,
+    },
+    /// The output term grew past the configured size budget.
+    GrowthBudget {
+        /// Term size before the pass.
+        before: usize,
+        /// Term size after the pass.
+        after: usize,
+        /// The configured growth factor
+        /// ([`OptConfig::max_growth`](crate::OptConfig)).
+        limit: f64,
+    },
+    /// The pipeline's total pass budget was already spent; the pass was
+    /// skipped without running.
+    PassBudget {
+        /// The configured budget
+        /// ([`OptConfig::max_passes`](crate::OptConfig)).
+        max_passes: usize,
+    },
+}
+
+impl RollbackReason {
+    /// Short machine-readable tag (`panic`, `deadline`, …) for rendering.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RollbackReason::PassError(_) => "pass-error",
+            RollbackReason::LintViolation(_) => "lint",
+            RollbackReason::Panic(_) => "panic",
+            RollbackReason::DeadlineExceeded { .. } => "deadline",
+            RollbackReason::GrowthBudget { .. } => "growth",
+            RollbackReason::PassBudget { .. } => "pass-budget",
+        }
+    }
+
+    /// Convert into the error a fail-fast pipeline reports for this pass.
+    pub(crate) fn into_opt_error(self, pass: &'static str) -> OptError {
+        match self {
+            RollbackReason::PassError(e) | RollbackReason::LintViolation(e) => *e,
+            RollbackReason::Panic(msg) => {
+                OptError::Internal(format!("pass `{pass}` panicked: {msg}"))
+            }
+            RollbackReason::DeadlineExceeded { limit } => OptError::Budget {
+                pass,
+                reason: format!("exceeded per-pass deadline of {limit:?}"),
+            },
+            RollbackReason::GrowthBudget {
+                before,
+                after,
+                limit,
+            } => OptError::Budget {
+                pass,
+                reason: format!(
+                    "output grew {before} -> {after} nodes, past the {limit}x growth budget"
+                ),
+            },
+            RollbackReason::PassBudget { max_passes } => OptError::Budget {
+                pass,
+                reason: format!("pipeline budget of {max_passes} passes already spent"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for RollbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RollbackReason::PassError(e) => write!(f, "pass error: {e}"),
+            RollbackReason::LintViolation(e) => match e.as_ref() {
+                // Elide the term dump: rollback lines are one-liners.
+                OptError::LintAfterPass { error, .. } => write!(f, "lint: {error}"),
+                other => write!(f, "lint: {other}"),
+            },
+            RollbackReason::Panic(msg) => write!(f, "panic: {msg}"),
+            RollbackReason::DeadlineExceeded { limit } => {
+                write!(f, "deadline exceeded ({limit:?})")
+            }
+            RollbackReason::GrowthBudget {
+                before,
+                after,
+                limit,
+            } => write!(
+                f,
+                "growth budget: {before} -> {after} nodes (limit {limit}x)"
+            ),
+            RollbackReason::PassBudget { max_passes } => {
+                write!(f, "pass budget spent ({max_passes} passes)")
+            }
+        }
+    }
+}
+
+thread_local! {
+    static SUPPRESS_PANIC_REPORT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that stays silent while a
+/// guarded pass is running on the current thread and delegates to the
+/// previous hook otherwise. Without this, every injected panic in the
+/// fault-injection suites would spray a backtrace onto test stderr.
+fn install_quiet_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_REPORT.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// RAII guard for the thread-local panic-report suppression flag.
+struct Quiet(bool);
+
+impl Quiet {
+    fn on() -> Quiet {
+        Quiet(SUPPRESS_PANIC_REPORT.with(|s| s.replace(true)))
+    }
+}
+
+impl Drop for Quiet {
+    fn drop(&mut self) {
+        SUPPRESS_PANIC_REPORT.with(|s| s.set(self.0));
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_tapped(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    pass: Pass,
+    simpl: &SimplOpts,
+    ctx: &PassCtx,
+    tap: Option<&PassTap>,
+) -> PassResult {
+    let raw = apply_pass(e, data_env, supply, pass, simpl);
+    match tap {
+        Some(t) => t.call(ctx, raw),
+        None => raw,
+    }
+}
+
+/// Run one pass under the full guard: `catch_unwind` panic isolation and,
+/// when `deadline` is set, a watchdog that abandons the pass after the
+/// allotted wall-clock time. On success the name supply is advanced past
+/// any names the pass drew; on timeout the supply is left untouched (the
+/// abandoned thread's draws are simply discarded — names are never reused
+/// because the abandoned output is dropped wholesale).
+#[allow(clippy::too_many_arguments)] // internal driver seam, not public API
+pub(crate) fn run_pass_guarded(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    pass: Pass,
+    simpl: &SimplOpts,
+    index: usize,
+    deadline: Option<Duration>,
+    tap: Option<&PassTap>,
+) -> Result<(Expr, RewriteStats), RollbackReason> {
+    install_quiet_panic_hook();
+    match deadline {
+        None => {
+            let ctx = PassCtx {
+                pass: pass.name(),
+                index,
+                cancel: CancelFlag::default(),
+            };
+            let caught = {
+                let _quiet = Quiet::on();
+                panic::catch_unwind(AssertUnwindSafe(|| {
+                    run_tapped(e, data_env, supply, pass, simpl, &ctx, tap)
+                }))
+            };
+            match caught {
+                Ok(Ok(out)) => Ok(out),
+                Ok(Err(err)) => Err(RollbackReason::PassError(Box::new(err))),
+                Err(payload) => Err(RollbackReason::Panic(panic_message(payload))),
+            }
+        }
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            let cancel = CancelFlag::default();
+            let ctx = PassCtx {
+                pass: pass.name(),
+                index,
+                cancel: cancel.clone(),
+            };
+            let (e2, env2, mut supply2, simpl2, tap2) = (
+                e.clone(),
+                data_env.clone(),
+                supply.clone(),
+                simpl.clone(),
+                tap.cloned(),
+            );
+            let spawned = std::thread::Builder::new()
+                .name(format!("fj-guard-{}", pass.name()))
+                .spawn(move || {
+                    let caught = {
+                        let _quiet = Quiet::on();
+                        panic::catch_unwind(AssertUnwindSafe(|| {
+                            run_tapped(&e2, &env2, &mut supply2, pass, &simpl2, &ctx, tap2.as_ref())
+                        }))
+                    };
+                    // The receiver may be gone (deadline hit): ignore.
+                    let _ = tx.send((caught, supply2));
+                });
+            if spawned.is_err() {
+                // Could not spawn a watchdog thread: run inline, un-timed.
+                return run_pass_guarded(e, data_env, supply, pass, simpl, index, None, tap);
+            }
+            match rx.recv_timeout(limit) {
+                Ok((caught, supply_after)) => {
+                    *supply = supply_after;
+                    match caught {
+                        Ok(Ok(out)) => Ok(out),
+                        Ok(Err(err)) => Err(RollbackReason::PassError(Box::new(err))),
+                        Err(payload) => Err(RollbackReason::Panic(panic_message(payload))),
+                    }
+                }
+                Err(_) => {
+                    cancel.set();
+                    Err(RollbackReason::DeadlineExceeded { limit })
+                }
+            }
+        }
+    }
+}

@@ -62,6 +62,7 @@ mod cse;
 mod erase;
 mod float_in;
 mod float_out;
+pub mod guard;
 pub mod occur;
 pub mod simplify;
 pub mod stats;
@@ -76,17 +77,19 @@ pub use cse::{cse, CseOutcome};
 pub use erase::{erase, is_commuting_normal};
 pub use float_in::{float_in, float_in_counting};
 pub use float_out::{float_out, float_out_counting};
+pub use guard::{PassCtx, PassResult, PassTap, RollbackReason};
 pub use pipeline::{
-    apply_pass, optimize, optimize_with_report, optimize_with_stats, OptConfig, OptStats, Pass,
+    apply_pass, optimize, optimize_resilient, optimize_with_report, optimize_with_stats, OptConfig,
+    OptStats, Pass,
 };
 pub use simplify::{simplify, simplify_once, simplify_once_stats, simplify_stats, SimplOpts};
-pub use stats::{Census, PassStats, PipelineReport, RewriteStats};
+pub use stats::{Census, PassOutcome, PassStats, PipelineReport, RewriteStats};
 
 use fj_check::LintError;
 use std::fmt;
 
 /// Why an optimizer pass failed.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum OptError {
     /// Type reconstruction failed (the input was ill-typed).
     Type(LintError),
@@ -101,6 +104,15 @@ pub enum OptError {
         /// Pretty-printed output of the pass.
         dump: String,
     },
+    /// A pass blew a configured budget (per-pass deadline, growth factor,
+    /// or total pass count) in a fail-fast pipeline. The resilient
+    /// pipeline records the same condition as a rollback instead.
+    Budget {
+        /// The offending pass.
+        pass: &'static str,
+        /// Which budget, and by how much.
+        reason: String,
+    },
     /// An internal invariant was broken.
     Internal(String),
 }
@@ -114,6 +126,9 @@ impl fmt::Display for OptError {
                     f,
                     "pass `{pass}` broke typing: {error}\n--- dump ---\n{dump}"
                 )
+            }
+            OptError::Budget { pass, reason } => {
+                write!(f, "pass `{pass}` blew its budget: {reason}")
             }
             OptError::Internal(msg) => write!(f, "internal optimizer error: {msg}"),
         }

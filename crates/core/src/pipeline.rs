@@ -17,12 +17,13 @@ use crate::contify::contify_counting;
 use crate::cse::cse;
 use crate::float_in::float_in_counting;
 use crate::float_out::float_out_counting;
+use crate::guard::{run_pass_guarded, PassTap, RollbackReason};
 use crate::simplify::{simplify_once_stats, SimplOpts};
-use crate::stats::{Census, PassStats, PipelineReport, RewriteStats};
+use crate::stats::{Census, PassOutcome, PassStats, PipelineReport, RewriteStats};
 use crate::OptError;
 use fj_ast::{DataEnv, Expr, NameSupply};
 use fj_check::lint;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One pipeline pass.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,18 +54,52 @@ impl Pass {
     }
 }
 
-/// A pipeline: the pass list plus simplifier options.
+/// A pipeline: the pass list, simplifier options, and pass guards.
 #[derive(Clone, Debug)]
 pub struct OptConfig {
     /// Passes, in order.
     pub passes: Vec<Pass>,
     /// Simplifier tuning (including the join-points switch).
     pub simpl: SimplOpts,
-    /// Lint after every pass, failing fast with the pass name.
+    /// Lint after every pass, failing fast with the pass name. The
+    /// resilient driver lints after every pass regardless — rollback is
+    /// meaningless without detection.
     pub lint_between: bool,
+    /// Per-pass wall-clock deadline. When set, each pass runs on a guard
+    /// thread that is abandoned on timeout (fail-fast: [`OptError::Budget`];
+    /// resilient: rollback). Default `None`: passes run inline, un-timed.
+    pub pass_deadline: Option<Duration>,
+    /// Maximum per-pass term-size growth factor. A pass whose output
+    /// exceeds `max(before * factor, GROWTH_FLOOR)` nodes fails its budget.
+    /// Default `None`: unlimited.
+    pub max_growth: Option<f64>,
+    /// Maximum number of passes actually executed; the rest of the
+    /// pipeline is skipped (resilient) or errors (fail-fast). Default
+    /// `None`: run everything.
+    pub max_passes: Option<usize>,
+    /// Test seam interposed on every pass output (fault injection).
+    /// Default `None`.
+    pub tap: Option<PassTap>,
 }
 
+/// Small terms get this much absolute headroom before
+/// [`OptConfig::max_growth`] kicks in, so a 4-node term can still be
+/// legitimately inlined into a 40-node one.
+pub const GROWTH_FLOOR: usize = 256;
+
 impl OptConfig {
+    fn from_parts(passes: Vec<Pass>, simpl: SimplOpts) -> Self {
+        OptConfig {
+            passes,
+            simpl,
+            lint_between: cfg!(debug_assertions),
+            pass_deadline: None,
+            max_growth: None,
+            max_passes: None,
+            tap: None,
+        }
+    }
+
     /// The paper's full pipeline with join points preserved and exploited.
     pub fn join_points() -> Self {
         let round = [Pass::FloatIn, Pass::Contify, Pass::Simplify];
@@ -74,11 +109,7 @@ impl OptConfig {
         }
         passes.push(Pass::FloatOut);
         passes.extend_from_slice(&round);
-        OptConfig {
-            passes,
-            simpl: SimplOpts::default(),
-            lint_between: cfg!(debug_assertions),
-        }
+        Self::from_parts(passes, SimplOpts::default())
     }
 
     /// GHC-before-the-paper: join-unaware optimization, with join points
@@ -94,21 +125,13 @@ impl OptConfig {
             Pass::Simplify,
         ];
         passes.push(Pass::Contify); // back-end join detection only
-        OptConfig {
-            passes,
-            simpl: SimplOpts::baseline(),
-            lint_between: cfg!(debug_assertions),
-        }
+        Self::from_parts(passes, SimplOpts::baseline())
     }
 
     /// No optimization at all (still contifies once, as every back end
     /// including the baseline does).
     pub fn none() -> Self {
-        OptConfig {
-            passes: vec![Pass::Contify],
-            simpl: SimplOpts::baseline(),
-            lint_between: cfg!(debug_assertions),
-        }
+        Self::from_parts(vec![Pass::Contify], SimplOpts::baseline())
     }
 
     /// The join-points pipeline with a CSE round before the final
@@ -130,6 +153,31 @@ impl OptConfig {
     /// Toggle lint-between-passes.
     pub fn with_lint(mut self, on: bool) -> Self {
         self.lint_between = on;
+        self
+    }
+
+    /// Set the per-pass wall-clock deadline.
+    pub fn with_pass_deadline(mut self, limit: Duration) -> Self {
+        self.pass_deadline = Some(limit);
+        self
+    }
+
+    /// Set the per-pass term-size growth budget (a factor over the
+    /// pre-pass size, with [`GROWTH_FLOOR`] absolute headroom).
+    pub fn with_max_growth(mut self, factor: f64) -> Self {
+        self.max_growth = Some(factor);
+        self
+    }
+
+    /// Cap the number of passes actually executed.
+    pub fn with_max_passes(mut self, n: usize) -> Self {
+        self.max_passes = Some(n);
+        self
+    }
+
+    /// Interpose a [`PassTap`] on every pass output (fault injection).
+    pub fn with_tap(mut self, tap: PassTap) -> Self {
+        self.tap = Some(tap);
         self
     }
 }
@@ -239,30 +287,158 @@ pub fn optimize_with_report(
     supply: &mut NameSupply,
     cfg: &OptConfig,
 ) -> Result<(Expr, PipelineReport), OptError> {
+    run_pipeline(e, data_env, supply, cfg, Recovery::FailFast)
+}
+
+/// Run a pipeline with graceful degradation: every pass runs under a guard
+/// (panic isolation, optional deadline, growth and pass budgets, lint
+/// after every pass), and any failure rolls the term back to its pre-pass
+/// state and continues with the remaining passes. A misbehaving pass costs
+/// one optimization opportunity, not the compilation.
+///
+/// Each pass's fate is recorded as a [`PassOutcome`] in the returned
+/// [`PipelineReport`]; the output term is always well-typed if the input
+/// was (only linted pass outputs are ever committed).
+///
+/// # Errors
+///
+/// Never fails today (every per-pass failure becomes a rollback); the
+/// `Result` is kept so the signature can survive future fatal conditions.
+pub fn optimize_resilient(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    cfg: &OptConfig,
+) -> Result<(Expr, PipelineReport), OptError> {
+    run_pipeline(e, data_env, supply, cfg, Recovery::RollBack)
+}
+
+/// What the driver does when a pass fails its guard.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Recovery {
+    /// Abort the whole pipeline with an [`OptError`] (strict `optimize`).
+    FailFast,
+    /// Discard the pass output, keep the pre-pass term, continue.
+    RollBack,
+}
+
+fn rolled_back(
+    pass: &'static str,
+    cur: &Expr,
+    wall: std::time::Duration,
+    reason: RollbackReason,
+) -> PassStats {
+    PassStats {
+        pass,
+        rewrites: RewriteStats::default(),
+        census_after: Census::of(cur),
+        wall,
+        outcome: PassOutcome::RolledBack(reason),
+    }
+}
+
+/// The one pipeline driver: [`optimize_with_report`] is `FailFast`,
+/// [`optimize_resilient`] is `RollBack`. Strict mode with no deadline and
+/// no tap runs passes inline (panics propagate exactly as before); any
+/// other combination routes through the guard.
+fn run_pipeline(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    cfg: &OptConfig,
+    recovery: Recovery,
+) -> Result<(Expr, PipelineReport), OptError> {
     let started = Instant::now();
     let mut report = PipelineReport {
         census_before: Census::of(e),
         ..PipelineReport::default()
     };
     let mut cur = e.clone();
-    for pass in &cfg.passes {
+    // Rollback without detection is meaningless: resilient mode always
+    // lints pass outputs, whatever `lint_between` says.
+    let lint_after = cfg.lint_between || recovery == Recovery::RollBack;
+    let needs_guard =
+        recovery == Recovery::RollBack || cfg.pass_deadline.is_some() || cfg.tap.is_some();
+    let mut executed = 0usize;
+    for (index, pass) in cfg.passes.iter().enumerate() {
         let pass_started = Instant::now();
-        let (next, rewrites) = apply_pass(&cur, data_env, supply, *pass, &cfg.simpl)?;
-        cur = next;
-        report.passes.push(PassStats {
-            pass: pass.name(),
-            rewrites,
-            census_after: Census::of(&cur),
-            wall: pass_started.elapsed(),
+        if let Some(max_passes) = cfg.max_passes {
+            if executed >= max_passes {
+                let reason = RollbackReason::PassBudget { max_passes };
+                match recovery {
+                    Recovery::FailFast => return Err(reason.into_opt_error(pass.name())),
+                    Recovery::RollBack => {
+                        report
+                            .passes
+                            .push(rolled_back(pass.name(), &cur, Duration::ZERO, reason));
+                        continue;
+                    }
+                }
+            }
+        }
+        executed += 1;
+        let ran = if needs_guard {
+            run_pass_guarded(
+                &cur,
+                data_env,
+                supply,
+                *pass,
+                &cfg.simpl,
+                index,
+                cfg.pass_deadline,
+                cfg.tap.as_ref(),
+            )
+        } else {
+            apply_pass(&cur, data_env, supply, *pass, &cfg.simpl)
+                .map_err(|err| RollbackReason::PassError(Box::new(err)))
+        };
+        let checked = ran.and_then(|(next, rw)| {
+            if let Some(factor) = cfg.max_growth {
+                let (before, after) = (cur.size(), next.size());
+                let allowed = (before as f64 * factor).max(GROWTH_FLOOR as f64);
+                if after as f64 > allowed {
+                    return Err(RollbackReason::GrowthBudget {
+                        before,
+                        after,
+                        limit: factor,
+                    });
+                }
+            }
+            if lint_after {
+                if let Err(err) = lint(&next, data_env) {
+                    return Err(RollbackReason::LintViolation(Box::new(
+                        OptError::LintAfterPass {
+                            pass: pass.name(),
+                            error: Box::new(err),
+                            dump: next.to_string(),
+                        },
+                    )));
+                }
+            }
+            Ok((next, rw))
         });
-        if cfg.lint_between {
-            if let Err(err) = lint(&cur, data_env) {
-                return Err(OptError::LintAfterPass {
+        match checked {
+            Ok((next, rewrites)) => {
+                cur = next;
+                report.passes.push(PassStats {
                     pass: pass.name(),
-                    error: Box::new(err),
-                    dump: cur.to_string(),
+                    rewrites,
+                    census_after: Census::of(&cur),
+                    wall: pass_started.elapsed(),
+                    outcome: PassOutcome::Applied,
                 });
             }
+            Err(reason) => match recovery {
+                Recovery::FailFast => return Err(reason.into_opt_error(pass.name())),
+                Recovery::RollBack => {
+                    report.passes.push(rolled_back(
+                        pass.name(),
+                        &cur,
+                        pass_started.elapsed(),
+                        reason,
+                    ));
+                }
+            },
         }
     }
     report.census_after = Census::of(&cur);

@@ -9,6 +9,7 @@
 //! axiom fired ([`RewriteStats`]), what the term looked like afterwards
 //! ([`Census`]), and how long the pass took.
 
+use crate::guard::RollbackReason;
 use fj_ast::Expr;
 use std::fmt;
 use std::time::Duration;
@@ -180,18 +181,58 @@ impl fmt::Display for Census {
     }
 }
 
+/// Did the driver keep a pass's output, or throw it away?
+///
+/// Strict pipelines ([`optimize`](crate::optimize)) only ever record
+/// [`PassOutcome::Applied`]: any failure aborts compilation instead. The
+/// resilient pipeline ([`optimize_resilient`](crate::optimize_resilient))
+/// records [`PassOutcome::RolledBack`] and continues from the pre-pass
+/// term.
+#[derive(Clone, Debug, Default)]
+pub enum PassOutcome {
+    /// The pass ran, passed its budgets (and lint), and its output became
+    /// the input of the next pass.
+    #[default]
+    Applied,
+    /// The pass failed (error, panic, lint violation, or blown budget);
+    /// its output was discarded and the pipeline continued from the
+    /// pre-pass term.
+    RolledBack(RollbackReason),
+}
+
+impl PassOutcome {
+    /// Was the pass output kept?
+    pub fn is_applied(&self) -> bool {
+        matches!(self, PassOutcome::Applied)
+    }
+}
+
+impl fmt::Display for PassOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassOutcome::Applied => write!(f, "applied"),
+            PassOutcome::RolledBack(reason) => write!(f, "rolled back: {reason}"),
+        }
+    }
+}
+
 /// What one pass did: its name, rewrite counters, the census of its
 /// output, and wall-clock time.
 #[derive(Clone, Debug)]
 pub struct PassStats {
     /// Pass name (as in [`Pass::name`](crate::Pass)).
     pub pass: &'static str,
-    /// Rewrites fired during the pass.
+    /// Rewrites fired during the pass. Zeroed when the pass was rolled
+    /// back (discarded rewrites never happened as far as the pipeline is
+    /// concerned).
     pub rewrites: RewriteStats,
-    /// Census of the pass's output term.
+    /// Census of the pass's output term — the *pre-pass* term when the
+    /// pass was rolled back.
     pub census_after: Census,
     /// Wall-clock time spent in the pass.
     pub wall: Duration,
+    /// Whether the output was kept or rolled back.
+    pub outcome: PassOutcome,
 }
 
 /// Everything the pipeline did, pass by pass.
@@ -226,17 +267,34 @@ impl PipelineReport {
             .map(|p| p.rewrites.total())
             .sum()
     }
+
+    /// The passes whose output was discarded, in execution order.
+    pub fn rolled_back(&self) -> impl Iterator<Item = &PassStats> {
+        self.passes.iter().filter(|p| !p.outcome.is_applied())
+    }
+
+    /// Did every pass apply cleanly?
+    pub fn all_applied(&self) -> bool {
+        self.passes.iter().all(|p| p.outcome.is_applied())
+    }
 }
 
 impl fmt::Display for PipelineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "input:  {}", self.census_before)?;
         for p in &self.passes {
-            writeln!(
-                f,
-                "{:<10} {:>7.1?}  {}  [{}]",
-                p.pass, p.wall, p.census_after, p.rewrites
-            )?;
+            match &p.outcome {
+                PassOutcome::Applied => writeln!(
+                    f,
+                    "{:<10} {:>7.1?}  {}  [{}]",
+                    p.pass, p.wall, p.census_after, p.rewrites
+                )?,
+                PassOutcome::RolledBack(reason) => writeln!(
+                    f,
+                    "{:<10} {:>7.1?}  {}  [{}]",
+                    p.pass, p.wall, p.census_after, reason
+                )?,
+            }
         }
         write!(f, "output: {}  (total {:?})", self.census_after, self.wall)
     }

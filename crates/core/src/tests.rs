@@ -615,3 +615,187 @@ fn scrutinee_jump_aborts() {
     assert_eq!(run_int(&norm, EvalMode::CallByName, FUEL).unwrap(), 5);
     assert_eq!(run_int(&e, EvalMode::CallByName, FUEL).unwrap(), 5);
 }
+
+// ---- resilient pipeline -------------------------------------------------
+
+mod resilient {
+    use super::{modes, null_program, FUEL};
+    use crate::guard::RollbackReason;
+    use crate::{
+        optimize_resilient, optimize_with_report, OptConfig, OptError, Pass, PassOutcome, PassTap,
+    };
+    use fj_ast::{alpha_eq, Binder, Dsl, Expr, LetBind, Name, Type};
+    use fj_eval::run;
+    use std::time::Duration;
+
+    /// A tap that panics when it reaches the pass at `index`.
+    fn panic_tap(index: usize) -> PassTap {
+        PassTap::new(move |ctx, res| {
+            if ctx.index == index {
+                panic!("test tap: deliberate panic");
+            }
+            res
+        })
+    }
+
+    #[test]
+    fn rolled_back_pass_leaves_term_alpha_equal_exact_count() {
+        let mut d = Dsl::new();
+        let (_, program) = null_program(&mut d);
+        let cfg = OptConfig {
+            passes: vec![Pass::Simplify],
+            ..OptConfig::join_points()
+        }
+        .with_tap(panic_tap(0));
+        let (out, report) = optimize_resilient(&program, &d.data_env, &mut d.supply, &cfg).unwrap();
+        assert!(alpha_eq(&out, &program), "rollback must restore the input");
+        assert_eq!(report.passes.len(), 1, "exactly one pass recorded");
+        let p = &report.passes[0];
+        assert!(
+            matches!(p.outcome, PassOutcome::RolledBack(RollbackReason::Panic(_))),
+            "got {:?}",
+            p.outcome
+        );
+        assert_eq!(p.rewrites.total(), 0, "a rolled-back pass fired nothing");
+        assert_eq!(report.rolled_back().count(), 1);
+        assert!(!report.all_applied());
+        assert_eq!(report.census_after, report.census_before);
+    }
+
+    #[test]
+    fn resilient_matches_strict_when_nothing_fails() {
+        let mut d = Dsl::new();
+        let (_, program) = null_program(&mut d);
+        let cfg = OptConfig::join_points().with_lint(true);
+        let mut s1 = d.supply.clone();
+        let mut s2 = d.supply.clone();
+        let (strict, strict_report) =
+            optimize_with_report(&program, &d.data_env, &mut s1, &cfg).unwrap();
+        let (resil, resil_report) =
+            optimize_resilient(&program, &d.data_env, &mut s2, &cfg).unwrap();
+        assert!(alpha_eq(&strict, &resil));
+        assert!(resil_report.all_applied());
+        assert_eq!(strict_report.totals(), resil_report.totals());
+        assert_eq!(strict_report.passes.len(), resil_report.passes.len());
+    }
+
+    #[test]
+    fn pipeline_continues_after_midpipeline_panic() {
+        let mut d = Dsl::new();
+        let (_, program) = null_program(&mut d);
+        let cfg = OptConfig::join_points().with_tap(panic_tap(3));
+        let (out, report) = optimize_resilient(&program, &d.data_env, &mut d.supply, &cfg).unwrap();
+        assert_eq!(report.rolled_back().count(), 1);
+        let bad = report.rolled_back().next().unwrap();
+        assert_eq!(bad.pass, report.passes[3].pass);
+        // The other passes still did their job and the output still runs.
+        for mode in modes() {
+            let a = run(&program, mode, FUEL).unwrap();
+            let b = run(&out, mode, FUEL).unwrap();
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn growth_budget_rolls_back_a_bloating_pass() {
+        let mut d = Dsl::new();
+        let (_, program) = null_program(&mut d);
+        // A tap that wraps pass 0's output in hundreds of well-typed
+        // `let pad_i = 1 in …` shells: lint-clean, but way past budget.
+        let bloat = PassTap::new(move |ctx, res| {
+            if ctx.index != 0 {
+                return res;
+            }
+            res.map(|(mut e, rw)| {
+                for i in 0..400u64 {
+                    let pad = Binder::new(Name::with_id("pad", 8_000_000_000 + i), Type::Int);
+                    e = Expr::Let(LetBind::NonRec(pad, Box::new(Expr::Lit(1))), Box::new(e));
+                }
+                (e, rw)
+            })
+        });
+        let cfg = OptConfig::join_points()
+            .with_tap(bloat)
+            .with_max_growth(3.0);
+        let (out, report) = optimize_resilient(&program, &d.data_env, &mut d.supply, &cfg).unwrap();
+        let bad = &report.passes[0];
+        assert!(
+            matches!(
+                bad.outcome,
+                PassOutcome::RolledBack(RollbackReason::GrowthBudget { .. })
+            ),
+            "got {:?}",
+            bad.outcome
+        );
+        // Later passes proceed from the un-bloated term.
+        assert!(
+            out.size() < 300,
+            "bloat was rolled back (size {})",
+            out.size()
+        );
+    }
+
+    #[test]
+    fn pass_budget_skips_the_rest_of_the_pipeline() {
+        let mut d = Dsl::new();
+        let (_, program) = null_program(&mut d);
+        let cfg = OptConfig::join_points().with_max_passes(2);
+        let (_, report) = optimize_resilient(&program, &d.data_env, &mut d.supply, &cfg).unwrap();
+        let total = cfg.passes.len();
+        assert_eq!(report.passes.len(), total);
+        assert!(report.passes[0].outcome.is_applied());
+        assert!(report.passes[1].outcome.is_applied());
+        for p in &report.passes[2..] {
+            assert!(
+                matches!(
+                    p.outcome,
+                    PassOutcome::RolledBack(RollbackReason::PassBudget { max_passes: 2 })
+                ),
+                "got {:?}",
+                p.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_rolls_back_a_spinning_pass() {
+        let mut d = Dsl::new();
+        let (_, program) = null_program(&mut d);
+        let spin = PassTap::new(move |ctx, res| {
+            if ctx.index == 0 {
+                while !ctx.cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            res
+        });
+        let cfg = OptConfig::join_points()
+            .with_tap(spin)
+            .with_pass_deadline(Duration::from_millis(40));
+        let (out, report) = optimize_resilient(&program, &d.data_env, &mut d.supply, &cfg).unwrap();
+        assert!(
+            matches!(
+                report.passes[0].outcome,
+                PassOutcome::RolledBack(RollbackReason::DeadlineExceeded { .. })
+            ),
+            "got {:?}",
+            report.passes[0].outcome
+        );
+        assert!(report.passes[1..].iter().all(|p| p.outcome.is_applied()));
+        for mode in modes() {
+            assert_eq!(
+                run(&program, mode, FUEL).unwrap().value,
+                run(&out, mode, FUEL).unwrap().value
+            );
+        }
+    }
+
+    #[test]
+    fn strict_pipeline_fails_fast_on_blown_budget() {
+        let mut d = Dsl::new();
+        let (_, program) = null_program(&mut d);
+        let cfg = OptConfig::join_points().with_max_passes(0);
+        let err = optimize_with_report(&program, &d.data_env, &mut d.supply, &cfg).unwrap_err();
+        assert!(matches!(err, OptError::Budget { .. }), "got {err}");
+    }
+}

@@ -23,7 +23,7 @@
 mod machine;
 mod metrics;
 
-pub use machine::{run, run_int, EvalMode, Machine, MachineError, Outcome, Value};
+pub use machine::{run, run_int, run_with_limits, EvalMode, Machine, MachineError, Outcome, Value};
 pub use metrics::Metrics;
 
 #[cfg(test)]

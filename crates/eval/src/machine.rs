@@ -34,6 +34,11 @@ use fj_ast::{
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// The machine polls its wall-clock deadline every `DEADLINE_CHECK_MASK
+/// + 1` steps (a power of two so the check is a cheap bit-test).
+pub const DEADLINE_CHECK_MASK: u64 = 0xFFF;
 
 /// Evaluation order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -53,6 +58,13 @@ pub enum EvalMode {
 pub enum MachineError {
     /// The step budget was exhausted (possibly a diverging program).
     OutOfFuel,
+    /// The wall-clock deadline passed (possibly a diverging program).
+    /// Only produced when a deadline was configured via
+    /// [`run_with_limits`] or [`Machine::with_deadline`].
+    Timeout {
+        /// The configured wall-clock limit.
+        limit: Duration,
+    },
     /// A variable had no heap binding.
     UnboundVar(Name),
     /// A jump found no matching join frame on the stack.
@@ -67,6 +79,9 @@ impl fmt::Display for MachineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MachineError::OutOfFuel => write!(f, "step budget exhausted"),
+            MachineError::Timeout { limit } => {
+                write!(f, "wall-clock deadline exhausted ({limit:?})")
+            }
             MachineError::UnboundVar(x) => write!(f, "unbound variable {x} at runtime"),
             MachineError::NoJoinFrame(j) => write!(f, "no join frame for label {j}"),
             MachineError::DivideByZero => write!(f, "division by zero"),
@@ -130,7 +145,28 @@ pub struct Outcome {
 /// Returns a [`MachineError`] on divergence past `fuel` steps, runtime
 /// type errors (stuck states), or arithmetic faults.
 pub fn run(e: &Expr, mode: EvalMode, fuel: u64) -> Result<Outcome, MachineError> {
+    run_with_limits(e, mode, fuel, None)
+}
+
+/// As [`run`], with an additional optional wall-clock deadline: a
+/// divergent (or merely slow) program stops with
+/// [`MachineError::Timeout`] once the deadline passes, mirroring the
+/// VM's `run_with_limits`. The deadline is checked every
+/// [`DEADLINE_CHECK_MASK`]` + 1` steps so the hot loop stays cheap.
+///
+/// # Errors
+///
+/// As [`run`], plus [`MachineError::Timeout`].
+pub fn run_with_limits(
+    e: &Expr,
+    mode: EvalMode,
+    fuel: u64,
+    deadline: Option<Duration>,
+) -> Result<Outcome, MachineError> {
     let mut m = Machine::new(mode, fuel);
+    if let Some(limit) = deadline {
+        m = m.with_deadline(limit);
+    }
     let answer = m.eval(e.clone())?;
     let metrics = m.metrics;
     let value = m.deep_force(answer, 64)?;
@@ -205,6 +241,8 @@ enum Frame {
 pub struct Machine {
     mode: EvalMode,
     fuel: u64,
+    /// Wall-clock cut-off and the limit it came from (for the error).
+    deadline: Option<(Instant, Duration)>,
     heap: HashMap<Name, HeapObj>,
     stack: Vec<Frame>,
     supply: NameSupply,
@@ -221,6 +259,7 @@ impl Machine {
         Machine {
             mode,
             fuel,
+            deadline: None,
             heap: HashMap::new(),
             stack: Vec::new(),
             supply: NameSupply::starting_at(1_000_000_000),
@@ -229,12 +268,26 @@ impl Machine {
         }
     }
 
+    /// Give the machine a wall-clock deadline, starting now.
+    #[must_use]
+    pub fn with_deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some((Instant::now() + limit, limit));
+        self
+    }
+
     fn spend(&mut self) -> Result<(), MachineError> {
         if self.fuel == 0 {
             return Err(MachineError::OutOfFuel);
         }
         self.fuel -= 1;
         self.metrics.steps += 1;
+        if self.metrics.steps & DEADLINE_CHECK_MASK == 0 {
+            if let Some((cutoff, limit)) = self.deadline {
+                if Instant::now() >= cutoff {
+                    return Err(MachineError::Timeout { limit });
+                }
+            }
+        }
         if self.stack.len() > self.metrics.max_stack {
             self.metrics.max_stack = self.stack.len();
         }

@@ -435,13 +435,18 @@ pub fn format_report(rows: &[ReportRow]) -> String {
     writeln!(out, "\n## Per-pass detail\n").unwrap();
     for r in rows {
         writeln!(out, "### {}\n", r.row.name).unwrap();
-        writeln!(out, "| pass | rewrites | size | lets | joins | jumps |").unwrap();
-        writeln!(out, "|---|---|---|---|---|---|").unwrap();
+        writeln!(
+            out,
+            "| pass | outcome | rewrites | size | lets | joins | jumps |"
+        )
+        .unwrap();
+        writeln!(out, "|---|---|---|---|---|---|---|").unwrap();
         for p in &r.joined_report.passes {
             writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} |",
                 p.pass,
+                p.outcome,
                 p.rewrites,
                 p.census_after.size,
                 p.census_after.lets,

@@ -43,3 +43,44 @@ fn vm_matches_machine_on_every_nofib_program() {
         }
     }
 }
+
+/// A divergent program must terminate with a *structured* resource error
+/// on both backends — fuel exhaustion with a step budget, timeout with a
+/// wall-clock deadline — never hang.
+#[test]
+fn backends_report_fuel_and_deadline_exhaustion_in_lockstep() {
+    use std::time::Duration;
+
+    let src = "
+def main : Int =
+  letrec go : Int -> Int = \\(n : Int) -> go (n + 1)
+  in go 1;
+";
+    let lowered = fj_surface::compile(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    let e = &lowered.expr;
+
+    // Small fuel: both backends must report exhaustion, not hang.
+    let m = fj_eval::run(e, EvalMode::CallByValue, 10_000);
+    assert!(
+        matches!(m, Err(fj_eval::MachineError::OutOfFuel)),
+        "machine: expected OutOfFuel, got {m:?}"
+    );
+    let v = fj_vm::run(e, EvalMode::CallByValue, 10_000);
+    assert!(
+        matches!(v, Err(fj_vm::VmError::OutOfFuel)),
+        "vm: expected OutOfFuel, got {v:?}"
+    );
+
+    // Huge fuel but a tight wall-clock deadline: both must time out.
+    let limit = Duration::from_millis(30);
+    let m = fj_eval::run_with_limits(e, EvalMode::CallByValue, u64::MAX, Some(limit));
+    assert!(
+        matches!(m, Err(fj_eval::MachineError::Timeout { .. })),
+        "machine: expected Timeout, got {m:?}"
+    );
+    let v = fj_vm::run_with_limits(e, EvalMode::CallByValue, u64::MAX, Some(limit));
+    assert!(
+        matches!(v, Err(fj_vm::VmError::Timeout { .. })),
+        "vm: expected Timeout, got {v:?}"
+    );
+}

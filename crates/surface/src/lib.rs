@@ -42,7 +42,7 @@ mod token;
 
 pub use lexer::lex;
 pub use lower::{lower_expr, lower_program, Lowered};
-pub use parser::{parse_expr, parse_program};
+pub use parser::{parse_expr, parse_program, MAX_NESTING_DEPTH};
 pub use print::{print_expr, print_program, print_ty, strip_program_positions};
 pub use token::{Pos, Spanned, Tok};
 

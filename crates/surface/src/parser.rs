@@ -38,6 +38,7 @@ pub fn parse_program(tokens: &[Spanned]) -> Result<SProgram, SurfaceError> {
     let mut p = Parser {
         toks: tokens,
         at: 0,
+        depth: 0,
     };
     let mut datas = Vec::new();
     let mut defs = Vec::new();
@@ -61,15 +62,24 @@ pub fn parse_expr(tokens: &[Spanned]) -> Result<SExpr, SurfaceError> {
     let mut p = Parser {
         toks: tokens,
         at: 0,
+        depth: 0,
     };
     let e = p.expr()?;
     p.expect(&Tok::Eof)?;
     Ok(e)
 }
 
+/// Hard ceiling on grammar recursion depth. Each level of expression or
+/// type nesting costs a handful of stack frames, so 500 levels stays well
+/// inside the default 2 MiB test-thread stack while still accepting any
+/// program a human (or the generator) writes. Deeper input gets a clean
+/// `ParseError` instead of a stack overflow.
+pub const MAX_NESTING_DEPTH: usize = 500;
+
 struct Parser<'a> {
     toks: &'a [Spanned],
     at: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -87,6 +97,18 @@ impl Parser<'_> {
             self.at += 1;
         }
         t
+    }
+
+    /// Bump the recursion depth, failing cleanly past the ceiling. Called
+    /// on every entry to the recursive grammar productions (`expr`,
+    /// `aexpr`, `ty`, `atype`); the shared counter covers mutual
+    /// recursion between them.
+    fn enter(&mut self) -> Result<(), SurfaceError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.err(format!("nesting exceeds depth limit ({MAX_NESTING_DEPTH})")));
+        }
+        Ok(())
     }
 
     fn err(&self, msg: String) -> SurfaceError {
@@ -179,6 +201,13 @@ impl Parser<'_> {
     // ---- types --------------------------------------------------------
 
     fn ty(&mut self) -> Result<STy, SurfaceError> {
+        self.enter()?;
+        let r = self.ty_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn ty_inner(&mut self) -> Result<STy, SurfaceError> {
         if self.peek() == &Tok::Forall {
             self.bump();
             let mut vars = vec![self.ident()?];
@@ -218,6 +247,13 @@ impl Parser<'_> {
     }
 
     fn atype(&mut self) -> Result<STy, SurfaceError> {
+        self.enter()?;
+        let r = self.atype_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn atype_inner(&mut self) -> Result<STy, SurfaceError> {
         match self.peek().clone() {
             Tok::ConId(s) => {
                 self.bump();
@@ -240,6 +276,13 @@ impl Parser<'_> {
     // ---- expressions ---------------------------------------------------
 
     fn expr(&mut self) -> Result<SExpr, SurfaceError> {
+        self.enter()?;
+        let r = self.expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_inner(&mut self) -> Result<SExpr, SurfaceError> {
         match self.peek() {
             Tok::Backslash => self.lambda(),
             Tok::Let => self.let_expr(),
@@ -455,6 +498,13 @@ impl Parser<'_> {
     }
 
     fn aexpr(&mut self) -> Result<SExpr, SurfaceError> {
+        self.enter()?;
+        let r = self.aexpr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn aexpr_inner(&mut self) -> Result<SExpr, SurfaceError> {
         let pos = self.pos();
         match self.peek().clone() {
             Tok::Ident(x) => {

@@ -3,7 +3,7 @@
 //! part of the user interface, and an accidental change should fail a
 //! test, not slip through.
 
-use fj_surface::{compile, lex, parse_expr, parse_program, SurfaceError};
+use fj_surface::{compile, lex, parse_expr, parse_program, SurfaceError, MAX_NESTING_DEPTH};
 
 fn expr_err(src: &str) -> String {
     parse_expr(&lex(src).expect("lexes"))
@@ -115,4 +115,48 @@ fn lowering_errors_are_pinned() {
         msg.starts_with("error at 1:18:") && msg.contains("missing"),
         "unexpected lowering message: {msg}"
     );
+}
+
+#[test]
+fn nesting_depth_limit_is_pinned() {
+    // Just past the limit: the diagnostic (text and position) is a
+    // golden string like the rest of this file. Each `(...)` level costs
+    // two depth units (one for the expression, one for the atom), so the
+    // limit trips at paren #251 of 300.
+    let deep = format!("{}1{}", "(".repeat(300), ")".repeat(300));
+    assert_eq!(
+        expr_err(&deep),
+        "parse error at 1:251: nesting exceeds depth limit (500)"
+    );
+}
+
+#[test]
+fn pathological_nesting_returns_an_error_not_a_crash() {
+    // A recursive-descent parser without a depth guard dies here with a
+    // stack overflow (an abort — not catchable, not reportable). The
+    // guard must turn every such input into an ordinary parse error.
+    for n in [1_000usize, 10_000, 100_000] {
+        let deep = format!("{}1{}", "(".repeat(n), ")".repeat(n));
+        let err = parse_expr(&lex(&deep).expect("lexes")).expect_err("must be rejected");
+        assert!(
+            matches!(err, SurfaceError::Parse { .. }),
+            "depth {n}: {err:?}"
+        );
+        assert!(err.to_string().contains("depth limit"), "depth {n}: {err}");
+    }
+    // Deep nesting in types and lambda bodies is guarded too.
+    let deep_ty = format!(
+        "def f : {}Int{} = 1;",
+        "(".repeat(10_000),
+        ")".repeat(10_000)
+    );
+    let err = parse_program(&lex(&deep_ty).expect("lexes")).expect_err("must be rejected");
+    assert!(err.to_string().contains("depth limit"), "{err}");
+}
+
+#[test]
+fn nesting_below_the_limit_still_parses() {
+    let n = MAX_NESTING_DEPTH / 2 - 10;
+    let deep = format!("{}1{}", "(".repeat(n), ")".repeat(n));
+    parse_expr(&lex(&deep).expect("lexes")).expect("well within the limit");
 }

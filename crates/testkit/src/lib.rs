@@ -39,10 +39,12 @@ pub mod gen;
 pub mod oracle;
 pub mod rng;
 pub mod runner;
+pub mod saboteur;
 pub mod shrink;
 
 pub use gen::{build_closed, gen, G};
 pub use oracle::{differential, DiffReport, OracleError, PassDiff};
 pub use rng::SplitMix64;
 pub use runner::{check, check_with, Config};
+pub use saboteur::{corrupt, saboteur, Sabotage, SaboteurHandle};
 pub use shrink::shrink;

@@ -28,10 +28,16 @@ struct FrameV {
     update: Option<Rc<ThunkCell>>,
 }
 
+/// The VM polls its wall-clock deadline every `DEADLINE_CHECK_MASK + 1`
+/// instructions, matching the machine's cadence (`fj_eval`).
+pub const DEADLINE_CHECK_MASK: u64 = 0xFFF;
+
 /// Interpreter state for one program.
 pub struct Vm<'p> {
     prog: &'p Program,
     fuel: u64,
+    /// Wall-clock cut-off and the limit it came from (for the error).
+    deadline: Option<(std::time::Instant, std::time::Duration)>,
     metrics: Metrics,
     stack: Vec<VmValue>,
     env: Vec<VmValue>,
@@ -50,9 +56,25 @@ pub struct Vm<'p> {
 /// [`VmError::OutOfFuel`] past the budget, [`VmError::DivideByZero`] on
 /// arithmetic faults, [`VmError::Stuck`] on runtime type errors.
 pub fn run_program(prog: &Program, fuel: u64) -> Result<Outcome, VmError> {
+    run_program_with_limits(prog, fuel, None)
+}
+
+/// As [`run_program`], with an additional optional wall-clock deadline:
+/// the run stops with [`VmError::Timeout`] once the deadline passes,
+/// mirroring the machine's `run_with_limits`.
+///
+/// # Errors
+///
+/// As [`run_program`], plus [`VmError::Timeout`].
+pub fn run_program_with_limits(
+    prog: &Program,
+    fuel: u64,
+    deadline: Option<std::time::Duration>,
+) -> Result<Outcome, VmError> {
     let mut vm = Vm {
         prog,
         fuel,
+        deadline: deadline.map(|limit| (std::time::Instant::now() + limit, limit)),
         metrics: Metrics::default(),
         stack: Vec::with_capacity(64),
         env: Vec::with_capacity(256),
@@ -98,6 +120,13 @@ impl Vm<'_> {
             }
             self.fuel -= 1;
             self.metrics.steps += 1;
+            if self.metrics.steps & DEADLINE_CHECK_MASK == 0 {
+                if let Some((cutoff, limit)) = self.deadline {
+                    if std::time::Instant::now() >= cutoff {
+                        return Err(VmError::Timeout { limit });
+                    }
+                }
+            }
             let op = &ops[ip as usize];
             ip += 1;
             match op {

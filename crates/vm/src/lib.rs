@@ -35,7 +35,7 @@ pub mod ops;
 pub mod value;
 
 pub use compile::{compile, CompileError};
-pub use exec::run_program;
+pub use exec::{run_program, run_program_with_limits};
 pub use ops::{Op, Program};
 pub use value::VmError;
 
@@ -55,4 +55,21 @@ use fj_eval::{EvalMode, Outcome};
 pub fn run(e: &Expr, mode: EvalMode, fuel: u64) -> Result<Outcome, VmError> {
     let prog = compile(e, mode).map_err(VmError::Compile)?;
     run_program(&prog, fuel)
+}
+
+/// As [`run`], with an additional optional wall-clock deadline, mirroring
+/// [`fj_eval::run_with_limits`] so the two backends report timeouts
+/// consistently.
+///
+/// # Errors
+///
+/// As [`run`], plus [`VmError::Timeout`] past the deadline.
+pub fn run_with_limits(
+    e: &Expr,
+    mode: EvalMode,
+    fuel: u64,
+    deadline: Option<std::time::Duration>,
+) -> Result<Outcome, VmError> {
+    let prog = compile(e, mode).map_err(VmError::Compile)?;
+    run_program_with_limits(&prog, fuel, deadline)
 }

@@ -69,6 +69,12 @@ pub enum VmError {
     Compile(crate::compile::CompileError),
     /// The instruction budget was exhausted.
     OutOfFuel,
+    /// The wall-clock deadline passed (only when one was configured via
+    /// [`run_program_with_limits`](crate::exec::run_program_with_limits)).
+    Timeout {
+        /// The configured wall-clock limit.
+        limit: std::time::Duration,
+    },
     /// Division or remainder by zero.
     DivideByZero,
     /// A configuration no instruction covers (runtime type error).
@@ -80,6 +86,9 @@ impl fmt::Display for VmError {
         match self {
             VmError::Compile(e) => write!(f, "compile error: {e}"),
             VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::Timeout { limit } => {
+                write!(f, "wall-clock deadline exhausted ({limit:?})")
+            }
             VmError::DivideByZero => write!(f, "division by zero"),
             VmError::Stuck(msg) => write!(f, "vm stuck: {msg}"),
         }

@@ -25,7 +25,15 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 
 run cargo test --workspace --offline -q
 
+# Fault-injection smoke: every saboteur mode is caught, rolled back, and
+# value-preserving — on generated programs and on the whole nofib suite.
+run cargo test -p fj-testkit -p fj-nofib saboteur --offline -q
+
 if [[ "$QUICK" -eq 0 ]]; then
+  # A debug-assertions pass over the VM in release mode: the optimized
+  # build keeps its internal invariant checks honest.
+  echo '==> RUSTFLAGS="-C debug-assertions=on" cargo test -p fj-vm --release --offline -q'
+  env RUSTFLAGS="-C debug-assertions=on" cargo test -p fj-vm --release --offline -q
   run cargo build --workspace --release --offline
   # The headline acceptance check: the report must render, and the
   # join-points pipeline must win on the contification-sensitive rows

@@ -6,6 +6,8 @@
 //! fj run --baseline program.fj      # the join-blind pipeline
 //! fj run -O0 program.fj             # no optimization
 //! fj run --backend vm program.fj    # run on the bytecode VM
+//! fj run --timeout-ms 500 prog.fj   # wall-clock deadline for the run
+//! fj run --resilient program.fj     # roll back failing optimizer passes
 //! fj dump program.fj                # print optimized Core (F_J)
 //! fj dump --before program.fj       # print lowered Core, pre-optimizer
 //! fj check program.fj               # lint only
@@ -16,16 +18,32 @@
 //!                                   # JSON on stdout (BENCH_vm.json)
 //!
 //! options: --baseline | -O0, --backend machine|vm, --mode name|need|value,
-//!          --fuel N, --metrics
+//!          --fuel N, --timeout-ms N, --metrics, --resilient,
+//!          --pass-deadline-ms N, --max-growth F, --max-passes N
+//!
+//! exit codes: 0 success; 1 I/O or other runtime error; 2 usage, lexical,
+//! or parse error; 3 lowering or lint (type) error; 4 optimizer error;
+//! 5 evaluation budget exhausted (fuel or wall-clock deadline).
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use system_fj::check::lint;
-use system_fj::core::{erase, optimize_with_stats, OptConfig};
-use system_fj::eval::{run, EvalMode};
+use system_fj::core::{erase, optimize_resilient, optimize_with_stats, OptConfig};
+use system_fj::eval::{EvalMode, MachineError};
 use system_fj::nofib::Backend;
-use system_fj::surface::compile;
+use system_fj::surface::{compile, SurfaceError};
+use system_fj::vm::VmError;
+
+/// Exit code for usage, lexical, and parse errors.
+const EXIT_PARSE: u8 = 2;
+/// Exit code for lowering and lint (type) errors.
+const EXIT_TYPE: u8 = 3;
+/// Exit code for optimizer failures.
+const EXIT_OPT: u8 = 4;
+/// Exit code for exhausted evaluation budgets (fuel or deadline).
+const EXIT_BUDGET: u8 = 5;
 
 struct Options {
     command: String,
@@ -35,18 +53,23 @@ struct Options {
     mode: EvalMode,
     backend: Backend,
     fuel: u64,
+    timeout: Option<Duration>,
     metrics: bool,
     before: bool,
+    resilient: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: fj <run|dump|check|erase> [--baseline | -O0] [--backend machine|vm] \
-         [--mode name|need|value] [--fuel N] [--metrics] [--before] <file.fj>\n\
+         [--mode name|need|value] [--fuel N] [--timeout-ms N] [--metrics] [--before] \
+         [--resilient] [--pass-deadline-ms N] [--max-growth F] [--max-passes N] <file.fj>\n\
          \x20      fj report   (nofib suite: baseline vs join points, markdown)\n\
-         \x20      fj bench    (nofib suite timed on both backends, JSON)"
+         \x20      fj bench    (nofib suite timed on both backends, JSON)\n\
+         exit codes: 1 I/O or runtime, 2 usage/parse, 3 type/lint, 4 optimizer, \
+         5 fuel/deadline exhausted"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_PARSE)
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
@@ -65,8 +88,10 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut mode = EvalMode::CallByValue;
     let mut backend = Backend::Machine;
     let mut fuel = 100_000_000u64;
+    let mut timeout = None;
     let mut metrics = false;
     let mut before = false;
+    let mut resilient = false;
     let mut file = None;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -80,6 +105,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             "--metrics" => metrics = true,
             "--before" => before = true,
+            "--resilient" => resilient = true,
             "--mode" => {
                 mode = match args.next().as_deref() {
                     Some("name") => EvalMode::CallByName,
@@ -97,6 +123,22 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--fuel" => {
                 fuel = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
             }
+            "--timeout-ms" => {
+                let ms: u64 = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                timeout = Some(Duration::from_millis(ms));
+            }
+            "--pass-deadline-ms" => {
+                let ms: u64 = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                config = config.with_pass_deadline(Duration::from_millis(ms));
+            }
+            "--max-growth" => {
+                let f: f64 = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                config = config.with_max_growth(f);
+            }
+            "--max-passes" => {
+                let n: usize = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                config = config.with_max_passes(n);
+            }
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => return Err(usage()),
         }
@@ -111,8 +153,10 @@ fn parse_args() -> Result<Options, ExitCode> {
             mode,
             backend,
             fuel,
+            timeout,
             metrics,
             before,
+            resilient,
         });
     }
     let Some(file) = file else {
@@ -126,8 +170,10 @@ fn parse_args() -> Result<Options, ExitCode> {
         mode,
         backend,
         fuel,
+        timeout,
         metrics,
         before,
+        resilient,
     })
 }
 
@@ -157,12 +203,18 @@ fn main() -> ExitCode {
         Ok(l) => l,
         Err(e) => {
             eprintln!("fj: {}: {e}", opts.file);
-            return ExitCode::from(1);
+            // Frontend stages map to distinct exit codes: lexical and
+            // syntactic trouble is 2, name/type trouble during lowering
+            // is 3 (the same family as lint).
+            return match e {
+                SurfaceError::Lex { .. } | SurfaceError::Parse { .. } => ExitCode::from(EXIT_PARSE),
+                SurfaceError::Lower { .. } => ExitCode::from(EXIT_TYPE),
+            };
         }
     };
     if let Err(e) = lint(&lowered.expr, &lowered.data_env) {
         eprintln!("fj: {}: lint: {e}", opts.file);
-        return ExitCode::from(1);
+        return ExitCode::from(EXIT_TYPE);
     }
     if opts.command == "check" {
         println!("{}: OK", opts.file);
@@ -173,27 +225,53 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let (optimized, stats) = match optimize_with_stats(
-        &lowered.expr,
-        &lowered.data_env,
-        &mut lowered.supply,
-        &opts.config,
-    ) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("fj: optimizer: {e}");
-            return ExitCode::from(1);
+    let (optimized, passes_run, size_before, size_after) = if opts.resilient {
+        match optimize_resilient(
+            &lowered.expr,
+            &lowered.data_env,
+            &mut lowered.supply,
+            &opts.config,
+        ) {
+            Ok((e, report)) => {
+                for p in report.rolled_back() {
+                    eprintln!("fj: optimizer: pass `{}` {}", p.pass, p.outcome);
+                }
+                (
+                    e,
+                    report.passes.len(),
+                    report.census_before.size,
+                    report.census_after.size,
+                )
+            }
+            Err(e) => {
+                eprintln!("fj: optimizer: {e}");
+                return ExitCode::from(EXIT_OPT);
+            }
+        }
+    } else {
+        match optimize_with_stats(
+            &lowered.expr,
+            &lowered.data_env,
+            &mut lowered.supply,
+            &opts.config,
+        ) {
+            Ok((e, stats)) => (
+                e,
+                stats.passes_run.len(),
+                stats.size_before,
+                stats.size_after,
+            ),
+            Err(e) => {
+                eprintln!("fj: optimizer: {e}");
+                return ExitCode::from(EXIT_OPT);
+            }
         }
     };
 
     match opts.command.as_str() {
         "dump" => {
-            println!(
-                "-- pipeline: {} ({} passes)",
-                opts.config_name,
-                stats.passes_run.len()
-            );
-            println!("-- size: {} -> {}", stats.size_before, stats.size_after);
+            println!("-- pipeline: {} ({} passes)", opts.config_name, passes_run);
+            println!("-- size: {size_before} -> {size_after}");
             println!("{optimized}");
             ExitCode::SUCCESS
         }
@@ -208,12 +286,24 @@ fn main() -> ExitCode {
             }
         },
         "run" => {
+            // Both backends run with the same fuel and optional deadline;
+            // their budget errors map to the same exit code, so scripts
+            // see `5` for "ran out of budget" regardless of backend.
             let outcome = match opts.backend {
                 Backend::Machine => {
-                    run(&optimized, opts.mode, opts.fuel).map_err(|e| e.to_string())
+                    system_fj::eval::run_with_limits(&optimized, opts.mode, opts.fuel, opts.timeout)
+                        .map_err(|e| {
+                            let budget =
+                                matches!(e, MachineError::OutOfFuel | MachineError::Timeout { .. });
+                            (e.to_string(), budget)
+                        })
                 }
                 Backend::Vm => {
-                    system_fj::vm::run(&optimized, opts.mode, opts.fuel).map_err(|e| e.to_string())
+                    system_fj::vm::run_with_limits(&optimized, opts.mode, opts.fuel, opts.timeout)
+                        .map_err(|e| {
+                            let budget = matches!(e, VmError::OutOfFuel | VmError::Timeout { .. });
+                            (e.to_string(), budget)
+                        })
                 }
             };
             match outcome {
@@ -230,9 +320,9 @@ fn main() -> ExitCode {
                     }
                     ExitCode::SUCCESS
                 }
-                Err(e) => {
-                    eprintln!("fj: runtime: {e}");
-                    ExitCode::from(1)
+                Err((msg, budget)) => {
+                    eprintln!("fj: runtime: {msg}");
+                    ExitCode::from(if budget { EXIT_BUDGET } else { 1 })
                 }
             }
         }

@@ -116,3 +116,102 @@ fn report_renders_markdown_comparison() {
     // The headline shootout row: join points erase all allocations.
     assert!(stdout.contains("-100.0%"), "{stdout}");
 }
+
+/// As [`fj`], but returning the raw exit code (the CLI's documented
+/// contract: 2 usage/parse, 3 type/lint, 4 optimizer, 5 budget).
+fn fj_code(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fj"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn fj");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn parse_error_exits_2_with_diagnostic() {
+    let (_, stderr, code) = fj_code(&["run", "programs/errors/syntax_error.fj"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("parse error at"), "{stderr}");
+}
+
+#[test]
+fn type_error_exits_3_with_diagnostic() {
+    let (_, stderr, code) = fj_code(&["run", "programs/errors/type_error.fj"]);
+    assert_eq!(code, Some(3), "stderr: {stderr}");
+    assert!(stderr.contains("not in scope"), "{stderr}");
+}
+
+#[test]
+fn usage_error_exits_2() {
+    let (_, stderr, code) = fj_code(&["frobnicate"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn fuel_exhaustion_exits_5_on_both_backends() {
+    for backend in ["machine", "vm"] {
+        let (_, stderr, code) = fj_code(&[
+            "run",
+            "--backend",
+            backend,
+            "--fuel",
+            "1000",
+            "programs/diverge.fj",
+        ]);
+        assert_eq!(code, Some(5), "backend {backend}: stderr: {stderr}");
+        assert!(stderr.contains("budget exhausted"), "{backend}: {stderr}");
+    }
+}
+
+#[test]
+fn wall_clock_timeout_exits_5_on_both_backends() {
+    for backend in ["machine", "vm"] {
+        let (_, stderr, code) = fj_code(&[
+            "run",
+            "--backend",
+            backend,
+            "--timeout-ms",
+            "50",
+            "programs/diverge.fj",
+        ]);
+        assert_eq!(code, Some(5), "backend {backend}: stderr: {stderr}");
+        assert!(
+            stderr.contains("wall-clock deadline exhausted"),
+            "{backend}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn resilient_run_matches_strict_run() {
+    let (strict, _, ok) = fj(&["run", "programs/sum.fj"]);
+    assert!(ok);
+    let (resilient, stderr, ok) = fj(&["run", "--resilient", "programs/sum.fj"]);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(strict.trim(), resilient.trim());
+    // Nothing failed, so nothing was rolled back.
+    assert!(!stderr.contains("rolled back"), "{stderr}");
+}
+
+#[test]
+fn resilient_budget_flags_are_accepted() {
+    let (stdout, stderr, ok) = fj(&[
+        "run",
+        "--resilient",
+        "--pass-deadline-ms",
+        "10000",
+        "--max-growth",
+        "100.0",
+        "--max-passes",
+        "64",
+        "programs/sum.fj",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.trim(), "500500");
+}

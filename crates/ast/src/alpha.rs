@@ -493,7 +493,7 @@ mod tests {
         let mut s = NameSupply::new();
         let x = s.fresh("x");
         let e1 = Expr::lam(Binder::new(x.clone(), Type::Int), Expr::Lit(0));
-        let e2 = Expr::lam(Binder::new(x.clone(), Type::bool()), Expr::Lit(0));
+        let e2 = Expr::lam(Binder::new(x, Type::bool()), Expr::Lit(0));
         assert!(!alpha_eq(&e1, &e2));
     }
 

@@ -289,7 +289,7 @@ impl DataEnv {
                 got: ty_args.len(),
             });
         }
-        let subst: HashMap<Name, Type> = dt
+        let subst: crate::fxhash::FxHashMap<Name, Type> = dt
             .ty_vars
             .iter()
             .cloned()

@@ -14,10 +14,24 @@
 //! integer literals ([`Expr::Lit`]) and saturated primitive operations
 //! ([`Expr::Prim`]). Case alternatives may match literals and may include a
 //! default ([`AltCon`]).
+//!
+//! ## Subtree sharing
+//!
+//! Subtrees are held behind [`Arc`], not `Box`: a pass that leaves a
+//! subtree untouched returns the *same* pointer, so cloning a term for a
+//! rollback snapshot is a reference-count bump and `Arc::ptr_eq` on a
+//! child is a sound "nothing changed below here" witness (names are
+//! globally unique, so a shared subtree cannot mean two different things
+//! in two positions). Passes rewrite copy-on-write via
+//! [`Arc::make_mut`]/[`Expr::unshare`], paying for a node copy only on
+//! the path that actually changed. `Arc` rather than `Rc` because terms
+//! cross threads: the pass guard runs deadline-guarded passes on watcher
+//! threads, and `optimize_many` fans whole pipelines out over a pool.
 
 use crate::name::{Ident, Name};
 use crate::ty::Type;
 use std::fmt;
+use std::sync::Arc;
 
 /// A typed term binder `x : σ`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -193,7 +207,7 @@ impl Alt {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LetBind {
     /// A non-recursive binding.
-    NonRec(Binder, Box<Expr>),
+    NonRec(Binder, Arc<Expr>),
     /// A mutually recursive group.
     Rec(Vec<(Binder, Expr)>),
 }
@@ -254,7 +268,7 @@ impl JoinDef {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum JoinBind {
     /// A non-recursive join point.
-    NonRec(Box<JoinDef>),
+    NonRec(Arc<JoinDef>),
     /// A recursive group of join points.
     Rec(Vec<JoinDef>),
 }
@@ -268,10 +282,11 @@ impl JoinBind {
         }
     }
 
-    /// Mutable access to all definitions in the group.
+    /// Mutable access to all definitions in the group (copy-on-write for
+    /// a shared non-recursive definition).
     pub fn defs_mut(&mut self) -> &mut [JoinDef] {
         match self {
-            JoinBind::NonRec(d) => std::slice::from_mut(&mut **d),
+            JoinBind::NonRec(d) => std::slice::from_mut(Arc::make_mut(d)),
             JoinBind::Rec(ds) => ds,
         }
     }
@@ -297,21 +312,21 @@ pub enum Expr {
     /// A saturated primitive operation.
     Prim(PrimOp, Vec<Expr>),
     /// `λ(x:σ). e`.
-    Lam(Binder, Box<Expr>),
+    Lam(Binder, Arc<Expr>),
     /// Application `e u`.
-    App(Box<Expr>, Box<Expr>),
+    App(Arc<Expr>, Arc<Expr>),
     /// `Λa. e`.
-    TyLam(Name, Box<Expr>),
+    TyLam(Name, Arc<Expr>),
     /// Type application `e φ`.
-    TyApp(Box<Expr>, Type),
+    TyApp(Arc<Expr>, Type),
     /// Saturated data construction `K φ⃗ e⃗`.
     Con(Ident, Vec<Type>, Vec<Expr>),
     /// `case e of alt⃗`.
-    Case(Box<Expr>, Vec<Alt>),
+    Case(Arc<Expr>, Vec<Alt>),
     /// `let vb in e`.
-    Let(LetBind, Box<Expr>),
+    Let(LetBind, Arc<Expr>),
     /// `join jb in u` — the join-point binding (paper Fig. 1, highlighted).
-    Join(JoinBind, Box<Expr>),
+    Join(JoinBind, Arc<Expr>),
     /// `jump j φ⃗ e⃗ τ` — invoke a join point, discarding the evaluation
     /// context. The trailing `τ` is the *result-type annotation*: a jump may
     /// be given any type (rule JUMP), and `abort` retargets it.
@@ -324,9 +339,20 @@ impl Expr {
         Expr::Var(n.clone())
     }
 
+    /// Wrap a term in the shared subtree pointer.
+    pub fn share(e: Expr) -> Arc<Expr> {
+        Arc::new(e)
+    }
+
+    /// Take ownership of a shared subtree: free when this is the only
+    /// reference, a one-node-deep clone otherwise (children stay shared).
+    pub fn unshare(e: Arc<Expr>) -> Expr {
+        Arc::try_unwrap(e).unwrap_or_else(|shared| (*shared).clone())
+    }
+
     /// `λ(x:σ). e`.
     pub fn lam(b: Binder, body: Expr) -> Expr {
-        Expr::Lam(b, Box::new(body))
+        Expr::Lam(b, Arc::new(body))
     }
 
     /// Nested λ over several binders.
@@ -337,7 +363,7 @@ impl Expr {
 
     /// Application `f a`.
     pub fn app(f: Expr, a: Expr) -> Expr {
-        Expr::App(Box::new(f), Box::new(a))
+        Expr::App(Arc::new(f), Arc::new(a))
     }
 
     /// Application to several arguments.
@@ -347,37 +373,37 @@ impl Expr {
 
     /// `Λa. e`.
     pub fn ty_lam(a: Name, body: Expr) -> Expr {
-        Expr::TyLam(a, Box::new(body))
+        Expr::TyLam(a, Arc::new(body))
     }
 
     /// Type application `e φ`.
     pub fn ty_app(e: Expr, t: Type) -> Expr {
-        Expr::TyApp(Box::new(e), t)
+        Expr::TyApp(Arc::new(e), t)
     }
 
     /// `case e of alts`.
     pub fn case(scrut: Expr, alts: Vec<Alt>) -> Expr {
-        Expr::Case(Box::new(scrut), alts)
+        Expr::Case(Arc::new(scrut), alts)
     }
 
     /// Non-recursive `let`.
     pub fn let1(b: Binder, rhs: Expr, body: Expr) -> Expr {
-        Expr::Let(LetBind::NonRec(b, Box::new(rhs)), Box::new(body))
+        Expr::Let(LetBind::NonRec(b, Arc::new(rhs)), Arc::new(body))
     }
 
     /// Recursive `let`.
     pub fn letrec(binds: Vec<(Binder, Expr)>, body: Expr) -> Expr {
-        Expr::Let(LetBind::Rec(binds), Box::new(body))
+        Expr::Let(LetBind::Rec(binds), Arc::new(body))
     }
 
     /// Non-recursive `join`.
     pub fn join1(def: JoinDef, body: Expr) -> Expr {
-        Expr::Join(JoinBind::NonRec(Box::new(def)), Box::new(body))
+        Expr::Join(JoinBind::NonRec(Arc::new(def)), Arc::new(body))
     }
 
     /// Recursive `join`.
     pub fn joinrec(defs: Vec<JoinDef>, body: Expr) -> Expr {
-        Expr::Join(JoinBind::Rec(defs), Box::new(body))
+        Expr::Join(JoinBind::Rec(defs), Arc::new(body))
     }
 
     /// A jump with its result-type annotation.
@@ -539,7 +565,7 @@ mod tests {
         let x = b(&mut s, "x");
         let y = b(&mut s, "y");
         let body = Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::var(&y.name));
-        let f = Expr::lams([x.clone(), y.clone()], body);
+        let f = Expr::lams([x, y], body);
         let applied = Expr::apps(f, [Expr::Lit(1), Expr::Lit(2)]);
         let (head, spine) = applied.collect_app_spine();
         assert!(matches!(head, Expr::Lam(..)));

@@ -32,7 +32,76 @@ pub fn free_ty_vars(e: &Expr) -> HashSet<Name> {
 
 /// Does `x` occur free (as a term variable) in `e`?
 pub fn occurs_free(x: &Name, e: &Expr) -> bool {
-    free_vars(e).contains(x)
+    mentions_any(e, std::slice::from_ref(x))
+}
+
+/// Does any of `names` occur (as a term-variable reference) anywhere in
+/// `e`?
+///
+/// Under the optimizer's globally-unique-binders invariant an occurrence
+/// of a name in `names` can only ever refer to the binder the caller has
+/// in hand — no inner binder can shadow it — so a short-circuiting scan
+/// for `Var` nodes replaces building the full free-variable set per
+/// query. (On arbitrary shadowed terms this is a conservative
+/// over-approximation of "occurs free": it may say `true` for a
+/// shadowed, bound occurrence, never `false` for a free one.)
+pub fn mentions_any(e: &Expr, names: &[Name]) -> bool {
+    match e {
+        Expr::Var(x) => names.contains(x),
+        Expr::Lit(_) => false,
+        Expr::Prim(_, args) | Expr::Con(_, _, args) | Expr::Jump(_, _, args, _) => {
+            args.iter().any(|a| mentions_any(a, names))
+        }
+        Expr::Lam(_, body) | Expr::TyLam(_, body) => mentions_any(body, names),
+        Expr::App(f, a) => mentions_any(f, names) || mentions_any(a, names),
+        Expr::TyApp(f, _) => mentions_any(f, names),
+        Expr::Case(s, alts) => {
+            mentions_any(s, names) || alts.iter().any(|alt| mentions_any(&alt.rhs, names))
+        }
+        Expr::Let(bind, body) => {
+            let in_rhs = match bind {
+                LetBind::NonRec(_, rhs) => mentions_any(rhs, names),
+                LetBind::Rec(binds) => binds.iter().any(|(_, rhs)| mentions_any(rhs, names)),
+            };
+            in_rhs || mentions_any(body, names)
+        }
+        Expr::Join(jb, body) => {
+            jb.defs().iter().any(|d| mentions_any(&d.body, names)) || mentions_any(body, names)
+        }
+    }
+}
+
+/// Does a jump targeting `label` occur anywhere in `e`?
+///
+/// The same unique-binders shortcut as [`mentions_any`], for the label
+/// namespace: no inner join can rebind `label`, so a short-circuiting scan
+/// for `Jump` nodes replaces building the full free-label set per query.
+/// (On arbitrary shadowed terms this over-approximates "occurs free",
+/// never under-approximates.)
+pub fn mentions_label(e: &Expr, label: &Name) -> bool {
+    match e {
+        Expr::Var(_) | Expr::Lit(_) => false,
+        Expr::Prim(_, args) | Expr::Con(_, _, args) => {
+            args.iter().any(|a| mentions_label(a, label))
+        }
+        Expr::Lam(_, body) | Expr::TyLam(_, body) => mentions_label(body, label),
+        Expr::App(f, a) => mentions_label(f, label) || mentions_label(a, label),
+        Expr::TyApp(f, _) => mentions_label(f, label),
+        Expr::Case(s, alts) => {
+            mentions_label(s, label) || alts.iter().any(|alt| mentions_label(&alt.rhs, label))
+        }
+        Expr::Let(bind, body) => {
+            let in_rhs = match bind {
+                LetBind::NonRec(_, rhs) => mentions_label(rhs, label),
+                LetBind::Rec(binds) => binds.iter().any(|(_, rhs)| mentions_label(rhs, label)),
+            };
+            in_rhs || mentions_label(body, label)
+        }
+        Expr::Join(jb, body) => {
+            jb.defs().iter().any(|d| mentions_label(&d.body, label)) || mentions_label(body, label)
+        }
+        Expr::Jump(j, _, args, _) => j == label || args.iter().any(|a| mentions_label(a, label)),
+    }
 }
 
 fn vars_into(e: &Expr, bound: &mut HashSet<Name>, out: &mut HashSet<Name>) {

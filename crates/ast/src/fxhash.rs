@@ -1,0 +1,120 @@
+//! A fast, non-cryptographic hasher for the optimizer's hot-path maps.
+//!
+//! This is the FxHash algorithm used throughout rustc (and published as
+//! the `rustc-hash` crate): one multiply-rotate-xor step per word. The
+//! workspace builds offline with no registry access, so the ~30 lines
+//! are carried in-tree rather than as a dependency.
+//!
+//! The optimizer's maps are keyed by [`Name`](crate::Name) uniques
+//! (small dense `u64`s) and α-fingerprints; none of them are exposed to
+//! untrusted input, so HashDoS resistance — the one thing SipHash buys —
+//! is not needed, and the default hasher's per-key setup cost dominates
+//! the small maps substitution creates at every binder.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the Fx hasher: a drop-in for `std::collections::HashMap`
+/// on hot paths keyed by names, uniques, or fingerprints.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc FxHash state: a single `u64` folded with
+/// `hash = (hash.rotate_left(5) ^ word) * SEED` per input word.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (chunk, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(chunk.try_into().unwrap())));
+            bytes = rest;
+        }
+        if bytes.len() >= 2 {
+            let (chunk, rest) = bytes.split_at(2);
+            self.add_to_hash(u64::from(u16::from_le_bytes(chunk.try_into().unwrap())));
+            bytes = rest;
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        // Not a collision-freeness proof, just a sanity check that the
+        // fold actually mixes.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&2), Some(&"two"));
+        assert_eq!(m.get(&3), None);
+    }
+}

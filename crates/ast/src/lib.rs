@@ -44,6 +44,7 @@ mod builder;
 mod data_env;
 mod expr;
 mod fv;
+pub mod fxhash;
 mod name;
 mod pretty;
 mod subst;
@@ -55,7 +56,8 @@ pub use data_env::{DataCon, DataEnv, DataEnvError, DataType};
 pub use expr::{
     Alt, AltCon, Binder, Expr, JoinBind, JoinDef, LetBind, PrimOp, PrimResult, SpineArg,
 };
-pub use fv::{free_labels, free_ty_vars, free_vars, occurs_free};
+pub use fv::{free_labels, free_ty_vars, free_vars, mentions_any, mentions_label, occurs_free};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use name::{Ident, Name, NameSupply, FIRST_PROGRAM_ID};
 pub use pretty::pretty;
 pub use subst::{freshen, subst_term, subst_terms, subst_ty_in_expr, subst_tys_in_expr, Subst};

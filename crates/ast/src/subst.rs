@@ -6,30 +6,49 @@
 //! passes, extending the substitution with the renamings. Capture is then
 //! impossible by construction, and inlining the same right-hand side twice
 //! yields disjoint binder sets.
+//!
+//! The traversal extends its three maps in place and restores the
+//! displaced entries on scope exit, rather than cloning the maps at every
+//! binder: substitution sits on the simplifier's inner loop, and the
+//! clone-per-binder version was quadratic in binding depth. Saving the
+//! displaced entry keeps the mutate-and-restore correct even for shadowed
+//! (non-unique) input terms.
 
 use crate::expr::{Alt, Binder, Expr, JoinBind, JoinDef, LetBind};
+use crate::fxhash::FxHashMap;
 use crate::name::{Name, NameSupply};
 use crate::ty::Type;
-use std::collections::HashMap;
+
+type TermMap = FxHashMap<Name, Expr>;
+type TyMap = FxHashMap<Name, Type>;
+type LabelMap = FxHashMap<Name, Name>;
+
+/// A displaced map entry, reinstated when its binder's scope ends.
+type Saved<V> = (Name, Option<V>);
 
 /// A simultaneous substitution of terms for term variables, types for type
 /// variables, and labels for labels, applied with full binder freshening.
 #[derive(Debug)]
 pub struct Subst<'s> {
     supply: &'s mut NameSupply,
-    term: HashMap<Name, Expr>,
-    ty: HashMap<Name, Type>,
-    label: HashMap<Name, Name>,
+    term: TermMap,
+    ty: TyMap,
+    label: LabelMap,
 }
+
+/// Binding scopes are shallow (a handful of binders); substitutions are
+/// small. Pre-sizing to this keeps the common case allocation-free after
+/// the first rehash.
+const MAP_CAPACITY: usize = 16;
 
 impl<'s> Subst<'s> {
     /// An identity substitution (still freshens binders when applied).
     pub fn new(supply: &'s mut NameSupply) -> Self {
         Subst {
             supply,
-            term: HashMap::new(),
-            ty: HashMap::new(),
-            label: HashMap::new(),
+            term: TermMap::with_capacity_and_hasher(MAP_CAPACITY, Default::default()),
+            ty: TyMap::default(),
+            label: LabelMap::default(),
         }
     }
 
@@ -53,34 +72,51 @@ impl<'s> Subst<'s> {
 
     /// Apply the substitution, freshening every binder along the way.
     pub fn apply(mut self, e: &Expr) -> Expr {
-        let term = std::mem::take(&mut self.term);
-        let ty = std::mem::take(&mut self.ty);
-        let label = std::mem::take(&mut self.label);
-        go(self.supply, &term, &ty, &label, e)
+        let mut term = std::mem::take(&mut self.term);
+        let mut ty = std::mem::take(&mut self.ty);
+        let mut label = std::mem::take(&mut self.label);
+        go(self.supply, &mut term, &mut ty, &mut label, e)
     }
 }
 
-fn apply_ty(ty_map: &HashMap<Name, Type>, t: &Type) -> Type {
+fn apply_ty(ty_map: &TyMap, t: &Type) -> Type {
     t.subst(ty_map)
 }
 
+/// Insert a fresh renaming for `b`, recording what it displaced.
 fn fresh_binder(
     supply: &mut NameSupply,
-    term: &mut HashMap<Name, Expr>,
-    ty_map: &HashMap<Name, Type>,
+    term: &mut TermMap,
+    ty_map: &TyMap,
     b: &Binder,
+    saves: &mut Vec<Saved<Expr>>,
 ) -> Binder {
     let new = supply.fresh_like(&b.name);
-    term.insert(b.name.clone(), Expr::Var(new.clone()));
+    let old = term.insert(b.name.clone(), Expr::Var(new.clone()));
+    saves.push((b.name.clone(), old));
     Binder::new(new, apply_ty(ty_map, &b.ty))
+}
+
+/// Undo a batch of scoped insertions, newest first.
+fn restore<V>(map: &mut FxHashMap<Name, V>, saves: Vec<Saved<V>>) {
+    for (k, old) in saves.into_iter().rev() {
+        match old {
+            Some(v) => {
+                map.insert(k, v);
+            }
+            None => {
+                map.remove(&k);
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_lines)]
 fn go(
     supply: &mut NameSupply,
-    term: &HashMap<Name, Expr>,
-    ty_map: &HashMap<Name, Type>,
-    label: &HashMap<Name, Name>,
+    term: &mut TermMap,
+    ty_map: &mut TyMap,
+    label: &mut LabelMap,
     e: &Expr,
 ) -> Expr {
     match e {
@@ -93,15 +129,18 @@ fn go(
                 .collect(),
         ),
         Expr::Lam(b, body) => {
-            let mut term2 = term.clone();
-            let b2 = fresh_binder(supply, &mut term2, ty_map, b);
-            Expr::lam(b2, go(supply, &term2, ty_map, label, body))
+            let mut saves = Vec::with_capacity(1);
+            let b2 = fresh_binder(supply, term, ty_map, b, &mut saves);
+            let body2 = go(supply, term, ty_map, label, body);
+            restore(term, saves);
+            Expr::lam(b2, body2)
         }
         Expr::TyLam(a, body) => {
             let a2 = supply.fresh_like(a);
-            let mut ty2 = ty_map.clone();
-            ty2.insert(a.clone(), Type::Var(a2.clone()));
-            Expr::ty_lam(a2, go(supply, term, &ty2, label, body))
+            let old = ty_map.insert(a.clone(), Type::Var(a2.clone()));
+            let body2 = go(supply, term, ty_map, label, body);
+            restore(ty_map, vec![(a.clone(), old)]);
+            Expr::ty_lam(a2, body2)
         }
         Expr::App(f, x) => Expr::app(
             go(supply, term, ty_map, label, f),
@@ -120,16 +159,18 @@ fn go(
             let alts2 = alts
                 .iter()
                 .map(|alt| {
-                    let mut term2 = term.clone();
+                    let mut saves = Vec::with_capacity(alt.binders.len());
                     let binders2: Vec<Binder> = alt
                         .binders
                         .iter()
-                        .map(|b| fresh_binder(supply, &mut term2, ty_map, b))
+                        .map(|b| fresh_binder(supply, term, ty_map, b, &mut saves))
                         .collect();
+                    let rhs2 = go(supply, term, ty_map, label, &alt.rhs);
+                    restore(term, saves);
                     Alt {
                         con: alt.con.clone(),
                         binders: binders2,
-                        rhs: go(supply, &term2, ty_map, label, &alt.rhs),
+                        rhs: rhs2,
                     }
                 })
                 .collect();
@@ -138,76 +179,94 @@ fn go(
         Expr::Let(bind, body) => match bind {
             LetBind::NonRec(b, rhs) => {
                 let rhs2 = go(supply, term, ty_map, label, rhs);
-                let mut term2 = term.clone();
-                let b2 = fresh_binder(supply, &mut term2, ty_map, b);
-                Expr::let1(b2, rhs2, go(supply, &term2, ty_map, label, body))
+                let mut saves = Vec::with_capacity(1);
+                let b2 = fresh_binder(supply, term, ty_map, b, &mut saves);
+                let body2 = go(supply, term, ty_map, label, body);
+                restore(term, saves);
+                Expr::let1(b2, rhs2, body2)
             }
             LetBind::Rec(binds) => {
-                let mut term2 = term.clone();
+                let mut saves = Vec::with_capacity(binds.len());
                 let binders2: Vec<Binder> = binds
                     .iter()
-                    .map(|(b, _)| fresh_binder(supply, &mut term2, ty_map, b))
+                    .map(|(b, _)| fresh_binder(supply, term, ty_map, b, &mut saves))
                     .collect();
                 let binds2: Vec<(Binder, Expr)> = binders2
                     .into_iter()
                     .zip(binds.iter())
-                    .map(|(b2, (_, rhs))| (b2, go(supply, &term2, ty_map, label, rhs)))
+                    .map(|(b2, (_, rhs))| (b2, go(supply, term, ty_map, label, rhs)))
                     .collect();
-                Expr::letrec(binds2, go(supply, &term2, ty_map, label, body))
+                let body2 = go(supply, term, ty_map, label, body);
+                restore(term, saves);
+                Expr::letrec(binds2, body2)
             }
         },
         Expr::Join(jb, body) => {
             let is_rec = jb.is_rec();
-            let mut label2 = label.clone();
             let new_labels: Vec<Name> = jb
                 .defs()
                 .iter()
-                .map(|d| {
-                    let n = supply.fresh_like(&d.name);
-                    label2.insert(d.name.clone(), n.clone());
-                    n
-                })
+                .map(|d| supply.fresh_like(&d.name))
                 .collect();
-            // Non-recursive joins do not scope over their own RHS.
-            let rhs_labels = if is_rec { &label2 } else { label };
+            // Non-recursive joins do not scope over their own RHS, so the
+            // label renamings enter the map before the definitions only
+            // for recursive groups.
+            let mut label_saves = Vec::with_capacity(new_labels.len());
+            if is_rec {
+                for (d, n) in jb.defs().iter().zip(&new_labels) {
+                    let old = label.insert(d.name.clone(), n.clone());
+                    label_saves.push((d.name.clone(), old));
+                }
+            }
             let defs2: Vec<JoinDef> = jb
                 .defs()
                 .iter()
-                .zip(new_labels)
+                .zip(&new_labels)
                 .map(|(d, new_name)| {
-                    let mut ty2 = ty_map.clone();
+                    let mut ty_saves = Vec::with_capacity(d.ty_params.len());
                     let ty_params2: Vec<Name> = d
                         .ty_params
                         .iter()
                         .map(|a| {
                             let a2 = supply.fresh_like(a);
-                            ty2.insert(a.clone(), Type::Var(a2.clone()));
+                            let old = ty_map.insert(a.clone(), Type::Var(a2.clone()));
+                            ty_saves.push((a.clone(), old));
                             a2
                         })
                         .collect();
-                    let mut term2 = term.clone();
+                    let mut term_saves = Vec::with_capacity(d.params.len());
                     let params2: Vec<Binder> = d
                         .params
                         .iter()
-                        .map(|b| fresh_binder(supply, &mut term2, &ty2, b))
+                        .map(|b| fresh_binder(supply, term, ty_map, b, &mut term_saves))
                         .collect();
+                    let body2 = go(supply, term, ty_map, label, &d.body);
+                    restore(term, term_saves);
+                    restore(ty_map, ty_saves);
                     JoinDef {
-                        name: new_name,
+                        name: new_name.clone(),
                         ty_params: ty_params2,
                         params: params2,
-                        body: go(supply, &term2, &ty2, rhs_labels, &d.body),
+                        body: body2,
                     }
                 })
                 .collect();
-            let body2 = go(supply, term, ty_map, &label2, body);
+            if !is_rec {
+                for (d, n) in jb.defs().iter().zip(&new_labels) {
+                    let old = label.insert(d.name.clone(), n.clone());
+                    label_saves.push((d.name.clone(), old));
+                }
+            }
+            let body2 = go(supply, term, ty_map, label, body);
+            restore(label, label_saves);
             let jb2 = if is_rec {
                 JoinBind::Rec(defs2)
             } else {
-                JoinBind::NonRec(Box::new(
+                JoinBind::NonRec(std::sync::Arc::new(
                     defs2.into_iter().next().expect("nonrec has one def"),
                 ))
             };
-            Expr::Join(jb2, Box::new(body2))
+            Expr::Join(jb2, Expr::share(body2))
         }
         Expr::Jump(j, tys, args, res) => Expr::Jump(
             label.get(j).cloned().unwrap_or_else(|| j.clone()),
@@ -316,6 +375,31 @@ mod tests {
     }
 
     #[test]
+    fn shadowed_binder_scopes_restore() {
+        // Two sibling lambdas binding the SAME name (shadowing the free
+        // x we substitute for): the restore discipline must bring the
+        // x ↦ 42 mapping back after each scope closes.
+        let mut s = supply();
+        let x = s.fresh("x");
+        let shadow = Expr::lam(Binder::new(x.clone(), Type::Int), Expr::var(&x));
+        let e = Expr::prim2(
+            PrimOp::Add,
+            Expr::app(shadow.clone(), Expr::var(&x)),
+            Expr::app(shadow, Expr::var(&x)),
+        );
+        let r = subst_term(&e, &x, &Expr::Lit(42), &mut s);
+        // Both free occurrences became 42; both bound ones stayed bound.
+        let mut lit42 = 0;
+        r.walk(&mut |n| {
+            if matches!(n, Expr::Lit(42)) {
+                lit42 += 1;
+            }
+        });
+        assert_eq!(lit42, 2);
+        assert!(free_vars(&r).is_empty());
+    }
+
+    #[test]
     fn ty_subst_in_lambda_annotation() {
         let mut s = supply();
         let a = s.fresh("a");
@@ -404,7 +488,7 @@ mod tests {
         // Substituting Int for `a` must not touch the bound occurrence.
         let r = subst_ty_in_expr(&e, &a, &Type::Int, &mut s);
         match r {
-            Expr::TyLam(a2, body) => match *body {
+            Expr::TyLam(a2, body) => match &*body {
                 Expr::Lam(b, _) => {
                     assert_eq!(b.ty, Type::Var(a2));
                 }

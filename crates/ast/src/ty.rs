@@ -7,8 +7,8 @@
 //! Join points receive types of the shape `∀a⃗. σ⃗ → ∀r.r` (rule JBIND); the
 //! return type `∀r.r` — *bottom* — is built by [`Type::bot`].
 
+use crate::fxhash::FxHashMap;
 use crate::name::{Ident, Name};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A System F_J type.
@@ -84,7 +84,7 @@ impl Type {
     /// All binders in the *image* types are assumed not to capture — callers
     /// that substitute open types under binders must freshen first (the
     /// optimizer maintains globally unique binders, so this holds there).
-    pub fn subst(&self, map: &HashMap<Name, Type>) -> Type {
+    pub fn subst(&self, map: &FxHashMap<Name, Type>) -> Type {
         if map.is_empty() {
             return self.clone();
         }
@@ -107,7 +107,7 @@ impl Type {
 
     /// Substitute a single type variable.
     pub fn subst1(&self, var: &Name, ty: &Type) -> Type {
-        let mut m = HashMap::new();
+        let mut m = FxHashMap::default();
         m.insert(var.clone(), ty.clone());
         self.subst(&m)
     }
@@ -290,7 +290,7 @@ mod tests {
         let ta = Type::forall(a.clone(), Type::Var(a.clone()));
         let tb = Type::forall(b.clone(), Type::Var(b.clone()));
         assert!(ta.alpha_eq(&tb));
-        let tc = Type::forall(a.clone(), Type::Var(b));
+        let tc = Type::forall(a, Type::Var(b));
         assert!(!ta.alpha_eq(&tc));
     }
 

@@ -6,15 +6,14 @@
 //! right-hand sides. That is what confines jumps to positions where
 //! "adjust the stack and jump" is a correct compilation strategy.
 
-use fj_ast::{Name, Type};
-use std::collections::HashMap;
+use fj_ast::{FxHashMap, Name, Type};
 
 /// The Γ environment: term variables with their types, and the type
 /// variables currently in scope.
 #[derive(Clone, Debug, Default)]
 pub struct Gamma {
-    vars: HashMap<Name, Type>,
-    tyvars: HashMap<Name, ()>,
+    vars: FxHashMap<Name, Type>,
+    tyvars: FxHashMap<Name, ()>,
 }
 
 impl Gamma {
@@ -70,7 +69,7 @@ pub struct JoinSig {
 /// that extend Δ and simply passes [`Delta::empty`] where the paper resets.
 #[derive(Clone, Debug, Default)]
 pub struct Delta {
-    labels: HashMap<Name, JoinSig>,
+    labels: FxHashMap<Name, JoinSig>,
 }
 
 impl Delta {

@@ -239,7 +239,7 @@ mod tests {
         // join j = True in jump-free body of type Int
         let e = Expr::join1(
             JoinDef {
-                name: j.clone(),
+                name: j,
                 ty_params: vec![],
                 params: vec![],
                 body: Expr::bool(true),
@@ -459,7 +459,7 @@ mod tests {
         let e = Expr::var(&x);
         assert!(type_of(&e, &d.data_env, &Gamma::new()).is_err());
         let mut g = Gamma::new();
-        g.bind_var(x.clone(), Type::Int);
+        g.bind_var(x, Type::Int);
         assert_eq!(type_of(&e, &d.data_env, &g).unwrap(), Type::Int);
     }
 

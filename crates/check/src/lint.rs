@@ -8,7 +8,7 @@
 
 use crate::env::{Delta, Gamma, JoinSig};
 use fj_ast::{AltCon, DataEnv, Expr, Ident, JoinBind, LetBind, Name, PrimOp, Type};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 
 /// Why a term failed to lint.
@@ -461,7 +461,7 @@ impl Checker<'_> {
                 for t in tys {
                     self.wf_type(t, gamma)?;
                 }
-                let inst: HashMap<Name, Type> = sig
+                let inst: fj_ast::FxHashMap<Name, Type> = sig
                     .ty_params
                     .iter()
                     .cloned()

@@ -98,7 +98,7 @@ pub fn inline(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
     let body2 = subst_terms(body, [(b.name.clone(), (**rhs).clone())], supply);
     Some(Expr::Let(
         LetBind::NonRec(b.clone(), rhs.clone()),
-        Box::new(body2),
+        Expr::share(body2),
     ))
 }
 
@@ -157,7 +157,7 @@ pub fn jinline(e: &Expr, supply: &mut NameSupply) -> Option<Expr> {
     if changed {
         Some(Expr::Join(
             JoinBind::NonRec(def.clone()),
-            Box::new(new_body),
+            Expr::share(new_body),
         ))
     } else {
         None
@@ -193,7 +193,7 @@ fn rewrite_tail_jumps(
         ),
         Expr::Let(bind, body) => Expr::Let(
             bind.clone(),
-            Box::new(rewrite_tail_jumps(body, target, supply, changed, mk)),
+            Expr::share(rewrite_tail_jumps(body, target, supply, changed, mk)),
         ),
         Expr::Join(jb, body) => {
             // Join RHSs and the body are both tail contexts (Fig. 1).
@@ -204,7 +204,7 @@ fn rewrite_tail_jumps(
             }
             Expr::Join(
                 jb2,
-                Box::new(rewrite_tail_jumps(body, target, supply, changed, mk)),
+                Expr::share(rewrite_tail_jumps(body, target, supply, changed, mk)),
             )
         }
         other => other.clone(),
@@ -218,7 +218,7 @@ pub fn float(frame: &EFrame, e: &Expr) -> Option<Expr> {
     };
     Some(Expr::Let(
         bind.clone(),
-        Box::new(frame.plug((**body).clone())),
+        Expr::share(frame.plug((**body).clone())),
     ))
 }
 
@@ -247,7 +247,7 @@ pub fn jfloat(frame: &EFrame, e: &Expr) -> Option<Expr> {
     for d in jb2.defs_mut() {
         d.body = frame.plug(d.body.clone());
     }
-    Some(Expr::Join(jb2, Box::new(frame.plug((**body).clone()))))
+    Some(Expr::Join(jb2, Expr::share(frame.plug((**body).clone()))))
 }
 
 /// `E[jump j φ⃗ e⃗ τ] : τ' = jump j φ⃗ e⃗ τ'` (abort): a jump discards its

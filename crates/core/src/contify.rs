@@ -22,10 +22,10 @@
 
 use crate::OptError;
 use fj_ast::{
-    free_vars, Alt, Binder, DataEnv, Expr, JoinBind, JoinDef, LetBind, Name, SpineArg, Type,
+    mentions_any, occurs_free, Alt, Binder, DataEnv, Expr, JoinBind, JoinDef, LetBind, Name,
+    SpineArg, Type,
 };
 use fj_check::{type_of, Gamma};
-use std::collections::HashMap;
 
 /// Run contification over a whole term, bottom-up, converting every
 /// eligible `let` into a `join`.
@@ -37,7 +37,7 @@ use std::collections::HashMap;
 pub fn contify(e: &Expr, data_env: &DataEnv) -> Result<Expr, OptError> {
     let mut c = Contifier {
         data_env,
-        types: HashMap::new(),
+        gamma: Gamma::new(),
         converted: 0,
     };
     c.go(e)
@@ -51,7 +51,7 @@ pub fn contify(e: &Expr, data_env: &DataEnv) -> Result<Expr, OptError> {
 pub fn contify_counting(e: &Expr, data_env: &DataEnv) -> Result<(Expr, usize), OptError> {
     let mut c = Contifier {
         data_env,
-        types: HashMap::new(),
+        gamma: Gamma::new(),
         converted: 0,
     };
     let out = c.go(e)?;
@@ -86,25 +86,20 @@ fn decompose_fun(rhs: &Expr) -> FunShape {
 
 struct Contifier<'a> {
     data_env: &'a DataEnv,
-    types: HashMap<Name, Type>,
+    /// Γ for every binder seen so far, maintained incrementally (binders
+    /// are globally unique, so the environment only grows and is never
+    /// rebuilt per `ty_of` query).
+    gamma: Gamma,
     converted: usize,
 }
 
 impl Contifier<'_> {
     fn record(&mut self, b: &Binder) {
-        self.types.insert(b.name.clone(), b.ty.clone());
-    }
-
-    fn gamma(&self) -> Gamma {
-        let mut g = Gamma::new();
-        for (n, t) in &self.types {
-            g.bind_var(n.clone(), t.clone());
-        }
-        g
+        self.gamma.bind_var(b.name.clone(), b.ty.clone());
     }
 
     fn ty_of(&self, e: &Expr) -> Result<Type, OptError> {
-        type_of(e, self.data_env, &self.gamma()).map_err(OptError::Type)
+        type_of(e, self.data_env, &self.gamma).map_err(OptError::Type)
     }
 
     fn go(&mut self, e: &Expr) -> Result<Expr, OptError> {
@@ -147,11 +142,11 @@ impl Contifier<'_> {
                 let mut jb2 = jb.clone();
                 for d in jb2.defs_mut() {
                     for p in &d.params {
-                        self.types.insert(p.name.clone(), p.ty.clone());
+                        self.record(p);
                     }
                     d.body = self.go(&d.body)?;
                 }
-                Ok(Expr::Join(jb2, Box::new(self.go(body)?)))
+                Ok(Expr::Join(jb2, Expr::share(self.go(body)?)))
             }
             Expr::Jump(j, tys, args, res) => Ok(Expr::Jump(
                 j.clone(),
@@ -165,7 +160,9 @@ impl Contifier<'_> {
                 }
                 // Children first: inner contifications can expose outer ones.
                 let bind2 = match bind {
-                    LetBind::NonRec(b, rhs) => LetBind::NonRec(b.clone(), Box::new(self.go(rhs)?)),
+                    LetBind::NonRec(b, rhs) => {
+                        LetBind::NonRec(b.clone(), Expr::share(self.go(rhs)?))
+                    }
                     LetBind::Rec(binds) => LetBind::Rec(
                         binds
                             .iter()
@@ -186,14 +183,14 @@ impl Contifier<'_> {
                 // Only functions are candidates (a 0-ary "join" would
                 // trade call-by-need sharing for re-evaluation).
                 if shape.params.is_empty() {
-                    return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
+                    return Ok(Expr::Let(bind.clone(), Expr::share(body.clone())));
                 }
                 for p in &shape.params {
                     self.record(p);
                 }
                 // f must not occur in its own RHS (non-recursive).
-                if free_vars(rhs).contains(&b.name) {
-                    return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
+                if occurs_free(&b.name, rhs) {
+                    return Ok(Expr::Let(bind.clone(), Expr::share(body.clone())));
                 }
                 let Some(res_ty) = self.contifiable_result_ty(
                     &[(b.name.clone(), shape.ty_params.len(), shape.params.len())],
@@ -201,14 +198,14 @@ impl Contifier<'_> {
                     body,
                 )?
                 else {
-                    return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
+                    return Ok(Expr::Let(bind.clone(), Expr::share(body.clone())));
                 };
-                let targets = Targets {
-                    arities: vec![(b.name.clone(), shape.ty_params.len(), shape.params.len())],
-                    res_ty: res_ty.clone(),
-                };
+                let targets = Targets::new(
+                    vec![(b.name.clone(), shape.ty_params.len(), shape.params.len())],
+                    res_ty,
+                );
                 let Some(new_body) = tailify(body, &targets) else {
-                    return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
+                    return Ok(Expr::Let(bind.clone(), Expr::share(body.clone())));
                 };
                 self.converted += 1;
                 let def = JoinDef {
@@ -225,7 +222,7 @@ impl Contifier<'_> {
                     .map(|(b, rhs)| (b.name.clone(), decompose_fun(rhs)))
                     .collect();
                 if shapes.iter().any(|(_, s)| s.params.is_empty()) {
-                    return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
+                    return Ok(Expr::Let(bind.clone(), Expr::share(body.clone())));
                 }
                 for (_, s) in &shapes {
                     for p in &s.params {
@@ -238,14 +235,14 @@ impl Contifier<'_> {
                     .collect();
                 let rhs_bodies: Vec<Expr> = shapes.iter().map(|(_, s)| s.body.clone()).collect();
                 let Some(res_ty) = self.contifiable_result_ty(&arities, &rhs_bodies, body)? else {
-                    return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
+                    return Ok(Expr::Let(bind.clone(), Expr::share(body.clone())));
                 };
-                let targets = Targets { arities, res_ty };
+                let targets = Targets::new(arities, res_ty);
                 // Every RHS body and the let body must tailify.
                 let mut new_defs = Vec::with_capacity(shapes.len());
                 for (name, shape) in shapes {
                     let Some(new_rhs_body) = tailify(&shape.body, &targets) else {
-                        return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
+                        return Ok(Expr::Let(bind.clone(), Expr::share(body.clone())));
                     };
                     new_defs.push(JoinDef {
                         name,
@@ -255,10 +252,10 @@ impl Contifier<'_> {
                     });
                 }
                 let Some(new_body) = tailify(body, &targets) else {
-                    return Ok(Expr::Let(bind.clone(), Box::new(body.clone())));
+                    return Ok(Expr::Let(bind.clone(), Expr::share(body.clone())));
                 };
                 self.converted += 1;
-                Ok(Expr::Join(JoinBind::Rec(new_defs), Box::new(new_body)))
+                Ok(Expr::Join(JoinBind::Rec(new_defs), Expr::share(new_body)))
             }
         }
     }
@@ -294,11 +291,22 @@ impl Contifier<'_> {
 struct Targets {
     /// (name, number of type params, number of value params).
     arities: Vec<(Name, usize, usize)>,
+    /// The candidate names alone, for occurrence scans.
+    names: Vec<Name>,
     /// Result-type annotation for the new jumps.
     res_ty: Type,
 }
 
 impl Targets {
+    fn new(arities: Vec<(Name, usize, usize)>, res_ty: Type) -> Targets {
+        let names = arities.iter().map(|(n, _, _)| n.clone()).collect();
+        Targets {
+            arities,
+            names,
+            res_ty,
+        }
+    }
+
     fn arity_of(&self, n: &Name) -> Option<(usize, usize)> {
         self.arities
             .iter()
@@ -307,8 +315,8 @@ impl Targets {
     }
 
     fn mentions(&self, e: &Expr) -> bool {
-        let fv = free_vars(e);
-        self.arities.iter().any(|(n, _, _)| fv.contains(n))
+        // Short-circuiting scan; no free-variable set per query.
+        mentions_any(e, &self.names)
     }
 }
 
@@ -366,14 +374,17 @@ fn tailify(e: &Expr, targets: &Targets) -> Option<Expr> {
                     return None;
                 }
             }
-            Some(Expr::Let(bind.clone(), Box::new(tailify(body, targets)?)))
+            Some(Expr::Let(
+                bind.clone(),
+                Expr::share(tailify(body, targets)?),
+            ))
         }
         Expr::Join(jb, body) => {
             let mut jb2 = jb.clone();
             for d in jb2.defs_mut() {
                 d.body = tailify(&d.body, targets)?;
             }
-            Some(Expr::Join(jb2, Box::new(tailify(body, targets)?)))
+            Some(Expr::Join(jb2, Expr::share(tailify(body, targets)?)))
         }
         other => {
             if targets.mentions(other) {

@@ -25,10 +25,10 @@
 //! Out's job, not CSE's). Jumps and joins need no special handling —
 //! another small direct-style dividend.
 
+use fj_ast::FxHashMap;
 use fj_ast::{
     alpha_fingerprint, free_vars, Alt, Binder, Expr, JoinDef, LetBind, Name, NameSupply, Type,
 };
-use std::collections::HashMap;
 
 /// Result of running [`cse`]: the rewritten term and how many
 /// subexpressions were deduplicated.
@@ -46,7 +46,7 @@ pub fn cse(e: &Expr, supply: &mut NameSupply) -> CseOutcome {
         supply,
         replaced: 0,
     };
-    let expr = c.go(e, &Memo::default());
+    let expr = c.go(e, &mut Memo::default());
     CseOutcome {
         expr,
         replaced: c.replaced,
@@ -57,7 +57,7 @@ pub fn cse(e: &Expr, supply: &mut NameSupply) -> CseOutcome {
 /// fingerprint → (binder name, binder type).
 #[derive(Clone, Default)]
 struct Memo {
-    map: HashMap<u64, (Name, Type)>,
+    map: FxHashMap<u64, (Name, Type)>,
     /// Names bound since the memo was captured — entries whose expression
     /// mentions variables bound later must not be reused, but since we
     /// only *add* entries at `let` sites (whose RHS is in scope exactly
@@ -86,7 +86,7 @@ fn worthwhile(e: &Expr) -> bool {
 
 impl Cse<'_> {
     #[allow(clippy::too_many_lines)]
-    fn go(&mut self, e: &Expr, memo: &Memo) -> Expr {
+    fn go(&mut self, e: &Expr, memo: &mut Memo) -> Expr {
         match e {
             Expr::Var(_) | Expr::Lit(_) => e.clone(),
             Expr::Prim(op, args) => {
@@ -133,16 +133,27 @@ impl Cse<'_> {
                             // let x = E in C[x]  where  E was bound to
                             // `prev` before: rebind x to the variable.
                             self.replaced += 1;
+                            let prev = prev.clone();
                             let body2 = self.go(body, memo);
-                            return Expr::let1(b.clone(), Expr::var(prev), body2);
+                            return Expr::let1(b.clone(), Expr::var(&prev), body2);
                         }
                     }
                     // Memoize for the body — but only if the RHS doesn't
                     // mention the binder itself (it can't: non-recursive).
-                    let mut memo2 = memo.clone();
+                    // Scoped mutate-and-restore: insert for the body walk,
+                    // then put back whatever the entry displaced — no
+                    // whole-map clone per binding.
                     debug_assert!(!free_vars(&rhs2).contains(&b.name));
-                    memo2.map.insert(fp, (b.name.clone(), b.ty.clone()));
-                    let body2 = self.go(body, &memo2);
+                    let displaced = memo.map.insert(fp, (b.name.clone(), b.ty.clone()));
+                    let body2 = self.go(body, memo);
+                    match displaced {
+                        Some(prev) => {
+                            memo.map.insert(fp, prev);
+                        }
+                        None => {
+                            memo.map.remove(&fp);
+                        }
+                    }
                     return Expr::let1(b.clone(), rhs2, body2);
                 }
                 Expr::let1(b.clone(), rhs2, self.go(body, memo))
@@ -161,7 +172,7 @@ impl Cse<'_> {
                     let _ = inner;
                     d.body = self.go(&d.body, memo);
                 }
-                Expr::Join(jb2, Box::new(self.go(body, memo)))
+                Expr::Join(jb2, Expr::share(self.go(body, memo)))
             }
             Expr::Jump(j, tys, args, res) => Expr::Jump(
                 j.clone(),
@@ -243,7 +254,7 @@ mod tests {
         let y = d.binder("y", Type::Int);
         // Trivial RHSs are not shared (no gain).
         let e = Expr::let1(
-            x.clone(),
+            x,
             Expr::Lit(5),
             Expr::let1(y.clone(), Expr::Lit(5), Expr::var(&y.name)),
         );

@@ -196,7 +196,9 @@ impl Eraser<'_> {
                     self.record(b);
                 }
                 let bind2 = match bind {
-                    LetBind::NonRec(b, rhs) => LetBind::NonRec(b.clone(), Box::new(self.go(rhs)?)),
+                    LetBind::NonRec(b, rhs) => {
+                        LetBind::NonRec(b.clone(), Expr::share(self.go(rhs)?))
+                    }
                     LetBind::Rec(binds) => LetBind::Rec(
                         binds
                             .iter()
@@ -204,7 +206,7 @@ impl Eraser<'_> {
                             .collect::<Result<_, OptError>>()?,
                     ),
                 };
-                Ok(Expr::Let(bind2, Box::new(self.go(body)?)))
+                Ok(Expr::Let(bind2, Expr::share(self.go(body)?)))
             }
             Expr::Join(jb, body) => {
                 // The functions' shared result type ρ is the type of the

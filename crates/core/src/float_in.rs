@@ -20,7 +20,7 @@
 //! * only sinks into a `case` branch when exactly one branch uses the
 //!   binding (sinking into several duplicates code).
 
-use fj_ast::{free_vars, Alt, Binder, Expr, LetBind};
+use fj_ast::{mentions_any, Alt, Binder, Expr, LetBind, Name};
 
 /// Apply Float In over a whole term.
 pub fn float_in(e: &Expr) -> Expr {
@@ -65,7 +65,7 @@ fn go(e: &Expr, moved: &mut u64) -> Expr {
             for d in jb2.defs_mut() {
                 d.body = go(&d.body, moved);
             }
-            Expr::Join(jb2, Box::new(go(body, moved)))
+            Expr::Join(jb2, Expr::share(go(body, moved)))
         }
         Expr::Jump(j, tys, args, res) => Expr::Jump(
             j.clone(),
@@ -92,8 +92,11 @@ fn go(e: &Expr, moved: &mut u64) -> Expr {
 }
 
 fn uses(e: &Expr, names: &[&Binder]) -> bool {
-    let fv = free_vars(e);
-    names.iter().any(|b| fv.contains(&b.name))
+    // Short-circuiting occurrence scan — sound under the optimizer's
+    // globally-unique-binders invariant (see `mentions_any`); no
+    // free-variable set is built per query.
+    let names: Vec<Name> = names.iter().map(|b| b.name.clone()).collect();
+    mentions_any(e, &names)
 }
 
 /// Push `let b = rhs` as deep into `body` as safely possible.
@@ -112,7 +115,7 @@ fn sink(b: Binder, rhs: Expr, body: Expr, moved: &mut u64) -> Expr {
                 .collect();
             if in_scrut && using.is_empty() {
                 *moved += 1;
-                return Expr::case(sink(b, rhs, *s, moved), alts);
+                return Expr::case(sink(b, rhs, Expr::unshare(s), moved), alts);
             }
             if !in_scrut && using.len() == 1 {
                 let target = using[0];
@@ -132,19 +135,26 @@ fn sink(b: Binder, rhs: Expr, body: Expr, moved: &mut u64) -> Expr {
                         }
                     })
                     .collect();
-                return Expr::case(*s, alts2);
+                return Expr::case(Expr::unshare(s), alts2);
             }
             Expr::let1(b, rhs, Expr::Case(s, alts))
         }
-        // let x = r in body: sink past it when r doesn't use b.
+        // let x = r in body: sink past it when r doesn't use b — but only
+        // when the binding keeps travelling below. Swapping two adjacent
+        // independent bindings is not progress, and committing the swap
+        // unconditionally would flip their order on every pass (the
+        // pipeline would never observe a Float In fixpoint).
         Expr::Let(bind2, body2) => {
             let rhs_uses = bind2.pairs().iter().any(|(_, r)| uses(r, &names));
-            if rhs_uses {
-                Expr::let1(b, rhs, Expr::Let(bind2, body2))
-            } else {
-                *moved += 1;
-                Expr::Let(bind2, Box::new(sink(b, rhs, *body2, moved)))
+            if !rhs_uses {
+                let before = *moved;
+                let sunk = sink(b.clone(), rhs.clone(), (*body2).clone(), moved);
+                if *moved > before {
+                    *moved += 1;
+                    return Expr::Let(bind2, Expr::share(sunk));
+                }
             }
+            Expr::let1(b, rhs, Expr::Let(bind2, body2))
         }
         // join j … = d in body: sink past the join into its body when the
         // binding isn't used by any definition. Never sink INTO a join
@@ -154,7 +164,7 @@ fn sink(b: Binder, rhs: Expr, body: Expr, moved: &mut u64) -> Expr {
             let defs_use = jb.defs().iter().any(|d| uses(&d.body, &names));
             if !defs_use && uses(&body2, &names) {
                 *moved += 1;
-                return Expr::Join(jb, Box::new(sink(b, rhs, *body2, moved)));
+                return Expr::Join(jb, Expr::share(sink(b, rhs, Expr::unshare(body2), moved)));
             }
             Expr::let1(b, rhs, Expr::Join(jb, body2))
         }
@@ -164,7 +174,7 @@ fn sink(b: Binder, rhs: Expr, body: Expr, moved: &mut u64) -> Expr {
         Expr::App(f, a) => {
             if uses(&f, &names) && !uses(&a, &names) && !matches!(&*f, Expr::Var(_)) {
                 *moved += 1;
-                Expr::app(sink(b, rhs, *f, moved), *a)
+                Expr::app(sink(b, rhs, Expr::unshare(f), moved), Expr::unshare(a))
             } else {
                 Expr::let1(b, rhs, Expr::App(f, a))
             }
@@ -187,7 +197,7 @@ fn sink_rec(binds: Vec<(Binder, Expr)>, body: Expr, moved: &mut u64) -> Expr {
                 .collect();
             if in_scrut && using.is_empty() {
                 *moved += 1;
-                return Expr::case(sink_rec(binds, *s, moved), alts);
+                return Expr::case(sink_rec(binds, Expr::unshare(s), moved), alts);
             }
             if !in_scrut && using.len() == 1 {
                 let target = using[0];
@@ -207,25 +217,34 @@ fn sink_rec(binds: Vec<(Binder, Expr)>, body: Expr, moved: &mut u64) -> Expr {
                         }
                     })
                     .collect();
-                return Expr::case(*s, alts2);
+                return Expr::case(Expr::unshare(s), alts2);
             }
             Expr::letrec(binds, Expr::Case(s, alts))
         }
+        // As in `sink`: only hop past an independent binding when the
+        // group keeps travelling below — a bare order swap is not
+        // progress and would ping-pong between passes.
         Expr::Let(bind2, body2) => {
             let rhs_uses = bind2.pairs().iter().any(|(_, r)| uses(r, &binders));
-            if rhs_uses {
-                Expr::letrec(binds, Expr::Let(bind2, body2))
-            } else {
-                *moved += 1;
-                Expr::Let(bind2, Box::new(sink_rec(binds, *body2, moved)))
+            if !rhs_uses {
+                let before = *moved;
+                let sunk = sink_rec(binds.clone(), (*body2).clone(), moved);
+                if *moved > before {
+                    *moved += 1;
+                    return Expr::Let(bind2, Expr::share(sunk));
+                }
             }
+            Expr::letrec(binds, Expr::Let(bind2, body2))
         }
         Expr::Join(jb, body2) => {
             // As in `sink`: never move bindings into join definitions.
             let defs_use = jb.defs().iter().any(|d| uses(&d.body, &binders));
             if !defs_use && uses(&body2, &binders) {
                 *moved += 1;
-                return Expr::Join(jb, Box::new(sink_rec(binds, *body2, moved)));
+                return Expr::Join(
+                    jb,
+                    Expr::share(sink_rec(binds, Expr::unshare(body2), moved)),
+                );
             }
             Expr::letrec(binds, Expr::Join(jb, body2))
         }
@@ -348,7 +367,7 @@ mod tests {
                 let LetBind::Rec(binds) = bind else {
                     panic!("rec expected")
                 };
-                let outer = Expr::ite(Expr::bool(true), *body, Expr::Lit(7));
+                let outer = Expr::ite(Expr::bool(true), Expr::unshare(body), Expr::Lit(7));
                 let e = Expr::letrec(binds, outer);
                 let r = float_in(&e);
                 match &r {

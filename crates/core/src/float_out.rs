@@ -11,7 +11,7 @@
 //! This pass therefore only ever moves `let`s, and never moves one out of
 //! a join body (which could turn a tail call shape into a captured one).
 
-use fj_ast::{free_vars, Alt, Binder, Expr, LetBind};
+use fj_ast::{occurs_free, Alt, Binder, Expr, LetBind};
 
 /// Apply Float Out over a whole term.
 pub fn float_out(e: &Expr) -> Expr {
@@ -60,7 +60,9 @@ fn go(e: &Expr, hoisted: &mut u64) -> Expr {
         ),
         Expr::Let(bind, body) => {
             let bind2 = match bind {
-                LetBind::NonRec(b, rhs) => LetBind::NonRec(b.clone(), Box::new(go(rhs, hoisted))),
+                LetBind::NonRec(b, rhs) => {
+                    LetBind::NonRec(b.clone(), Expr::share(go(rhs, hoisted)))
+                }
                 LetBind::Rec(binds) => LetBind::Rec(
                     binds
                         .iter()
@@ -68,7 +70,7 @@ fn go(e: &Expr, hoisted: &mut u64) -> Expr {
                         .collect(),
                 ),
             };
-            Expr::Let(bind2, Box::new(go(body, hoisted)))
+            Expr::Let(bind2, Expr::share(go(body, hoisted)))
         }
         Expr::Join(jb, body) => {
             // Join bindings are never moved; recurse inside only.
@@ -76,7 +78,7 @@ fn go(e: &Expr, hoisted: &mut u64) -> Expr {
             for d in jb2.defs_mut() {
                 d.body = go(&d.body, hoisted);
             }
-            Expr::Join(jb2, Box::new(go(body, hoisted)))
+            Expr::Join(jb2, Expr::share(go(body, hoisted)))
         }
         Expr::Jump(j, tys, args, res) => Expr::Jump(
             j.clone(),
@@ -94,11 +96,9 @@ fn split_floatable(body: Expr, lam_binder: &Binder) -> (Vec<(Binder, Expr)>, Exp
     let mut cur = body;
     loop {
         match cur {
-            Expr::Let(LetBind::NonRec(b, rhs), inner)
-                if !free_vars(&rhs).contains(&lam_binder.name) =>
-            {
-                floated.push((b, *rhs));
-                cur = *inner;
+            Expr::Let(LetBind::NonRec(b, rhs), inner) if !occurs_free(&lam_binder.name, &rhs) => {
+                floated.push((b, Expr::unshare(rhs)));
+                cur = Expr::unshare(inner);
             }
             other => return (floated, other),
         }

@@ -204,6 +204,88 @@ thread_local! {
     static SUPPRESS_PANIC_REPORT: Cell<bool> = const { Cell::new(false) };
 }
 
+/// A unit of work shipped to the deadline worker thread.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A long-lived worker thread that runs deadline-guarded passes, reused
+/// across passes and pipelines on the same driver thread. Spawning a
+/// thread per guarded pass costs tens of microseconds each; a pipeline
+/// with a deadline runs a dozen passes per term and thousands of terms per
+/// differential suite, so the guard keeps one worker alive and feeds it
+/// jobs over a channel instead.
+///
+/// On timeout the driver *abandons* the worker mid-job (the job keeps
+/// running; cooperative code polls [`CancelFlag`]) and the slot is
+/// poisoned: the next deadline-guarded pass spawns a fresh worker, and the
+/// abandoned one exits on its own once its stuck job finishes and the
+/// job channel reports disconnect.
+struct DeadlineWorker {
+    jobs: mpsc::Sender<Job>,
+}
+
+impl DeadlineWorker {
+    fn spawn() -> Option<DeadlineWorker> {
+        let (jobs, inbox) = mpsc::channel::<Job>();
+        std::thread::Builder::new()
+            .name("fj-guard-worker".into())
+            .spawn(move || {
+                while let Ok(job) = inbox.recv() {
+                    job();
+                }
+            })
+            .ok()
+            .map(|_| DeadlineWorker { jobs })
+    }
+}
+
+thread_local! {
+    static WORKER: Cell<Option<DeadlineWorker>> = const { Cell::new(None) };
+}
+
+/// Hand `job` to this thread's deadline worker, (re)spawning it if the
+/// slot is empty or the resident worker has died. Returns `false` when no
+/// worker thread can be obtained at all.
+fn submit_job(job: Job) -> bool {
+    WORKER.with(|slot| {
+        if let Some(worker) = slot.take() {
+            match worker.jobs.send(job) {
+                Ok(()) => {
+                    slot.set(Some(worker));
+                    return true;
+                }
+                // The worker died (its receiver is gone): fall through and
+                // respawn with the job we got back.
+                Err(mpsc::SendError(returned)) => {
+                    let Some(fresh) = DeadlineWorker::spawn() else {
+                        return false;
+                    };
+                    let ok = fresh.jobs.send(returned).is_ok();
+                    if ok {
+                        slot.set(Some(fresh));
+                    }
+                    return ok;
+                }
+            }
+        }
+        let Some(fresh) = DeadlineWorker::spawn() else {
+            return false;
+        };
+        let ok = fresh.jobs.send(job).is_ok();
+        if ok {
+            slot.set(Some(fresh));
+        }
+        ok
+    })
+}
+
+/// Poison this thread's worker slot after a timeout: the resident worker
+/// is still grinding on the abandoned job, so the next guarded pass must
+/// not queue behind it. Dropping the sender lets the abandoned worker
+/// exit once it finishes.
+fn poison_worker() {
+    WORKER.with(|slot| slot.set(None));
+}
+
 /// Install (once, process-wide) a panic hook that stays silent while a
 /// guarded pass is running on the current thread and delegates to the
 /// previous hook otherwise. Without this, every injected panic in the
@@ -253,10 +335,15 @@ fn run_tapped(
     simpl: &SimplOpts,
     ctx: &PassCtx,
     tap: Option<&PassTap>,
-) -> PassResult {
+) -> Result<(Expr, RewriteStats, bool), OptError> {
     let raw = apply_pass(e, data_env, supply, pass, simpl);
     match tap {
-        Some(t) => t.call(ctx, raw),
+        // A tap may rewrite the output arbitrarily, so the pass's own
+        // no-change witness no longer holds: force `changed` so the driver
+        // never skips lint (or anything else) on tapped output.
+        Some(t) => t
+            .call(ctx, raw.map(|(out, rw, _)| (out, rw)))
+            .map(|(out, rw)| (out, rw, true)),
         None => raw,
     }
 }
@@ -277,7 +364,7 @@ pub(crate) fn run_pass_guarded(
     index: usize,
     deadline: Option<Duration>,
     tap: Option<&PassTap>,
-) -> Result<(Expr, RewriteStats), RollbackReason> {
+) -> Result<(Expr, RewriteStats, bool), RollbackReason> {
     install_quiet_panic_hook();
     match deadline {
         None => {
@@ -313,20 +400,18 @@ pub(crate) fn run_pass_guarded(
                 simpl.clone(),
                 tap.cloned(),
             );
-            let spawned = std::thread::Builder::new()
-                .name(format!("fj-guard-{}", pass.name()))
-                .spawn(move || {
-                    let caught = {
-                        let _quiet = Quiet::on();
-                        panic::catch_unwind(AssertUnwindSafe(|| {
-                            run_tapped(&e2, &env2, &mut supply2, pass, &simpl2, &ctx, tap2.as_ref())
-                        }))
-                    };
-                    // The receiver may be gone (deadline hit): ignore.
-                    let _ = tx.send((caught, supply2));
-                });
-            if spawned.is_err() {
-                // Could not spawn a watchdog thread: run inline, un-timed.
+            let job: Job = Box::new(move || {
+                let caught = {
+                    let _quiet = Quiet::on();
+                    panic::catch_unwind(AssertUnwindSafe(|| {
+                        run_tapped(&e2, &env2, &mut supply2, pass, &simpl2, &ctx, tap2.as_ref())
+                    }))
+                };
+                // The receiver may be gone (deadline hit): ignore.
+                let _ = tx.send((caught, supply2));
+            });
+            if !submit_job(job) {
+                // No worker thread available at all: run inline, un-timed.
                 return run_pass_guarded(e, data_env, supply, pass, simpl, index, None, tap);
             }
             match rx.recv_timeout(limit) {
@@ -340,6 +425,7 @@ pub(crate) fn run_pass_guarded(
                 }
                 Err(_) => {
                     cancel.set();
+                    poison_worker();
                     Err(RollbackReason::DeadlineExceeded { limit })
                 }
             }

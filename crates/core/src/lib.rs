@@ -67,6 +67,7 @@ pub mod occur;
 pub mod simplify;
 pub mod stats;
 
+mod par;
 mod pipeline;
 
 #[cfg(test)]
@@ -78,6 +79,7 @@ pub use erase::{erase, is_commuting_normal};
 pub use float_in::{float_in, float_in_counting};
 pub use float_out::{float_out, float_out_counting};
 pub use guard::{PassCtx, PassResult, PassTap, RollbackReason};
+pub use par::{optimize_many, par_map, par_threads};
 pub use pipeline::{
     apply_pass, optimize, optimize_resilient, optimize_with_report, optimize_with_stats, OptConfig,
     OptStats, Pass,

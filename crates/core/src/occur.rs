@@ -11,8 +11,8 @@
 //!   simplifier refuses), and
 //! * for join labels, how many jumps target them.
 
+use fj_ast::FxHashMap;
 use fj_ast::{Expr, LetBind, Name};
-use std::collections::HashMap;
 
 /// How often a binder occurs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +49,7 @@ impl OccInfo {
 /// [`OccCount::Many`].
 #[derive(Clone, Debug, Default)]
 pub struct OccMap {
-    map: HashMap<Name, (usize, bool)>,
+    map: FxHashMap<Name, (usize, bool)>,
 }
 
 impl OccMap {

@@ -1,0 +1,113 @@
+//! Parallel batch compilation: `optimize_many` and the `par_map` work
+//! queue underneath it.
+//!
+//! Per-program optimization is embarrassingly parallel — each job carries
+//! its own term, datatype environment, and [`NameSupply`] — so a fixed
+//! pool of scoped threads pulling indices off an atomic counter is all
+//! the machinery needed. The workspace builds offline, so this is a
+//! dependency-free stand-in for a rayon `par_iter`: same work-stealing
+//! effect for the coarse-grained jobs we have (one job = one whole
+//! pipeline run), none of the registry.
+
+use crate::pipeline::{optimize_with_report, OptConfig};
+use crate::stats::PipelineReport;
+use crate::OptError;
+use fj_ast::{DataEnv, Expr, NameSupply};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` on a scoped thread pool, preserving order.
+///
+/// Spawns at most `available_parallelism()` workers (never more than
+/// there are items); each worker claims the next unclaimed index until
+/// the queue drains. Falls back to a plain serial map when there is no
+/// parallelism to exploit. A panic in `f` propagates to the caller when
+/// the scope joins, like the serial map it replaces.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("par_map: index claimed twice");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("par_map: worker left a hole")
+        })
+        .collect()
+}
+
+/// How many workers [`par_map`] would use for a batch of `jobs` items.
+pub fn par_threads(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(jobs)
+        .max(1)
+}
+
+/// Optimize a batch of independent programs in parallel, one pipeline
+/// run per job, preserving input order.
+///
+/// Each job is `(term, datatype environment, name supply)` — the supply
+/// is per-program (lowering already positions it past all program
+/// names), which is what makes the batch embarrassingly parallel. This
+/// is the driver behind `fj bench --phase optimize` and the batch modes
+/// of the differential suites.
+pub fn optimize_many(
+    jobs: Vec<(Expr, DataEnv, NameSupply)>,
+    cfg: &OptConfig,
+) -> Vec<Result<(Expr, PipelineReport), OptError>> {
+    par_map(jobs, |(e, data_env, mut supply)| {
+        optimize_with_report(&e, &data_env, &mut supply, cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<usize> = (0..100).collect();
+        let ys = par_map(xs, |x| x * 2);
+        assert_eq!(ys, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert_eq!(par_map(Vec::<usize>::new(), |x| x), Vec::<usize>::new());
+        assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
+    }
+}

@@ -18,7 +18,7 @@ use crate::cse::cse;
 use crate::float_in::float_in_counting;
 use crate::float_out::float_out_counting;
 use crate::guard::{run_pass_guarded, PassTap, RollbackReason};
-use crate::simplify::{simplify_once_stats, SimplOpts};
+use crate::simplify::{simplify_once_changed, SimplOpts};
 use crate::stats::{Census, PassOutcome, PassStats, PipelineReport, RewriteStats};
 use crate::OptError;
 use fj_ast::{DataEnv, Expr, NameSupply};
@@ -229,12 +229,18 @@ pub fn optimize_with_stats(
     Ok((out, stats))
 }
 
-/// Run one pass over a term, returning the output and the rewrite
-/// counters for that pass.
+/// Run one pass over a term, returning the output, the rewrite counters
+/// for that pass, and whether the pass changed the term at all.
 ///
 /// This is the unit of both [`optimize_with_report`] and the testkit's
-/// per-pass differential oracle: the same `(Expr, RewriteStats)` step,
-/// whether it is driven by a pipeline or checked one pass at a time.
+/// per-pass differential oracle: the same `(Expr, RewriteStats, bool)`
+/// step, whether it is driven by a pipeline or checked one pass at a time.
+///
+/// The `changed` flag is an explicit no-change witness, *not*
+/// `rewrites.total() > 0`: the simplifier can rewrite without firing a
+/// counter (trivial-atom substitution), so the flag is tracked separately.
+/// `changed == false` guarantees the output term is the input term, which
+/// lets the driver skip re-lint, census, and repeat runs of the pass.
 ///
 /// # Errors
 ///
@@ -246,32 +252,33 @@ pub fn apply_pass(
     supply: &mut NameSupply,
     pass: Pass,
     simpl: &SimplOpts,
-) -> Result<(Expr, RewriteStats), OptError> {
+) -> Result<(Expr, RewriteStats, bool), OptError> {
     let mut rw = RewriteStats::default();
-    let out = match pass {
-        Pass::Simplify => simplify_once_stats(e, data_env, supply, simpl, &mut rw)?,
+    let (out, changed) = match pass {
+        Pass::Simplify => simplify_once_changed(e, data_env, supply, simpl, &mut rw)?,
         Pass::Contify => {
             let (out, n) = contify_counting(e, data_env)?;
             rw.contified = n as u64;
-            out
+            (out, n > 0)
         }
         Pass::FloatIn => {
             let (out, n) = float_in_counting(e);
             rw.floated_in = n;
-            out
+            (out, n > 0)
         }
         Pass::FloatOut => {
             let (out, n) = float_out_counting(e);
             rw.floated_out = n;
-            out
+            (out, n > 0)
         }
         Pass::Cse => {
             let outcome = cse(e, supply);
             rw.cse_hits = outcome.replaced as u64;
-            outcome.expr
+            let changed = outcome.replaced > 0;
+            (outcome.expr, changed)
         }
     };
-    Ok((out, rw))
+    Ok((out, rw, changed))
 }
 
 /// As [`optimize`], also returning the full per-pass [`PipelineReport`]:
@@ -324,14 +331,14 @@ enum Recovery {
 
 fn rolled_back(
     pass: &'static str,
-    cur: &Expr,
+    census: Census,
     wall: std::time::Duration,
     reason: RollbackReason,
 ) -> PassStats {
     PassStats {
         pass,
         rewrites: RewriteStats::default(),
-        census_after: Census::of(cur),
+        census_after: census,
         wall,
         outcome: PassOutcome::RolledBack(reason),
     }
@@ -353,12 +360,25 @@ fn run_pipeline(
         census_before: Census::of(e),
         ..PipelineReport::default()
     };
+    // Cheap under subtree sharing: the top node is cloned, children are
+    // refcount bumps — this is also the resilient mode's O(1) rollback
+    // snapshot (on rollback `cur` simply stays what it was).
     let mut cur = e.clone();
+    // The census of `cur`, reused verbatim for passes that change nothing.
+    let mut census = report.census_before;
     // Rollback without detection is meaningless: resilient mode always
     // lints pass outputs, whatever `lint_between` says.
     let lint_after = cfg.lint_between || recovery == Recovery::RollBack;
     let needs_guard =
         recovery == Recovery::RollBack || cfg.pass_deadline.is_some() || cfg.tap.is_some();
+    // A tap may rewrite pass output arbitrarily, so its `changed` flag is
+    // not a no-change witness; disable every skip fast path under taps.
+    let trust_changed = cfg.tap.is_none();
+    // Pass kinds proven to be no-ops on the current term. Re-running one
+    // before anything else changes the term is pure waste: passes are
+    // deterministic functions of the term, so it would report no-change
+    // again. Cleared whenever a pass commits a new term.
+    let mut noop_passes: Vec<Pass> = Vec::new();
     let mut executed = 0usize;
     for (index, pass) in cfg.passes.iter().enumerate() {
         let pass_started = Instant::now();
@@ -368,13 +388,26 @@ fn run_pipeline(
                 match recovery {
                     Recovery::FailFast => return Err(reason.into_opt_error(pass.name())),
                     Recovery::RollBack => {
-                        report
-                            .passes
-                            .push(rolled_back(pass.name(), &cur, Duration::ZERO, reason));
+                        report.passes.push(rolled_back(
+                            pass.name(),
+                            census,
+                            Duration::ZERO,
+                            reason,
+                        ));
                         continue;
                     }
                 }
             }
+        }
+        if trust_changed && noop_passes.contains(pass) {
+            report.passes.push(PassStats {
+                pass: pass.name(),
+                rewrites: RewriteStats::default(),
+                census_after: census,
+                wall: pass_started.elapsed(),
+                outcome: PassOutcome::Applied,
+            });
+            continue;
         }
         executed += 1;
         let ran = if needs_guard {
@@ -392,7 +425,18 @@ fn run_pipeline(
             apply_pass(&cur, data_env, supply, *pass, &cfg.simpl)
                 .map_err(|err| RollbackReason::PassError(Box::new(err)))
         };
-        let checked = ran.and_then(|(next, rw)| {
+        let checked = ran.and_then(|(next, rw, changed)| {
+            debug_assert!(
+                changed || next == cur,
+                "pass `{}` reported no-change but rewrote the term",
+                pass.name()
+            );
+            if trust_changed && !changed {
+                // `changed == false` witnesses output ≡ input: the term was
+                // linted when it was committed, its size didn't grow, and
+                // its census is the one we already have.
+                return Ok((None, rw));
+            }
             if let Some(factor) = cfg.max_growth {
                 let (before, after) = (cur.size(), next.size());
                 let allowed = (before as f64 * factor).max(GROWTH_FLOOR as f64);
@@ -415,15 +459,22 @@ fn run_pipeline(
                     )));
                 }
             }
-            Ok((next, rw))
+            Ok((Some(next), rw))
         });
         match checked {
-            Ok((next, rewrites)) => {
-                cur = next;
+            Ok((committed, rewrites)) => {
+                match committed {
+                    Some(next) => {
+                        cur = next;
+                        census = Census::of(&cur);
+                        noop_passes.clear();
+                    }
+                    None => noop_passes.push(*pass),
+                }
                 report.passes.push(PassStats {
                     pass: pass.name(),
                     rewrites,
-                    census_after: Census::of(&cur),
+                    census_after: census,
                     wall: pass_started.elapsed(),
                     outcome: PassOutcome::Applied,
                 });
@@ -433,7 +484,7 @@ fn run_pipeline(
                 Recovery::RollBack => {
                     report.passes.push(rolled_back(
                         pass.name(),
-                        &cur,
+                        census,
                         pass_started.elapsed(),
                         reason,
                     ));
@@ -441,7 +492,7 @@ fn run_pipeline(
             },
         }
     }
-    report.census_after = Census::of(&cur);
+    report.census_after = census;
     report.wall = started.elapsed();
     Ok((cur, report))
 }

@@ -40,11 +40,10 @@ use crate::occur::{analyze, OccCount, OccMap};
 use crate::stats::RewriteStats;
 use crate::OptError;
 use fj_ast::{
-    alpha_fingerprint, free_labels, Alt, AltCon, Binder, DataEnv, Expr, JoinBind, JoinDef, LetBind,
-    Name, NameSupply, PrimResult, Type,
+    alpha_fingerprint, free_labels, mentions_label, Alt, AltCon, Binder, DataEnv, Expr, FxHashMap,
+    JoinBind, JoinDef, LetBind, Name, NameSupply, PrimResult, Type,
 };
 use fj_check::{type_of, Gamma};
-use std::collections::HashMap;
 
 /// Tuning knobs for the simplifier.
 #[derive(Clone, Debug)]
@@ -113,19 +112,40 @@ pub fn simplify_once_stats(
     opts: &SimplOpts,
     stats: &mut RewriteStats,
 ) -> Result<Expr, OptError> {
+    simplify_once_changed(e, data_env, supply, opts, stats).map(|(e, _)| e)
+}
+
+/// As [`simplify_once_stats`], also reporting whether the round rewrote
+/// anything at all. The flag covers rewrites the counters do not (e.g.
+/// trivial-atom substitution), so `changed == false` is a sound witness
+/// that the output is the input, which the pipeline uses to skip re-lint,
+/// census, and repeat runs of the same pass.
+///
+/// # Errors
+///
+/// As [`simplify_once`].
+pub fn simplify_once_changed(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    opts: &SimplOpts,
+    stats: &mut RewriteStats,
+) -> Result<(Expr, bool), OptError> {
     let occ = analyze(e);
     let mut s = Simplifier {
         data_env,
         supply,
         opts,
         occ,
-        types: HashMap::new(),
-        subst: HashMap::new(),
-        join_inline: HashMap::new(),
+        gamma: Gamma::new(),
+        subst: FxHashMap::default(),
+        join_inline: FxHashMap::default(),
         changed: false,
         stats,
     };
-    s.simpl(e, Cont::Stop)
+    let out = s.simpl(e, Cont::Stop)?;
+    let changed = s.changed;
+    Ok((out, changed))
 }
 
 /// Run simplifier rounds until the term stops changing (α-fingerprint) or
@@ -158,15 +178,21 @@ pub fn simplify_stats(
     stats: &mut RewriteStats,
 ) -> Result<Expr, OptError> {
     let mut cur = e.clone();
-    let mut fp = alpha_fingerprint(&cur);
+    // The fingerprint of `cur`, computed lazily: a round that reports
+    // `changed == false` exits without fingerprinting anything at all.
+    let mut fp = None;
     for _ in 0..opts.max_rounds {
-        let next = simplify_once_stats(&cur, data_env, supply, opts, stats)?;
-        let nfp = alpha_fingerprint(&next);
-        cur = next;
-        if nfp == fp {
+        let (next, changed) = simplify_once_changed(&cur, data_env, supply, opts, stats)?;
+        if !changed {
             break;
         }
-        fp = nfp;
+        let prev = fp.unwrap_or_else(|| alpha_fingerprint(&cur));
+        let nfp = alpha_fingerprint(&next);
+        cur = next;
+        if nfp == prev {
+            break;
+        }
+        fp = Some(nfp);
     }
     Ok(cur)
 }
@@ -221,13 +247,14 @@ struct Simplifier<'a> {
     supply: &'a mut NameSupply,
     opts: &'a SimplOpts,
     occ: OccMap,
-    /// Types of every binder seen on the way down (binders are globally
-    /// unique, so the map only grows).
-    types: HashMap<Name, Type>,
+    /// Γ for every binder seen on the way down, maintained incrementally
+    /// (binders are globally unique, so the environment only grows and is
+    /// never rebuilt per `ty_of` query).
+    gamma: Gamma,
     /// Pending value inlinings: binder ↦ simplified RHS.
-    subst: HashMap<Name, Expr>,
+    subst: FxHashMap<Name, Expr>,
     /// Pending join-point inlinings: label ↦ simplified definition.
-    join_inline: HashMap<Name, JoinDef>,
+    join_inline: FxHashMap<Name, JoinDef>,
     changed: bool,
     /// Rewrite-firing counters for this round (pipeline observability).
     stats: &'a mut RewriteStats,
@@ -235,7 +262,7 @@ struct Simplifier<'a> {
 
 impl Simplifier<'_> {
     fn record(&mut self, b: &Binder) {
-        self.types.insert(b.name.clone(), b.ty.clone());
+        self.gamma.bind_var(b.name.clone(), b.ty.clone());
     }
 
     /// Record the types of all binders inside a freshly copied term, so
@@ -245,21 +272,21 @@ impl Simplifier<'_> {
         while let Some(cur) = stack.pop() {
             match cur {
                 Expr::Lam(b, body) => {
-                    self.types.insert(b.name.clone(), b.ty.clone());
+                    self.gamma.bind_var(b.name.clone(), b.ty.clone());
                     stack.push(body);
                 }
                 Expr::Case(s, alts) => {
                     stack.push(s);
                     for a in alts {
                         for b in &a.binders {
-                            self.types.insert(b.name.clone(), b.ty.clone());
+                            self.gamma.bind_var(b.name.clone(), b.ty.clone());
                         }
                         stack.push(&a.rhs);
                     }
                 }
                 Expr::Let(bind, body) => {
                     for b in bind.binders() {
-                        self.types.insert(b.name.clone(), b.ty.clone());
+                        self.gamma.bind_var(b.name.clone(), b.ty.clone());
                     }
                     for (_, rhs) in bind.pairs() {
                         stack.push(rhs);
@@ -269,7 +296,7 @@ impl Simplifier<'_> {
                 Expr::Join(jb, body) => {
                     for d in jb.defs() {
                         for p in &d.params {
-                            self.types.insert(p.name.clone(), p.ty.clone());
+                            self.gamma.bind_var(p.name.clone(), p.ty.clone());
                         }
                         stack.push(&d.body);
                     }
@@ -287,16 +314,8 @@ impl Simplifier<'_> {
         }
     }
 
-    fn gamma(&self) -> Gamma {
-        let mut g = Gamma::new();
-        for (n, t) in &self.types {
-            g.bind_var(n.clone(), t.clone());
-        }
-        g
-    }
-
     fn ty_of(&self, e: &Expr) -> Result<Type, OptError> {
-        type_of(e, self.data_env, &self.gamma()).map_err(OptError::Type)
+        type_of(e, self.data_env, &self.gamma).map_err(OptError::Type)
     }
 
     /// The type of `cont[hole]` given the hole's type.
@@ -323,7 +342,7 @@ impl Simplifier<'_> {
                     .first()
                     .ok_or_else(|| OptError::Internal("empty case in continuation".into()))?;
                 for b in &alt.binders {
-                    self.types.insert(b.name.clone(), b.ty.clone());
+                    self.gamma.bind_var(b.name.clone(), b.ty.clone());
                 }
                 self.record_all(&alt.rhs);
                 let t = self.ty_of(&alt.rhs)?;
@@ -379,7 +398,7 @@ impl Simplifier<'_> {
                         .first()
                         .ok_or_else(|| OptError::Internal("empty case".into()))?;
                     for b in &alt.binders {
-                        self.types.insert(b.name.clone(), b.ty.clone());
+                        self.gamma.bind_var(b.name.clone(), b.ty.clone());
                     }
                     self.record_all(&alt.rhs);
                     self.ty_of(&alt.rhs)?
@@ -617,7 +636,7 @@ impl Simplifier<'_> {
                             .first()
                             .ok_or_else(|| OptError::Internal("empty case".into()))?;
                         for b in &alt.binders {
-                            self.types.insert(b.name.clone(), b.ty.clone());
+                            self.gamma.bind_var(b.name.clone(), b.ty.clone());
                         }
                         self.record_all(&alt.rhs);
                         self.ty_of(&alt.rhs)?
@@ -631,6 +650,7 @@ impl Simplifier<'_> {
                     if !dup.is_stop() {
                         // casefloat: the pending context is copied into
                         // every branch of the residual case.
+                        self.changed = true;
                         self.stats.case_of_case += 1;
                     }
                     let mut alts2 = Vec::with_capacity(alts.len());
@@ -676,6 +696,9 @@ impl Simplifier<'_> {
                     .map(|(b, rhs)| Ok((b.clone(), self.simpl(rhs, Cont::Stop)?)))
                     .collect::<Result<_, OptError>>()?;
                 // `float`: the pending context moves into the body.
+                if !cont.is_stop() {
+                    self.changed = true;
+                }
                 let body2 = self.simpl(body, cont)?;
                 Ok(Expr::letrec(binds2, body2))
             }
@@ -693,7 +716,7 @@ impl Simplifier<'_> {
         let trivial = rhs.is_atom() || matches!(&rhs, Expr::Con(_, _, args) if args.is_empty());
         if trivial {
             self.changed = true;
-            self.subst.insert(b.name.clone(), rhs);
+            self.subst.insert(b.name, rhs);
             return self.simpl(body, cont);
         }
         let info = self.occ.info(&b.name);
@@ -704,7 +727,7 @@ impl Simplifier<'_> {
                 self.simpl(body, cont)
             }
             OccCount::Once if !info.under_lambda => {
-                self.subst.insert(b.name.clone(), rhs);
+                self.subst.insert(b.name, rhs);
                 self.changed = true;
                 self.simpl(body, cont)
             }
@@ -713,7 +736,7 @@ impl Simplifier<'_> {
             // not duplicated. (Constructor answers stay put — rebuilding
             // a cell per loop iteration would be new work.)
             OccCount::Once if matches!(rhs, Expr::Lam(..) | Expr::TyLam(..)) => {
-                self.subst.insert(b.name.clone(), rhs);
+                self.subst.insert(b.name, rhs);
                 self.changed = true;
                 self.simpl(body, cont)
             }
@@ -728,10 +751,13 @@ impl Simplifier<'_> {
                     && rhs.size() <= self.opts.inline_size
                 {
                     self.changed = true;
-                    self.subst.insert(b.name.clone(), rhs);
+                    self.subst.insert(b.name, rhs);
                     return self.simpl(body, cont);
                 }
                 // Keep the binding; `float` the context into the body.
+                if !cont.is_stop() {
+                    self.changed = true;
+                }
                 let body2 = self.simpl(body, cont)?;
                 Ok(Expr::let1(b, rhs, body2))
             }
@@ -745,9 +771,20 @@ impl Simplifier<'_> {
                 self.record(p);
             }
         }
-        // jdrop on entry: no jump in the body targets the group.
-        let body_labels = free_labels(body);
-        let any_live = jb.labels().iter().any(|l| body_labels.contains(*l));
+        // jdrop on entry: no jump in the body targets the group. The
+        // occurrence analysis already counted jumps per label (the fused
+        // occurrence+simplify walk), so a non-recursive join needs no
+        // free-label traversal here: a zero count is a sound dead witness
+        // (unanalyzed labels — freshened copies — report `usize::MAX`).
+        // Recursive groups still walk: self-jumps in the definitions must
+        // not keep the group alive.
+        let any_live = match jb {
+            JoinBind::NonRec(d) => self.occ.count(&d.name) != 0,
+            JoinBind::Rec(_) => {
+                let body_labels = free_labels(body);
+                jb.labels().iter().any(|l| body_labels.contains(*l))
+            }
+        };
         if !any_live {
             self.changed = true;
             self.stats.dead_drop += 1;
@@ -774,11 +811,11 @@ impl Simplifier<'_> {
             let jb2 = if jb.is_rec() {
                 JoinBind::Rec(defs2)
             } else {
-                JoinBind::NonRec(Box::new(
+                JoinBind::NonRec(std::sync::Arc::new(
                     defs2.into_iter().next().expect("nonrec join has one def"),
                 ))
             };
-            return self.apply_cont(Expr::Join(jb2, Box::new(body2)), cont);
+            return self.apply_cont(Expr::Join(jb2, Expr::share(body2)), cont);
         }
 
         // jfloat: duplicate the pending context into each RHS and the body.
@@ -812,7 +849,7 @@ impl Simplifier<'_> {
             if occ.count == OccCount::Once || small {
                 self.join_inline.insert(orig.name.clone(), def2.clone());
                 let body2 = self.simpl(body, dup)?;
-                let result = if free_labels(&body2).contains(&orig.name) {
+                let result = if mentions_label(&body2, &orig.name) {
                     Expr::join1(def2, body2)
                 } else {
                     self.changed = true;
@@ -822,7 +859,7 @@ impl Simplifier<'_> {
                 return Ok(wrap_all(wrappers, result));
             }
             let body2 = self.simpl(body, dup)?;
-            let result = if free_labels(&body2).contains(&def2.name) {
+            let result = if mentions_label(&body2, &def2.name) {
                 Expr::join1(def2, body2)
             } else {
                 self.changed = true;
@@ -847,7 +884,7 @@ impl Simplifier<'_> {
             self.stats.dead_drop += 1;
             body2
         } else {
-            Expr::Join(JoinBind::Rec(kept), Box::new(body2))
+            Expr::Join(JoinBind::Rec(kept), Expr::share(body2))
         };
         Ok(wrap_all(wrappers, result))
     }

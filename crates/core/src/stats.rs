@@ -153,19 +153,20 @@ pub struct Census {
 }
 
 impl Census {
-    /// Take the census of a term.
+    /// Take the census of a term in a single pre-order walk (`size` is a
+    /// node count, so it is tallied alongside the shape counters).
     pub fn of(e: &Expr) -> Census {
-        let mut c = Census {
-            size: e.size(),
-            ..Census::default()
-        };
-        e.walk(&mut |node| match node {
-            Expr::Let(bind, _) => c.lets += bind.binders().len(),
-            Expr::Join(jb, _) => c.joins += jb.defs().len(),
-            Expr::Jump(..) => c.jumps += 1,
-            Expr::Lam(..) => c.lams += 1,
-            Expr::Case(..) => c.cases += 1,
-            _ => {}
+        let mut c = Census::default();
+        e.walk(&mut |node| {
+            c.size += 1;
+            match node {
+                Expr::Let(bind, _) => c.lets += bind.binders().len(),
+                Expr::Join(jb, _) => c.joins += jb.defs().len(),
+                Expr::Jump(..) => c.jumps += 1,
+                Expr::Lam(..) => c.lams += 1,
+                Expr::Case(..) => c.cases += 1,
+                _ => {}
+            }
         });
         c
     }

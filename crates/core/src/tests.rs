@@ -141,7 +141,7 @@ fn join_point_preserved_vs_destroyed() {
             JoinDef {
                 name: j.clone(),
                 ty_params: vec![],
-                params: vec![x.clone()],
+                params: vec![x],
                 body: big,
             },
             Expr::case(
@@ -303,7 +303,7 @@ fn moby_staging_contifies_through_context() {
         Expr::lam(
             v,
             Expr::let1(
-                f.clone(),
+                f,
                 Expr::lam(
                     x.clone(),
                     Expr::prim2(PrimOp::Mul, Expr::var(&x.name), Expr::Lit(2)),
@@ -709,7 +709,10 @@ mod resilient {
             res.map(|(mut e, rw)| {
                 for i in 0..400u64 {
                     let pad = Binder::new(Name::with_id("pad", 8_000_000_000 + i), Type::Int);
-                    e = Expr::Let(LetBind::NonRec(pad, Box::new(Expr::Lit(1))), Box::new(e));
+                    e = Expr::Let(
+                        LetBind::NonRec(pad, Expr::share(Expr::Lit(1))),
+                        Expr::share(e),
+                    );
                 }
                 (e, rw)
             })
@@ -797,5 +800,61 @@ mod resilient {
         let cfg = OptConfig::join_points().with_max_passes(0);
         let err = optimize_with_report(&program, &d.data_env, &mut d.supply, &cfg).unwrap_err();
         assert!(matches!(err, OptError::Budget { .. }), "got {err}");
+    }
+}
+
+// ---- subtree sharing ----------------------------------------------------
+
+/// The copy-on-write contract behind the pipeline's O(1) snapshots: a
+/// pipeline that keeps nothing must hand back a term whose subtrees are
+/// the *same allocations* as the input's, and a plain `clone` must be a
+/// reference-count bump below the root rather than a deep copy.
+mod sharing {
+    use super::{modes, null_program, FUEL};
+    use crate::{optimize_resilient, OptConfig, PassTap};
+    use fj_ast::{alpha_eq, Expr};
+    use fj_eval::run;
+    use std::sync::Arc;
+
+    /// Destructure the root lambda, returning its body `Arc`.
+    fn lam_body(e: &Expr) -> &Arc<Expr> {
+        match e {
+            Expr::Lam(_, body) => body,
+            other => panic!("expected a lambda, got {other}"),
+        }
+    }
+
+    #[test]
+    fn clone_shares_subtrees() {
+        let mut d = fj_ast::Dsl::new();
+        let (_, program) = null_program(&mut d);
+        let copy = program.clone();
+        assert!(
+            Arc::ptr_eq(lam_body(&program), lam_body(&copy)),
+            "clone must share subtree allocations, not deep-copy"
+        );
+    }
+
+    #[test]
+    fn full_rollback_returns_pointer_identical_subtrees() {
+        let mut d = fj_ast::Dsl::new();
+        let (_, program) = null_program(&mut d);
+        // A tap that discards every pass's output forces a rollback at
+        // every step; the pipeline must come back to the input snapshot.
+        let always_panic = PassTap::new(|_, _| panic!("test tap: discard every pass"));
+        let cfg = OptConfig::join_points().with_tap(always_panic);
+        let (out, report) = optimize_resilient(&program, &d.data_env, &mut d.supply, &cfg).unwrap();
+        assert_eq!(report.rolled_back().count(), report.passes.len());
+        assert!(alpha_eq(&out, &program));
+        assert!(
+            Arc::ptr_eq(lam_body(&program), lam_body(&out)),
+            "rollback snapshot must be the input's own subtrees, not a deep clone"
+        );
+        for mode in modes() {
+            assert_eq!(
+                run(&program, mode, FUEL).unwrap().value,
+                run(&out, mode, FUEL).unwrap().value
+            );
+        }
     }
 }

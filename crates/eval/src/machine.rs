@@ -598,12 +598,12 @@ impl Machine {
                 None => Err(MachineError::UnboundVar(x)),
             },
             Expr::App(f, a) => {
-                self.stack.push(Frame::AppArg(*a));
-                Ok(Rc::new(*f))
+                self.stack.push(Frame::AppArg(Expr::unshare(a)));
+                Ok(Rc::new(Expr::unshare(f)))
             }
             Expr::TyApp(f, t) => {
                 self.stack.push(Frame::TyArg(t));
-                Ok(Rc::new(*f))
+                Ok(Rc::new(Expr::unshare(f)))
             }
             Expr::Prim(op, mut args) => {
                 if args.len() != 2 {
@@ -619,12 +619,12 @@ impl Machine {
             }
             Expr::Case(s, alts) => {
                 self.stack.push(Frame::Case(alts));
-                Ok(Rc::new(*s))
+                Ok(Rc::new(Expr::unshare(s)))
             }
-            Expr::Let(bind, body) => self.bind_let(bind, *body).map(Rc::new),
+            Expr::Let(bind, body) => self.bind_let(bind, Expr::unshare(body)).map(Rc::new),
             Expr::Join(jb, body) => {
                 self.stack.push(Frame::Join(Rc::new(jb)));
-                Ok(Rc::new(*body))
+                Ok(Rc::new(Expr::unshare(body)))
             }
             Expr::Jump(j, tys, args, res) => {
                 if self.mode == EvalMode::CallByValue
@@ -682,9 +682,15 @@ impl Machine {
             LetBind::NonRec(b, rhs) => {
                 if self.mode == EvalMode::CallByValue && !(self.is_answer(&rhs) || rhs.is_atom()) {
                     self.stack.push(Frame::LetStrict(b, body));
-                    Ok(*rhs)
+                    Ok(Expr::unshare(rhs))
                 } else {
-                    Ok(self.bind_params([(b.name, *rhs)], &body, [], Charge::Let, false))
+                    Ok(self.bind_params(
+                        [(b.name, Expr::unshare(rhs))],
+                        &body,
+                        [],
+                        Charge::Let,
+                        false,
+                    ))
                 }
             }
             LetBind::Rec(binds) => {

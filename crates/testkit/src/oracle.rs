@@ -181,7 +181,7 @@ pub fn differential(
     let mut passes = Vec::with_capacity(cfg.passes.len());
     for pass in &cfg.passes {
         let name = pass.name();
-        let (next, rewrites) = apply_pass(&cur, data_env, supply, *pass, &cfg.simpl)
+        let (next, rewrites, _changed) = apply_pass(&cur, data_env, supply, *pass, &cfg.simpl)
             .map_err(|error| OracleError::Pass { pass: name, error })?;
         if let Err(error) = lint(&next, data_env) {
             return Err(OracleError::Lint {

@@ -304,17 +304,17 @@ fn map_expr(e: &Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
     let rebuilt = match e {
         Expr::Var(_) | Expr::Lit(_) => e.clone(),
         Expr::Prim(op, args) => Expr::Prim(*op, args.iter().map(|a| map_expr(a, f)).collect()),
-        Expr::Lam(b, body) => Expr::Lam(b.clone(), Box::new(map_expr(body, f))),
-        Expr::App(a, b) => Expr::App(Box::new(map_expr(a, f)), Box::new(map_expr(b, f))),
-        Expr::TyLam(a, body) => Expr::TyLam(a.clone(), Box::new(map_expr(body, f))),
-        Expr::TyApp(a, t) => Expr::TyApp(Box::new(map_expr(a, f)), t.clone()),
+        Expr::Lam(b, body) => Expr::Lam(b.clone(), Expr::share(map_expr(body, f))),
+        Expr::App(a, b) => Expr::App(Expr::share(map_expr(a, f)), Expr::share(map_expr(b, f))),
+        Expr::TyLam(a, body) => Expr::TyLam(a.clone(), Expr::share(map_expr(body, f))),
+        Expr::TyApp(a, t) => Expr::TyApp(Expr::share(map_expr(a, f)), t.clone()),
         Expr::Con(c, tys, args) => Expr::Con(
             c.clone(),
             tys.clone(),
             args.iter().map(|a| map_expr(a, f)).collect(),
         ),
         Expr::Case(s, alts) => Expr::Case(
-            Box::new(map_expr(s, f)),
+            Expr::share(map_expr(s, f)),
             alts.iter()
                 .map(|alt| fj_ast::Alt {
                     con: alt.con.clone(),
@@ -325,19 +325,21 @@ fn map_expr(e: &Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
         ),
         Expr::Let(bind, body) => {
             let bind = match bind {
-                LetBind::NonRec(b, rhs) => LetBind::NonRec(b.clone(), Box::new(map_expr(rhs, f))),
+                LetBind::NonRec(b, rhs) => {
+                    LetBind::NonRec(b.clone(), Expr::share(map_expr(rhs, f)))
+                }
                 LetBind::Rec(bs) => LetBind::Rec(
                     bs.iter()
                         .map(|(b, rhs)| (b.clone(), map_expr(rhs, f)))
                         .collect(),
                 ),
             };
-            Expr::Let(bind, Box::new(map_expr(body, f)))
+            Expr::Let(bind, Expr::share(map_expr(body, f)))
         }
         Expr::Join(jb, body) => {
             let jb = match jb {
                 fj_ast::JoinBind::NonRec(d) => {
-                    fj_ast::JoinBind::NonRec(Box::new(fj_ast::JoinDef {
+                    fj_ast::JoinBind::NonRec(std::sync::Arc::new(fj_ast::JoinDef {
                         name: d.name.clone(),
                         ty_params: d.ty_params.clone(),
                         params: d.params.clone(),
@@ -355,7 +357,7 @@ fn map_expr(e: &Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
                         .collect(),
                 ),
             };
-            Expr::Join(jb, Box::new(map_expr(body, f)))
+            Expr::Join(jb, Expr::share(map_expr(body, f)))
         }
         Expr::Jump(j, tys, args, ty) => Expr::Jump(
             j.clone(),

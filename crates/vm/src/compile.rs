@@ -18,8 +18,9 @@
 
 use crate::ops::{CaseTable, ChargeKind, Op, Program, RecBinding};
 use fj_ast::{Alt, AltCon, Binder, Expr, Ident, JoinBind, LetBind, Name};
+use fj_ast::{FxHashMap, FxHashSet};
 use fj_eval::EvalMode;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Interned tag of the `True` constructor (fixed, so [`Op::Prim`] can
@@ -126,7 +127,7 @@ struct Compiler {
     mode: EvalMode,
     ops: Vec<Op>,
     labels: Vec<u32>,
-    tags: HashMap<Ident, u32>,
+    tags: FxHashMap<Ident, u32>,
     idents: Vec<Ident>,
     pending: VecDeque<PendingBody>,
     uses_thunks: bool,
@@ -150,7 +151,7 @@ pub fn compile(e: &Expr, mode: EvalMode) -> Result<Program, CompileError> {
         mode,
         ops: vec![Op::Halt],
         labels: Vec::new(),
-        tags: HashMap::new(),
+        tags: FxHashMap::default(),
         idents: Vec::new(),
         pending: VecDeque::new(),
         uses_thunks: false,
@@ -213,7 +214,7 @@ fn is_answer_m(mode: EvalMode, e: &Expr) -> bool {
 /// Free *term* variables of `e`, in first-use order. Join labels are a
 /// separate namespace (only `jump` refers to them) and never count.
 fn free_term_vars(e: &Expr) -> Vec<Name> {
-    fn go(e: &Expr, bound: &mut Vec<Name>, seen: &mut HashSet<Name>, acc: &mut Vec<Name>) {
+    fn go(e: &Expr, bound: &mut Vec<Name>, seen: &mut FxHashSet<Name>, acc: &mut Vec<Name>) {
         match e {
             Expr::Var(x) => {
                 if !bound.contains(x) && seen.insert(x.clone()) {
@@ -278,7 +279,7 @@ fn free_term_vars(e: &Expr) -> Vec<Name> {
         }
     }
     let mut acc = Vec::new();
-    go(e, &mut Vec::new(), &mut HashSet::new(), &mut acc);
+    go(e, &mut Vec::new(), &mut FxHashSet::default(), &mut acc);
     acc
 }
 

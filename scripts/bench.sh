@@ -1,19 +1,53 @@
 #!/usr/bin/env bash
-# Wall-clock comparison of the two execution backends — the Fig. 3
-# substitution machine vs the bytecode VM — over the nofib suite
-# (join-points pipeline, call-by-value). `fj bench` asserts both
-# backends agree on every program's value and allocation counters
-# before timing them, so a passing run is also a correctness check.
+# Wall-clock benchmark snapshots over the nofib suite.
 #
-# Usage: scripts/bench.sh [output.json]     (default: BENCH_vm.json)
+#   --phase vm        (default) the two execution backends — the Fig. 3
+#                     substitution machine vs the bytecode VM. `fj bench`
+#                     asserts both backends agree on every program's value
+#                     and allocation counters before timing them, so a
+#                     passing run is also a correctness check.
+#   --phase optimize  the optimizer pipeline itself — per-program wall
+#                     time with a per-pass breakdown, plus serial and
+#                     parallel (optimize_many) suite totals.
+#
+# Usage: scripts/bench.sh [--phase vm|optimize] [--iterations N]
+#                         [--warmup N] [output.json]
+#        (default output: BENCH_vm.json / BENCH_opt.json per phase)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_vm.json}"
+PHASE=vm
+OUT=""
+FLAGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --phase)
+      PHASE="$2"
+      shift 2
+      ;;
+    --iterations|--warmup)
+      FLAGS+=("$1" "$2")
+      shift 2
+      ;;
+    *)
+      OUT="$1"
+      shift
+      ;;
+  esac
+done
+
+case "$PHASE" in
+  vm) OUT="${OUT:-BENCH_vm.json}" ;;
+  optimize) OUT="${OUT:-BENCH_opt.json}" ;;
+  *)
+    echo "unknown phase: $PHASE (expected vm or optimize)" >&2
+    exit 2
+    ;;
+esac
 
 cargo build --workspace --release --offline
-./target/release/fj bench > "$OUT"
+./target/release/fj bench --phase "$PHASE" "${FLAGS[@]+"${FLAGS[@]}"}" > "$OUT"
 
 echo "wrote $OUT"
 grep '"total"' "$OUT"

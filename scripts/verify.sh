@@ -44,6 +44,22 @@ if [[ "$QUICK" -eq 0 ]]; then
   # substitution machine and the bytecode VM and asserts they agree on
   # the value and the allocation counters before timing them.
   run ./target/release/fj bench >/dev/null
+
+  # Optimizer bench smoke: a 1-iteration `--phase optimize` run must
+  # produce a BENCH_opt.json-shaped snapshot (no timing assertions —
+  # this checks the harness and the schema, not the numbers).
+  OPT_SMOKE="$(mktemp)"
+  echo '==> ./target/release/fj bench --phase optimize --iterations 1'
+  ./target/release/fj bench --phase optimize --iterations 1 > "$OPT_SMOKE"
+  for key in '"generated_by"' '"pipeline"' '"iterations"' '"threads"' \
+             '"programs"' '"optimize_ns"' '"passes"' '"serial_ns"' \
+             '"parallel_ns"' '"parallel_speedup"'; do
+    grep -q "$key" "$OPT_SMOKE" || {
+      echo "verify: BENCH_opt schema missing $key" >&2
+      exit 1
+    }
+  done
+  rm -f "$OPT_SMOKE"
 fi
 
 echo "verify: all checks passed"

@@ -16,10 +16,13 @@
 //!                                   # Table-1-style markdown + pass stats
 //! fj bench                          # nofib timed on both backends,
 //!                                   # JSON on stdout (BENCH_vm.json)
+//! fj bench --phase optimize         # nofib timed through the optimizer,
+//!                                   # JSON on stdout (BENCH_opt.json)
 //!
 //! options: --baseline | -O0, --backend machine|vm, --mode name|need|value,
 //!          --fuel N, --timeout-ms N, --metrics, --resilient,
-//!          --pass-deadline-ms N, --max-growth F, --max-passes N
+//!          --pass-deadline-ms N, --max-growth F, --max-passes N,
+//!          --phase vm|optimize, --iterations N, --warmup N (bench only)
 //!
 //! exit codes: 0 success; 1 I/O or other runtime error; 2 usage, lexical,
 //! or parse error; 3 lowering or lint (type) error; 4 optimizer error;
@@ -57,6 +60,16 @@ struct Options {
     metrics: bool,
     before: bool,
     resilient: bool,
+    phase: BenchPhase,
+    iterations: u32,
+    warmup: u32,
+}
+
+/// What `fj bench` measures: backend execution or the optimizer itself.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BenchPhase {
+    Vm,
+    Optimize,
 }
 
 fn usage() -> ExitCode {
@@ -65,7 +78,8 @@ fn usage() -> ExitCode {
          [--mode name|need|value] [--fuel N] [--timeout-ms N] [--metrics] [--before] \
          [--resilient] [--pass-deadline-ms N] [--max-growth F] [--max-passes N] <file.fj>\n\
          \x20      fj report   (nofib suite: baseline vs join points, markdown)\n\
-         \x20      fj bench    (nofib suite timed on both backends, JSON)\n\
+         \x20      fj bench [--phase vm|optimize] [--iterations N] [--warmup N]\n\
+         \x20                  (nofib suite timed, JSON on stdout)\n\
          exit codes: 1 I/O or runtime, 2 usage/parse, 3 type/lint, 4 optimizer, \
          5 fuel/deadline exhausted"
     );
@@ -92,6 +106,9 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut metrics = false;
     let mut before = false;
     let mut resilient = false;
+    let mut phase = BenchPhase::Vm;
+    let mut iterations = 1u32;
+    let mut warmup = 0u32;
     let mut file = None;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -139,6 +156,19 @@ fn parse_args() -> Result<Options, ExitCode> {
                 let n: usize = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
                 config = config.with_max_passes(n);
             }
+            "--phase" => {
+                phase = match args.next().as_deref() {
+                    Some("vm") => BenchPhase::Vm,
+                    Some("optimize") => BenchPhase::Optimize,
+                    _ => return Err(usage()),
+                };
+            }
+            "--iterations" => {
+                iterations = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+            }
+            "--warmup" => {
+                warmup = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+            }
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => return Err(usage()),
         }
@@ -157,6 +187,9 @@ fn parse_args() -> Result<Options, ExitCode> {
             metrics,
             before,
             resilient,
+            phase,
+            iterations,
+            warmup,
         });
     }
     let Some(file) = file else {
@@ -174,6 +207,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         metrics,
         before,
         resilient,
+        phase,
+        iterations,
+        warmup,
     })
 }
 
@@ -188,8 +224,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if opts.command == "bench" {
-        let rows = system_fj::nofib::run_bench();
-        print!("{}", system_fj::nofib::format_bench_json(&rows));
+        match opts.phase {
+            BenchPhase::Vm => {
+                let rows = system_fj::nofib::run_bench(opts.iterations, opts.warmup);
+                print!("{}", system_fj::nofib::format_bench_json(&rows));
+            }
+            BenchPhase::Optimize => {
+                let bench = system_fj::nofib::run_bench_opt(opts.iterations, opts.warmup);
+                print!("{}", system_fj::nofib::format_bench_opt_json(&bench));
+            }
+        }
         return ExitCode::SUCCESS;
     }
     let src = match std::fs::read_to_string(&opts.file) {

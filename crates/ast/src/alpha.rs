@@ -497,6 +497,80 @@ mod tests {
         assert!(!alpha_eq(&e1, &e2));
     }
 
+    /// The exact shape `fj serve` introduces: a term is built (and its
+    /// `Ident`s interned) on one thread, then compared, fingerprinted, and
+    /// substituted into on another. Every `Ident` crossing the boundary
+    /// misses the pointer fast path, so this pins the text-comparison
+    /// fallback end to end: alpha-equivalence, fingerprints, and
+    /// substitution must all be thread-blind.
+    #[test]
+    fn alpha_and_subst_are_thread_blind() {
+        use crate::expr::PrimOp;
+        use crate::subst::subst_term;
+
+        // Constructor applications force `Ident` comparisons (`Just`,
+        // `Nothing` against the case alternatives), not just `Name`s.
+        let build = |supply: &mut NameSupply| {
+            let x = supply.fresh("x");
+            let scrut = Expr::Con(
+                crate::name::Ident::new("Just"),
+                vec![Type::Int],
+                vec![Expr::var(&x)],
+            );
+            Expr::lam(
+                Binder::new(x, Type::Int),
+                Expr::Case(
+                    std::sync::Arc::new(scrut),
+                    vec![
+                        crate::expr::Alt {
+                            con: crate::expr::AltCon::Con(crate::name::Ident::new("Nothing")),
+                            binders: vec![],
+                            rhs: Expr::Lit(0),
+                        },
+                        crate::expr::Alt {
+                            con: crate::expr::AltCon::Con(crate::name::Ident::new("Just")),
+                            binders: vec![Binder::new(Name::with_id("y", 99_999), Type::Int)],
+                            rhs: Expr::prim2(
+                                PrimOp::Add,
+                                Expr::var(&Name::with_id("y", 99_999)),
+                                Expr::Lit(1),
+                            ),
+                        },
+                    ],
+                ),
+            )
+        };
+        let local = build(&mut NameSupply::new());
+        let (remote, remote_fp) = std::thread::spawn(move || {
+            let e = build(&mut NameSupply::new());
+            let fp = alpha_fingerprint(&e);
+            (e, fp)
+        })
+        .join()
+        .unwrap();
+        assert!(alpha_eq(&local, &remote), "cross-thread alpha_eq broke");
+        assert_eq!(
+            alpha_fingerprint(&local),
+            remote_fp,
+            "alpha_fingerprint differs across threads"
+        );
+        // Substitute into the remote-built term on this thread: binder
+        // handling (freshening included) must not depend on which
+        // interner minted the names.
+        let mut s = NameSupply::starting_at(200_000);
+        let free = Name::with_id("free", 150_000);
+        let body = Expr::app(remote, Expr::var(&free));
+        let substituted = subst_term(&body, &free, &Expr::Lit(42), &mut s);
+        let expected = {
+            let l = build(&mut NameSupply::new());
+            Expr::app(l, Expr::Lit(42))
+        };
+        assert!(
+            alpha_eq(&substituted, &expected),
+            "cross-thread substitution produced a different term"
+        );
+    }
+
     #[test]
     fn join_alpha_eq_with_renamed_label() {
         let mut s = NameSupply::new();

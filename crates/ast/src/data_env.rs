@@ -314,6 +314,81 @@ impl DataEnv {
     pub fn iter(&self) -> impl Iterator<Item = &DataType> {
         self.types.values()
     }
+
+    /// A structural fingerprint of the whole environment, independent of
+    /// declaration order and of the uniques chosen for datatype type
+    /// variables (each declaration's variables are numbered positionally
+    /// before its field types are hashed).
+    ///
+    /// Two environments with the same fingerprint declare the same
+    /// datatypes, so optimized terms are interchangeable between them —
+    /// this is the `DataEnv` component of the optimization-cache key: a
+    /// program compiled against a prelude extended with `data Shape = …`
+    /// must never be served from a cache entry produced under the bare
+    /// prelude, even when the terms are alpha-equivalent.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut names: Vec<&Ident> = self.types.keys().collect();
+        names.sort();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for name in names {
+            let dt = &self.types[name];
+            dt.name.as_str().hash(&mut h);
+            dt.ty_vars.len().hash(&mut h);
+            let position: HashMap<&Name, usize> =
+                dt.ty_vars.iter().enumerate().map(|(i, n)| (n, i)).collect();
+            for c in &dt.ctors {
+                c.name.as_str().hash(&mut h);
+                c.tag.hash(&mut h);
+                c.fields.len().hash(&mut h);
+                for f in &c.fields {
+                    hash_field_ty(f, &position, &mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Hash a constructor field type with the owning datatype's type
+/// variables replaced by their declaration position, so the fingerprint
+/// ignores which uniques a frontend happened to pick for them.
+fn hash_field_ty(
+    t: &Type,
+    position: &HashMap<&Name, usize>,
+    h: &mut std::collections::hash_map::DefaultHasher,
+) {
+    use std::hash::Hash;
+    match t {
+        Type::Var(a) => {
+            0u8.hash(h);
+            match position.get(a) {
+                Some(ix) => ix.hash(h),
+                // A variable that is not one of the datatype's own
+                // binders (ill-formed in practice): hash its raw unique.
+                None => (u64::MAX, a.id()).hash(h),
+            }
+        }
+        Type::Con(c, args) => {
+            1u8.hash(h);
+            c.as_str().hash(h);
+            args.len().hash(h);
+            for a in args {
+                hash_field_ty(a, position, h);
+            }
+        }
+        Type::Fun(a, b) => {
+            2u8.hash(h);
+            hash_field_ty(a, position, h);
+            hash_field_ty(b, position, h);
+        }
+        Type::Forall(a, b) => {
+            3u8.hash(h);
+            a.id().hash(h);
+            hash_field_ty(b, position, h);
+        }
+        Type::Int => 4u8.hash(h),
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +450,59 @@ mod tests {
         let sibs = env.siblings(&Ident::new("Just")).unwrap();
         let names: Vec<&str> = sibs.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["Nothing", "Just"]);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_environments() {
+        let prelude = DataEnv::prelude();
+        assert_eq!(
+            prelude.fingerprint(),
+            DataEnv::prelude().fingerprint(),
+            "fingerprint must be deterministic"
+        );
+        // Same declarations built on another thread (fresh interner):
+        // the fingerprint is content-addressed, not pointer-addressed.
+        let remote_fp = std::thread::spawn(|| DataEnv::prelude().fingerprint())
+            .join()
+            .unwrap();
+        assert_eq!(prelude.fingerprint(), remote_fp);
+        // Extending the environment must change the key.
+        let mut extended = DataEnv::prelude();
+        extended
+            .declare(
+                Ident::new("Shape"),
+                vec![],
+                vec![(Ident::new("Circle"), vec![Type::Int])],
+            )
+            .unwrap();
+        assert_ne!(prelude.fingerprint(), extended.fingerprint());
+        // Ty-var uniques are normalized away: redeclaring Maybe with a
+        // differently-numbered variable fingerprints identically.
+        let mut a_env = DataEnv::new();
+        let v1 = Name::with_id("a", 1);
+        a_env
+            .declare(
+                Ident::new("Maybe"),
+                vec![v1.clone()],
+                vec![
+                    (Ident::new("Nothing"), vec![]),
+                    (Ident::new("Just"), vec![Type::Var(v1)]),
+                ],
+            )
+            .unwrap();
+        let mut b_env = DataEnv::new();
+        let v9 = Name::with_id("zz", 9_999);
+        b_env
+            .declare(
+                Ident::new("Maybe"),
+                vec![v9.clone()],
+                vec![
+                    (Ident::new("Nothing"), vec![]),
+                    (Ident::new("Just"), vec![Type::Var(v9)]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(a_env.fingerprint(), b_env.fingerprint());
     }
 
     #[test]

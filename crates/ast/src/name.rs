@@ -17,6 +17,15 @@ thread_local! {
     /// share one allocation instead of copying the bytes at every
     /// construction site, and shared pointers give [`Ident`] equality a
     /// pointer fast path.
+    ///
+    /// The interner is **per thread**, so two `Ident`s with the same
+    /// spelling share an allocation only when created on the same thread.
+    /// Terms routinely cross threads (the `par_map` batch driver, guard
+    /// worker threads, `fj serve` request handlers), so *nothing may rely
+    /// on pointer identity for correctness*: `Ident` equality uses
+    /// `Arc::ptr_eq` strictly as a fast path and always falls back to a
+    /// text comparison, and `Hash` hashes the spelling, never the pointer.
+    /// The cross-thread tests below pin this guarantee.
     static INTERN: RefCell<HashSet<Arc<str>>> = RefCell::new(HashSet::new());
 }
 
@@ -163,6 +172,17 @@ impl NameSupply {
     pub fn peek(&self) -> u64 {
         self.next
     }
+
+    /// Advance the supply so it will never hand out an id below `id`.
+    ///
+    /// Used when a term produced under *another* supply is adopted (e.g. a
+    /// hit in the optimization cache returns a term optimized for an
+    /// earlier request): advancing past that supply's high-water mark
+    /// guarantees the adopter's future fresh names cannot collide with any
+    /// name inside the adopted term.
+    pub fn advance_past(&mut self, id: u64) {
+        self.next = self.next.max(id);
+    }
 }
 
 impl Default for NameSupply {
@@ -294,5 +314,64 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Name>();
         assert_send_sync::<Ident>();
+    }
+
+    /// An `Ident` minted on another thread comes from a different
+    /// interner instance, so the pointer fast path misses; equality and
+    /// hashing must still agree with a same-thread `Ident`.
+    #[test]
+    fn ident_equality_and_hashing_cross_thread() {
+        let remote: Vec<Ident> =
+            std::thread::spawn(|| vec![Ident::new("Just"), Ident::new("Cons"), Ident::new("Just")])
+                .join()
+                .unwrap();
+        let local = Ident::new("Just");
+        // Different interners: no shared allocation…
+        assert!(!Arc::ptr_eq(&remote[0].0, &local.0));
+        // …but equality, ordering, and hash-based lookup are unaffected.
+        assert_eq!(remote[0], local);
+        assert_eq!(remote[0].cmp(&local), std::cmp::Ordering::Equal);
+        assert_ne!(remote[1], local);
+        let mut table: std::collections::HashMap<Ident, u32> = std::collections::HashMap::new();
+        table.insert(local, 7);
+        assert_eq!(table.get(&remote[0]), Some(&7));
+        assert_eq!(table.get(&remote[2]), Some(&7));
+        assert_eq!(table.get(&remote[1]), None);
+    }
+
+    /// `Name` equality is by unique id; the interned text is display-only.
+    /// A name that crosses a thread boundary must keep behaving as the
+    /// same binder even though its text `Arc` has no twin in the new
+    /// thread's interner.
+    #[test]
+    fn name_identity_survives_thread_crossing() {
+        let mut s = NameSupply::new();
+        let x = s.fresh("x");
+        let sent = x.clone();
+        let back = std::thread::spawn(move || {
+            // Rebuild a same-id name on the remote thread (fresh interner)
+            // and hand both home.
+            (sent.clone(), Name::with_id("x", sent.id()))
+        })
+        .join()
+        .unwrap();
+        assert_eq!(back.0, x);
+        assert_eq!(back.1, x);
+        assert_eq!(back.1.text(), x.text());
+        let mut set = HashSet::new();
+        set.insert(x);
+        assert!(set.contains(&back.0));
+        assert!(set.contains(&back.1));
+    }
+
+    #[test]
+    fn advance_past_never_rewinds() {
+        let mut s = NameSupply::new();
+        let before = s.peek();
+        s.advance_past(before - 1);
+        assert_eq!(s.peek(), before, "advance_past must not rewind");
+        s.advance_past(before + 500);
+        assert_eq!(s.peek(), before + 500);
+        assert_eq!(s.fresh("z").id(), before + 500);
     }
 }

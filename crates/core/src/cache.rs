@@ -1,0 +1,440 @@
+//! A sharded, content-addressed optimization cache.
+//!
+//! `fj serve` compiles the same programs over and over (editors re-check
+//! on every keystroke; CI re-runs whole suites), and the optimizer is a
+//! *pure function* of `(term, datatype environment, configuration)` — the
+//! name supply only influences the spelling of fresh binders, never the
+//! shape of the output. That makes optimization memoizable **up to
+//! α-equivalence**: two textually different programs that differ only in
+//! binder names must produce α-equivalent output, so they can share a
+//! cache entry.
+//!
+//! ## Keying
+//!
+//! A lookup key is the triple of
+//! [`alpha_fingerprint`](fj_ast::alpha_fingerprint) of the input term
+//! (binder-name-blind by construction),
+//! [`OptConfig::fingerprint`](crate::OptConfig::fingerprint) (every knob
+//! that can change the output, `None` under a fault-injection tap — tapped
+//! pipelines bypass the cache), and
+//! [`DataEnv::fingerprint`](fj_ast::DataEnv::fingerprint) (constructor
+//! tags and field types drive `case` simplification), plus the
+//! strict/resilient mode bit. Fingerprints are 64-bit and *can* collide,
+//! so a hit is only served after an explicit
+//! [`alpha_eq`](fj_ast::alpha_eq) check of the stored input term against
+//! the request — one linear walk, still orders of magnitude cheaper than
+//! a pipeline run, and it makes the cache sound rather than probabilistic.
+//!
+//! ## Name-capture safety on hits
+//!
+//! A cached term was produced under *another* request's name supply. The
+//! entry records that supply's high-water mark, and a hit advances the
+//! requester's supply past it
+//! ([`NameSupply::advance_past`](fj_ast::NameSupply::advance_past)) so
+//! later fresh names can never collide with names inside the adopted term.
+//!
+//! ## Concurrency
+//!
+//! The map is split into shards, each behind its own [`Mutex`]; the shard
+//! index is derived from the key, so concurrent requests for different
+//! programs almost never contend. Values are `Arc`-shared — a hit hands
+//! back refcounted pointers to the optimized term and its
+//! [`PipelineReport`] and runs **zero passes**.
+
+use crate::pipeline::{optimize_resilient, optimize_with_report, OptConfig};
+use crate::stats::PipelineReport;
+use crate::OptError;
+use fj_ast::{alpha_eq, alpha_fingerprint, DataEnv, Expr, FxHashMap, NameSupply};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default number of shards ([`OptCache::new`] callers can override).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Default per-shard entry cap (total capacity = shards × cap).
+pub const DEFAULT_SHARD_CAP: usize = 128;
+
+/// The full cache key: input term (up to α-equivalence), optimizer
+/// configuration, datatype environment, and pipeline mode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    term: u64,
+    cfg: u64,
+    env: u64,
+    resilient: bool,
+}
+
+/// One memoized pipeline run.
+struct CacheEntry {
+    /// The exact input term the entry was built from, kept to verify hits
+    /// with a real [`alpha_eq`] walk (64-bit fingerprints can collide).
+    input: Arc<Expr>,
+    /// The optimized output.
+    term: Arc<Expr>,
+    /// The pipeline report of the run that produced `term`.
+    report: Arc<PipelineReport>,
+    /// High-water mark of the producing name supply; adopters advance
+    /// past it so their fresh names cannot collide with names in `term`.
+    supply_high: u64,
+}
+
+/// One shard: a bounded map with FIFO eviction. FIFO (not LRU) keeps the
+/// hit path free of order-list writes — a hit touches nothing but the
+/// entry itself.
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<CacheKey, CacheEntry>,
+    order: VecDeque<CacheKey>,
+}
+
+/// Point-in-time counters for one [`OptCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache (zero passes run).
+    pub hits: u64,
+    /// Lookups that ran the pipeline and inserted the result.
+    pub misses: u64,
+    /// Lookups that skipped the cache entirely (tapped configuration).
+    pub bypasses: u64,
+    /// Entries displaced by the per-shard capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident, summed over shards.
+    pub entries: usize,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+/// A sharded content-addressed cache of optimization results. See the
+/// module docs for keying and soundness.
+pub struct OptCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl OptCache {
+    /// A cache with `shards` independently locked shards of at most
+    /// `shard_cap` entries each. Both are clamped to at least 1.
+    pub fn new(shards: usize, shard_cap: usize) -> Self {
+        let shards = shards.max(1);
+        OptCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap: shard_cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // The key components are already hashes; mixing them with
+        // distinct rotations keeps e.g. same-program/different-preset
+        // entries off the same shard.
+        let mix = key.term.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+            ^ key.cfg.rotate_left(31)
+            ^ key.env
+            ^ u64::from(key.resilient);
+        &self.shards[(mix as usize) % self.shards.len()]
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().map.len())
+                .sum(),
+            shards: self.shards.len(),
+        }
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            shard.map.clear();
+            shard.order.clear();
+        }
+    }
+}
+
+impl Default for OptCache {
+    fn default() -> Self {
+        OptCache::new(DEFAULT_SHARDS, DEFAULT_SHARD_CAP)
+    }
+}
+
+/// Optimize through the cache: serve an α-verified hit when one exists,
+/// otherwise run the pipeline (strict [`optimize_with_report`] or
+/// [`optimize_resilient`] per `resilient`) and memoize the result.
+///
+/// The returned flag is `true` exactly when the result came from the
+/// cache — in which case **zero passes ran** and `supply` was advanced
+/// past the producing run's high-water mark instead of being drawn from.
+///
+/// The input is Core-Linted before every pipeline run (misses and
+/// bypasses); verified hits skip the lint, which is sound because typing
+/// is α-invariant and the resident entry's input was linted when it was
+/// inserted.
+///
+/// # Errors
+///
+/// [`OptError::Type`](crate::OptError::Type) for ill-typed input,
+/// otherwise exactly the errors of the underlying pipeline entry point.
+/// Failed runs are never cached (an error may be budget-dependent and
+/// transient).
+pub fn optimize_cached(
+    e: &Expr,
+    data_env: &DataEnv,
+    supply: &mut NameSupply,
+    cfg: &OptConfig,
+    resilient: bool,
+    cache: &OptCache,
+) -> Result<(Arc<Expr>, Arc<PipelineReport>, bool), OptError> {
+    // Lint gates every *pipeline run*; verified hits skip it. That is
+    // sound, not just fast: typing is α-invariant, and a hit is only
+    // served after an α-walk against an input that was linted before it
+    // was inserted.
+    let run = |supply: &mut NameSupply| {
+        fj_check::lint(e, data_env)?;
+        if resilient {
+            optimize_resilient(e, data_env, supply, cfg)
+        } else {
+            optimize_with_report(e, data_env, supply, cfg)
+        }
+    };
+    let Some(cfg_fp) = cfg.fingerprint() else {
+        // Tapped configuration: uncacheable, run directly.
+        cache.bypasses.fetch_add(1, Ordering::Relaxed);
+        let (out, report) = run(supply)?;
+        return Ok((Arc::new(out), Arc::new(report), false));
+    };
+    let key = CacheKey {
+        term: alpha_fingerprint(e),
+        cfg: cfg_fp,
+        env: data_env.fingerprint(),
+        resilient,
+    };
+    let shard = cache.shard_for(&key);
+    {
+        let guard = shard.lock().unwrap();
+        if let Some(entry) = guard.map.get(&key) {
+            // Fingerprints can collide; only a real α-walk makes the hit
+            // sound. A collision (different term, same key) is served as
+            // a miss below without evicting the resident entry.
+            if alpha_eq(e, &entry.input) {
+                let hit = (Arc::clone(&entry.term), Arc::clone(&entry.report));
+                let supply_high = entry.supply_high;
+                drop(guard);
+                supply.advance_past(supply_high);
+                cache.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((hit.0, hit.1, true));
+            }
+        }
+    }
+    // Miss: run the pipeline outside any shard lock (a slow compile must
+    // not block unrelated lookups that happen to share the shard).
+    let (out, report) = run(supply)?;
+    cache.misses.fetch_add(1, Ordering::Relaxed);
+    let entry = CacheEntry {
+        input: Arc::new(e.clone()),
+        term: Arc::new(out),
+        report: Arc::new(report),
+        supply_high: supply.peek(),
+    };
+    let result = (Arc::clone(&entry.term), Arc::clone(&entry.report));
+    let mut guard = shard.lock().unwrap();
+    if !guard.map.contains_key(&key) {
+        while guard.map.len() >= cache.shard_cap {
+            match guard.order.pop_front() {
+                Some(oldest) => {
+                    guard.map.remove(&oldest);
+                    cache.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        guard.order.push_back(key);
+        guard.map.insert(key, entry);
+    }
+    Ok((result.0, result.1, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{PassCtx, PassTap};
+    use fj_ast::{Dsl, Type};
+
+    /// `\n. (\x. x + n) 1` — enough structure for the simplifier to act on.
+    fn program(dsl: &mut Dsl) -> Expr {
+        use fj_ast::PrimOp;
+        let n = dsl.binder("n", Type::Int);
+        let x = dsl.binder("x", Type::Int);
+        let body = Expr::app(
+            Expr::lam(
+                x.clone(),
+                Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::var(&n.name)),
+            ),
+            Expr::Lit(1),
+        );
+        Expr::lam(n, body)
+    }
+
+    #[test]
+    fn second_compile_is_a_hit_and_alpha_equal() {
+        let cache = OptCache::default();
+        let cfg = OptConfig::join_points();
+
+        let mut d1 = Dsl::new();
+        let e1 = program(&mut d1);
+        let mut s1 = d1.supply;
+        let (t1, r1, hit1) =
+            optimize_cached(&e1, &d1.data_env, &mut s1, &cfg, false, &cache).unwrap();
+        assert!(!hit1);
+        assert!(!r1.passes.is_empty());
+
+        // A fresh `Dsl` draws different uniques: textually different,
+        // α-equivalent — must hit the same entry.
+        let mut d2 = Dsl::new();
+        for _ in 0..7 {
+            d2.supply.fresh("skew");
+        }
+        let e2 = program(&mut d2);
+        let mut s2 = d2.supply;
+        let (t2, r2, hit2) =
+            optimize_cached(&e2, &d2.data_env, &mut s2, &cfg, false, &cache).unwrap();
+        assert!(hit2, "α-equivalent program must hit");
+        assert!(alpha_eq(&t1, &t2));
+        assert!(Arc::ptr_eq(&r1, &r2), "hit shares the report allocation");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn hit_advances_the_supply_past_the_producer() {
+        let cache = OptCache::default();
+        let cfg = OptConfig::join_points();
+        let mut d1 = Dsl::new();
+        // Skew the producer's supply forward so its high-water mark is
+        // strictly above anything a fresh supply has handed out.
+        for _ in 0..100 {
+            d1.supply.fresh("skew");
+        }
+        let e1 = program(&mut d1);
+        let mut s1 = d1.supply;
+        optimize_cached(&e1, &d1.data_env, &mut s1, &cfg, false, &cache).unwrap();
+        let producer_high = s1.peek();
+
+        let mut d2 = Dsl::new();
+        let e2 = program(&mut d2);
+        let mut s2 = d2.supply;
+        assert!(s2.peek() < producer_high);
+        let (_, _, hit) = optimize_cached(&e2, &d2.data_env, &mut s2, &cfg, false, &cache).unwrap();
+        assert!(hit);
+        assert!(
+            s2.peek() >= producer_high,
+            "adopting supply must jump past every name in the cached term"
+        );
+    }
+
+    #[test]
+    fn config_and_mode_changes_miss() {
+        let cache = OptCache::default();
+        let mut d = Dsl::new();
+        let e = program(&mut d);
+        let mut s = d.supply.clone();
+        let join = OptConfig::join_points();
+        let base = OptConfig::baseline();
+        optimize_cached(&e, &d.data_env, &mut s, &join, false, &cache).unwrap();
+        let (_, _, hit_other_cfg) =
+            optimize_cached(&e, &d.data_env, &mut s, &base, false, &cache).unwrap();
+        assert!(
+            !hit_other_cfg,
+            "different OptConfig must not share an entry"
+        );
+        let (_, _, hit_resilient) =
+            optimize_cached(&e, &d.data_env, &mut s, &join, true, &cache).unwrap();
+        assert!(!hit_resilient, "strict and resilient runs must not share");
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn tapped_configs_bypass_the_cache() {
+        let cache = OptCache::default();
+        let mut d = Dsl::new();
+        let e = program(&mut d);
+        let mut s = d.supply.clone();
+        let tapped = OptConfig::join_points().with_tap(PassTap::new(|_: &PassCtx, r| r));
+        assert_eq!(tapped.fingerprint(), None);
+        for _ in 0..2 {
+            let (_, _, hit) =
+                optimize_cached(&e, &d.data_env, &mut s, &tapped, false, &cache).unwrap();
+            assert!(!hit);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.bypasses, stats.entries), (2, 0));
+    }
+
+    #[test]
+    fn fifo_eviction_respects_the_cap() {
+        // One shard, two slots: the third distinct program evicts the
+        // first.
+        let cache = OptCache::new(1, 2);
+        let cfg = OptConfig::none();
+        let mut d = Dsl::new();
+        let mut s = d.supply.clone();
+        let programs: Vec<Expr> = (0..3)
+            .map(|i| {
+                let x = d.binder("x", Type::Int);
+                Expr::lam(x, Expr::Lit(i))
+            })
+            .collect();
+        for p in &programs {
+            optimize_cached(p, &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 1));
+        // Oldest entry gone: recompiling it misses again.
+        let (_, _, hit) =
+            optimize_cached(&programs[0], &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+        assert!(!hit);
+        // Newest still resident.
+        let (_, _, hit) =
+            optimize_cached(&programs[2], &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn config_fingerprint_is_stable_and_discriminating() {
+        let a = OptConfig::join_points().fingerprint().unwrap();
+        let b = OptConfig::join_points().fingerprint().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, OptConfig::baseline().fingerprint().unwrap());
+        assert_ne!(a, OptConfig::none().fingerprint().unwrap());
+        assert_ne!(
+            a,
+            OptConfig::join_points()
+                .with_max_passes(3)
+                .fingerprint()
+                .unwrap()
+        );
+        assert_ne!(
+            a,
+            OptConfig::join_points()
+                .with_pass_deadline(std::time::Duration::from_millis(50))
+                .fingerprint()
+                .unwrap()
+        );
+    }
+}

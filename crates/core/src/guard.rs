@@ -25,7 +25,7 @@ use fj_ast::{DataEnv, Expr, NameSupply};
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Once};
 use std::time::Duration;
 
@@ -128,6 +128,13 @@ pub enum RollbackReason {
         /// ([`OptConfig::max_passes`](crate::OptConfig)).
         max_passes: usize,
     },
+    /// The process has accumulated [`MAX_LEAKED_WORKERS`] abandoned guard
+    /// workers that are still grinding on timed-out passes, so the pass
+    /// was refused rather than allowed to spawn yet another thread.
+    GuardExhausted {
+        /// Abandoned workers still alive when the pass was refused.
+        leaked: usize,
+    },
 }
 
 impl RollbackReason {
@@ -140,6 +147,7 @@ impl RollbackReason {
             RollbackReason::DeadlineExceeded { .. } => "deadline",
             RollbackReason::GrowthBudget { .. } => "growth",
             RollbackReason::PassBudget { .. } => "pass-budget",
+            RollbackReason::GuardExhausted { .. } => "guard-exhausted",
         }
     }
 
@@ -167,6 +175,13 @@ impl RollbackReason {
             RollbackReason::PassBudget { max_passes } => OptError::Budget {
                 pass,
                 reason: format!("pipeline budget of {max_passes} passes already spent"),
+            },
+            RollbackReason::GuardExhausted { leaked } => OptError::Budget {
+                pass,
+                reason: format!(
+                    "{leaked} abandoned guard workers still running \
+                     (cap {MAX_LEAKED_WORKERS}); refusing to spawn another"
+                ),
             },
         }
     }
@@ -196,6 +211,12 @@ impl fmt::Display for RollbackReason {
             RollbackReason::PassBudget { max_passes } => {
                 write!(f, "pass budget spent ({max_passes} passes)")
             }
+            RollbackReason::GuardExhausted { leaked } => {
+                write!(
+                    f,
+                    "guard workers exhausted ({leaked} leaked, cap {MAX_LEAKED_WORKERS})"
+                )
+            }
         }
     }
 }
@@ -206,6 +227,31 @@ thread_local! {
 
 /// A unit of work shipped to the deadline worker thread.
 type Job = Box<dyn FnOnce() + Send>;
+
+/// Abandoned guard workers (deadline timeouts) whose threads are still
+/// alive: incremented when a timeout poisons a worker slot, decremented
+/// by the worker thread itself once its stuck job finally returns and it
+/// exits. A pass that never polls [`CancelFlag`] pins this counter up
+/// forever — which is exactly why [`MAX_LEAKED_WORKERS`] exists.
+static LEAKED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap on simultaneously-leaked guard workers, process-wide. Once this
+/// many abandoned threads are still running, deadline-guarded passes are
+/// *refused* ([`RollbackReason::GuardExhausted`]) instead of being
+/// allowed to spawn an unbounded pile of runaway threads. Rollback costs
+/// one optimization opportunity; unbounded thread growth costs the
+/// process.
+pub const MAX_LEAKED_WORKERS: usize = 8;
+
+/// How many abandoned guard workers are still alive right now
+/// (process-wide). Exposed in
+/// [`PipelineReport::leaked_workers`](crate::PipelineReport) and the
+/// `fj serve` `stats` response; the saboteur `inject-spin` suite asserts
+/// it stays below [`MAX_LEAKED_WORKERS`] and drains back to zero once
+/// cooperative spins notice their cancel flag.
+pub fn leaked_guard_workers() -> usize {
+    LEAKED_WORKERS.load(Ordering::SeqCst)
+}
 
 /// A long-lived worker thread that runs deadline-guarded passes, reused
 /// across passes and pipelines on the same driver thread. Spawning a
@@ -218,23 +264,43 @@ type Job = Box<dyn FnOnce() + Send>;
 /// running; cooperative code polls [`CancelFlag`]) and the slot is
 /// poisoned: the next deadline-guarded pass spawns a fresh worker, and the
 /// abandoned one exits on its own once its stuck job finishes and the
-/// job channel reports disconnect.
+/// job channel reports disconnect. Each abandonment is counted in
+/// [`LEAKED_WORKERS`] until the thread actually exits.
 struct DeadlineWorker {
     jobs: mpsc::Sender<Job>,
+    /// Set by [`poison_worker`] when the driver walks away; the worker
+    /// thread reads it on exit to settle the leak counter.
+    abandoned: Arc<AtomicBool>,
+}
+
+/// Decrements [`LEAKED_WORKERS`] when an abandoned worker thread finally
+/// exits — a drop guard so the decrement happens even if the stuck job
+/// panics on its way out.
+struct LeakSettler(Arc<AtomicBool>);
+
+impl Drop for LeakSettler {
+    fn drop(&mut self) {
+        if self.0.load(Ordering::SeqCst) {
+            LEAKED_WORKERS.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
 }
 
 impl DeadlineWorker {
     fn spawn() -> Option<DeadlineWorker> {
         let (jobs, inbox) = mpsc::channel::<Job>();
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let settler = LeakSettler(Arc::clone(&abandoned));
         std::thread::Builder::new()
             .name("fj-guard-worker".into())
             .spawn(move || {
+                let _settler = settler;
                 while let Ok(job) = inbox.recv() {
                     job();
                 }
             })
             .ok()
-            .map(|_| DeadlineWorker { jobs })
+            .map(|_| DeadlineWorker { jobs, abandoned })
     }
 }
 
@@ -242,55 +308,83 @@ thread_local! {
     static WORKER: Cell<Option<DeadlineWorker>> = const { Cell::new(None) };
 }
 
+/// Outcome of trying to hand a job to this thread's deadline worker.
+enum Submit {
+    /// The job is on a worker's queue.
+    Accepted,
+    /// No worker thread could be spawned at all (resource exhaustion at
+    /// the OS level); the caller runs the pass inline, un-timed.
+    NoThread,
+    /// The leaked-worker cap is reached; the caller must refuse the pass.
+    CapReached {
+        /// The leak count observed at refusal time.
+        leaked: usize,
+    },
+}
+
 /// Hand `job` to this thread's deadline worker, (re)spawning it if the
-/// slot is empty or the resident worker has died. Returns `false` when no
-/// worker thread can be obtained at all.
-fn submit_job(job: Job) -> bool {
+/// slot is empty or the resident worker has died. Spawning a replacement
+/// is refused while [`MAX_LEAKED_WORKERS`] abandoned workers are still
+/// running — reusing a healthy resident worker is always allowed.
+fn submit_job(job: Job) -> Submit {
     WORKER.with(|slot| {
         if let Some(worker) = slot.take() {
             match worker.jobs.send(job) {
                 Ok(()) => {
                     slot.set(Some(worker));
-                    return true;
+                    return Submit::Accepted;
                 }
                 // The worker died (its receiver is gone): fall through and
                 // respawn with the job we got back.
                 Err(mpsc::SendError(returned)) => {
-                    let Some(fresh) = DeadlineWorker::spawn() else {
-                        return false;
-                    };
-                    let ok = fresh.jobs.send(returned).is_ok();
-                    if ok {
-                        slot.set(Some(fresh));
-                    }
-                    return ok;
+                    return spawn_and_submit(slot, returned);
                 }
             }
         }
-        let Some(fresh) = DeadlineWorker::spawn() else {
-            return false;
-        };
-        let ok = fresh.jobs.send(job).is_ok();
-        if ok {
-            slot.set(Some(fresh));
-        }
-        ok
+        spawn_and_submit(slot, job)
     })
+}
+
+/// Spawn a fresh worker for `job`, honouring the leak cap.
+fn spawn_and_submit(slot: &Cell<Option<DeadlineWorker>>, job: Job) -> Submit {
+    let leaked = leaked_guard_workers();
+    if leaked >= MAX_LEAKED_WORKERS {
+        return Submit::CapReached { leaked };
+    }
+    let Some(fresh) = DeadlineWorker::spawn() else {
+        return Submit::NoThread;
+    };
+    if fresh.jobs.send(job).is_ok() {
+        slot.set(Some(fresh));
+        Submit::Accepted
+    } else {
+        Submit::NoThread
+    }
 }
 
 /// Poison this thread's worker slot after a timeout: the resident worker
 /// is still grinding on the abandoned job, so the next guarded pass must
 /// not queue behind it. Dropping the sender lets the abandoned worker
-/// exit once it finishes.
+/// exit once it finishes; until then it is accounted in
+/// [`LEAKED_WORKERS`].
 fn poison_worker() {
-    WORKER.with(|slot| slot.set(None));
+    WORKER.with(|slot| {
+        if let Some(worker) = slot.take() {
+            // Order matters: mark-then-count. The worker only settles the
+            // counter after observing `abandoned == true`, and it cannot
+            // observe it before this store; the increment below therefore
+            // cannot be missed or double-settled.
+            worker.abandoned.store(true, Ordering::SeqCst);
+            LEAKED_WORKERS.fetch_add(1, Ordering::SeqCst);
+        }
+    });
 }
 
 /// Install (once, process-wide) a panic hook that stays silent while a
 /// guarded pass is running on the current thread and delegates to the
 /// previous hook otherwise. Without this, every injected panic in the
 /// fault-injection suites would spray a backtrace onto test stderr.
-fn install_quiet_panic_hook() {
+pub(crate) fn install_quiet_panic_hook() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
         let prev = panic::take_hook();
@@ -303,10 +397,10 @@ fn install_quiet_panic_hook() {
 }
 
 /// RAII guard for the thread-local panic-report suppression flag.
-struct Quiet(bool);
+pub(crate) struct Quiet(bool);
 
 impl Quiet {
-    fn on() -> Quiet {
+    pub(crate) fn on() -> Quiet {
         Quiet(SUPPRESS_PANIC_REPORT.with(|s| s.replace(true)))
     }
 }
@@ -410,9 +504,19 @@ pub(crate) fn run_pass_guarded(
                 // The receiver may be gone (deadline hit): ignore.
                 let _ = tx.send((caught, supply2));
             });
-            if !submit_job(job) {
-                // No worker thread available at all: run inline, un-timed.
-                return run_pass_guarded(e, data_env, supply, pass, simpl, index, None, tap);
+            match submit_job(job) {
+                Submit::Accepted => {}
+                Submit::CapReached { leaked } => {
+                    // Too many runaway threads already. Running inline is
+                    // not an option either (an un-cancellable spin would
+                    // hang the driver itself), so refuse the pass.
+                    return Err(RollbackReason::GuardExhausted { leaked });
+                }
+                Submit::NoThread => {
+                    // No worker thread available at all: run inline,
+                    // un-timed.
+                    return run_pass_guarded(e, data_env, supply, pass, simpl, index, None, tap);
+                }
             }
             match rx.recv_timeout(limit) {
                 Ok((caught, supply_after)) => {

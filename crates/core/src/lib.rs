@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod axioms;
+pub mod cache;
 mod contify;
 mod cse;
 mod erase;
@@ -73,12 +74,15 @@ mod pipeline;
 #[cfg(test)]
 mod tests;
 
+pub use cache::{optimize_cached, CacheStats, OptCache};
 pub use contify::{contify, contify_counting};
 pub use cse::{cse, CseOutcome};
 pub use erase::{erase, is_commuting_normal};
 pub use float_in::{float_in, float_in_counting};
 pub use float_out::{float_out, float_out_counting};
-pub use guard::{PassCtx, PassResult, PassTap, RollbackReason};
+pub use guard::{
+    leaked_guard_workers, PassCtx, PassResult, PassTap, RollbackReason, MAX_LEAKED_WORKERS,
+};
 pub use par::{optimize_many, par_map, par_threads};
 pub use pipeline::{
     apply_pass, optimize, optimize_resilient, optimize_with_report, optimize_with_stats, OptConfig,

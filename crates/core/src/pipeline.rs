@@ -180,6 +180,35 @@ impl OptConfig {
         self.tap = Some(tap);
         self
     }
+
+    /// A stable 64-bit digest of everything in this configuration that can
+    /// influence the optimized term — the configuration component of the
+    /// [`OptCache`](crate::cache::OptCache) key.
+    ///
+    /// Returns `None` when a [`PassTap`] is installed: taps are opaque
+    /// functions (the fault-injection seam), so two configs with taps can
+    /// never be proven equivalent and tapped pipelines must bypass the
+    /// cache entirely.
+    pub fn fingerprint(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        if self.tap.is_some() {
+            return None;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.passes.len().hash(&mut h);
+        for p in &self.passes {
+            p.name().hash(&mut h);
+        }
+        self.simpl.join_points.hash(&mut h);
+        self.simpl.inline_size.hash(&mut h);
+        self.simpl.dup_size.hash(&mut h);
+        self.simpl.max_rounds.hash(&mut h);
+        self.lint_between.hash(&mut h);
+        self.pass_deadline.hash(&mut h);
+        self.max_growth.map(f64::to_bits).hash(&mut h);
+        self.max_passes.hash(&mut h);
+        Some(h.finish())
+    }
 }
 
 /// What the pipeline did, for reporting.
@@ -494,5 +523,6 @@ fn run_pipeline(
     }
     report.census_after = census;
     report.wall = started.elapsed();
+    report.leaked_workers = crate::guard::leaked_guard_workers();
     Ok((cur, report))
 }

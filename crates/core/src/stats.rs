@@ -248,6 +248,12 @@ pub struct PipelineReport {
     pub census_after: Census,
     /// Total wall-clock time across passes.
     pub wall: Duration,
+    /// Abandoned deadline-guard workers still alive when the pipeline
+    /// finished (process-wide; see
+    /// [`leaked_guard_workers`](crate::leaked_guard_workers)). Non-zero
+    /// means some earlier pass blew its deadline and its thread has not
+    /// yet noticed the cancellation.
+    pub leaked_workers: usize,
 }
 
 impl PipelineReport {
@@ -297,7 +303,11 @@ impl fmt::Display for PipelineReport {
                 )?,
             }
         }
-        write!(f, "output: {}  (total {:?})", self.census_after, self.wall)
+        write!(f, "output: {}  (total {:?})", self.census_after, self.wall)?;
+        if self.leaked_workers > 0 {
+            write!(f, "\nleaked guard workers: {}", self.leaked_workers)?;
+        }
+        Ok(())
     }
 }
 

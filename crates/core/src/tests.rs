@@ -626,7 +626,14 @@ mod resilient {
     };
     use fj_ast::{alpha_eq, Binder, Dsl, Expr, LetBind, Name, Type};
     use fj_eval::run;
+    use std::sync::Mutex;
     use std::time::Duration;
+
+    /// The guard's leaked-worker counter is process-wide, so tests that
+    /// exercise deadlines must not overlap: a cap-saturation test running
+    /// next to a plain deadline test would turn the latter's expected
+    /// `DeadlineExceeded` into `GuardExhausted`.
+    static DEADLINE_TESTS: Mutex<()> = Mutex::new(());
 
     /// A tap that panics when it reaches the pass at `index`.
     fn panic_tap(index: usize) -> PassTap {
@@ -762,6 +769,7 @@ mod resilient {
 
     #[test]
     fn deadline_rolls_back_a_spinning_pass() {
+        let _serial = DEADLINE_TESTS.lock().unwrap();
         let mut d = Dsl::new();
         let (_, program) = null_program(&mut d);
         let spin = PassTap::new(move |ctx, res| {
@@ -790,6 +798,82 @@ mod resilient {
                 run(&program, mode, FUEL).unwrap().value,
                 run(&out, mode, FUEL).unwrap().value
             );
+        }
+    }
+
+    /// Saturating the guard with non-cooperative spins must cap leaked
+    /// workers at [`MAX_LEAKED_WORKERS`] and refuse further guarded
+    /// passes with `GuardExhausted` instead of spawning more threads —
+    /// and the leak must drain back to zero once the stuck jobs end.
+    #[test]
+    fn leaked_workers_are_capped_then_drain() {
+        use crate::{leaked_guard_workers, MAX_LEAKED_WORKERS};
+        let _serial = DEADLINE_TESTS.lock().unwrap();
+        // An earlier deadline test's cooperatively-cancelled worker may
+        // still be mid-exit; start from a settled counter.
+        let settle = std::time::Instant::now() + Duration::from_secs(5);
+        while leaked_guard_workers() > 0 {
+            assert!(
+                std::time::Instant::now() < settle,
+                "leak counter dirty at start: {}",
+                leaked_guard_workers()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut d = Dsl::new();
+        let (_, program) = null_program(&mut d);
+        // A *non*-cooperative spin: ignores the cancel flag for a bounded
+        // 300ms, far past the 10ms deadline, so every run leaks pass 0's
+        // worker until the cap bites.
+        let stubborn = PassTap::new(move |ctx, res| {
+            if ctx.index == 0 {
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            res
+        });
+        let cfg = OptConfig::join_points()
+            .with_tap(stubborn)
+            .with_pass_deadline(Duration::from_millis(10));
+        let mut saw_exhausted = false;
+        let mut saw_leak_in_report = false;
+        for _ in 0..MAX_LEAKED_WORKERS + 3 {
+            let (_, report) =
+                optimize_resilient(&program, &d.data_env, &mut d.supply, &cfg).unwrap();
+            assert!(
+                leaked_guard_workers() <= MAX_LEAKED_WORKERS,
+                "cap breached: {} leaked",
+                leaked_guard_workers()
+            );
+            assert!(report.leaked_workers <= MAX_LEAKED_WORKERS);
+            saw_leak_in_report |= report.leaked_workers > 0;
+            match &report.passes[0].outcome {
+                PassOutcome::RolledBack(RollbackReason::DeadlineExceeded { .. }) => {}
+                PassOutcome::RolledBack(RollbackReason::GuardExhausted { leaked }) => {
+                    assert_eq!(*leaked, MAX_LEAKED_WORKERS);
+                    saw_exhausted = true;
+                }
+                other => panic!("unexpected pass-0 outcome: {other:?}"),
+            }
+        }
+        assert!(
+            saw_exhausted,
+            "cap never bit after {} deadline blows",
+            MAX_LEAKED_WORKERS + 3
+        );
+        assert!(
+            saw_leak_in_report,
+            "PipelineReport never surfaced a non-zero leak count"
+        );
+        // The stubborn jobs are bounded: once they finish, the abandoned
+        // workers exit and settle the counter.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while leaked_guard_workers() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{} workers never drained",
+                leaked_guard_workers()
+            );
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 

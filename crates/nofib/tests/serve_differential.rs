@@ -1,0 +1,252 @@
+//! ISSUE acceptance: the compile service is *transparent*. For every
+//! nofib program, under both real pipelines, four compile routes must
+//! agree up to α-equivalence — serial, parallel batch (`optimize_many`),
+//! served with a cold cache (miss), and served with a hot cache (hit) —
+//! and the served term must produce the same value and allocation
+//! metrics as the serial one on both backends.
+//!
+//! This is the concurrency companion of `vm_differential`: it pins down
+//! the two ways a cache could lie (a stale or colliding entry served as
+//! a hit, and a cross-thread name-capture bug in the batch path).
+
+use fj_ast::alpha_eq;
+use fj_core::{optimize_many, optimize_with_report, OptConfig};
+use fj_eval::EvalMode;
+use fj_nofib::{programs, FUEL, VM_FUEL};
+use fj_server::{CacheDisposition, CompileOpts, ServerState};
+
+fn opts_for(preset: &str) -> CompileOpts {
+    CompileOpts {
+        preset: preset.to_string(),
+        ..CompileOpts::default()
+    }
+}
+
+#[test]
+fn served_compiles_match_serial_and_batch_on_every_program() {
+    let presets: [(&str, OptConfig); 2] = [
+        ("join-points", OptConfig::join_points()),
+        ("baseline", OptConfig::baseline()),
+    ];
+    for (preset, cfg) in presets {
+        // One server per preset: every program lands in the same cache,
+        // so the hot pass also exercises shard routing under load.
+        let server = ServerState::new(4, 64);
+        let opts = opts_for(preset);
+
+        // Route 1: serial, the reference.
+        let mut serial = Vec::new();
+        let mut jobs = Vec::new();
+        for p in programs() {
+            let lowered = fj_surface::compile(p.source)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: compile: {e}", p.name));
+            jobs.push((
+                lowered.expr.clone(),
+                lowered.data_env.clone(),
+                lowered.supply.clone(),
+            ));
+            let mut supply = lowered.supply;
+            let (term, _) =
+                optimize_with_report(&lowered.expr, &lowered.data_env, &mut supply, &cfg)
+                    .unwrap_or_else(|e| panic!("{} [{preset}]: serial optimize: {e}", p.name));
+            serial.push(term);
+        }
+
+        // Route 2: the whole suite as one parallel batch.
+        let batched = optimize_many(jobs, &cfg);
+        for ((p, want), got) in programs().iter().zip(&serial).zip(batched) {
+            let (term, _) =
+                got.unwrap_or_else(|e| panic!("{} [{preset}]: batch optimize: {e}", p.name));
+            assert!(
+                alpha_eq(want, &term),
+                "{} [{preset}]: optimize_many disagrees with the serial pipeline",
+                p.name
+            );
+        }
+
+        // Routes 3 and 4: served cold (miss), then served hot — once with
+        // byte-identical text (textual front-cache hit) and once with a
+        // trailing comment added (re-parses, α-hits the term cache).
+        for (p, want) in programs().iter().zip(&serial) {
+            let cold = server
+                .compile_source(p.source, &opts)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: served cold: {}", p.name, e.message()));
+            assert_eq!(cold.cache, CacheDisposition::Miss, "{} [{preset}]", p.name);
+            assert!(
+                alpha_eq(want, &cold.term),
+                "{} [{preset}]: served cold compile disagrees with serial",
+                p.name
+            );
+            let hot = server
+                .compile_source(p.source, &opts)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: served hot: {}", p.name, e.message()));
+            assert_eq!(hot.cache, CacheDisposition::Hit, "{} [{preset}]", p.name);
+            assert!(
+                alpha_eq(want, &hot.term),
+                "{} [{preset}]: textual cache hit disagrees with serial",
+                p.name
+            );
+            let perturbed = format!("{}\n-- differential probe\n", p.source);
+            let alpha_hit = server
+                .compile_source(&perturbed, &opts)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: served α-hit: {}", p.name, e.message()));
+            assert_eq!(
+                alpha_hit.cache,
+                CacheDisposition::Hit,
+                "{} [{preset}]",
+                p.name
+            );
+            assert!(
+                alpha_eq(want, &alpha_hit.term),
+                "{} [{preset}]: term-cache hit disagrees with serial",
+                p.name
+            );
+
+            // The served term must *behave* identically too: same value,
+            // same allocation counters, on both backends.
+            let reference = fj_eval::run(want, EvalMode::CallByValue, FUEL)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: machine(serial): {e}", p.name));
+            let machine = fj_eval::run(&hot.term, EvalMode::CallByValue, FUEL)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: machine(served): {e}", p.name));
+            let vm = fj_vm::run(&hot.term, EvalMode::CallByValue, VM_FUEL)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: vm(served): {e}", p.name));
+            assert_eq!(
+                reference.value, machine.value,
+                "{} [{preset}]: served term computes a different value",
+                p.name
+            );
+            assert_eq!(reference.value, vm.value, "{} [{preset}]: vm value", p.name);
+            if let Some(expected) = p.expected {
+                assert_eq!(
+                    machine.value.to_string(),
+                    expected.to_string(),
+                    "{} [{preset}]: served term is wrong outright",
+                    p.name
+                );
+            }
+            let counters =
+                |m: &fj_eval::Metrics| (m.let_allocs, m.arg_allocs, m.con_allocs, m.jumps);
+            assert_eq!(
+                counters(&reference.metrics),
+                counters(&machine.metrics),
+                "{} [{preset}]: served term allocates differently",
+                p.name
+            );
+            assert_eq!(
+                counters(&reference.metrics),
+                counters(&vm.metrics),
+                "{} [{preset}]: vm metrics diverge for the served term",
+                p.name
+            );
+        }
+
+        let stats = server.cache_stats();
+        let n = programs().len() as u64;
+        assert_eq!(stats.misses, n, "[{preset}]: every cold compile must miss");
+        assert_eq!(
+            stats.hits, n,
+            "[{preset}]: every perturbed compile must α-hit"
+        );
+        assert_eq!(
+            server.source_hits(),
+            n,
+            "[{preset}]: every byte-identical compile must text-hit"
+        );
+    }
+}
+
+/// The cache key is *content*: α-equivalent programs share an entry no
+/// matter how they spell their binders, while a different pipeline or a
+/// different datatype environment must never share one.
+#[test]
+fn cache_keys_on_content_not_spelling() {
+    let original = "
+def main : Int =
+  letrec loop : Int -> Int -> Int =
+    \\(n : Int) (acc : Int) -> if n <= 0 then acc else loop (n - 1) (acc + n)
+  in loop 10 0;
+";
+    // Same program, every binder renamed.
+    let renamed = "
+def main : Int =
+  letrec walk : Int -> Int -> Int =
+    \\(k : Int) (total : Int) -> if k <= 0 then total else walk (k - 1) (total + k)
+  in walk 10 0;
+";
+    // Same `main`, but the program carries an extra (unused) datatype:
+    // its DataEnv fingerprint differs, so it must not share an entry —
+    // passes consult the environment, so reusing across it is unsound.
+    let extra_data = "
+data Flag = Up | Down;
+def main : Int =
+  letrec loop : Int -> Int -> Int =
+    \\(n : Int) (acc : Int) -> if n <= 0 then acc else loop (n - 1) (acc + n)
+  in loop 10 0;
+";
+    let server = ServerState::new(1, 16);
+    let jp = opts_for("join-points");
+
+    let first = server.compile_source(original, &jp).unwrap();
+    assert_eq!(first.cache, CacheDisposition::Miss);
+
+    let respelled = server.compile_source(renamed, &jp).unwrap();
+    assert_eq!(
+        respelled.cache,
+        CacheDisposition::Hit,
+        "α-equivalent programs must share a cache entry"
+    );
+    assert!(alpha_eq(&first.term, &respelled.term));
+    assert_eq!(server.cache_stats().entries, 1);
+
+    let other_pipeline = server
+        .compile_source(original, &opts_for("baseline"))
+        .unwrap();
+    assert_eq!(
+        other_pipeline.cache,
+        CacheDisposition::Miss,
+        "a different pipeline must get its own entry"
+    );
+
+    let other_env = server.compile_source(extra_data, &jp).unwrap();
+    assert_eq!(
+        other_env.cache,
+        CacheDisposition::Miss,
+        "a different datatype environment must get its own entry"
+    );
+
+    // And a hit is indistinguishable from a fresh compile.
+    let lowered = fj_surface::compile(original).unwrap();
+    let mut supply = lowered.supply;
+    let (fresh, _) = optimize_with_report(
+        &lowered.expr,
+        &lowered.data_env,
+        &mut supply,
+        &OptConfig::join_points(),
+    )
+    .unwrap();
+    assert!(alpha_eq(&fresh, &respelled.term));
+}
+
+/// A hit adopts the producer's name supply: names drawn *after* a served
+/// compile must not collide with names inside the served term, even when
+/// the producer's supply had advanced much further than this consumer's.
+#[test]
+fn names_drawn_after_a_hit_are_fresh() {
+    use fj_ast::alpha_fingerprint;
+    let src = "
+def main : Int =
+  letrec go : Int -> Int = \\(n : Int) -> if n <= 0 then 0 else go (n - 1)
+  in go 3;
+";
+    let server = ServerState::new(1, 16);
+    let opts = opts_for("join-points");
+    server.compile_source(src, &opts).unwrap();
+    let hit = server.compile_source(src, &opts).unwrap();
+    assert_eq!(hit.cache, CacheDisposition::Hit);
+    // Erasure draws fresh names from the adopting supply while rebuilding
+    // the term; a capture would change (or lint-break) the result.
+    let mut supply = hit.supply;
+    let erased = fj_core::erase(&hit.term, &hit.data_env, &mut supply)
+        .expect("erasure after a cache hit must stay well-typed");
+    assert_ne!(alpha_fingerprint(&erased), 0);
+}

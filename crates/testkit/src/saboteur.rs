@@ -407,6 +407,15 @@ mod tests {
             }
             let (out, report) = optimize_resilient(&e, &d.data_env, &mut d.supply, &cfg)
                 .expect("resilient pipeline never fails");
+            // The cooperative spin is abandoned by the deadline but exits
+            // once cancelled: the report may observe a transiently leaked
+            // worker, never an accumulation past the spawn cap.
+            assert!(
+                report.leaked_workers <= fj_core::MAX_LEAKED_WORKERS,
+                "mode {} case {case}: {} leaked workers exceeds the cap",
+                mode.name(),
+                report.leaked_workers
+            );
             let fired = handle.fired();
             fired_total += fired;
             let rolled: Vec<_> = report.rolled_back().collect();
@@ -444,6 +453,24 @@ mod tests {
             "mode {} never fired over {cases} programs — the matrix is vacuous",
             mode.name()
         );
+        if mode == Sabotage::InjectSpin {
+            drain_leaked_workers(mode);
+        }
+    }
+
+    /// Cooperatively-cancelled spins must actually unwind: wait for the
+    /// process-wide leaked-worker counter to settle back to zero.
+    fn drain_leaked_workers(mode: Sabotage) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while fj_core::leaked_guard_workers() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "mode {}: {} abandoned workers never drained",
+                mode.name(),
+                fj_core::leaked_guard_workers()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     #[test]

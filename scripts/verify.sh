@@ -60,6 +60,49 @@ if [[ "$QUICK" -eq 0 ]]; then
     }
   done
   rm -f "$OPT_SMOKE"
+
+  # Serve smoke: start the compile service on an ephemeral port, compile
+  # the same program twice over raw TCP, and require the second response
+  # to be flagged as a cache hit before a clean shutdown.
+  SERVE_LOG="$(mktemp)"
+  echo '==> ./target/release/fj serve --port 0   (smoke)'
+  ./target/release/fj serve --port 0 > "$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do
+    grep -q 'listening on' "$SERVE_LOG" 2>/dev/null && break
+    sleep 0.1
+  done
+  SERVE_ADDR="$(sed -n 's/^fj serve: listening on //p' "$SERVE_LOG" | head -1)"
+  [[ -n "$SERVE_ADDR" ]] || { echo "verify: fj serve never bound" >&2; exit 1; }
+  SERVE_HOST="${SERVE_ADDR%:*}"
+  SERVE_PORT="${SERVE_ADDR##*:}"
+  REQ='{"op": "compile", "program": "def main : Int = 21 * 2;"}'
+  exec 3<>"/dev/tcp/$SERVE_HOST/$SERVE_PORT"
+  printf '%s\n' "$REQ" >&3; read -r FIRST <&3
+  printf '%s\n' "$REQ" >&3; read -r SECOND <&3
+  printf '%s\n' '{"op": "shutdown"}' >&3; read -r BYE <&3
+  exec 3>&-
+  echo "$FIRST"  | grep -q '"cache": "miss"' || { echo "verify: first serve compile was not a miss: $FIRST" >&2; exit 1; }
+  echo "$SECOND" | grep -q '"cache": "hit"'  || { echo "verify: second serve compile was not a hit: $SECOND" >&2; exit 1; }
+  echo "$BYE"    | grep -q '"shutting_down": true' || { echo "verify: serve shutdown failed: $BYE" >&2; exit 1; }
+  wait "$SERVE_PID"
+  trap - EXIT
+  rm -f "$SERVE_LOG"
+
+  # Serve bench smoke: the cold/warm/hot snapshot must keep its schema.
+  SERVE_SMOKE="$(mktemp)"
+  echo '==> ./target/release/fj bench --phase serve'
+  ./target/release/fj bench --phase serve > "$SERVE_SMOKE"
+  for key in '"generated_by"' '"programs"' '"cold_ns"' '"warm_ns"' \
+             '"hot_ns"' '"warm_speedup"' '"hit_speedup"' '"term_hits"' \
+             '"source_hits"' '"hit_rate"'; do
+    grep -q "$key" "$SERVE_SMOKE" || {
+      echo "verify: BENCH_serve schema missing $key" >&2
+      exit 1
+    }
+  done
+  rm -f "$SERVE_SMOKE"
 fi
 
 echo "verify: all checks passed"

@@ -18,11 +18,21 @@
 //!                                   # JSON on stdout (BENCH_vm.json)
 //! fj bench --phase optimize         # nofib timed through the optimizer,
 //!                                   # JSON on stdout (BENCH_opt.json)
+//! fj bench --phase serve            # nofib compiled twice through a live
+//!                                   # compile service: cache-miss vs
+//!                                   # cache-hit latency (BENCH_serve.json)
+//! fj serve --port 0                 # compile service on an ephemeral
+//!                                   # port (prints the bound address)
 //!
 //! options: --baseline | -O0, --backend machine|vm, --mode name|need|value,
 //!          --fuel N, --timeout-ms N, --metrics, --resilient,
 //!          --pass-deadline-ms N, --max-growth F, --max-passes N,
-//!          --phase vm|optimize, --iterations N, --warmup N (bench only)
+//!          --phase vm|optimize|serve, --iterations N, --warmup N (bench only),
+//!          --addr HOST:PORT, --port N, --shards N, --cache-cap N (serve only)
+//!
+//! `fj serve` speaks newline-delimited JSON over TCP; see the `fj-server`
+//! crate docs and README for the protocol. Request failures carry a
+//! `code` field that mirrors the exit codes below.
 //!
 //! exit codes: 0 success; 1 I/O or other runtime error; 2 usage, lexical,
 //! or parse error; 3 lowering or lint (type) error; 4 optimizer error;
@@ -63,13 +73,18 @@ struct Options {
     phase: BenchPhase,
     iterations: u32,
     warmup: u32,
+    addr: String,
+    shards: usize,
+    cache_cap: usize,
 }
 
-/// What `fj bench` measures: backend execution or the optimizer itself.
+/// What `fj bench` measures: backend execution, the optimizer itself, or
+/// the compile service's cache-miss vs cache-hit latency.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum BenchPhase {
     Vm,
     Optimize,
+    Serve,
 }
 
 fn usage() -> ExitCode {
@@ -78,8 +93,10 @@ fn usage() -> ExitCode {
          [--mode name|need|value] [--fuel N] [--timeout-ms N] [--metrics] [--before] \
          [--resilient] [--pass-deadline-ms N] [--max-growth F] [--max-passes N] <file.fj>\n\
          \x20      fj report   (nofib suite: baseline vs join points, markdown)\n\
-         \x20      fj bench [--phase vm|optimize] [--iterations N] [--warmup N]\n\
+         \x20      fj bench [--phase vm|optimize|serve] [--iterations N] [--warmup N]\n\
          \x20                  (nofib suite timed, JSON on stdout)\n\
+         \x20      fj serve [--addr HOST:PORT] [--port N] [--shards N] [--cache-cap N]\n\
+         \x20                  (compile service; newline-delimited JSON over TCP)\n\
          exit codes: 1 I/O or runtime, 2 usage/parse, 3 type/lint, 4 optimizer, \
          5 fuel/deadline exhausted"
     );
@@ -93,7 +110,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     };
     if !matches!(
         command.as_str(),
-        "run" | "dump" | "check" | "erase" | "report" | "bench"
+        "run" | "dump" | "check" | "erase" | "report" | "bench" | "serve"
     ) {
         return Err(usage());
     }
@@ -109,6 +126,9 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut phase = BenchPhase::Vm;
     let mut iterations = 1u32;
     let mut warmup = 0u32;
+    let mut addr = "127.0.0.1:7117".to_string();
+    let mut shards = system_fj::core::cache::DEFAULT_SHARDS;
+    let mut cache_cap = system_fj::core::cache::DEFAULT_SHARD_CAP;
     let mut file = None;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -160,8 +180,22 @@ fn parse_args() -> Result<Options, ExitCode> {
                 phase = match args.next().as_deref() {
                     Some("vm") => BenchPhase::Vm,
                     Some("optimize") => BenchPhase::Optimize,
+                    Some("serve") => BenchPhase::Serve,
                     _ => return Err(usage()),
                 };
+            }
+            "--addr" => {
+                addr = args.next().ok_or_else(usage)?;
+            }
+            "--port" => {
+                let port: u16 = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                addr = format!("127.0.0.1:{port}");
+            }
+            "--shards" => {
+                shards = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+            }
+            "--cache-cap" => {
+                cache_cap = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
             }
             "--iterations" => {
                 iterations = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
@@ -173,8 +207,9 @@ fn parse_args() -> Result<Options, ExitCode> {
             _ => return Err(usage()),
         }
     }
-    // `report` and `bench` take no file: they run the built-in suite.
-    if command == "report" || command == "bench" {
+    // `report`, `bench`, and `serve` take no file: the first two run the
+    // built-in suite, the service reads programs off the wire.
+    if matches!(command.as_str(), "report" | "bench" | "serve") {
         return Ok(Options {
             command,
             file: String::new(),
@@ -190,6 +225,9 @@ fn parse_args() -> Result<Options, ExitCode> {
             phase,
             iterations,
             warmup,
+            addr,
+            shards,
+            cache_cap,
         });
     }
     let Some(file) = file else {
@@ -210,6 +248,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         phase,
         iterations,
         warmup,
+        addr,
+        shards,
+        cache_cap,
     })
 }
 
@@ -233,8 +274,55 @@ fn main() -> ExitCode {
                 let bench = system_fj::nofib::run_bench_opt(opts.iterations, opts.warmup);
                 print!("{}", system_fj::nofib::format_bench_opt_json(&bench));
             }
+            BenchPhase::Serve => {
+                // The service crate is nofib-blind; hand it the suite as
+                // plain (name, suite, source) rows.
+                let programs: Vec<(String, String, String)> = system_fj::nofib::programs()
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.name.to_string(),
+                            p.suite.name().to_string(),
+                            p.source.to_string(),
+                        )
+                    })
+                    .collect();
+                let bench = system_fj::server::run_bench_serve(&programs);
+                print!("{}", system_fj::server::format_bench_serve_json(&bench));
+            }
         }
         return ExitCode::SUCCESS;
+    }
+    if opts.command == "serve" {
+        use std::io::Write as _;
+        let listener = match std::net::TcpListener::bind(&opts.addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("fj: serve: cannot bind {}: {e}", opts.addr);
+                return ExitCode::from(1);
+            }
+        };
+        let local = match listener.local_addr() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("fj: serve: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        // Scripts parse this line to learn the ephemeral port (`--port 0`).
+        println!("fj serve: listening on {local}");
+        let _ = std::io::stdout().flush();
+        let state = std::sync::Arc::new(system_fj::server::ServerState::new(
+            opts.shards,
+            opts.cache_cap,
+        ));
+        return match system_fj::server::serve(listener, state) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("fj: serve: {e}");
+                ExitCode::from(1)
+            }
+        };
     }
     let src = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,

@@ -19,7 +19,9 @@
 //! * [`fusion`] — skip-less vs skip-ful stream fusion (Sec. 5);
 //! * [`nofib`] — the Table-1 benchmark suite and harness;
 //! * [`vm`] — the flat jump-threaded bytecode backend (`--backend vm`),
-//!   where a jump is literally a branch plus a stack truncation.
+//!   where a jump is literally a branch plus a stack truncation;
+//! * [`server`] — `fj serve`: a sharded compile service over
+//!   newline-delimited JSON with a content-addressed optimization cache.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +58,8 @@ pub use fj_eval as eval;
 pub use fj_fusion as fusion;
 /// The benchmark suite (re-export of `fj-nofib`).
 pub use fj_nofib as nofib;
+/// The compile service (re-export of `fj-server`).
+pub use fj_server as server;
 /// The surface language (re-export of `fj-surface`).
 pub use fj_surface as surface;
 /// The bytecode execution backend (re-export of `fj-vm`).

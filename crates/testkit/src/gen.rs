@@ -10,11 +10,24 @@
 //!
 //! The grammar deliberately exercises the paper's machinery: `let`
 //! bindings (inlining, floating), branching on a known `Maybe`
-//! (case-of-known-constructor, case-of-case once contexts pile up), and
-//! terminating accumulator loops (`letrec`, the contification target).
+//! (case-of-known-constructor, case-of-case once contexts pile up),
+//! terminating accumulator loops (`letrec`, the contification target),
+//! and — the paper's central construct — join points: non-recursive
+//! joins with conditional jumps, recursive (optionally mutual) join
+//! groups, and jumps from nested tail positions.
+//!
+//! Join points obey the same closure discipline as variables: a label
+//! environment is threaded only into *tail* positions (mirroring the
+//! Δ rules of the lint), and a [`G::Jump`] that finds no label in scope
+//! degrades to its payload expression. Every subtree therefore stays a
+//! closed, total, `Int`-typed program, and the shrinker's
+//! hoist-any-subtree move stays sound. Termination is structural: a
+//! recursive group's own label is never put in scope of a generated
+//! hole, so generated jumps only ever target *strictly outer* labels,
+//! and the fixed loop skeletons count down.
 
 use crate::rng::SplitMix64;
-use fj_ast::{Alt, AltCon, Binder, Dsl, Expr, Name, PrimOp, Type};
+use fj_ast::{Alt, AltCon, Binder, Dsl, Expr, JoinDef, Name, PrimOp, Type};
 
 /// A generator-level expression: always of type `Int`, always total.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,6 +70,45 @@ pub enum G {
         /// Step expression (sees the loop variables).
         step: Box<G>,
     },
+    /// A non-recursive join point with a guaranteed-live jump:
+    /// `join j (p:Int) = body in if arg < 0 then cont else jump j arg`.
+    /// `body` sees `p` plus the *outer* labels (rule JBIND: a
+    /// non-recursive RHS is checked under the enclosing Δ); `cont` sees
+    /// the outer labels *and* `j`, so nested conditional jumps to `j`
+    /// arise; `arg` is a jump argument and therefore sees no labels.
+    Join {
+        /// The join RHS (sees the parameter `p` and outer labels).
+        body: Box<G>,
+        /// The jump argument / discriminator (label-free).
+        arg: Box<G>,
+        /// The continuation (sees outer labels plus `j`).
+        cont: Box<G>,
+    },
+    /// A terminating recursive join group, the contified mirror of
+    /// [`G::Loop`]:
+    /// `joinrec go (i:Int) (acc:Int) = if i <= 0 then done else jump go (i-1) step in jump go n init`.
+    /// With `mutual` set, the group has two labels bouncing control
+    /// between each other (`go` → `gob` → `go` …), each decrementing the
+    /// counter. `done` is in tail position of a recursive RHS, so it
+    /// sees the *outer* labels (Δ extends through `joinrec` RHSs) — but
+    /// never the group's own labels, which keeps every generated
+    /// program total.
+    JoinLoop {
+        /// Make the group mutually recursive (two labels).
+        mutual: bool,
+        /// Iteration count (bounded so fuel never runs out).
+        iters: u8,
+        /// Initial accumulator (a jump argument: label-free).
+        init: Box<G>,
+        /// Step expression (sees `i`/`acc`; a jump argument: label-free).
+        step: Box<G>,
+        /// Exit expression (sees `i`/`acc` and the outer labels).
+        done: Box<G>,
+    },
+    /// A jump to the `i`-th enclosing label (modulo the label
+    /// environment size) carrying the payload as its argument; degrades
+    /// to the payload itself when no label is in scope.
+    Jump(u8, Box<G>),
 }
 
 impl G {
@@ -78,6 +130,11 @@ impl G {
                 ..
             } => vec![payload, none, some],
             G::Loop { init, step, .. } => vec![init, step],
+            G::Join { body, arg, cont } => vec![body, arg, cont],
+            G::JoinLoop {
+                init, step, done, ..
+            } => vec![init, step, done],
+            G::Jump(_, payload) => vec![payload],
         }
     }
 
@@ -105,6 +162,19 @@ impl G {
                 init: next(),
                 step: next(),
             },
+            G::Join { .. } => G::Join {
+                body: next(),
+                arg: next(),
+                cont: next(),
+            },
+            G::JoinLoop { mutual, iters, .. } => G::JoinLoop {
+                mutual: *mutual,
+                iters: *iters,
+                init: next(),
+                step: next(),
+                done: next(),
+            },
+            G::Jump(i, _) => G::Jump(*i, next()),
         }
     }
 }
@@ -120,7 +190,7 @@ pub fn gen(rng: &mut SplitMix64, depth: u32) -> G {
         return gen_leaf(rng);
     }
     // Leaves stay likely at every depth so expected size remains small.
-    match rng.below(10) {
+    match rng.below(14) {
         0..=2 => gen_leaf(rng),
         3 => G::Add(sub(rng, depth), sub(rng, depth)),
         4 => G::Sub(sub(rng, depth), sub(rng, depth)),
@@ -138,11 +208,26 @@ pub fn gen(rng: &mut SplitMix64, depth: u32) -> G {
             none: sub(rng, depth),
             some: sub(rng, depth),
         },
-        _ => G::Loop {
+        9 => G::Loop {
             iters: (rng.below(12)) as u8,
             init: sub(rng, depth),
             step: sub(rng, depth),
         },
+        10 => G::Join {
+            body: sub(rng, depth),
+            arg: sub(rng, depth),
+            cont: sub(rng, depth),
+        },
+        11 => G::JoinLoop {
+            mutual: rng.bool(),
+            iters: (rng.below(12)) as u8,
+            init: sub(rng, depth),
+            step: sub(rng, depth),
+            done: sub(rng, depth),
+        },
+        // Two arms: jumps should be common once a label is in scope —
+        // and they degrade to their payload when none is.
+        _ => G::Jump(rng.u8(), sub(rng, depth)),
     }
 }
 
@@ -160,6 +245,17 @@ fn gen_leaf(rng: &mut SplitMix64) -> G {
 
 /// Interpret a generated description into a (closed, Int-typed) F_J term.
 pub fn build(g: &G, d: &mut Dsl, env: &mut Vec<Name>) -> Expr {
+    build_in(g, d, env, &mut Vec::new())
+}
+
+/// As [`build`], threading the in-scope join labels. `jenv` is passed
+/// through to tail-position children only (the lint's Δ discipline) and
+/// reset to empty everywhere else; every label in it has arity 1 and
+/// result type `Int`.
+fn build_in(g: &G, d: &mut Dsl, env: &mut Vec<Name>, jenv: &mut Vec<Name>) -> Expr {
+    // Non-tail children (operands, scrutinees-in-disguise, arguments,
+    // lambda bodies) must not see any labels.
+    let mut no_labels = Vec::new();
     match g {
         G::Lit(n) => Expr::Lit(i64::from(*n)),
         G::Var(i) => {
@@ -170,19 +266,35 @@ pub fn build(g: &G, d: &mut Dsl, env: &mut Vec<Name>) -> Expr {
                 Expr::var(&env[ix])
             }
         }
-        G::Add(a, b) => Expr::prim2(PrimOp::Add, build(a, d, env), build(b, d, env)),
-        G::Sub(a, b) => Expr::prim2(PrimOp::Sub, build(a, d, env), build(b, d, env)),
-        G::Mul(a, b) => Expr::prim2(PrimOp::Mul, build(a, d, env), build(b, d, env)),
+        G::Add(a, b) => Expr::prim2(
+            PrimOp::Add,
+            build_in(a, d, env, &mut no_labels),
+            build_in(b, d, env, &mut no_labels),
+        ),
+        G::Sub(a, b) => Expr::prim2(
+            PrimOp::Sub,
+            build_in(a, d, env, &mut no_labels),
+            build_in(b, d, env, &mut no_labels),
+        ),
+        G::Mul(a, b) => Expr::prim2(
+            PrimOp::Mul,
+            build_in(a, d, env, &mut no_labels),
+            build_in(b, d, env, &mut no_labels),
+        ),
         G::IfLt(a, b, t, f) => Expr::ite(
-            Expr::prim2(PrimOp::Lt, build(a, d, env), build(b, d, env)),
-            build(t, d, env),
-            build(f, d, env),
+            Expr::prim2(
+                PrimOp::Lt,
+                build_in(a, d, env, &mut no_labels),
+                build_in(b, d, env, &mut no_labels),
+            ),
+            build_in(t, d, env, jenv),
+            build_in(f, d, env, jenv),
         ),
         G::Let(rhs, body) => {
-            let rhs_e = build(rhs, d, env);
+            let rhs_e = build_in(rhs, d, env, &mut no_labels);
             let b = d.binder("x", Type::Int);
             env.push(b.name.clone());
-            let body_e = build(body, d, env);
+            let body_e = build_in(body, d, env, jenv);
             env.pop();
             Expr::let1(b, rhs_e, body_e)
         }
@@ -193,15 +305,15 @@ pub fn build(g: &G, d: &mut Dsl, env: &mut Vec<Name>) -> Expr {
             some,
         } => {
             let scrut = if *just {
-                let p = build(payload, d, env);
+                let p = build_in(payload, d, env, &mut no_labels);
                 d.just(Type::Int, p)
             } else {
                 d.nothing(Type::Int)
             };
-            let none_e = build(none, d, env);
+            let none_e = build_in(none, d, env, jenv);
             let x = d.binder("m", Type::Int);
             env.push(x.name.clone());
-            let some_e = build(some, d, env);
+            let some_e = build_in(some, d, env, jenv);
             env.pop();
             Expr::case(
                 scrut,
@@ -216,13 +328,13 @@ pub fn build(g: &G, d: &mut Dsl, env: &mut Vec<Name>) -> Expr {
             )
         }
         G::Loop { iters, init, step } => {
-            let init_e = build(init, d, env);
+            let init_e = build_in(init, d, env, &mut no_labels);
             let go = d.name("go");
             let i = d.binder("i", Type::Int);
             let acc = d.binder("acc", Type::Int);
             env.push(i.name.clone());
             env.push(acc.name.clone());
-            let step_e = build(step, d, env);
+            let step_e = build_in(step, d, env, &mut no_labels);
             env.pop();
             env.pop();
             let body = Expr::ite(
@@ -241,6 +353,127 @@ pub fn build(g: &G, d: &mut Dsl, env: &mut Vec<Name>) -> Expr {
                 vec![(Binder::new(go.clone(), go_ty), Expr::lams([i, acc], body))],
                 Expr::apps(Expr::var(&go), [Expr::Lit(i64::from(*iters)), init_e]),
             )
+        }
+        G::Join { body, arg, cont } => {
+            let j = d.name("j");
+            let p = d.binder("p", Type::Int);
+            env.push(p.name.clone());
+            let body_e = build_in(body, d, env, jenv);
+            env.pop();
+            // The argument is built twice (discriminator and payload);
+            // both occurrences are non-tail.
+            let arg_scrut = build_in(arg, d, env, &mut no_labels);
+            let arg_jump = build_in(arg, d, env, &mut no_labels);
+            jenv.push(j.clone());
+            let cont_e = build_in(cont, d, env, jenv);
+            jenv.pop();
+            let def = JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![p],
+                body: body_e,
+            };
+            Expr::join1(
+                def,
+                Expr::ite(
+                    Expr::prim2(PrimOp::Lt, arg_scrut, Expr::Lit(0)),
+                    cont_e,
+                    Expr::jump(&j, vec![], vec![arg_jump], Type::Int),
+                ),
+            )
+        }
+        G::JoinLoop {
+            mutual,
+            iters,
+            init,
+            step,
+            done,
+        } => {
+            let init_e = build_in(init, d, env, &mut no_labels);
+            let go = d.name("go");
+            let i = d.binder("i", Type::Int);
+            let acc = d.binder("acc", Type::Int);
+            env.push(i.name.clone());
+            env.push(acc.name.clone());
+            let step_e = build_in(step, d, env, &mut no_labels);
+            // `done` is a tail position of a recursive RHS: the outer
+            // labels stay in Δ, but the group's own labels are withheld
+            // so the loop provably terminates.
+            let done_e = build_in(done, d, env, jenv);
+            env.pop();
+            env.pop();
+            let dec = |n: &Name| Expr::prim2(PrimOp::Sub, Expr::var(n), Expr::Lit(1));
+            let entry = Expr::jump(
+                &go,
+                vec![],
+                vec![Expr::Lit(i64::from(*iters)), init_e],
+                Type::Int,
+            );
+            if *mutual {
+                let gob = d.name("gob");
+                let i2 = d.binder("i", Type::Int);
+                let acc2 = d.binder("acc", Type::Int);
+                let go_body = Expr::ite(
+                    Expr::prim2(PrimOp::Le, Expr::var(&i.name), Expr::Lit(0)),
+                    done_e,
+                    Expr::jump(&gob, vec![], vec![dec(&i.name), step_e], Type::Int),
+                );
+                let gob_body = Expr::ite(
+                    Expr::prim2(PrimOp::Le, Expr::var(&i2.name), Expr::Lit(0)),
+                    Expr::var(&acc2.name),
+                    Expr::jump(
+                        &go,
+                        vec![],
+                        vec![
+                            dec(&i2.name),
+                            Expr::prim2(PrimOp::Add, Expr::var(&acc2.name), Expr::Lit(1)),
+                        ],
+                        Type::Int,
+                    ),
+                );
+                Expr::joinrec(
+                    vec![
+                        JoinDef {
+                            name: go,
+                            ty_params: vec![],
+                            params: vec![i, acc],
+                            body: go_body,
+                        },
+                        JoinDef {
+                            name: gob,
+                            ty_params: vec![],
+                            params: vec![i2, acc2],
+                            body: gob_body,
+                        },
+                    ],
+                    entry,
+                )
+            } else {
+                let go_body = Expr::ite(
+                    Expr::prim2(PrimOp::Le, Expr::var(&i.name), Expr::Lit(0)),
+                    done_e,
+                    Expr::jump(&go, vec![], vec![dec(&i.name), step_e], Type::Int),
+                );
+                Expr::joinrec(
+                    vec![JoinDef {
+                        name: go,
+                        ty_params: vec![],
+                        params: vec![i, acc],
+                        body: go_body,
+                    }],
+                    entry,
+                )
+            }
+        }
+        G::Jump(i, payload) => {
+            let payload_e = build_in(payload, d, env, &mut no_labels);
+            if jenv.is_empty() {
+                payload_e
+            } else {
+                let ix = (*i as usize) % jenv.len();
+                let j = jenv[ix].clone();
+                Expr::jump(&j, vec![], vec![payload_e], Type::Int)
+            }
         }
     }
 }
@@ -282,5 +515,108 @@ mod tests {
                 "generator produced an ill-typed term:\n{e}"
             );
         }
+    }
+
+    /// The ROADMAP's generator blind spot, closed: a healthy fraction of
+    /// generated programs must contain the paper's central construct.
+    /// ≥20% is the acceptance bar; the observed rate is far higher.
+    #[test]
+    fn join_point_distribution() {
+        let cases = 400u32;
+        let mut rng = SplitMix64::new(0x0101_4E75);
+        let mut with_joins = 0u32;
+        let mut with_rec_group = 0u32;
+        let mut with_mutual_group = 0u32;
+        let mut with_generated_jump = 0u32;
+        for _ in 0..cases {
+            let g = gen(&mut rng, DEFAULT_DEPTH);
+            let (_, e) = build_closed(&g);
+            if e.has_join_or_jump() {
+                with_joins += 1;
+            }
+            let mut rec = false;
+            let mut mutual = false;
+            e.walk(&mut |n| {
+                if let Expr::Join(fj_ast::JoinBind::Rec(defs), _) = n {
+                    rec = true;
+                    mutual |= defs.len() > 1;
+                }
+            });
+            with_rec_group += u32::from(rec);
+            with_mutual_group += u32::from(mutual);
+            with_generated_jump += u32::from(has_generated_jump(&g, false));
+        }
+        let pct = 100 * with_joins / cases;
+        assert!(
+            pct >= 20,
+            "only {with_joins}/{cases} ({pct}%) of generated programs contain a join point"
+        );
+        assert!(with_rec_group > 0, "no recursive join groups generated");
+        assert!(with_mutual_group > 0, "no mutual join groups generated");
+        assert!(
+            with_generated_jump > 0,
+            "no grammar-level Jump ever landed in a label's scope"
+        );
+    }
+
+    /// Does a `G::Jump` occur somewhere a label is actually in scope
+    /// (i.e. it built a real `Expr::Jump`, not its degraded payload)?
+    fn has_generated_jump(g: &G, in_scope: bool) -> bool {
+        match g {
+            G::Jump(_, payload) => in_scope || has_generated_jump(payload, false),
+            G::Join { body, arg, cont } => {
+                has_generated_jump(body, in_scope)
+                    || has_generated_jump(arg, false)
+                    || has_generated_jump(cont, true)
+            }
+            G::JoinLoop {
+                init, step, done, ..
+            } => {
+                has_generated_jump(init, false)
+                    || has_generated_jump(step, false)
+                    || has_generated_jump(done, in_scope)
+            }
+            G::IfLt(a, b, t, f) => {
+                has_generated_jump(a, false)
+                    || has_generated_jump(b, false)
+                    || has_generated_jump(t, in_scope)
+                    || has_generated_jump(f, in_scope)
+            }
+            G::Let(rhs, body) => {
+                has_generated_jump(rhs, false) || has_generated_jump(body, in_scope)
+            }
+            G::CaseMaybe {
+                payload,
+                none,
+                some,
+                ..
+            } => {
+                has_generated_jump(payload, false)
+                    || has_generated_jump(none, in_scope)
+                    || has_generated_jump(some, in_scope)
+            }
+            _ => g.children().iter().any(|c| has_generated_jump(c, false)),
+        }
+    }
+
+    /// Generated jumps only ever target labels, never escape their
+    /// scope, and the whole program still evaluates: the closure
+    /// property holds for the join-extended grammar.
+    #[test]
+    fn join_programs_evaluate() {
+        let mut rng = SplitMix64::new(0xDEAD_10CC);
+        let mut evaluated = 0u32;
+        for _ in 0..60 {
+            let g = gen(&mut rng, DEFAULT_DEPTH);
+            let (d, e) = build_closed(&g);
+            if !e.has_join_or_jump() {
+                continue;
+            }
+            fj_check::lint(&e, &d.data_env).expect("join program ill-typed");
+            fj_eval::run_int(&e, fj_eval::EvalMode::CallByValue, 2_000_000)
+                .expect("join program failed to evaluate");
+            evaluated += 1;
+        }
+        assert!(evaluated >= 10, "too few join programs in the sample");
     }
 }

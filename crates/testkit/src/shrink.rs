@@ -52,6 +52,10 @@ fn measure(g: &G) -> (usize, u64) {
         G::Lit(n) => n.unsigned_abs() as u64,
         G::Var(i) => u64::from(*i),
         G::Loop { iters, .. } => u64::from(*iters),
+        // A mutual group counts one scalar above its single-label
+        // demotion so the structure-preserving demotion is progress.
+        G::JoinLoop { mutual, iters, .. } => u64::from(*iters) + u64::from(*mutual),
+        G::Jump(i, _) => u64::from(*i),
         _ => 0,
     };
     for c in g.children() {
@@ -78,6 +82,35 @@ fn candidates(g: &G) -> Vec<G> {
                 iters: iters / 2,
                 init: init.clone(),
                 step: step.clone(),
+            });
+        }
+    }
+    if let G::JoinLoop {
+        mutual,
+        iters,
+        init,
+        step,
+        done,
+    } = g
+    {
+        // Demote a mutual group to a single self-recursive label before
+        // halving the iteration count: structure first, scalars second.
+        if *mutual {
+            out.push(G::JoinLoop {
+                mutual: false,
+                iters: *iters,
+                init: init.clone(),
+                step: step.clone(),
+                done: done.clone(),
+            });
+        }
+        if *iters > 0 {
+            out.push(G::JoinLoop {
+                mutual: *mutual,
+                iters: iters / 2,
+                init: init.clone(),
+                step: step.clone(),
+                done: done.clone(),
             });
         }
     }

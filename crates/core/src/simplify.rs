@@ -432,11 +432,16 @@ impl Simplifier<'_> {
                         self.supply,
                     );
                     self.record_all(&renamed);
-                    let shared_body = self.simpl(&renamed, dup_rest.clone())?;
                     let arg_vars: Vec<Expr> =
                         alt.binders.iter().map(|b| Expr::var(&b.name)).collect();
                     self.stats.shared_contexts += 1;
                     if self.opts.join_points {
+                        // The join body absorbs the dupable context. That
+                        // is sound *only* because the alternative becomes
+                        // a jump: when the surrounding context is later
+                        // pushed into the branches, the jump aborts it,
+                        // so it is never applied twice.
+                        let shared_body = self.simpl(&renamed, dup_rest.clone())?;
                         let j = self.supply.fresh("j");
                         ws.push(Wrapper::Join(JoinDef {
                             name: j.clone(),
@@ -452,13 +457,20 @@ impl Simplifier<'_> {
                     } else {
                         // Baseline: an ordinary function (heap-allocated
                         // closure); zero-field alternatives share a thunk.
+                        // The body must NOT absorb the context here — an
+                        // ordinary call cannot abort the context that is
+                        // later pushed into its branch, so absorbing it
+                        // would apply it twice (and break typing). The
+                        // function returns the hole type, and the context
+                        // is duplicated around the call at each use.
+                        let shared_body = self.simpl(&renamed, Cont::Stop)?;
                         let f_name = self.supply.fresh("sc");
                         let (f_ty, rhs_fun, call) = if fresh_params.is_empty() {
-                            (res_final.clone(), shared_body, Expr::var(&f_name))
+                            (alt_ty.clone(), shared_body, Expr::var(&f_name))
                         } else {
                             let f_ty = Type::funs(
                                 fresh_params.iter().map(|b| b.ty.clone()),
-                                res_final.clone(),
+                                alt_ty.clone(),
                             );
                             let fun = Expr::lams(fresh_params, shared_body);
                             let call = Expr::apps(Expr::var(&f_name), arg_vars);

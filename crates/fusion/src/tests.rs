@@ -292,6 +292,46 @@ fn skipless_joins_matches_skipful_with_less_code() {
     );
 }
 
+/// Regression: zip pipelines under the baseline config used to die in
+/// the post-pass lint (`NotADatatype(Int)`). The simplifier's shared
+/// big-alternative function absorbed the dupable context *and* left the
+/// context on the residual case, so consuming the case applied it twice
+/// around an ordinary (non-aborting) call. Only a jump may absorb it.
+#[test]
+fn zip_pipeline_survives_baseline_sharing() {
+    let n = 40i64;
+    let expect: i64 = (1..=n)
+        .zip((1..=n).map(|x| x * 3))
+        .map(|(a, b)| a + b)
+        .sum();
+    for v in both() {
+        for cfg in [OptConfig::join_points(), OptConfig::baseline()] {
+            let mut d = Dsl::new();
+            let s1 = enum_from_to(&mut d, v, Expr::Lit(1), Expr::Lit(n));
+            let triple = int_lambda(&mut d, |_, x| {
+                Expr::prim2(PrimOp::Mul, Expr::var(x), Expr::Lit(3))
+            });
+            let s2 = enum_from_to(&mut d, v, Expr::Lit(1), Expr::Lit(n));
+            let s2 = map_s(&mut d, triple, Type::Int, s2);
+            let add = int_lambda2(&mut d, |_, a, b| {
+                Expr::prim2(PrimOp::Add, Expr::var(a), Expr::var(b))
+            });
+            let z = match v {
+                StepVariant::Skipless => zip_with_s(&mut d, add, Type::Int, s1, s2),
+                StepVariant::Skip => zip_with_skip(&mut d, add, Type::Int, s1, s2),
+            };
+            let e = sum_s(&mut d, z);
+            let out = optimize(&e, &d.data_env, &mut d.supply, &cfg.with_lint(true))
+                .unwrap_or_else(|err| panic!("{v:?} optimize: {err}"));
+            assert_eq!(
+                run_int(&out, EvalMode::CallByValue, FUEL).unwrap(),
+                expect,
+                "{v:?}"
+            );
+        }
+    }
+}
+
 /// Optimized pipelines stay observationally correct across all modes.
 #[test]
 fn optimized_pipelines_preserve_semantics() {

@@ -227,6 +227,166 @@ def main : Int =
     assert!(alpha_eq(&fresh, &respelled.term));
 }
 
+/// The fusion matrix, *served*: every skip-less/skip-ful ×
+/// {map, filter, zip, sum} pipeline is built with the fusion library,
+/// unparsed back to surface text, compiled through the service under
+/// both presets, and held to exact allocation bars. This pins three
+/// things at once: the unparser emits text the frontend accepts for
+/// real library output (not just fuzzer output), the served term is
+/// the same program as the directly-optimized one, and the paper's
+/// Sec. 5 claims survive the service boundary — skip-less pipelines
+/// fuse to zero allocations with join points while the skip-less
+/// `filter` loop costs n+1 under the baseline, skip-ful `filter`
+/// fuses either way, and `zip` keeps its buffered element (n+1
+/// skip-less, 2n+1 skip-ful, per its `Maybe` buffer).
+#[test]
+fn fusion_matrix_serves_with_exact_allocation_bars() {
+    use fj_ast::{Dsl, Expr, PrimOp, Type};
+    use fj_fusion::{
+        enum_from_to, filter_s, int_lambda, int_lambda2, map_s, sum_s, zip_with_s, zip_with_skip,
+        StepVariant,
+    };
+
+    const WORKLOADS: [&str; 4] = ["map", "filter", "zip", "sum"];
+
+    fn build(d: &mut Dsl, v: StepVariant, workload: &str, n: i64) -> Expr {
+        let base = enum_from_to(d, v, Expr::Lit(1), Expr::Lit(n));
+        match workload {
+            "map" => {
+                let f = int_lambda(d, |_, x| {
+                    Expr::prim2(
+                        PrimOp::Add,
+                        Expr::prim2(PrimOp::Mul, Expr::var(x), Expr::Lit(2)),
+                        Expr::Lit(1),
+                    )
+                });
+                let s = map_s(d, f, Type::Int, base);
+                sum_s(d, s)
+            }
+            "filter" => {
+                let odd = int_lambda(d, |_, x| {
+                    Expr::prim2(
+                        PrimOp::Eq,
+                        Expr::prim2(PrimOp::Rem, Expr::var(x), Expr::Lit(2)),
+                        Expr::Lit(1),
+                    )
+                });
+                let s = filter_s(d, odd, base);
+                sum_s(d, s)
+            }
+            "zip" => {
+                let triple = int_lambda(d, |_, x| {
+                    Expr::prim2(PrimOp::Mul, Expr::var(x), Expr::Lit(3))
+                });
+                let other = enum_from_to(d, v, Expr::Lit(1), Expr::Lit(n));
+                let other = map_s(d, triple, Type::Int, other);
+                let add = int_lambda2(d, |_, a, b| {
+                    Expr::prim2(PrimOp::Add, Expr::var(a), Expr::var(b))
+                });
+                let z = match v {
+                    StepVariant::Skipless => zip_with_s(d, add, Type::Int, base, other),
+                    StepVariant::Skip => zip_with_skip(d, add, Type::Int, base, other),
+                };
+                sum_s(d, z)
+            }
+            "sum" => sum_s(d, base),
+            other => unreachable!("unknown workload {other}"),
+        }
+    }
+
+    fn reference(workload: &str, n: i64) -> i64 {
+        match workload {
+            "map" => (1..=n).map(|x| x * 2 + 1).sum(),
+            "filter" => (1..=n).filter(|x| x % 2 == 1).sum(),
+            "zip" => (1..=n)
+                .zip((1..=n).map(|x| x * 3))
+                .map(|(a, b)| a + b)
+                .sum(),
+            "sum" => (1..=n).sum(),
+            other => unreachable!("unknown workload {other}"),
+        }
+    }
+
+    /// The exact total-allocation bar for one matrix cell.
+    fn expected_allocs(v: StepVariant, workload: &str, preset: &str, n: u64) -> u64 {
+        match (workload, v, preset) {
+            // zip buffers one element per step regardless of pipeline;
+            // the skip-ful variant also wraps each in `Maybe`.
+            ("zip", StepVariant::Skipless, _) => n + 1,
+            ("zip", StepVariant::Skip, _) => 2 * n + 1,
+            // The recursive skip-less filter loop is exactly what the
+            // baseline cannot contify away; `SSkip` sidesteps it.
+            ("filter", StepVariant::Skipless, "baseline") => n + 1,
+            _ => 0,
+        }
+    }
+
+    let counters = |m: &fj_eval::Metrics| (m.let_allocs, m.arg_allocs, m.con_allocs, m.jumps);
+    for (preset, cfg) in [
+        ("join-points", OptConfig::join_points()),
+        ("baseline", OptConfig::baseline()),
+    ] {
+        let server = ServerState::new(2, 64);
+        let opts = opts_for(preset);
+        for v in [StepVariant::Skipless, StepVariant::Skip] {
+            for workload in WORKLOADS {
+                for n in [40i64, 80] {
+                    let tag = format!("{v:?}/{workload} [{preset}] n={n}");
+
+                    // Direct route: optimize the library-built term.
+                    let mut d = Dsl::new();
+                    let e = build(&mut d, v, workload, n);
+                    let (direct, _) = optimize_with_report(&e, &d.data_env, &mut d.supply, &cfg)
+                        .unwrap_or_else(|err| panic!("{tag}: direct optimize: {err}"));
+                    let direct_run = fj_eval::run(&direct, EvalMode::CallByValue, FUEL)
+                        .unwrap_or_else(|err| panic!("{tag}: machine(direct): {err}"));
+
+                    // Served route: unparse to surface text, compile it
+                    // through the service.
+                    let src = fj_surface::unparse_main(&e)
+                        .unwrap_or_else(|err| panic!("{tag}: unparse: {err}"));
+                    let served = server
+                        .compile_source(&src, &opts)
+                        .unwrap_or_else(|err| panic!("{tag}: serve: {}", err.message()));
+                    assert_eq!(served.cache, CacheDisposition::Miss, "{tag}");
+                    let machine = fj_eval::run(&served.term, EvalMode::CallByValue, FUEL)
+                        .unwrap_or_else(|err| panic!("{tag}: machine(served): {err}"));
+                    let vm = fj_vm::run(&served.term, EvalMode::CallByValue, VM_FUEL)
+                        .unwrap_or_else(|err| panic!("{tag}: vm(served): {err}"));
+
+                    // Same value as the Rust reference on every route.
+                    let want = reference(workload, n).to_string();
+                    assert_eq!(direct_run.value.to_string(), want, "{tag}: direct value");
+                    assert_eq!(machine.value.to_string(), want, "{tag}: served value");
+                    assert_eq!(vm.value.to_string(), want, "{tag}: vm value");
+
+                    // The service is transparent: counter-for-counter
+                    // identical to the direct pipeline, on both backends.
+                    assert_eq!(
+                        counters(&direct_run.metrics),
+                        counters(&machine.metrics),
+                        "{tag}: served term allocates differently from direct"
+                    );
+                    assert_eq!(
+                        counters(&direct_run.metrics),
+                        counters(&vm.metrics),
+                        "{tag}: vm counters diverge"
+                    );
+
+                    // And the exact Sec. 5 bar for this cell.
+                    let bar = expected_allocs(v, workload, preset, n as u64);
+                    assert_eq!(
+                        machine.metrics.total_allocs(),
+                        bar,
+                        "{tag}: allocation bar (metrics: {})",
+                        machine.metrics
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// A hit adopts the producer's name supply: names drawn *after* a served
 /// compile must not collide with names inside the served term, even when
 /// the producer's supply had advanced much further than this consumer's.

@@ -1,0 +1,370 @@
+//! Unparsing: System F_J → surface syntax.
+//!
+//! The inverse of [`crate::lower`] for the **join-free fragment**: terms
+//! built at the meta level (the fusion library, the benchmark DSL) can
+//! be rendered as surface programs and fed through every text-accepting
+//! route — the CLI, `fj serve` — so those routes can be differentially
+//! tested against the in-process pipeline on exactly the same programs.
+//!
+//! The mapping is 1:1 where the grammars align ([`PrimOp`]↔`BinOp`,
+//! `case`/`let`/`letrec`/lambdas, explicit `@ty` constructor arguments)
+//! and total on everything except join points and jumps, which the
+//! surface grammar cannot express ([`UnparseError::Join`]). Core names
+//! render as `text_id` identifiers — globally unique by construction, so
+//! re-lowering can never capture — and re-lowering the rendered text
+//! yields a term α-equal to the original (pinned by the round-trip
+//! tests; the one caveat is negative literals, which re-lower as
+//! `0 - n` and constant-fold back in the first simplifier pass).
+//!
+//! Only prelude datatypes survive the trip: the surface program this
+//! module emits contains no `data` declarations, so a term mentioning
+//! user-declared constructors re-lowers with an "unknown constructor"
+//! error rather than silently changing meaning.
+
+use crate::ast::{BinOp, SAlt, SBinder, SExpr, SPat, STy};
+use crate::print::print_expr;
+use crate::token::Pos;
+use fj_ast::{Alt, AltCon, Expr, LetBind, Name, PrimOp, Type};
+use std::fmt;
+
+/// Why a term could not be unparsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnparseError {
+    /// The term binds or invokes a join point, which surface syntax
+    /// cannot express. Unparse before contification, not after.
+    Join(String),
+}
+
+impl fmt::Display for UnparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnparseError::Join(label) => write!(
+                f,
+                "join point `{label}` cannot be expressed in surface syntax"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnparseError {}
+
+const NO_POS: Pos = Pos { line: 0, col: 0 };
+
+/// Render a core name as a surface identifier.
+///
+/// The `_id` suffix keeps distinct uniques spelled distinctly (so
+/// re-lowering cannot conflate two binders) and rules out keyword
+/// collisions; the sanitized head keeps the lexer's lower-case-start
+/// rule for variables even for names whose base text would read as a
+/// constructor.
+fn surface_name(n: &Name) -> String {
+    let mut head: String = n
+        .text()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '\'')
+        .collect();
+    if !head.starts_with(|c: char| c.is_ascii_lowercase() || c == '_') {
+        head.insert(0, 'x');
+    }
+    format!("{head}_{}", n.id())
+}
+
+/// Unparse a type. Total: every core type has a surface spelling.
+pub fn unparse_ty(t: &Type) -> STy {
+    match t {
+        Type::Int => STy::Con("Int".into(), Vec::new()),
+        Type::Var(a) => STy::Var(surface_name(a)),
+        Type::Con(c, args) => STy::Con(c.as_str().into(), args.iter().map(unparse_ty).collect()),
+        Type::Fun(a, b) => STy::Fun(Box::new(unparse_ty(a)), Box::new(unparse_ty(b))),
+        Type::Forall(a, body) => STy::Forall(surface_name(a), Box::new(unparse_ty(body))),
+    }
+}
+
+/// Unparse a join-free core term into surface syntax.
+///
+/// # Errors
+///
+/// [`UnparseError::Join`] if the term contains a join binding or jump.
+pub fn unparse_expr(e: &Expr) -> Result<SExpr, UnparseError> {
+    Ok(match e {
+        Expr::Var(n) => SExpr::Var(surface_name(n), NO_POS),
+        Expr::Lit(n) => unparse_lit(*n),
+        Expr::Prim(op, args) => {
+            debug_assert_eq!(args.len(), 2, "all primops are binary");
+            SExpr::BinOp(
+                unparse_op(*op),
+                Box::new(unparse_expr(&args[0])?),
+                Box::new(unparse_expr(&args[1])?),
+            )
+        }
+        Expr::Lam(..) | Expr::TyLam(..) => {
+            // Collapse a run of binders into one surface lambda.
+            let mut binders = Vec::new();
+            let mut body = e;
+            loop {
+                match body {
+                    Expr::Lam(b, inner) => {
+                        binders.push(SBinder::Val(surface_name(&b.name), unparse_ty(&b.ty)));
+                        body = inner;
+                    }
+                    Expr::TyLam(a, inner) => {
+                        binders.push(SBinder::Ty(surface_name(a)));
+                        body = inner;
+                    }
+                    _ => break,
+                }
+            }
+            SExpr::Lam(binders, Box::new(unparse_expr(body)?))
+        }
+        Expr::App(f, a) => SExpr::App(Box::new(unparse_expr(f)?), Box::new(unparse_expr(a)?)),
+        Expr::TyApp(f, t) => SExpr::TyApp(Box::new(unparse_expr(f)?), unparse_ty(t)),
+        Expr::Con(c, tys, args) => {
+            // Constructor spine: head, `@ty…`, then fields — the exact
+            // saturated shape the lowerer demands.
+            let mut out = SExpr::Con(c.as_str().into(), NO_POS);
+            for t in tys {
+                out = SExpr::TyApp(Box::new(out), unparse_ty(t));
+            }
+            for a in args {
+                out = SExpr::App(Box::new(out), Box::new(unparse_expr(a)?));
+            }
+            out
+        }
+        Expr::Case(scrut, alts) => SExpr::Case(
+            Box::new(unparse_expr(scrut)?),
+            alts.iter().map(unparse_alt).collect::<Result<_, _>>()?,
+            NO_POS,
+        ),
+        Expr::Let(LetBind::NonRec(b, rhs), body) => SExpr::Let(
+            surface_name(&b.name),
+            unparse_ty(&b.ty),
+            Box::new(unparse_expr(rhs)?),
+            Box::new(unparse_expr(body)?),
+            NO_POS,
+        ),
+        Expr::Let(LetBind::Rec(binds), body) => SExpr::LetRec(
+            binds
+                .iter()
+                .map(|(b, rhs)| Ok((surface_name(&b.name), unparse_ty(&b.ty), unparse_expr(rhs)?)))
+                .collect::<Result<_, UnparseError>>()?,
+            Box::new(unparse_expr(body)?),
+            NO_POS,
+        ),
+        Expr::Join(jb, _) => {
+            return Err(UnparseError::Join(jb.labels()[0].to_string()));
+        }
+        Expr::Jump(j, ..) => return Err(UnparseError::Join(j.to_string())),
+    })
+}
+
+/// Unparse a whole closed `Int`-typed term as a runnable program:
+/// `def main : Int = <expr>;`.
+///
+/// # Errors
+///
+/// As [`unparse_expr`].
+pub fn unparse_main(e: &Expr) -> Result<String, UnparseError> {
+    Ok(format!(
+        "def main : Int =\n  {};\n",
+        print_expr(&unparse_expr(e)?)
+    ))
+}
+
+fn unparse_alt(alt: &Alt) -> Result<SAlt, UnparseError> {
+    let pat = match &alt.con {
+        AltCon::Con(c) => SPat::Con(
+            c.as_str().into(),
+            alt.binders.iter().map(|b| surface_name(&b.name)).collect(),
+        ),
+        AltCon::Lit(n) => SPat::Lit(*n),
+        AltCon::Default => SPat::Wild,
+    };
+    Ok(SAlt {
+        pat,
+        rhs: unparse_expr(&alt.rhs)?,
+        pos: NO_POS,
+    })
+}
+
+/// Negative literals have no literal spelling in the grammar; render
+/// them as negation, which re-lowers to `0 - n` and constant-folds back.
+/// `i64::MIN` needs one extra step since its magnitude has no literal.
+fn unparse_lit(n: i64) -> SExpr {
+    if n >= 0 {
+        SExpr::Lit(n)
+    } else if n == i64::MIN {
+        SExpr::BinOp(
+            BinOp::Sub,
+            Box::new(SExpr::Neg(Box::new(SExpr::Lit(i64::MAX)))),
+            Box::new(SExpr::Lit(1)),
+        )
+    } else {
+        SExpr::Neg(Box::new(SExpr::Lit(-n)))
+    }
+}
+
+fn unparse_op(op: PrimOp) -> BinOp {
+    match op {
+        PrimOp::Add => BinOp::Add,
+        PrimOp::Sub => BinOp::Sub,
+        PrimOp::Mul => BinOp::Mul,
+        PrimOp::Div => BinOp::Div,
+        PrimOp::Rem => BinOp::Rem,
+        PrimOp::Eq => BinOp::Eq,
+        PrimOp::Ne => BinOp::Ne,
+        PrimOp::Lt => BinOp::Lt,
+        PrimOp::Le => BinOp::Le,
+        PrimOp::Gt => BinOp::Gt,
+        PrimOp::Ge => BinOp::Ge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, lower_expr};
+    use fj_ast::alpha_eq;
+
+    /// Compile a source program, unparse the lowered term, re-lower the
+    /// unparsed text, and demand an α-equal term.
+    fn round(src: &str) {
+        let first = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
+        let sexpr = unparse_expr(&first.expr).unwrap_or_else(|e| panic!("unparse failed: {e}"));
+        let printed = print_expr(&sexpr);
+        let reparsed = crate::parse_expr(&crate::lex(&printed).unwrap_or_else(|e| {
+            panic!("unparsed text does not lex: {e}\n{printed}");
+        }))
+        .unwrap_or_else(|e| panic!("unparsed text does not parse: {e}\n{printed}"));
+        let second = lower_expr(&reparsed)
+            .unwrap_or_else(|e| panic!("unparsed text does not lower: {e}\n{printed}"));
+        assert!(
+            alpha_eq(&first.expr, &second.expr),
+            "round trip changed the term\noriginal:\n{}\nunparsed:\n{printed}\nre-lowered:\n{}",
+            first.expr,
+            second.expr
+        );
+    }
+
+    #[test]
+    fn binding_and_control_forms_round_trip() {
+        round(
+            "def main : Int =
+               let x : Int = 3 * 4 in
+               letrec go : Int -> Int -> Int =
+                 \\(n : Int) (acc : Int) ->
+                   if n <= 0 then acc else go (n - 1) (acc + n)
+               in go x 0;",
+        );
+        round(
+            "def main : Int =
+               case Just @Int 5 of { Nothing -> 0; Just y -> y + 1 };",
+        );
+        round(
+            "def main : Int =
+               case 7 % 3 of { 0 -> 10; 1 -> 20; _ -> 30 };",
+        );
+    }
+
+    #[test]
+    fn polymorphism_round_trips() {
+        round(
+            "def main : Int =
+               let id : forall a. a -> a = \\@a (x : a) -> x
+               in id @Int 42;",
+        );
+        round(
+            "def main : Int =
+               case MkPair @Int @(Int -> Int) 1 (\\(k : Int) -> k * 2) of {
+                 MkPair a f -> f a
+               };",
+        );
+    }
+
+    #[test]
+    fn every_operator_round_trips() {
+        round(
+            "def main : Int =
+               if 1 + 2 * 3 - 4 / 2 % 3 < 10
+               then if 1 /= 2 then 5 else 6
+               else if 2 <= 1 then 7
+               else if 3 > 4 then 8
+               else if 4 >= 3 then 9
+               else if 1 == 1 then 10 else 11;",
+        );
+    }
+
+    #[test]
+    fn step_programs_unparse_and_relower() {
+        // The motivating client: meta-level stream steppers over the
+        // prelude's Step datatype must survive the trip and lint.
+        use fj_ast::{Dsl, Ident, Type};
+        let mut d = Dsl::new();
+        let s = d.binder("s", Type::Int);
+        let step_tys = vec![Type::Int, Type::Int];
+        let body = Expr::ite(
+            Expr::prim2(PrimOp::Gt, Expr::var(&s.name), Expr::Lit(9)),
+            Expr::Con(Ident::new("Done"), step_tys.clone(), vec![]),
+            Expr::Con(
+                Ident::new("Yield"),
+                step_tys,
+                vec![
+                    Expr::var(&s.name),
+                    Expr::prim2(PrimOp::Add, Expr::var(&s.name), Expr::Lit(1)),
+                ],
+            ),
+        );
+        let x = d.binder("x", Type::Int);
+        let st = d.binder("st", Type::Int);
+        let program = Expr::case(
+            Expr::app(Expr::lam(s, body), Expr::Lit(0)),
+            vec![
+                Alt::simple(AltCon::Con(Ident::new("Done")), Expr::Lit(0)),
+                Alt {
+                    con: AltCon::Con(Ident::new("Yield")),
+                    binders: vec![x.clone(), st],
+                    rhs: Expr::var(&x.name),
+                },
+            ],
+        );
+        let text = unparse_main(&program).expect("join-free term must unparse");
+        let lowered = compile(&text).unwrap_or_else(|e| panic!("unparsed program: {e}\n{text}"));
+        fj_check::lint(&lowered.expr, &lowered.data_env)
+            .unwrap_or_else(|e| panic!("re-lowered program does not lint: {e}\n{text}"));
+    }
+
+    #[test]
+    fn negative_literals_relower_well_typed() {
+        // Negative literals render as negation (there is no literal
+        // spelling); the re-lowered `0 - n` must still lint as Int —
+        // including the magnitude edge case at i64::MIN.
+        let text = unparse_main(&Expr::prim2(
+            PrimOp::Add,
+            Expr::Lit(-7),
+            Expr::Lit(i64::MIN),
+        ))
+        .unwrap();
+        let lowered = compile(&text).unwrap_or_else(|e| panic!("compile: {e}\n{text}"));
+        fj_check::lint(&lowered.expr, &lowered.data_env)
+            .unwrap_or_else(|e| panic!("negative-literal program does not lint: {e}\n{text}"));
+    }
+
+    #[test]
+    fn join_points_are_rejected() {
+        use fj_ast::{JoinBind, JoinDef};
+        let mut d = fj_ast::Dsl::new();
+        let j = d.name("j");
+        let term = Expr::Join(
+            JoinBind::NonRec(std::sync::Arc::new(JoinDef {
+                name: j.clone(),
+                ty_params: vec![],
+                params: vec![],
+                body: Expr::Lit(1),
+            })),
+            Expr::share(Expr::Jump(j, vec![], vec![], Type::Int)),
+        );
+        match unparse_expr(&term) {
+            Err(UnparseError::Join(_)) => {}
+            other => panic!("expected a join rejection, got {other:?}"),
+        }
+    }
+}

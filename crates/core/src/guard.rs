@@ -20,6 +20,7 @@
 use crate::pipeline::Pass;
 use crate::simplify::SimplOpts;
 use crate::stats::RewriteStats;
+use crate::BudgetKind;
 use crate::{apply_pass, OptError};
 use fj_ast::{DataEnv, Expr, NameSupply};
 use std::cell::Cell;
@@ -160,6 +161,7 @@ impl RollbackReason {
             }
             RollbackReason::DeadlineExceeded { limit } => OptError::Budget {
                 pass,
+                kind: BudgetKind::Deadline,
                 reason: format!("exceeded per-pass deadline of {limit:?}"),
             },
             RollbackReason::GrowthBudget {
@@ -168,16 +170,19 @@ impl RollbackReason {
                 limit,
             } => OptError::Budget {
                 pass,
+                kind: BudgetKind::Growth,
                 reason: format!(
                     "output grew {before} -> {after} nodes, past the {limit}x growth budget"
                 ),
             },
             RollbackReason::PassBudget { max_passes } => OptError::Budget {
                 pass,
+                kind: BudgetKind::Passes,
                 reason: format!("pipeline budget of {max_passes} passes already spent"),
             },
             RollbackReason::GuardExhausted { leaked } => OptError::Budget {
                 pass,
+                kind: BudgetKind::Workers,
                 reason: format!(
                     "{leaked} abandoned guard workers still running \
                      (cap {MAX_LEAKED_WORKERS}); refusing to spawn another"

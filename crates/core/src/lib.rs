@@ -116,11 +116,29 @@ pub enum OptError {
     Budget {
         /// The offending pass.
         pass: &'static str,
+        /// Which budget family was breached.
+        kind: BudgetKind,
         /// Which budget, and by how much.
         reason: String,
     },
     /// An internal invariant was broken.
     Internal(String),
+}
+
+/// Which budget an [`OptError::Budget`] breached, structured so drivers
+/// can classify without parsing the reason string. A growth breach is the
+/// optimizer *refusing a term* (the CLI's exit-code family 4); the
+/// wall-clock and pass-count budgets are resource exhaustion (family 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The per-pass wall-clock deadline (`OptConfig::pass_deadline`).
+    Deadline,
+    /// The term-size growth factor (`OptConfig::max_growth`).
+    Growth,
+    /// The executed-pass count (`OptConfig::max_passes`).
+    Passes,
+    /// The abandoned guard-worker cap (`MAX_LEAKED_WORKERS`).
+    Workers,
 }
 
 impl fmt::Display for OptError {
@@ -133,7 +151,7 @@ impl fmt::Display for OptError {
                     "pass `{pass}` broke typing: {error}\n--- dump ---\n{dump}"
                 )
             }
-            OptError::Budget { pass, reason } => {
+            OptError::Budget { pass, reason, .. } => {
                 write!(f, "pass `{pass}` blew its budget: {reason}")
             }
             OptError::Internal(msg) => write!(f, "internal optimizer error: {msg}"),

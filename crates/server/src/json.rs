@@ -61,6 +61,14 @@ impl Value {
         }
     }
 
+    /// This value as a finite float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) if n.is_finite() => Some(*n),
+            _ => None,
+        }
+    }
+
     /// The element list, if this is an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {

@@ -16,7 +16,7 @@
 //!
 //! | op         | fields                                                            |
 //! |------------|-------------------------------------------------------------------|
-//! | `compile`  | `program` (or `programs`: array), `preset`, `resilient`, `deadline_ms`, `cache` |
+//! | `compile`  | `program` (or `programs`: array), `preset`, `resilient`, `deadline_ms`, `max_growth`, `cache` |
 //! | `run`      | as `compile`, plus `backend`, `mode`, `fuel`, `timeout_ms`        |
 //! | `report`   | as `compile`; responds with the full per-pass pipeline report     |
 //! | `stats`    | —                                                                 |
@@ -42,8 +42,8 @@ use fj_ast::{alpha_fingerprint, DataEnv, Expr, NameSupply};
 use fj_core::cache::{OptCache, DEFAULT_SHARDS, DEFAULT_SHARD_CAP};
 use fj_core::stats::PipelineReport;
 use fj_core::{
-    leaked_guard_workers, optimize_cached, optimize_resilient, optimize_with_report, CacheStats,
-    OptConfig, OptError,
+    leaked_guard_workers, optimize_cached, optimize_resilient, optimize_with_report, BudgetKind,
+    CacheStats, OptConfig, OptError,
 };
 use fj_eval::{EvalMode, MachineError, Metrics, Outcome};
 use fj_surface::SurfaceError;
@@ -123,6 +123,14 @@ impl ServeError {
 
 fn opt_error(e: &OptError) -> ServeError {
     match e {
+        // A growth breach is the optimizer *refusing a term*, not running
+        // out of time — the CLI exits 4 for it, so the served code must
+        // match. The wall-clock and pass-count budgets stay in the budget
+        // family (5).
+        OptError::Budget {
+            kind: BudgetKind::Growth,
+            ..
+        } => ServeError::Optimizer(e.to_string()),
         OptError::Budget { .. } => ServeError::Budget(e.to_string()),
         OptError::Type(_) => ServeError::Type(e.to_string()),
         _ => ServeError::Optimizer(e.to_string()),
@@ -175,6 +183,8 @@ pub struct CompileOpts {
     pub resilient: bool,
     /// Optional per-pass deadline.
     pub deadline: Option<Duration>,
+    /// Optional per-pass term-growth budget (the CLI's `--max-growth`).
+    pub max_growth: Option<f64>,
     /// `false` to skip both cache lookup and insert.
     pub use_cache: bool,
 }
@@ -185,6 +195,7 @@ impl Default for CompileOpts {
             preset: "join-points".to_string(),
             resilient: false,
             deadline: None,
+            max_growth: None,
             use_cache: true,
         }
     }
@@ -210,6 +221,12 @@ impl CompileOpts {
             })?;
             opts.deadline = Some(Duration::from_millis(ms));
         }
+        if let Some(g) = req.get("max_growth") {
+            let factor = g.as_f64().filter(|f| *f > 0.0).ok_or_else(|| {
+                ServeError::Proto("`max_growth` must be a positive number".to_string())
+            })?;
+            opts.max_growth = Some(factor);
+        }
         match req.get("cache").map(|c| c.as_str()) {
             None => {}
             Some(Some("use")) => opts.use_cache = true,
@@ -234,8 +251,12 @@ impl CompileOpts {
             "none" => OptConfig::none(),
             _ => return None,
         };
-        Some(match self.deadline {
+        let cfg = match self.deadline {
             Some(limit) => cfg.with_pass_deadline(limit),
+            None => cfg,
+        };
+        Some(match self.max_growth {
+            Some(factor) => cfg.with_max_growth(factor),
             None => cfg,
         })
     }
@@ -1053,6 +1074,80 @@ def main : Int =
                 "{resp}"
             );
         }
+    }
+
+    /// The adversarial bands on the wire. One step inside the parser's
+    /// depth limit compiles; one step outside is a clean `parse`/2. A
+    /// strict compile that blows the per-pass growth budget is
+    /// `optimizer`/4 — the optimizer refused the term, matching the
+    /// CLI's exit code — while a generous budget compiles the same
+    /// program, and a malformed budget is rejected at the protocol.
+    #[test]
+    fn adversarial_bands_fail_cleanly_on_the_served_route() {
+        let state = ServerState::with_defaults();
+        let compile = |extra: &[(&'static str, Value)]| {
+            let (resp, _) = state.handle_line(&compile_req(extra));
+            json::parse(&resp).unwrap()
+        };
+
+        // Parser depth: each paren pair descends two grammar levels.
+        let deep = |pairs: usize| {
+            format!(
+                "def main : Int = {}1{};",
+                "(".repeat(pairs),
+                ")".repeat(pairs)
+            )
+        };
+        let limit_pairs = fj_surface::MAX_NESTING_DEPTH / 2;
+        let inside = compile(&[("program", Value::str(deep(limit_pairs - 1)))]);
+        assert_eq!(inside.get("ok").and_then(Value::as_bool), Some(true));
+        let outside = compile(&[("program", Value::str(deep(limit_pairs)))]);
+        let err = outside.get("error").expect("error object");
+        assert_eq!(err.get("tag").and_then(Value::as_str), Some("parse"));
+        assert_eq!(err.get("code").and_then(Value::as_u64), Some(2));
+        assert!(
+            err.get("message")
+                .and_then(Value::as_str)
+                .is_some_and(|m| m.contains("nesting exceeds depth limit")),
+            "{outside}"
+        );
+
+        // Growth budget: a large non-foldable loop body keeps its size
+        // through contification, so a factor below 1 must trip.
+        let terms: Vec<String> = (1..120).map(|i| format!("n * {i}")).collect();
+        let big = format!(
+            "def main : Int =\n  letrec loop : Int -> Int -> Int =\n    \
+             \\(n : Int) (acc : Int) ->\n      \
+             if n <= 0 then acc else loop (n - 1) (acc + {})\n  in loop 10 0;",
+            terms.join(" + ")
+        );
+        let tripped = compile(&[
+            ("program", Value::str(big.clone())),
+            ("max_growth", Value::Num(0.5)),
+        ]);
+        let err = tripped.get("error").expect("error object");
+        assert_eq!(err.get("tag").and_then(Value::as_str), Some("optimizer"));
+        assert_eq!(err.get("code").and_then(Value::as_u64), Some(4));
+        assert!(
+            err.get("message")
+                .and_then(Value::as_str)
+                .is_some_and(|m| m.contains("growth budget")),
+            "{tripped}"
+        );
+        let generous = compile(&[
+            ("program", Value::str(big)),
+            ("max_growth", Value::Num(100.0)),
+        ]);
+        assert_eq!(
+            generous.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{generous}"
+        );
+
+        let malformed = compile(&[("max_growth", Value::Num(-1.0))]);
+        let err = malformed.get("error").expect("error object");
+        assert_eq!(err.get("tag").and_then(Value::as_str), Some("proto"));
+        assert_eq!(err.get("code").and_then(Value::as_u64), Some(2));
     }
 
     #[test]

@@ -188,6 +188,83 @@ fn wall_clock_timeout_exits_5_on_both_backends() {
     }
 }
 
+// ---- adversarial bands: parser depth and the growth budget --------------
+//
+// The fuzz farm's adversarial bands push generated programs up against
+// these limits; the tests below pin the *boundary* behavior for curated
+// inputs: one step inside each limit compiles, one step outside fails
+// with the documented exit code and a one-line diagnostic — never a
+// panic or a stack overflow (either would surface as a signal death,
+// i.e. `code == None`, or a "panicked" line on stderr).
+
+/// `k` pairs of parentheses around a literal. Each pair descends two
+/// grammar levels (expression, then atom), so the parser's depth limit
+/// of `MAX_NESTING_DEPTH` is reached at `MAX_NESTING_DEPTH / 2` pairs.
+fn nested_parens_program(k: usize) -> String {
+    format!("def main : Int = {}1{};\n", "(".repeat(k), ")".repeat(k))
+}
+
+/// A large (> `GROWTH_FLOOR` nodes) loop whose body cannot be constant
+/// folded: the contification pass rewrites it while keeping its size, so
+/// any growth factor below 1 trips the budget and a generous one passes.
+fn growth_heavy_program() -> String {
+    let terms: Vec<String> = (1..120).map(|i| format!("n * {i}")).collect();
+    format!(
+        "def main : Int =\n  letrec loop : Int -> Int -> Int =\n    \
+         \\(n : Int) (acc : Int) ->\n      \
+         if n <= 0 then acc else loop (n - 1) (acc + {})\n  in loop 10 0;\n",
+        terms.join(" + ")
+    )
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("fj_cli_{}_{name}.fj", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp program");
+    path
+}
+
+#[test]
+fn nesting_depth_band_is_a_clean_parse_error() {
+    let limit_pairs = system_fj::surface::MAX_NESTING_DEPTH / 2;
+
+    let inside = write_temp("depth_inside", &nested_parens_program(limit_pairs - 1));
+    let (stdout, stderr, code) = fj_code(&["check", inside.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "one inside the limit: {stderr}");
+    assert!(stdout.contains("OK"), "{stdout}");
+
+    let outside = write_temp("depth_outside", &nested_parens_program(limit_pairs));
+    for command in ["check", "run"] {
+        let (_, stderr, code) = fj_code(&[command, outside.to_str().unwrap()]);
+        assert_eq!(code, Some(2), "{command}: {stderr}");
+        assert!(
+            stderr.contains("nesting exceeds depth limit"),
+            "{command}: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "{command}: {stderr}");
+    }
+    let _ = std::fs::remove_file(inside);
+    let _ = std::fs::remove_file(outside);
+}
+
+#[test]
+fn growth_budget_band_exits_4_cleanly() {
+    let program = write_temp("growth", &growth_heavy_program());
+    let path = program.to_str().unwrap();
+
+    // Generous budget: the same program sails through.
+    let (_, stderr, code) = fj_code(&["dump", "--max-growth", "100.0", path]);
+    assert_eq!(code, Some(0), "generous budget: {stderr}");
+
+    // A factor below 1 demands shrinkage the passes can't deliver.
+    for command in ["dump", "run"] {
+        let (_, stderr, code) = fj_code(&[command, "--max-growth", "0.5", path]);
+        assert_eq!(code, Some(4), "{command}: {stderr}");
+        assert!(stderr.contains("growth budget"), "{command}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{command}: {stderr}");
+    }
+    let _ = std::fs::remove_file(program);
+}
+
 #[test]
 fn resilient_run_matches_strict_run() {
     let (strict, _, ok) = fj(&["run", "programs/sum.fj"]);

@@ -1,0 +1,273 @@
+//! A textual codec for generator descriptions ([`G`]).
+//!
+//! Fuzz-farm repro files pin a failure by its *description*, not its
+//! lowered term: the description is tiny, diff-friendly, and replays
+//! through [`crate::gen::build_closed`] into exactly the program that
+//! failed (fresh names aside — every oracle in the farm is
+//! α-invariant). The format is a minimal S-expression:
+//!
+//! ```text
+//! (join (lit 3) (var 0) (jump 1 (lit 7)))
+//! ```
+//!
+//! [`to_text`] and [`parse`] round-trip every `G`; a property test pins
+//! that for the whole grammar.
+
+use crate::gen::G;
+
+/// Render a description as a single-line S-expression.
+pub fn to_text(g: &G) -> String {
+    let mut out = String::new();
+    write_g(g, &mut out);
+    out
+}
+
+fn write_g(g: &G, out: &mut String) {
+    use std::fmt::Write;
+    match g {
+        G::Lit(n) => write!(out, "(lit {n})").unwrap(),
+        G::Var(i) => write!(out, "(var {i})").unwrap(),
+        G::Add(a, b) => write2("add", a, b, out),
+        G::Sub(a, b) => write2("sub", a, b, out),
+        G::Mul(a, b) => write2("mul", a, b, out),
+        G::IfLt(a, b, t, f) => {
+            out.push_str("(iflt");
+            for c in [a, b, t, f] {
+                out.push(' ');
+                write_g(c, out);
+            }
+            out.push(')');
+        }
+        G::Let(rhs, body) => write2("let", rhs, body, out),
+        G::CaseMaybe {
+            just,
+            payload,
+            none,
+            some,
+        } => {
+            out.push_str(if *just { "(case just" } else { "(case nothing" });
+            for c in [payload, none, some] {
+                out.push(' ');
+                write_g(c, out);
+            }
+            out.push(')');
+        }
+        G::Loop { iters, init, step } => {
+            write!(out, "(loop {iters}").unwrap();
+            for c in [init, step] {
+                out.push(' ');
+                write_g(c, out);
+            }
+            out.push(')');
+        }
+        G::Join { body, arg, cont } => {
+            out.push_str("(join");
+            for c in [body, arg, cont] {
+                out.push(' ');
+                write_g(c, out);
+            }
+            out.push(')');
+        }
+        G::JoinLoop {
+            mutual,
+            iters,
+            init,
+            step,
+            done,
+        } => {
+            write!(
+                out,
+                "(joinloop {} {iters}",
+                if *mutual { "mutual" } else { "rec" }
+            )
+            .unwrap();
+            for c in [init, step, done] {
+                out.push(' ');
+                write_g(c, out);
+            }
+            out.push(')');
+        }
+        G::Jump(i, payload) => {
+            write!(out, "(jump {i} ").unwrap();
+            write_g(payload, out);
+            out.push(')');
+        }
+    }
+}
+
+fn write2(head: &str, a: &G, b: &G, out: &mut String) {
+    out.push('(');
+    out.push_str(head);
+    out.push(' ');
+    write_g(a, out);
+    out.push(' ');
+    write_g(b, out);
+    out.push(')');
+}
+
+/// Parse a description previously rendered by [`to_text`].
+///
+/// # Errors
+///
+/// A human-readable message naming the offending token on malformed
+/// input.
+pub fn parse(src: &str) -> Result<G, String> {
+    let mut toks = tokenize(src);
+    let g = parse_g(&mut toks)?;
+    match toks.next() {
+        None => Ok(g),
+        Some(t) => Err(format!("trailing input after description: `{t}`")),
+    }
+}
+
+fn tokenize(src: &str) -> std::vec::IntoIter<String> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    for ch in src.chars() {
+        match ch {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+                toks.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        toks.push(cur);
+    }
+    toks.into_iter()
+}
+
+fn parse_g(toks: &mut std::vec::IntoIter<String>) -> Result<G, String> {
+    expect(toks, "(")?;
+    let head = next(toks)?;
+    let g = match head.as_str() {
+        "lit" => G::Lit(scalar(toks, "literal")?),
+        "var" => G::Var(scalar(toks, "variable index")?),
+        "add" => G::Add(sub(toks)?, sub(toks)?),
+        "sub" => G::Sub(sub(toks)?, sub(toks)?),
+        "mul" => G::Mul(sub(toks)?, sub(toks)?),
+        "iflt" => G::IfLt(sub(toks)?, sub(toks)?, sub(toks)?, sub(toks)?),
+        "let" => G::Let(sub(toks)?, sub(toks)?),
+        "case" => {
+            let just = match next(toks)?.as_str() {
+                "just" => true,
+                "nothing" => false,
+                other => return Err(format!("expected just|nothing, got `{other}`")),
+            };
+            G::CaseMaybe {
+                just,
+                payload: sub(toks)?,
+                none: sub(toks)?,
+                some: sub(toks)?,
+            }
+        }
+        "loop" => G::Loop {
+            iters: scalar(toks, "iteration count")?,
+            init: sub(toks)?,
+            step: sub(toks)?,
+        },
+        "join" => G::Join {
+            body: sub(toks)?,
+            arg: sub(toks)?,
+            cont: sub(toks)?,
+        },
+        "joinloop" => {
+            let mutual = match next(toks)?.as_str() {
+                "mutual" => true,
+                "rec" => false,
+                other => return Err(format!("expected rec|mutual, got `{other}`")),
+            };
+            G::JoinLoop {
+                mutual,
+                iters: scalar(toks, "iteration count")?,
+                init: sub(toks)?,
+                step: sub(toks)?,
+                done: sub(toks)?,
+            }
+        }
+        "jump" => G::Jump(scalar(toks, "label index")?, sub(toks)?),
+        other => return Err(format!("unknown description head `{other}`")),
+    };
+    expect(toks, ")")?;
+    Ok(g)
+}
+
+fn sub(toks: &mut std::vec::IntoIter<String>) -> Result<Box<G>, String> {
+    parse_g(toks).map(Box::new)
+}
+
+fn next(toks: &mut std::vec::IntoIter<String>) -> Result<String, String> {
+    toks.next().ok_or_else(|| "unexpected end of input".into())
+}
+
+fn expect(toks: &mut std::vec::IntoIter<String>, want: &str) -> Result<(), String> {
+    let got = next(toks)?;
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("expected `{want}`, got `{got}`"))
+    }
+}
+
+fn scalar<N: std::str::FromStr>(
+    toks: &mut std::vec::IntoIter<String>,
+    what: &str,
+) -> Result<N, String> {
+    let t = next(toks)?;
+    t.parse().map_err(|_| format!("bad {what}: `{t}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen, DEFAULT_DEPTH};
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn codec_round_trips_generated_descriptions() {
+        let mut rng = SplitMix64::new(0xC0DE_C0DE);
+        for _ in 0..200 {
+            let g = gen(&mut rng, DEFAULT_DEPTH);
+            let text = to_text(&g);
+            let back = parse(&text).unwrap_or_else(|e| panic!("parse failed on `{text}`: {e}"));
+            assert_eq!(back, g, "round trip changed the description: {text}");
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_join_nodes() {
+        let g = G::JoinLoop {
+            mutual: true,
+            iters: 7,
+            init: Box::new(G::Lit(-3)),
+            step: Box::new(G::Jump(2, Box::new(G::Var(1)))),
+            done: Box::new(G::Join {
+                body: Box::new(G::Lit(0)),
+                arg: Box::new(G::Var(0)),
+                cont: Box::new(G::Jump(0, Box::new(G::Lit(9)))),
+            }),
+        };
+        assert_eq!(parse(&to_text(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "(lit)",
+            "(frob 1)",
+            "(lit 1) extra",
+            "(case maybe (lit 0) (lit 0) (lit 0))",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input `{bad}`");
+        }
+    }
+}

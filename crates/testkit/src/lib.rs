@@ -20,6 +20,12 @@
 //! property on each, shrink the first failure to a minimal replayable
 //! description.
 //!
+//! On top of those sits the **fuzz farm** ([`farm`], the `fj fuzz`
+//! subcommand): a parallel, seeded sweep that cross-checks every
+//! compile route pairwise (strict/resilient, cold/cached, machine/VM)
+//! and shrinks any mismatch to a corpus repro whose `-- gen:` line
+//! round-trips through [`codec`] — see DESIGN.md's "Fuzzing & corpus".
+//!
 //! ## Example
 //!
 //! ```
@@ -35,6 +41,8 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
+pub mod farm;
 pub mod gen;
 pub mod oracle;
 pub mod rng;
@@ -42,6 +50,7 @@ pub mod runner;
 pub mod saboteur;
 pub mod shrink;
 
+pub use farm::{case_seed, check_routes, run_farm, FarmConfig, FarmFailure, FarmReport};
 pub use gen::{build_closed, gen, G};
 pub use oracle::{differential, DiffReport, OracleError, PassDiff};
 pub use rng::SplitMix64;

@@ -1,0 +1,78 @@
+//! Corpus pinning: every shrunk repro under `fuzz/corpus/` replays
+//! through the full route matrix as an ordinary test, so a failure the
+//! farm once caught (and that was then fixed) can never quietly return.
+//!
+//! Each corpus file is comment-headed (see `farm::write_repro`): the
+//! `-- case-seed:` line carries the standalone replay seed and the
+//! `-- gen:` line is the authoritative program description, replayable
+//! through `codec::parse`. Everything else is for human eyes.
+
+use fj_testkit::{check_routes, codec, FarmConfig};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    // crates/testkit -> workspace root -> fuzz/corpus
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+/// Pull `(case seed, gen line)` out of one repro file's comment header.
+fn parse_header(text: &str) -> Result<(u64, String), String> {
+    let mut seed = None;
+    let mut gen = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("-- case-seed: ") {
+            let hex = rest
+                .split_whitespace()
+                .next()
+                .and_then(|w| w.strip_prefix("0x"))
+                .ok_or("malformed -- case-seed: line")?;
+            seed = Some(u64::from_str_radix(hex, 16).map_err(|e| e.to_string())?);
+        }
+        if let Some(rest) = line.strip_prefix("-- gen: ") {
+            gen = Some(rest.to_string());
+        }
+    }
+    match (seed, gen) {
+        (Some(s), Some(g)) => Ok((s, g)),
+        (None, _) => Err("no -- case-seed: line".to_string()),
+        (_, None) => Err("no -- gen: line".to_string()),
+    }
+}
+
+#[test]
+fn every_corpus_repro_passes_the_route_matrix() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {} unreadable: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("read corpus entry").path();
+            (path.extension().is_some_and(|ext| ext == "fj")).then_some(path)
+        })
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "the corpus at {} is empty — it should hold at least the seed repros",
+        dir.display()
+    );
+
+    let cfg = FarmConfig {
+        corpus_dir: None,
+        ..FarmConfig::default()
+    };
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+        let (seed, gen_line) =
+            parse_header(&text).unwrap_or_else(|e| panic!("{name}: bad header: {e}"));
+        let g = codec::parse(&gen_line)
+            .unwrap_or_else(|e| panic!("{name}: -- gen: line does not parse: {e}"));
+        if let Err((routes, message)) = check_routes(&cfg, &g, seed) {
+            panic!(
+                "{name}: pinned repro regressed — {} vs {} disagree again: {message}",
+                routes.0, routes.1
+            );
+        }
+    }
+}

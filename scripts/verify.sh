@@ -29,6 +29,30 @@ run cargo test --workspace --offline -q
 # value-preserving — on generated programs and on the whole nofib suite.
 run cargo test -p fj-testkit -p fj-nofib saboteur --offline -q
 
+# Fuzz-farm smoke: a fixed-seed, time-budgeted pass over the full route
+# matrix (strict/resilient/cached/machine/VM) must agree on every case.
+# The binary exists because the test run above built it.
+run ./target/debug/fj fuzz --seed 1 --count 300 --time-budget-ms 10000
+
+# Fuzz self-test: a sabotaged strict pipeline must make the farm FAIL
+# and leave a shrunk on-disk repro naming the failing route pair.
+FUZZ_SAB_DIR="$(mktemp -d)"
+echo '==> ./target/debug/fj fuzz --seed 1 --count 64 --sabotage swap-case-alts:0   (must fail)'
+if ./target/debug/fj fuzz --seed 1 --count 64 --sabotage swap-case-alts:0 \
+     --corpus "$FUZZ_SAB_DIR" >/dev/null 2>&1; then
+  echo "verify: sabotaged fuzz run unexpectedly passed" >&2
+  exit 1
+fi
+ls "$FUZZ_SAB_DIR"/*.fj >/dev/null 2>&1 || {
+  echo "verify: sabotaged fuzz run wrote no repro" >&2
+  exit 1
+}
+grep -q '^-- routes: ' "$FUZZ_SAB_DIR"/*.fj || {
+  echo "verify: fuzz repro names no route pair" >&2
+  exit 1
+}
+rm -rf "$FUZZ_SAB_DIR"
+
 if [[ "$QUICK" -eq 0 ]]; then
   # A debug-assertions pass over the VM in release mode: the optimized
   # build keeps its internal invariant checks honest.

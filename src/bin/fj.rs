@@ -23,12 +23,18 @@
 //!                                   # cache-hit latency (BENCH_serve.json)
 //! fj serve --port 0                 # compile service on an ephemeral
 //!                                   # port (prints the bound address)
+//! fj fuzz --seed 1 --count 500      # fuzz farm: generated programs
+//!                                   # cross-checked over every compile
+//!                                   # route in parallel; failures are
+//!                                   # shrunk into fuzz/corpus/*.fj
 //!
 //! options: --baseline | -O0, --backend machine|vm, --mode name|need|value,
 //!          --fuel N, --timeout-ms N, --metrics, --resilient,
 //!          --pass-deadline-ms N, --max-growth F, --max-passes N,
 //!          --phase vm|optimize|serve, --iterations N, --warmup N (bench only),
-//!          --addr HOST:PORT, --port N, --shards N, --cache-cap N (serve only)
+//!          --addr HOST:PORT, --port N, --shards N, --cache-cap N (serve only),
+//!          --seed N, --count N, --gen-depth N, --time-budget-ms N,
+//!          --corpus DIR, --no-adversarial, --sabotage MODE:PASS (fuzz only)
 //!
 //! `fj serve` speaks newline-delimited JSON over TCP; see the `fj-server`
 //! crate docs and README for the protocol. Request failures carry a
@@ -47,6 +53,8 @@ use system_fj::core::{erase, optimize_resilient, optimize_with_stats, OptConfig}
 use system_fj::eval::{EvalMode, MachineError};
 use system_fj::nofib::Backend;
 use system_fj::surface::{compile, SurfaceError};
+use system_fj::testkit::farm::FarmConfig;
+use system_fj::testkit::Sabotage;
 use system_fj::vm::VmError;
 
 /// Exit code for usage, lexical, and parse errors.
@@ -76,6 +84,7 @@ struct Options {
     addr: String,
     shards: usize,
     cache_cap: usize,
+    fuzz: FarmConfig,
 }
 
 /// What `fj bench` measures: backend execution, the optimizer itself, or
@@ -97,6 +106,11 @@ fn usage() -> ExitCode {
          \x20                  (nofib suite timed, JSON on stdout)\n\
          \x20      fj serve [--addr HOST:PORT] [--port N] [--shards N] [--cache-cap N]\n\
          \x20                  (compile service; newline-delimited JSON over TCP)\n\
+         \x20      fj fuzz [--seed N] [--count N] [--gen-depth N] [--fuel N]\n\
+         \x20              [--time-budget-ms N] [--corpus DIR] [--no-adversarial]\n\
+         \x20              [--sabotage MODE:PASS]\n\
+         \x20                  (parallel differential fuzz farm over every compile\n\
+         \x20                   route; shrunk repros land in the corpus directory)\n\
          exit codes: 1 I/O or runtime, 2 usage/parse, 3 type/lint, 4 optimizer, \
          5 fuel/deadline exhausted"
     );
@@ -110,7 +124,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     };
     if !matches!(
         command.as_str(),
-        "run" | "dump" | "check" | "erase" | "report" | "bench" | "serve"
+        "run" | "dump" | "check" | "erase" | "report" | "bench" | "serve" | "fuzz"
     ) {
         return Err(usage());
     }
@@ -129,6 +143,11 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut addr = "127.0.0.1:7117".to_string();
     let mut shards = system_fj::core::cache::DEFAULT_SHARDS;
     let mut cache_cap = system_fj::core::cache::DEFAULT_SHARD_CAP;
+    let mut fuzz = FarmConfig {
+        corpus_dir: Some("fuzz/corpus".into()),
+        ..FarmConfig::default()
+    };
+    let mut fuel_flag = None;
     let mut file = None;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -158,7 +177,34 @@ fn parse_args() -> Result<Options, ExitCode> {
                 };
             }
             "--fuel" => {
-                fuel = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                fuel_flag = Some(args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?);
+            }
+            "--seed" => {
+                fuzz.seed = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+            }
+            "--count" => {
+                fuzz.cases = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+            }
+            "--gen-depth" => {
+                fuzz.depth = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+            }
+            "--time-budget-ms" => {
+                let ms: u64 = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                fuzz.time_budget = Some(Duration::from_millis(ms));
+            }
+            "--corpus" => {
+                fuzz.corpus_dir = Some(args.next().ok_or_else(usage)?.into());
+            }
+            "--no-adversarial" => fuzz.adversarial = false,
+            "--sabotage" => {
+                let spec = args.next().ok_or_else(usage)?;
+                let (mode_name, pass) = spec.split_once(':').ok_or_else(usage)?;
+                let mode = Sabotage::ALL
+                    .into_iter()
+                    .find(|m| m.name() == mode_name)
+                    .ok_or_else(usage)?;
+                let target: usize = pass.parse().map_err(|_| usage())?;
+                fuzz.sabotage = Some((mode, target));
             }
             "--timeout-ms" => {
                 let ms: u64 = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
@@ -207,9 +253,14 @@ fn parse_args() -> Result<Options, ExitCode> {
             _ => return Err(usage()),
         }
     }
-    // `report`, `bench`, and `serve` take no file: the first two run the
-    // built-in suite, the service reads programs off the wire.
-    if matches!(command.as_str(), "report" | "bench" | "serve") {
+    if let Some(f) = fuel_flag {
+        fuel = f;
+        fuzz.fuel = f;
+    }
+    // `report`, `bench`, `serve`, and `fuzz` take no file: the suite
+    // commands run built-in programs, the service reads them off the
+    // wire, and the farm generates its own.
+    if matches!(command.as_str(), "report" | "bench" | "serve" | "fuzz") {
         return Ok(Options {
             command,
             file: String::new(),
@@ -228,6 +279,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             addr,
             shards,
             cache_cap,
+            fuzz,
         });
     }
     let Some(file) = file else {
@@ -251,6 +303,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         addr,
         shards,
         cache_cap,
+        fuzz,
     })
 }
 
@@ -292,6 +345,52 @@ fn main() -> ExitCode {
             }
         }
         return ExitCode::SUCCESS;
+    }
+    if opts.command == "fuzz" {
+        let cfg = &opts.fuzz;
+        let sab = match cfg.sabotage {
+            Some((mode, target)) => format!(", sabotage {}:{target}", mode.name()),
+            None => String::new(),
+        };
+        println!(
+            "fj fuzz: seed {}, {} cases, depth {}, adversarial bands {}{sab}",
+            cfg.seed,
+            cfg.cases,
+            cfg.depth,
+            if cfg.adversarial { "on" } else { "off" },
+        );
+        let report = system_fj::testkit::run_farm(cfg);
+        for f in &report.failures {
+            let repro = match &f.repro {
+                Some(p) => format!(" (repro: {})", p.display()),
+                None => String::new(),
+            };
+            let headline = f.shrunk_message.lines().next().unwrap_or("");
+            eprintln!(
+                "fj fuzz: FAIL case {} seed {:#018x}: {} vs {}: {} [shrunk {} -> {} nodes]{repro}",
+                f.case,
+                f.case_seed,
+                f.routes.0,
+                f.routes.1,
+                headline,
+                f.original_size,
+                f.shrunk.size(),
+            );
+        }
+        println!(
+            "fj fuzz: {} run ({} with join points, {} adversarial), {} skipped, {} failures in {:.2?}",
+            report.cases_run,
+            report.join_programs,
+            report.adversarial_cases,
+            report.cases_skipped,
+            report.failures.len(),
+            report.elapsed,
+        );
+        return if report.ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
     if opts.command == "serve" {
         use std::io::Write as _;

@@ -62,5 +62,7 @@ pub use fj_nofib as nofib;
 pub use fj_server as server;
 /// The surface language (re-export of `fj-surface`).
 pub use fj_surface as surface;
+/// The property-testing kit and fuzz farm (re-export of `fj-testkit`).
+pub use fj_testkit as testkit;
 /// The bytecode execution backend (re-export of `fj-vm`).
 pub use fj_vm as vm;

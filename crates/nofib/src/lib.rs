@@ -30,7 +30,9 @@ mod real;
 mod shootout;
 mod spectral;
 
+pub mod candles;
 pub mod fusion_exp;
+pub mod vm_ops;
 
 use fj_core::{optimize, optimize_with_report, OptConfig, PipelineReport};
 use fj_eval::{run, EvalMode, Metrics, Value};
@@ -476,6 +478,9 @@ pub struct BenchRow {
     pub machine: std::time::Duration,
     /// VM wall time.
     pub vm: std::time::Duration,
+    /// Native-Rust candle wall time (the hardware ceiling; see
+    /// [`candles`]).
+    pub candle: std::time::Duration,
     /// Total heap-allocation units (identical on both backends; checked).
     pub total_allocs: u64,
     /// Jumps taken (identical on both backends; checked).
@@ -506,6 +511,7 @@ pub fn run_bench(iterations: u32, warmup: u32) -> Vec<BenchRow> {
             let mut machine = std::time::Duration::ZERO;
             let mut vm = std::time::Duration::ZERO;
             let mut metrics = None;
+            let mut value = 0i64;
             for _ in 0..iters {
                 let (v_m, m_m, machine_wall) = measure_backend(p.source, &cfg, Backend::Machine);
                 let (v_v, m_v, vm_wall) = measure_backend(p.source, &cfg, Backend::Vm);
@@ -519,13 +525,23 @@ pub fn run_bench(iterations: u32, warmup: u32) -> Vec<BenchRow> {
                 machine += machine_wall;
                 vm += vm_wall;
                 metrics = Some(m_v);
+                value = v_v;
             }
             let m_v = metrics.expect("iterations >= 1");
+            let candle_fn = candles::candle(p.name)
+                .unwrap_or_else(|| panic!("{}: no native candle registered", p.name));
+            let (candle_value, candle_wall) = candles::time_candle(candle_fn);
+            assert_eq!(
+                candle_value, value,
+                "{}: native candle disagrees with the VM",
+                p.name
+            );
             BenchRow {
                 name: p.name,
                 suite: p.suite.name(),
                 machine: mean(machine),
                 vm: mean(vm),
+                candle: candle_wall,
                 total_allocs: m_v.total_allocs(),
                 jumps: m_v.jumps,
             }
@@ -711,6 +727,7 @@ pub fn format_bench_json(rows: &[BenchRow]) -> String {
     let mut out = String::new();
     let machine_total: u128 = rows.iter().map(|r| r.machine.as_nanos()).sum();
     let vm_total: u128 = rows.iter().map(|r| r.vm.as_nanos()).sum();
+    let candle_total: u128 = rows.iter().map(|r| r.candle.as_nanos()).sum();
     let speedup = |m: u128, v: u128| {
         if v == 0 {
             f64::INFINITY
@@ -729,12 +746,15 @@ pub fn format_bench_json(rows: &[BenchRow]) -> String {
         writeln!(
             out,
             "    {{\"name\": \"{}\", \"suite\": \"{}\", \"machine_ns\": {}, \
-             \"vm_ns\": {}, \"speedup\": {:.2}, \"total_allocs\": {}, \"jumps\": {}}}{comma}",
+             \"vm_ns\": {}, \"speedup\": {:.2}, \"candle_ns\": {}, \
+             \"vm_over_candle\": {:.2}, \"total_allocs\": {}, \"jumps\": {}}}{comma}",
             r.name,
             r.suite,
             r.machine.as_nanos(),
             r.vm.as_nanos(),
             speedup(r.machine.as_nanos(), r.vm.as_nanos()),
+            r.candle.as_nanos(),
+            speedup(r.vm.as_nanos(), r.candle.as_nanos()),
             r.total_allocs,
             r.jumps
         )
@@ -744,8 +764,9 @@ pub fn format_bench_json(rows: &[BenchRow]) -> String {
     writeln!(
         out,
         "  \"total\": {{\"machine_ns\": {machine_total}, \"vm_ns\": {vm_total}, \
-         \"speedup\": {:.2}}}",
-        speedup(machine_total, vm_total)
+         \"speedup\": {:.2}, \"candle_ns\": {candle_total}, \"vm_over_candle\": {:.2}}}",
+        speedup(machine_total, vm_total),
+        speedup(vm_total, candle_total)
     )
     .unwrap();
     writeln!(out, "}}").unwrap();

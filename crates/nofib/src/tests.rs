@@ -168,6 +168,87 @@ fn format_report_renders_markdown_tables() {
     }
 }
 
+/// On the Sec. 5 fusion-matrix programs (skip-less and skip-ful
+/// steppers, both optimizer pipelines), the fused VM charges exactly
+/// the allocation counters the unfused VM does — superinstructions are
+/// a dispatch optimization, never a cost-model change.
+#[test]
+fn vm_fusion_counters_exact_on_fusion_matrix() {
+    use fj_ast::Dsl;
+    use fj_eval::EvalMode;
+    use fj_fusion::StepVariant;
+    use fj_vm::{compile_with, run_program, CompileOpts};
+    for variant in [StepVariant::Skipless, StepVariant::Skip] {
+        for (label, cfg) in [
+            ("baseline", OptConfig::baseline()),
+            ("join-points", OptConfig::join_points()),
+        ] {
+            let mut d = Dsl::new();
+            let e = crate::fusion_exp::pipeline(&mut d, variant, 200);
+            let opt = fj_core::optimize(&e, &d.data_env, &mut d.supply, &cfg)
+                .unwrap_or_else(|err| panic!("{variant:?} {label}: optimize: {err}"));
+            let unfused = compile_with(&opt, EvalMode::CallByValue, CompileOpts { fuse: false })
+                .unwrap_or_else(|err| panic!("{variant:?} {label}: compile: {err}"));
+            let fused = compile_with(&opt, EvalMode::CallByValue, CompileOpts { fuse: true })
+                .unwrap_or_else(|err| panic!("{variant:?} {label}: compile: {err}"));
+            let u = run_program(&unfused, crate::VM_FUEL)
+                .unwrap_or_else(|err| panic!("{variant:?} {label}: unfused vm: {err}"));
+            let f = run_program(&fused, crate::VM_FUEL)
+                .unwrap_or_else(|err| panic!("{variant:?} {label}: fused vm: {err}"));
+            assert_eq!(
+                f.value,
+                fj_eval::Value::Int(crate::fusion_exp::reference(200)),
+                "{variant:?} {label}"
+            );
+            assert_eq!(u.value, f.value, "{variant:?} {label}");
+            assert_eq!(
+                (
+                    u.metrics.let_allocs,
+                    u.metrics.arg_allocs,
+                    u.metrics.con_allocs,
+                    u.metrics.jumps
+                ),
+                (
+                    f.metrics.let_allocs,
+                    f.metrics.arg_allocs,
+                    f.metrics.con_allocs,
+                    f.metrics.jumps
+                ),
+                "{variant:?} {label}: fusion changed the counters"
+            );
+        }
+    }
+}
+
+/// Every native candle computes the same value as the VM, so the
+/// BENCH_vm.json hardware-distance ratio always compares identical
+/// computations.
+#[test]
+fn candles_agree_with_vm() {
+    let cfg = OptConfig::join_points();
+    for p in programs() {
+        let f = crate::candles::candle(p.name)
+            .unwrap_or_else(|| panic!("{}: no native candle registered", p.name));
+        let e = crate::lower(p.source, &cfg);
+        let out = fj_vm::run(&e, fj_eval::EvalMode::CallByValue, crate::VM_FUEL)
+            .unwrap_or_else(|err| panic!("{}: vm: {err}", p.name));
+        let fj_eval::Value::Int(v) = out.value else {
+            panic!("{}: main must return Int", p.name);
+        };
+        assert_eq!(f(), v, "{}: candle disagrees with the VM", p.name);
+    }
+}
+
+/// The adaptive candle timer returns the candle's value and a nonzero
+/// per-rep duration.
+#[test]
+fn candle_timer_reports_value_and_time() {
+    let f = crate::candles::candle("primetest").unwrap();
+    let (value, per_rep) = crate::candles::time_candle(f);
+    assert_eq!(value, 46);
+    assert!(per_rep > std::time::Duration::ZERO);
+}
+
 /// The fusion experiment's headline series.
 #[test]
 fn fusion_series_shapes() {

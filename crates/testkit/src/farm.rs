@@ -14,6 +14,7 @@
 //! | cache-hit vs cache-cold | the hit is served and α-equal            |
 //! | machine-unopt vs -opt   | optimization preserves the value         |
 //! | machine vs vm           | same value **and** allocation counters   |
+//! | vm-unfused vs vm-fused  | superinstruction fusion preserves both   |
 //!
 //! Every route runs under the existing guards — per-pass deadlines in
 //! the pipeline, fuel plus a wall-clock deadline in both backends — so
@@ -396,6 +397,55 @@ pub fn check_routes(cfg: &FarmConfig, g: &G, seed: u64) -> Result<bool, (RoutePa
                 "backends disagree on allocation counters: machine let={} arg={} con={} jumps={} vs vm let={} arg={} con={} jumps={}",
                 m.let_allocs, m.arg_allocs, m.con_allocs, m.jumps,
                 v.let_allocs, v.arg_allocs, v.con_allocs, v.jumps
+            ),
+        ));
+    }
+
+    // vm-unfused vs vm-fused: the superinstruction peephole must be
+    // invisible — same value, same allocation counters. Both streams
+    // are compiled explicitly so the oracle holds regardless of the
+    // FJ_VM_FUSE default.
+    let vm_route = |fuse: bool| {
+        let prog = fj_vm::compile_with(
+            &strict_out,
+            EvalMode::CallByValue,
+            fj_vm::CompileOpts { fuse },
+        )
+        .map_err(|err| {
+            (
+                ("vm-unfused", "vm-fused"),
+                format!("vm compile (fuse={fuse}) failed: {err}"),
+            )
+        })?;
+        fj_vm::run_program_with_limits(&prog, cfg.fuel.saturating_mul(10), Some(cfg.exec_deadline))
+            .map_err(|err| {
+                (
+                    ("vm-unfused", "vm-fused"),
+                    format!("vm (fuse={fuse}) failed to run: {err}"),
+                )
+            })
+    };
+    let unfused = vm_route(false)?;
+    let fused = vm_route(true)?;
+    if fused.value != unfused.value {
+        return Err((
+            ("vm-unfused", "vm-fused"),
+            format!(
+                "fusion changed the value: unfused {} vs fused {}",
+                unfused.value, fused.value
+            ),
+        ));
+    }
+    let (u, f) = (&unfused.metrics, &fused.metrics);
+    if (u.let_allocs, u.arg_allocs, u.con_allocs, u.jumps)
+        != (f.let_allocs, f.arg_allocs, f.con_allocs, f.jumps)
+    {
+        return Err((
+            ("vm-unfused", "vm-fused"),
+            format!(
+                "fusion changed the counters: unfused let={} arg={} con={} jumps={} vs fused let={} arg={} con={} jumps={}",
+                u.let_allocs, u.arg_allocs, u.con_allocs, u.jumps,
+                f.let_allocs, f.arg_allocs, f.con_allocs, f.jumps
             ),
         ));
     }

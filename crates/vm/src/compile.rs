@@ -16,12 +16,14 @@
 //! jumps cost *nothing*) is decided here at compile time and baked into
 //! the instruction flags; see the per-construct comments.
 
-use crate::ops::{CaseTable, ChargeKind, Op, Program, RecBinding};
+use crate::ops::{CaseTable, ChargeKind, Code, JumpSpec, Op, Program, RecBinding};
 use fj_ast::{Alt, AltCon, Binder, Expr, Ident, JoinBind, LetBind, Name};
 use fj_ast::{FxHashMap, FxHashSet};
 use fj_eval::EvalMode;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// Interned tag of the `True` constructor (fixed, so [`Op::Prim`] can
 /// build booleans without a lookup).
@@ -129,6 +131,11 @@ struct Compiler {
     labels: Vec<u32>,
     tags: FxHashMap<Ident, u32>,
     idents: Vec<Ident>,
+    cases: Vec<CaseTable>,
+    captures: Vec<Box<[u16]>>,
+    capture_ids: FxHashMap<Vec<u16>, u32>,
+    rec_groups: Vec<Box<[RecBinding]>>,
+    jump_specs: Vec<JumpSpec>,
     pending: VecDeque<PendingBody>,
     uses_thunks: bool,
     // Per-code-object state:
@@ -138,21 +145,62 @@ struct Compiler {
     depth: u16,
 }
 
+/// Compile-time options. The only knob today is the fusion peephole,
+/// whose default comes from the `FJ_VM_FUSE` environment variable
+/// (`FJ_VM_FUSE=0` disables it process-wide — the CI oracle runs the
+/// whole differential suite once that way).
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOpts {
+    /// Run the superinstruction peephole over the finalized stream.
+    pub fuse: bool,
+}
+
+impl Default for CompileOpts {
+    fn default() -> Self {
+        CompileOpts {
+            fuse: fuse_default(),
+        }
+    }
+}
+
+/// The process-wide fusion default: `true` unless `FJ_VM_FUSE=0`.
+#[must_use]
+pub fn fuse_default() -> bool {
+    static FUSE: OnceLock<bool> = OnceLock::new();
+    *FUSE.get_or_init(|| std::env::var("FJ_VM_FUSE").map_or(true, |v| v != "0"))
+}
+
 /// Compile a closed, Lint-clean term for one evaluation mode. Laziness
 /// and the allocation-charging policy differ per mode, so the mode is
-/// baked into the program.
+/// baked into the program. Fusion follows [`fuse_default`]; use
+/// [`compile_with`] to pin it explicitly (the fuzz farm compiles both
+/// ways and diffs them).
 ///
 /// # Errors
 ///
 /// Returns a [`CompileError`] on unbound variables or labels — both
 /// impossible for terms accepted by `fj_check::lint`.
 pub fn compile(e: &Expr, mode: EvalMode) -> Result<Program, CompileError> {
+    compile_with(e, mode, CompileOpts::default())
+}
+
+/// As [`compile`], with explicit [`CompileOpts`].
+///
+/// # Errors
+///
+/// As [`compile`].
+pub fn compile_with(e: &Expr, mode: EvalMode, opts: CompileOpts) -> Result<Program, CompileError> {
     let mut c = Compiler {
         mode,
         ops: vec![Op::Halt],
         labels: Vec::new(),
         tags: FxHashMap::default(),
         idents: Vec::new(),
+        cases: Vec::new(),
+        captures: Vec::new(),
+        capture_ids: FxHashMap::default(),
+        rec_groups: Vec::new(),
+        jump_specs: Vec::new(),
         pending: VecDeque::new(),
         uses_thunks: false,
         scope: Vec::new(),
@@ -162,7 +210,7 @@ pub fn compile(e: &Expr, mode: EvalMode) -> Result<Program, CompileError> {
     };
     assert_eq!(c.intern(&Ident::new("True")), TAG_TRUE);
     assert_eq!(c.intern(&Ident::new("False")), TAG_FALSE);
-    let entry = c.ops.len() as u32;
+    let mut entry = c.ops.len() as u32;
     c.compile_eval(e, Cont::Ret)?;
     while let Some(p) = c.pending.pop_front() {
         c.bind_label(p.label);
@@ -184,12 +232,39 @@ pub fn compile(e: &Expr, mode: EvalMode) -> Result<Program, CompileError> {
         }
     }
     c.finalize();
+    let Compiler {
+        mut ops,
+        idents,
+        mut cases,
+        captures,
+        mut rec_groups,
+        mut jump_specs,
+        uses_thunks,
+        ..
+    } = c;
+    if opts.fuse {
+        fuse(
+            &mut ops,
+            &mut cases,
+            &mut rec_groups,
+            &mut jump_specs,
+            &mut entry,
+            uses_thunks,
+        );
+    }
     Ok(Program {
-        ops: c.ops,
-        idents: c.idents,
-        entry,
+        code: Arc::new(Code {
+            ops,
+            cases,
+            captures,
+            rec_groups,
+            jump_specs,
+            idents,
+            entry,
+        }),
         mode,
-        uses_thunks: c.uses_thunks,
+        uses_thunks,
+        fused: opts.fuse,
     })
 }
 
@@ -591,12 +666,22 @@ impl Compiler {
     }
 
     fn finish_closure(&mut self, label: u32, caps: Vec<u16>) -> Result<(), CompileError> {
-        self.ops.push(Op::MkClosure {
-            label,
-            captures: caps.into_boxed_slice(),
-        });
+        let caps = self.intern_caps(caps);
+        self.ops.push(Op::MkClosure { label, caps });
         self.depth += 1;
         Ok(())
+    }
+
+    /// Intern a capture list into the shared side table (identical lists
+    /// — the empty list above all — share one entry).
+    fn intern_caps(&mut self, caps: Vec<u16>) -> u32 {
+        if let Some(&id) = self.capture_ids.get(&caps) {
+            return id;
+        }
+        let id = self.captures.len() as u32;
+        self.captures.push(caps.clone().into_boxed_slice());
+        self.capture_ids.insert(caps, id);
+        id
     }
 
     /// Emit a thunk build over `e`, queueing its code.
@@ -614,9 +699,10 @@ impl Compiler {
             scope: body_scope,
             kind: BodyKind::Eval(e.clone()),
         });
+        let caps = self.intern_caps(caps);
         self.ops.push(Op::MkThunk {
             label,
-            captures: caps.into_boxed_slice(),
+            caps,
             charge,
             per_projection,
         });
@@ -689,11 +775,13 @@ impl Compiler {
             }
             arms.push((label, alt));
         }
-        self.ops.push(Op::Case(Box::new(CaseTable {
+        let table = self.cases.len() as u32;
+        self.cases.push(CaseTable {
             con_arms: con_arms.into_boxed_slice(),
             lit_arms: lit_arms.into_boxed_slice(),
             default,
-        })));
+        });
+        self.ops.push(Op::Case(table));
         let scope_mark = self.scope.len();
         let mut any_leaves = false;
         for (label, alt) in arms {
@@ -871,7 +959,9 @@ impl Compiler {
             };
             specs.push(spec);
         }
-        self.ops.push(Op::LetRec(specs.into_boxed_slice()));
+        let group = self.rec_groups.len() as u32;
+        self.rec_groups.push(specs.into_boxed_slice());
+        self.ops.push(Op::LetRec(group));
         let flow = self.compile_eval(body, cont)?;
         self.scope.truncate(scope_mark);
         Ok(flow)
@@ -962,17 +1052,30 @@ impl Compiler {
             "jump site and join point must share an operand depth"
         );
         debug_assert_eq!(info.arity as usize, args.len(), "jumps are saturated");
-        self.ops.push(Op::Jump {
-            target: info.label,
-            env_keep: info.env_keep,
-            arity: info.arity,
-            charge_mask: mask,
-        });
+        if mask == 0 {
+            // The paper's common case: a charge-free jump stays a single
+            // 16-byte word.
+            self.ops.push(Op::Jump {
+                target: info.label,
+                env_keep: info.env_keep,
+                arity: info.arity,
+            });
+        } else {
+            let spec = self.jump_specs.len() as u32;
+            self.jump_specs.push(JumpSpec {
+                target: info.label,
+                env_keep: info.env_keep,
+                arity: info.arity,
+                charge_mask: mask,
+            });
+            self.ops.push(Op::JumpCharged(spec));
+        }
         self.depth = info.operand_depth;
         Ok(())
     }
 
-    /// Rewrite every label id into an absolute instruction index.
+    /// Rewrite every label id into an absolute instruction index, in the
+    /// instruction stream and in every side table.
     fn finalize(&mut self) {
         let labels = &self.labels;
         let fix = |l: &mut u32| {
@@ -986,29 +1089,287 @@ impl Compiler {
                     fix(label);
                 }
                 Op::Jump { target, .. } => fix(target),
-                Op::Case(table) => {
-                    for (_, t, _) in table.con_arms.iter_mut() {
-                        fix(t);
-                    }
-                    for (_, t) in table.lit_arms.iter_mut() {
-                        fix(t);
-                    }
-                    if let Some(d) = &mut table.default {
-                        fix(d);
-                    }
-                }
-                Op::LetRec(specs) => {
-                    for spec in specs.iter_mut() {
-                        match spec {
-                            RecBinding::Closure { label, .. } | RecBinding::Thunk { label, .. } => {
-                                fix(label)
-                            }
-                            RecBinding::Int(_) => {}
-                        }
-                    }
-                }
                 _ => {}
             }
         }
+        for table in &mut self.cases {
+            for (_, t, _) in table.con_arms.iter_mut() {
+                fix(t);
+            }
+            for (_, t) in table.lit_arms.iter_mut() {
+                fix(t);
+            }
+            if let Some(d) = &mut table.default {
+                fix(d);
+            }
+        }
+        for group in &mut self.rec_groups {
+            for spec in group.iter_mut() {
+                match spec {
+                    RecBinding::Closure { label, .. } | RecBinding::Thunk { label, .. } => {
+                        fix(label);
+                    }
+                    RecBinding::Int(_) => {}
+                }
+            }
+        }
+        for spec in &mut self.jump_specs {
+            fix(&mut spec.target);
+        }
     }
+}
+
+/// The superinstruction peephole.
+///
+/// Runs over the *finalized* stream (every `u32` is already an absolute
+/// instruction index). The pass is in three steps:
+///
+/// 1. Without thunks, `LoadForce` degenerates to `Load` — the force
+///    check can never fire — so it is rewritten first, which lets the
+///    evaluation-position loads participate in fusion. (With thunks a
+///    `LoadForce` may *enter* the thunk mid-instruction and return to
+///    the following op, so it is never fused.)
+/// 2. A branch-target map: no fusion window may contain a branch target
+///    (or a call/force return address) anywhere but its first slot,
+///    since control could re-enter the middle of the fused word.
+/// 3. A left-to-right scan replacing matched windows (longest pattern
+///    first) with one fused op, then a compaction that squeezes the
+///    consumed slots out and remaps every code reference — stream,
+///    side tables, and entry — so the dispatch loop runs over a dense
+///    array with no dead words.
+///
+/// The fused set was chosen from `fj report --vm-ops` pair/triple
+/// histograms over the nofib suite; see DESIGN.md. Each fused op
+/// charges the metrics counters exactly as its expansion (the fused
+/// jumps still count `jumps`; none of the fusable ops allocate), which
+/// the differential suites and the fuzz farm's fused-vs-unfused route
+/// check on every run.
+fn fuse(
+    ops: &mut Vec<Op>,
+    cases: &mut [CaseTable],
+    rec_groups: &mut [Box<[RecBinding]>],
+    jump_specs: &mut [JumpSpec],
+    entry: &mut u32,
+    uses_thunks: bool,
+) {
+    if !uses_thunks {
+        for op in ops.iter_mut() {
+            if let Op::LoadForce(i) = *op {
+                *op = Op::Load(i);
+            }
+        }
+    }
+
+    let n = ops.len();
+    let mut is_target = vec![false; n];
+    // The Halt sentinel: every root frame returns to instruction 0.
+    is_target[0] = true;
+    is_target[*entry as usize] = true;
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::MkClosure { label, .. } | Op::MkThunk { label, .. } | Op::Goto(label) => {
+                is_target[label as usize] = true;
+            }
+            Op::Jump { target, .. } => is_target[target as usize] = true,
+            Op::JumpCharged(s) => is_target[jump_specs[s as usize].target as usize] = true,
+            Op::Case(t) => {
+                let table = &cases[t as usize];
+                for &(_, arm, _) in table.con_arms.iter() {
+                    is_target[arm as usize] = true;
+                }
+                for &(_, arm) in table.lit_arms.iter() {
+                    is_target[arm as usize] = true;
+                }
+                if let Some(d) = table.default {
+                    is_target[d as usize] = true;
+                }
+            }
+            Op::LetRec(g) => {
+                for spec in rec_groups[g as usize].iter() {
+                    match spec {
+                        RecBinding::Closure { label, .. } | RecBinding::Thunk { label, .. } => {
+                            is_target[*label as usize] = true;
+                        }
+                        RecBinding::Int(_) => {}
+                    }
+                }
+            }
+            // The instruction after a call is its return address; after a
+            // LoadForce, a pending thunk's frame returns there too.
+            Op::Call { .. } | Op::CallTy | Op::LoadForce(_) if i + 1 < n => {
+                is_target[i + 1] = true;
+            }
+            _ => {}
+        }
+    }
+
+    let mut consumed = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if consumed[i] {
+            i += 1;
+            continue;
+        }
+        let free2 = i + 1 < n && !is_target[i + 1];
+        let free3 = free2 && i + 2 < n && !is_target[i + 2];
+        let free4 = free3 && i + 3 < n && !is_target[i + 3];
+        let fused = 'pick: {
+            if let Op::Load(a) = ops[i] {
+                if free4 {
+                    if let (Op::PushInt(v), Op::Prim(p), Op::Case(t)) =
+                        (ops[i + 1], ops[i + 2], ops[i + 3])
+                    {
+                        if let Ok(n16) = i16::try_from(v) {
+                            break 'pick Some((
+                                Op::LoadIntPrimCase {
+                                    a,
+                                    n: n16,
+                                    op: p,
+                                    table: t,
+                                },
+                                4,
+                            ));
+                        }
+                    }
+                    if let (Op::Load(b), Op::Prim(p), Op::Case(t)) =
+                        (ops[i + 1], ops[i + 2], ops[i + 3])
+                    {
+                        break 'pick Some((
+                            Op::LoadLoadPrimCase {
+                                a,
+                                b,
+                                op: p,
+                                table: t,
+                            },
+                            4,
+                        ));
+                    }
+                }
+                if free3 {
+                    if let (Op::Load(b), Op::Prim(p)) = (ops[i + 1], ops[i + 2]) {
+                        break 'pick Some((Op::LoadLoadPrim { a, b, op: p }, 3));
+                    }
+                    if let (Op::PushInt(v), Op::Prim(p)) = (ops[i + 1], ops[i + 2]) {
+                        if let Ok(n32) = i32::try_from(v) {
+                            break 'pick Some((Op::LoadIntPrim { a, n: n32, op: p }, 3));
+                        }
+                    }
+                    if let (
+                        Op::Load(b),
+                        Op::Jump {
+                            target,
+                            env_keep,
+                            arity: 2,
+                        },
+                    ) = (ops[i + 1], ops[i + 2])
+                    {
+                        break 'pick Some((
+                            Op::LoadLoadJump {
+                                a,
+                                b,
+                                target,
+                                env_keep,
+                            },
+                            3,
+                        ));
+                    }
+                }
+                if free2 {
+                    match ops[i + 1] {
+                        Op::Jump {
+                            target,
+                            env_keep,
+                            arity: 1,
+                        } => {
+                            break 'pick Some((
+                                Op::LoadJump {
+                                    a,
+                                    target,
+                                    env_keep,
+                                },
+                                2,
+                            ))
+                        }
+                        Op::Case(t) => break 'pick Some((Op::LoadCase { slot: a, table: t }, 2)),
+                        Op::Ret => break 'pick Some((Op::LoadRet(a), 2)),
+                        Op::Prim(p) => break 'pick Some((Op::LoadPrim { b: a, op: p }, 2)),
+                        _ => {}
+                    }
+                }
+            } else if free2 {
+                match (ops[i], ops[i + 1]) {
+                    (Op::PushInt(v), Op::Prim(p)) => {
+                        if let Ok(n32) = i32::try_from(v) {
+                            break 'pick Some((Op::IntPrim { n: n32, op: p }, 2));
+                        }
+                    }
+                    (Op::Prim(p), Op::Case(t)) => {
+                        break 'pick Some((Op::PrimCase { op: p, table: t }, 2))
+                    }
+                    _ => {}
+                }
+            }
+            None
+        };
+        if let Some((op, len)) = fused {
+            ops[i] = op;
+            for slot in consumed.iter_mut().take(i + len).skip(i + 1) {
+                *slot = true;
+            }
+            i += len;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Compaction: drop the consumed slots, remap every code reference.
+    let mut map = vec![0u32; n];
+    let mut out: Vec<Op> = Vec::with_capacity(n);
+    for i in 0..n {
+        map[i] = out.len() as u32;
+        if !consumed[i] {
+            out.push(ops[i]);
+        }
+    }
+    let remap = |t: &mut u32| {
+        debug_assert!(!consumed[*t as usize], "branch target was fused away");
+        *t = map[*t as usize];
+    };
+    for op in &mut out {
+        match op {
+            Op::MkClosure { label, .. } | Op::MkThunk { label, .. } | Op::Goto(label) => {
+                remap(label);
+            }
+            Op::Jump { target, .. }
+            | Op::LoadJump { target, .. }
+            | Op::LoadLoadJump { target, .. } => remap(target),
+            _ => {}
+        }
+    }
+    for table in cases.iter_mut() {
+        for (_, t, _) in table.con_arms.iter_mut() {
+            remap(t);
+        }
+        for (_, t) in table.lit_arms.iter_mut() {
+            remap(t);
+        }
+        if let Some(d) = &mut table.default {
+            remap(d);
+        }
+    }
+    for group in rec_groups.iter_mut() {
+        for spec in group.iter_mut() {
+            match spec {
+                RecBinding::Closure { label, .. } | RecBinding::Thunk { label, .. } => {
+                    remap(label);
+                }
+                RecBinding::Int(_) => {}
+            }
+        }
+    }
+    for spec in jump_specs.iter_mut() {
+        remap(&mut spec.target);
+    }
+    remap(entry);
+    *ops = out;
 }

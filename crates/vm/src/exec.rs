@@ -7,13 +7,23 @@
 //! truncation plus a branch (see [`Op::Jump`]), which is the paper's
 //! cost model executed literally.
 //!
-//! Metrics are charged exactly as the Fig. 3 machine charges them; the
-//! policy was decided at compile time and sits in the instruction flags,
-//! so the interpreter only tests "is this value a closure" where the
-//! machine's `store_binding` would.
+//! The dispatch loop streams over fixed 16-byte op words (wide payloads
+//! live in the [`Code`] side tables) and handles the fused
+//! superinstructions the peephole emits; both facts are invisible to
+//! the metrics. Counters are charged exactly as the Fig. 3 machine
+//! charges them; the policy was decided at compile time and sits in the
+//! instruction flags, so the interpreter only tests "is this value a
+//! closure" where the machine's `store_binding` would.
+//!
+//! The loop is generic over a [`Tracer`]: the normal entry points pass
+//! a no-op tracer that monomorphizes away, while
+//! [`run_program_profiled`] threads an [`OpProfile`] through to collect
+//! the opcode/pair/triple histograms behind `fj report --vm-ops`.
 
-use crate::ops::{ChargeKind, Op, Program, RecBinding};
+use crate::ops::{CaseTable, ChargeKind, Code, Op, Program, RecBinding};
+use crate::profile::OpProfile;
 use crate::value::{ClosureCell, ThunkCell, ThunkState, VmError, VmValue};
+use fj_ast::PrimOp;
 use fj_eval::{EvalMode, Metrics, Outcome, Value};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -31,6 +41,29 @@ struct FrameV {
 /// The VM polls its wall-clock deadline every `DEADLINE_CHECK_MASK + 1`
 /// instructions, matching the machine's cadence (`fj_eval`).
 pub const DEADLINE_CHECK_MASK: u64 = 0xFFF;
+
+/// A per-dispatch observation hook. The production tracer is a no-op
+/// zero-sized type, so the generic loop compiles to the plain
+/// interpreter; the profiling tracer feeds [`OpProfile`].
+pub trait Tracer {
+    /// Called once per dispatched instruction with its opcode index.
+    fn trace(&mut self, opcode: u8);
+}
+
+/// The production tracer: does nothing, costs nothing.
+pub struct NoTrace;
+
+impl Tracer for NoTrace {
+    #[inline(always)]
+    fn trace(&mut self, _opcode: u8) {}
+}
+
+impl Tracer for OpProfile {
+    #[inline]
+    fn trace(&mut self, opcode: u8) {
+        self.record(opcode);
+    }
+}
 
 /// Interpreter state for one program.
 pub struct Vm<'p> {
@@ -71,32 +104,54 @@ pub fn run_program_with_limits(
     fuel: u64,
     deadline: Option<std::time::Duration>,
 ) -> Result<Outcome, VmError> {
-    let mut vm = Vm {
-        prog,
-        fuel,
-        deadline: deadline.map(|limit| (std::time::Instant::now() + limit, limit)),
-        metrics: Metrics::default(),
-        stack: Vec::with_capacity(64),
-        env: Vec::with_capacity(256),
-        frames: Vec::with_capacity(64),
-        base: 0,
-        empty_fields: Rc::new(Vec::new()),
-    };
-    let answer = vm.run_code(prog.entry, Vec::new(), None)?;
+    let mut vm = Vm::new(prog, fuel, deadline);
+    let answer = vm.run_code(prog.entry(), Vec::new(), None, &mut NoTrace)?;
     // Deep forcing is excluded from the counters, as in the machine.
     let metrics = vm.metrics;
     let value = vm.deep(&answer, 64)?;
     Ok(Outcome { value, metrics })
 }
 
-impl Vm<'_> {
+/// As [`run_program`], additionally collecting an opcode histogram
+/// (dispatch counts plus hot pairs and triples) for `fj report
+/// --vm-ops`. The deep-forcing epilogue is excluded from the profile,
+/// as it is from the counters.
+///
+/// # Errors
+///
+/// As [`run_program`].
+pub fn run_program_profiled(prog: &Program, fuel: u64) -> Result<(Outcome, OpProfile), VmError> {
+    let mut vm = Vm::new(prog, fuel, None);
+    let mut profile = OpProfile::default();
+    let answer = vm.run_code(prog.entry(), Vec::new(), None, &mut profile)?;
+    let metrics = vm.metrics;
+    let value = vm.deep(&answer, 64)?;
+    Ok((Outcome { value, metrics }, profile))
+}
+
+impl<'p> Vm<'p> {
+    fn new(prog: &'p Program, fuel: u64, deadline: Option<std::time::Duration>) -> Self {
+        Vm {
+            prog,
+            fuel,
+            deadline: deadline.map(|limit| (std::time::Instant::now() + limit, limit)),
+            metrics: Metrics::default(),
+            stack: Vec::with_capacity(64),
+            env: Vec::with_capacity(256),
+            frames: Vec::with_capacity(64),
+            base: 0,
+            empty_fields: Rc::new(Vec::new()),
+        }
+    }
+
     /// Execute one code object to completion: push a sentinel frame that
     /// returns to `Halt`, seed its environment, and loop.
-    fn run_code(
+    fn run_code<T: Tracer>(
         &mut self,
         entry: u32,
         frame_env: Vec<VmValue>,
         update: Option<Rc<ThunkCell>>,
+        tracer: &mut T,
     ) -> Result<VmValue, VmError> {
         let env_base = self.env.len();
         self.frames.push(FrameV {
@@ -106,13 +161,14 @@ impl Vm<'_> {
         });
         self.env.extend(frame_env);
         self.base = env_base;
-        self.exec_loop(entry)
+        self.exec_loop(entry, tracer)
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec_loop(&mut self, mut ip: u32) -> Result<VmValue, VmError> {
+    fn exec_loop<T: Tracer>(&mut self, mut ip: u32, tracer: &mut T) -> Result<VmValue, VmError> {
         let prog = self.prog;
-        let ops = &prog.ops;
+        let code: &Code = &prog.code;
+        let ops = &code.ops;
         let lazy_fields = prog.uses_thunks && prog.mode == EvalMode::CallByNeed;
         loop {
             if self.fuel == 0 {
@@ -127,13 +183,14 @@ impl Vm<'_> {
                     }
                 }
             }
-            let op = &ops[ip as usize];
+            let op = ops[ip as usize];
+            tracer.trace(op.opcode());
             ip += 1;
             match op {
-                Op::PushInt(n) => self.stack.push(VmValue::Int(*n)),
-                Op::Load(i) => self.stack.push(self.env[self.base + *i as usize].clone()),
+                Op::PushInt(n) => self.stack.push(VmValue::Int(n)),
+                Op::Load(i) => self.stack.push(self.env[self.base + i as usize].clone()),
                 Op::LoadForce(i) => {
-                    let v = self.env[self.base + *i as usize].clone();
+                    let v = self.env[self.base + i as usize].clone();
                     if let VmValue::Thunk(cell) = v {
                         let forced = cell.state.borrow().clone();
                         match forced {
@@ -162,46 +219,47 @@ impl Vm<'_> {
                     }
                 }
                 Op::MkCon { tag, arity, charge } => {
-                    let v = if *arity == 0 {
-                        VmValue::Con(*tag, self.empty_fields.clone())
+                    let v = if arity == 0 {
+                        VmValue::Con(tag, self.empty_fields.clone())
                     } else {
-                        let split = self.stack.len() - *arity as usize;
-                        VmValue::Con(*tag, Rc::new(self.stack.split_off(split)))
+                        let split = self.stack.len() - arity as usize;
+                        VmValue::Con(tag, Rc::new(self.stack.split_off(split)))
                     };
-                    if *charge {
+                    if charge {
                         self.metrics.con_allocs += 1;
                     }
                     self.stack.push(v);
                 }
-                Op::MkClosure { label, captures } => {
-                    let cap: Vec<VmValue> = captures
+                Op::MkClosure { label, caps } => {
+                    let cap: Vec<VmValue> = code.captures[caps as usize]
                         .iter()
                         .map(|&i| self.env[self.base + i as usize].clone())
                         .collect();
                     self.stack.push(VmValue::Closure(Rc::new(ClosureCell {
-                        label: *label,
+                        label,
                         env: RefCell::new(cap),
                     })));
                 }
                 Op::MkThunk {
                     label,
-                    captures,
+                    caps,
                     charge,
                     per_projection,
                 } => {
-                    let cap: Vec<VmValue> = captures
+                    let cap: Vec<VmValue> = code.captures[caps as usize]
                         .iter()
                         .map(|&i| self.env[self.base + i as usize].clone())
                         .collect();
-                    self.charge(*charge);
+                    self.charge(charge);
                     self.stack.push(VmValue::Thunk(Rc::new(ThunkCell {
-                        label: *label,
+                        label,
                         env: RefCell::new(cap),
                         state: RefCell::new(ThunkState::Pending),
-                        per_projection: *per_projection,
+                        per_projection,
                     })));
                 }
-                Op::LetRec(specs) => {
+                Op::LetRec(group) => {
+                    let specs = &code.rec_groups[group as usize];
                     // Phase 1: allocate every cell with an empty capture
                     // environment and bind it as a slot.
                     for spec in specs.iter() {
@@ -248,20 +306,20 @@ impl Vm<'_> {
                 }
                 Op::Bind { charge_let } => {
                     let v = self.stack.pop().expect("bind underflow");
-                    if *charge_let && v.is_closure() {
+                    if charge_let && v.is_closure() {
                         self.metrics.let_allocs += 1;
                     }
                     self.env.push(v);
                 }
                 Op::PopEnv(n) => {
-                    let keep = self.env.len() - *n as usize;
+                    let keep = self.env.len() - n as usize;
                     self.env.truncate(keep);
                 }
                 Op::Call { charge_arg } | Op::TailCall { charge_arg } => {
                     let tail = matches!(op, Op::TailCall { .. });
                     let arg = self.stack.pop().expect("call underflow");
                     let fun = self.stack.pop().expect("call underflow");
-                    if *charge_arg && arg.is_closure() {
+                    if charge_arg && arg.is_closure() {
                         self.metrics.arg_allocs += 1;
                     }
                     let VmValue::Closure(cell) = fun else {
@@ -310,99 +368,40 @@ impl Vm<'_> {
                 }
                 Op::Ret => {
                     let v = self.stack.pop().expect("ret underflow");
-                    let f = self.frames.pop().expect("ret without frame");
-                    self.env.truncate(f.env_base);
-                    if let Some(cell) = f.update {
-                        *cell.state.borrow_mut() = ThunkState::Forced(v.clone());
-                    }
-                    self.stack.push(v);
-                    ip = f.ret_ip;
-                    self.base = self.frames.last().map_or(0, |fr| fr.env_base);
+                    self.do_ret(v, &mut ip);
                 }
-                Op::Goto(target) => ip = *target,
+                Op::Goto(target) => ip = target,
                 Op::Jump {
                     target,
                     env_keep,
                     arity,
-                    charge_mask,
                 } => {
                     // The paper's rule, literally: no heap cell, no
                     // substitution — truncate the slot stack to the join
                     // point's static depth, move the arguments in, branch.
                     self.metrics.jumps += 1;
-                    let arity = *arity as usize;
+                    let split = self.stack.len() - arity as usize;
+                    self.env.truncate(self.base + env_keep as usize);
+                    self.env.extend(self.stack.drain(split..));
+                    ip = target;
+                }
+                Op::JumpCharged(spec) => {
+                    let spec = &code.jump_specs[spec as usize];
+                    self.metrics.jumps += 1;
+                    let arity = spec.arity as usize;
                     let split = self.stack.len() - arity;
-                    if *charge_mask != 0 {
-                        for i in 0..arity {
-                            if charge_mask & (1 << i) != 0 && self.stack[split + i].is_closure() {
-                                self.metrics.arg_allocs += 1;
-                            }
+                    for i in 0..arity {
+                        if spec.charge_mask & (1 << i) != 0 && self.stack[split + i].is_closure() {
+                            self.metrics.arg_allocs += 1;
                         }
                     }
-                    self.env.truncate(self.base + *env_keep as usize);
+                    self.env.truncate(self.base + spec.env_keep as usize);
                     self.env.extend(self.stack.drain(split..));
-                    ip = *target;
+                    ip = spec.target;
                 }
                 Op::Case(table) => {
                     let scrut = self.stack.pop().expect("case underflow");
-                    match scrut {
-                        VmValue::Con(tag, fields) => {
-                            let arm = table.con_arms.iter().find(|(t, _, _)| *t == tag).copied();
-                            if let Some((_, target, binder_count)) = arm {
-                                if binder_count as usize != fields.len() {
-                                    return Err(VmError::Stuck(format!(
-                                        "constructor arity mismatch in case: {} has {} fields, pattern binds {}",
-                                        prog.idents[tag as usize],
-                                        fields.len(),
-                                        binder_count
-                                    )));
-                                }
-                                for f in fields.iter() {
-                                    // Call-by-need projects a *fresh*
-                                    // pending thunk per scrutinize, as
-                                    // the machine does; the clone is
-                                    // shared from then on.
-                                    let v = match f {
-                                        VmValue::Thunk(cell)
-                                            if lazy_fields && cell.per_projection =>
-                                        {
-                                            VmValue::Thunk(Rc::new(ThunkCell {
-                                                label: cell.label,
-                                                env: RefCell::new(cell.env.borrow().clone()),
-                                                state: RefCell::new(ThunkState::Pending),
-                                                per_projection: false,
-                                            }))
-                                        }
-                                        other => other.clone(),
-                                    };
-                                    self.env.push(v);
-                                }
-                                ip = target;
-                            } else if let Some(d) = table.default {
-                                ip = d;
-                            } else {
-                                return Err(VmError::Stuck(format!(
-                                    "no case alternative matches {}",
-                                    prog.idents[tag as usize]
-                                )));
-                            }
-                        }
-                        VmValue::Int(n) => {
-                            if let Some((_, target)) = table.lit_arms.iter().find(|(v, _)| *v == n)
-                            {
-                                ip = *target;
-                            } else if let Some(d) = table.default {
-                                ip = d;
-                            } else {
-                                return Err(VmError::Stuck(format!(
-                                    "no case alternative matches literal {n}"
-                                )));
-                            }
-                        }
-                        _ => {
-                            return Err(VmError::Stuck("case scrutinee is not data".into()));
-                        }
-                    }
+                    self.dispatch_case(scrut, &code.cases[table as usize], lazy_fields, &mut ip)?;
                 }
                 Op::Prim(p) => {
                     let b = self.stack.pop().expect("prim underflow");
@@ -410,25 +409,207 @@ impl Vm<'_> {
                     let (VmValue::Int(a), VmValue::Int(b)) = (a, b) else {
                         return Err(VmError::Stuck("primop operand not an integer".into()));
                     };
-                    match p.eval(a, b) {
-                        Some(fj_ast::PrimResult::Int(n)) => self.stack.push(VmValue::Int(n)),
-                        Some(fj_ast::PrimResult::Bool(v)) => {
-                            let tag = if v {
-                                crate::compile::TAG_TRUE
-                            } else {
-                                crate::compile::TAG_FALSE
-                            };
-                            self.stack
-                                .push(VmValue::Con(tag, self.empty_fields.clone()));
-                        }
-                        None => return Err(VmError::DivideByZero),
-                    }
+                    let v = self.prim_value(p, a, b)?;
+                    self.stack.push(v);
                 }
                 Op::Halt => {
                     return Ok(self.stack.pop().expect("halt without an answer"));
                 }
+
+                // ----------------------------------------------------------
+                // Fused superinstructions. Each is semantically the exact
+                // sequence it replaced (same values, same errors, same
+                // counters); only the dispatch and operand-stack traffic
+                // are collapsed.
+                // ----------------------------------------------------------
+                Op::LoadRet(i) => {
+                    let v = self.env[self.base + i as usize].clone();
+                    self.do_ret(v, &mut ip);
+                }
+                Op::LoadLoadPrim { a, b, op } => {
+                    let ia = Self::slot_int(&self.env[self.base + a as usize])?;
+                    let ib = Self::slot_int(&self.env[self.base + b as usize])?;
+                    let v = self.prim_value(op, ia, ib)?;
+                    self.stack.push(v);
+                }
+                Op::LoadIntPrim { a, n, op } => {
+                    let ia = Self::slot_int(&self.env[self.base + a as usize])?;
+                    let v = self.prim_value(op, ia, i64::from(n))?;
+                    self.stack.push(v);
+                }
+                Op::IntPrim { n, op } => {
+                    let a = self.stack.pop().expect("prim underflow");
+                    let ia = Self::slot_int(&a)?;
+                    let v = self.prim_value(op, ia, i64::from(n))?;
+                    self.stack.push(v);
+                }
+                Op::LoadPrim { b, op } => {
+                    let a = self.stack.pop().expect("prim underflow");
+                    let ia = Self::slot_int(&a)?;
+                    let ib = Self::slot_int(&self.env[self.base + b as usize])?;
+                    let v = self.prim_value(op, ia, ib)?;
+                    self.stack.push(v);
+                }
+                Op::PrimCase { op, table } => {
+                    let b = self.stack.pop().expect("prim underflow");
+                    let a = self.stack.pop().expect("prim underflow");
+                    let (VmValue::Int(a), VmValue::Int(b)) = (a, b) else {
+                        return Err(VmError::Stuck("primop operand not an integer".into()));
+                    };
+                    let scrut = self.prim_value(op, a, b)?;
+                    self.dispatch_case(scrut, &code.cases[table as usize], lazy_fields, &mut ip)?;
+                }
+                Op::LoadIntPrimCase { a, n, op, table } => {
+                    let ia = Self::slot_int(&self.env[self.base + a as usize])?;
+                    let scrut = self.prim_value(op, ia, i64::from(n))?;
+                    self.dispatch_case(scrut, &code.cases[table as usize], lazy_fields, &mut ip)?;
+                }
+                Op::LoadLoadPrimCase { a, b, op, table } => {
+                    let ia = Self::slot_int(&self.env[self.base + a as usize])?;
+                    let ib = Self::slot_int(&self.env[self.base + b as usize])?;
+                    let scrut = self.prim_value(op, ia, ib)?;
+                    self.dispatch_case(scrut, &code.cases[table as usize], lazy_fields, &mut ip)?;
+                }
+                Op::LoadCase { slot, table } => {
+                    let scrut = self.env[self.base + slot as usize].clone();
+                    self.dispatch_case(scrut, &code.cases[table as usize], lazy_fields, &mut ip)?;
+                }
+                Op::LoadJump {
+                    a,
+                    target,
+                    env_keep,
+                } => {
+                    self.metrics.jumps += 1;
+                    // Read before truncating: the argument slot may sit
+                    // above the join's kept depth.
+                    let v = self.env[self.base + a as usize].clone();
+                    self.env.truncate(self.base + env_keep as usize);
+                    self.env.push(v);
+                    ip = target;
+                }
+                Op::LoadLoadJump {
+                    a,
+                    b,
+                    target,
+                    env_keep,
+                } => {
+                    self.metrics.jumps += 1;
+                    let va = self.env[self.base + a as usize].clone();
+                    let vb = self.env[self.base + b as usize].clone();
+                    self.env.truncate(self.base + env_keep as usize);
+                    self.env.push(va);
+                    self.env.push(vb);
+                    ip = target;
+                }
             }
         }
+    }
+
+    /// Shared `Ret` epilogue (also the tail of [`Op::LoadRet`]).
+    #[inline]
+    fn do_ret(&mut self, v: VmValue, ip: &mut u32) {
+        let f = self.frames.pop().expect("ret without frame");
+        self.env.truncate(f.env_base);
+        if let Some(cell) = f.update {
+            *cell.state.borrow_mut() = ThunkState::Forced(v.clone());
+        }
+        self.stack.push(v);
+        *ip = f.ret_ip;
+        self.base = self.frames.last().map_or(0, |fr| fr.env_base);
+    }
+
+    /// An integer operand of a fused primitive (same error as the
+    /// unfused `Prim` would raise).
+    #[inline]
+    fn slot_int(v: &VmValue) -> Result<i64, VmError> {
+        match v {
+            VmValue::Int(n) => Ok(*n),
+            _ => Err(VmError::Stuck("primop operand not an integer".into())),
+        }
+    }
+
+    /// Apply a primitive to two integers, producing the value the
+    /// unfused `Prim` would push (booleans are free nullary cells).
+    #[inline]
+    fn prim_value(&self, p: PrimOp, a: i64, b: i64) -> Result<VmValue, VmError> {
+        match p.eval(a, b) {
+            Some(fj_ast::PrimResult::Int(n)) => Ok(VmValue::Int(n)),
+            Some(fj_ast::PrimResult::Bool(v)) => {
+                let tag = if v {
+                    crate::compile::TAG_TRUE
+                } else {
+                    crate::compile::TAG_FALSE
+                };
+                Ok(VmValue::Con(tag, self.empty_fields.clone()))
+            }
+            None => Err(VmError::DivideByZero),
+        }
+    }
+
+    /// Branch through a case table on an already-popped scrutinee
+    /// (shared by `Case` and every fused `…Case` variant).
+    fn dispatch_case(
+        &mut self,
+        scrut: VmValue,
+        table: &CaseTable,
+        lazy_fields: bool,
+        ip: &mut u32,
+    ) -> Result<(), VmError> {
+        match scrut {
+            VmValue::Con(tag, fields) => {
+                let arm = table.con_arms.iter().find(|(t, _, _)| *t == tag).copied();
+                if let Some((_, target, binder_count)) = arm {
+                    if binder_count as usize != fields.len() {
+                        return Err(VmError::Stuck(format!(
+                            "constructor arity mismatch in case: {} has {} fields, pattern binds {}",
+                            self.prog.code.idents[tag as usize],
+                            fields.len(),
+                            binder_count
+                        )));
+                    }
+                    for f in fields.iter() {
+                        // Call-by-need projects a *fresh* pending thunk
+                        // per scrutinize, as the machine does; the clone
+                        // is shared from then on.
+                        let v = match f {
+                            VmValue::Thunk(cell) if lazy_fields && cell.per_projection => {
+                                VmValue::Thunk(Rc::new(ThunkCell {
+                                    label: cell.label,
+                                    env: RefCell::new(cell.env.borrow().clone()),
+                                    state: RefCell::new(ThunkState::Pending),
+                                    per_projection: false,
+                                }))
+                            }
+                            other => other.clone(),
+                        };
+                        self.env.push(v);
+                    }
+                    *ip = target;
+                } else if let Some(d) = table.default {
+                    *ip = d;
+                } else {
+                    return Err(VmError::Stuck(format!(
+                        "no case alternative matches {}",
+                        self.prog.code.idents[tag as usize]
+                    )));
+                }
+            }
+            VmValue::Int(n) => {
+                if let Some((_, target)) = table.lit_arms.iter().find(|(v, _)| *v == n) {
+                    *ip = *target;
+                } else if let Some(d) = table.default {
+                    *ip = d;
+                } else {
+                    return Err(VmError::Stuck(format!(
+                        "no case alternative matches literal {n}"
+                    )));
+                }
+            }
+            _ => {
+                return Err(VmError::Stuck("case scrutinee is not data".into()));
+            }
+        }
+        Ok(())
     }
 
     fn charge(&mut self, kind: ChargeKind) {
@@ -449,7 +630,7 @@ impl Vm<'_> {
             ThunkState::Pending => {
                 let captured = cell.env.borrow().clone();
                 let update = (self.prog.mode == EvalMode::CallByNeed).then(|| cell.clone());
-                self.run_code(cell.label, captured, update)
+                self.run_code(cell.label, captured, update, &mut NoTrace)
             }
         }
     }
@@ -473,7 +654,10 @@ impl Vm<'_> {
                     };
                     out.push(self.deep(&w, depth - 1)?);
                 }
-                Ok(Value::Con(self.prog.idents[*tag as usize].clone(), out))
+                Ok(Value::Con(
+                    self.prog.code.idents[*tag as usize].clone(),
+                    out,
+                ))
             }
             VmValue::Thunk(cell) => {
                 let w = self.force_cell(cell)?;

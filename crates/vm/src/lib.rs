@@ -32,11 +32,13 @@
 pub mod compile;
 pub mod exec;
 pub mod ops;
+pub mod profile;
 pub mod value;
 
-pub use compile::{compile, CompileError};
-pub use exec::{run_program, run_program_with_limits};
-pub use ops::{Op, Program};
+pub use compile::{compile, compile_with, fuse_default, CompileError, CompileOpts};
+pub use exec::{run_program, run_program_profiled, run_program_with_limits};
+pub use ops::{Code, Op, Program};
+pub use profile::OpProfile;
 pub use value::VmError;
 
 use fj_ast::Expr;

@@ -11,9 +11,20 @@
 //! jump site sits at exactly the operand depth of the join point it
 //! targets, which is what lets the paper's "adjust the stack and jump"
 //! compile to two machine-level moves.
+//!
+//! # Op-word layout
+//!
+//! The hot instruction word is a *fixed 16-byte* enum: every payload that
+//! would widen it — case branch tables, capture lists, recursive-binding
+//! groups, charged jump specs — lives in a side table of the shared
+//! [`Code`] object and is referenced by a `u32` index. The dispatch loop
+//! therefore streams over a dense array of uniform words instead of
+//! chasing boxes, and cloning a compiled [`Program`] is a refcount bump
+//! on one [`Arc`]. A test asserts `size_of::<Op>() == 16`.
 
 use fj_ast::{Ident, PrimOp};
 use fj_eval::EvalMode;
+use std::sync::Arc;
 
 /// How a heap cell created by [`Op::MkThunk`] / [`Op::LetRec`] is charged
 /// against the [`Metrics`](fj_eval::Metrics) counters.
@@ -34,7 +45,8 @@ pub enum ChargeKind {
 /// The interpreter allocates every cell of the group first (with empty
 /// capture environments), pushes them all as slots, and only then fills
 /// the environments — so siblings can capture each other (including
-/// cyclically) without names.
+/// cyclically) without names. Groups live in [`Code::rec_groups`], so
+/// the boxed capture lists here never touch the instruction stream.
 #[derive(Clone, Debug)]
 pub enum RecBinding {
     /// A `λ`/`Λ` right-hand side: a closure, charged one `let` unit.
@@ -60,7 +72,7 @@ pub enum RecBinding {
     Int(i64),
 }
 
-/// Branch table of a `case` expression.
+/// Branch table of a `case` expression, stored in [`Code::cases`].
 ///
 /// The scrutinee is popped; constructor arms match by interned tag,
 /// literal arms by value, with an optional default. A matching
@@ -78,12 +90,37 @@ pub struct CaseTable {
     pub default: Option<u32>,
 }
 
-/// One bytecode instruction.
+/// A `jump` whose `charge_mask` is non-zero (some argument may charge an
+/// `arg_allocs` unit). These are rare — the common allocation-free jump
+/// is the inline [`Op::Jump`] — so the 8-byte mask lives here, in
+/// [`Code::jump_specs`].
+#[derive(Clone, Debug)]
+pub struct JumpSpec {
+    /// Join body entry.
+    pub target: u32,
+    /// Slot count at the join's definition point (frame-relative).
+    pub env_keep: u16,
+    /// Parameter count.
+    pub arity: u16,
+    /// Per-argument charge-if-closure bits (bit `i` set marks a
+    /// non-cheap argument, charged as [`Op::Call`] charges).
+    pub charge_mask: u64,
+}
+
+/// One bytecode instruction — a fixed 16-byte word (asserted by test).
 ///
 /// Every `u32` code reference is a *label id* during compilation and is
 /// rewritten to an absolute instruction index by
 /// [`finalize`](crate::compile), so the interpreter does plain `ip = x`.
-#[derive(Clone, Debug)]
+///
+/// The ops after [`Op::Halt`] are *fused superinstructions*: a peephole
+/// pass over the finalized stream replaces measured-hot adjacent pairs
+/// and triples with one word each (then compacts the stream), so the
+/// dispatch loop pays one decode for what the naive stream paid two to
+/// four for. Fusion never crosses a branch target and charges the
+/// metrics counters exactly as its unfused expansion would; compiling
+/// with fusion disabled keeps the one-op-per-step stream as an oracle.
+#[derive(Clone, Copy, Debug)]
 pub enum Op {
     /// Push an integer.
     PushInt(i64),
@@ -102,21 +139,21 @@ pub enum Op {
         /// Whether this build charges `con_allocs`.
         charge: bool,
     },
-    /// Push a closure capturing the listed slots. Never charges by
-    /// itself: context decides (a closure *bound* as a let/arg charges
-    /// via [`Op::Bind`]/[`Op::Call`]).
+    /// Push a closure capturing the slots in `Code::captures[caps]`.
+    /// Never charges by itself: context decides (a closure *bound* as a
+    /// let/arg charges via [`Op::Bind`]/[`Op::Call`]).
     MkClosure {
         /// Entry label of the body.
         label: u32,
-        /// Frame-relative slots to capture.
-        captures: Box<[u16]>,
+        /// Capture-list index into [`Code::captures`].
+        caps: u32,
     },
     /// Push a thunk over `label`, charging `charge` at creation.
     MkThunk {
         /// Entry label of the suspended code.
         label: u32,
-        /// Frame-relative slots to capture.
-        captures: Box<[u16]>,
+        /// Capture-list index into [`Code::captures`].
+        caps: u32,
         /// Metrics charge at creation time.
         charge: ChargeKind,
         /// Lazy constructor fields: `case` projection under call-by-need
@@ -124,8 +161,9 @@ pub enum Op {
         /// machine's per-projection field thunks.
         per_projection: bool,
     },
-    /// Allocate a recursive `let` group (two-phase, see [`RecBinding`]).
-    LetRec(Box<[RecBinding]>),
+    /// Allocate a recursive `let` group: `Code::rec_groups[idx]`
+    /// (two-phase, see [`RecBinding`]).
+    LetRec(u32),
     /// Pop the top value into a fresh slot. With `charge_let`, a closure
     /// value charges one `let_allocs` unit (the machine's `store_binding`
     /// policy; constructor and literal values are free once built).
@@ -161,9 +199,8 @@ pub enum Op {
     /// The `jump` rule, made literal: pop `arity` arguments, truncate the
     /// slot stack to the join point's static depth, push the arguments
     /// as the join parameters, branch. No heap traffic, no name lookup,
-    /// no operand-stack scan. Bit `i` of `charge_mask` marks a non-cheap
-    /// argument, which charges `arg_allocs` if it is a closure (same
-    /// policy as [`Op::Call`]).
+    /// no operand-stack scan. This is the charge-free common case; a
+    /// jump with a non-zero charge mask compiles to [`Op::JumpCharged`].
     Jump {
         /// Join body entry.
         target: u32,
@@ -171,31 +208,236 @@ pub enum Op {
         env_keep: u16,
         /// Parameter count.
         arity: u16,
-        /// Per-argument charge-if-closure bits.
-        charge_mask: u64,
     },
-    /// Pop the scrutinee and branch through the table.
-    Case(Box<CaseTable>),
+    /// A `jump` with per-argument charge bits: `Code::jump_specs[idx]`.
+    JumpCharged(u32),
+    /// Pop the scrutinee and branch through `Code::cases[idx]`.
+    Case(u32),
     /// Pop two integers, apply `op`, push the result (booleans become
     /// nullary `True`/`False` cells, which are free).
     Prim(PrimOp),
     /// Stop; the top of the operand stack is the program's answer.
     Halt,
+
+    // ------------------------------------------------------------------
+    // Fused superinstructions (peephole-emitted; never hand-written).
+    // ------------------------------------------------------------------
+    /// `Load slot; Ret` — the one-variable epilogue.
+    LoadRet(u16),
+    /// `Load a; Load b; Prim op`.
+    LoadLoadPrim {
+        /// First (deeper) operand slot.
+        a: u16,
+        /// Second operand slot.
+        b: u16,
+        /// The primitive.
+        op: PrimOp,
+    },
+    /// `Load a; PushInt n; Prim op` — variable-vs-constant arithmetic.
+    LoadIntPrim {
+        /// First operand slot.
+        a: u16,
+        /// Second operand, an inline constant.
+        n: i32,
+        /// The primitive.
+        op: PrimOp,
+    },
+    /// `PushInt n; Prim op` — the first operand is already on the stack.
+    IntPrim {
+        /// Second operand, an inline constant.
+        n: i32,
+        /// The primitive.
+        op: PrimOp,
+    },
+    /// `Load b; Prim op` — the first operand is already on the stack.
+    LoadPrim {
+        /// Second operand slot.
+        b: u16,
+        /// The primitive.
+        op: PrimOp,
+    },
+    /// `Prim op; Case table` — compare-and-branch without materializing
+    /// the boolean on the operand stack.
+    PrimCase {
+        /// The primitive.
+        op: PrimOp,
+        /// Branch table index into [`Code::cases`].
+        table: u32,
+    },
+    /// `Load a; PushInt n; Prim op; Case table`.
+    LoadIntPrimCase {
+        /// First operand slot.
+        a: u16,
+        /// Second operand, an inline constant.
+        n: i16,
+        /// The primitive.
+        op: PrimOp,
+        /// Branch table index into [`Code::cases`].
+        table: u32,
+    },
+    /// `Load a; Load b; Prim op; Case table`.
+    LoadLoadPrimCase {
+        /// First operand slot.
+        a: u16,
+        /// Second operand slot.
+        b: u16,
+        /// The primitive.
+        op: PrimOp,
+        /// Branch table index into [`Code::cases`].
+        table: u32,
+    },
+    /// `Load slot; Case table` — scrutinize a variable.
+    LoadCase {
+        /// Scrutinee slot.
+        slot: u16,
+        /// Branch table index into [`Code::cases`].
+        table: u32,
+    },
+    /// `Load a; Jump` at arity 1, charge-free — the one-argument loop
+    /// back-edge.
+    LoadJump {
+        /// Argument slot (read *before* the env truncation).
+        a: u16,
+        /// Join body entry.
+        target: u32,
+        /// Slot count kept at the join.
+        env_keep: u16,
+    },
+    /// `Load a; Load b; Jump` at arity 2, charge-free.
+    LoadLoadJump {
+        /// First argument slot.
+        a: u16,
+        /// Second argument slot.
+        b: u16,
+        /// Join body entry.
+        target: u32,
+        /// Slot count kept at the join.
+        env_keep: u16,
+    },
 }
 
-/// A compiled program: flat code plus the tag-interning table.
-#[derive(Clone, Debug)]
-pub struct Program {
+/// The shared, read-only body of a compiled program: the instruction
+/// stream plus every side table it indexes. Wrapped in an [`Arc`] by
+/// [`Program`], so clones (the fuzz farm re-runs one compile across many
+/// routes) are refcount bumps, not deep copies of boxed payloads.
+#[derive(Debug)]
+pub struct Code {
     /// The instruction stream (all code objects, concatenated).
     pub ops: Vec<Op>,
+    /// Case branch tables, indexed by [`Op::Case`].
+    pub cases: Vec<CaseTable>,
+    /// Capture lists, indexed by [`Op::MkClosure`] / [`Op::MkThunk`]
+    /// (deduplicated: identical lists share an entry).
+    pub captures: Vec<Box<[u16]>>,
+    /// Recursive `let` groups, indexed by [`Op::LetRec`].
+    pub rec_groups: Vec<Box<[RecBinding]>>,
+    /// Charged jump specs, indexed by [`Op::JumpCharged`].
+    pub jump_specs: Vec<JumpSpec>,
     /// Interned constructor names, indexed by tag.
     pub idents: Vec<Ident>,
     /// Entry instruction of the root code object.
     pub entry: u32,
+}
+
+/// A compiled program: [`Arc`]-shared code plus the mode flags baked in
+/// at compile time. `Clone` is a refcount bump.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The shared instruction stream and side tables.
+    pub code: Arc<Code>,
     /// The evaluation mode the program was compiled for (laziness and
     /// the charging policy are baked into the code).
     pub mode: EvalMode,
     /// Whether any instruction can create a thunk; when false the
     /// interpreter's variable loads skip the force check entirely.
     pub uses_thunks: bool,
+    /// Whether the fusion peephole ran over this stream.
+    pub fused: bool,
+}
+
+impl Program {
+    /// Entry instruction of the root code object.
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        self.code.entry
+    }
+}
+
+/// Number of distinct opcodes (for profile histograms).
+pub const NUM_OPCODES: usize = 32;
+
+/// Display names, indexed by [`Op::opcode`].
+pub const OPCODE_NAMES: [&str; NUM_OPCODES] = [
+    "PushInt",
+    "Load",
+    "LoadForce",
+    "MkCon",
+    "MkClosure",
+    "MkThunk",
+    "LetRec",
+    "Bind",
+    "PopEnv",
+    "Call",
+    "TailCall",
+    "CallTy",
+    "TailCallTy",
+    "Ret",
+    "Goto",
+    "Jump",
+    "JumpCharged",
+    "Case",
+    "Prim",
+    "Halt",
+    "LoadRet",
+    "LoadLoadPrim",
+    "LoadIntPrim",
+    "IntPrim",
+    "LoadPrim",
+    "PrimCase",
+    "LoadIntPrimCase",
+    "LoadLoadPrimCase",
+    "LoadCase",
+    "LoadJump",
+    "LoadLoadJump",
+    "(unused)",
+];
+
+impl Op {
+    /// Dense opcode index, for histogram profiling (`fj report --vm-ops`).
+    #[must_use]
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Op::PushInt(_) => 0,
+            Op::Load(_) => 1,
+            Op::LoadForce(_) => 2,
+            Op::MkCon { .. } => 3,
+            Op::MkClosure { .. } => 4,
+            Op::MkThunk { .. } => 5,
+            Op::LetRec(_) => 6,
+            Op::Bind { .. } => 7,
+            Op::PopEnv(_) => 8,
+            Op::Call { .. } => 9,
+            Op::TailCall { .. } => 10,
+            Op::CallTy => 11,
+            Op::TailCallTy => 12,
+            Op::Ret => 13,
+            Op::Goto(_) => 14,
+            Op::Jump { .. } => 15,
+            Op::JumpCharged(_) => 16,
+            Op::Case(_) => 17,
+            Op::Prim(_) => 18,
+            Op::Halt => 19,
+            Op::LoadRet(_) => 20,
+            Op::LoadLoadPrim { .. } => 21,
+            Op::LoadIntPrim { .. } => 22,
+            Op::IntPrim { .. } => 23,
+            Op::LoadPrim { .. } => 24,
+            Op::PrimCase { .. } => 25,
+            Op::LoadIntPrimCase { .. } => 26,
+            Op::LoadLoadPrimCase { .. } => 27,
+            Op::LoadCase { .. } => 28,
+            Op::LoadJump { .. } => 29,
+            Op::LoadLoadJump { .. } => 30,
+        }
+    }
 }

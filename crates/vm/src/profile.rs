@@ -1,0 +1,124 @@
+//! Opcode histograms for `fj report --vm-ops`.
+//!
+//! The profile records, per executed instruction: the opcode count, the
+//! (previous, current) opcode pair, and the (prev2, prev, current)
+//! triple. Pair and triple heat is what picked the fused
+//! superinstruction set (see DESIGN.md): a pair that accounts for a
+//! large share of dispatches is a candidate single word.
+
+use crate::ops::{NUM_OPCODES, OPCODE_NAMES};
+use fj_ast::FxHashMap;
+
+/// A dispatch histogram collected by
+/// [`run_program_profiled`](crate::exec::run_program_profiled).
+pub struct OpProfile {
+    /// Total instructions dispatched.
+    pub dispatches: u64,
+    /// Per-opcode dispatch counts.
+    pub counts: [u64; NUM_OPCODES],
+    /// Adjacent-pair counts, `pairs[prev][cur]`.
+    pub pairs: Box<[[u64; NUM_OPCODES]; NUM_OPCODES]>,
+    /// Adjacent-triple counts.
+    pub triples: FxHashMap<(u8, u8, u8), u64>,
+    prev: Option<u8>,
+    prev2: Option<u8>,
+}
+
+impl Default for OpProfile {
+    fn default() -> Self {
+        OpProfile {
+            dispatches: 0,
+            counts: [0; NUM_OPCODES],
+            pairs: Box::new([[0; NUM_OPCODES]; NUM_OPCODES]),
+            triples: FxHashMap::default(),
+            prev: None,
+            prev2: None,
+        }
+    }
+}
+
+impl OpProfile {
+    /// Record one dispatched opcode.
+    #[inline]
+    pub fn record(&mut self, opcode: u8) {
+        self.dispatches += 1;
+        self.counts[opcode as usize] += 1;
+        if let Some(p) = self.prev {
+            self.pairs[p as usize][opcode as usize] += 1;
+            if let Some(pp) = self.prev2 {
+                *self.triples.entry((pp, p, opcode)).or_insert(0) += 1;
+            }
+        }
+        self.prev2 = self.prev;
+        self.prev = Some(opcode);
+    }
+
+    /// Fold another profile into this one (cross-program aggregation;
+    /// the pair/triple chains do not bridge the program boundary).
+    pub fn merge(&mut self, other: &OpProfile) {
+        self.dispatches += other.dispatches;
+        for (acc, c) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *acc += c;
+        }
+        for (row_acc, row) in self.pairs.iter_mut().zip(other.pairs.iter()) {
+            for (acc, c) in row_acc.iter_mut().zip(row.iter()) {
+                *acc += c;
+            }
+        }
+        for (&k, &v) in &other.triples {
+            *self.triples.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// The `k` hottest opcodes, as `(name, count)`, descending.
+    #[must_use]
+    pub fn top_ops(&self, k: usize) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<(&'static str, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (OPCODE_NAMES[i], c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// The `k` hottest adjacent pairs, as `(name, name, count)`,
+    /// descending.
+    #[must_use]
+    pub fn top_pairs(&self, k: usize) -> Vec<(&'static str, &'static str, u64)> {
+        let mut v: Vec<(&'static str, &'static str, u64)> = Vec::new();
+        for (p, row) in self.pairs.iter().enumerate() {
+            for (c, &count) in row.iter().enumerate() {
+                if count > 0 {
+                    v.push((OPCODE_NAMES[p], OPCODE_NAMES[c], count));
+                }
+            }
+        }
+        v.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        v.truncate(k);
+        v
+    }
+
+    /// The `k` hottest adjacent triples, descending.
+    #[must_use]
+    pub fn top_triples(&self, k: usize) -> Vec<(&'static str, &'static str, &'static str, u64)> {
+        let mut v: Vec<(&'static str, &'static str, &'static str, u64)> = self
+            .triples
+            .iter()
+            .map(|(&(a, b, c), &count)| {
+                (
+                    OPCODE_NAMES[a as usize],
+                    OPCODE_NAMES[b as usize],
+                    OPCODE_NAMES[c as usize],
+                    count,
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| b.3.cmp(&a.3).then((a.0, a.1, a.2).cmp(&(b.0, b.1, b.2))));
+        v.truncate(k);
+        v
+    }
+}

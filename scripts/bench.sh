@@ -47,7 +47,52 @@ case "$PHASE" in
 esac
 
 cargo build --workspace --release --offline
-./target/release/fj bench --phase "$PHASE" "${FLAGS[@]+"${FLAGS[@]}"}" > "$OUT"
+
+NEW="$(mktemp)"
+trap 'rm -f "$NEW"' EXIT
+./target/release/fj bench --phase "$PHASE" "${FLAGS[@]+"${FLAGS[@]}"}" > "$NEW"
+
+# Regression gate (vm phase only): refuse to overwrite a committed
+# snapshot with one whose per-program geomean VM time got slower. 10%
+# headroom absorbs wall-clock noise; a real dispatch regression is
+# far larger than that.
+if [[ "$PHASE" == vm && -f "$OUT" ]]; then
+  awk '
+    function record(file,   name, ns) {
+      if (match($0, /"name": "[^"]*"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        if (match($0, /"vm_ns": [0-9]+/)) {
+          ns = substr($0, RSTART + 9, RLENGTH - 9)
+          vm[file "\034" name] = ns
+          if (file == "old") { names[++n] = name }
+        }
+      }
+    }
+    FNR == 1 { f++ }
+    f == 1 { record("old") }
+    f == 2 { record("new") }
+    END {
+      if (n == 0) { print "bench: no vm_ns rows in committed snapshot" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) {
+        name = names[i]
+        if (!(("new" "\034" name) in vm)) {
+          print "bench: program " name " missing from new snapshot" > "/dev/stderr"; exit 1
+        }
+        lsum += log(vm["new" "\034" name] / vm["old" "\034" name])
+      }
+      ratio = exp(lsum / n)
+      printf "bench: geomean vm_ns ratio new/committed = %.3f over %d programs\n", ratio, n
+      if (ratio > 1.10) {
+        printf "bench: geomean VM time regressed %.1f%% vs the committed snapshot — not overwriting\n", \
+          (ratio - 1) * 100 > "/dev/stderr"
+        exit 1
+      }
+    }
+  ' "$OUT" "$NEW"
+fi
+
+mv "$NEW" "$OUT"
+trap - EXIT
 
 echo "wrote $OUT"
 grep '"total"' "$OUT"

@@ -58,6 +58,13 @@ if [[ "$QUICK" -eq 0 ]]; then
   # build keeps its internal invariant checks honest.
   echo '==> RUSTFLAGS="-C debug-assertions=on" cargo test -p fj-vm --release --offline -q'
   env RUSTFLAGS="-C debug-assertions=on" cargo test -p fj-vm --release --offline -q
+  # Fusion-disabled oracle pass: with superinstructions off, the plain
+  # instruction stream must still match the substitution machine on
+  # every program, every value, and every counter.
+  echo '==> FJ_VM_FUSE=0 cargo test -p fj-vm --test differential --offline -q'
+  env FJ_VM_FUSE=0 cargo test -p fj-vm --test differential --offline -q
+  echo '==> FJ_VM_FUSE=0 cargo test -p fj-nofib --test vm_differential --offline -q'
+  env FJ_VM_FUSE=0 cargo test -p fj-nofib --test vm_differential --offline -q
   run cargo build --workspace --release --offline
   # The headline acceptance check: the report must render, and the
   # join-points pipeline must win on the contification-sensitive rows
@@ -66,8 +73,21 @@ if [[ "$QUICK" -eq 0 ]]; then
   run ./target/release/fj report >/dev/null
   # VM backend smoke: `fj bench` runs every nofib program on both the
   # substitution machine and the bytecode VM and asserts they agree on
-  # the value and the allocation counters before timing them.
-  run ./target/release/fj bench >/dev/null
+  # the value and the allocation counters before timing them (and each
+  # native candle against the VM). The snapshot must carry the
+  # standard-candle schema: candle_ns plus vm_over_candle, the
+  # distance-from-hardware ratio.
+  VM_SMOKE="$(mktemp)"
+  echo '==> ./target/release/fj bench'
+  ./target/release/fj bench > "$VM_SMOKE"
+  for key in '"machine_ns"' '"vm_ns"' '"speedup"' '"candle_ns"' \
+             '"vm_over_candle"' '"total_allocs"' '"jumps"'; do
+    grep -q "$key" "$VM_SMOKE" || {
+      echo "verify: BENCH_vm schema missing $key" >&2
+      exit 1
+    }
+  done
+  rm -f "$VM_SMOKE"
 
   # Optimizer bench smoke: a 1-iteration `--phase optimize` run must
   # produce a BENCH_opt.json-shaped snapshot (no timing assertions —

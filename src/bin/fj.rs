@@ -14,6 +14,9 @@
 //! fj erase program.fj               # print the join-free System F term
 //! fj report                         # nofib: baseline vs join points,
 //!                                   # Table-1-style markdown + pass stats
+//! fj report --vm-ops                # VM opcode histogram over nofib:
+//!                                   # top ops/pairs/triples, unfused vs
+//!                                   # fused dispatch counts
 //! fj bench                          # nofib timed on both backends,
 //!                                   # JSON on stdout (BENCH_vm.json)
 //! fj bench --phase optimize         # nofib timed through the optimizer,
@@ -79,6 +82,7 @@ struct Options {
     before: bool,
     resilient: bool,
     phase: BenchPhase,
+    vm_ops: bool,
     iterations: u32,
     warmup: u32,
     addr: String,
@@ -101,7 +105,9 @@ fn usage() -> ExitCode {
         "usage: fj <run|dump|check|erase> [--baseline | -O0] [--backend machine|vm] \
          [--mode name|need|value] [--fuel N] [--timeout-ms N] [--metrics] [--before] \
          [--resilient] [--pass-deadline-ms N] [--max-growth F] [--max-passes N] <file.fj>\n\
-         \x20      fj report   (nofib suite: baseline vs join points, markdown)\n\
+         \x20      fj report [--vm-ops]\n\
+         \x20                  (nofib suite: baseline vs join points, markdown;\n\
+         \x20                   --vm-ops prints the VM opcode-dispatch histogram)\n\
          \x20      fj bench [--phase vm|optimize|serve] [--iterations N] [--warmup N]\n\
          \x20                  (nofib suite timed, JSON on stdout)\n\
          \x20      fj serve [--addr HOST:PORT] [--port N] [--shards N] [--cache-cap N]\n\
@@ -138,6 +144,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut before = false;
     let mut resilient = false;
     let mut phase = BenchPhase::Vm;
+    let mut vm_ops = false;
     let mut iterations = 1u32;
     let mut warmup = 0u32;
     let mut addr = "127.0.0.1:7117".to_string();
@@ -196,6 +203,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                 fuzz.corpus_dir = Some(args.next().ok_or_else(usage)?.into());
             }
             "--no-adversarial" => fuzz.adversarial = false,
+            "--vm-ops" => vm_ops = true,
             "--sabotage" => {
                 let spec = args.next().ok_or_else(usage)?;
                 let (mode_name, pass) = spec.split_once(':').ok_or_else(usage)?;
@@ -274,6 +282,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             before,
             resilient,
             phase,
+            vm_ops,
             iterations,
             warmup,
             addr,
@@ -298,6 +307,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         before,
         resilient,
         phase,
+        vm_ops,
         iterations,
         warmup,
         addr,
@@ -313,8 +323,13 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
     if opts.command == "report" {
-        let rows = system_fj::nofib::run_report();
-        print!("{}", system_fj::nofib::format_report(&rows));
+        if opts.vm_ops {
+            let report = system_fj::nofib::vm_ops::run_vm_op_report();
+            print!("{}", system_fj::nofib::vm_ops::format_vm_op_report(&report));
+        } else {
+            let rows = system_fj::nofib::run_report();
+            print!("{}", system_fj::nofib::format_report(&rows));
+        }
         return ExitCode::SUCCESS;
     }
     if opts.command == "bench" {

@@ -401,6 +401,17 @@ pub(crate) fn install_quiet_panic_hook() {
     });
 }
 
+/// Run `f` with panic *reports* suppressed on this thread: a panic still
+/// unwinds (callers pair this with `catch_unwind`), but the process-wide
+/// hook stays silent for it, so expected faults — injected saboteur
+/// panics, chaos-harness request panics — don't spray backtraces onto
+/// stderr. Panics on other threads report normally.
+pub fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    install_quiet_panic_hook();
+    let _quiet = Quiet::on();
+    f()
+}
+
 /// RAII guard for the thread-local panic-report suppression flag.
 pub(crate) struct Quiet(bool);
 
@@ -416,7 +427,9 @@ impl Drop for Quiet {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// The human-readable message inside a caught panic payload (the
+/// `&str`/`String` cases `panic!` produces; anything else gets a stub).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -81,9 +81,10 @@ pub use erase::{erase, is_commuting_normal};
 pub use float_in::{float_in, float_in_counting};
 pub use float_out::{float_out, float_out_counting};
 pub use guard::{
-    leaked_guard_workers, PassCtx, PassResult, PassTap, RollbackReason, MAX_LEAKED_WORKERS,
+    leaked_guard_workers, panic_message, quiet_panics, PassCtx, PassResult, PassTap,
+    RollbackReason, MAX_LEAKED_WORKERS,
 };
-pub use par::{optimize_many, par_map, par_threads};
+pub use par::{optimize_many, par_map, par_threads, BoundedQueue};
 pub use pipeline::{
     apply_pass, optimize, optimize_resilient, optimize_with_report, optimize_with_stats, OptConfig,
     OptStats, Pass,

@@ -32,11 +32,29 @@
 //! `{"ok": false, "error": {"tag": …, "code": …, "message": …}}` where
 //! `code` matches the `fj` CLI's exit codes (2 parse/protocol, 3
 //! type/lint, 4 optimizer, 5 budget, 1 runtime), so a script can treat a
-//! served compile exactly like a spawned one.
+//! served compile exactly like a spawned one. Two tags are service-only:
+//! `overloaded` (code 6) when admission control sheds a request or
+//! connection — the error object carries a `retry_after_ms` hint — and
+//! `internal` (code 7) when a request handler panicked and was isolated
+//! by the crash-only worker pool.
+//!
+//! ## Execution model & overload policy
+//!
+//! The daemon runs a **bounded worker pool** fed by a **bounded queue**
+//! ([`service`]): a fixed number of workers handle requests, a
+//! connection cap bounds admitted sockets, a max frame length is
+//! enforced *while reading*, idle connections are disconnected, and
+//! `shutdown` drains in-flight work under a deadline. When any bound is
+//! hit the server *sheds* — answers `overloaded` — instead of queueing
+//! without limit. See `ServeConfig` for the knobs and DESIGN.md
+//! ("Service robustness & overload policy") for the rationale.
 
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod service;
+
+pub use service::{accept_backoff, serve, ServeConfig, ServiceSnapshot};
 
 use fj_ast::{alpha_fingerprint, DataEnv, Expr, NameSupply};
 use fj_core::cache::{OptCache, DEFAULT_SHARDS, DEFAULT_SHARD_CAP};
@@ -49,10 +67,11 @@ use fj_eval::{EvalMode, MachineError, Metrics, Outcome};
 use fj_surface::SurfaceError;
 use fj_vm::VmError;
 use json::Value;
+use service::ServiceStats;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A request failure, tagged like the `fj` CLI's exit codes so served
@@ -71,9 +90,27 @@ pub enum ServeError {
     Budget(String),
     /// The program failed at runtime (`run` op only).
     Runtime(String),
+    /// Admission control shed this request or connection: the worker
+    /// queue or connection cap is full. Carries a client back-off hint.
+    Overloaded {
+        /// What was shed (request vs connection) and why.
+        message: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request handler panicked; the crash-only worker isolated it.
+    Internal(String),
 }
 
 impl ServeError {
+    /// An [`ServeError::Overloaded`] with the given back-off hint.
+    pub fn overloaded(message: &str, retry_after_ms: u64) -> ServeError {
+        ServeError::Overloaded {
+            message: message.to_string(),
+            retry_after_ms,
+        }
+    }
+
     /// Machine-readable tag for the `error.tag` response field.
     pub fn tag(&self) -> &'static str {
         match self {
@@ -83,6 +120,8 @@ impl ServeError {
             ServeError::Optimizer(_) => "optimizer",
             ServeError::Budget(_) => "budget",
             ServeError::Runtime(_) => "runtime",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Internal(_) => "internal",
         }
     }
 
@@ -94,6 +133,8 @@ impl ServeError {
             ServeError::Optimizer(_) => 4,
             ServeError::Budget(_) => 5,
             ServeError::Runtime(_) => 1,
+            ServeError::Overloaded { .. } => 6,
+            ServeError::Internal(_) => 7,
         }
     }
 
@@ -105,19 +146,22 @@ impl ServeError {
             | ServeError::Type(m)
             | ServeError::Optimizer(m)
             | ServeError::Budget(m)
-            | ServeError::Runtime(m) => m,
+            | ServeError::Runtime(m)
+            | ServeError::Overloaded { message: m, .. }
+            | ServeError::Internal(m) => m,
         }
     }
 
     fn to_json(&self) -> Value {
-        Value::obj([(
-            "error",
-            Value::obj([
-                ("tag", Value::str(self.tag())),
-                ("code", Value::num(u64::from(self.code()))),
-                ("message", Value::str(self.message())),
-            ]),
-        )])
+        let mut fields = vec![
+            ("tag".to_string(), Value::str(self.tag())),
+            ("code".to_string(), Value::num(u64::from(self.code()))),
+            ("message".to_string(), Value::str(self.message())),
+        ];
+        if let ServeError::Overloaded { retry_after_ms, .. } = self {
+            fields.push(("retry_after_ms".to_string(), Value::num(*retry_after_ms)));
+        }
+        Value::obj([("error", Value::Obj(fields))])
     }
 }
 
@@ -311,12 +355,22 @@ pub struct ServerState {
     requests: AtomicU64,
     started: Instant,
     shutdown: AtomicBool,
+    config: ServeConfig,
+    service: ServiceStats,
 }
 
 impl ServerState {
     /// A server with an [`OptCache`] of `shards` × `shard_cap` entries
-    /// (the textual front cache gets the same total capacity).
+    /// (the textual front cache gets the same total capacity) and the
+    /// default service geometry.
     pub fn new(shards: usize, shard_cap: usize) -> ServerState {
+        ServerState::with_config(shards, shard_cap, ServeConfig::default())
+    }
+
+    /// A server with explicit cache geometry *and* service tuning
+    /// (worker pool size, queue capacity, connection cap, frame limit,
+    /// idle timeout, drain deadline).
+    pub fn with_config(shards: usize, shard_cap: usize, config: ServeConfig) -> ServerState {
         ServerState {
             cache: OptCache::new(shards, shard_cap),
             sources: Mutex::new(SourceShard::default()),
@@ -325,6 +379,8 @@ impl ServerState {
             requests: AtomicU64::new(0),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
+            config,
+            service: ServiceStats::default(),
         }
     }
 
@@ -333,9 +389,32 @@ impl ServerState {
         ServerState::new(DEFAULT_SHARDS, DEFAULT_SHARD_CAP)
     }
 
+    /// The service tuning this server runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// A point-in-time copy of the service-layer counters (connections,
+    /// admission, sheds, panics, disconnect reasons).
+    pub fn service_snapshot(&self) -> ServiceSnapshot {
+        self.service.snapshot()
+    }
+
+    pub(crate) fn service(&self) -> &ServiceStats {
+        &self.service
+    }
+
     /// Has a `shutdown` request been served?
     pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The textual-cache lock, surviving poisoning: a panicking request
+    /// handler (isolated by the crash-only worker pool) must degrade to
+    /// an `internal` error for *that* request, not wedge every future
+    /// cache lookup behind a poisoned mutex.
+    fn lock_sources(&self) -> MutexGuard<'_, SourceShard> {
+        self.sources.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Cache counters (hits, misses, evictions, occupancy) for the
@@ -350,7 +429,7 @@ impl ServerState {
     }
 
     fn source_lookup(&self, key: SourceKey, source: &str) -> Option<Compiled> {
-        let shard = self.sources.lock().unwrap();
+        let shard = self.lock_sources();
         let entry = shard.map.get(&key)?;
         // The hash key can collide; the stored text makes the hit exact.
         if entry.source != source {
@@ -366,7 +445,7 @@ impl ServerState {
     }
 
     fn source_insert(&self, key: SourceKey, source: &str, compiled: &Compiled) {
-        let mut shard = self.sources.lock().unwrap();
+        let mut shard = self.lock_sources();
         if shard.map.contains_key(&key) {
             return;
         }
@@ -489,6 +568,23 @@ impl ServerState {
             "shutdown" => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 (ok_response([("shutting_down", Value::Bool(true))]), true)
+            }
+            // Fault-injection ops for the chaos harness, dead unless the
+            // server was built with `ServeConfig { chaos: true, .. }`:
+            // a panic (exercises crash-only request isolation) and a
+            // sleep (fills the worker pool deterministically so tests
+            // can force the queue to shed).
+            "__chaos_panic" if self.config.chaos => {
+                panic!("chaos: injected request panic")
+            }
+            "__chaos_sleep" if self.config.chaos => {
+                let ms = req
+                    .get("ms")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(100)
+                    .min(5_000);
+                std::thread::sleep(Duration::from_millis(ms));
+                (ok_response([("slept_ms", Value::num(ms))]), false)
             }
             other => (
                 error_response(&ServeError::Proto(if other.is_empty() {
@@ -683,6 +779,7 @@ impl ServerState {
 
     fn op_stats(&self) -> String {
         let cache = self.cache.stats();
+        let sv = self.service.snapshot();
         ok_response([
             (
                 "requests",
@@ -698,6 +795,34 @@ impl ServerState {
                     ("evictions", Value::num(cache.evictions)),
                     ("entries", Value::num(cache.entries as u64)),
                     ("shards", Value::num(cache.shards as u64)),
+                ]),
+            ),
+            (
+                "service",
+                Value::obj([
+                    ("workers", Value::num(self.config.workers as u64)),
+                    ("queue_cap", Value::num(self.config.queue_cap as u64)),
+                    ("max_conns", Value::num(self.config.max_conns as u64)),
+                    ("max_line", Value::num(self.config.max_line as u64)),
+                    ("conns_accepted", Value::num(sv.conns_accepted)),
+                    ("conns_active", Value::num(sv.conns_active)),
+                    ("conns_shed", Value::num(sv.conns_shed)),
+                    ("accept_errors", Value::num(sv.accept_errors)),
+                    ("received", Value::num(sv.received)),
+                    ("completed", Value::num(sv.completed)),
+                    ("failed", Value::num(sv.failed)),
+                    ("shed", Value::num(sv.shed)),
+                    ("panics", Value::num(sv.panics)),
+                    (
+                        "disconnects",
+                        Value::obj([
+                            ("clean", Value::num(sv.disc_clean)),
+                            ("io", Value::num(sv.disc_io)),
+                            ("timeout", Value::num(sv.disc_timeout)),
+                            ("oversize", Value::num(sv.disc_oversize)),
+                        ]),
+                    ),
+                    ("draining", Value::Bool(self.shutting_down())),
                 ]),
             ),
             (
@@ -755,58 +880,6 @@ fn metrics_json(m: &Metrics) -> Value {
         ("jumps", Value::num(m.jumps)),
         ("max_stack", Value::num(m.max_stack as u64)),
     ])
-}
-
-/// Serve requests on `listener` until a `shutdown` op arrives. Each
-/// connection gets its own thread; all threads share `state` (and so the
-/// cache). Blocks the calling thread.
-///
-/// # Errors
-///
-/// Propagates listener-level I/O errors; per-connection errors just end
-/// that connection.
-pub fn serve(listener: TcpListener, state: Arc<ServerState>) -> std::io::Result<()> {
-    let addr = listener.local_addr()?;
-    for conn in listener.incoming() {
-        if state.shutting_down() {
-            break;
-        }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let st = Arc::clone(&state);
-        std::thread::spawn(move || {
-            let _ = handle_connection(stream, &st, addr);
-        });
-    }
-    Ok(())
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    state: &ServerState,
-    addr: std::net::SocketAddr,
-) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = state.handle_line(&line);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if shutdown {
-            // The accept loop is blocked in `accept`; poke it so it
-            // re-checks the shutdown flag and exits.
-            let _ = TcpStream::connect(addr);
-            break;
-        }
-    }
-    Ok(())
 }
 
 /// One program's serve-bench measurement.
@@ -946,6 +1019,221 @@ pub fn format_bench_serve_json(bench: &ServeBench) -> String {
         bench.source_hits,
         bench.cache.misses,
         hit_rate
+    )
+    .unwrap();
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// One connection-count stage of the `serve-load` bench.
+#[derive(Clone, Debug)]
+pub struct LoadRow {
+    /// Concurrent client connections in this stage.
+    pub conns: usize,
+    /// Requests sent across all connections.
+    pub requests: u64,
+    /// Requests answered `ok: true`.
+    pub completed: u64,
+    /// Requests shed with `overloaded`.
+    pub shed: u64,
+    /// Requests answered with any other error (should be zero: the load
+    /// generator only sends well-formed compiles).
+    pub failed: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile request latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Completed requests per second of client wall time.
+    pub throughput_rps: f64,
+}
+
+/// The `fj bench --phase serve-load` measurement: latency percentiles
+/// and shed rate vs concurrent connection count, against a live TCP
+/// server with the default pool geometry.
+#[derive(Clone, Debug)]
+pub struct LoadBench {
+    /// One row per connection count, ascending.
+    pub rows: Vec<LoadRow>,
+    /// Worker-pool size the server ran with.
+    pub workers: usize,
+    /// Request-queue capacity the server ran with.
+    pub queue_cap: usize,
+    /// Requests sent per connection per stage.
+    pub per_conn: usize,
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drive a live server with `conns` concurrent clients, each sending
+/// `per_conn` compile requests round-robin over `programs`. Each stage
+/// starts a fresh server (pre-warmed so every request is a cache hit:
+/// the bench measures the *service*, not the optimizer).
+///
+/// # Errors
+///
+/// Propagates socket-setup errors; per-request failures are counted,
+/// not raised.
+pub fn run_bench_serve_load(
+    programs: &[(String, String, String)],
+    conn_counts: &[usize],
+    per_conn: usize,
+) -> std::io::Result<LoadBench> {
+    let cfg = ServeConfig::default();
+    let mut rows = Vec::with_capacity(conn_counts.len());
+    for &conns in conn_counts {
+        let state = Arc::new(ServerState::with_config(
+            DEFAULT_SHARDS,
+            DEFAULT_SHARD_CAP,
+            cfg.clone(),
+        ));
+        // Pre-warm both cache layers so stage latency is service latency.
+        let opts = CompileOpts::default();
+        for (_, _, source) in programs {
+            let _ = state.compile_source(source, &opts);
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let server = std::thread::spawn({
+            let state = Arc::clone(&state);
+            move || serve(listener, state)
+        });
+
+        let started = Instant::now();
+        let mut clients = Vec::with_capacity(conns);
+        for c in 0..conns {
+            let programs = programs.to_vec();
+            clients.push(std::thread::spawn(move || -> std::io::Result<_> {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                let mut reader = BufReader::new(stream.try_clone()?);
+                let mut writer = stream;
+                let mut latencies = Vec::with_capacity(per_conn);
+                let (mut completed, mut shed, mut failed) = (0u64, 0u64, 0u64);
+                for i in 0..per_conn {
+                    let (_, _, source) = &programs[(c + i) % programs.len()];
+                    let mut req = Value::obj([
+                        ("op", Value::str("compile")),
+                        ("program", Value::str(source.as_str())),
+                    ])
+                    .to_string();
+                    req.push('\n');
+                    let sent = Instant::now();
+                    writer.write_all(req.as_bytes())?;
+                    writer.flush()?;
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp)?;
+                    latencies.push(sent.elapsed().as_micros() as u64);
+                    if resp.starts_with("{\"ok\": true") {
+                        completed += 1;
+                    } else if resp.contains("\"tag\": \"overloaded\"") {
+                        shed += 1;
+                    } else {
+                        failed += 1;
+                    }
+                }
+                Ok((latencies, completed, shed, failed))
+            }));
+        }
+        let mut latencies = Vec::with_capacity(conns * per_conn);
+        let (mut completed, mut shed, mut failed) = (0u64, 0u64, 0u64);
+        for client in clients {
+            let (lat, c, s, f) = client.join().expect("load client panicked")?;
+            latencies.extend(lat);
+            completed += c;
+            shed += s;
+            failed += f;
+        }
+        let elapsed = started.elapsed();
+
+        // Tear the stage's server down cleanly before the next stage.
+        if let Ok(ctl) = TcpStream::connect(addr) {
+            let mut reader = BufReader::new(ctl.try_clone()?);
+            let mut ctl = ctl;
+            let _ = ctl.write_all(b"{\"op\": \"shutdown\"}\n");
+            let mut bye = String::new();
+            let _ = reader.read_line(&mut bye);
+        }
+        let _ = server.join();
+
+        latencies.sort_unstable();
+        let requests = (conns * per_conn) as u64;
+        rows.push(LoadRow {
+            conns,
+            requests,
+            completed,
+            shed,
+            failed,
+            p50_us: percentile_us(&latencies, 0.50),
+            p90_us: percentile_us(&latencies, 0.90),
+            p99_us: percentile_us(&latencies, 0.99),
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+        });
+    }
+    Ok(LoadBench {
+        rows,
+        workers: cfg.workers,
+        queue_cap: cfg.queue_cap,
+        per_conn,
+    })
+}
+
+/// Render a [`LoadBench`] as the `BENCH_serve_load.json` snapshot.
+pub fn format_bench_serve_load_json(bench: &LoadBench) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"generated_by\": \"fj bench --phase serve-load\",").unwrap();
+    writeln!(out, "  \"unit\": \"microseconds\",").unwrap();
+    writeln!(out, "  \"workers\": {},", bench.workers).unwrap();
+    writeln!(out, "  \"queue_cap\": {},", bench.queue_cap).unwrap();
+    writeln!(out, "  \"requests_per_conn\": {},", bench.per_conn).unwrap();
+    writeln!(out, "  \"rows\": [").unwrap();
+    for (i, r) in bench.rows.iter().enumerate() {
+        let comma = if i + 1 == bench.rows.len() { "" } else { "," };
+        let shed_rate = if r.requests == 0 {
+            0.0
+        } else {
+            r.shed as f64 / r.requests as f64
+        };
+        writeln!(
+            out,
+            "    {{\"conns\": {}, \"requests\": {}, \"completed\": {}, \"shed\": {}, \
+             \"failed\": {}, \"shed_rate\": {:.4}, \"p50_us\": {}, \"p90_us\": {}, \
+             \"p99_us\": {}, \"throughput_rps\": {:.1}}}{comma}",
+            r.conns,
+            r.requests,
+            r.completed,
+            r.shed,
+            r.failed,
+            shed_rate,
+            r.p50_us,
+            r.p90_us,
+            r.p99_us,
+            r.throughput_rps
+        )
+        .unwrap();
+    }
+    writeln!(out, "  ],").unwrap();
+    let requests: u64 = bench.rows.iter().map(|r| r.requests).sum();
+    let completed: u64 = bench.rows.iter().map(|r| r.completed).sum();
+    let shed: u64 = bench.rows.iter().map(|r| r.shed).sum();
+    let failed: u64 = bench.rows.iter().map(|r| r.failed).sum();
+    writeln!(
+        out,
+        "  \"total\": {{\"requests\": {requests}, \"completed\": {completed}, \
+         \"shed\": {shed}, \"failed\": {failed}}}"
     )
     .unwrap();
     writeln!(out, "}}").unwrap();

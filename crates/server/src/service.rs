@@ -1,0 +1,550 @@
+//! The service execution model under `fj serve`: a bounded worker pool
+//! with admission control, hostile-input framing, crash-only request
+//! handling, and a graceful drain.
+//!
+//! ## Execution model
+//!
+//! ```text
+//!             ┌─ reader thread per admitted connection (≤ max_conns) ─┐
+//! accept ───> │ FrameReader: max-line enforced *while reading*,       │
+//!  loop       │ idle timeout, lossy UTF-8 — hostile bytes become      │
+//! (nonblock,  │ in-protocol `proto` errors or counted disconnects     │
+//!  backoff)   └──────────────┬────────────────────────────────────────┘
+//!                            │ try_push          (full ⇒ shed with
+//!                   ┌────────▼─────────┐          `overloaded` + retry
+//!                   │  BoundedQueue    │          hint; never queued
+//!                   └────────┬─────────┘          without limit)
+//!             ┌──────────────▼───────────────┐
+//!             │ fixed pool of `workers`      │  catch_unwind per request:
+//!             │ threads: handle_line +       │  a handler panic is an
+//!             │ catch_unwind                 │  `internal` error response,
+//!             └──────────────────────────────┘  the daemon survives
+//! ```
+//!
+//! Admission control is two-level: a **connection cap** (`max_conns`)
+//! sheds whole connections at accept time, and the **bounded request
+//! queue** sheds individual requests when every worker is busy and the
+//! queue is full. Both sheds answer in-protocol with an `overloaded`
+//! error carrying a `retry_after_ms` hint, so a well-behaved client can
+//! back off instead of seeing a silent close.
+//!
+//! Shutdown is a **drain**: the accept loop stops admitting, readers
+//! stop pulling new frames, queued requests finish, and
+//! [`serve`] returns once everything is idle or the `drain` deadline
+//! passes — whichever comes first. A worker stuck past the deadline is
+//! abandoned (crash-only exit), never waited on forever.
+
+use crate::{error_response, ServeError, ServerState};
+use fj_core::{panic_message, quiet_panics, BoundedQueue};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How often the nonblocking accept loop re-checks for connections and
+/// the shutdown flag. This replaces the old self-connect "poke": a
+/// `shutdown` request can never hang waiting for a wake-up connection
+/// that might itself be shed.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Upper bound on the accept-error backoff sleep.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// How often drain progress is re-checked during shutdown.
+const DRAIN_POLL: Duration = Duration::from_millis(5);
+
+/// Per-read poll quantum for connection reads; idle time accumulates in
+/// these steps until the configured idle timeout trips.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Tuning knobs for the serving layer (the caches are configured
+/// separately, on [`ServerState::new`]). Stored inside the
+/// [`ServerState`] so `serve` and the `stats` op see the same values.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Fixed size of the request worker pool.
+    pub workers: usize,
+    /// Bounded request-queue capacity; a full queue sheds.
+    pub queue_cap: usize,
+    /// Maximum concurrently admitted connections; excess is shed.
+    pub max_conns: usize,
+    /// Maximum request-frame length in bytes, enforced *while reading*.
+    pub max_line: usize,
+    /// Disconnect a connection that produces no complete frame for this
+    /// long (slow-loris defense).
+    pub idle_timeout: Duration,
+    /// How long `shutdown` waits for in-flight work before exiting.
+    pub drain: Duration,
+    /// Honor the `__chaos_panic` / `__chaos_sleep` fault-injection ops
+    /// (test harnesses only; off by default).
+    pub chaos: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .clamp(1, 16);
+        ServeConfig {
+            workers,
+            queue_cap: workers * 8,
+            max_conns: 256,
+            max_line: 1 << 20,
+            idle_timeout: Duration::from_secs(10),
+            drain: Duration::from_secs(2),
+            chaos: false,
+        }
+    }
+}
+
+/// Why a connection ended, counted in [`ServiceStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Disconnect {
+    /// EOF, shutdown drain, or post-`shutdown` close.
+    Clean,
+    /// A transport error mid-connection (previously discarded silently).
+    Io,
+    /// The idle timeout tripped: a slow-loris client was cut off.
+    Timeout,
+    /// A frame exceeded `max_line` and the connection was closed.
+    Oversize,
+}
+
+/// Service-layer counters. All request-level counters reconcile:
+/// `received == completed + failed + shed` once the queue is idle.
+#[derive(Default)]
+pub(crate) struct ServiceStats {
+    pub(crate) conns_accepted: AtomicU64,
+    pub(crate) conns_shed: AtomicU64,
+    pub(crate) conns_active: AtomicU64,
+    pub(crate) accept_errors: AtomicU64,
+    pub(crate) received: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    pub(crate) disc_clean: AtomicU64,
+    pub(crate) disc_io: AtomicU64,
+    pub(crate) disc_timeout: AtomicU64,
+    pub(crate) disc_oversize: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters, for tests and the
+/// `stats` op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceSnapshot {
+    /// Connections accepted by the listener (admitted + shed).
+    pub conns_accepted: u64,
+    /// Connections shed at the connection cap.
+    pub conns_shed: u64,
+    /// Connections currently admitted (gauge).
+    pub conns_active: u64,
+    /// Transient accept-loop errors (EMFILE and friends), backed off.
+    pub accept_errors: u64,
+    /// Non-empty request frames received from admitted connections.
+    pub received: u64,
+    /// Requests answered with `ok: true`.
+    pub completed: u64,
+    /// Requests answered with an in-protocol error (parse, type, …,
+    /// including `internal` panic responses).
+    pub failed: u64,
+    /// Requests shed with `overloaded` because the queue was full.
+    pub shed: u64,
+    /// Request handlers that panicked (each also counts as `failed`).
+    pub panics: u64,
+    /// Connections that ended cleanly (EOF, shutdown drain).
+    pub disc_clean: u64,
+    /// Connections that ended on a transport error.
+    pub disc_io: u64,
+    /// Connections cut off by the idle timeout.
+    pub disc_timeout: u64,
+    /// Connections closed for an oversized frame.
+    pub disc_oversize: u64,
+}
+
+impl ServiceStats {
+    pub(crate) fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_shed: self.conns_shed.load(Ordering::Relaxed),
+            conns_active: self.conns_active.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            received: self.received.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            disc_clean: self.disc_clean.load(Ordering::Relaxed),
+            disc_io: self.disc_io.load(Ordering::Relaxed),
+            disc_timeout: self.disc_timeout.load(Ordering::Relaxed),
+            disc_oversize: self.disc_oversize.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One request in flight between a reader and the worker pool.
+struct Job {
+    line: String,
+    reply: mpsc::SyncSender<(String, bool)>,
+}
+
+/// The backoff sleep after `consecutive` accept errors in a row:
+/// exponential from 1ms, capped at [`ACCEPT_BACKOFF_CAP`]. Transient
+/// resource exhaustion (EMFILE/ENFILE) degrades into slow accepting
+/// instead of a hot spin that starves the very connections whose close
+/// would free descriptors.
+pub fn accept_backoff(consecutive: u32) -> Duration {
+    let shift = consecutive.saturating_sub(1).min(16);
+    Duration::from_millis(1u64 << shift).min(ACCEPT_BACKOFF_CAP)
+}
+
+/// The `retry_after_ms` hint attached to shed responses: proportional to
+/// the queue depth per worker, clamped to a sane band.
+fn retry_hint_ms(queue_len: usize, workers: usize) -> u64 {
+    let per_worker = queue_len as u64 / workers.max(1) as u64;
+    per_worker
+        .saturating_add(1)
+        .saturating_mul(10)
+        .clamp(10, 2_000)
+}
+
+/// Serve requests on `listener` until a `shutdown` op arrives, then
+/// drain and return. The execution model is the bounded pool described
+/// in the module docs; all tuning comes from the state's
+/// [`ServeConfig`]. Blocks the calling thread.
+///
+/// # Errors
+///
+/// Propagates listener-level setup errors (nonblocking mode, local
+/// address). Per-connection errors never escape: they are counted in
+/// the service stats and end only that connection.
+pub fn serve(listener: TcpListener, state: Arc<ServerState>) -> std::io::Result<()> {
+    let cfg = state.config().clone();
+    listener.set_nonblocking(true)?;
+    let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(cfg.queue_cap));
+    let live_workers = Arc::new(AtomicU64::new(cfg.workers as u64));
+    for _ in 0..cfg.workers {
+        let q = Arc::clone(&queue);
+        let st = Arc::clone(&state);
+        let live = Arc::clone(&live_workers);
+        std::thread::spawn(move || {
+            worker_loop(&q, &st);
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+
+    let mut consecutive_errors = 0u32;
+    while !state.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                consecutive_errors = 0;
+                // One-line request/response traffic is latency-bound:
+                // without this, Nagle + delayed ACK add ~40ms per turn.
+                let _ = stream.set_nodelay(true);
+                let sv = state.service();
+                sv.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                if sv.conns_active.load(Ordering::Relaxed) >= cfg.max_conns as u64 {
+                    // Over the connection cap: shed in-protocol, close.
+                    sv.conns_shed.fetch_add(1, Ordering::Relaxed);
+                    shed_connection(stream, &queue, &cfg);
+                    continue;
+                }
+                sv.conns_active.fetch_add(1, Ordering::Relaxed);
+                let st = Arc::clone(&state);
+                let q = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    handle_connection(stream, &st, &q);
+                    st.service().conns_active.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                consecutive_errors = 0;
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                state
+                    .service()
+                    .accept_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                consecutive_errors = consecutive_errors.saturating_add(1);
+                std::thread::sleep(accept_backoff(consecutive_errors));
+            }
+        }
+    }
+
+    // Graceful drain: stop accepting (listener drops here), let admitted
+    // connections notice the flag and queued requests finish, then close
+    // the queue so idle workers exit. Past the deadline, anything still
+    // running is abandoned rather than waited on.
+    drop(listener);
+    let deadline = Instant::now() + cfg.drain;
+    while Instant::now() < deadline {
+        let idle = state.service().conns_active.load(Ordering::Relaxed) == 0 && queue.is_empty();
+        if idle {
+            break;
+        }
+        std::thread::sleep(DRAIN_POLL);
+    }
+    queue.close();
+    while live_workers.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(DRAIN_POLL);
+    }
+    Ok(())
+}
+
+/// Answer a connection shed at the connection cap with a single
+/// `overloaded` line, then close it.
+fn shed_connection(stream: TcpStream, queue: &BoundedQueue<Job>, cfg: &ServeConfig) {
+    let hint = retry_hint_ms(queue.len(), cfg.workers);
+    let e = ServeError::overloaded("connection shed: server at its connection cap", hint);
+    let mut stream = stream;
+    let _ = write_line(&mut stream, &error_response(&e));
+}
+
+/// Pull jobs until the queue closes and drains. Each request runs under
+/// `catch_unwind`: a panic becomes a structured `internal` error
+/// response and a counter bump — the worker, the connection, and the
+/// daemon all survive (crash-only requests).
+fn worker_loop(queue: &BoundedQueue<Job>, state: &ServerState) {
+    while let Some(job) = queue.pop() {
+        let run = || catch_unwind(AssertUnwindSafe(|| state.handle_line(&job.line)));
+        // Chaos harnesses inject panics on purpose; keep their reports
+        // off stderr. Real deployments keep the default hook and log.
+        let outcome = if state.config().chaos {
+            quiet_panics(run)
+        } else {
+            run()
+        };
+        let sv = state.service();
+        let (response, shutdown) = match outcome {
+            Ok(reply) => reply,
+            Err(payload) => {
+                sv.panics.fetch_add(1, Ordering::Relaxed);
+                let e = ServeError::Internal(format!(
+                    "request handler panicked: {}",
+                    panic_message(payload)
+                ));
+                (error_response(&e), false)
+            }
+        };
+        // Every response is built by `ok_response`/`error_response`, so
+        // the leading field is authoritative for the outcome counters.
+        if response.starts_with("{\"ok\": false") {
+            sv.failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            sv.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        // A dead connection can't hear the reply; the counters above
+        // already recorded the outcome.
+        let _ = job.reply.send((response, shutdown));
+    }
+}
+
+/// What one attempt to read a frame produced.
+enum Frame {
+    /// A complete newline-terminated request line (lossy UTF-8: hostile
+    /// bytes become replacement characters and fail JSON parsing
+    /// in-protocol rather than killing the connection).
+    Line(String),
+    /// Clean EOF (any partial trailing frame is discarded).
+    Eof,
+    /// No complete frame within the idle timeout.
+    Timeout,
+    /// The frame exceeded `max_line` before a newline arrived.
+    Oversize,
+    /// A transport error.
+    Io,
+    /// The server is draining; stop reading new requests.
+    Shutdown,
+}
+
+/// An incremental line framer over a blocking socket with a short read
+/// timeout. The buffer never grows past `max_line` plus one read chunk:
+/// oversized frames are rejected *while reading*, not after buffering.
+struct FrameReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+    /// Bytes of `pending` already scanned for a newline.
+    scanned: usize,
+    max_line: usize,
+    idle_timeout: Duration,
+    poll: Duration,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream, cfg: &ServeConfig) -> std::io::Result<FrameReader> {
+        let poll = READ_POLL
+            .min(cfg.idle_timeout)
+            .max(Duration::from_millis(1));
+        stream.set_read_timeout(Some(poll))?;
+        Ok(FrameReader {
+            stream,
+            pending: Vec::new(),
+            scanned: 0,
+            max_line: cfg.max_line,
+            idle_timeout: cfg.idle_timeout,
+            poll,
+        })
+    }
+
+    fn read_frame(&mut self, shutting_down: impl Fn() -> bool) -> Frame {
+        let mut idle = Duration::ZERO;
+        loop {
+            if let Some(pos) = self.pending[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                let pos = self.scanned + pos;
+                let rest = self.pending.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                self.scanned = 0;
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Frame::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            self.scanned = self.pending.len();
+            if self.pending.len() > self.max_line {
+                return Frame::Oversize;
+            }
+            // Already-buffered complete frames (pipelining) are served
+            // above even while draining; only *new* reads stop.
+            if shutting_down() {
+                return Frame::Shutdown;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Frame::Eof,
+                Ok(n) => {
+                    idle = Duration::ZERO;
+                    self.pending.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    idle += self.poll;
+                    if idle >= self.idle_timeout {
+                        return Frame::Timeout;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Frame::Io,
+            }
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    // One write per response: a trailing-newline write of its own can
+    // stall behind Nagle until the previous segment is acknowledged.
+    let mut framed = Vec::with_capacity(line.len() + 1);
+    framed.extend_from_slice(line.as_bytes());
+    framed.push(b'\n');
+    writer.write_all(&framed)?;
+    writer.flush()
+}
+
+/// Drive one admitted connection: frame requests defensively, admit them
+/// to the worker queue (or shed), write responses in order, and record
+/// why the connection ended.
+fn handle_connection(stream: TcpStream, state: &ServerState, queue: &BoundedQueue<Job>) {
+    let cfg = state.config();
+    let sv = state.service();
+    let mut framer = match stream.try_clone().and_then(|s| FrameReader::new(s, cfg)) {
+        Ok(f) => f,
+        Err(_) => {
+            sv.disc_io.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut writer = stream;
+    let reason = loop {
+        match framer.read_frame(|| state.shutting_down()) {
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                sv.received.fetch_add(1, Ordering::Relaxed);
+                let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                let job = Job {
+                    line,
+                    reply: reply_tx,
+                };
+                if queue.try_push(job).is_err() {
+                    // Admission refused: shed this request, keep the
+                    // connection — the client may back off and retry.
+                    sv.shed.fetch_add(1, Ordering::Relaxed);
+                    let hint = retry_hint_ms(queue.len(), cfg.workers);
+                    let e = ServeError::overloaded("request shed: worker queue is full", hint);
+                    if write_line(&mut writer, &error_response(&e)).is_err() {
+                        break Disconnect::Io;
+                    }
+                    continue;
+                }
+                match reply_rx.recv() {
+                    Ok((response, shutdown)) => {
+                        if write_line(&mut writer, &response).is_err() {
+                            break Disconnect::Io;
+                        }
+                        if shutdown {
+                            break Disconnect::Clean;
+                        }
+                    }
+                    // The pool was torn down mid-request (drain deadline).
+                    Err(_) => break Disconnect::Io,
+                }
+            }
+            Frame::Eof | Frame::Shutdown => break Disconnect::Clean,
+            Frame::Timeout => {
+                let e = ServeError::Proto(format!(
+                    "idle timeout: no complete request within {}ms",
+                    cfg.idle_timeout.as_millis()
+                ));
+                let _ = write_line(&mut writer, &error_response(&e));
+                break Disconnect::Timeout;
+            }
+            Frame::Oversize => {
+                let e = ServeError::Proto(format!(
+                    "request line exceeds the {}-byte frame limit",
+                    cfg.max_line
+                ));
+                let _ = write_line(&mut writer, &error_response(&e));
+                break Disconnect::Oversize;
+            }
+            Frame::Io => break Disconnect::Io,
+        }
+    };
+    let counter = match reason {
+        Disconnect::Clean => &sv.disc_clean,
+        Disconnect::Io => &sv.disc_io,
+        Disconnect::Timeout => &sv.disc_timeout,
+        Disconnect::Oversize => &sv.disc_oversize,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_grows_exponentially_and_caps() {
+        assert_eq!(accept_backoff(1), Duration::from_millis(1));
+        assert_eq!(accept_backoff(2), Duration::from_millis(2));
+        assert_eq!(accept_backoff(3), Duration::from_millis(4));
+        assert_eq!(accept_backoff(6), Duration::from_millis(32));
+        // Capped: a long error streak never sleeps unboundedly...
+        assert_eq!(accept_backoff(11), ACCEPT_BACKOFF_CAP);
+        // ...and huge streak counters don't overflow the shift.
+        assert_eq!(accept_backoff(u32::MAX), ACCEPT_BACKOFF_CAP);
+    }
+
+    #[test]
+    fn retry_hint_tracks_queue_depth() {
+        assert_eq!(retry_hint_ms(0, 4), 10);
+        assert!(retry_hint_ms(64, 4) > retry_hint_ms(8, 4));
+        assert_eq!(retry_hint_ms(usize::MAX, 1), 2_000, "hint is clamped");
+    }
+}

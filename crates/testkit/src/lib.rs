@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod codec;
 pub mod farm;
 pub mod gen;
@@ -50,6 +51,7 @@ pub mod runner;
 pub mod saboteur;
 pub mod shrink;
 
+pub use chaos::{honest_client, run_episode, ChaosConfig, Episode, EpisodeReport};
 pub use farm::{case_seed, check_routes, run_farm, FarmConfig, FarmFailure, FarmReport};
 pub use gen::{build_closed, gen, G};
 pub use oracle::{differential, DiffReport, OracleError, PassDiff};

@@ -9,10 +9,14 @@
 #   --phase optimize  the optimizer pipeline itself — per-program wall
 #                     time with a per-pass breakdown, plus serial and
 #                     parallel (optimize_many) suite totals.
+#   --phase serve-load  the compile service under concurrent load —
+#                     latency percentiles, throughput, and shed rate
+#                     per connection count against a live TCP server.
 #
-# Usage: scripts/bench.sh [--phase vm|optimize] [--iterations N]
+# Usage: scripts/bench.sh [--phase vm|optimize|serve-load] [--iterations N]
 #                         [--warmup N] [output.json]
-#        (default output: BENCH_vm.json / BENCH_opt.json per phase)
+#        (default output: BENCH_vm.json / BENCH_opt.json /
+#         BENCH_serve_load.json per phase)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,8 +44,9 @@ done
 case "$PHASE" in
   vm) OUT="${OUT:-BENCH_vm.json}" ;;
   optimize) OUT="${OUT:-BENCH_opt.json}" ;;
+  serve-load) OUT="${OUT:-BENCH_serve_load.json}" ;;
   *)
-    echo "unknown phase: $PHASE (expected vm or optimize)" >&2
+    echo "unknown phase: $PHASE (expected vm, optimize, or serve-load)" >&2
     exit 2
     ;;
 esac
@@ -84,6 +89,46 @@ if [[ "$PHASE" == vm && -f "$OUT" ]]; then
       printf "bench: geomean vm_ns ratio new/committed = %.3f over %d programs\n", ratio, n
       if (ratio > 1.10) {
         printf "bench: geomean VM time regressed %.1f%% vs the committed snapshot — not overwriting\n", \
+          (ratio - 1) * 100 > "/dev/stderr"
+        exit 1
+      }
+    }
+  ' "$OUT" "$NEW"
+fi
+
+# Regression gate (serve-load): refuse to overwrite a committed snapshot
+# if the geomean tail latency (p99 over the shared connection counts)
+# regressed more than 10%.
+if [[ "$PHASE" == serve-load && -f "$OUT" ]]; then
+  awk '
+    function record(file,   conns, p99) {
+      if (match($0, /"conns": [0-9]+/)) {
+        conns = substr($0, RSTART + 9, RLENGTH - 9)
+        if (match($0, /"p99_us": [0-9]+/)) {
+          p99 = substr($0, RSTART + 10, RLENGTH - 10)
+          tail[file "\034" conns] = p99
+          if (file == "old") { rows[++n] = conns }
+        }
+      }
+    }
+    FNR == 1 { f++ }
+    f == 1 { record("old") }
+    f == 2 { record("new") }
+    END {
+      if (n == 0) { print "bench: no p99_us rows in committed snapshot" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) {
+        conns = rows[i]
+        if (!(("new" "\034" conns) in tail)) {
+          print "bench: conns=" conns " row missing from new snapshot" > "/dev/stderr"; exit 1
+        }
+        old = tail["old" "\034" conns]; new = tail["new" "\034" conns]
+        if (old > 0 && new > 0) { lsum += log(new / old); m++ }
+      }
+      if (m == 0) { print "bench: no comparable p99 rows" > "/dev/stderr"; exit 1 }
+      ratio = exp(lsum / m)
+      printf "bench: geomean p99_us ratio new/committed = %.3f over %d rows\n", ratio, m
+      if (ratio > 1.10) {
+        printf "bench: p99 latency regressed %.1f%% vs the committed snapshot — not overwriting\n", \
           (ratio - 1) * 100 > "/dev/stderr"
         exit 1
       }

@@ -29,6 +29,11 @@ run cargo test --workspace --offline -q
 # value-preserving — on generated programs and on the whole nofib suite.
 run cargo test -p fj-testkit -p fj-nofib saboteur --offline -q
 
+# Chaos smoke: the seeded client saboteur (slow-loris, torn frames,
+# garbage, oversize, floods) against a live server — honest clients must
+# get correct answers and the service counters must reconcile exactly.
+run cargo test -p fj-server --test chaos --offline -q
+
 # Fuzz-farm smoke: a fixed-seed, time-budgeted pass over the full route
 # matrix (strict/resilient/cached/machine/VM) must agree on every case.
 # The binary exists because the test run above built it.
@@ -125,10 +130,18 @@ if [[ "$QUICK" -eq 0 ]]; then
   exec 3<>"/dev/tcp/$SERVE_HOST/$SERVE_PORT"
   printf '%s\n' "$REQ" >&3; read -r FIRST <&3
   printf '%s\n' "$REQ" >&3; read -r SECOND <&3
+  # Hostile-input smoke on the same connection: a garbage frame must map
+  # to an in-protocol `proto` error, and the connection must keep serving.
+  printf '%s\n' '}}not json at all{{' >&3; read -r GARBAGE <&3
+  printf '%s\n' "$REQ" >&3; read -r AFTER <&3
+  printf '%s\n' '{"op": "stats"}' >&3; read -r STATS <&3
   printf '%s\n' '{"op": "shutdown"}' >&3; read -r BYE <&3
   exec 3>&-
   echo "$FIRST"  | grep -q '"cache": "miss"' || { echo "verify: first serve compile was not a miss: $FIRST" >&2; exit 1; }
   echo "$SECOND" | grep -q '"cache": "hit"'  || { echo "verify: second serve compile was not a hit: $SECOND" >&2; exit 1; }
+  echo "$GARBAGE" | grep -q '"tag": "proto"' || { echo "verify: garbage frame was not a proto error: $GARBAGE" >&2; exit 1; }
+  echo "$AFTER"  | grep -q '"cache": "hit"'  || { echo "verify: connection dead after garbage frame: $AFTER" >&2; exit 1; }
+  echo "$STATS"  | grep -q '"service"'       || { echo "verify: stats lacks the service block: $STATS" >&2; exit 1; }
   echo "$BYE"    | grep -q '"shutting_down": true' || { echo "verify: serve shutdown failed: $BYE" >&2; exit 1; }
   wait "$SERVE_PID"
   trap - EXIT
@@ -147,6 +160,21 @@ if [[ "$QUICK" -eq 0 ]]; then
     }
   done
   rm -f "$SERVE_SMOKE"
+
+  # Serve-load bench smoke: the concurrency snapshot must keep its
+  # schema — percentiles, throughput, and shed accounting per row.
+  LOAD_SMOKE="$(mktemp)"
+  echo '==> ./target/release/fj bench --phase serve-load'
+  ./target/release/fj bench --phase serve-load > "$LOAD_SMOKE"
+  for key in '"generated_by"' '"workers"' '"queue_cap"' '"conns"' \
+             '"p50_us"' '"p90_us"' '"p99_us"' '"throughput_rps"' \
+             '"shed_rate"' '"total"'; do
+    grep -q "$key" "$LOAD_SMOKE" || {
+      echo "verify: BENCH_serve_load schema missing $key" >&2
+      exit 1
+    }
+  done
+  rm -f "$LOAD_SMOKE"
 fi
 
 echo "verify: all checks passed"

@@ -24,8 +24,15 @@
 //! fj bench --phase serve            # nofib compiled twice through a live
 //!                                   # compile service: cache-miss vs
 //!                                   # cache-hit latency (BENCH_serve.json)
+//! fj bench --phase serve-load       # concurrency load generator against
+//!                                   # a live service: latency percentiles
+//!                                   # and shed rate vs connection count
+//!                                   # (BENCH_serve_load.json)
 //! fj serve --port 0                 # compile service on an ephemeral
 //!                                   # port (prints the bound address)
+//! fj serve --workers 4 --queue 32   # explicit pool geometry: requests
+//!                                   # beyond the bounded queue are shed
+//!                                   # with an `overloaded` error
 //! fj fuzz --seed 1 --count 500      # fuzz farm: generated programs
 //!                                   # cross-checked over every compile
 //!                                   # route in parallel; failures are
@@ -34,8 +41,10 @@
 //! options: --baseline | -O0, --backend machine|vm, --mode name|need|value,
 //!          --fuel N, --timeout-ms N, --metrics, --resilient,
 //!          --pass-deadline-ms N, --max-growth F, --max-passes N,
-//!          --phase vm|optimize|serve, --iterations N, --warmup N (bench only),
-//!          --addr HOST:PORT, --port N, --shards N, --cache-cap N (serve only),
+//!          --phase vm|optimize|serve|serve-load, --iterations N, --warmup N
+//!          (bench only), --addr HOST:PORT, --port N, --shards N, --cache-cap N,
+//!          --workers N, --queue N, --max-conns N, --max-line BYTES,
+//!          --idle-timeout-ms N, --drain-ms N (serve only),
 //!          --seed N, --count N, --gen-depth N, --time-budget-ms N,
 //!          --corpus DIR, --no-adversarial, --sabotage MODE:PASS (fuzz only)
 //!
@@ -45,7 +54,10 @@
 //!
 //! exit codes: 0 success; 1 I/O or other runtime error; 2 usage, lexical,
 //! or parse error; 3 lowering or lint (type) error; 4 optimizer error;
-//! 5 evaluation budget exhausted (fuel or wall-clock deadline).
+//! 5 evaluation budget exhausted (fuel or wall-clock deadline). Served
+//! requests additionally use 6 (`overloaded`: request or connection shed
+//! by admission control — retry after `retry_after_ms`) and 7
+//! (`internal`: the request handler panicked) in their `code` field.
 //! ```
 
 use std::process::ExitCode;
@@ -88,16 +100,19 @@ struct Options {
     addr: String,
     shards: usize,
     cache_cap: usize,
+    serve_cfg: system_fj::server::ServeConfig,
     fuzz: FarmConfig,
 }
 
-/// What `fj bench` measures: backend execution, the optimizer itself, or
-/// the compile service's cache-miss vs cache-hit latency.
+/// What `fj bench` measures: backend execution, the optimizer itself,
+/// the compile service's cache-miss vs cache-hit latency, or the
+/// service under concurrent load (percentiles + shed rate).
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum BenchPhase {
     Vm,
     Optimize,
     Serve,
+    ServeLoad,
 }
 
 fn usage() -> ExitCode {
@@ -108,17 +123,23 @@ fn usage() -> ExitCode {
          \x20      fj report [--vm-ops]\n\
          \x20                  (nofib suite: baseline vs join points, markdown;\n\
          \x20                   --vm-ops prints the VM opcode-dispatch histogram)\n\
-         \x20      fj bench [--phase vm|optimize|serve] [--iterations N] [--warmup N]\n\
+         \x20      fj bench [--phase vm|optimize|serve|serve-load] [--iterations N]\n\
+         \x20               [--warmup N]\n\
          \x20                  (nofib suite timed, JSON on stdout)\n\
          \x20      fj serve [--addr HOST:PORT] [--port N] [--shards N] [--cache-cap N]\n\
-         \x20                  (compile service; newline-delimited JSON over TCP)\n\
+         \x20               [--workers N] [--queue N] [--max-conns N] [--max-line BYTES]\n\
+         \x20               [--idle-timeout-ms N] [--drain-ms N]\n\
+         \x20                  (compile service; newline-delimited JSON over TCP;\n\
+         \x20                   load beyond the bounded queue or connection cap is\n\
+         \x20                   shed with an `overloaded` error, code 6)\n\
          \x20      fj fuzz [--seed N] [--count N] [--gen-depth N] [--fuel N]\n\
          \x20              [--time-budget-ms N] [--corpus DIR] [--no-adversarial]\n\
          \x20              [--sabotage MODE:PASS]\n\
          \x20                  (parallel differential fuzz farm over every compile\n\
          \x20                   route; shrunk repros land in the corpus directory)\n\
          exit codes: 1 I/O or runtime, 2 usage/parse, 3 type/lint, 4 optimizer, \
-         5 fuel/deadline exhausted"
+         5 fuel/deadline exhausted (served requests also use 6 overloaded, \
+         7 internal)"
     );
     ExitCode::from(EXIT_PARSE)
 }
@@ -150,6 +171,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut addr = "127.0.0.1:7117".to_string();
     let mut shards = system_fj::core::cache::DEFAULT_SHARDS;
     let mut cache_cap = system_fj::core::cache::DEFAULT_SHARD_CAP;
+    let mut serve_cfg = system_fj::server::ServeConfig::default();
     let mut fuzz = FarmConfig {
         corpus_dir: Some("fuzz/corpus".into()),
         ..FarmConfig::default()
@@ -235,8 +257,33 @@ fn parse_args() -> Result<Options, ExitCode> {
                     Some("vm") => BenchPhase::Vm,
                     Some("optimize") => BenchPhase::Optimize,
                     Some("serve") => BenchPhase::Serve,
+                    Some("serve-load") => BenchPhase::ServeLoad,
                     _ => return Err(usage()),
                 };
+            }
+            "--workers" => {
+                let n: usize = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                serve_cfg.workers = n.max(1);
+            }
+            "--queue" => {
+                let n: usize = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                serve_cfg.queue_cap = n.max(1);
+            }
+            "--max-conns" => {
+                let n: usize = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                serve_cfg.max_conns = n.max(1);
+            }
+            "--max-line" => {
+                let n: usize = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                serve_cfg.max_line = n.max(64);
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                serve_cfg.idle_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--drain-ms" => {
+                let ms: u64 = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+                serve_cfg.drain = Duration::from_millis(ms);
             }
             "--addr" => {
                 addr = args.next().ok_or_else(usage)?;
@@ -288,6 +335,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             addr,
             shards,
             cache_cap,
+            serve_cfg,
             fuzz,
         });
     }
@@ -313,6 +361,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         addr,
         shards,
         cache_cap,
+        serve_cfg,
         fuzz,
     })
 }
@@ -357,6 +406,31 @@ fn main() -> ExitCode {
                     .collect();
                 let bench = system_fj::server::run_bench_serve(&programs);
                 print!("{}", system_fj::server::format_bench_serve_json(&bench));
+            }
+            BenchPhase::ServeLoad => {
+                let programs: Vec<(String, String, String)> = system_fj::nofib::programs()
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.name.to_string(),
+                            p.suite.name().to_string(),
+                            p.source.to_string(),
+                        )
+                    })
+                    .collect();
+                let conns = [1usize, 2, 4, 8, 16, 32];
+                match system_fj::server::run_bench_serve_load(&programs, &conns, 25) {
+                    Ok(bench) => {
+                        print!(
+                            "{}",
+                            system_fj::server::format_bench_serve_load_json(&bench)
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("fj: bench serve-load: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
             }
         }
         return ExitCode::SUCCESS;
@@ -426,9 +500,10 @@ fn main() -> ExitCode {
         // Scripts parse this line to learn the ephemeral port (`--port 0`).
         println!("fj serve: listening on {local}");
         let _ = std::io::stdout().flush();
-        let state = std::sync::Arc::new(system_fj::server::ServerState::new(
+        let state = std::sync::Arc::new(system_fj::server::ServerState::with_config(
             opts.shards,
             opts.cache_cap,
+            opts.serve_cfg,
         ));
         return match system_fj::server::serve(listener, state) {
             Ok(()) => ExitCode::SUCCESS,

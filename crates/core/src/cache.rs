@@ -1,4 +1,5 @@
-//! A sharded, content-addressed optimization cache.
+//! A sharded, content-addressed optimization cache with a byte-budgeted
+//! LRU policy, per-key single-flight, and an optional persistent tier.
 //!
 //! `fj serve` compiles the same programs over and over (editors re-check
 //! on every keystroke; CI re-runs whole suites), and the optimizer is a
@@ -24,6 +25,29 @@
 //! [`alpha_eq`](fj_ast::alpha_eq) check of the stored input term against
 //! the request — one linear walk, still orders of magnitude cheaper than
 //! a pipeline run, and it makes the cache sound rather than probabilistic.
+//! On a *verified* non-match (same key, different term) the colliding
+//! insert **replaces** the resident entry — last writer wins — so no
+//! program can be starved of caching by an unlucky fingerprint.
+//!
+//! ## Eviction: byte-budgeted LRU
+//!
+//! Entries are charged by measured size (the pipeline's censuses already
+//! count every node of both terms), each shard owns an equal slice of the
+//! [`OptCache`] byte budget, and the budget is a hard bound: an insert
+//! evicts least-recently-used entries until the new entry fits, and an
+//! entry larger than a whole shard's slice is not cached at all. A hit
+//! refreshes the entry's LRU stamp (one counter bump under the shard lock
+//! it already holds).
+//!
+//! ## Single-flight misses
+//!
+//! Concurrent misses for the same key would each run the full pipeline —
+//! the classic dogpile. Instead, the first miss registers an in-flight
+//! marker under the shard lock and becomes the *leader*; α-equal
+//! followers block on it and adopt its result (counted as `coalesced`,
+//! with the same supply advance a hit performs). If the leader's pipeline
+//! fails, waiters retry for themselves — errors are never cached and
+//! never shared.
 //!
 //! ## Name-capture safety on hits
 //!
@@ -32,6 +56,21 @@
 //! requester's supply past it
 //! ([`NameSupply::advance_past`](fj_ast::NameSupply::advance_past)) so
 //! later fresh names can never collide with names inside the adopted term.
+//!
+//! ## The persistent tier
+//!
+//! An [`OptCache`] may carry a [`CacheStore`] — a content-addressed disk
+//! tier consulted between the in-memory miss and the pipeline run, and
+//! written behind after every successful compile. The store trafficks in
+//! plain [`Expr`]s; serialization lives with the implementation (the
+//! server's store unparses to surface text and **re-lowers through the
+//! full frontend on load**). Adoption mirrors the in-memory hit
+//! discipline: the decoded input must α-match the request, the datatype
+//! environment fingerprint must match, and the decoded output must lint —
+//! so a truncated, corrupt, or stale file can only ever cost a miss,
+//! never a wrong term. A disk hit synthesizes a zero-pass
+//! [`PipelineReport`] (the censuses are real walks of the adopted terms)
+//! and populates the in-memory tier.
 //!
 //! ## Concurrency
 //!
@@ -42,27 +81,42 @@
 //! [`PipelineReport`] and runs **zero passes**.
 
 use crate::pipeline::{optimize_resilient, optimize_with_report, OptConfig};
-use crate::stats::PipelineReport;
+use crate::stats::{Census, PipelineReport};
 use crate::OptError;
 use fj_ast::{alpha_eq, alpha_fingerprint, DataEnv, Expr, FxHashMap, NameSupply};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
-/// Default number of shards ([`OptCache::new`] callers can override).
+/// Default number of shards ([`OptCache::with_budget`] callers override).
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// Default per-shard entry cap (total capacity = shards × cap).
-pub const DEFAULT_SHARD_CAP: usize = 128;
+/// Default total byte budget (64 MiB), split evenly across shards.
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// Approximate resident bytes per term node when charging entries against
+/// the budget. A core node is an enum behind an `Arc` with child vectors;
+/// 96 bytes is a deliberate overestimate so the budget errs toward
+/// evicting early rather than blowing past real memory.
+const NODE_BYTES: usize = 96;
+
+/// Fixed per-entry overhead (key, report, map slot) charged on top of the
+/// per-node cost.
+const ENTRY_OVERHEAD: usize = 256;
 
 /// The full cache key: input term (up to α-equivalence), optimizer
-/// configuration, datatype environment, and pipeline mode.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
-struct CacheKey {
-    term: u64,
-    cfg: u64,
-    env: u64,
-    resilient: bool,
+/// configuration, datatype environment, and pipeline mode. Public so
+/// [`CacheStore`] implementations can address persisted entries by it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`alpha_fingerprint`] of the input term.
+    pub term: u64,
+    /// [`OptConfig::fingerprint`] of the configuration.
+    pub cfg: u64,
+    /// [`DataEnv::fingerprint`] of the datatype environment.
+    pub env: u64,
+    /// Strict vs. resilient pipeline mode.
+    pub resilient: bool,
 }
 
 /// One memoized pipeline run.
@@ -77,58 +131,210 @@ struct CacheEntry {
     /// High-water mark of the producing name supply; adopters advance
     /// past it so their fresh names cannot collide with names in `term`.
     supply_high: u64,
+    /// Budget charge (measured node counts × [`NODE_BYTES`]).
+    bytes: usize,
+    /// LRU stamp: the cache clock value at the last hit or insert.
+    stamp: u64,
 }
 
-/// One shard: a bounded map with FIFO eviction. FIFO (not LRU) keeps the
-/// hit path free of order-list writes — a hit touches nothing but the
-/// entry itself.
+/// A successfully decoded persisted entry, pending verification.
+pub struct StoredEntry {
+    /// The re-lowered input term, to α-verify against the request.
+    pub input: Expr,
+    /// The re-lowered optimized output.
+    pub output: Expr,
+    /// Fingerprint of the datatype environment the entry decoded under;
+    /// must equal the request's or the entry is stale.
+    pub env_fingerprint: u64,
+    /// A name-supply mark past every name in `input` and `output`.
+    pub supply_high: u64,
+}
+
+/// Result of probing the persistent tier for a key.
+pub enum DiskLoad {
+    /// No persisted entry.
+    Absent,
+    /// A persisted entry exists but does not decode (truncated, garbage,
+    /// wrong format version). Counted as a verify failure; costs a miss.
+    Corrupt,
+    /// A decoded entry — still subject to α-verification, environment
+    /// fingerprint equality, and an output lint before adoption.
+    Entry(Box<StoredEntry>),
+}
+
+/// A persistent content-addressed tier beneath the in-memory cache.
+///
+/// Implementations must be infallible in the API sense: IO and decode
+/// problems surface as [`DiskLoad::Absent`]/[`DiskLoad::Corrupt`] or a
+/// `false` store result, never as panics or errors — the cache treats
+/// the tier as advisory.
+pub trait CacheStore: Send + Sync {
+    /// Probe for a persisted entry.
+    fn load(&self, key: &CacheKey) -> DiskLoad;
+    /// Persist an entry. Returns `false` on failure (e.g. a read-only
+    /// cache directory), which is counted and otherwise ignored.
+    fn store(&self, key: &CacheKey, input: &Expr, output: &Expr, env: &DataEnv) -> bool;
+}
+
+/// What a leader publishes to coalesced waiters.
+enum FlightState {
+    Pending,
+    Done(Arc<Expr>, Arc<PipelineReport>, u64),
+    Failed,
+}
+
+/// An in-flight compile for one key: the leader's input (waiters must
+/// α-match it — the key alone could collide) and the publish slot.
+struct Flight {
+    input: Arc<Expr>,
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn publish(&self, state: FlightState) {
+        *self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = state;
+        self.cv.notify_all();
+    }
+}
+
+/// One shard: a byte-bounded LRU map plus the in-flight table.
 #[derive(Default)]
 struct Shard {
     map: FxHashMap<CacheKey, CacheEntry>,
-    order: VecDeque<CacheKey>,
+    /// Sum of `bytes` over resident entries; never exceeds the shard's
+    /// slice of the budget.
+    bytes: usize,
+    inflight: FxHashMap<CacheKey, Arc<Flight>>,
+}
+
+impl Shard {
+    /// Evict least-recently-stamped entries until `need` bytes fit under
+    /// `budget`, then account for them. Returns evictions performed.
+    fn make_room(&mut self, need: usize, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes + need > budget && !self.map.is_empty() {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                if let Some(e) = self.map.remove(&oldest) {
+                    self.bytes -= e.bytes;
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
 }
 
 /// Point-in-time counters for one [`OptCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache (zero passes run).
+    /// Lookups served from the in-memory tier (zero passes run).
     pub hits: u64,
     /// Lookups that ran the pipeline and inserted the result.
     pub misses: u64,
     /// Lookups that skipped the cache entirely (tapped configuration).
     pub bypasses: u64,
-    /// Entries displaced by the per-shard capacity bound.
+    /// Lookups that adopted a concurrent leader's result instead of
+    /// running their own pipeline (single-flight; zero passes run).
+    pub coalesced: u64,
+    /// Entries displaced by the byte budget.
     pub evictions: u64,
     /// Entries currently resident, summed over shards.
     pub entries: usize,
+    /// Bytes currently charged against the budget, summed over shards.
+    pub bytes: usize,
+    /// Total byte budget.
+    pub budget: usize,
     /// Number of shards.
     pub shards: usize,
+    /// Persistent-tier probes that found a decodable entry.
+    pub disk_loads: u64,
+    /// Persistent-tier entries adopted after full verification
+    /// (zero passes run).
+    pub disk_hits: u64,
+    /// Persistent-tier probes that found nothing.
+    pub disk_misses: u64,
+    /// Persisted entries that failed decoding or verification
+    /// (truncated, garbage, stale environment, fingerprint collision).
+    pub disk_verify_failures: u64,
+    /// Entries successfully written to the persistent tier.
+    pub disk_writes: u64,
+    /// Failed persistent-tier writes (e.g. read-only directory).
+    pub disk_write_failures: u64,
 }
 
 /// A sharded content-addressed cache of optimization results. See the
-/// module docs for keying and soundness.
+/// module docs for keying, eviction, and soundness.
 pub struct OptCache {
     shards: Vec<Mutex<Shard>>,
-    shard_cap: usize,
+    /// Per-shard slice of the byte budget.
+    shard_budget: usize,
+    /// Monotonic LRU clock; every hit or insert stamps the entry.
+    clock: AtomicU64,
+    store: Option<Arc<dyn CacheStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
     bypasses: AtomicU64,
+    coalesced: AtomicU64,
     evictions: AtomicU64,
+    disk_loads: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_verify_failures: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_write_failures: AtomicU64,
+    /// Test hook: collapse every term fingerprint to one value so key
+    /// collisions become constructible.
+    #[cfg(test)]
+    collide_keys: bool,
 }
 
 impl OptCache {
-    /// A cache with `shards` independently locked shards of at most
-    /// `shard_cap` entries each. Both are clamped to at least 1.
-    pub fn new(shards: usize, shard_cap: usize) -> Self {
+    /// A cache of `shards` independently locked shards sharing a total
+    /// byte budget of `max_bytes` (each shard owns an equal slice).
+    /// Shards are clamped to at least 1; a zero budget caches nothing.
+    pub fn with_budget(shards: usize, max_bytes: usize) -> Self {
         let shards = shards.max(1);
         OptCache {
+            shard_budget: max_bytes / shards,
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
-            shard_cap: shard_cap.max(1),
+            clock: AtomicU64::new(1),
+            store: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            disk_loads: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            disk_verify_failures: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+            disk_write_failures: AtomicU64::new(0),
+            #[cfg(test)]
+            collide_keys: false,
         }
+    }
+
+    /// Attach a persistent tier (consulted on miss, written behind on
+    /// every successful pipeline run).
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<dyn CacheStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Whether a persistent tier is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
     }
 
     fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -142,50 +348,181 @@ impl OptCache {
         &self.shards[(mix as usize) % self.shards.len()]
     }
 
+    fn term_fingerprint(&self, e: &Expr) -> u64 {
+        #[cfg(test)]
+        if self.collide_keys {
+            return 0;
+        }
+        alpha_fingerprint(e)
+    }
+
     /// Current counters and occupancy.
     pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = self
+            .shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                (s.map.len(), s.bytes)
+            })
+            .fold((0, 0), |(n, b), (n2, b2)| (n + n2, b + b2));
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().unwrap().map.len())
-                .sum(),
+            entries,
+            bytes,
+            budget: self.shard_budget * self.shards.len(),
             shards: self.shards.len(),
+            disk_loads: self.disk_loads.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            disk_verify_failures: self.disk_verify_failures.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_write_failures: self.disk_write_failures.load(Ordering::Relaxed),
         }
     }
 
-    /// Drop every entry (counters are kept).
+    /// Drop every in-memory entry (counters and the persistent tier are
+    /// kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
+            let mut shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            shard.bytes = 0;
             shard.map.clear();
-            shard.order.clear();
         }
+    }
+
+    /// Insert (or, on a verified key collision, replace) an entry,
+    /// holding the byte budget invariant. Entries larger than a whole
+    /// shard slice are not cached.
+    fn insert(&self, key: CacheKey, entry: CacheEntry) {
+        let shard = self.shard_for(&key);
+        let mut guard = shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(old) = guard.map.remove(&key) {
+            // Same key, different (verified at lookup) term: replace.
+            // Last writer wins, so a colliding program is never starved.
+            guard.bytes -= old.bytes;
+        }
+        if entry.bytes > self.shard_budget {
+            return;
+        }
+        let evicted = guard.make_room(entry.bytes, self.shard_budget);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        guard.bytes += entry.bytes;
+        guard.map.insert(key, entry);
     }
 }
 
 impl Default for OptCache {
     fn default() -> Self {
-        OptCache::new(DEFAULT_SHARDS, DEFAULT_SHARD_CAP)
+        OptCache::with_budget(DEFAULT_SHARDS, DEFAULT_CACHE_BYTES)
+    }
+}
+
+/// Budget charge for one entry: measured node counts of both terms times
+/// a per-node cost, plus fixed overhead.
+fn entry_cost(report: &PipelineReport) -> usize {
+    (report.census_before.size + report.census_after.size) * NODE_BYTES + ENTRY_OVERHEAD
+}
+
+/// Removes the in-flight marker and publishes failure if the leader
+/// unwinds (error return or panic) without publishing a result, so
+/// waiters never hang on a dead flight.
+struct FlightGuard<'a> {
+    shard: &'a Mutex<Shard>,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publish success and retire the flight.
+    fn finish(mut self, term: Arc<Expr>, report: Arc<PipelineReport>, supply_high: u64) {
+        self.retire();
+        self.flight
+            .publish(FlightState::Done(term, report, supply_high));
+        self.published = true;
+    }
+
+    fn retire(&self) {
+        let mut guard = self
+            .shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Only remove our own flight (a retrying waiter may have
+        // registered a new one under the same key after a failure).
+        if let Some(f) = guard.inflight.get(&self.key) {
+            if Arc::ptr_eq(f, &self.flight) {
+                guard.inflight.remove(&self.key);
+            }
+        }
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.retire();
+            self.flight.publish(FlightState::Failed);
+        }
+    }
+}
+
+/// Outcome of waiting on another request's in-flight compile.
+enum Waited {
+    Adopted(Arc<Expr>, Arc<PipelineReport>, u64),
+    LeaderFailed,
+}
+
+fn wait_on(flight: &Flight) -> Waited {
+    let mut state = flight
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    loop {
+        match &*state {
+            FlightState::Pending => {
+                // The timeout is belt-and-braces: FlightGuard already
+                // publishes on every leader exit path.
+                let (s, _) = flight
+                    .cv
+                    .wait_timeout(state, Duration::from_secs(60))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = s;
+            }
+            FlightState::Done(term, report, high) => {
+                return Waited::Adopted(Arc::clone(term), Arc::clone(report), *high);
+            }
+            FlightState::Failed => return Waited::LeaderFailed,
+        }
     }
 }
 
 /// Optimize through the cache: serve an α-verified hit when one exists,
-/// otherwise run the pipeline (strict [`optimize_with_report`] or
-/// [`optimize_resilient`] per `resilient`) and memoize the result.
+/// otherwise coalesce onto an in-flight identical compile, otherwise
+/// consult the persistent tier, otherwise run the pipeline (strict
+/// [`optimize_with_report`] or [`optimize_resilient`] per `resilient`)
+/// and memoize the result in every tier.
 ///
-/// The returned flag is `true` exactly when the result came from the
-/// cache — in which case **zero passes ran** and `supply` was advanced
-/// past the producing run's high-water mark instead of being drawn from.
+/// The returned flag is `true` exactly when the result came from a cache
+/// tier or a coalesced flight — in which case **zero passes ran** and
+/// `supply` was advanced past the producing run's high-water mark instead
+/// of being drawn from.
 ///
 /// The input is Core-Linted before every pipeline run (misses and
 /// bypasses); verified hits skip the lint, which is sound because typing
 /// is α-invariant and the resident entry's input was linted when it was
-/// inserted.
+/// inserted. A disk adoption lints the decoded *output* instead — the
+/// file is outside the process's integrity domain.
 ///
 /// # Errors
 ///
@@ -193,6 +530,7 @@ impl Default for OptCache {
 /// otherwise exactly the errors of the underlying pipeline entry point.
 /// Failed runs are never cached (an error may be budget-dependent and
 /// transient).
+#[allow(clippy::too_many_lines)]
 pub fn optimize_cached(
     e: &Expr,
     data_env: &DataEnv,
@@ -220,19 +558,24 @@ pub fn optimize_cached(
         return Ok((Arc::new(out), Arc::new(report), false));
     };
     let key = CacheKey {
-        term: alpha_fingerprint(e),
+        term: cache.term_fingerprint(e),
         cfg: cfg_fp,
         env: data_env.fingerprint(),
         resilient,
     };
     let shard = cache.shard_for(&key);
-    {
-        let guard = shard.lock().unwrap();
-        if let Some(entry) = guard.map.get(&key) {
+    // Lookup loop: a waiter whose leader failed comes back around to try
+    // for leadership itself.
+    let flight_guard = loop {
+        let mut guard = shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(entry) = guard.map.get_mut(&key) {
             // Fingerprints can collide; only a real α-walk makes the hit
-            // sound. A collision (different term, same key) is served as
-            // a miss below without evicting the resident entry.
+            // sound. A collision (different term, same key) falls through
+            // to a pipeline run whose insert *replaces* this entry.
             if alpha_eq(e, &entry.input) {
+                entry.stamp = cache.clock.fetch_add(1, Ordering::Relaxed);
                 let hit = (Arc::clone(&entry.term), Arc::clone(&entry.report));
                 let supply_high = entry.supply_high;
                 drop(guard);
@@ -241,33 +584,131 @@ pub fn optimize_cached(
                 return Ok((hit.0, hit.1, true));
             }
         }
-    }
-    // Miss: run the pipeline outside any shard lock (a slow compile must
-    // not block unrelated lookups that happen to share the shard).
-    let (out, report) = run(supply)?;
-    cache.misses.fetch_add(1, Ordering::Relaxed);
-    let entry = CacheEntry {
-        input: Arc::new(e.clone()),
-        term: Arc::new(out),
-        report: Arc::new(report),
-        supply_high: supply.peek(),
-    };
-    let result = (Arc::clone(&entry.term), Arc::clone(&entry.report));
-    let mut guard = shard.lock().unwrap();
-    if !guard.map.contains_key(&key) {
-        while guard.map.len() >= cache.shard_cap {
-            match guard.order.pop_front() {
-                Some(oldest) => {
-                    guard.map.remove(&oldest);
-                    cache.evictions.fetch_add(1, Ordering::Relaxed);
+        if let Some(flight) = guard.inflight.get(&key) {
+            if alpha_eq(e, &flight.input) {
+                // Someone is compiling this very term: wait and adopt.
+                let flight = Arc::clone(flight);
+                drop(guard);
+                match wait_on(&flight) {
+                    Waited::Adopted(term, report, high) => {
+                        supply.advance_past(high);
+                        cache.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Ok((term, report, true));
+                    }
+                    Waited::LeaderFailed => continue,
                 }
-                None => break,
+            }
+            // Key collision with a different in-flight term: compile
+            // independently, unregistered (one flight per key).
+            drop(guard);
+            let (out, report) = run(supply)?;
+            cache.misses.fetch_add(1, Ordering::Relaxed);
+            let (term, report) = (Arc::new(out), Arc::new(report));
+            cache.insert(
+                key,
+                CacheEntry {
+                    input: Arc::new(e.clone()),
+                    term: Arc::clone(&term),
+                    report: Arc::clone(&report),
+                    supply_high: supply.peek(),
+                    bytes: entry_cost(&report),
+                    stamp: cache.clock.fetch_add(1, Ordering::Relaxed),
+                },
+            );
+            return Ok((term, report, false));
+        }
+        // No resident α-match, nothing in flight: lead.
+        let flight = Arc::new(Flight {
+            input: Arc::new(e.clone()),
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        });
+        guard.inflight.insert(key, Arc::clone(&flight));
+        break FlightGuard {
+            shard,
+            key,
+            flight,
+            published: false,
+        };
+    };
+
+    // Leader path. First give the persistent tier a chance to spare us
+    // the pipeline entirely.
+    if let Some(store) = &cache.store {
+        match store.load(&key) {
+            DiskLoad::Absent => {
+                cache.disk_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            DiskLoad::Corrupt => {
+                cache.disk_verify_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            DiskLoad::Entry(stored) => {
+                cache.disk_loads.fetch_add(1, Ordering::Relaxed);
+                // Adoption discipline: right environment, α-equal input,
+                // and a well-typed output. Anything less is a miss.
+                if stored.env_fingerprint == key.env
+                    && alpha_eq(e, &stored.input)
+                    && fj_check::lint(&stored.output, data_env).is_ok()
+                {
+                    let term = Arc::new(stored.output);
+                    let report = Arc::new(PipelineReport {
+                        census_before: Census::of(&stored.input),
+                        passes: Vec::new(),
+                        census_after: Census::of(&term),
+                        wall: Duration::ZERO,
+                        leaked_workers: 0,
+                    });
+                    supply.advance_past(stored.supply_high);
+                    cache.insert(
+                        key,
+                        CacheEntry {
+                            input: Arc::new(stored.input),
+                            term: Arc::clone(&term),
+                            report: Arc::clone(&report),
+                            supply_high: stored.supply_high,
+                            bytes: entry_cost(&report),
+                            stamp: cache.clock.fetch_add(1, Ordering::Relaxed),
+                        },
+                    );
+                    cache.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    flight_guard.finish(Arc::clone(&term), Arc::clone(&report), stored.supply_high);
+                    return Ok((term, report, true));
+                }
+                cache.disk_verify_failures.fetch_add(1, Ordering::Relaxed);
             }
         }
-        guard.order.push_back(key);
-        guard.map.insert(key, entry);
     }
-    Ok((result.0, result.1, false))
+
+    // Miss: run the pipeline outside any shard lock (a slow compile must
+    // not block unrelated lookups that happen to share the shard). An
+    // error drops `flight_guard`, which wakes waiters with `Failed`.
+    let (out, report) = run(supply)?;
+    cache.misses.fetch_add(1, Ordering::Relaxed);
+    let supply_high = supply.peek();
+    let (term, report) = (Arc::new(out), Arc::new(report));
+    let input = Arc::new(e.clone());
+    cache.insert(
+        key,
+        CacheEntry {
+            input: Arc::clone(&input),
+            term: Arc::clone(&term),
+            report: Arc::clone(&report),
+            supply_high,
+            bytes: entry_cost(&report),
+            stamp: cache.clock.fetch_add(1, Ordering::Relaxed),
+        },
+    );
+    flight_guard.finish(Arc::clone(&term), Arc::clone(&report), supply_high);
+    // Write-behind after waiters are released: persistence is advisory
+    // and must not extend the dogpile window.
+    if let Some(store) = &cache.store {
+        if store.store(&key, &input, &term, data_env) {
+            cache.disk_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            cache.disk_write_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    Ok((term, report, false))
 }
 
 #[cfg(test)]
@@ -289,6 +730,16 @@ mod tests {
             Expr::Lit(1),
         );
         Expr::lam(n, body)
+    }
+
+    /// `\x. x + <lit>` — a family of distinct same-shape programs.
+    fn keyed_program(dsl: &mut Dsl, i: i64) -> Expr {
+        use fj_ast::PrimOp;
+        let x = dsl.binder("x", Type::Int);
+        Expr::lam(
+            x.clone(),
+            Expr::prim2(PrimOp::Add, Expr::var(&x.name), Expr::Lit(i)),
+        )
     }
 
     #[test]
@@ -319,6 +770,7 @@ mod tests {
         assert!(Arc::ptr_eq(&r1, &r2), "hit shares the report allocation");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.bytes > 0 && stats.bytes <= stats.budget);
     }
 
     #[test]
@@ -386,33 +838,317 @@ mod tests {
         assert_eq!((stats.bypasses, stats.entries), (2, 0));
     }
 
+    /// Per-entry budget charge for this test family, measured — the
+    /// tests below size budgets in units of it.
+    fn one_entry_bytes() -> usize {
+        let cache = OptCache::with_budget(1, usize::MAX);
+        let mut d = Dsl::new();
+        let mut s = d.supply.clone();
+        let e = keyed_program(&mut d, 0);
+        optimize_cached(&e, &d.data_env, &mut s, &OptConfig::none(), false, &cache).unwrap();
+        cache.stats().bytes
+    }
+
     #[test]
-    fn fifo_eviction_respects_the_cap() {
-        // One shard, two slots: the third distinct program evicts the
-        // first.
-        let cache = OptCache::new(1, 2);
+    fn byte_budget_is_never_exceeded_under_churn() {
+        let unit = one_entry_bytes();
+        // Room for two entries (plus slack), then stream 40 distinct
+        // programs through: the budget must hold after every insert.
+        let budget = unit * 5 / 2;
+        let cache = OptCache::with_budget(1, budget);
+        let mut d = Dsl::new();
+        let mut s = d.supply.clone();
+        for i in 0..40 {
+            let e = keyed_program(&mut d, i);
+            optimize_cached(&e, &d.data_env, &mut s, &OptConfig::none(), false, &cache).unwrap();
+            let stats = cache.stats();
+            assert!(
+                stats.bytes <= stats.budget,
+                "budget exceeded after insert {i}: {} > {}",
+                stats.bytes,
+                stats.budget
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions >= 38, "churn must evict: {stats:?}");
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_entry_resident() {
+        let unit = one_entry_bytes();
+        let cache = OptCache::with_budget(1, unit * 5 / 2);
         let cfg = OptConfig::none();
         let mut d = Dsl::new();
         let mut s = d.supply.clone();
-        let programs: Vec<Expr> = (0..3)
-            .map(|i| {
-                let x = d.binder("x", Type::Int);
-                Expr::lam(x, Expr::Lit(i))
+        let hot = keyed_program(&mut d, 1000);
+        optimize_cached(&hot, &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+        // Cold traffic streams past; the hot entry is re-hit between
+        // every cold insert and must stay resident throughout.
+        for i in 0..10 {
+            let cold = keyed_program(&mut d, i);
+            optimize_cached(&cold, &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+            let (_, _, hit) =
+                optimize_cached(&hot, &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+            assert!(hit, "LRU must keep the repeatedly-hit entry (round {i})");
+        }
+        // Under FIFO the hot entry (oldest insert) would have been the
+        // first casualty; under LRU the evictions all hit cold entries.
+        assert!(cache.stats().evictions >= 9);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let cache = OptCache::with_budget(1, 1);
+        let mut d = Dsl::new();
+        let mut s = d.supply.clone();
+        let e = keyed_program(&mut d, 7);
+        optimize_cached(&e, &d.data_env, &mut s, &OptConfig::none(), false, &cache).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.bytes), (0, 0));
+        let (_, _, hit) =
+            optimize_cached(&e, &d.data_env, &mut s, &OptConfig::none(), false, &cache).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn colliding_keys_replace_instead_of_starving() {
+        // Two different programs forced onto one key: the second compile
+        // must still get cached (replacing the first), and each program
+        // recompiles with at most one miss afterward — no starvation.
+        let mut cache = OptCache::with_budget(1, usize::MAX);
+        cache.collide_keys = true;
+        let cfg = OptConfig::none();
+        let mut d = Dsl::new();
+        let mut s = d.supply.clone();
+        let a = keyed_program(&mut d, 1);
+        let b = keyed_program(&mut d, 2);
+        optimize_cached(&a, &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+        let (_, _, hit_b) = optimize_cached(&b, &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+        assert!(!hit_b, "colliding lookup must not serve the wrong term");
+        // b replaced a: b now hits, a misses (and replaces back).
+        let (tb, _, hit_b2) =
+            optimize_cached(&b, &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+        assert!(hit_b2, "collision victim must be cacheable (was starved)");
+        assert!(alpha_eq(&tb, &b), "replaced entry serves the right term");
+        let (ta, _, hit_a) = optimize_cached(&a, &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+        assert!(!hit_a);
+        assert!(alpha_eq(&ta, &a));
+        assert_eq!(cache.stats().entries, 1, "one key, one slot");
+    }
+
+    #[test]
+    fn concurrent_identical_misses_run_one_pipeline() {
+        use std::sync::Barrier;
+        // A deliberately slow disk probe holds the leader in its flight
+        // long enough for every waiter to arrive and coalesce.
+        struct SlowAbsent;
+        impl CacheStore for SlowAbsent {
+            fn load(&self, _: &CacheKey) -> DiskLoad {
+                std::thread::sleep(Duration::from_millis(150));
+                DiskLoad::Absent
+            }
+            fn store(&self, _: &CacheKey, _: &Expr, _: &Expr, _: &DataEnv) -> bool {
+                true
+            }
+        }
+        const N: usize = 8;
+        let cache = Arc::new(
+            OptCache::with_budget(4, DEFAULT_CACHE_BYTES).with_store(Arc::new(SlowAbsent)),
+        );
+        let barrier = Arc::new(Barrier::new(N));
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut d = Dsl::new();
+                    let e = program(&mut d);
+                    let mut s = d.supply;
+                    barrier.wait();
+                    let (term, report, _) = optimize_cached(
+                        &e,
+                        &d.data_env,
+                        &mut s,
+                        &OptConfig::join_points(),
+                        false,
+                        &cache,
+                    )
+                    .unwrap();
+                    // Fresh names drawn after adoption must be past the
+                    // producer's supply regardless of who compiled.
+                    let high = s.peek();
+                    (term, report, high)
+                })
             })
             .collect();
-        for p in &programs {
-            optimize_cached(p, &d.data_env, &mut s, &cfg, false, &cache).unwrap();
-        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let stats = cache.stats();
-        assert_eq!((stats.entries, stats.evictions), (2, 1));
-        // Oldest entry gone: recompiling it misses again.
-        let (_, _, hit) =
-            optimize_cached(&programs[0], &d.data_env, &mut s, &cfg, false, &cache).unwrap();
+        assert_eq!(stats.misses, 1, "exactly one pipeline run: {stats:?}");
+        assert_eq!(
+            stats.hits + stats.coalesced,
+            (N - 1) as u64,
+            "everyone else adopts: {stats:?}"
+        );
+        assert!(
+            stats.coalesced >= 1,
+            "slow leader must have coalesced waiters: {stats:?}"
+        );
+        for (term, report, _) in &results[1..] {
+            assert!(alpha_eq(term, &results[0].0));
+            assert!(Arc::ptr_eq(report, &results[0].1));
+        }
+    }
+
+    #[test]
+    fn leader_failure_wakes_waiters_who_then_retry() {
+        // An ill-typed term fails in lint for leader and waiters alike;
+        // nobody hangs, nothing is cached.
+        struct SlowAbsent;
+        impl CacheStore for SlowAbsent {
+            fn load(&self, _: &CacheKey) -> DiskLoad {
+                std::thread::sleep(Duration::from_millis(100));
+                DiskLoad::Absent
+            }
+            fn store(&self, _: &CacheKey, _: &Expr, _: &Expr, _: &DataEnv) -> bool {
+                true
+            }
+        }
+        use std::sync::Barrier;
+        const N: usize = 4;
+        let cache = Arc::new(
+            OptCache::with_budget(1, DEFAULT_CACHE_BYTES).with_store(Arc::new(SlowAbsent)),
+        );
+        let barrier = Arc::new(Barrier::new(N));
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut d = Dsl::new();
+                    // `x` unbound: lint fails.
+                    let x = d.name("x");
+                    let e = Expr::var(&x);
+                    let mut s = d.supply;
+                    barrier.wait();
+                    optimize_cached(
+                        &e,
+                        &d.data_env,
+                        &mut s,
+                        &OptConfig::join_points(),
+                        false,
+                        &cache,
+                    )
+                    .is_err()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap(), "every request must see the error");
+        }
+        assert_eq!(cache.stats().entries, 0, "errors are never cached");
+    }
+
+    #[test]
+    fn disk_tier_round_trips_through_a_memory_wipe() {
+        // An in-process store: the persistence contract without IO.
+        // (File-level robustness lives in the server's persist tests.)
+        #[derive(Default)]
+        struct MemStore {
+            map: Mutex<FxHashMap<CacheKey, (Expr, Expr, u64)>>,
+        }
+        impl CacheStore for MemStore {
+            fn load(&self, key: &CacheKey) -> DiskLoad {
+                match self.map.lock().unwrap().get(key) {
+                    Some((input, output, env)) => DiskLoad::Entry(Box::new(StoredEntry {
+                        input: input.clone(),
+                        output: output.clone(),
+                        env_fingerprint: *env,
+                        // A real store re-lowers and takes the fresh
+                        // supply's mark; a conservative constant is fine
+                        // for an in-process test double.
+                        supply_high: 1 << 20,
+                    })),
+                    None => DiskLoad::Absent,
+                }
+            }
+            fn store(&self, key: &CacheKey, input: &Expr, output: &Expr, env: &DataEnv) -> bool {
+                self.map
+                    .lock()
+                    .unwrap()
+                    .insert(*key, (input.clone(), output.clone(), env.fingerprint()));
+                true
+            }
+        }
+        let store = Arc::new(MemStore::default());
+        let cfg = OptConfig::join_points();
+        let cache1 =
+            OptCache::with_budget(4, DEFAULT_CACHE_BYTES).with_store(Arc::clone(&store) as _);
+        let mut d1 = Dsl::new();
+        let e1 = program(&mut d1);
+        let mut s1 = d1.supply;
+        let (t1, _, hit) =
+            optimize_cached(&e1, &d1.data_env, &mut s1, &cfg, false, &cache1).unwrap();
         assert!(!hit);
-        // Newest still resident.
-        let (_, _, hit) =
-            optimize_cached(&programs[2], &d.data_env, &mut s, &cfg, false, &cache).unwrap();
-        assert!(hit);
+        assert_eq!(cache1.stats().disk_writes, 1);
+
+        // A "restarted" cache: same store, empty memory.
+        let cache2 = OptCache::with_budget(4, DEFAULT_CACHE_BYTES).with_store(store as _);
+        let mut d2 = Dsl::new();
+        let e2 = program(&mut d2);
+        let mut s2 = d2.supply;
+        let (t2, r2, hit2) =
+            optimize_cached(&e2, &d2.data_env, &mut s2, &cfg, false, &cache2).unwrap();
+        assert!(hit2, "restart must be warm");
+        assert!(alpha_eq(&t1, &t2));
+        assert!(r2.passes.is_empty(), "disk hit runs zero passes");
+        let stats = cache2.stats();
+        assert_eq!((stats.disk_hits, stats.disk_loads, stats.misses), (1, 1, 0));
+        // And the adoption populated the memory tier.
+        let (_, _, hit3) =
+            optimize_cached(&e2, &d2.data_env, &mut s2, &cfg, false, &cache2).unwrap();
+        assert!(hit3);
+        assert_eq!(cache2.stats().hits, 1);
+    }
+
+    #[test]
+    fn stale_disk_entries_are_rejected() {
+        // A store that answers every probe with a *different* program's
+        // entry — α-verification must refuse it and fall back to the
+        // pipeline.
+        struct WrongEntry;
+        impl CacheStore for WrongEntry {
+            fn load(&self, _: &CacheKey) -> DiskLoad {
+                let mut d = Dsl::new();
+                let other = keyed_program(&mut d, 777_777);
+                DiskLoad::Entry(Box::new(StoredEntry {
+                    input: other.clone(),
+                    output: other,
+                    env_fingerprint: 0,
+                    supply_high: 1_000_000,
+                }))
+            }
+            fn store(&self, _: &CacheKey, _: &Expr, _: &Expr, _: &DataEnv) -> bool {
+                true
+            }
+        }
+        let cache = OptCache::with_budget(1, DEFAULT_CACHE_BYTES).with_store(Arc::new(WrongEntry));
+        let mut d = Dsl::new();
+        let e = program(&mut d);
+        let mut s = d.supply;
+        let (t, _, hit) = optimize_cached(
+            &e,
+            &d.data_env,
+            &mut s,
+            &OptConfig::join_points(),
+            false,
+            &cache,
+        )
+        .unwrap();
+        assert!(!hit, "stale entry must cost a miss, not serve a wrong term");
+        assert!(!alpha_eq(&t, &e) || t.size() <= e.size());
+        let stats = cache.stats();
+        assert_eq!((stats.disk_verify_failures, stats.misses), (1, 1));
     }
 
     #[test]

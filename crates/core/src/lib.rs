@@ -74,7 +74,10 @@ mod pipeline;
 #[cfg(test)]
 mod tests;
 
-pub use cache::{optimize_cached, CacheStats, OptCache};
+pub use cache::{
+    optimize_cached, CacheKey, CacheStats, CacheStore, DiskLoad, OptCache, StoredEntry,
+    DEFAULT_CACHE_BYTES, DEFAULT_SHARDS,
+};
 pub use contify::{contify, contify_counting};
 pub use cse::{cse, CseOutcome};
 pub use erase::{erase, is_commuting_normal};

@@ -31,7 +31,7 @@ fn served_compiles_match_serial_and_batch_on_every_program() {
     for (preset, cfg) in presets {
         // One server per preset: every program lands in the same cache,
         // so the hot pass also exercises shard routing under load.
-        let server = ServerState::new(4, 64);
+        let server = ServerState::new(4, 16 << 20);
         let opts = opts_for(preset);
 
         // Route 1: serial, the reference.
@@ -183,7 +183,7 @@ def main : Int =
     \\(n : Int) (acc : Int) -> if n <= 0 then acc else loop (n - 1) (acc + n)
   in loop 10 0;
 ";
-    let server = ServerState::new(1, 16);
+    let server = ServerState::new(1, 16 << 20);
     let jp = opts_for("join-points");
 
     let first = server.compile_source(original, &jp).unwrap();
@@ -326,7 +326,7 @@ fn fusion_matrix_serves_with_exact_allocation_bars() {
         ("join-points", OptConfig::join_points()),
         ("baseline", OptConfig::baseline()),
     ] {
-        let server = ServerState::new(2, 64);
+        let server = ServerState::new(2, 16 << 20);
         let opts = opts_for(preset);
         for v in [StepVariant::Skipless, StepVariant::Skip] {
             for workload in WORKLOADS {
@@ -343,8 +343,7 @@ fn fusion_matrix_serves_with_exact_allocation_bars() {
 
                     // Served route: unparse to surface text, compile it
                     // through the service.
-                    let src = fj_surface::unparse_main(&e)
-                        .unwrap_or_else(|err| panic!("{tag}: unparse: {err}"));
+                    let src = fj_surface::unparse_main(&e);
                     let served = server
                         .compile_source(&src, &opts)
                         .unwrap_or_else(|err| panic!("{tag}: serve: {}", err.message()));
@@ -398,7 +397,7 @@ def main : Int =
   letrec go : Int -> Int = \\(n : Int) -> if n <= 0 then 0 else go (n - 1)
   in go 3;
 ";
-    let server = ServerState::new(1, 16);
+    let server = ServerState::new(1, 16 << 20);
     let opts = opts_for("join-points");
     server.compile_source(src, &opts).unwrap();
     let hit = server.compile_source(src, &opts).unwrap();
@@ -409,4 +408,100 @@ def main : Int =
     let erased = fj_core::erase(&hit.term, &hit.data_env, &mut supply)
         .expect("erasure after a cache hit must stay well-typed");
     assert_ne!(alpha_fingerprint(&erased), 0);
+}
+
+/// ISSUE acceptance: warm restarts. A server with a `--cache-dir`
+/// persists every compile; a *new* server process over the same
+/// directory — both in-memory layers empty — must answer each program
+/// with a verified disk hit: zero optimizer passes, a term α-equal to
+/// the cold compile, and identical machine **and** VM allocation
+/// counters.
+#[test]
+fn restarted_server_serves_alpha_equal_terms_from_disk() {
+    use fj_server::FileStore;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("fj-restart-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = || Arc::new(FileStore::open(&dir).expect("cache dir"));
+    let opts = opts_for("join-points");
+    let counters = |m: &fj_eval::Metrics| (m.let_allocs, m.arg_allocs, m.con_allocs, m.jumps);
+
+    // Cold generation: one server writes the whole suite through.
+    let cold_server = ServerState::new(2, 16 << 20).with_store(store());
+    let mut cold_terms = Vec::new();
+    for p in programs() {
+        let c = cold_server
+            .compile_source(p.source, &opts)
+            .unwrap_or_else(|e| panic!("{}: cold: {}", p.name, e.message()));
+        assert_eq!(c.cache, CacheDisposition::Miss, "{}", p.name);
+        cold_terms.push(c.term);
+    }
+    assert_eq!(
+        cold_server.cache_stats().disk_writes,
+        programs().len() as u64,
+        "every cold compile must persist"
+    );
+
+    // Restart: fresh state, same directory.
+    let warm_server = ServerState::new(2, 16 << 20).with_store(store());
+    for (p, cold_term) in programs().iter().zip(&cold_terms) {
+        let c = warm_server
+            .compile_source(p.source, &opts)
+            .unwrap_or_else(|e| panic!("{}: warm: {}", p.name, e.message()));
+        assert_eq!(
+            c.cache,
+            CacheDisposition::Hit,
+            "{}: restart must hit from disk",
+            p.name
+        );
+        assert!(
+            c.report.passes.is_empty(),
+            "{}: a disk hit runs zero optimizer passes",
+            p.name
+        );
+        assert!(
+            alpha_eq(&c.term, cold_term),
+            "{}: restarted term must be α-equal to the cold compile",
+            p.name
+        );
+        let cold_m = fj_eval::run(cold_term, EvalMode::CallByValue, FUEL)
+            .unwrap_or_else(|e| panic!("{}: machine(cold): {e}", p.name));
+        let warm_m = fj_eval::run(&c.term, EvalMode::CallByValue, FUEL)
+            .unwrap_or_else(|e| panic!("{}: machine(warm): {e}", p.name));
+        let warm_v = fj_vm::run(&c.term, EvalMode::CallByValue, VM_FUEL)
+            .unwrap_or_else(|e| panic!("{}: vm(warm): {e}", p.name));
+        assert_eq!(
+            cold_m.value.to_string(),
+            warm_m.value.to_string(),
+            "{}",
+            p.name
+        );
+        assert_eq!(
+            cold_m.value.to_string(),
+            warm_v.value.to_string(),
+            "{}",
+            p.name
+        );
+        assert_eq!(
+            counters(&cold_m.metrics),
+            counters(&warm_m.metrics),
+            "{}: machine counters must match the cold compile",
+            p.name
+        );
+        assert_eq!(
+            counters(&cold_m.metrics),
+            counters(&warm_v.metrics),
+            "{}: VM counters must match the cold compile",
+            p.name
+        );
+    }
+    let stats = warm_server.cache_stats();
+    assert_eq!(
+        stats.disk_hits,
+        programs().len() as u64,
+        "every restart compile is a disk hit: {stats:?}"
+    );
+    assert_eq!(stats.misses, 0, "no pipeline ran after restart: {stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

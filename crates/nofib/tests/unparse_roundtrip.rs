@@ -1,0 +1,50 @@
+//! The persistent cache serializes terms as surface text and re-lowers
+//! them on load, so `unparse_entry → parse_entry → lower_entry` must be
+//! the identity up to α-equivalence on *optimizer output* — join points,
+//! jumps, negative literals and all. This pins that contract across the
+//! whole nofib suite under both real pipelines (the surface crate's unit
+//! tests cover the constructs individually; this covers them at scale).
+
+use fj_core::OptConfig;
+
+#[test]
+fn every_optimized_nofib_term_round_trips_alpha_equal() {
+    for (preset, cfg) in [
+        ("join-points", OptConfig::join_points()),
+        ("baseline", OptConfig::baseline()),
+    ] {
+        for p in fj_nofib::programs() {
+            let mut lowered = fj_surface::compile(p.source).unwrap();
+            let (opt, _) = fj_core::optimize_with_report(
+                &lowered.expr,
+                &lowered.data_env,
+                &mut lowered.supply,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("{} [{preset}]: optimize: {e}", p.name));
+            let text = fj_surface::unparse_entry(&opt, &lowered.data_env);
+            let toks = fj_surface::lex(&text)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: lex: {e}", p.name));
+            let (datas, expr) = fj_surface::parse_entry(&toks)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: parse: {e}", p.name));
+            let re = fj_surface::lower_entry(&datas, &expr)
+                .unwrap_or_else(|e| panic!("{} [{preset}]: lower: {e}", p.name));
+            assert!(
+                fj_ast::alpha_eq(&opt, &re.expr),
+                "{} [{preset}]: unparse/relower changed the term",
+                p.name
+            );
+            assert_eq!(
+                lowered.data_env.fingerprint(),
+                re.data_env.fingerprint(),
+                "{} [{preset}]: datatype environment must survive",
+                p.name
+            );
+            // The re-lowered input must also still lint: adoption
+            // re-checks this before serving a disk entry.
+            fj_check::lint(&re.expr, &re.data_env).unwrap_or_else(|e| {
+                panic!("{} [{preset}]: relowered term fails lint: {e}", p.name)
+            });
+        }
+    }
+}

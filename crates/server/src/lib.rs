@@ -10,6 +10,16 @@
 //! the second compile of any program is a cache hit that runs **zero
 //! optimizer passes**.
 //!
+//! Three cache tiers stack under the service: a sharded, byte-budgeted
+//! LRU **textual front cache** (a byte-identical recompile is a refcount
+//! bump), the byte-budgeted LRU **term cache** above, and an optional
+//! **persistent tier** ([`persist::FileStore`], `--cache-dir`) that
+//! stores entries as unparsed source and re-lowers, α-verifies, and
+//! lints them on load — so a restarted daemon is warm from request one,
+//! and a corrupt or stale file can only cost a miss, never a wrong
+//! term. `--cache-bytes` budgets each in-memory layer; concurrent
+//! identical misses are single-flighted by the term cache.
+//!
 //! ## Protocol
 //!
 //! Requests are JSON objects with an `"op"` field:
@@ -52,12 +62,14 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod persist;
 pub mod service;
 
+pub use persist::FileStore;
 pub use service::{accept_backoff, serve, ServeConfig, ServiceSnapshot};
 
 use fj_ast::{alpha_fingerprint, DataEnv, Expr, NameSupply};
-use fj_core::cache::{OptCache, DEFAULT_SHARDS, DEFAULT_SHARD_CAP};
+use fj_core::cache::{CacheStore, OptCache, DEFAULT_CACHE_BYTES, DEFAULT_SHARDS};
 use fj_core::stats::PipelineReport;
 use fj_core::{
     leaked_guard_workers, optimize_cached, optimize_resilient, optimize_with_report, BudgetKind,
@@ -318,14 +330,27 @@ struct SourceEntry {
     report: Arc<PipelineReport>,
     data_env: Arc<DataEnv>,
     supply: NameSupply,
+    /// Budget charge: source bytes plus an estimate of both terms.
+    bytes: usize,
+    /// LRU stamp (the server's source clock at the last hit or insert).
+    stamp: u64,
 }
 
-/// FIFO-bounded map from exact source text to compiled results.
+/// One shard of the textual front cache: a byte-bounded LRU map.
 #[derive(Default)]
 struct SourceShard {
     map: std::collections::HashMap<SourceKey, SourceEntry>,
-    order: std::collections::VecDeque<SourceKey>,
+    /// Sum of `bytes` over resident entries; bounded by the per-shard
+    /// slice of the budget.
+    bytes: usize,
 }
+
+/// Per-node byte estimate when charging a source entry's retained terms
+/// against the budget (mirrors the term cache's own accounting).
+const SOURCE_NODE_BYTES: usize = 96;
+
+/// Fixed overhead charged per source entry.
+const SOURCE_ENTRY_OVERHEAD: usize = 256;
 
 fn source_hash(source: &str) -> u64 {
     use std::hash::{Hash, Hasher};
@@ -349,8 +374,11 @@ fn source_hash(source: &str) -> u64 {
 /// either hit is reported as `"cache": "hit"` on the wire.
 pub struct ServerState {
     cache: OptCache,
-    sources: Mutex<SourceShard>,
-    source_cap: usize,
+    sources: Vec<Mutex<SourceShard>>,
+    /// Per-shard slice of the textual layer's byte budget.
+    source_budget: usize,
+    /// Monotonic LRU clock for the textual layer.
+    source_clock: AtomicU64,
     source_hits: AtomicU64,
     requests: AtomicU64,
     started: Instant,
@@ -360,21 +388,25 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    /// A server with an [`OptCache`] of `shards` × `shard_cap` entries
-    /// (the textual front cache gets the same total capacity) and the
-    /// default service geometry.
-    pub fn new(shards: usize, shard_cap: usize) -> ServerState {
-        ServerState::with_config(shards, shard_cap, ServeConfig::default())
+    /// A server whose [`OptCache`] spans `shards` shards under a
+    /// `cache_bytes` byte budget (the textual front cache gets an equal
+    /// budget of its own) and the default service geometry.
+    pub fn new(shards: usize, cache_bytes: usize) -> ServerState {
+        ServerState::with_config(shards, cache_bytes, ServeConfig::default())
     }
 
     /// A server with explicit cache geometry *and* service tuning
     /// (worker pool size, queue capacity, connection cap, frame limit,
     /// idle timeout, drain deadline).
-    pub fn with_config(shards: usize, shard_cap: usize, config: ServeConfig) -> ServerState {
+    pub fn with_config(shards: usize, cache_bytes: usize, config: ServeConfig) -> ServerState {
+        let shards = shards.max(1);
         ServerState {
-            cache: OptCache::new(shards, shard_cap),
-            sources: Mutex::new(SourceShard::default()),
-            source_cap: shards.max(1) * shard_cap.max(1),
+            cache: OptCache::with_budget(shards, cache_bytes),
+            sources: (0..shards)
+                .map(|_| Mutex::new(SourceShard::default()))
+                .collect(),
+            source_budget: cache_bytes / shards,
+            source_clock: AtomicU64::new(1),
             source_hits: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             started: Instant::now(),
@@ -386,7 +418,16 @@ impl ServerState {
 
     /// A server with the default cache geometry.
     pub fn with_defaults() -> ServerState {
-        ServerState::new(DEFAULT_SHARDS, DEFAULT_SHARD_CAP)
+        ServerState::new(DEFAULT_SHARDS, DEFAULT_CACHE_BYTES)
+    }
+
+    /// Attach a persistent cache tier (e.g. a [`FileStore`]): probed on
+    /// term-cache misses, written behind on every successful pipeline
+    /// run, so a restarted server is warm from its first request.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<dyn CacheStore>) -> ServerState {
+        self.cache = std::mem::take(&mut self.cache).with_store(store);
+        self
     }
 
     /// The service tuning this server runs with.
@@ -409,12 +450,17 @@ impl ServerState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// The textual-cache lock, surviving poisoning: a panicking request
-    /// handler (isolated by the crash-only worker pool) must degrade to
-    /// an `internal` error for *that* request, not wedge every future
-    /// cache lookup behind a poisoned mutex.
-    fn lock_sources(&self) -> MutexGuard<'_, SourceShard> {
-        self.sources.lock().unwrap_or_else(PoisonError::into_inner)
+    /// The shard lock for one source key, surviving poisoning: a
+    /// panicking request handler (isolated by the crash-only worker
+    /// pool) must degrade to an `internal` error for *that* request, not
+    /// wedge every future cache lookup behind a poisoned mutex.
+    fn lock_sources(&self, key: &SourceKey) -> MutexGuard<'_, SourceShard> {
+        let mix = key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(13)
+            ^ key.1.rotate_left(29)
+            ^ u64::from(key.2);
+        self.sources[(mix as usize) % self.sources.len()]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Cache counters (hits, misses, evictions, occupancy) for the
@@ -429,12 +475,13 @@ impl ServerState {
     }
 
     fn source_lookup(&self, key: SourceKey, source: &str) -> Option<Compiled> {
-        let shard = self.lock_sources();
-        let entry = shard.map.get(&key)?;
+        let mut shard = self.lock_sources(&key);
+        let entry = shard.map.get_mut(&key)?;
         // The hash key can collide; the stored text makes the hit exact.
         if entry.source != source {
             return None;
         }
+        entry.stamp = self.source_clock.fetch_add(1, Ordering::Relaxed);
         Some(Compiled {
             term: Arc::clone(&entry.term),
             report: Arc::clone(&entry.report),
@@ -445,18 +492,36 @@ impl ServerState {
     }
 
     fn source_insert(&self, key: SourceKey, source: &str, compiled: &Compiled) {
-        let mut shard = self.lock_sources();
-        if shard.map.contains_key(&key) {
+        let cost = source.len()
+            + (compiled.report.census_before.size + compiled.report.census_after.size)
+                * SOURCE_NODE_BYTES
+            + SOURCE_ENTRY_OVERHEAD;
+        if cost > self.source_budget {
             return;
         }
-        while shard.map.len() >= self.source_cap {
-            match shard.order.pop_front() {
-                Some(oldest) => {
-                    shard.map.remove(&oldest);
+        let mut shard = self.lock_sources(&key);
+        // This insert only runs after a full compile, i.e. after
+        // `source_lookup` declined — either the key is vacant or it holds
+        // a *different* source that hashed onto it. Replacing (rather
+        // than keeping the incumbent) means a collision can never starve
+        // a program of caching: last writer wins.
+        if let Some(old) = shard.map.remove(&key) {
+            shard.bytes -= old.bytes;
+        }
+        // Byte-budgeted LRU, matching the term cache's policy.
+        while shard.bytes + cost > self.source_budget && !shard.map.is_empty() {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                if let Some(e) = shard.map.remove(&oldest) {
+                    shard.bytes -= e.bytes;
                 }
-                None => break,
             }
         }
+        shard.bytes += cost;
         shard.map.insert(
             key,
             SourceEntry {
@@ -465,9 +530,22 @@ impl ServerState {
                 report: Arc::clone(&compiled.report),
                 data_env: Arc::clone(&compiled.data_env),
                 supply: compiled.supply.clone(),
+                bytes: cost,
+                stamp: self.source_clock.fetch_add(1, Ordering::Relaxed),
             },
         );
-        shard.order.push_back(key);
+    }
+
+    /// Occupancy of the textual front cache: `(entries, bytes)` summed
+    /// over shards.
+    pub fn source_occupancy(&self) -> (usize, usize) {
+        self.sources
+            .iter()
+            .map(|s| {
+                let s = s.lock().unwrap_or_else(PoisonError::into_inner);
+                (s.map.len(), s.bytes)
+            })
+            .fold((0, 0), |(n, b), (n2, b2)| (n + n2, b + b2))
     }
 
     /// Frontend + optimizer for one source program, through both cache
@@ -779,6 +857,7 @@ impl ServerState {
 
     fn op_stats(&self) -> String {
         let cache = self.cache.stats();
+        let (source_entries, source_bytes) = self.source_occupancy();
         let sv = self.service.snapshot();
         ok_response([
             (
@@ -792,9 +871,26 @@ impl ServerState {
                     ("source_hits", Value::num(self.source_hits())),
                     ("misses", Value::num(cache.misses)),
                     ("bypasses", Value::num(cache.bypasses)),
+                    ("coalesced", Value::num(cache.coalesced)),
                     ("evictions", Value::num(cache.evictions)),
                     ("entries", Value::num(cache.entries as u64)),
+                    ("bytes", Value::num(cache.bytes as u64)),
+                    ("budget", Value::num(cache.budget as u64)),
                     ("shards", Value::num(cache.shards as u64)),
+                    ("source_entries", Value::num(source_entries as u64)),
+                    ("source_bytes", Value::num(source_bytes as u64)),
+                ]),
+            ),
+            (
+                "disk",
+                Value::obj([
+                    ("enabled", Value::Bool(self.cache.has_store())),
+                    ("hits", Value::num(cache.disk_hits)),
+                    ("misses", Value::num(cache.disk_misses)),
+                    ("loads", Value::num(cache.disk_loads)),
+                    ("writes", Value::num(cache.disk_writes)),
+                    ("verify_failures", Value::num(cache.disk_verify_failures)),
+                    ("write_failures", Value::num(cache.disk_write_failures)),
                 ]),
             ),
             (
@@ -897,6 +993,10 @@ pub struct ServeBenchRow {
     /// Textual hit: byte-identical source, pure refcount bump (best of
     /// three).
     pub hot_ns: u128,
+    /// Restart-warm: the first compile on a *fresh* server sharing the
+    /// first server's cache directory — both memory layers cold, served
+    /// by a verified disk hit (frontend + α-check + lint, zero passes).
+    pub restart_ns: u128,
 }
 
 /// The `fj bench --phase serve` measurement: per-program cold (miss) vs
@@ -906,19 +1006,38 @@ pub struct ServeBenchRow {
 pub struct ServeBench {
     /// Per-program rows, in input order.
     pub rows: Vec<ServeBenchRow>,
-    /// Term-cache counters at the end of the run.
+    /// Term-cache counters at the end of the run (first server).
     pub cache: CacheStats,
-    /// Textual front-cache hits at the end of the run.
+    /// Textual front-cache hits at the end of the run (first server).
     pub source_hits: u64,
+    /// Counters of the restarted server: its `disk_hits` is the number
+    /// of programs served warm from the persistent tier.
+    pub restart_cache: CacheStats,
 }
 
-/// Measure cold/warm/hot compile latency for `(name, suite, source)`
-/// programs through a fresh server. Programs that fail to compile are
-/// skipped (the bench measures the cache, not the frontend).
+/// Measure cold/warm/hot/restart compile latency for
+/// `(name, suite, source)` programs. Cold/warm/hot run through a fresh
+/// *storeless* server so those rows measure exactly what they always
+/// did (no write-behind fsync in the cold path); a second, untimed
+/// server then populates a scratch cache directory, and a third fresh
+/// server sharing that directory measures the restart-warm row.
+/// Programs that fail to compile are skipped (the bench measures the
+/// cache, not the frontend).
 pub fn run_bench_serve(programs: &[(String, String, String)]) -> ServeBench {
+    // A scratch persistent tier so the bench can measure a restart.
+    let dir = std::env::temp_dir().join(format!("fj-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FileStore::open(&dir).ok().map(Arc::new);
+    let with_store = |mut state: ServerState| {
+        if let Some(store) = &store {
+            state = state.with_store(Arc::clone(store) as Arc<dyn CacheStore>);
+        }
+        state
+    };
     let state = ServerState::with_defaults();
     let opts = CompileOpts::default();
     let mut rows = Vec::with_capacity(programs.len());
+    let mut survivors = Vec::with_capacity(programs.len());
     for (name, suite, source) in programs {
         let cold_started = Instant::now();
         let cold = state.compile_source(source, &opts);
@@ -951,13 +1070,36 @@ pub fn run_bench_serve(programs: &[(String, String, String)]) -> ServeBench {
             cold_ns,
             warm_ns,
             hot_ns,
+            restart_ns: 0,
         });
+        survivors.push(source.clone());
     }
-    ServeBench {
+    // Populate the persistent tier (untimed): a store-backed server
+    // compiles every survivor cold, paying the write-behind here so the
+    // timed rows above and below never include a disk write.
+    let populate = with_store(ServerState::with_defaults());
+    for source in &survivors {
+        let _ = populate.compile_source(source, &opts);
+    }
+    // Restart: a fresh server, memory layers empty, same cache
+    // directory. The first (and only timed) compile of each program must
+    // be served by the persistent tier.
+    let restarted = with_store(ServerState::with_defaults());
+    for (row, source) in rows.iter_mut().zip(&survivors) {
+        let started = Instant::now();
+        let warm = restarted.compile_source(source, &opts);
+        row.restart_ns = started.elapsed().as_nanos();
+        debug_assert!(matches!(warm, Ok(ref c) if c.cache == CacheDisposition::Hit));
+        drop(warm);
+    }
+    let bench = ServeBench {
         rows,
         cache: state.cache_stats(),
         source_hits: state.source_hits(),
-    }
+        restart_cache: restarted.cache_stats(),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    bench
 }
 
 /// Render a [`ServeBench`] as the `BENCH_serve.json` snapshot
@@ -982,14 +1124,17 @@ pub fn format_bench_serve_json(bench: &ServeBench) -> String {
         writeln!(
             out,
             "    {{\"name\": \"{}\", \"suite\": \"{}\", \"cold_ns\": {}, \"warm_ns\": {}, \
-             \"hot_ns\": {}, \"warm_speedup\": {:.2}, \"hot_speedup\": {:.2}}}{comma}",
+             \"hot_ns\": {}, \"restart_ns\": {}, \"warm_speedup\": {:.2}, \
+             \"hot_speedup\": {:.2}, \"restart_speedup\": {:.2}}}{comma}",
             r.name,
             r.suite,
             r.cold_ns,
             r.warm_ns,
             r.hot_ns,
+            r.restart_ns,
             ratio(r.cold_ns, r.warm_ns),
-            ratio(r.cold_ns, r.hot_ns)
+            ratio(r.cold_ns, r.hot_ns),
+            ratio(r.cold_ns, r.restart_ns)
         )
         .unwrap();
     }
@@ -997,6 +1142,7 @@ pub fn format_bench_serve_json(bench: &ServeBench) -> String {
     let cold_total: u128 = bench.rows.iter().map(|r| r.cold_ns).sum();
     let warm_total: u128 = bench.rows.iter().map(|r| r.warm_ns).sum();
     let hot_total: u128 = bench.rows.iter().map(|r| r.hot_ns).sum();
+    let restart_total: u128 = bench.rows.iter().map(|r| r.restart_ns).sum();
     let hits = bench.cache.hits + bench.source_hits;
     let requests = hits + bench.cache.misses;
     let hit_rate = if requests == 0 {
@@ -1007,18 +1153,29 @@ pub fn format_bench_serve_json(bench: &ServeBench) -> String {
     writeln!(
         out,
         "  \"total\": {{\"cold_ns\": {}, \"warm_ns\": {}, \"hot_ns\": {}, \
-         \"warm_speedup\": {:.2}, \"hit_speedup\": {:.2}, \"requests\": {}, \
-         \"term_hits\": {}, \"source_hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}",
+         \"restart_ns\": {}, \"warm_speedup\": {:.2}, \"hit_speedup\": {:.2}, \
+         \"restart_speedup\": {:.2}, \"requests\": {}, \
+         \"term_hits\": {}, \"source_hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},",
         cold_total,
         warm_total,
         hot_total,
+        restart_total,
         ratio(cold_total, warm_total),
         ratio(cold_total, hot_total),
+        ratio(cold_total, restart_total),
         requests,
         bench.cache.hits,
         bench.source_hits,
         bench.cache.misses,
         hit_rate
+    )
+    .unwrap();
+    let disk = &bench.restart_cache;
+    writeln!(
+        out,
+        "  \"restart\": {{\"disk_hits\": {}, \"disk_loads\": {}, \"disk_misses\": {}, \
+         \"disk_verify_failures\": {}, \"pipeline_misses\": {}}}",
+        disk.disk_hits, disk.disk_loads, disk.disk_misses, disk.disk_verify_failures, disk.misses
     )
     .unwrap();
     writeln!(out, "}}").unwrap();
@@ -1091,7 +1248,7 @@ pub fn run_bench_serve_load(
     for &conns in conn_counts {
         let state = Arc::new(ServerState::with_config(
             DEFAULT_SHARDS,
-            DEFAULT_SHARD_CAP,
+            DEFAULT_CACHE_BYTES,
             cfg.clone(),
         ));
         // Pre-warm both cache layers so stage latency is service latency.
@@ -1542,18 +1699,82 @@ def main : Int =
         assert_eq!(bench.cache.misses, 1);
         assert_eq!(bench.cache.hits, 3, "three warm probes must α-hit");
         assert_eq!(bench.source_hits, 3, "three hot repeats must text-hit");
+        // The restarted server never ran a pipeline: every program was
+        // served warm from the persistent tier.
+        assert_eq!(
+            bench.restart_cache.disk_hits, 1,
+            "{:?}",
+            bench.restart_cache
+        );
+        assert_eq!(bench.restart_cache.misses, 0, "{:?}", bench.restart_cache);
+        assert!(bench.rows[0].restart_ns > 0);
         let json_text = format_bench_serve_json(&bench);
         for key in [
             "generated_by",
             "cold_ns",
             "warm_ns",
             "hot_ns",
+            "restart_ns",
             "hit_speedup",
+            "restart_speedup",
             "hit_rate",
             "\"term_hits\": 3",
             "\"source_hits\": 3",
+            "\"disk_hits\": 1",
+            "\"pipeline_misses\": 0",
         ] {
             assert!(json_text.contains(key), "missing {key} in {json_text}");
         }
+    }
+
+    #[test]
+    fn colliding_source_keys_replace_instead_of_starving() {
+        // Regression: `source_insert` used to keep the incumbent on a
+        // key collision, so the colliding program could never be cached.
+        // Drive the private API with a fabricated shared key.
+        let state = ServerState::with_defaults();
+        let opts = CompileOpts::default();
+        let src_a = "def main : Int = 1 + 1;";
+        let src_b = "def main : Int = 2 + 2;";
+        let a = state.compile_source(src_a, &opts).unwrap();
+        let b = state.compile_source(src_b, &opts).unwrap();
+        let key: SourceKey = (42, 42, false);
+        state.source_insert(key, src_a, &a);
+        // The collision is detected (exact text mismatch), not served:
+        assert!(state.source_lookup(key, src_b).is_none());
+        // ...and the colliding insert replaces, so B becomes cacheable:
+        state.source_insert(key, src_b, &b);
+        let got = state.source_lookup(key, src_b).expect("B must be resident");
+        assert!(
+            fj_ast::alpha_eq(&got.term, &b.term),
+            "replaced entry must serve B's term, not A's"
+        );
+        assert!(state.source_lookup(key, src_a).is_none());
+    }
+
+    #[test]
+    fn source_cache_is_byte_bounded_and_lru() {
+        // A budget sized for a couple of entries on one shard.
+        let state = ServerState::new(1, 8_192);
+        let opts = CompileOpts::default();
+        let hot = "def main : Int = 7 * 6;";
+        assert_eq!(
+            state.compile_source(hot, &opts).unwrap().cache,
+            CacheDisposition::Miss
+        );
+        for i in 0..12 {
+            let cold = format!("def main : Int = {i} + {i} * {i};");
+            let _ = state.compile_source(&cold, &opts).unwrap();
+            // Re-touch the hot program between every cold insert.
+            assert_eq!(
+                state.compile_source(hot, &opts).unwrap().cache,
+                CacheDisposition::Hit,
+                "round {i}: LRU must keep the repeatedly-hit source"
+            );
+            let (_, bytes) = state.source_occupancy();
+            assert!(bytes <= 8_192, "source budget exceeded: {bytes}");
+        }
+        let (entries, _) = state.source_occupancy();
+        assert!(entries < 13, "churn must have evicted cold sources");
     }
 }

@@ -21,7 +21,7 @@ pub struct Server {
 impl Server {
     /// Bind an ephemeral port and serve `state` on a background thread.
     pub fn spawn(cfg: ServeConfig) -> Server {
-        let state = Arc::new(ServerState::with_config(4, 64, cfg));
+        let state = Arc::new(ServerState::with_config(4, 16 << 20, cfg));
         let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("local addr");
         let handle = std::thread::spawn({

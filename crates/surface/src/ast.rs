@@ -73,6 +73,26 @@ pub enum SExpr {
     BinOp(BinOp, Box<SExpr>, Box<SExpr>),
     /// Unary negation (desugars to `0 - e`).
     Neg(Box<SExpr>),
+    /// `join j b… = e in e` / `joinrec j b… = e and … in e`.
+    ///
+    /// Surface syntax for the paper's join points, so optimized core
+    /// terms (which are full of them) can round-trip through text.
+    /// The `bool` is the `joinrec` flag.
+    Join(bool, Vec<SJoinDef>, Box<SExpr>, Pos),
+    /// `jump j @t… e… : t` — a saturated tail call to a join point,
+    /// annotated with its result type.
+    Jump(String, Vec<STy>, Vec<SExpr>, STy, Pos),
+}
+
+/// One join-point definition: label, binders, body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SJoinDef {
+    /// Label name.
+    pub name: String,
+    /// Parameters, type (`@a`) and value (`(x : t)`) alike.
+    pub binders: Vec<SBinder>,
+    /// Body.
+    pub body: SExpr,
 }
 
 /// Binary operators.

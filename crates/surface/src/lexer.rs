@@ -73,6 +73,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, SurfaceError> {
                 "then" => Tok::Then,
                 "else" => Tok::Else,
                 "forall" => Tok::Forall,
+                "join" => Tok::Join,
+                "joinrec" => Tok::JoinRec,
+                "jump" => Tok::Jump,
                 w if w.starts_with(|ch: char| ch.is_ascii_uppercase()) => Tok::ConId(w.to_string()),
                 w => Tok::Ident(w.to_string()),
             };

@@ -42,11 +42,11 @@ mod token;
 pub mod unparse;
 
 pub use lexer::lex;
-pub use lower::{lower_expr, lower_program, Lowered};
-pub use parser::{parse_expr, parse_program, MAX_NESTING_DEPTH};
+pub use lower::{lower_entry, lower_expr, lower_program, Lowered};
+pub use parser::{parse_entry, parse_expr, parse_program, MAX_NESTING_DEPTH};
 pub use print::{print_expr, print_program, print_ty, strip_program_positions};
 pub use token::{Pos, Spanned, Tok};
-pub use unparse::{unparse_expr, unparse_main, unparse_ty, UnparseError};
+pub use unparse::{unparse_entry, unparse_expr, unparse_main, unparse_ty};
 
 use std::fmt;
 

@@ -6,10 +6,10 @@
 //! by typing the (already lowered, annotated) scrutinee and instantiating
 //! the constructor's fields — no global inference is ever needed.
 
-use crate::ast::{BinOp, SAlt, SBinder, SData, SExpr, SPat, SProgram, STy};
+use crate::ast::{BinOp, SAlt, SBinder, SData, SExpr, SJoinDef, SPat, SProgram, STy};
 use crate::token::Pos;
 use crate::SurfaceError;
-use fj_ast::{Alt, AltCon, Binder, DataEnv, Expr, Ident, Name, NameSupply, PrimOp, Type};
+use fj_ast::{Alt, AltCon, Binder, DataEnv, Expr, Ident, JoinDef, Name, NameSupply, PrimOp, Type};
 use fj_check::{type_of, Gamma};
 use std::collections::HashMap;
 
@@ -99,10 +99,44 @@ pub fn lower_expr(e: &SExpr) -> Result<Lowered, SurfaceError> {
     })
 }
 
+/// Lower a cache-entry payload: `data` declarations plus one bare
+/// expression, against the prelude. Unlike [`lower_program`] there is no
+/// `def main` wrapper, so the result is exactly the expression's lowering
+/// — which is what lets the persistent cache α-verify a reloaded term
+/// against the in-memory one.
+///
+/// # Errors
+///
+/// As [`lower_program`].
+pub fn lower_entry(datas: &[SData], e: &SExpr) -> Result<Lowered, SurfaceError> {
+    let mut lw = Lowerer {
+        data_env: DataEnv::prelude(),
+        supply: NameSupply::new(),
+        types: HashMap::new(),
+        pending: HashMap::new(),
+    };
+    for d in datas {
+        lw.pending.insert(d.name.clone(), d.params.len());
+    }
+    for d in datas {
+        lw.declare_data(d)?;
+    }
+    lw.pending.clear();
+    let expr = lw.lower_expr(e, &Scope::default())?;
+    Ok(Lowered {
+        data_env: lw.data_env,
+        expr,
+        supply: lw.supply,
+    })
+}
+
 #[derive(Clone, Debug, Default)]
 struct Scope {
     vars: HashMap<String, Name>,
     tyvars: HashMap<String, Name>,
+    /// Join-point labels live in their own namespace: a label is only
+    /// reachable through `jump`, never as a value.
+    joins: HashMap<String, Name>,
 }
 
 struct Lowerer {
@@ -284,11 +318,110 @@ impl Lowerer {
                 let pb = self.lower_expr(b, scope)?;
                 Ok(Expr::prim2(lower_op(*op), pa, pb))
             }
-            SExpr::Neg(a) => Ok(Expr::prim2(
-                PrimOp::Sub,
-                Expr::Lit(0),
-                self.lower_expr(a, scope)?,
-            )),
+            // A negated literal *is* the negative literal (the grammar
+            // has no negative integer token); folding it here makes
+            // unparse → lower the identity on constant-folded optimizer
+            // output, which the persistent cache's α-verification needs.
+            SExpr::Neg(a) => match a.as_ref() {
+                SExpr::Lit(n) if n.checked_neg().is_some() => Ok(Expr::Lit(-n)),
+                _ => Ok(Expr::prim2(
+                    PrimOp::Sub,
+                    Expr::Lit(0),
+                    self.lower_expr(a, scope)?,
+                )),
+            },
+            SExpr::Join(rec, defs, body, pos) => self.lower_join(*rec, defs, body, scope, *pos),
+            SExpr::Jump(label, tys, args, ret, pos) => {
+                let j = scope
+                    .joins
+                    .get(label)
+                    .cloned()
+                    .ok_or_else(|| SurfaceError::Lower {
+                        pos: *pos,
+                        msg: format!("join point `{label}` is not in scope"),
+                    })?;
+                let tys2 = tys
+                    .iter()
+                    .map(|t| self.lower_ty(t, scope, *pos))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let args2 = args
+                    .iter()
+                    .map(|a| self.lower_expr(a, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let ret2 = self.lower_ty(ret, scope, *pos)?;
+                Ok(Expr::jump(&j, tys2, args2, ret2))
+            }
+        }
+    }
+
+    fn lower_join(
+        &mut self,
+        rec: bool,
+        defs: &[SJoinDef],
+        body: &SExpr,
+        scope: &Scope,
+        pos: Pos,
+    ) -> Result<Expr, SurfaceError> {
+        let labels: Vec<Name> = defs.iter().map(|d| self.supply.fresh(&d.name)).collect();
+        // Recursive groups see their own labels; non-recursive bodies
+        // don't (mirrors `let` vs `letrec`).
+        let mut def_scope = scope.clone();
+        if rec {
+            for (d, n) in defs.iter().zip(&labels) {
+                def_scope.joins.insert(d.name.clone(), n.clone());
+            }
+        }
+        let mut jdefs = Vec::new();
+        for (d, label) in defs.iter().zip(&labels) {
+            let mut s2 = def_scope.clone();
+            let mut ty_params = Vec::new();
+            let mut params = Vec::new();
+            for b in &d.binders {
+                match b {
+                    SBinder::Ty(a) => {
+                        if !params.is_empty() {
+                            return Err(SurfaceError::Lower {
+                                pos,
+                                msg: format!(
+                                    "join `{}`: type parameters must precede value parameters",
+                                    d.name
+                                ),
+                            });
+                        }
+                        let n = self.supply.fresh(a);
+                        s2.tyvars.insert(a.clone(), n.clone());
+                        ty_params.push(n);
+                    }
+                    SBinder::Val(x, t) => {
+                        let ty = self.lower_ty(t, &s2, pos)?;
+                        let n = self.supply.fresh(x);
+                        s2.vars.insert(x.clone(), n.clone());
+                        self.types.insert(n.clone(), ty.clone());
+                        params.push(Binder::new(n, ty));
+                    }
+                }
+            }
+            let body2 = self.lower_expr(&d.body, &s2)?;
+            jdefs.push(JoinDef {
+                name: label.clone(),
+                ty_params,
+                params,
+                body: body2,
+            });
+        }
+        let mut s_body = scope.clone();
+        for (d, n) in defs.iter().zip(&labels) {
+            s_body.joins.insert(d.name.clone(), n.clone());
+        }
+        let body2 = self.lower_expr(body, &s_body)?;
+        if rec {
+            Ok(Expr::joinrec(jdefs, body2))
+        } else {
+            let def = jdefs.pop().ok_or_else(|| SurfaceError::Lower {
+                pos,
+                msg: "join needs a definition".into(),
+            })?;
+            Ok(Expr::join1(def, body2))
         }
     }
 

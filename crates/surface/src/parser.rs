@@ -13,9 +13,13 @@
 //! expr     ::= '\' binder+ '->' expr
 //!            | 'let' ident ':' type '=' expr 'in' expr
 //!            | 'letrec' bindgrp 'in' expr
+//!            | 'join' jdef 'in' expr
+//!            | 'joinrec' jdef ('and' jdef)* 'in' expr
+//!            | 'jump' ident ('@' atype | aexpr)* ':' atype
 //!            | 'case' expr 'of' '{' alt (';' alt)* '}'
 //!            | 'if' expr 'then' expr 'else' expr
 //!            | opexpr
+//! jdef     ::= ident binder* '=' expr
 //! opexpr   ::= arith (cmpop arith)?        -- comparisons non-associative
 //! arith    ::= term (('+'|'-') term)*
 //! term     ::= fexpr (('*'|'/'|'%') fexpr)*
@@ -25,7 +29,7 @@
 //! alt      ::= ConId ident* '->' expr | int '->' expr | '_' '->' expr
 //! ```
 
-use crate::ast::{BinOp, SAlt, SBinder, SData, SDef, SExpr, SPat, SProgram, STy};
+use crate::ast::{BinOp, SAlt, SBinder, SData, SDef, SExpr, SJoinDef, SPat, SProgram, STy};
 use crate::token::{Pos, Spanned, Tok};
 use crate::SurfaceError;
 
@@ -67,6 +71,29 @@ pub fn parse_expr(tokens: &[Spanned]) -> Result<SExpr, SurfaceError> {
     let e = p.expr()?;
     p.expect(&Tok::Eof)?;
     Ok(e)
+}
+
+/// Parse a cache-entry payload: `data` declarations followed by one
+/// expression. This is the on-disk shape the persistent cache uses — a
+/// bare term plus whatever datatypes it mentions, with no `def main`
+/// wrapper (which would add a spurious `let` on re-lowering).
+///
+/// # Errors
+///
+/// As [`parse_program`].
+pub fn parse_entry(tokens: &[Spanned]) -> Result<(Vec<SData>, SExpr), SurfaceError> {
+    let mut p = Parser {
+        toks: tokens,
+        at: 0,
+        depth: 0,
+    };
+    let mut datas = Vec::new();
+    while p.peek() == &Tok::Data {
+        datas.push(p.data_decl()?);
+    }
+    let e = p.expr()?;
+    p.expect(&Tok::Eof)?;
+    Ok((datas, e))
 }
 
 /// Hard ceiling on grammar recursion depth. Each level of expression or
@@ -287,14 +314,18 @@ impl Parser<'_> {
             Tok::Backslash => self.lambda(),
             Tok::Let => self.let_expr(),
             Tok::LetRec => self.letrec_expr(),
+            Tok::Join => self.join_expr(false),
+            Tok::JoinRec => self.join_expr(true),
+            Tok::Jump => self.jump_expr(),
             Tok::Case => self.case_expr(),
             Tok::If => self.if_expr(),
             _ => self.op_expr(),
         }
     }
 
-    fn lambda(&mut self) -> Result<SExpr, SurfaceError> {
-        self.expect(&Tok::Backslash)?;
+    /// `(x : t)` and `@a` binders, zero or more (shared by lambdas and
+    /// join-point definitions).
+    fn binders(&mut self) -> Result<Vec<SBinder>, SurfaceError> {
         let mut binders = Vec::new();
         loop {
             match self.peek() {
@@ -313,12 +344,71 @@ impl Parser<'_> {
                 _ => break,
             }
         }
+        Ok(binders)
+    }
+
+    fn lambda(&mut self) -> Result<SExpr, SurfaceError> {
+        self.expect(&Tok::Backslash)?;
+        let binders = self.binders()?;
         if binders.is_empty() {
             return Err(self.err("lambda needs at least one binder".into()));
         }
         self.expect(&Tok::Arrow)?;
         let body = self.expr()?;
         Ok(SExpr::Lam(binders, Box::new(body)))
+    }
+
+    fn join_expr(&mut self, rec: bool) -> Result<SExpr, SurfaceError> {
+        let pos = self.pos();
+        self.bump(); // `join` or `joinrec`
+        let mut defs = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let binders = self.binders()?;
+            self.expect(&Tok::Equals)?;
+            let body = self.expr()?;
+            defs.push(SJoinDef {
+                name,
+                binders,
+                body,
+            });
+            if rec && self.peek() == &Tok::And {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::In)?;
+        let body = self.expr()?;
+        Ok(SExpr::Join(rec, defs, Box::new(body), pos))
+    }
+
+    fn jump_expr(&mut self) -> Result<SExpr, SurfaceError> {
+        let pos = self.pos();
+        self.expect(&Tok::Jump)?;
+        let label = self.ident()?;
+        let mut tys = Vec::new();
+        let mut args = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::At => {
+                    self.bump();
+                    if !args.is_empty() {
+                        return Err(
+                            self.err("jump type arguments must precede value arguments".into())
+                        );
+                    }
+                    tys.push(self.atype()?);
+                }
+                Tok::Ident(_) | Tok::ConId(_) | Tok::Int(_) | Tok::LParen | Tok::Minus => {
+                    args.push(self.aexpr()?);
+                }
+                _ => break,
+            }
+        }
+        self.expect(&Tok::Colon)?;
+        let ret = self.atype()?;
+        Ok(SExpr::Jump(label, tys, args, ret, pos))
     }
 
     fn let_expr(&mut self) -> Result<SExpr, SurfaceError> {

@@ -13,7 +13,7 @@
 //! `n` ([`SExpr::Neg`]). The parser itself never produces negative
 //! expression literals, so round-tripping parser output is unaffected.
 
-use crate::ast::{BinOp, SAlt, SBinder, SData, SDef, SExpr, SPat, SProgram, STy};
+use crate::ast::{BinOp, SAlt, SBinder, SData, SDef, SExpr, SJoinDef, SPat, SProgram, STy};
 use crate::token::Pos;
 use std::fmt::Write;
 
@@ -186,6 +186,35 @@ fn expr_prec(e: &SExpr, required: u8) -> String {
             ),
             EXPR,
         ),
+        SExpr::Join(rec, defs, body, _) => {
+            let mut s = String::from(if *rec { "joinrec " } else { "join " });
+            for (i, d) in defs.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" and ");
+                }
+                s.push_str(&d.name);
+                for b in &d.binders {
+                    match b {
+                        SBinder::Val(x, t) => write!(s, " ({x} : {})", print_ty(t)).unwrap(),
+                        SBinder::Ty(a) => write!(s, " @{a}").unwrap(),
+                    }
+                }
+                write!(s, " = {}", expr_prec(&d.body, EXPR)).unwrap();
+            }
+            write!(s, " in {}", expr_prec(body, EXPR)).unwrap();
+            (s, EXPR)
+        }
+        SExpr::Jump(label, tys, args, ret, _) => {
+            let mut s = format!("jump {label}");
+            for t in tys {
+                write!(s, " @{}", ty_prec(t, TY_ATOM)).unwrap();
+            }
+            for a in args {
+                write!(s, " {}", expr_prec(a, ATOM)).unwrap();
+            }
+            write!(s, " : {}", ty_prec(ret, TY_ATOM)).unwrap();
+            (s, EXPR)
+        }
     };
     if prec < required {
         format!("({s})")
@@ -302,6 +331,25 @@ pub fn strip_expr_positions(e: &SExpr) -> SExpr {
             Box::new(strip_expr_positions(b)),
         ),
         SExpr::Neg(inner) => SExpr::Neg(Box::new(strip_expr_positions(inner))),
+        SExpr::Join(rec, defs, body, _) => SExpr::Join(
+            *rec,
+            defs.iter()
+                .map(|d| SJoinDef {
+                    name: d.name.clone(),
+                    binders: d.binders.clone(),
+                    body: strip_expr_positions(&d.body),
+                })
+                .collect(),
+            Box::new(strip_expr_positions(body)),
+            NO_POS,
+        ),
+        SExpr::Jump(label, tys, args, ret, _) => SExpr::Jump(
+            label.clone(),
+            tys.clone(),
+            args.iter().map(strip_expr_positions).collect(),
+            ret.clone(),
+            NO_POS,
+        ),
     }
 }
 

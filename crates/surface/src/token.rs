@@ -50,6 +50,12 @@ pub enum Tok {
     Else,
     /// `forall`
     Forall,
+    /// `join`
+    Join,
+    /// `joinrec`
+    JoinRec,
+    /// `jump`
+    Jump,
     /// `\`
     Backslash,
     /// `->`
@@ -119,6 +125,9 @@ impl fmt::Display for Tok {
             Tok::Then => write!(f, "then"),
             Tok::Else => write!(f, "else"),
             Tok::Forall => write!(f, "forall"),
+            Tok::Join => write!(f, "join"),
+            Tok::JoinRec => write!(f, "joinrec"),
+            Tok::Jump => write!(f, "jump"),
             Tok::Backslash => write!(f, "\\"),
             Tok::Arrow => write!(f, "->"),
             Tok::Equals => write!(f, "="),

@@ -1,52 +1,30 @@
 //! Unparsing: System F_J → surface syntax.
 //!
-//! The inverse of [`crate::lower`] for the **join-free fragment**: terms
-//! built at the meta level (the fusion library, the benchmark DSL) can
-//! be rendered as surface programs and fed through every text-accepting
-//! route — the CLI, `fj serve` — so those routes can be differentially
-//! tested against the in-process pipeline on exactly the same programs.
+//! The inverse of [`crate::lower`]: terms built at the meta level (the
+//! fusion library, the benchmark DSL) — or produced by the optimizer —
+//! can be rendered as surface programs and fed through every
+//! text-accepting route: the CLI, `fj serve`, and the persistent
+//! on-disk cache, whose entries are exactly unparsed terms.
 //!
 //! The mapping is 1:1 where the grammars align ([`PrimOp`]↔`BinOp`,
-//! `case`/`let`/`letrec`/lambdas, explicit `@ty` constructor arguments)
-//! and total on everything except join points and jumps, which the
-//! surface grammar cannot express ([`UnparseError::Join`]). Core names
-//! render as `text_id` identifiers — globally unique by construction, so
-//! re-lowering can never capture — and re-lowering the rendered text
-//! yields a term α-equal to the original (pinned by the round-trip
-//! tests; the one caveat is negative literals, which re-lower as
-//! `0 - n` and constant-fold back in the first simplifier pass).
+//! `case`/`let`/`letrec`/lambdas, explicit `@ty` constructor arguments,
+//! and `join`/`joinrec`/`jump` for the paper's join points) and total on
+//! every core term. Core names render as `text_id` identifiers —
+//! globally unique by construction, so re-lowering can never capture —
+//! and re-lowering the rendered text yields a term α-equal to the
+//! original (pinned by the round-trip tests; the one caveat is negative
+//! literals, which re-lower as `0 - n` and constant-fold back in the
+//! first simplifier pass).
 //!
-//! Only prelude datatypes survive the trip: the surface program this
-//! module emits contains no `data` declarations, so a term mentioning
-//! user-declared constructors re-lowers with an "unknown constructor"
-//! error rather than silently changing meaning.
+//! [`unparse_expr`] alone emits no `data` declarations, so only prelude
+//! datatypes survive that trip; [`unparse_entry`] additionally renders
+//! the non-prelude declarations of a [`DataEnv`], making any term
+//! re-lowerable via [`crate::parse_entry`] + [`crate::lower_entry`].
 
-use crate::ast::{BinOp, SAlt, SBinder, SExpr, SPat, STy};
-use crate::print::print_expr;
+use crate::ast::{BinOp, SAlt, SBinder, SData, SExpr, SJoinDef, SPat, STy};
+use crate::print::{print_data, print_expr};
 use crate::token::Pos;
-use fj_ast::{Alt, AltCon, Expr, LetBind, Name, PrimOp, Type};
-use std::fmt;
-
-/// Why a term could not be unparsed.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum UnparseError {
-    /// The term binds or invokes a join point, which surface syntax
-    /// cannot express. Unparse before contification, not after.
-    Join(String),
-}
-
-impl fmt::Display for UnparseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            UnparseError::Join(label) => write!(
-                f,
-                "join point `{label}` cannot be expressed in surface syntax"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for UnparseError {}
+use fj_ast::{Alt, AltCon, DataEnv, Expr, JoinBind, JoinDef, LetBind, Name, PrimOp, Type};
 
 const NO_POS: Pos = Pos { line: 0, col: 0 };
 
@@ -80,21 +58,18 @@ pub fn unparse_ty(t: &Type) -> STy {
     }
 }
 
-/// Unparse a join-free core term into surface syntax.
-///
-/// # Errors
-///
-/// [`UnparseError::Join`] if the term contains a join binding or jump.
-pub fn unparse_expr(e: &Expr) -> Result<SExpr, UnparseError> {
-    Ok(match e {
+/// Unparse a core term into surface syntax. Total: every core form —
+/// join points included — has a surface spelling.
+pub fn unparse_expr(e: &Expr) -> SExpr {
+    match e {
         Expr::Var(n) => SExpr::Var(surface_name(n), NO_POS),
         Expr::Lit(n) => unparse_lit(*n),
         Expr::Prim(op, args) => {
             debug_assert_eq!(args.len(), 2, "all primops are binary");
             SExpr::BinOp(
                 unparse_op(*op),
-                Box::new(unparse_expr(&args[0])?),
-                Box::new(unparse_expr(&args[1])?),
+                Box::new(unparse_expr(&args[0])),
+                Box::new(unparse_expr(&args[1])),
             )
         }
         Expr::Lam(..) | Expr::TyLam(..) => {
@@ -114,10 +89,10 @@ pub fn unparse_expr(e: &Expr) -> Result<SExpr, UnparseError> {
                     _ => break,
                 }
             }
-            SExpr::Lam(binders, Box::new(unparse_expr(body)?))
+            SExpr::Lam(binders, Box::new(unparse_expr(body)))
         }
-        Expr::App(f, a) => SExpr::App(Box::new(unparse_expr(f)?), Box::new(unparse_expr(a)?)),
-        Expr::TyApp(f, t) => SExpr::TyApp(Box::new(unparse_expr(f)?), unparse_ty(t)),
+        Expr::App(f, a) => SExpr::App(Box::new(unparse_expr(f)), Box::new(unparse_expr(a))),
+        Expr::TyApp(f, t) => SExpr::TyApp(Box::new(unparse_expr(f)), unparse_ty(t)),
         Expr::Con(c, tys, args) => {
             // Constructor spine: head, `@ty…`, then fields — the exact
             // saturated shape the lowerer demands.
@@ -126,51 +101,115 @@ pub fn unparse_expr(e: &Expr) -> Result<SExpr, UnparseError> {
                 out = SExpr::TyApp(Box::new(out), unparse_ty(t));
             }
             for a in args {
-                out = SExpr::App(Box::new(out), Box::new(unparse_expr(a)?));
+                out = SExpr::App(Box::new(out), Box::new(unparse_expr(a)));
             }
             out
         }
         Expr::Case(scrut, alts) => SExpr::Case(
-            Box::new(unparse_expr(scrut)?),
-            alts.iter().map(unparse_alt).collect::<Result<_, _>>()?,
+            Box::new(unparse_expr(scrut)),
+            alts.iter().map(unparse_alt).collect(),
             NO_POS,
         ),
         Expr::Let(LetBind::NonRec(b, rhs), body) => SExpr::Let(
             surface_name(&b.name),
             unparse_ty(&b.ty),
-            Box::new(unparse_expr(rhs)?),
-            Box::new(unparse_expr(body)?),
+            Box::new(unparse_expr(rhs)),
+            Box::new(unparse_expr(body)),
             NO_POS,
         ),
         Expr::Let(LetBind::Rec(binds), body) => SExpr::LetRec(
             binds
                 .iter()
-                .map(|(b, rhs)| Ok((surface_name(&b.name), unparse_ty(&b.ty), unparse_expr(rhs)?)))
-                .collect::<Result<_, UnparseError>>()?,
-            Box::new(unparse_expr(body)?),
+                .map(|(b, rhs)| (surface_name(&b.name), unparse_ty(&b.ty), unparse_expr(rhs)))
+                .collect(),
+            Box::new(unparse_expr(body)),
             NO_POS,
         ),
-        Expr::Join(jb, _) => {
-            return Err(UnparseError::Join(jb.labels()[0].to_string()));
+        Expr::Join(jb, body) => {
+            let (rec, defs) = match jb {
+                JoinBind::NonRec(d) => (false, std::slice::from_ref(&**d)),
+                JoinBind::Rec(ds) => (true, ds.as_slice()),
+            };
+            SExpr::Join(
+                rec,
+                defs.iter().map(unparse_join_def).collect(),
+                Box::new(unparse_expr(body)),
+                NO_POS,
+            )
         }
-        Expr::Jump(j, ..) => return Err(UnparseError::Join(j.to_string())),
-    })
+        Expr::Jump(j, tys, args, res) => SExpr::Jump(
+            surface_name(j),
+            tys.iter().map(unparse_ty).collect(),
+            args.iter().map(unparse_expr).collect(),
+            unparse_ty(res),
+            NO_POS,
+        ),
+    }
+}
+
+fn unparse_join_def(d: &JoinDef) -> SJoinDef {
+    let mut binders: Vec<SBinder> = d
+        .ty_params
+        .iter()
+        .map(|a| SBinder::Ty(surface_name(a)))
+        .collect();
+    binders.extend(
+        d.params
+            .iter()
+            .map(|b| SBinder::Val(surface_name(&b.name), unparse_ty(&b.ty))),
+    );
+    SJoinDef {
+        name: surface_name(&d.name),
+        binders,
+        body: unparse_expr(&d.body),
+    }
 }
 
 /// Unparse a whole closed `Int`-typed term as a runnable program:
 /// `def main : Int = <expr>;`.
-///
-/// # Errors
-///
-/// As [`unparse_expr`].
-pub fn unparse_main(e: &Expr) -> Result<String, UnparseError> {
-    Ok(format!(
-        "def main : Int =\n  {};\n",
-        print_expr(&unparse_expr(e)?)
-    ))
+pub fn unparse_main(e: &Expr) -> String {
+    format!("def main : Int =\n  {};\n", print_expr(&unparse_expr(e)))
 }
 
-fn unparse_alt(alt: &Alt) -> Result<SAlt, UnparseError> {
+/// Unparse a term as a self-contained cache-entry payload: the
+/// non-prelude `data` declarations of `env` (sorted by name, so the
+/// output is deterministic) followed by the bare expression. The result
+/// parses with [`crate::parse_entry`] and re-lowers with
+/// [`crate::lower_entry`] to a term α-equal to `e` — the contract the
+/// persistent cache's verify-on-load discipline relies on.
+pub fn unparse_entry(e: &Expr, env: &DataEnv) -> String {
+    let prelude = DataEnv::prelude();
+    let mut datas: Vec<SData> = env
+        .iter()
+        .filter(|d| prelude.datatype(&d.name).is_err())
+        .map(|d| SData {
+            name: d.name.as_str().into(),
+            params: d.ty_vars.iter().map(surface_name).collect(),
+            ctors: d
+                .ctors
+                .iter()
+                .map(|c| {
+                    (
+                        c.name.as_str().into(),
+                        c.fields.iter().map(unparse_ty).collect(),
+                    )
+                })
+                .collect(),
+            pos: NO_POS,
+        })
+        .collect();
+    datas.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    for d in &datas {
+        out.push_str(&print_data(d));
+        out.push('\n');
+    }
+    out.push_str(&print_expr(&unparse_expr(e)));
+    out.push('\n');
+    out
+}
+
+fn unparse_alt(alt: &Alt) -> SAlt {
     let pat = match &alt.con {
         AltCon::Con(c) => SPat::Con(
             c.as_str().into(),
@@ -179,16 +218,18 @@ fn unparse_alt(alt: &Alt) -> Result<SAlt, UnparseError> {
         AltCon::Lit(n) => SPat::Lit(*n),
         AltCon::Default => SPat::Wild,
     };
-    Ok(SAlt {
+    SAlt {
         pat,
-        rhs: unparse_expr(&alt.rhs)?,
+        rhs: unparse_expr(&alt.rhs),
         pos: NO_POS,
-    })
+    }
 }
 
 /// Negative literals have no literal spelling in the grammar; render
-/// them as negation, which re-lowers to `0 - n` and constant-folds back.
-/// `i64::MIN` needs one extra step since its magnitude has no literal.
+/// them as negation, which the lowerer folds straight back to the
+/// literal. `i64::MIN` needs one extra step since its magnitude has no
+/// literal (it round-trips to `(-MAX) - 1`, semantically equal but not
+/// α-equal — the one corner where unparse → lower is not the identity).
 fn unparse_lit(n: i64) -> SExpr {
     if n >= 0 {
         SExpr::Lit(n)
@@ -222,14 +263,14 @@ fn unparse_op(op: PrimOp) -> BinOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{compile, lower_expr};
+    use crate::{compile, lower_entry, lower_expr, parse_entry};
     use fj_ast::alpha_eq;
 
     /// Compile a source program, unparse the lowered term, re-lower the
     /// unparsed text, and demand an α-equal term.
     fn round(src: &str) {
         let first = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
-        let sexpr = unparse_expr(&first.expr).unwrap_or_else(|e| panic!("unparse failed: {e}"));
+        let sexpr = unparse_expr(&first.expr);
         let printed = print_expr(&sexpr);
         let reparsed = crate::parse_expr(&crate::lex(&printed).unwrap_or_else(|e| {
             panic!("unparsed text does not lex: {e}\n{printed}");
@@ -294,6 +335,92 @@ mod tests {
     }
 
     #[test]
+    fn join_forms_round_trip() {
+        // Surface join points survive the unparse/re-lower trip — the
+        // property the persistent cache needs for *optimized* terms,
+        // which are full of them after contification.
+        round(
+            "def main : Int =
+               join stop (r : Int) = r * 2 in
+               if 1 < 2 then jump stop 3 : Int else jump stop 4 : Int;",
+        );
+        round(
+            "def main : Int =
+               joinrec go (n : Int) (acc : Int) =
+                 if n <= 0 then acc else jump go (n - 1) (acc + n) : Int
+               in jump go 10 0 : Int;",
+        );
+        round(
+            "def main : Int =
+               joinrec ev (n : Int) = if n == 0 then 1 else jump od (n - 1) : Int
+               and od (n : Int) = if n == 0 then 0 else jump ev (n - 1) : Int
+               in jump ev 8 : Int;",
+        );
+        round(
+            "def main : Int =
+               join pick @a (x : a) (y : a) (k : a -> Int) = k x in
+               jump pick @Int 1 2 (\\(v : Int) -> v + 40) : Int;",
+        );
+    }
+
+    #[test]
+    fn optimized_terms_round_trip() {
+        // The real client: run the full join-points pipeline (whose
+        // output binds join points) and round-trip the *optimized* term.
+        let src = "def main : Int =
+               letrec go : Int -> Int -> Int =
+                 \\(n : Int) (acc : Int) ->
+                   if n <= 0 then acc else go (n - 1) (acc + n)
+               in go 100 0;";
+        let lowered = compile(src).unwrap();
+        let mut supply = lowered.supply;
+        let opt = fj_core::optimize(
+            &lowered.expr,
+            &lowered.data_env,
+            &mut supply,
+            &fj_core::OptConfig::join_points(),
+        )
+        .unwrap();
+        let text = unparse_entry(&opt, &lowered.data_env);
+        let (datas, sexpr) = parse_entry(&crate::lex(&text).unwrap())
+            .unwrap_or_else(|e| panic!("unparsed optimized term does not parse: {e}\n{text}"));
+        let second = lower_entry(&datas, &sexpr)
+            .unwrap_or_else(|e| panic!("unparsed optimized term does not lower: {e}\n{text}"));
+        assert!(
+            alpha_eq(&opt, &second.expr),
+            "optimized round trip changed the term\n{text}"
+        );
+        fj_check::lint(&second.expr, &second.data_env)
+            .unwrap_or_else(|e| panic!("re-lowered optimized term does not lint: {e}\n{text}"));
+    }
+
+    #[test]
+    fn entries_carry_user_datatypes() {
+        // A term mentioning non-prelude constructors must re-lower from
+        // an entry payload alone: the payload carries the `data` decls.
+        let src = "data Shape = Circle Int | Square Int Int;
+               def main : Int =
+                 case Square 3 4 of { Circle r -> r; Square w h -> w * h };";
+        let lowered = {
+            let p = crate::parse_program(&crate::lex(src).unwrap()).unwrap();
+            crate::lower_program(&p).unwrap()
+        };
+        let text = unparse_entry(&lowered.expr, &lowered.data_env);
+        assert!(
+            text.contains("data Shape"),
+            "entry payload lost the data decl:\n{text}"
+        );
+        let (datas, sexpr) = parse_entry(&crate::lex(&text).unwrap()).unwrap();
+        let second = lower_entry(&datas, &sexpr).unwrap();
+        assert!(alpha_eq(&lowered.expr, &second.expr));
+        assert_eq!(
+            lowered.data_env.fingerprint(),
+            second.data_env.fingerprint(),
+            "re-declared datatypes changed the env fingerprint"
+        );
+    }
+
+    #[test]
     fn step_programs_unparse_and_relower() {
         // The motivating client: meta-level stream steppers over the
         // prelude's Step datatype must survive the trip and lint.
@@ -326,7 +453,7 @@ mod tests {
                 },
             ],
         );
-        let text = unparse_main(&program).expect("join-free term must unparse");
+        let text = unparse_main(&program);
         let lowered = compile(&text).unwrap_or_else(|e| panic!("unparsed program: {e}\n{text}"));
         fj_check::lint(&lowered.expr, &lowered.data_env)
             .unwrap_or_else(|e| panic!("re-lowered program does not lint: {e}\n{text}"));
@@ -341,30 +468,9 @@ mod tests {
             PrimOp::Add,
             Expr::Lit(-7),
             Expr::Lit(i64::MIN),
-        ))
-        .unwrap();
+        ));
         let lowered = compile(&text).unwrap_or_else(|e| panic!("compile: {e}\n{text}"));
         fj_check::lint(&lowered.expr, &lowered.data_env)
             .unwrap_or_else(|e| panic!("negative-literal program does not lint: {e}\n{text}"));
-    }
-
-    #[test]
-    fn join_points_are_rejected() {
-        use fj_ast::{JoinBind, JoinDef};
-        let mut d = fj_ast::Dsl::new();
-        let j = d.name("j");
-        let term = Expr::Join(
-            JoinBind::NonRec(std::sync::Arc::new(JoinDef {
-                name: j.clone(),
-                ty_params: vec![],
-                params: vec![],
-                body: Expr::Lit(1),
-            })),
-            Expr::share(Expr::Jump(j, vec![], vec![], Type::Int)),
-        );
-        match unparse_expr(&term) {
-            Err(UnparseError::Join(_)) => {}
-            other => panic!("expected a join rejection, got {other:?}"),
-        }
     }
 }

@@ -297,7 +297,10 @@ pub fn check_routes(cfg: &FarmConfig, g: &G, seed: u64) -> Result<bool, (RoutePa
 
     // cold vs cached compile: the first lookup must miss, verify
     // α-equal to the direct pipeline; the second must hit and verify.
-    let cache = OptCache::new(2, 8);
+    // The budget is unbounded on purpose: the hit oracle below demands
+    // that *every* term is cacheable, including the adversarial
+    // huge-term band, which a finite byte budget would refuse.
+    let cache = OptCache::with_budget(2, usize::MAX);
     let mut cold_supply = d.supply.clone();
     let (cold_out, _, cold_hit) =
         optimize_cached(&e, &d.data_env, &mut cold_supply, &clean_cfg, false, &cache).map_err(

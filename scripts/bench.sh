@@ -9,14 +9,18 @@
 #   --phase optimize  the optimizer pipeline itself — per-program wall
 #                     time with a per-pass breakdown, plus serial and
 #                     parallel (optimize_many) suite totals.
+#   --phase serve     the compile service cache ladder — cold (pipeline),
+#                     warm (source hit), hot (term hit), and restart-warm
+#                     (fresh process over the same --cache-dir, served
+#                     from the persistent tier) per program.
 #   --phase serve-load  the compile service under concurrent load —
 #                     latency percentiles, throughput, and shed rate
 #                     per connection count against a live TCP server.
 #
-# Usage: scripts/bench.sh [--phase vm|optimize|serve-load] [--iterations N]
-#                         [--warmup N] [output.json]
+# Usage: scripts/bench.sh [--phase vm|optimize|serve|serve-load]
+#                         [--iterations N] [--warmup N] [output.json]
 #        (default output: BENCH_vm.json / BENCH_opt.json /
-#         BENCH_serve_load.json per phase)
+#         BENCH_serve.json / BENCH_serve_load.json per phase)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,9 +48,10 @@ done
 case "$PHASE" in
   vm) OUT="${OUT:-BENCH_vm.json}" ;;
   optimize) OUT="${OUT:-BENCH_opt.json}" ;;
+  serve) OUT="${OUT:-BENCH_serve.json}" ;;
   serve-load) OUT="${OUT:-BENCH_serve_load.json}" ;;
   *)
-    echo "unknown phase: $PHASE (expected vm, optimize, or serve-load)" >&2
+    echo "unknown phase: $PHASE (expected vm, optimize, serve, or serve-load)" >&2
     exit 2
     ;;
 esac
@@ -89,6 +94,59 @@ if [[ "$PHASE" == vm && -f "$OUT" ]]; then
       printf "bench: geomean vm_ns ratio new/committed = %.3f over %d programs\n", ratio, n
       if (ratio > 1.10) {
         printf "bench: geomean VM time regressed %.1f%% vs the committed snapshot — not overwriting\n", \
+          (ratio - 1) * 100 > "/dev/stderr"
+        exit 1
+      }
+    }
+  ' "$OUT" "$NEW"
+fi
+
+# Serve phase: the snapshot must carry the full cache ladder — including
+# the restart-warm fields fed by the persistent tier — before we gate on
+# the numbers. A missing key means the harness silently dropped a rung.
+if [[ "$PHASE" == serve ]]; then
+  for key in '"cold_ns"' '"warm_ns"' '"hot_ns"' '"restart_ns"' \
+             '"warm_speedup"' '"hit_speedup"' '"restart_speedup"' \
+             '"restart"' '"disk_hits"' '"disk_loads"' '"disk_misses"' \
+             '"disk_verify_failures"' '"pipeline_misses"'; do
+    grep -q "$key" "$NEW" || {
+      echo "bench: BENCH_serve schema missing $key" >&2
+      exit 1
+    }
+  done
+fi
+
+# Regression gate (serve): refuse to overwrite a committed snapshot whose
+# per-program geomean cold compile time got slower — the cold rung is the
+# full pipeline and the most noise-stable of the ladder. 10% headroom.
+if [[ "$PHASE" == serve && -f "$OUT" ]]; then
+  awk '
+    function record(file,   name, ns) {
+      if (match($0, /"name": "[^"]*"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        if (match($0, /"cold_ns": [0-9]+/)) {
+          ns = substr($0, RSTART + 11, RLENGTH - 11)
+          cold[file "\034" name] = ns
+          if (file == "old") { names[++n] = name }
+        }
+      }
+    }
+    FNR == 1 { f++ }
+    f == 1 { record("old") }
+    f == 2 { record("new") }
+    END {
+      if (n == 0) { print "bench: no cold_ns rows in committed snapshot" > "/dev/stderr"; exit 1 }
+      for (i = 1; i <= n; i++) {
+        name = names[i]
+        if (!(("new" "\034" name) in cold)) {
+          print "bench: program " name " missing from new snapshot" > "/dev/stderr"; exit 1
+        }
+        lsum += log(cold["new" "\034" name] / cold["old" "\034" name])
+      }
+      ratio = exp(lsum / n)
+      printf "bench: geomean cold_ns ratio new/committed = %.3f over %d programs\n", ratio, n
+      if (ratio > 1.10) {
+        printf "bench: geomean cold compile time regressed %.1f%% vs the committed snapshot — not overwriting\n", \
           (ratio - 1) * 100 > "/dev/stderr"
         exit 1
       }

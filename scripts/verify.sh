@@ -147,13 +147,57 @@ if [[ "$QUICK" -eq 0 ]]; then
   trap - EXIT
   rm -f "$SERVE_LOG"
 
-  # Serve bench smoke: the cold/warm/hot snapshot must keep its schema.
+  # Warm-restart smoke: with --cache-dir, a compile served by one server
+  # process must come back as a disk-backed cache hit after a full
+  # restart over the same directory — the persistent tier survives the
+  # process, and the stats block must admit where the hit came from.
+  RESTART_DIR="$(mktemp -d)"
+  RESTART_REQ='{"op": "compile", "program": "def main : Int = 21 * 2;"}'
+  for ROUND in cold warm; do
+    SERVE_LOG="$(mktemp)"
+    echo "==> ./target/release/fj serve --port 0 --cache-dir $RESTART_DIR   ($ROUND restart smoke)"
+    ./target/release/fj serve --port 0 --cache-dir "$RESTART_DIR" > "$SERVE_LOG" 2>&1 &
+    SERVE_PID=$!
+    trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+    for _ in $(seq 50); do
+      grep -q 'listening on' "$SERVE_LOG" 2>/dev/null && break
+      sleep 0.1
+    done
+    SERVE_ADDR="$(sed -n 's/^fj serve: listening on //p' "$SERVE_LOG" | head -1)"
+    [[ -n "$SERVE_ADDR" ]] || { echo "verify: fj serve --cache-dir never bound ($ROUND)" >&2; exit 1; }
+    exec 3<>"/dev/tcp/${SERVE_ADDR%:*}/${SERVE_ADDR##*:}"
+    printf '%s\n' "$RESTART_REQ" >&3; read -r REPLY <&3
+    printf '%s\n' '{"op": "stats"}' >&3; read -r STATS <&3
+    printf '%s\n' '{"op": "shutdown"}' >&3; read -r BYE <&3
+    exec 3>&-
+    if [[ "$ROUND" == cold ]]; then
+      echo "$REPLY" | grep -q '"cache": "miss"' || { echo "verify: cold restart-smoke compile was not a miss: $REPLY" >&2; exit 1; }
+    else
+      echo "$REPLY" | grep -q '"cache": "hit"' || { echo "verify: restarted server did not hit the disk tier: $REPLY" >&2; exit 1; }
+      echo "$STATS" | grep -q '"enabled": true, "hits": 1' || { echo "verify: restart stats shows no disk hit: $STATS" >&2; exit 1; }
+    fi
+    echo "$STATS" | grep -q '"disk"' || { echo "verify: stats lacks the disk block: $STATS" >&2; exit 1; }
+    echo "$BYE" | grep -q '"shutting_down": true' || { echo "verify: restart-smoke shutdown failed ($ROUND): $BYE" >&2; exit 1; }
+    wait "$SERVE_PID"
+    trap - EXIT
+    rm -f "$SERVE_LOG"
+  done
+  ls "$RESTART_DIR"/*.fjc >/dev/null 2>&1 || {
+    echo "verify: --cache-dir wrote no persistent entries" >&2
+    exit 1
+  }
+  rm -rf "$RESTART_DIR"
+
+  # Serve bench smoke: the cold/warm/hot/restart-warm snapshot must keep
+  # its schema.
   SERVE_SMOKE="$(mktemp)"
   echo '==> ./target/release/fj bench --phase serve'
   ./target/release/fj bench --phase serve > "$SERVE_SMOKE"
   for key in '"generated_by"' '"programs"' '"cold_ns"' '"warm_ns"' \
              '"hot_ns"' '"warm_speedup"' '"hit_speedup"' '"term_hits"' \
-             '"source_hits"' '"hit_rate"'; do
+             '"source_hits"' '"hit_rate"' '"restart_ns"' \
+             '"restart_speedup"' '"restart"' '"disk_hits"' \
+             '"pipeline_misses"'; do
     grep -q "$key" "$SERVE_SMOKE" || {
       echo "verify: BENCH_serve schema missing $key" >&2
       exit 1

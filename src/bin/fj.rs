@@ -33,6 +33,8 @@
 //! fj serve --workers 4 --queue 32   # explicit pool geometry: requests
 //!                                   # beyond the bounded queue are shed
 //!                                   # with an `overloaded` error
+//! fj serve --cache-dir .fj-cache    # persistent cache tier: a restarted
+//!                                   # server is warm from request one
 //! fj fuzz --seed 1 --count 500      # fuzz farm: generated programs
 //!                                   # cross-checked over every compile
 //!                                   # route in parallel; failures are
@@ -42,9 +44,9 @@
 //!          --fuel N, --timeout-ms N, --metrics, --resilient,
 //!          --pass-deadline-ms N, --max-growth F, --max-passes N,
 //!          --phase vm|optimize|serve|serve-load, --iterations N, --warmup N
-//!          (bench only), --addr HOST:PORT, --port N, --shards N, --cache-cap N,
-//!          --workers N, --queue N, --max-conns N, --max-line BYTES,
-//!          --idle-timeout-ms N, --drain-ms N (serve only),
+//!          (bench only), --addr HOST:PORT, --port N, --shards N, --cache-bytes N,
+//!          --cache-dir DIR, --workers N, --queue N, --max-conns N,
+//!          --max-line BYTES, --idle-timeout-ms N, --drain-ms N (serve only),
 //!          --seed N, --count N, --gen-depth N, --time-budget-ms N,
 //!          --corpus DIR, --no-adversarial, --sabotage MODE:PASS (fuzz only)
 //!
@@ -99,7 +101,8 @@ struct Options {
     warmup: u32,
     addr: String,
     shards: usize,
-    cache_cap: usize,
+    cache_bytes: usize,
+    cache_dir: Option<std::path::PathBuf>,
     serve_cfg: system_fj::server::ServeConfig,
     fuzz: FarmConfig,
 }
@@ -126,9 +129,12 @@ fn usage() -> ExitCode {
          \x20      fj bench [--phase vm|optimize|serve|serve-load] [--iterations N]\n\
          \x20               [--warmup N]\n\
          \x20                  (nofib suite timed, JSON on stdout)\n\
-         \x20      fj serve [--addr HOST:PORT] [--port N] [--shards N] [--cache-cap N]\n\
+         \x20      fj serve [--addr HOST:PORT] [--port N] [--shards N]\n\
+         \x20               [--cache-bytes N] [--cache-dir DIR]\n\
          \x20               [--workers N] [--queue N] [--max-conns N] [--max-line BYTES]\n\
          \x20               [--idle-timeout-ms N] [--drain-ms N]\n\
+         \x20                  (--cache-dir persists compiles across restarts;\n\
+         \x20                   --cache-bytes budgets each in-memory cache layer)\n\
          \x20                  (compile service; newline-delimited JSON over TCP;\n\
          \x20                   load beyond the bounded queue or connection cap is\n\
          \x20                   shed with an `overloaded` error, code 6)\n\
@@ -170,7 +176,8 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut warmup = 0u32;
     let mut addr = "127.0.0.1:7117".to_string();
     let mut shards = system_fj::core::cache::DEFAULT_SHARDS;
-    let mut cache_cap = system_fj::core::cache::DEFAULT_SHARD_CAP;
+    let mut cache_bytes = system_fj::core::cache::DEFAULT_CACHE_BYTES;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut serve_cfg = system_fj::server::ServeConfig::default();
     let mut fuzz = FarmConfig {
         corpus_dir: Some("fuzz/corpus".into()),
@@ -295,8 +302,11 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--shards" => {
                 shards = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
             }
-            "--cache-cap" => {
-                cache_cap = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+            "--cache-bytes" => {
+                cache_bytes = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
+            }
+            "--cache-dir" => {
+                cache_dir = Some(std::path::PathBuf::from(args.next().ok_or_else(usage)?));
             }
             "--iterations" => {
                 iterations = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?;
@@ -334,7 +344,8 @@ fn parse_args() -> Result<Options, ExitCode> {
             warmup,
             addr,
             shards,
-            cache_cap,
+            cache_bytes,
+            cache_dir,
             serve_cfg,
             fuzz,
         });
@@ -360,7 +371,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         warmup,
         addr,
         shards,
-        cache_cap,
+        cache_bytes,
+        cache_dir,
         serve_cfg,
         fuzz,
     })
@@ -497,14 +509,24 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         };
+        let mut state = system_fj::server::ServerState::with_config(
+            opts.shards,
+            opts.cache_bytes,
+            opts.serve_cfg,
+        );
+        if let Some(dir) = &opts.cache_dir {
+            match system_fj::server::FileStore::open(dir) {
+                Ok(store) => state = state.with_store(std::sync::Arc::new(store)),
+                Err(e) => {
+                    eprintln!("fj: serve: cannot open cache dir {}: {e}", dir.display());
+                    return ExitCode::from(1);
+                }
+            }
+        }
         // Scripts parse this line to learn the ephemeral port (`--port 0`).
         println!("fj serve: listening on {local}");
         let _ = std::io::stdout().flush();
-        let state = std::sync::Arc::new(system_fj::server::ServerState::with_config(
-            opts.shards,
-            opts.cache_cap,
-            opts.serve_cfg,
-        ));
+        let state = std::sync::Arc::new(state);
         return match system_fj::server::serve(listener, state) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
